@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Section V-B — area and power accounting of the BFree additions:
+ * LUT precharge 0.5% per sub-array, BCE 6% per 2.5 MB slice,
+ * controllers 0.1%, total cache overhead ~5.6%; BCE vs a specialized
+ * MAC unit (3% smaller, 48% more energy efficient).
+ */
+
+#include <cstdio>
+
+#include "tech/area_model.hh"
+
+int
+main()
+{
+    using namespace bfree::tech;
+
+    const CacheGeometry geom;
+    const TechParams tech;
+    const AreaReport r = compute_area(geom, tech);
+
+    std::printf("Section V-B — BFree area accounting (16 nm)\n\n");
+    std::printf("sub-array (8 KB):        %8.5f mm^2\n", r.subarrayMm2);
+    std::printf("  + LUT precharge:       %8.5f mm^2 (%.2f%% of "
+                "sub-array; paper 0.5%%)\n",
+                r.lutPrechargeMm2, 100.0 * r.lutPrechargeFraction);
+    std::printf("BCE per sub-array:       %8.5f mm^2\n",
+                r.bcePerSubarrayMm2);
+    std::printf("slice (2.5 MB) base:     %8.3f mm^2\n", r.sliceBaseMm2);
+    std::printf("slice with BFree:        %8.3f mm^2 (BCE %.1f%% of "
+                "slice; paper 6%%)\n",
+                r.sliceBfreeMm2, 100.0 * r.bceFractionOfSlice);
+    std::printf("cache (35 MB) base:      %8.3f mm^2\n", r.cacheBaseMm2);
+    std::printf("cache with BFree:        %8.3f mm^2\n",
+                r.cacheBfreeMm2);
+    std::printf("controllers:             %8.4f mm^2 (%.2f%% of cache; "
+                "paper 0.1%%)\n",
+                r.controllerMm2, 100.0 * r.controllerFraction);
+    std::printf("total overhead:          %8.2f%% (paper 5.6%%)\n",
+                100.0 * r.totalOverheadFraction);
+
+    std::printf("\ncontroller power: cache %.1f mW, slice %.1f mW "
+                "(paper: 0.8 / 1.4 mW)\n",
+                tech.cacheControllerMw, tech.sliceControllerMw);
+    std::printf("BCE power: conv %.1f mW, matmul %.1f mW "
+                "(paper: 0.4 / 1.3 mW)\n",
+                tech.bceConvModeMw, tech.bceMatmulModeMw);
+    std::printf("BCE vs specialized MAC: %.0f%% smaller area, %.0f%% "
+                "more energy efficient (paper: 3%% / 48%%)\n",
+                100.0 * (tech.specializedMacAreaVsBce - 1.0),
+                100.0 * (tech.specializedMacEnergyVsBce - 1.0));
+    std::printf("iso-area Eyeriss: %u PEs (paper: 144 = 12x12)\n",
+                iso_area_eyeriss_pes(geom, tech));
+    return 0;
+}

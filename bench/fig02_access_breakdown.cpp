@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 2 — Energy and latency breakdown of a slice data access.
+ *
+ * Paper's points: the interconnect between the sub-array and the slice
+ * port is > 90% of both latency and energy; the sub-array itself is
+ * ~6% of latency and ~9% of energy. This is the motivation for
+ * confining PIM traffic inside the sub-array.
+ */
+
+#include <cstdio>
+
+#include "tech/access_breakdown.hh"
+
+int
+main()
+{
+    using namespace bfree::tech;
+
+    const CacheGeometry geom;
+    const TechParams tech;
+    const SliceAccessBreakdown b = slice_access_breakdown(geom, tech);
+
+    std::printf("Fig. 2 — slice data access breakdown (35 MB LLC, "
+                "2.5 MB slice)\n");
+    std::printf("route length: %.2f mm\n\n",
+                slice_route_mm(geom, tech));
+    std::printf("%-16s %12s %8s %12s %8s\n", "component",
+                "latency(ns)", "lat%", "energy(pJ)", "en%");
+
+    for (const AccessComponent *c :
+         {&b.interconnect, &b.subarray, &b.decodeTiming}) {
+        std::printf("%-16s %12.3f %7.1f%% %12.3f %7.1f%%\n",
+                    c->name.c_str(), c->latencyNs,
+                    100.0 * b.latencyFraction(*c), c->energyPj,
+                    100.0 * b.energyFraction(*c));
+    }
+    std::printf("%-16s %12.3f %8s %12.3f\n", "total",
+                b.totalLatencyNs(), "", b.totalEnergyPj());
+
+    std::printf("\npaper: interconnect >90%% of latency and energy; "
+                "sub-array ~6%% latency / ~9%% energy\n");
+    std::printf("measured: interconnect %.1f%% latency / %.1f%% energy; "
+                "sub-array %.1f%% / %.1f%%\n",
+                100.0 * b.latencyFraction(b.interconnect),
+                100.0 * b.energyFraction(b.interconnect),
+                100.0 * b.latencyFraction(b.subarray),
+                100.0 * b.energyFraction(b.subarray));
+    return 0;
+}

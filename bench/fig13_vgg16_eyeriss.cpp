@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 13 — Layer-wise latency of VGG-16: BFree in one 2.5 MB slice vs
+ * an iso-area, iso-frequency Eyeriss (12x12 8-bit PEs).
+ *
+ * Paper headline: BFree is 3.97x faster; execution is dominated by
+ * weight/input loading rather than compute (~10% compute).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace bfree;
+
+    core::BFreeAccelerator acc;
+    map::ExecConfig cfg;
+    cfg.mapper.slices = 1; // one 2.5 MB slice (iso-area setup)
+
+    const dnn::Network vgg = dnn::make_vgg16();
+    const map::RunResult bf = acc.run(vgg, cfg);
+    const map::RunResult ey = acc.runEyeriss(vgg);
+
+    const auto pes = tech::iso_area_eyeriss_pes(acc.geometry(),
+                                                acc.techParams());
+    std::printf("Fig. 13 — VGG-16, BFree slice vs iso-area Eyeriss "
+                "(%u PEs)\n\n", pes);
+    std::printf("%-12s %14s %14s %9s\n", "layer", "BFree(ms)",
+                "Eyeriss(ms)", "speedup");
+    for (std::size_t i = 0; i < bf.layers.size(); ++i) {
+        if (bf.layers[i].macs == 0)
+            continue;
+        const double tb = bf.layers[i].time.total() * 1e3;
+        const double te = ey.layers[i].time.total() * 1e3;
+        std::printf("%-12s %14.3f %14.3f %8.2fx\n",
+                    bf.layers[i].name.c_str(), tb, te, te / tb);
+    }
+
+    std::printf("\ntotals\n");
+    core::print_phase_shares(std::cout, "BFree phases", bf.time);
+    std::printf("BFree:   %s\nEyeriss: %s\nspeedup: %.2fx "
+                "(paper 3.97x)\n",
+                core::format_seconds(bf.secondsPerInference()).c_str(),
+                core::format_seconds(ey.secondsPerInference()).c_str(),
+                ey.secondsPerInference() / bf.secondsPerInference());
+    std::printf("compute share of BFree runtime: %.1f%% (paper: ~10%%, "
+                "load dominated)\n",
+                100.0 * bf.time.compute / bf.secondsPerInference());
+    return 0;
+}

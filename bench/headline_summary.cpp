@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The abstract's headline numbers, regenerated in one run:
+ *
+ *   - 1.72x performance and 3.14x lower energy vs Neural Cache
+ *     (Inception-v3, 35 MB LLC);
+ *   - +5.6% cache area;
+ *   - 3.97x vs iso-area systolic accelerator (VGG-16, one slice);
+ *   - 101x / 3x speed and 91x / 11x energy vs CPU / GPU on BERT-base;
+ *   - CNN ratios of Section V-D (259x/5.5x Inception, 193x/3x VGG at
+ *     batch 16).
+ */
+
+#include <cstdio>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace bfree;
+
+    core::BFreeAccelerator acc;
+    std::printf("BFree headline summary (paper value in parentheses)\n");
+    std::printf("====================================================\n");
+
+    // Neural Cache comparison.
+    {
+        map::ExecConfig cfg;
+        cfg.mapper.forcedMode = map::ExecMode::ConvMode;
+        const auto net = dnn::make_inception_v3();
+        const auto bf = acc.run(net, cfg);
+        const auto nc = acc.runNeuralCache(net, cfg);
+        std::printf("vs Neural Cache (Inception-v3): %.2fx speed "
+                    "(1.72x), %.2fx energy (3.14x)\n",
+                    nc.secondsPerInference() / bf.secondsPerInference(),
+                    nc.joulesPerInference() / bf.joulesPerInference());
+    }
+
+    // Area.
+    std::printf("cache area overhead: %.2f%% (5.6%%)\n",
+                100.0 * acc.area().totalOverheadFraction);
+
+    // Eyeriss.
+    {
+        map::ExecConfig cfg;
+        cfg.mapper.slices = 1;
+        const auto vgg = dnn::make_vgg16();
+        std::printf("vs iso-area Eyeriss (VGG-16): %.2fx (3.97x)\n",
+                    acc.runEyeriss(vgg).secondsPerInference()
+                        / acc.run(vgg, cfg).secondsPerInference());
+    }
+
+    // BERT-base vs CPU / GPU.
+    {
+        const auto bert = dnn::make_bert_base();
+        const auto bf = acc.run(bert);
+        const auto cpu = acc.runCpu(bert, 1);
+        const auto gpu = acc.runGpu(bert, 1);
+        std::printf("BERT-base vs CPU: %.0fx speed (101x), %.0fx "
+                    "energy (91x)\n",
+                    cpu.secondsPerInference / bf.secondsPerInference(),
+                    cpu.joulesPerInference / bf.joulesPerInference());
+        std::printf("BERT-base vs GPU: %.1fx speed (3x), %.1fx energy "
+                    "(11x)\n",
+                    gpu.secondsPerInference / bf.secondsPerInference(),
+                    gpu.joulesPerInference / bf.joulesPerInference());
+    }
+
+    // Section V-D CNN ratios at batch 16.
+    for (const dnn::Network &net :
+         {dnn::make_inception_v3(), dnn::make_vgg16()}) {
+        map::ExecConfig cfg;
+        cfg.batch = 16;
+        const auto bf = acc.run(net, cfg);
+        const auto cpu = acc.runCpu(net, 16);
+        const auto gpu = acc.runGpu(net, 16);
+        std::printf("%s (batch 16) vs CPU/GPU: %.0fx / %.1fx speed, "
+                    "%.0fx / %.1fx energy\n",
+                    net.name().c_str(),
+                    cpu.secondsPerInference / bf.secondsPerInference(),
+                    gpu.secondsPerInference / bf.secondsPerInference(),
+                    cpu.joulesPerInference / bf.joulesPerInference(),
+                    gpu.joulesPerInference / bf.joulesPerInference());
+    }
+    std::printf("(paper: Inception 259x/5.5x speed & 307x/11.8x "
+                "energy; VGG-16 193x/3x & 253x/7x)\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Section II-C — the PIM-OPC (operations per PIM cycle) analysis that
+ * motivates bitline-computing-free PIM.
+ *
+ * "Considering the column muxing of 4:1 ... 8 Boolean operations are
+ * possible in one PIM cycle, hence PIM-OPC is 8. ... a 8-bit
+ * multiplication takes 102 PIM cycles, therefore PIM-OPC is
+ * approximately 0.63 which is much less than 1." BFree's LUT datapath
+ * pushes multiply PIM-OPC back above 1 per sub-array (0.5 MAC/cycle in
+ * conv mode = 4 nibble products/cycle; 4 MACs/cycle in matmul mode).
+ */
+
+#include <cstdio>
+
+#include "baselines/bit_serial.hh"
+#include "bce/bce.hh"
+#include "tech/geometry.hh"
+
+int
+main()
+{
+    using namespace bfree;
+
+    const tech::CacheGeometry geom;
+    const unsigned bitlines = geom.cellsPerRow; // 64 per partition set
+
+    std::printf("Section II-C — PIM operations per cycle "
+                "(one sub-array, %u bitlines)\n\n", bitlines);
+    std::printf("%-38s %12s %10s\n", "operation", "cycles",
+                "PIM-OPC");
+
+    // Bitline computing (Neural Cache style).
+    std::printf("%-38s %12u %10.2f\n",
+                "boolean op, bit-parallel 8-bit ops", 1u,
+                static_cast<double>(bitlines) / 8.0);
+    const auto add8 = baseline::bit_serial_add_cycles(8);
+    std::printf("%-38s %12llu %10.2f\n", "8-bit add, bit-serial",
+                static_cast<unsigned long long>(add8),
+                static_cast<double>(bitlines) / add8);
+    const auto mul8 = baseline::bit_serial_mult_cycles(8);
+    std::printf("%-38s %12llu %10.2f\n",
+                "8-bit multiply, bit-serial",
+                static_cast<unsigned long long>(mul8),
+                static_cast<double>(bitlines) / mul8);
+
+    // LUT-based BFree.
+    std::printf("%-38s %12s %10.2f\n",
+                "8-bit MAC, BFree conv mode", "2",
+                bce::Bce::macsPerCycle(bce::BceMode::Conv, 8));
+    std::printf("%-38s %12s %10.2f\n",
+                "8-bit MAC, BFree matmul mode", "0.25",
+                bce::Bce::macsPerCycle(bce::BceMode::Matmul, 8));
+    std::printf("%-38s %12s %10.2f\n",
+                "4-bit MAC, BFree matmul mode", "0.125",
+                bce::Bce::macsPerCycle(bce::BceMode::Matmul, 4));
+
+    std::printf("\npaper: bit-serial multiply PIM-OPC ~0.63 "
+                "(measured %.2f); BFree restores multiply throughput "
+                "without widening the sub-array.\n",
+                static_cast<double>(bitlines) / mul8);
+    return 0;
+}

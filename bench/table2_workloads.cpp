@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table II — Summary of neural network workloads: layers, parameters
+ * and multiplies of each evaluated network, derived from the rebuilt
+ * architectures.
+ */
+
+#include <cstdio>
+
+#include "dnn/model_zoo.hh"
+
+namespace {
+
+void
+row(const bfree::dnn::Network &net, const char *paper_params,
+    const char *paper_mults, const char *dataset)
+{
+    std::printf("%-14s %7u %9.1fM %9.2fG   %-9s (paper: %s params, %s "
+                "mults)\n",
+                net.name().c_str(), net.reportedDepth,
+                static_cast<double>(net.totalParams()) / 1e6,
+                static_cast<double>(net.totalMacs()) / 1e9, dataset,
+                paper_params, paper_mults);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bfree::dnn;
+
+    std::printf("Table II — summary of neural network workloads\n\n");
+    std::printf("%-14s %7s %10s %10s   %-9s\n", "network", "layers",
+                "params", "mults", "dataset");
+
+    row(make_inception_v3(), "24M", "4.7G", "ImageNet");
+    row(make_vgg16(), "138M", "15.5G", "ImageNet");
+
+    const Network lstm = make_lstm();
+    std::printf("%-14s %7u %9.1fM %9.2fM   %-9s (paper: 4.3M params, "
+                "4.35M mults/step)\n",
+                lstm.name().c_str(), lstm.reportedDepth,
+                static_cast<double>(lstm.totalParams()) / 1e6,
+                static_cast<double>(lstm.totalMacs()) / 1e6, "TIMIT");
+
+    row(make_bert_base(), "87M", "11.1G", "MRPC");
+    row(make_bert_large(), "324M", "39.5G", "MRPC");
+
+    std::printf("\nnote: 'layers' is the publication's depth; branched "
+                "topologies flatten to more operators (Inception-v3: "
+                "%zu MAC layers).\n",
+                make_inception_v3().computeLayerCount());
+    return 0;
+}

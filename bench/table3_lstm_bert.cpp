@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Table III — Runtime and energy of BFree vs CPU (Xeon E5-2697) and
+ * GPU (Titan V) on LSTM (300-step sequence), BERT-base and BERT-large
+ * at batch sizes 1 and 16.
+ */
+
+#include <cstdio>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+
+namespace {
+
+void
+block(bfree::core::BFreeAccelerator &acc, const bfree::dnn::Network &net,
+      std::initializer_list<unsigned> batches, const char *paper_note)
+{
+    using namespace bfree;
+    std::printf("%s  [%s]\n", net.name().c_str(), paper_note);
+    for (unsigned batch : batches) {
+        map::ExecConfig cfg;
+        cfg.batch = batch;
+        const auto bf = acc.run(net, cfg);
+        const auto cpu = acc.runCpu(net, batch);
+        const auto gpu = acc.runGpu(net, batch);
+        std::printf("  batch %2u: CPU %9.1f ms / %7.2f J   GPU %8.2f "
+                    "ms / %6.2f J   BFree %7.3f ms / %7.4f J\n",
+                    batch, cpu.secondsPerInference * 1e3,
+                    cpu.joulesPerInference,
+                    gpu.secondsPerInference * 1e3,
+                    gpu.joulesPerInference,
+                    bf.secondsPerInference() * 1e3,
+                    bf.joulesPerInference());
+        std::printf("            speedup %6.0fx vs CPU, %5.1fx vs GPU; "
+                    "energy %6.0fx vs CPU, %5.1fx vs GPU\n",
+                    cpu.secondsPerInference / bf.secondsPerInference(),
+                    gpu.secondsPerInference / bf.secondsPerInference(),
+                    cpu.joulesPerInference / bf.joulesPerInference(),
+                    gpu.joulesPerInference / bf.joulesPerInference());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bfree;
+
+    core::BFreeAccelerator acc;
+    std::printf("Table III — runtime & energy vs CPU and GPU\n\n");
+
+    block(acc, dnn::make_lstm(), {1u},
+          "paper: CPU 888.3 ms/31.1 J, GPU 96.2 ms/4.3 J, BFree "
+          "0.43 ms/0.01 J");
+    block(acc, dnn::make_bert_base(), {1u, 16u},
+          "paper b1: CPU 1160 ms/34.8 J, GPU 47.3 ms/1.67 J, BFree "
+          "5.3 ms/0.12 J; b16: 121.3/3.64, 3.8/0.45, 1.2/0.04");
+    block(acc, dnn::make_bert_large(), {1u, 16u},
+          "paper b1: CPU 2910 ms/87.3 J, GPU 89.7 ms/4.5 J, BFree "
+          "35.6 ms/0.39 J; b16: 453.1/13.6, 11.1/1.7, 6.7/0.12");
+
+    std::printf("\nabstract headline (BERT-base): 101x vs CPU / 3x vs "
+                "GPU speed, 91x / 11x energy\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * CNN scenario: layer-by-layer inspection of VGG-16 on BFree — which
+ * layers pick matmul mode, where the time and energy go, and how batch
+ * size changes the picture (the workload the paper's Fig. 13/14 study).
+ *
+ *   $ ./cnn_inference
+ */
+
+#include <iostream>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace bfree;
+
+    core::BFreeAccelerator accelerator;
+    const dnn::Network vgg = dnn::make_vgg16();
+
+    std::cout << "== " << vgg.name() << " on BFree (batch 1, DRAM) ==\n";
+    const map::RunResult b1 = accelerator.run(vgg);
+    core::print_layer_table(std::cout, b1, 24);
+    std::cout << "\n";
+    core::print_summary(std::cout, b1);
+    core::print_phase_shares(std::cout, "phase shares", b1.time);
+
+    std::cout << "\n== batching amortizes the weight stream ==\n";
+    for (unsigned batch : {1u, 4u, 16u}) {
+        map::ExecConfig cfg;
+        cfg.batch = batch;
+        const map::RunResult r = accelerator.run(vgg, cfg);
+        std::cout << "batch " << batch << ": "
+                  << core::format_seconds(r.secondsPerInference())
+                  << " / image ("
+                  << core::format_seconds(r.time.weightLoad)
+                  << " weight load)\n";
+    }
+
+    std::cout << "\n== iso-area Eyeriss comparison (one slice) ==\n";
+    map::ExecConfig slice_cfg;
+    slice_cfg.mapper.slices = 1;
+    const map::RunResult slice_run = accelerator.run(vgg, slice_cfg);
+    const map::RunResult eyeriss = accelerator.runEyeriss(vgg);
+    std::cout << "BFree (2.5 MB slice): "
+              << core::format_seconds(slice_run.secondsPerInference())
+              << "\nEyeriss (iso-area):   "
+              << core::format_seconds(eyeriss.secondsPerInference())
+              << "\nspeedup: "
+              << eyeriss.secondsPerInference()
+                     / slice_run.secondsPerInference()
+              << "x (paper: 3.97x)\n";
+    return 0;
+}

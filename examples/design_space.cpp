@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Design-space exploration: sweep slice count, main-memory technology
+ * and precision for one workload and report the Pareto-interesting
+ * points — the kind of study a downstream adopter runs before
+ * committing silicon.
+ *
+ *   $ ./design_space [vgg16|inception|bert-base]
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+#include "dnn/quantize.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfree;
+
+    const std::string which = argc > 1 ? argv[1] : "vgg16";
+    dnn::Network base = [&] {
+        if (which == "inception")
+            return dnn::make_inception_v3();
+        if (which == "bert-base")
+            return dnn::make_bert_base();
+        return dnn::make_vgg16();
+    }();
+
+    core::BFreeAccelerator accelerator;
+    const tech::AreaReport area = accelerator.area();
+
+    std::cout << "== design space: " << base.name()
+              << " (batch 16) ==\n";
+    std::cout << "BFree logic per slice: "
+              << area.sliceBfreeMm2 - area.sliceBaseMm2
+              << " mm^2 (+" << 100.0 * area.bceFractionOfSlice
+              << "%)\n\n";
+
+    struct Point
+    {
+        unsigned slices;
+        tech::MainMemoryKind memory;
+        bool mixed;
+        double seconds;
+        double joules;
+    };
+    std::vector<Point> points;
+
+    for (unsigned slices : {1u, 4u, 14u}) {
+        for (auto memory : {tech::MainMemoryKind::DRAM,
+                            tech::MainMemoryKind::HBM}) {
+            for (bool mixed : {false, true}) {
+                dnn::Network net = base;
+                if (mixed)
+                    dnn::apply_mixed_precision(net);
+                map::ExecConfig cfg;
+                cfg.batch = 16;
+                cfg.memory = memory;
+                cfg.mapper.slices = slices;
+                const map::RunResult r = accelerator.run(net, cfg);
+                points.push_back({slices, memory, mixed,
+                                  r.secondsPerInference(),
+                                  r.joulesPerInference()});
+            }
+        }
+    }
+
+    std::cout << "slices  memory  precision   latency      energy\n";
+    for (const Point &p : points) {
+        std::cout << "  " << p.slices << "\t"
+                  << tech::main_memory_params(p.memory).name() << "\t"
+                  << (p.mixed ? "mixed" : "8-bit") << "\t    "
+                  << core::format_seconds(p.seconds) << "  "
+                  << core::format_joules(p.joules) << "\n";
+    }
+
+    // The fastest and the most frugal points.
+    const Point *fastest = &points[0];
+    const Point *frugal = &points[0];
+    for (const Point &p : points) {
+        if (p.seconds < fastest->seconds)
+            fastest = &p;
+        if (p.joules < frugal->joules)
+            frugal = &p;
+    }
+    std::cout << "\nfastest: " << fastest->slices << " slices / "
+              << tech::main_memory_params(fastest->memory).name()
+              << (fastest->mixed ? " / mixed" : " / 8-bit") << " at "
+              << core::format_seconds(fastest->seconds) << "\n";
+    std::cout << "lowest energy: " << frugal->slices << " slices / "
+              << tech::main_memory_params(frugal->memory).name()
+              << (frugal->mixed ? " / mixed" : " / 8-bit") << " at "
+              << core::format_joules(frugal->joules) << "\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Quickstart: build the accelerator, run a tiny quantized CNN through
+ * the real LUT datapath, then estimate latency/energy of a full
+ * network on the modelled 35 MB cache.
+ *
+ *   $ ./quickstart
+ */
+
+#include <iostream>
+
+#include "core/bfree.hh"
+#include "core/functional.hh"
+#include "core/report.hh"
+
+int
+main()
+{
+    using namespace bfree;
+
+    // ------------------------------------------------------------------
+    // 1. Functional: quantized inference through the LUT datapath.
+    // ------------------------------------------------------------------
+    const dnn::Network tiny = dnn::make_tiny_cnn();
+    sim::Rng rng(1);
+    const core::NetworkWeights weights =
+        core::random_weights(tiny, rng);
+    dnn::FloatTensor input({1, 8, 8});
+    input.fillUniform(rng, 0.0, 1.0);
+
+    core::FunctionalExecutor executor;
+    const core::FunctionalResult result =
+        executor.run(tiny, input, weights, /*bits=*/8);
+
+    std::cout << "== functional run of " << tiny.name() << " ==\n";
+    std::cout << "class probabilities:";
+    for (std::size_t i = 0; i < result.output.size(); ++i)
+        std::cout << " " << result.output[i];
+    std::cout << "\n";
+    std::cout << "BCE activity: " << result.stats.macs << " MACs, "
+              << result.stats.cycles << " cycles, "
+              << result.stats.counts.lutLookups << " LUT lookups, "
+              << result.stats.counts.romLookups << " ROM lookups\n\n";
+
+    // ------------------------------------------------------------------
+    // 2. Architectural: latency/energy of Inception-v3 on the LLC.
+    // ------------------------------------------------------------------
+    core::BFreeAccelerator accelerator;
+    const dnn::Network net = dnn::make_inception_v3();
+    const map::RunResult run = accelerator.run(net);
+
+    std::cout << "== architectural run ==\n";
+    core::print_summary(std::cout, run);
+    core::print_phase_shares(std::cout, "phase shares", run.time);
+    std::cout << "energy breakdown:\n";
+    core::print_energy_breakdown(std::cout, run.energy);
+
+    // ------------------------------------------------------------------
+    // 3. The headline comparison in one call each.
+    // ------------------------------------------------------------------
+    const map::RunResult nc = accelerator.runNeuralCache(net);
+    std::cout << "\nNeural Cache baseline: "
+              << core::format_seconds(nc.secondsPerInference())
+              << " -> BFree speedup "
+              << nc.secondsPerInference() / run.secondsPerInference()
+              << "x\n";
+    return 0;
+}

@@ -1,0 +1,141 @@
+#include "bit_serial.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::baseline {
+
+std::uint64_t
+bit_serial_add_cycles(unsigned bits)
+{
+    // One cycle per bit position (sum + carry via multi-row
+    // activation) plus the carry-out write.
+    return std::uint64_t(bits) + 1;
+}
+
+std::uint64_t
+bit_serial_mult_cycles(unsigned bits)
+{
+    // The Neural Cache micro-program: n predicated shifted additions
+    // plus tag management and the final carry tail — n^2 + 5n - 2
+    // single-bit cycles (102 at n = 8, the number the BFree paper
+    // quotes in Section II-C).
+    const std::uint64_t n = bits;
+    return n * n + 5 * n - 2;
+}
+
+BitSerialArray::BitSerialArray(unsigned lanes, unsigned bits)
+    : numLanes(lanes), numBits(bits), a(lanes, 0), b(lanes, 0)
+{
+    if (lanes == 0)
+        bfree_fatal("bit-serial array needs at least one lane");
+    if (bits == 0 || bits > 16)
+        bfree_fatal("bit-serial operand width must be in [1, 16]");
+}
+
+void
+BitSerialArray::loadA(const std::vector<std::uint16_t> &values)
+{
+    if (values.size() != numLanes)
+        bfree_fatal("loadA: expected ", numLanes, " lane values");
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((1u << numBits) - 1);
+    for (unsigned l = 0; l < numLanes; ++l)
+        a[l] = values[l] & mask;
+}
+
+void
+BitSerialArray::loadB(const std::vector<std::uint16_t> &values)
+{
+    if (values.size() != numLanes)
+        bfree_fatal("loadB: expected ", numLanes, " lane values");
+    const std::uint16_t mask =
+        static_cast<std::uint16_t>((1u << numBits) - 1);
+    for (unsigned l = 0; l < numLanes; ++l)
+        b[l] = values[l] & mask;
+}
+
+std::vector<std::uint32_t>
+BitSerialArray::add()
+{
+    std::vector<std::uint32_t> result(numLanes, 0);
+    std::vector<std::uint8_t> carry(numLanes, 0);
+
+    // Bit position i of every lane computed in one cycle: the sum via
+    // XOR of the two operand rows and the carry row, the carry via the
+    // majority function — both available from one multi-row activation
+    // with the NOR/AND sense amplifiers.
+    for (unsigned i = 0; i < numBits; ++i) {
+        for (unsigned l = 0; l < numLanes; ++l) {
+            const unsigned abit = (a[l] >> i) & 1u;
+            const unsigned bbit = (b[l] >> i) & 1u;
+            const unsigned sum = abit ^ bbit ^ carry[l];
+            carry[l] = static_cast<std::uint8_t>(
+                (abit & bbit) | (abit & carry[l]) | (bbit & carry[l]));
+            result[l] |= sum << i;
+        }
+        step();
+    }
+    // Carry-out row write.
+    for (unsigned l = 0; l < numLanes; ++l)
+        result[l] |= std::uint32_t(carry[l]) << numBits;
+    step();
+
+    return result;
+}
+
+std::vector<std::uint32_t>
+BitSerialArray::multiply()
+{
+    const std::uint64_t start = cycles;
+    std::vector<std::uint32_t> acc(numLanes, 0);
+
+    // Shift-and-add with a predication tag per lane: for every bit of
+    // B, the tag row selects the lanes whose partial product is added.
+    for (unsigned i = 0; i < numBits; ++i) {
+        // Tag load: read b_i into the tag latch (one activation).
+        step();
+        // Predicated shifted addition of A into the accumulator: one
+        // cycle per bit position plus the carry row, exactly like
+        // add() but gated by the tag.
+        std::vector<std::uint8_t> carry(numLanes, 0);
+        for (unsigned j = 0; j < numBits; ++j) {
+            for (unsigned l = 0; l < numLanes; ++l) {
+                const unsigned tag = (b[l] >> i) & 1u;
+                const unsigned abit = ((a[l] >> j) & 1u) & tag;
+                const unsigned accbit = (acc[l] >> (i + j)) & 1u;
+                const unsigned sum = abit ^ accbit ^ carry[l];
+                carry[l] = static_cast<std::uint8_t>(
+                    (abit & accbit) | (abit & carry[l])
+                    | (accbit & carry[l]));
+                acc[l] =
+                    (acc[l] & ~(1u << (i + j))) | (sum << (i + j));
+            }
+            step();
+        }
+        // Carry propagation into the bit above the partial's window.
+        for (unsigned l = 0; l < numLanes; ++l) {
+            unsigned pos = i + numBits;
+            unsigned c = carry[l];
+            while (c != 0 && pos < 2 * numBits) {
+                const unsigned bit = (acc[l] >> pos) & 1u;
+                acc[l] = (acc[l] & ~(1u << pos)) | ((bit ^ c) << pos);
+                c = bit & c;
+                ++pos;
+            }
+        }
+        step(2); // carry-row writeback + tag clear
+    }
+
+    // Final tail: accumulator readout alignment (the remaining cycles
+    // of the published n^2 + 5n - 2 micro-program).
+    const std::uint64_t used = cycles - start;
+    const std::uint64_t target = bit_serial_mult_cycles(numBits);
+    if (target < used)
+        bfree_panic("bit-serial micro-program exceeded the published "
+                    "cycle count: ", used, " > ", target);
+    step(target - used);
+
+    return acc;
+}
+
+} // namespace bfree::baseline

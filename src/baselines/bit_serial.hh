@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Functional bit-serial bitline computing (Section II-B/II-C).
+ *
+ * Neural Cache stores operands transposed — one operand per bitline,
+ * one bit per row — and computes with multi-row activation: asserting
+ * two wordlines ANDs/NORs the cells onto the bitline, and a sequence
+ * of such single-bit boolean steps implements addition and
+ * multiplication across all 64/256 bitlines of a sub-array at once.
+ *
+ * This module implements that machine functionally at the level the
+ * BFree paper reasons about it: per-cycle single-bit boolean
+ * operations on a transposed register file, with the published cycle
+ * counts — addition of n-bit operands in n + 1 cycles, multiplication
+ * in n^2 + 5n - 2 cycles (102 for n = 8, hence PIM-OPC =
+ * 64 / 102 ~ 0.63). Tests verify both exact arithmetic and that the
+ * micro-program's cycle count equals the formula, which grounds the
+ * NeuralCacheModel's throughput assumptions.
+ */
+
+#ifndef BFREE_BASELINES_BIT_SERIAL_HH
+#define BFREE_BASELINES_BIT_SERIAL_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bfree::baseline {
+
+/** Published cycle count of an n-bit bit-serial addition. */
+std::uint64_t bit_serial_add_cycles(unsigned bits);
+
+/** Published cycle count of an n-bit bit-serial multiplication
+ *  (102 for 8-bit, the paper's number). */
+std::uint64_t bit_serial_mult_cycles(unsigned bits);
+
+/**
+ * A column group of the transposed array: each lane is one bitline
+ * holding its operands bit-serially; every boolean step applies to
+ * all lanes in the same cycle (that is the parallelism bitline
+ * computing buys).
+ */
+class BitSerialArray
+{
+  public:
+    /**
+     * @param lanes Bitlines computing in parallel (64 per sub-array
+     *              partition group in the paper's organization).
+     * @param bits  Operand precision.
+     */
+    BitSerialArray(unsigned lanes, unsigned bits);
+
+    unsigned lanes() const { return numLanes; }
+    unsigned bits() const { return numBits; }
+
+    /** Load operand A of every lane (transposed store; not counted
+     *  as compute cycles). */
+    void loadA(const std::vector<std::uint16_t> &values);
+
+    /** Load operand B of every lane. */
+    void loadB(const std::vector<std::uint16_t> &values);
+
+    /**
+     * Bit-serial addition across all lanes: result = A + B (modulo
+     * 2^(bits+1), the carry-out occupies one extra row). Consumes
+     * bit_serial_add_cycles(bits).
+     */
+    std::vector<std::uint32_t> add();
+
+    /**
+     * Bit-serial multiplication across all lanes: result = A * B
+     * exactly (2*bits result rows). Consumes
+     * bit_serial_mult_cycles(bits).
+     */
+    std::vector<std::uint32_t> multiply();
+
+    /** Boolean single-bit steps executed so far (the cycle count). */
+    std::uint64_t cyclesConsumed() const { return cycles; }
+
+    /** Bitline activations so far (for energy accounting: every cycle
+     *  swings every lane's bitline). */
+    std::uint64_t
+    bitlineActivations() const
+    {
+        return cycles * numLanes;
+    }
+
+  private:
+    /** One multi-row-activation step: a boolean op on every lane. */
+    void step(std::uint64_t n = 1) { cycles += n; }
+
+    unsigned numLanes;
+    unsigned numBits;
+    std::vector<std::uint16_t> a;
+    std::vector<std::uint16_t> b;
+    std::uint64_t cycles = 0;
+};
+
+} // namespace bfree::baseline
+
+#endif // BFREE_BASELINES_BIT_SERIAL_HH

@@ -1,0 +1,134 @@
+#include "cpu_gpu.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::baseline {
+
+WorkloadClass
+classify(const dnn::Network &net)
+{
+    std::uint64_t conv_macs = 0;
+    std::uint64_t attn_macs = 0;
+    std::uint64_t lstm_macs = 0;
+    std::uint64_t other_macs = 0;
+    for (const dnn::Layer &l : net.layers()) {
+        switch (l.kind) {
+          case dnn::LayerKind::Conv:
+            conv_macs += l.macs();
+            break;
+          case dnn::LayerKind::Attention:
+            attn_macs += l.macs();
+            break;
+          case dnn::LayerKind::LstmCell:
+            lstm_macs += l.macs();
+            break;
+          default:
+            other_macs += l.macs();
+        }
+    }
+    if (lstm_macs > conv_macs && lstm_macs > attn_macs)
+        return WorkloadClass::Rnn;
+    if (attn_macs > 0)
+        return WorkloadClass::Transformer;
+    return WorkloadClass::Cnn;
+}
+
+const char *
+workload_class_name(WorkloadClass cls)
+{
+    switch (cls) {
+      case WorkloadClass::Cnn:
+        return "cnn";
+      case WorkloadClass::Rnn:
+        return "rnn";
+      case WorkloadClass::Transformer:
+        return "transformer";
+    }
+    return "?";
+}
+
+double
+ProcessorParams::utilization(WorkloadClass cls, unsigned batch) const
+{
+    double u1 = 0.0;
+    double u16 = 0.0;
+    switch (cls) {
+      case WorkloadClass::Cnn:
+        u1 = cnnUtilB1;
+        u16 = cnnUtilB16;
+        break;
+      case WorkloadClass::Rnn:
+        // Sequential dependence: batching does not help the recurrence.
+        return rnnUtil;
+      case WorkloadClass::Transformer:
+        u1 = transformerUtilB1;
+        u16 = transformerUtilB16;
+        break;
+    }
+    const double b = std::clamp<double>(batch, 1.0, 16.0);
+    const double t = std::log2(b) / 4.0; // 0 at batch 1, 1 at batch 16
+    return std::pow(u1, 1.0 - t) * std::pow(u16, t);
+}
+
+ProcessorParams
+xeon_e5_2697()
+{
+    ProcessorParams p;
+    p.name = "Intel Xeon E5-2697";
+    // 14 cores x 2.6 GHz x 32 FLOP/cycle (2 AVX2 FMA ports) = 1.16
+    // TFLOP/s = 582 GMAC/s peak.
+    p.peakMacsPerSec = 582e9;
+    p.idleW = 28.0;
+    p.slopeW = 40.0;
+    // Calibrated to the paper's measurements (Table III and Section
+    // V-D speedup ratios).
+    p.cnnUtilB1 = 0.010;
+    p.cnnUtilB16 = 0.020;
+    p.rnnUtil = 0.0025;
+    p.transformerUtilB1 = 0.018;
+    p.transformerUtilB16 = 0.157;
+    return p;
+}
+
+ProcessorParams
+titan_v()
+{
+    ProcessorParams p;
+    p.name = "NVIDIA Titan V";
+    // 5120 CUDA cores x 1.455 GHz x 2 FLOP = 14.9 TFLOP/s = 7.45
+    // TMAC/s peak (FP32).
+    p.peakMacsPerSec = 7.45e12;
+    p.idleW = 30.0;
+    p.slopeW = 225.0;
+    p.cnnUtilB1 = 0.030;
+    p.cnnUtilB16 = 0.074;
+    p.rnnUtil = 0.0018;
+    p.transformerUtilB1 = 0.0315;
+    p.transformerUtilB16 = 0.392;
+    return p;
+}
+
+BaselineResult
+ProcessorModel::run(const dnn::Network &net, unsigned batch) const
+{
+    if (batch == 0)
+        bfree_fatal("batch size must be positive");
+
+    const WorkloadClass cls = classify(net);
+    const double util = params.utilization(cls, batch);
+    const double macs = static_cast<double>(net.totalMacs())
+                        * static_cast<double>(net.timesteps);
+
+    BaselineResult r;
+    r.device = params.name;
+    r.utilization = util;
+    r.secondsPerInference = macs / (params.peakMacsPerSec * util);
+    r.watts = params.idleW + params.slopeW * util;
+    r.joulesPerInference = r.watts * r.secondsPerInference;
+    return r;
+}
+
+} // namespace bfree::baseline

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CPU (Xeon E5-2697) and GPU (Titan V) baseline models.
+ *
+ * SUBSTITUTION (documented in DESIGN.md): the paper profiles real
+ * hardware with PyTorch/TensorFlow, RAPL and nvidia-smi. Without that
+ * silicon, these are analytical roofline models whose utilization and
+ * power curves are calibrated against the paper's published
+ * measurements (Table III and the Section V-D CNN ratios). The peak
+ * rates come from the devices' data sheets; the workload-class
+ * efficiency factors encode how far real framework execution lands
+ * from peak — exactly the quantity the paper measured.
+ */
+
+#ifndef BFREE_BASELINES_CPU_GPU_HH
+#define BFREE_BASELINES_CPU_GPU_HH
+
+#include <string>
+
+#include "dnn/network.hh"
+
+namespace bfree::baseline {
+
+/** Workload classes with distinct baseline efficiency behaviour. */
+enum class WorkloadClass
+{
+    Cnn,         ///< Convolutional networks (im2col GEMMs).
+    Rnn,         ///< Sequential recurrent models (matvec-bound).
+    Transformer, ///< Large batched GEMMs.
+};
+
+/** Classify a network by its dominant layers. */
+WorkloadClass classify(const dnn::Network &net);
+
+/** Printable class name. */
+const char *workload_class_name(WorkloadClass cls);
+
+/** Result of a baseline run. */
+struct BaselineResult
+{
+    std::string device;
+    double secondsPerInference = 0.0;
+    double joulesPerInference = 0.0;
+    double utilization = 0.0; ///< Fraction of peak MAC rate achieved.
+    double watts = 0.0;       ///< Average power during the run.
+};
+
+/** A processor's roofline description. */
+struct ProcessorParams
+{
+    std::string name;
+    double peakMacsPerSec = 0.0;
+    double idleW = 0.0;   ///< Power at zero utilization.
+    double slopeW = 0.0;  ///< Additional power at full utilization.
+
+    /** Efficiency at batch 1 per workload class. */
+    double cnnUtilB1 = 0.0;
+    double rnnUtil = 0.0;
+    double transformerUtilB1 = 0.0;
+
+    /** Efficiency at batch 16 (geometric interpolation between). */
+    double cnnUtilB16 = 0.0;
+    double transformerUtilB16 = 0.0;
+
+    /** Interpolated utilization for a class/batch. */
+    double utilization(WorkloadClass cls, unsigned batch) const;
+};
+
+/** The paper's CPU: Intel Xeon E5-2697 (14 cores, 2.6 GHz, AVX2). */
+ProcessorParams xeon_e5_2697();
+
+/** The paper's GPU: NVIDIA Titan V (5120 cores, 12 GB HBM2). */
+ProcessorParams titan_v();
+
+/**
+ * Run a network on a baseline processor model.
+ */
+class ProcessorModel
+{
+  public:
+    explicit ProcessorModel(ProcessorParams params)
+        : params(std::move(params))
+    {}
+
+    /** Per-inference time/energy at the given batch size. */
+    BaselineResult run(const dnn::Network &net, unsigned batch) const;
+
+    const ProcessorParams &parameters() const { return params; }
+
+  private:
+    ProcessorParams params;
+};
+
+} // namespace bfree::baseline
+
+#endif // BFREE_BASELINES_CPU_GPU_HH

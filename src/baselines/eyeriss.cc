@@ -1,0 +1,74 @@
+#include "eyeriss.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::baseline {
+
+EyerissModel::EyerissModel(const tech::TechParams &tech,
+                           tech::MainMemoryKind memory,
+                           EyerissParams params)
+    : tech(tech), params(params),
+      memParams(tech::main_memory_params(memory))
+{}
+
+EyerissParams
+EyerissModel::isoArea(const tech::CacheGeometry &geom,
+                      const tech::TechParams &tech)
+{
+    EyerissParams p;
+    const unsigned pes = tech::iso_area_eyeriss_pes(geom, tech);
+    const auto side = static_cast<unsigned>(std::sqrt(pes));
+    p.peRows = side;
+    p.peCols = side;
+    p.clockHz = tech.subarrayClockHz; // iso-frequency comparison
+    return p;
+}
+
+map::RunResult
+EyerissModel::run(const dnn::Network &net) const
+{
+    map::RunResult result;
+    result.network = net.name() + " (Eyeriss)";
+    result.batch = 1;
+
+    const double rate = params.pes() * params.utilization
+                        * params.clockHz;
+
+    for (const dnn::Layer &layer : net.layers()) {
+        map::LayerResult lr;
+        lr.name = layer.name;
+        lr.kind = layer.kind;
+        lr.macs = layer.macs();
+
+        const double compute_s = static_cast<double>(layer.macs()) / rate;
+        const double stream_bytes =
+            static_cast<double>(layer.weightBytes())
+            + static_cast<double>(layer.inputBytes())
+            + static_cast<double>(layer.outputBytes());
+        const double stream_s = memParams.streamSeconds(stream_bytes);
+
+        // Double buffering overlaps the stream with compute; the
+        // weight fill of the first tile is exposed.
+        lr.time.compute = compute_s;
+        lr.time.inputLoad = std::max(0.0, stream_s - compute_s);
+
+        lr.energy.addJoules(mem::EnergyCategory::DramTransfer,
+                            memParams.streamJoules(stream_bytes));
+        lr.energy.addPj(mem::EnergyCategory::BceCompute,
+                        static_cast<double>(layer.macs()) * params.macPj);
+        lr.energy.addPj(mem::EnergyCategory::SubarrayAccess,
+                        stream_bytes * params.bufferPjPerByte);
+        lr.energy.addJoules(mem::EnergyCategory::Leakage,
+                            params.leakageMw * 1e-3 * lr.time.total());
+
+        result.time += lr.time;
+        result.energy += lr.energy;
+        result.layers.push_back(std::move(lr));
+    }
+    return result;
+}
+
+} // namespace bfree::baseline

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Eyeriss-style systolic accelerator baseline (Chen et al., ISCA'16).
+ *
+ * For the Fig. 13 comparison the paper configures Eyeriss iso-area with
+ * BFree's added custom logic in one 2.5 MB slice: scaling the Eyeriss
+ * PE to 16 nm, that area fits a 12x12 array of 8-bit MAC PEs run at the
+ * same frequency as the BFree sub-arrays. The model is a
+ * row-stationary dataflow approximation: compute is
+ * MACs / (PEs x utilization), double-buffered against the main-memory
+ * stream of weights and input features.
+ */
+
+#ifndef BFREE_BASELINES_EYERISS_HH
+#define BFREE_BASELINES_EYERISS_HH
+
+#include "dnn/network.hh"
+#include "map/exec_model.hh"
+#include "tech/area_model.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::baseline {
+
+/** Eyeriss model parameters. */
+struct EyerissParams
+{
+    unsigned peRows = 12;
+    unsigned peCols = 12;
+    double clockHz = 1.5e9;
+
+    /** Average PE array utilization under row-stationary mapping. */
+    double utilization = 0.85;
+
+    /** Energy of one 8-bit MAC including local register traffic. */
+    double macPj = 2.0;
+
+    /** Global buffer access energy per byte. */
+    double bufferPjPerByte = 3.0;
+
+    /** Static power of the accelerator. */
+    double leakageMw = 50.0;
+
+    unsigned pes() const { return peRows * peCols; }
+};
+
+/**
+ * Analytic Eyeriss execution model.
+ */
+class EyerissModel
+{
+  public:
+    EyerissModel(const tech::TechParams &tech,
+                 tech::MainMemoryKind memory = tech::MainMemoryKind::DRAM,
+                 EyerissParams params = {});
+
+    /** Execute a network at batch 1; per-inference time and energy. */
+    map::RunResult run(const dnn::Network &net) const;
+
+    const EyerissParams &parameters() const { return params; }
+
+    /**
+     * Build the iso-area configuration for a geometry (the PE count
+     * that fits in the BFree custom-logic area of one slice).
+     */
+    static EyerissParams isoArea(const tech::CacheGeometry &geom,
+                                 const tech::TechParams &tech);
+
+  private:
+    tech::TechParams tech;
+    EyerissParams params;
+    tech::MainMemoryParams memParams;
+};
+
+} // namespace bfree::baseline
+
+#endif // BFREE_BASELINES_EYERISS_HH

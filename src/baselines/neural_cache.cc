@@ -1,0 +1,171 @@
+#include "neural_cache.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::baseline {
+
+NeuralCacheModel::NeuralCacheModel(const tech::CacheGeometry &geom,
+                                   const tech::TechParams &tech,
+                                   map::ExecConfig config,
+                                   NeuralCacheParams params)
+    : geom(geom), tech(tech), cfg(config), params(params),
+      memParams(tech::main_memory_params(config.memory))
+{
+    if (cfg.batch == 0)
+        bfree_fatal("batch size must be positive");
+}
+
+map::LayerResult
+NeuralCacheModel::runLayer(const dnn::Layer &layer, bool first_layer,
+                           bool spill_to_dram) const
+{
+    map::LayerResult r;
+    r.name = layer.name;
+    r.kind = layer.kind;
+    r.macs = layer.macs();
+
+    const double f = tech.neuralCacheClockHz;
+    const unsigned total_sa =
+        cfg.mapper.slices * geom.subarraysPerSlice();
+
+    // Neural Cache computes across all sub-arrays holding operands;
+    // parallelism is bounded the same way as BFree's weight tiling.
+    map::Mapper mapper(geom, cfg.mapper);
+    map::LayerMapping m = mapper.map(layer);
+    m.mode = map::ExecMode::ConvMode; // bit-serial, no matmul datapath
+    r.mapping = m;
+    const double active = std::max(1u, m.activeSubarrays);
+
+    if (layer.isComputeLayer()) {
+        // Bit-serial compute: PIM-OPC ~ 0.63 at 8-bit; 4-bit operands
+        // roughly halve the cycle count (bit-serial cost scales with
+        // operand width squared for multiplies; use the paper's
+        // linear-width approximation).
+        const double scale = layer.precisionBits / 8.0;
+        const double cycles_per_mac =
+            params.macCycles8bit * scale / params.parallelColumns;
+        r.time.compute = static_cast<double>(layer.macs())
+                         * cycles_per_mac / (active * f);
+
+        // Explicit reduction: partial sums on separate bitlines are
+        // read out and written back repeatedly; the round trips
+        // serialize per sub-bank port.
+        const double reduction_accesses =
+            params.reductionAccessesPerOutput
+            * static_cast<double>(layer.outputBytes());
+        const double reduction_ports =
+            static_cast<double>(cfg.mapper.slices)
+            * geom.banksPerSlice * geom.subBanksPerBank;
+        r.time.requant = reduction_accesses / (reduction_ports * f);
+
+        r.energy.addPj(mem::EnergyCategory::SubarrayAccess,
+                       reduction_accesses * tech.subarrayAccessPj
+                           / geom.rowBytes());
+    }
+
+    // Special functions decompose into many boolean/arithmetic bitline
+    // steps; charge 16 bitline ops per evaluation.
+    r.time.special =
+        16.0 * static_cast<double>(layer.specialOps()) / (active * f);
+
+    // Input load: operands are written into the arrays and transposed
+    // before compute (no systolic streaming). Even SRAM-resident
+    // intermediates pay the transpose.
+    double stream_bytes = 0.0;
+    if (first_layer || spill_to_dram)
+        stream_bytes += static_cast<double>(layer.inputBytes());
+    if (spill_to_dram)
+        stream_bytes += static_cast<double>(layer.outputBytes());
+
+    const double dram_s = memParams.streamSeconds(stream_bytes);
+    const double transpose_s =
+        static_cast<double>(layer.inputBytes())
+        / (params.portBytesPerCyclePerSlice * cfg.mapper.slices * f);
+    r.time.inputLoad = dram_s + transpose_s;
+
+    // Weight loading through the same channel as BFree.
+    if (layer.isComputeLayer()) {
+        r.time.weightLoad = memParams.streamSeconds(
+            static_cast<double>(layer.weightBytes()));
+    }
+
+    // ------------------------------------------------------------------
+    // Energy
+    // ------------------------------------------------------------------
+    mem::EnergyAccount &e = r.energy;
+    e.addJoules(mem::EnergyCategory::DramTransfer,
+                memParams.streamJoules(stream_bytes));
+
+    if (layer.isComputeLayer()) {
+        // Every compute cycle swings the bitlines of each active
+        // sub-array.
+        const double compute_cycles_total =
+            r.time.compute * f * active;
+        e.addPj(mem::EnergyCategory::BceCompute,
+                compute_cycles_total * tech.bitlineComputeOpPj);
+    }
+
+    // Transpose writes and special-op accesses pay read/write energy.
+    const double access_cycles_total =
+        (r.time.inputLoad - dram_s + r.time.special) * f * active;
+    e.addPj(mem::EnergyCategory::SubarrayAccess,
+            std::max(0.0, access_cycles_total) * tech.subarrayAccessPj);
+
+    // Leakage / controller static power over the layer runtime.
+    const double cache_mb =
+        static_cast<double>(geom.totalBytes()) / (1024.0 * 1024.0);
+    const double leak_w = tech.sramLeakageMwPerMb * cache_mb * 1e-3
+                          + memParams.staticPowerMw * 1e-3;
+    e.addJoules(mem::EnergyCategory::Leakage,
+                leak_w * r.time.total());
+
+    (void)total_sa;
+    return r;
+}
+
+map::RunResult
+NeuralCacheModel::run(const dnn::Network &net) const
+{
+    map::RunResult result;
+    result.network = net.name() + " (NeuralCache)";
+    result.batch = cfg.batch;
+
+    map::Mapper mapper(geom, cfg.mapper);
+    const bool resident = mapper.weightsResident(net);
+    const bool spill = cfg.batch > 1 && !resident;
+    const double timesteps = static_cast<double>(net.timesteps);
+
+    bool first = true;
+    for (const dnn::Layer &layer : net.layers()) {
+        map::LayerResult lr = runLayer(layer, first, spill);
+        first = false;
+
+        const double weight_load = lr.time.weightLoad;
+        lr.time = lr.time.scaled(timesteps);
+        lr.time.weightLoad = weight_load;
+        if (timesteps != 1.0) {
+            mem::EnergyAccount scaled;
+            for (std::size_t c = 0; c < mem::num_energy_categories; ++c) {
+                const auto cat = static_cast<mem::EnergyCategory>(c);
+                scaled.addJoules(cat, lr.energy.joules(cat) * timesteps);
+            }
+            lr.energy = scaled;
+        }
+
+        lr.time.weightLoad /= static_cast<double>(cfg.batch);
+        lr.energy.addJoules(
+            mem::EnergyCategory::DramTransfer,
+            memParams.streamJoules(
+                static_cast<double>(lr.mapping.weightBytes))
+                / static_cast<double>(cfg.batch));
+
+        result.time += lr.time;
+        result.energy += lr.energy;
+        result.layers.push_back(std::move(lr));
+    }
+    return result;
+}
+
+} // namespace bfree::baseline

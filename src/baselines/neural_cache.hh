@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Neural Cache baseline model (Eckert et al., ISCA'18).
+ *
+ * Neural Cache repurposes the same LLC with bit-serial bitline
+ * computing: operands are stored transposed (bit-serial) in the
+ * columns, multi-row activation computes across all 64 bitlines of a
+ * sub-array at once, and an 8-bit multiply takes 102 PIM cycles —
+ * PIM-OPC = 64/102 ~ 0.63 MAC/cycle/sub-array (Section II-C of the
+ * BFree paper).
+ *
+ * Differences from BFree captured by the model:
+ *  - lower array clock (wordline underdrive for safe MRA);
+ *  - explicit input-load phase (operands must be transposed into the
+ *    arrays before compute starts; no systolic overlap);
+ *  - explicit reduction phase (partial sums on different bitlines are
+ *    read out and written back repeatedly);
+ *  - every compute cycle swings all bitlines: 15.4 pJ per sub-array
+ *    compute op vs 8.6 pJ per read/write.
+ */
+
+#ifndef BFREE_BASELINES_NEURAL_CACHE_HH
+#define BFREE_BASELINES_NEURAL_CACHE_HH
+
+#include "dnn/network.hh"
+#include "map/exec_model.hh"
+#include "mem/energy_account.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::baseline {
+
+/** Neural Cache model parameters (with paper-anchored defaults). */
+struct NeuralCacheParams
+{
+    /** PIM cycles for one 8-bit multiply-accumulate column. */
+    unsigned macCycles8bit = 102;
+
+    /** Bitlines computing in parallel per sub-array. */
+    unsigned parallelColumns = 64;
+
+    /**
+     * Bytes per cycle each slice port sustains while writing operands
+     * into the arrays in bit-serial (transposed) layout. Transposition
+     * serializes on the port, which is why the input-load phase is
+     * exposed (Fig. 12(c)).
+     */
+    double portBytesPerCyclePerSlice = 1.0;
+
+    /** Read/write round trips per output element during the explicit
+     *  partial-sum reduction phase. */
+    double reductionAccessesPerOutput = 8.0;
+
+    /** MACs per cycle per sub-array (PIM-OPC ~ 0.63). */
+    double
+    macsPerCycle() const
+    {
+        return static_cast<double>(parallelColumns) / macCycles8bit;
+    }
+};
+
+/**
+ * Analytic Neural Cache execution model, mirroring the structure of
+ * the BFree ExecutionModel so the Fig. 12 comparison is apples to
+ * apples (same DRAM channel, same geometry, same leakage).
+ */
+class NeuralCacheModel
+{
+  public:
+    NeuralCacheModel(const tech::CacheGeometry &geom,
+                     const tech::TechParams &tech,
+                     map::ExecConfig config = {},
+                     NeuralCacheParams params = {});
+
+    /** Execute a network; per-inference time and energy. */
+    map::RunResult run(const dnn::Network &net) const;
+
+    const NeuralCacheParams &parameters() const { return params; }
+
+  private:
+    map::LayerResult runLayer(const dnn::Layer &layer, bool first_layer,
+                              bool spill_to_dram) const;
+
+    tech::CacheGeometry geom;
+    tech::TechParams tech;
+    map::ExecConfig cfg;
+    NeuralCacheParams params;
+    tech::MainMemoryParams memParams;
+};
+
+} // namespace bfree::baseline
+
+#endif // BFREE_BASELINES_NEURAL_CACHE_HH

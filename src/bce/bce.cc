@@ -1,0 +1,301 @@
+#include "bce.hh"
+
+#include <cstdlib>
+
+#include "lut/lut_image.hh"
+#include "sim/logging.hh"
+
+namespace bfree::bce {
+
+Bce::Bce(mem::Subarray &subarray, const tech::TechParams &tech,
+         mem::EnergyAccount &energy)
+    : sa(&subarray), tech(tech), energy(&energy)
+{}
+
+void
+Bce::chargeCycles(std::uint64_t n)
+{
+    stats_.cycles += n;
+    double mode_mw = tech.bceOtherModeMw;
+    if (_mode == BceMode::Conv)
+        mode_mw = tech.bceConvModeMw;
+    else if (_mode == BceMode::Matmul)
+        mode_mw = tech.bceMatmulModeMw;
+    energy->addPj(mem::EnergyCategory::BceCompute,
+                  tech.bceEnergyPerCyclePj(mode_mw)
+                      * static_cast<double>(n));
+}
+
+void
+Bce::setMode(BceMode mode)
+{
+    if (mode == _mode)
+        return;
+    _mode = mode;
+    chargeCycles(1);
+}
+
+void
+Bce::loadMultLutImage()
+{
+    if (multLutLoaded)
+        return;
+    const lut::LutImage image = lut::serialize(lut::MultLut{});
+    sa->loadLut(image.bytes);
+    multLutLoaded = true;
+}
+
+void
+Bce::loadConfig(const ConfigBlock &new_cb)
+{
+    cb = new_cb;
+    ++stats_.configLoads;
+    chargeCycles(1);
+}
+
+std::int64_t
+Bce::lutMultiply4(unsigned a, unsigned b)
+{
+    if (!multLutLoaded)
+        bfree_panic("conv-mode multiply before the LUT image was loaded");
+
+    using lut::OperandClass;
+    const OperandClass ca = lut::classify_operand(a);
+    const OperandClass cb_class = lut::classify_operand(b);
+    if (ca == OperandClass::Zero || cb_class == OperandClass::Zero)
+        return 0;
+
+    const lut::OddDecomposition da = lut::decompose_odd(a);
+    const lut::OddDecomposition db = lut::decompose_odd(b);
+    const unsigned total_shift = da.shift + db.shift;
+
+    std::int64_t product = 0;
+    if (da.odd == 1 && db.odd == 1) {
+        product = std::int64_t{1} << total_shift;
+        if (total_shift > 0)
+            ++stats_.counts.shifts;
+    } else if (da.odd == 1 || db.odd == 1) {
+        const unsigned odd = da.odd == 1 ? db.odd : da.odd;
+        product = std::int64_t{odd} << total_shift;
+        if (total_shift > 0)
+            ++stats_.counts.shifts;
+    } else {
+        const std::size_t offset =
+            lut::MultLut::operandIndex(da.odd) * lut::num_odd_operands
+            + lut::MultLut::operandIndex(db.odd);
+        const std::uint8_t value = sa->lutRead(offset);
+        ++stats_.counts.lutLookups;
+        product = std::int64_t{value} << total_shift;
+        if (total_shift > 0)
+            ++stats_.counts.shifts;
+    }
+    return product;
+}
+
+std::int64_t
+Bce::multiplyViaSubarrayLut(std::int32_t a, std::int32_t b, unsigned bits)
+{
+    const unsigned nibbles = bits / 4;
+    const bool negative = (a < 0) != (b < 0);
+    const auto ua = static_cast<std::uint32_t>(std::abs(a));
+    const auto ub = static_cast<std::uint32_t>(std::abs(b));
+
+    std::int64_t product = 0;
+    bool first = true;
+    for (unsigned i = 0; i < nibbles; ++i) {
+        const unsigned na = (ua >> (4 * i)) & 0xF;
+        if (na == 0)
+            continue;
+        for (unsigned j = 0; j < nibbles; ++j) {
+            const unsigned nb = (ub >> (4 * j)) & 0xF;
+            if (nb == 0)
+                continue;
+            product += lutMultiply4(na, nb) << (4 * (i + j));
+            if (!first)
+                ++stats_.counts.adds;
+            first = false;
+        }
+    }
+    return negative ? -product : product;
+}
+
+std::int64_t
+Bce::multiply(std::int32_t a, std::int32_t b, unsigned bits)
+{
+    if (bits != 4 && bits != 8 && bits != 16)
+        bfree_fatal("unsupported BCE multiply precision: ", bits);
+
+    if (_mode == BceMode::Matmul) {
+        // Hardwired ROM path; the analyzer counts ROM lookups.
+        lut::MultResult r = lut::multiply_signed(
+            a, b, bits, rom, lut::LookupSource::BceRom);
+        stats_.counts += r.counts;
+        energy->addPj(mem::EnergyCategory::BceCompute,
+                      tech.bceMacPj
+                          * static_cast<double>(r.counts.romLookups));
+        return r.product;
+    }
+    return multiplyViaSubarrayLut(a, b, bits);
+}
+
+std::int32_t
+Bce::dotProduct(std::size_t weight_offset, const std::int8_t *inputs,
+                std::size_t len, unsigned bits)
+{
+    if (_mode != BceMode::Conv)
+        bfree_panic("dotProduct requires conv mode");
+
+    const unsigned bytes_per_weight = bits <= 8 ? 1 : 2;
+    std::vector<std::uint8_t> weights(len * bytes_per_weight);
+    sa->read(weight_offset, weights.data(), weights.size());
+
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        std::int32_t w = 0;
+        if (bytes_per_weight == 1) {
+            w = static_cast<std::int8_t>(weights[i]);
+        } else {
+            w = static_cast<std::int16_t>(
+                weights[2 * i] | (weights[2 * i + 1] << 8));
+        }
+        std::int32_t in = inputs[i];
+        if (bits == 4) {
+            // 4-bit operands arrive sign-extended in the int8 stream.
+            w = std::clamp(w, -8, 7);
+            in = std::clamp<std::int32_t>(in, -8, 7);
+        }
+        acc += multiplyViaSubarrayLut(w, in, bits);
+        if (i > 0)
+            ++stats_.counts.adds;
+    }
+
+    // Conv-mode rate: bits/4 cycles per MAC (0.5 MAC/cycle at 8-bit).
+    chargeCycles(len * (bits / 4));
+    stats_.macs += len;
+    return static_cast<std::int32_t>(acc);
+}
+
+void
+Bce::broadcastMac(std::int32_t a, const std::int8_t *b, std::size_t n,
+                  std::int32_t *acc, unsigned bits)
+{
+    if (_mode != BceMode::Matmul)
+        bfree_panic("broadcastMac requires matmul mode");
+    if (n > bce_vector_width)
+        bfree_panic("broadcastMac width ", n, " exceeds the register file "
+                    "width ", bce_vector_width);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        lut::MultResult r = lut::multiply_signed(
+            a, b[i], bits, rom, lut::LookupSource::BceRom);
+        stats_.counts += r.counts;
+        energy->addPj(mem::EnergyCategory::BceCompute,
+                      tech.bceMacPj
+                          * static_cast<double>(r.counts.romLookups));
+        acc[i] += static_cast<std::int32_t>(r.product);
+        ++stats_.counts.adds;
+    }
+
+    // One LS-4/MS-4 pass per operand nibble, independent of n (Fig. 7).
+    chargeCycles(bits / 4);
+    stats_.macs += n;
+}
+
+std::int32_t
+Bce::accumulateIncoming(std::int32_t local, std::int32_t incoming)
+{
+    ++stats_.counts.adds;
+    // The add shares the pipeline's writeback cycle; no extra cycle.
+    return local + incoming;
+}
+
+double
+Bce::evaluatePwl(const lut::PwlTable &table, double x)
+{
+    lut::MicroOpCounts counts;
+    const double y = table.evaluate(x, &counts);
+    stats_.counts += counts;
+    // The alpha/beta fetch reads the sub-array LUT rows.
+    energy->addPj(mem::EnergyCategory::LutAccess, tech.lutAccessPj());
+    chargeCycles(counts.cycles);
+    return y;
+}
+
+double
+Bce::divide(double x, double y, const lut::DivisionLut &div)
+{
+    lut::MicroOpCounts counts;
+    const double q = div.divide(x, y, &counts);
+    stats_.counts += counts;
+    energy->addPj(mem::EnergyCategory::LutAccess, tech.lutAccessPj());
+    chargeCycles(counts.cycles);
+    return q;
+}
+
+std::int32_t
+Bce::maxReduce(const std::int32_t *values, std::size_t n)
+{
+    if (n == 0)
+        bfree_panic("maxReduce over an empty window");
+    std::int32_t best = values[0];
+    for (std::size_t i = 1; i < n; ++i) {
+        if (values[i] > best)
+            best = values[i];
+        ++stats_.counts.adds; // comparator shares the adder
+    }
+    chargeCycles(n > 1 ? n - 1 : 1);
+    return best;
+}
+
+double
+Bce::avgPool(const std::int32_t *values, std::size_t n,
+             const lut::DivisionLut &div)
+{
+    if (n == 0)
+        bfree_panic("avgPool over an empty window");
+    std::int64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sum += values[i];
+        if (i > 0)
+            ++stats_.counts.adds;
+    }
+    chargeCycles(n > 1 ? n - 1 : 1);
+    const bool negative = sum < 0;
+    const double q = divide(static_cast<double>(std::llabs(sum)),
+                            static_cast<double>(n), div);
+    return negative ? -q : q;
+}
+
+std::int32_t
+Bce::requantize(std::int32_t acc, const lut::RequantScale &scale,
+                std::int32_t zero_point, unsigned out_bits)
+{
+    const std::int32_t out =
+        lut::requantize(acc, scale, zero_point, out_bits);
+    // One ROM multiply, one shift, one saturating add.
+    ++stats_.counts.romLookups;
+    ++stats_.counts.shifts;
+    ++stats_.counts.adds;
+    energy->addPj(mem::EnergyCategory::BceCompute, tech.bceMacPj);
+    chargeCycles(3);
+    return out;
+}
+
+double
+Bce::macsPerCycle(BceMode mode, unsigned bits)
+{
+    if (bits != 4 && bits != 8 && bits != 16)
+        bfree_fatal("unsupported precision: ", bits);
+    const double steps = bits / 4.0; // nibble passes per operand
+    switch (mode) {
+      case BceMode::Conv:
+        return 1.0 / steps; // 0.5 MAC/cycle at 8-bit
+      case BceMode::Matmul:
+        return bce_vector_width / steps; // 4 MACs/cycle at 8-bit
+      case BceMode::Special:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace bfree::bce

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The BFree Compute Engine (Section III-A, Fig. 3/6/7).
+ *
+ * One BCE sits at the edge of each sub-array. It is a three-stage
+ * in-order pipeline:
+ *
+ *   1. fetch/decode the config block (CB) metadata,
+ *   2. generate LUT addresses from the operands and operation,
+ *   3. accumulate/process partial results into the output registers.
+ *
+ * The model is simultaneously functional and timed: every operation
+ * computes the exact integer result through the LUT datapath (operand
+ * analyzer + 49-entry table) while accumulating cycle counts, micro-op
+ * statistics and energy. Functional correctness of the LUT path is
+ * therefore tested by the same code that produces performance numbers.
+ *
+ * Throughput matches the paper:
+ *   - conv mode:   0.5 8-bit MAC/cycle  (1 MUX, 1 adder, 2 shifters)
+ *   - matmul mode: 4   8-bit MAC/cycle  (switch MUX + hardwired ROM,
+ *                                        8 multiplies every 2 cycles)
+ *   - 4-bit operands double both rates.
+ */
+
+#ifndef BFREE_BCE_BCE_HH
+#define BFREE_BCE_BCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "config_block.hh"
+#include "lut/division.hh"
+#include "lut/fixed_point.hh"
+#include "lut/mult_lut.hh"
+#include "lut/operand_analyzer.hh"
+#include "lut/pwl.hh"
+#include "mem/energy_account.hh"
+#include "mem/subarray.hh"
+
+namespace bfree::bce {
+
+/** Datapath configuration of the BCE. */
+enum class BceMode
+{
+    Conv,    ///< Fig. 6 sequential dot-product pipeline.
+    Matmul,  ///< Fig. 7 broadcast pipeline with the hardwired ROM.
+    Special, ///< Activation / pooling / division / requantize.
+};
+
+/** Width of the input/output register files (Fig. 7: 8 operands). */
+constexpr unsigned bce_vector_width = 8;
+
+/** Aggregate BCE statistics. */
+struct BceStats
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t macs = 0;
+    std::uint64_t configLoads = 0;
+    lut::MicroOpCounts counts;
+};
+
+/**
+ * The per-sub-array compute engine.
+ */
+class Bce
+{
+  public:
+    /**
+     * @param subarray Sub-array this BCE is attached to; supplies the
+     *                 LUT rows and weight storage.
+     */
+    Bce(mem::Subarray &subarray, const tech::TechParams &tech,
+        mem::EnergyAccount &energy);
+
+    /** Current datapath mode. */
+    BceMode mode() const { return _mode; }
+
+    /** Switch datapath mode (reconfiguration, takes one cycle). */
+    void setMode(BceMode mode);
+
+    /**
+     * Load the 49-entry multiply image into the sub-array LUT rows;
+     * required before conv-mode execution.
+     */
+    void loadMultLutImage();
+
+    /** Stage 1: fetch and decode a config block (one cycle). */
+    void loadConfig(const ConfigBlock &cb);
+
+    /** Most recently decoded config block. */
+    const ConfigBlock &config() const { return cb; }
+
+    // ------------------------------------------------------------------
+    // Arithmetic (functional + timed)
+    // ------------------------------------------------------------------
+    /**
+     * Multiply two signed operands of @p bits precision through the
+     * LUT path of the current mode: matmul mode fetches partial
+     * products from the hardwired ROM; conv/special mode reads the
+     * sub-array LUT rows.
+     */
+    std::int64_t multiply(std::int32_t a, std::int32_t b, unsigned bits);
+
+    /**
+     * Conv-mode dot product: weights are read from the sub-array at
+     * @p weight_offset, inputs arrive from the stream register.
+     * Returns the exact int32 dot product.
+     */
+    std::int32_t dotProduct(std::size_t weight_offset,
+                            const std::int8_t *inputs, std::size_t len,
+                            unsigned bits);
+
+    /**
+     * Matmul-mode broadcast step: one A operand against @p n <= 8
+     * B operands, accumulating into @p acc (Fig. 7). Consumes
+     * bits/4 cycles regardless of n.
+     */
+    void broadcastMac(std::int32_t a, const std::int8_t *b, std::size_t n,
+                      std::int32_t *acc, unsigned bits);
+
+    /** Accumulate a partial sum arriving from the systolic neighbour. */
+    std::int32_t accumulateIncoming(std::int32_t local,
+                                    std::int32_t incoming);
+
+    // ------------------------------------------------------------------
+    // Special functions
+    // ------------------------------------------------------------------
+    /** Evaluate a PWL table (sigmoid/tanh/exp); two cycles. */
+    double evaluatePwl(const lut::PwlTable &table, double x);
+
+    /** LUT division (Section III-C2); four cycles. */
+    double divide(double x, double y, const lut::DivisionLut &div);
+
+    /** Max reduction over @p n values (ReLU / max pooling). */
+    std::int32_t maxReduce(const std::int32_t *values, std::size_t n);
+
+    /** Average pooling: accumulate then LUT-divide. */
+    double avgPool(const std::int32_t *values, std::size_t n,
+                   const lut::DivisionLut &div);
+
+    /** gemmlowp requantization on the BCE datapath; three cycles. */
+    std::int32_t requantize(std::int32_t acc,
+                            const lut::RequantScale &scale,
+                            std::int32_t zero_point, unsigned out_bits);
+
+    // ------------------------------------------------------------------
+    // Rates and statistics
+    // ------------------------------------------------------------------
+    /** MAC throughput per cycle for a mode/precision pair. */
+    static double macsPerCycle(BceMode mode, unsigned bits);
+
+    /** Cycles consumed so far. */
+    std::uint64_t cycles() const { return stats_.cycles; }
+
+    /** MACs executed so far. */
+    std::uint64_t macs() const { return stats_.macs; }
+
+    /** Full statistics. */
+    const BceStats &stats() const { return stats_; }
+
+    /** The attached sub-array. */
+    mem::Subarray &subarray() { return *sa; }
+
+  private:
+    /** Charge @p n datapath cycles at the current mode's power. */
+    void chargeCycles(std::uint64_t n);
+
+    /** 4-bit multiply with partial products from the sub-array LUT. */
+    std::int64_t lutMultiply4(unsigned a, unsigned b);
+
+    /** Signed multiply routed through the sub-array LUT rows. */
+    std::int64_t multiplyViaSubarrayLut(std::int32_t a, std::int32_t b,
+                                        unsigned bits);
+
+    mem::Subarray *sa;
+    tech::TechParams tech;
+    mem::EnergyAccount *energy;
+    lut::MultLut rom; ///< Hardwired multiply ROM inside the BCE.
+    ConfigBlock cb;
+    BceMode _mode = BceMode::Conv;
+    BceStats stats_;
+    bool multLutLoaded = false;
+};
+
+} // namespace bfree::bce
+
+#endif // BFREE_BCE_BCE_HH

@@ -1,0 +1,39 @@
+#include "config_block.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::bce {
+
+std::array<std::uint8_t, ConfigBlock::encoded_size>
+ConfigBlock::encode() const
+{
+    std::array<std::uint8_t, encoded_size> bytes{};
+    bytes[0] = static_cast<std::uint8_t>(opcode);
+    bytes[1] = precisionBits;
+    bytes[2] = static_cast<std::uint8_t>(iterations & 0xFF);
+    bytes[3] = static_cast<std::uint8_t>(iterations >> 8);
+    bytes[4] = static_cast<std::uint8_t>(startRow & 0xFF);
+    bytes[5] = static_cast<std::uint8_t>(startRow >> 8);
+    bytes[6] = static_cast<std::uint8_t>(endRow & 0xFF);
+    bytes[7] = static_cast<std::uint8_t>(endRow >> 8);
+    return bytes;
+}
+
+ConfigBlock
+ConfigBlock::decode(const std::array<std::uint8_t, encoded_size> &bytes)
+{
+    if (bytes[0] > static_cast<std::uint8_t>(PimOpcode::LayerNorm))
+        bfree_panic("malformed config block: opcode byte ",
+                    static_cast<unsigned>(bytes[0]));
+
+    ConfigBlock cb;
+    cb.opcode = static_cast<PimOpcode>(bytes[0]);
+    cb.precisionBits = bytes[1];
+    cb.iterations =
+        static_cast<std::uint16_t>(bytes[2] | (bytes[3] << 8));
+    cb.startRow = static_cast<std::uint16_t>(bytes[4] | (bytes[5] << 8));
+    cb.endRow = static_cast<std::uint16_t>(bytes[6] | (bytes[7] << 8));
+    return cb;
+}
+
+} // namespace bfree::bce

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Per-sub-array configuration block (CB).
+ *
+ * The CB lives in reduced-access-cost rows of the sub-array and carries
+ * the metadata a BCE needs to execute its share of a kernel: opcode,
+ * precision, iteration count, and the start/end addresses of the weight
+ * region (Fig. 3). It is written by the slice controller during the
+ * configuration phase and fetched by the BCE's first pipeline stage.
+ */
+
+#ifndef BFREE_BCE_CONFIG_BLOCK_HH
+#define BFREE_BCE_CONFIG_BLOCK_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa.hh"
+
+namespace bfree::bce {
+
+/** Decoded config-block contents. */
+struct ConfigBlock
+{
+    PimOpcode opcode = PimOpcode::Matmul;
+    std::uint8_t precisionBits = 8;
+    std::uint16_t iterations = 0;  ///< Compute steps for this sub-array.
+    std::uint16_t startRow = 0;    ///< First weight row in the sub-array.
+    std::uint16_t endRow = 0;      ///< One past the last weight row.
+
+    bool operator==(const ConfigBlock &) const = default;
+
+    /** Serialized CB size in bytes. */
+    static constexpr std::size_t encoded_size = 8;
+
+    /** Pack into the byte layout stored in the sub-array. */
+    std::array<std::uint8_t, encoded_size> encode() const;
+
+    /** Unpack; panics on a malformed opcode byte. */
+    static ConfigBlock decode(
+        const std::array<std::uint8_t, encoded_size> &bytes);
+};
+
+} // namespace bfree::bce
+
+#endif // BFREE_BCE_CONFIG_BLOCK_HH

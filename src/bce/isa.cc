@@ -1,0 +1,58 @@
+#include "isa.hh"
+
+#include <sstream>
+
+namespace bfree::bce {
+
+const char *
+opcode_name(PimOpcode op)
+{
+    switch (op) {
+      case PimOpcode::Conv:
+        return "conv";
+      case PimOpcode::Matmul:
+        return "matmul";
+      case PimOpcode::MaxPool:
+        return "maxpool";
+      case PimOpcode::AvgPool:
+        return "avgpool";
+      case PimOpcode::Relu:
+        return "relu";
+      case PimOpcode::Sigmoid:
+        return "sigmoid";
+      case PimOpcode::Tanh:
+        return "tanh";
+      case PimOpcode::Exp:
+        return "exp";
+      case PimOpcode::Softmax:
+        return "softmax";
+      case PimOpcode::Divide:
+        return "divide";
+      case PimOpcode::EwAdd:
+        return "ewadd";
+      case PimOpcode::EwMul:
+        return "ewmul";
+      case PimOpcode::Requantize:
+        return "requantize";
+      case PimOpcode::LayerNorm:
+        return "layernorm";
+    }
+    return "?";
+}
+
+bool
+is_matmul_mode(PimOpcode op)
+{
+    return op == PimOpcode::Matmul;
+}
+
+std::string
+PimInstruction::toString() const
+{
+    std::ostringstream os;
+    os << opcode_name(opcode) << " " << rows << "x" << cols << "x" << inner
+       << " @" << precisionBits << "b";
+    return os.str();
+}
+
+} // namespace bfree::bce

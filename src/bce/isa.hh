@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The PIM instruction set (Section IV-C).
+ *
+ * BFree adds in-memory kernel instructions, dispatched to the cache
+ * controller; one instruction executes one kernel (a network layer).
+ * The slice controller expands a kernel into per-sub-array config-block
+ * programs that the BCEs fetch and decode in their first pipeline stage.
+ */
+
+#ifndef BFREE_BCE_ISA_HH
+#define BFREE_BCE_ISA_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bfree::bce {
+
+/** Kernel-level PIM opcodes. */
+enum class PimOpcode : std::uint8_t
+{
+    Conv,       ///< Direct convolution (systolic, conv mode).
+    Matmul,     ///< Matrix-matrix multiply (matmul mode).
+    MaxPool,    ///< Max pooling via the BCE comparator.
+    AvgPool,    ///< Average pooling: accumulate + LUT division.
+    Relu,       ///< max(0, x) via the comparator.
+    Sigmoid,    ///< PWL LUT evaluation.
+    Tanh,       ///< PWL LUT evaluation.
+    Exp,        ///< PWL LUT evaluation.
+    Softmax,    ///< exp LUT + reduction + LUT division.
+    Divide,     ///< Element-wise LUT division.
+    EwAdd,      ///< Element-wise add.
+    EwMul,      ///< Element-wise multiply.
+    Requantize, ///< gemmlowp scale + shift + saturate.
+    LayerNorm,  ///< Mean/variance normalization (transformers).
+};
+
+/** Printable opcode mnemonic. */
+const char *opcode_name(PimOpcode op);
+
+/** True for opcodes executed on the matmul-mode datapath. */
+bool is_matmul_mode(PimOpcode op);
+
+/**
+ * One kernel instruction as seen by the cache controller.
+ */
+struct PimInstruction
+{
+    PimOpcode opcode = PimOpcode::Matmul;
+    unsigned precisionBits = 8; ///< Operand precision (4, 8 or 16).
+    std::uint32_t rows = 0;     ///< Output rows (or elements for 1-D ops).
+    std::uint32_t cols = 0;     ///< Output columns.
+    std::uint32_t inner = 0;    ///< Reduction length (K).
+    std::uint64_t weightBase = 0; ///< Flat address of the weight tile.
+    std::uint64_t outputBase = 0; ///< Flat address of the output tile.
+
+    /** Multiply-accumulate count this instruction performs. */
+    std::uint64_t
+    macs() const
+    {
+        return std::uint64_t(rows) * cols * inner;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace bfree::bce
+
+#endif // BFREE_BCE_ISA_HH

@@ -1,0 +1,69 @@
+#include "pipeline_sim.hh"
+
+#include <algorithm>
+
+namespace bfree::bce {
+
+namespace {
+
+unsigned
+stage2_occupancy(const PipelineUop &uop, unsigned lut_port_cycles)
+{
+    unsigned cycles = std::max(1u, uop.stage2Cycles);
+    if (uop.resource == UopResource::LutPort)
+        cycles = std::max(cycles, lut_port_cycles);
+    return cycles;
+}
+
+} // namespace
+
+PipelineRunResult
+BcePipelineSim::run(const std::vector<PipelineUop> &uops) const
+{
+    PipelineRunResult r;
+    if (uops.empty())
+        return r;
+
+    // In-order issue: stage 2 is the only multi-cycle stage, so the
+    // pipeline advances one micro-op per cycle except when the LUT/ROM
+    // port (or a long shift chain) holds stage 2.
+    std::uint64_t issue = 0;        // cycle the uop enters stage 1
+    std::uint64_t stage2_free = 1;  // first cycle stage 2 is available
+    std::uint64_t last_writeback = 0;
+
+    for (const PipelineUop &uop : uops) {
+        const unsigned occupancy = stage2_occupancy(uop, lutPortCycles);
+
+        // Enter stage 2 the cycle after issue, or when the port frees.
+        const std::uint64_t stage2_start =
+            std::max(issue + 1, stage2_free);
+        stage2_free = stage2_start + occupancy;
+
+        last_writeback = stage2_start + occupancy; // stage 3
+        ++r.retired;
+
+        // Next uop issues as soon as stage 1 clears (one per cycle)
+        // unless stage 2 back-pressures.
+        issue = std::max(issue + 1, stage2_free - 1);
+    }
+
+    r.cycles = last_writeback + 1; // inclusive of the final writeback
+    // Stalls: everything beyond the hazard-free depth + N - 1.
+    r.stallCycles =
+        r.cycles - (BcePipelineSim::depth + uops.size() - 1);
+    return r;
+}
+
+std::uint64_t
+pipeline_formula(const std::vector<PipelineUop> &uops,
+                 unsigned lut_port_cycles)
+{
+    if (uops.empty())
+        return 0;
+    std::uint64_t extra = 0;
+    for (const PipelineUop &uop : uops)
+        extra += stage2_occupancy(uop, lut_port_cycles) - 1;
+    return BcePipelineSim::depth + uops.size() - 1 + extra;
+}
+
+} // namespace bfree::bce

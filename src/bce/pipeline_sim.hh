@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Event-driven model of the BCE's three-stage in-order pipeline
+ * (Section III-A): (1) CB fetch/decode, (2) LUT address generation,
+ * (3) accumulate/writeback.
+ *
+ * The functional Bce charges aggregate cycles; this model resolves the
+ * pipeline cycle by cycle to expose fill/drain latency and the one
+ * structural hazard the design has — the single sub-array LUT read
+ * port shared by consecutive odd x odd operations in stage 2. Tests
+ * pin the steady-state throughput (one micro-op per cycle when no
+ * hazard), the 3-cycle latency, and the stall arithmetic.
+ */
+
+#ifndef BFREE_BCE_PIPELINE_SIM_HH
+#define BFREE_BCE_PIPELINE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bfree::bce {
+
+/** Stage-2 resource a micro-op needs. */
+enum class UopResource
+{
+    None,    ///< Decode-only (bypass multiply by 0/1).
+    Shifter, ///< Power-of-two path.
+    LutPort, ///< Sub-array LUT read (odd x odd).
+    RomPort, ///< Hardwired multiply-ROM read.
+};
+
+/** One micro-op fed to the pipeline. */
+struct PipelineUop
+{
+    UopResource resource = UopResource::Shifter;
+    /** Stage-2 occupancy in cycles (LUT reads take lutPortCycles). */
+    unsigned stage2Cycles = 1;
+};
+
+/** Result of a pipeline run. */
+struct PipelineRunResult
+{
+    std::uint64_t cycles = 0;     ///< First issue to last writeback.
+    std::uint64_t stallCycles = 0;///< Cycles lost to structural hazards.
+    std::uint64_t retired = 0;    ///< Micro-ops completed.
+
+    double
+    ipc() const
+    {
+        return cycles > 0 ? static_cast<double>(retired) / cycles : 0.0;
+    }
+};
+
+/**
+ * The three-stage pipeline simulator.
+ */
+class BcePipelineSim
+{
+  public:
+    /**
+     * @param lut_port_cycles Occupancy of the shared LUT port per
+     *        lookup (1 at the decoupled-bitline design point; 3 if
+     *        the rows shared the full bitline — the Fig. 4 latency
+     *        ratio surfacing as pipeline stalls).
+     */
+    explicit BcePipelineSim(unsigned lut_port_cycles = 1)
+        : lutPortCycles(lut_port_cycles)
+    {}
+
+    /** Run a micro-op stream through the pipeline to completion. */
+    PipelineRunResult run(const std::vector<PipelineUop> &uops) const;
+
+    /** Pipeline depth (fill latency of the first micro-op). */
+    static constexpr unsigned depth = 3;
+
+  private:
+    unsigned lutPortCycles;
+};
+
+/**
+ * Closed form: cycles = depth + N - 1 + total stage-2 stalls, where a
+ * micro-op whose stage-2 occupancy is c > 1 stalls the next issue by
+ * c - 1 cycles.
+ */
+std::uint64_t pipeline_formula(const std::vector<PipelineUop> &uops,
+                               unsigned lut_port_cycles);
+
+} // namespace bfree::bce
+
+#endif // BFREE_BCE_PIPELINE_SIM_HH

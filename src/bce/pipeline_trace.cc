@@ -1,0 +1,244 @@
+#include "pipeline_trace.hh"
+
+#include <sstream>
+
+#include "bce.hh"
+#include "lut/operand_analyzer.hh"
+#include "sim/logging.hh"
+
+namespace bfree::bce {
+
+const char *
+trace_action_name(TraceAction action)
+{
+    switch (action) {
+      case TraceAction::DecodeConfig:
+        return "decode-config";
+      case TraceAction::LoadOperands:
+        return "load-operands";
+      case TraceAction::Shift:
+        return "shift";
+      case TraceAction::ShiftAddPair:
+        return "shift+shift+add";
+      case TraceAction::LutAccess:
+        return "lut-access";
+      case TraceAction::Bypass:
+        return "bypass";
+      case TraceAction::Accumulate:
+        return "accumulate";
+      case TraceAction::Writeback:
+        return "writeback";
+      case TraceAction::BroadcastLs4:
+        return "broadcast-ls4";
+      case TraceAction::BroadcastMs4:
+        return "broadcast-ms4";
+      case TraceAction::LoadNextRow:
+        return "load-next-row";
+    }
+    return "?";
+}
+
+std::vector<TraceEvent>
+PipelineTrace::at(std::uint32_t cycle) const
+{
+    std::vector<TraceEvent> out;
+    for (const TraceEvent &e : events)
+        if (e.cycle == cycle)
+            out.push_back(e);
+    return out;
+}
+
+std::size_t
+PipelineTrace::count(TraceAction action) const
+{
+    std::size_t n = 0;
+    for (const TraceEvent &e : events)
+        if (e.action == action)
+            ++n;
+    return n;
+}
+
+std::string
+PipelineTrace::toString() const
+{
+    std::ostringstream os;
+    for (const TraceEvent &e : events) {
+        os << "cycle " << e.cycle << ": "
+           << trace_action_name(e.action);
+        if (!e.detail.empty())
+            os << "  (" << e.detail << ")";
+        os << "\n";
+    }
+    os << "result = " << result << ", " << cycles << " cycles\n";
+    return os.str();
+}
+
+std::vector<unsigned>
+pow2_pair_split(unsigned v)
+{
+    if (v == 0 || v % 2 != 0)
+        return {};
+    // Collect set bits; a "pair split" exists when exactly two bits
+    // are set (6, 10, 12 in the 4-bit range).
+    std::vector<unsigned> bits;
+    for (unsigned b = 0; b < 8; ++b)
+        if (v & (1u << b))
+            bits.push_back(b);
+    if (bits.size() != 2)
+        return {};
+    return {1u << bits[1], 1u << bits[0]};
+}
+
+namespace {
+
+std::string
+mult_detail(unsigned w, unsigned x)
+{
+    std::ostringstream os;
+    os << w << " x " << x;
+    return os.str();
+}
+
+} // namespace
+
+PipelineTrace
+trace_conv_dot(const std::vector<unsigned> &weights,
+               const std::vector<unsigned> &inputs,
+               const lut::MultLut &lut)
+{
+    if (weights.size() != inputs.size())
+        bfree_fatal("trace_conv_dot: operand count mismatch");
+
+    PipelineTrace trace;
+    std::uint32_t cycle = 0;
+
+    // Cycle 0: read the CB contents and decode (Fig. 6 "BCE reads the
+    // contents of CB and decodes the address of first row of M1").
+    trace.events.push_back({cycle, TraceAction::DecodeConfig, ""});
+    ++cycle;
+
+    // Cycle 1: first input column streams in; first weight row read.
+    trace.events.push_back({cycle, TraceAction::LoadOperands, ""});
+    ++cycle;
+
+    std::int64_t acc = 0;
+    for (std::size_t i = 0; i < weights.size(); ++i, ++cycle) {
+        const unsigned w = weights[i];
+        const unsigned x = inputs[i];
+        if (w > 15 || x > 15)
+            bfree_fatal("Fig. 6 trace uses 4-bit operands");
+
+        const auto cw = lut::classify_operand(w);
+        const auto cx = lut::classify_operand(x);
+        std::int64_t product = 0;
+
+        if (cw == lut::OperandClass::Zero
+            || cx == lut::OperandClass::Zero
+            || cw == lut::OperandClass::One
+            || cx == lut::OperandClass::One) {
+            product = std::int64_t(w) * x;
+            trace.events.push_back(
+                {cycle, TraceAction::Bypass, mult_detail(w, x)});
+        } else if (cw == lut::OperandClass::PowerOfTwo
+                   || cx == lut::OperandClass::PowerOfTwo) {
+            // "Since M1 data is in powers of 2, we do not access the
+            // LUT but perform left shifting."
+            product = std::int64_t(w) * x;
+            trace.events.push_back(
+                {cycle, TraceAction::Shift, mult_detail(w, x)});
+        } else if (cw == lut::OperandClass::EvenComposite
+                   || cx == lut::OperandClass::EvenComposite) {
+            // "Two left shift operations are performed since the input
+            // even number is split into two powers-of-two numbers" —
+            // when the even value has exactly two set bits; otherwise
+            // fall back to odd x 2^k (one LUT access + shift).
+            const unsigned even =
+                cw == lut::OperandClass::EvenComposite ? w : x;
+            const unsigned other =
+                cw == lut::OperandClass::EvenComposite ? x : w;
+            const std::vector<unsigned> split = pow2_pair_split(even);
+            product = std::int64_t(w) * x;
+            if (!split.empty()) {
+                trace.events.push_back({cycle,
+                                        TraceAction::ShiftAddPair,
+                                        mult_detail(w, x)});
+            } else {
+                const auto d = lut::decompose_odd(even);
+                (void)lut.lookup(d.odd, lut::decompose_odd(other).odd);
+                trace.events.push_back(
+                    {cycle, TraceAction::LutAccess, mult_detail(w, x)});
+            }
+        } else {
+            // Both odd: the product comes straight from the LUT.
+            const std::uint8_t looked = lut.lookup(w, x);
+            product = looked;
+            trace.events.push_back(
+                {cycle, TraceAction::LutAccess, mult_detail(w, x)});
+        }
+
+        acc += product;
+        if (i > 0)
+            trace.events.push_back({cycle, TraceAction::Accumulate, ""});
+    }
+
+    // Final cycle: writeback.
+    trace.events.push_back({cycle, TraceAction::Writeback, ""});
+    trace.result = acc;
+    trace.cycles = cycle + 1;
+    return trace;
+}
+
+PipelineTrace
+trace_matmul_broadcast(const std::vector<std::int32_t> &a_operands,
+                       const std::vector<std::vector<std::int8_t>> &b_rows,
+                       const lut::MultLut &lut)
+{
+    if (a_operands.size() != b_rows.size())
+        bfree_fatal("trace_matmul_broadcast: one B row per A operand");
+
+    PipelineTrace trace;
+    std::uint32_t cycle = 0;
+
+    trace.events.push_back({cycle, TraceAction::DecodeConfig, ""});
+    ++cycle;
+    trace.events.push_back({cycle, TraceAction::LoadOperands, ""});
+    ++cycle;
+
+    std::int64_t acc = 0;
+    for (std::size_t step = 0; step < a_operands.size(); ++step) {
+        const std::int32_t a = a_operands[step];
+        const auto &row = b_rows[step];
+        if (row.size() > bce_vector_width)
+            bfree_fatal("B row wider than the register file");
+
+        // Timescale 1: LS-4 of A against every B lane.
+        trace.events.push_back({cycle, TraceAction::BroadcastLs4,
+                                "A=" + std::to_string(a)});
+        ++cycle;
+        // Timescale 2: MS-4 of A.
+        trace.events.push_back({cycle, TraceAction::BroadcastMs4,
+                                "A=" + std::to_string(a)});
+        ++cycle;
+
+        for (std::int8_t b : row) {
+            acc += lut::multiply_signed(a, b, 8, lut,
+                                        lut::LookupSource::BceRom)
+                       .product;
+        }
+
+        if (step + 1 < a_operands.size()) {
+            // "The subsequent row of matrix B is loaded into the input
+            // register" — overlapped with the next LS-4 pass, so it
+            // shares the cycle.
+            trace.events.push_back(
+                {cycle, TraceAction::LoadNextRow, ""});
+        }
+    }
+
+    trace.events.push_back({cycle, TraceAction::Writeback, ""});
+    trace.result = acc;
+    trace.cycles = cycle + 1;
+    return trace;
+}
+
+} // namespace bfree::bce

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Cycle-by-cycle BCE pipeline traces (Fig. 6 and Fig. 7).
+ *
+ * The paper walks through the execution of a small matrix multiply on
+ * the conv-mode pipeline (Fig. 6): cycle 0 decodes the config block,
+ * cycle 1 streams the first input column and reads the first weight
+ * row, cycles 2..N perform one multiply step per cycle — a shift for a
+ * power-of-two operand, a pair of shifts plus an add for an even
+ * operand split into two powers of two, a LUT access when both odd
+ * parts are >= 3 — and the final cycle writes the output register
+ * back.
+ *
+ * This module generates that trace programmatically from operand
+ * values, so tests can assert the exact sequence the paper prints, and
+ * tools can dump readable pipeline diagrams. The matmul-mode variant
+ * reproduces Fig. 7's two-timescale broadcast (LS-4 pass, MS-4 pass,
+ * eight products per pass).
+ */
+
+#ifndef BFREE_BCE_PIPELINE_TRACE_HH
+#define BFREE_BCE_PIPELINE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lut/mult_lut.hh"
+
+namespace bfree::bce {
+
+/** What the datapath did in one cycle. */
+enum class TraceAction
+{
+    DecodeConfig,   ///< Stage 1: CB fetch + decode.
+    LoadOperands,   ///< Stream input column + read weight row.
+    Shift,          ///< Single shifter pass (power-of-two operand).
+    ShiftAddPair,   ///< Two shifts + add (even operand = 2^a + 2^b).
+    LutAccess,      ///< Odd x odd product fetched from the LUT rows.
+    Bypass,         ///< Multiply by 0/1 resolved at decode.
+    Accumulate,     ///< Partial sum added into the output register.
+    Writeback,      ///< Output register stored.
+    BroadcastLs4,   ///< Fig. 7: low nibble selects the ROM page.
+    BroadcastMs4,   ///< Fig. 7: high nibble pass.
+    LoadNextRow,    ///< Fig. 7: next B row into the input register.
+};
+
+/** Printable action mnemonic. */
+const char *trace_action_name(TraceAction action);
+
+/** One trace record. */
+struct TraceEvent
+{
+    std::uint32_t cycle = 0;
+    TraceAction action = TraceAction::DecodeConfig;
+    std::string detail;
+
+    bool operator==(const TraceEvent &) const = default;
+};
+
+/** A complete pipeline trace plus the computed result. */
+struct PipelineTrace
+{
+    std::vector<TraceEvent> events;
+    std::int64_t result = 0;
+    std::uint32_t cycles = 0;
+
+    /** Events recorded for a given cycle. */
+    std::vector<TraceEvent> at(std::uint32_t cycle) const;
+
+    /** Number of events with a given action. */
+    std::size_t count(TraceAction action) const;
+
+    /** Render as a readable multi-line diagram. */
+    std::string toString() const;
+};
+
+/**
+ * Trace one conv-mode dot-product step (Fig. 6): multiply the weight
+ * vector @p weights (4-bit unsigned values, as in the figure) by the
+ * streamed inputs @p inputs and accumulate. Even composite operands
+ * use the figure's powers-of-two split.
+ */
+PipelineTrace trace_conv_dot(const std::vector<unsigned> &weights,
+                             const std::vector<unsigned> &inputs,
+                             const lut::MultLut &lut);
+
+/**
+ * Trace matmul-mode broadcast steps (Fig. 7): each 8-bit A operand
+ * takes one LS-4 and one MS-4 pass against up to eight B operands,
+ * then the next B row loads.
+ */
+PipelineTrace trace_matmul_broadcast(
+    const std::vector<std::int32_t> &a_operands,
+    const std::vector<std::vector<std::int8_t>> &b_rows,
+    const lut::MultLut &lut);
+
+/**
+ * Split an even value into its two largest powers of two when it is
+ * the sum of exactly two (6 = 4 + 2, 12 = 8 + 4, 10 = 8 + 2); other
+ * values return an empty vector (they take the odd x 2^k path).
+ */
+std::vector<unsigned> pow2_pair_split(unsigned v);
+
+} // namespace bfree::bce
+
+#endif // BFREE_BCE_PIPELINE_TRACE_HH

@@ -1,0 +1,53 @@
+#include "bfree.hh"
+
+namespace bfree::core {
+
+BFreeAccelerator::BFreeAccelerator(Options options)
+    : opts(std::move(options))
+{}
+
+map::RunResult
+BFreeAccelerator::run(const dnn::Network &net, map::ExecConfig config) const
+{
+    map::ExecutionModel model(opts.geometry, opts.tech, config);
+    return model.run(net);
+}
+
+map::RunResult
+BFreeAccelerator::runNeuralCache(const dnn::Network &net,
+                                 map::ExecConfig config) const
+{
+    baseline::NeuralCacheModel model(opts.geometry, opts.tech, config);
+    return model.run(net);
+}
+
+map::RunResult
+BFreeAccelerator::runEyeriss(const dnn::Network &net) const
+{
+    baseline::EyerissModel model(
+        opts.tech, tech::MainMemoryKind::DRAM,
+        baseline::EyerissModel::isoArea(opts.geometry, opts.tech));
+    return model.run(net);
+}
+
+baseline::BaselineResult
+BFreeAccelerator::runCpu(const dnn::Network &net, unsigned batch) const
+{
+    baseline::ProcessorModel cpu(baseline::xeon_e5_2697());
+    return cpu.run(net, batch);
+}
+
+baseline::BaselineResult
+BFreeAccelerator::runGpu(const dnn::Network &net, unsigned batch) const
+{
+    baseline::ProcessorModel gpu(baseline::titan_v());
+    return gpu.run(net, batch);
+}
+
+tech::AreaReport
+BFreeAccelerator::area() const
+{
+    return tech::compute_area(opts.geometry, opts.tech);
+}
+
+} // namespace bfree::core

@@ -1,0 +1,457 @@
+#include "functional.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::core {
+
+NetworkWeights
+random_weights(const dnn::Network &net, sim::Rng &rng, double scale)
+{
+    NetworkWeights all;
+    for (const dnn::Layer &l : net.layers()) {
+        LayerWeights w;
+        std::size_t count = 0;
+        std::size_t biases = 0;
+        switch (l.kind) {
+          case dnn::LayerKind::Conv:
+            count = std::size_t(l.outChannels) * l.input.c * l.kernelH
+                    * l.kernelW;
+            biases = l.outChannels;
+            break;
+          case dnn::LayerKind::Fc:
+            count = std::size_t(l.inFeatures) * l.outFeatures;
+            biases = l.outFeatures;
+            break;
+          case dnn::LayerKind::LstmCell:
+            count = std::size_t(4) * (l.lstmInput + l.lstmHidden)
+                    * l.lstmHidden;
+            biases = std::size_t(4) * l.lstmHidden;
+            break;
+          case dnn::LayerKind::Attention:
+            count = std::size_t(4) * l.dModel * l.dModel;
+            biases = 0;
+            break;
+          default:
+            break;
+        }
+        w.weights.resize(count);
+        w.bias.resize(biases);
+        for (float &v : w.weights)
+            v = static_cast<float>(rng.uniformReal(-scale, scale));
+        for (float &v : w.bias)
+            v = static_cast<float>(rng.uniformReal(-scale, scale) * 0.1);
+        all.push_back(std::move(w));
+    }
+    return all;
+}
+
+FunctionalExecutor::FunctionalExecutor(const tech::CacheGeometry &geom,
+                                       const tech::TechParams &tech)
+    : geom(geom), tech(tech), subarray(geom, tech, account),
+      bce(subarray, tech, account), divisionLut(4),
+      sigmoidTable(lut::make_sigmoid_table()),
+      tanhTable(lut::make_tanh_table()),
+      expTable(lut::make_exp_table())
+{
+    bce.loadMultLutImage();
+}
+
+namespace {
+
+/** Symmetric per-tensor quantization helpers for the functional path. */
+struct SymQuant
+{
+    double scale = 1.0;
+    std::int32_t limit = 127;
+
+    std::int32_t
+    q(float v) const
+    {
+        const auto r = static_cast<std::int64_t>(
+            std::lround(v / scale));
+        return static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(r, -limit, limit));
+    }
+};
+
+SymQuant
+choose_sym(const float *data, std::size_t n, unsigned bits)
+{
+    float peak = 1e-9f;
+    for (std::size_t i = 0; i < n; ++i)
+        peak = std::max(peak, std::abs(data[i]));
+    SymQuant s;
+    s.limit = (1 << (bits - 1)) - 1;
+    s.scale = peak / s.limit;
+    return s;
+}
+
+} // namespace
+
+dnn::FloatTensor
+FunctionalExecutor::runConv(const dnn::Layer &layer,
+                            const dnn::FloatTensor &input,
+                            const LayerWeights &w, unsigned bits)
+{
+    const dnn::FeatureShape out = layer.outputShape();
+    const SymQuant qi = choose_sym(input.data(), input.size(), bits);
+    const SymQuant qw =
+        choose_sym(w.weights.data(), w.weights.size(), bits);
+
+    bce.setMode(bce::BceMode::Conv);
+    dnn::FloatTensor output({out.c, out.h, out.w});
+    for (unsigned k = 0; k < out.c; ++k) {
+        for (unsigned oh = 0; oh < out.h; ++oh) {
+            for (unsigned ow = 0; ow < out.w; ++ow) {
+                std::int64_t acc = 0;
+                for (unsigned c = 0; c < layer.input.c; ++c) {
+                    for (unsigned r = 0; r < layer.kernelH; ++r) {
+                        for (unsigned s = 0; s < layer.kernelW; ++s) {
+                            const int ih = static_cast<int>(
+                                               oh * layer.strideH + r)
+                                           - static_cast<int>(layer.padH);
+                            const int iw = static_cast<int>(
+                                               ow * layer.strideW + s)
+                                           - static_cast<int>(layer.padW);
+                            if (ih < 0 || iw < 0
+                                || ih >= static_cast<int>(layer.input.h)
+                                || iw >= static_cast<int>(layer.input.w))
+                                continue;
+                            const std::size_t widx =
+                                ((std::size_t(k) * layer.input.c + c)
+                                     * layer.kernelH
+                                 + r) * layer.kernelW
+                                + s;
+                            acc += bce.multiply(
+                                qw.q(w.weights[widx]),
+                                qi.q(input.at(c, ih, iw)), bits);
+                        }
+                    }
+                }
+                output.at(k, oh, ow) =
+                    static_cast<float>(acc * qw.scale * qi.scale)
+                    + w.bias[k];
+            }
+        }
+    }
+    return output;
+}
+
+dnn::FloatTensor
+FunctionalExecutor::runFc(const dnn::Layer &layer,
+                          const dnn::FloatTensor &input,
+                          const LayerWeights &w, unsigned bits)
+{
+    const SymQuant qi = choose_sym(input.data(), input.size(), bits);
+    const SymQuant qw =
+        choose_sym(w.weights.data(), w.weights.size(), bits);
+
+    // FC layers run on the matmul-mode broadcast datapath.
+    bce.setMode(bce::BceMode::Matmul);
+    dnn::FloatTensor output({layer.outFeatures, std::size_t(1),
+                             std::size_t(1)});
+    std::vector<std::int8_t> qin(layer.inFeatures);
+    for (unsigned i = 0; i < layer.inFeatures; ++i)
+        qin[i] = static_cast<std::int8_t>(qi.q(input[i]));
+
+    for (unsigned o = 0; o < layer.outFeatures; ++o) {
+        std::int64_t acc = 0;
+        const std::size_t row = std::size_t(o) * layer.inFeatures;
+        for (unsigned i = 0; i < layer.inFeatures; i += 8) {
+            const std::size_t n =
+                std::min<std::size_t>(8, layer.inFeatures - i);
+            std::int32_t lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+            // Broadcast each weight against up to 8 input lanes.
+            for (std::size_t j = 0; j < n; ++j) {
+                const std::int32_t wq = qw.q(w.weights[row + i + j]);
+                std::int32_t lane = 0;
+                bce.broadcastMac(wq, &qin[i + j], 1, &lane, bits);
+                lanes[j] = lane;
+            }
+            for (std::size_t j = 0; j < n; ++j)
+                acc += lanes[j];
+        }
+        output[o] = static_cast<float>(acc * qw.scale * qi.scale)
+                    + w.bias[o];
+    }
+    return output;
+}
+
+dnn::FloatTensor
+FunctionalExecutor::runActivation(const dnn::Layer &layer,
+                                  const dnn::FloatTensor &input)
+{
+    dnn::FloatTensor output(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const float x = input[i];
+        switch (layer.kind) {
+          case dnn::LayerKind::Relu: {
+            const std::int32_t vals[2] = {
+                0, static_cast<std::int32_t>(std::lround(x * 256.0f))};
+            output[i] =
+                static_cast<float>(bce.maxReduce(vals, 2)) / 256.0f;
+            break;
+          }
+          case dnn::LayerKind::Sigmoid:
+            output[i] =
+                static_cast<float>(bce.evaluatePwl(sigmoidTable, x));
+            break;
+          case dnn::LayerKind::Tanh:
+            output[i] =
+                static_cast<float>(bce.evaluatePwl(tanhTable, x));
+            break;
+          default:
+            bfree_panic("unsupported activation in functional path");
+        }
+    }
+    return output;
+}
+
+dnn::FloatTensor
+FunctionalExecutor::runPool(const dnn::Layer &layer,
+                            const dnn::FloatTensor &input)
+{
+    const dnn::FeatureShape out = layer.outputShape();
+    dnn::FloatTensor output({out.c, out.h, out.w});
+    std::vector<std::int32_t> window;
+    for (unsigned c = 0; c < out.c; ++c) {
+        for (unsigned oh = 0; oh < out.h; ++oh) {
+            for (unsigned ow = 0; ow < out.w; ++ow) {
+                window.clear();
+                for (unsigned r = 0; r < layer.kernelH; ++r) {
+                    for (unsigned s = 0; s < layer.kernelW; ++s) {
+                        const int ih =
+                            static_cast<int>(oh * layer.strideH + r)
+                            - static_cast<int>(layer.padH);
+                        const int iw =
+                            static_cast<int>(ow * layer.strideW + s)
+                            - static_cast<int>(layer.padW);
+                        if (ih < 0 || iw < 0
+                            || ih >= static_cast<int>(layer.input.h)
+                            || iw >= static_cast<int>(layer.input.w))
+                            continue;
+                        window.push_back(static_cast<std::int32_t>(
+                            std::lround(input.at(c, ih, iw) * 256.0f)));
+                    }
+                }
+                if (layer.kind == dnn::LayerKind::MaxPool) {
+                    output.at(c, oh, ow) =
+                        static_cast<float>(
+                            bce.maxReduce(window.data(), window.size()))
+                        / 256.0f;
+                } else {
+                    // Average pooling: accumulate + LUT division.
+                    output.at(c, oh, ow) =
+                        static_cast<float>(bce.avgPool(window.data(),
+                                                       window.size(),
+                                                       divisionLut))
+                        / 256.0f;
+                }
+            }
+        }
+    }
+    return output;
+}
+
+dnn::FloatTensor
+FunctionalExecutor::runSoftmax(const dnn::FloatTensor &input)
+{
+    std::vector<double> logits(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        logits[i] = input[i];
+    lut::MicroOpCounts counts;
+    const std::vector<double> probs =
+        lut::lut_softmax(logits, expTable, divisionLut, &counts);
+    dnn::FloatTensor output(input.shape());
+    for (std::size_t i = 0; i < probs.size(); ++i)
+        output[i] = static_cast<float>(probs[i]);
+    return output;
+}
+
+dnn::FloatTensor
+FunctionalExecutor::qMatmul(const dnn::FloatTensor &a, const float *w,
+                            std::size_t k, std::size_t n, unsigned bits)
+{
+    if (a.rank() != 2 || a.dim(1) != k)
+        bfree_panic("qMatmul: a must be [m][k]");
+    const std::size_t m = a.dim(0);
+
+    const SymQuant qa = choose_sym(a.data(), a.size(), bits);
+    const SymQuant qw = choose_sym(w, k * n, bits);
+
+    bce.setMode(bce::BceMode::Matmul);
+    dnn::FloatTensor out({m, n});
+    std::vector<std::int8_t> qrow(k);
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t p = 0; p < k; ++p)
+            qrow[p] = static_cast<std::int8_t>(qa.q(a.at(i, p)));
+        for (std::size_t j = 0; j < n; ++j) {
+            std::int64_t acc = 0;
+            for (std::size_t p = 0; p < k; ++p) {
+                const std::int32_t wq = qw.q(w[p * n + j]);
+                std::int32_t lane = 0;
+                bce.broadcastMac(wq, &qrow[p], 1, &lane, bits);
+                acc += lane;
+            }
+            out.at(i, j) =
+                static_cast<float>(acc * qa.scale * qw.scale);
+        }
+    }
+    return out;
+}
+
+dnn::LstmState
+FunctionalExecutor::runLstmStep(const dnn::Layer &layer,
+                                const std::vector<float> &x,
+                                const dnn::LstmState &prev,
+                                const LayerWeights &w, unsigned bits)
+{
+    const unsigned in = layer.lstmInput;
+    const unsigned hid = layer.lstmHidden;
+    const unsigned cols = in + hid;
+    if (x.size() != in || prev.h.size() != hid)
+        bfree_fatal("runLstmStep: state size mismatch");
+    if (w.weights.size() != std::size_t(4) * hid * cols
+        || w.bias.size() != std::size_t(4) * hid)
+        bfree_fatal("runLstmStep: weight size mismatch");
+
+    // Concatenate [x, h] into one row vector and run the packed gate
+    // matvec on the broadcast datapath: [1][cols] x [cols][4*hid].
+    dnn::FloatTensor xh({std::size_t(1), cols});
+    for (unsigned i = 0; i < in; ++i)
+        xh.at(0, i) = x[i];
+    for (unsigned i = 0; i < hid; ++i)
+        xh.at(0, in + i) = prev.h[i];
+
+    // The reference stores gate weights row-major [4*hid][cols];
+    // transpose into [cols][4*hid] for qMatmul.
+    std::vector<float> wt(std::size_t(cols) * 4 * hid);
+    for (std::size_t g = 0; g < std::size_t(4) * hid; ++g)
+        for (unsigned c = 0; c < cols; ++c)
+            wt[std::size_t(c) * 4 * hid + g] =
+                w.weights[g * cols + c];
+
+    const dnn::FloatTensor gates =
+        qMatmul(xh, wt.data(), cols, std::size_t(4) * hid, bits);
+
+    dnn::LstmState next;
+    next.h.resize(hid);
+    next.c.resize(hid);
+    for (unsigned j = 0; j < hid; ++j) {
+        const double i_g = bce.evaluatePwl(
+            sigmoidTable, gates.at(0, 0 * hid + j) + w.bias[0 * hid + j]);
+        const double f_g = bce.evaluatePwl(
+            sigmoidTable, gates.at(0, 1 * hid + j) + w.bias[1 * hid + j]);
+        const double g_g = bce.evaluatePwl(
+            tanhTable, gates.at(0, 2 * hid + j) + w.bias[2 * hid + j]);
+        const double o_g = bce.evaluatePwl(
+            sigmoidTable, gates.at(0, 3 * hid + j) + w.bias[3 * hid + j]);
+        const double c_new = f_g * prev.c[j] + i_g * g_g;
+        next.c[j] = static_cast<float>(c_new);
+        next.h[j] = static_cast<float>(
+            o_g * bce.evaluatePwl(tanhTable, c_new));
+    }
+    return next;
+}
+
+dnn::FloatTensor
+FunctionalExecutor::runAttention(const dnn::Layer &layer,
+                                 const dnn::FloatTensor &input,
+                                 const LayerWeights &w, unsigned bits)
+{
+    const unsigned s = layer.seqLen;
+    const unsigned d = layer.dModel;
+    if (input.rank() != 2 || input.dim(0) != s || input.dim(1) != d)
+        bfree_fatal("runAttention: input must be [seq][d]");
+    const std::size_t dd = std::size_t(d) * d;
+    if (w.weights.size() != 4 * dd)
+        bfree_fatal("runAttention: weights must pack wq|wk|wv|wo");
+
+    const float *wq = w.weights.data();
+    const float *wk = w.weights.data() + dd;
+    const float *wv = w.weights.data() + 2 * dd;
+    const float *wo = w.weights.data() + 3 * dd;
+
+    const dnn::FloatTensor q = qMatmul(input, wq, d, d, bits);
+    const dnn::FloatTensor k = qMatmul(input, wk, d, d, bits);
+    const dnn::FloatTensor v = qMatmul(input, wv, d, d, bits);
+
+    // Scores: Q x K^T, scaled; softmax per row through the LUT path.
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    dnn::FloatTensor context({s, d});
+    std::vector<double> row(s);
+    for (unsigned i = 0; i < s; ++i) {
+        // K^T as a [d][s] weight block for the broadcast datapath.
+        for (unsigned j = 0; j < s; ++j) {
+            float acc = 0.0f;
+            for (unsigned p = 0; p < d; ++p)
+                acc += q.at(i, p) * k.at(j, p);
+            row[j] = acc * scale;
+        }
+        lut::MicroOpCounts counts;
+        const std::vector<double> probs =
+            lut::lut_softmax(row, expTable, divisionLut, &counts);
+        for (unsigned p = 0; p < d; ++p) {
+            double acc = 0.0;
+            for (unsigned j = 0; j < s; ++j)
+                acc += probs[j] * v.at(j, p);
+            context.at(i, p) = static_cast<float>(acc);
+        }
+    }
+    return qMatmul(context, wo, d, d, bits);
+}
+
+FunctionalResult
+FunctionalExecutor::run(const dnn::Network &net,
+                        const dnn::FloatTensor &input,
+                        const NetworkWeights &weights, unsigned bits)
+{
+    if (weights.size() != net.layers().size())
+        bfree_fatal("functional run: expected ", net.layers().size(),
+                    " weight entries, got ", weights.size());
+
+    dnn::FloatTensor act = input;
+    for (std::size_t i = 0; i < net.layers().size(); ++i) {
+        const dnn::Layer &layer = net.layers()[i];
+        switch (layer.kind) {
+          case dnn::LayerKind::Conv:
+            act = runConv(layer, act, weights[i], bits);
+            break;
+          case dnn::LayerKind::Fc: {
+            // Flatten the activation into the FC's input vector.
+            if (act.size() != layer.inFeatures)
+                bfree_fatal("fc '", layer.name, "': flattened input of ",
+                            act.size(), " != ", layer.inFeatures);
+            dnn::FloatTensor flat({layer.inFeatures, std::size_t(1),
+                                   std::size_t(1)});
+            for (std::size_t j = 0; j < act.size(); ++j)
+                flat[j] = act[j];
+            act = runFc(layer, flat, weights[i], bits);
+            break;
+          }
+          case dnn::LayerKind::Relu:
+          case dnn::LayerKind::Sigmoid:
+          case dnn::LayerKind::Tanh:
+            act = runActivation(layer, act);
+            break;
+          case dnn::LayerKind::MaxPool:
+          case dnn::LayerKind::AvgPool:
+            act = runPool(layer, act);
+            break;
+          case dnn::LayerKind::Softmax:
+            act = runSoftmax(act);
+            break;
+          default:
+            bfree_fatal("functional path does not execute layer kind '",
+                        dnn::layer_kind_name(layer.kind), "'");
+        }
+    }
+
+    FunctionalResult r{std::move(act), bce.stats()};
+    return r;
+}
+
+} // namespace bfree::core

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Functional quantized inference through the BFree LUT datapath.
+ *
+ * Every multiply in this executor goes through a real Bce instance —
+ * the 49-entry LUT image in a Subarray (conv mode) or the hardwired ROM
+ * (matmul mode) — so it demonstrates, end to end, that the LUT
+ * decomposition computes exact integer products and that the PWL /
+ * division tables approximate the nonlinearities well enough for
+ * inference. The tests compare its output against the float reference
+ * executors under quantization tolerance.
+ */
+
+#ifndef BFREE_CORE_FUNCTIONAL_HH
+#define BFREE_CORE_FUNCTIONAL_HH
+
+#include <vector>
+
+#include "bce/bce.hh"
+#include "dnn/network.hh"
+#include "dnn/quantize.hh"
+#include "dnn/reference.hh"
+#include "dnn/tensor.hh"
+#include "lut/division.hh"
+#include "lut/pwl.hh"
+#include "mem/subarray.hh"
+#include "sim/random.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::core {
+
+/** Weights of one layer (flat, reference layout). */
+struct LayerWeights
+{
+    std::vector<float> weights;
+    std::vector<float> bias;
+};
+
+/** Per-layer weights for a whole network. */
+using NetworkWeights = std::vector<LayerWeights>;
+
+/** Draw reproducible random weights for every layer of @p net. */
+NetworkWeights random_weights(const dnn::Network &net, sim::Rng &rng,
+                              double scale = 0.5);
+
+/** Result of a functional run. */
+struct FunctionalResult
+{
+    dnn::FloatTensor output;
+    bce::BceStats stats; ///< Aggregate BCE activity.
+};
+
+/**
+ * Executes a network functionally on one Bce + Subarray pair.
+ */
+class FunctionalExecutor
+{
+  public:
+    FunctionalExecutor(const tech::CacheGeometry &geom = {},
+                       const tech::TechParams &tech = {});
+
+    /**
+     * Run @p net on @p input with @p weights through the quantized LUT
+     * datapath at @p bits precision.
+     */
+    FunctionalResult run(const dnn::Network &net,
+                         const dnn::FloatTensor &input,
+                         const NetworkWeights &weights,
+                         unsigned bits = 8);
+
+    /**
+     * One LSTM timestep through the LUT datapath: gate matvecs on the
+     * matmul-mode BCE, sigmoid/tanh through the PWL tables. Weights
+     * are packed [i, f, g, o] x [input + hidden] as in
+     * dnn::reference_lstm_step.
+     */
+    dnn::LstmState runLstmStep(const dnn::Layer &layer,
+                               const std::vector<float> &x,
+                               const dnn::LstmState &prev,
+                               const LayerWeights &w, unsigned bits = 8);
+
+    /**
+     * Single-head self-attention through the LUT datapath: Q/K/V/O
+     * projections and the score product on the matmul-mode BCE, the
+     * row softmax through the exp table + LUT division. Weights are
+     * packed [wq | wk | wv | wo], each d x d.
+     */
+    dnn::FloatTensor runAttention(const dnn::Layer &layer,
+                                  const dnn::FloatTensor &input,
+                                  const LayerWeights &w,
+                                  unsigned bits = 8);
+
+    /**
+     * Quantized matrix product through the broadcast datapath:
+     * out[m][n] = a[m][k] * w[k][n], with w supplied row-major.
+     */
+    dnn::FloatTensor qMatmul(const dnn::FloatTensor &a, const float *w,
+                             std::size_t k, std::size_t n,
+                             unsigned bits);
+
+    /** BCE statistics accumulated so far. */
+    const bce::BceStats &stats() const { return bce.stats(); }
+
+    /** Energy accumulated by the functional datapath so far. */
+    const mem::EnergyAccount &energy() const { return account; }
+
+  private:
+    /** Quantized conv through bce.multiply; returns float outputs. */
+    dnn::FloatTensor runConv(const dnn::Layer &layer,
+                             const dnn::FloatTensor &input,
+                             const LayerWeights &w, unsigned bits);
+
+    dnn::FloatTensor runFc(const dnn::Layer &layer,
+                           const dnn::FloatTensor &input,
+                           const LayerWeights &w, unsigned bits);
+
+    dnn::FloatTensor runActivation(const dnn::Layer &layer,
+                                   const dnn::FloatTensor &input);
+
+    dnn::FloatTensor runPool(const dnn::Layer &layer,
+                             const dnn::FloatTensor &input);
+
+    dnn::FloatTensor runSoftmax(const dnn::FloatTensor &input);
+
+    tech::CacheGeometry geom;
+    tech::TechParams tech;
+    mem::EnergyAccount account;
+    mem::Subarray subarray;
+    bce::Bce bce;
+    lut::DivisionLut divisionLut;
+    lut::PwlTable sigmoidTable;
+    lut::PwlTable tanhTable;
+    lut::PwlTable expTable;
+};
+
+} // namespace bfree::core
+
+#endif // BFREE_CORE_FUNCTIONAL_HH

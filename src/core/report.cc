@@ -1,0 +1,202 @@
+#include "report.hh"
+
+#include <iomanip>
+#include <sstream>
+
+#include "map/mapping.hh"
+
+namespace bfree::core {
+
+namespace {
+
+std::string
+format_with_units(double value, const char *const *units,
+                  std::size_t num_units, double step)
+{
+    std::size_t unit = 0;
+    while (unit + 1 < num_units && value < 1.0 && value != 0.0) {
+        value *= step;
+        ++unit;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3) << value << " "
+       << units[unit];
+    return os.str();
+}
+
+} // namespace
+
+std::string
+format_seconds(double seconds)
+{
+    static const char *units[] = {"s", "ms", "us", "ns"};
+    return format_with_units(seconds, units, 4, 1000.0);
+}
+
+std::string
+format_joules(double joules)
+{
+    static const char *units[] = {"J", "mJ", "uJ", "nJ"};
+    return format_with_units(joules, units, 4, 1000.0);
+}
+
+std::string
+format_count(double count)
+{
+    static const char *units[] = {"G", "M", "K", ""};
+    double scaled = count / 1e9;
+    std::size_t unit = 0;
+    while (unit + 1 < 4 && scaled < 1.0 && scaled != 0.0) {
+        scaled *= 1000.0;
+        ++unit;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2) << scaled << units[unit];
+    return os.str();
+}
+
+void
+print_layer_table(std::ostream &os, const map::RunResult &run,
+                  std::size_t max_rows)
+{
+    os << std::left << std::setw(24) << "layer" << std::setw(8) << "mode"
+       << std::setw(8) << "SAs" << std::setw(12) << "macs"
+       << std::setw(12) << "time" << std::setw(12) << "energy" << "\n";
+    std::size_t rows = 0;
+    for (const map::LayerResult &l : run.layers) {
+        if (max_rows != 0 && rows >= max_rows) {
+            os << "  ... (" << run.layers.size() - rows
+               << " more layers)\n";
+            break;
+        }
+        os << std::left << std::setw(24) << l.name << std::setw(8)
+           << map::exec_mode_name(l.mapping.mode) << std::setw(8)
+           << l.mapping.activeSubarrays << std::setw(12)
+           << format_count(static_cast<double>(l.macs)) << std::setw(12)
+           << format_seconds(l.time.total()) << std::setw(12)
+           << format_joules(l.energy.total()) << "\n";
+        ++rows;
+    }
+}
+
+void
+print_phase_row(std::ostream &os, const std::string &label,
+                const map::PhaseBreakdown &time)
+{
+    os << std::left << std::setw(28) << label << " weight="
+       << format_seconds(time.weightLoad)
+       << " input=" << format_seconds(time.inputLoad)
+       << " compute=" << format_seconds(time.compute)
+       << " special=" << format_seconds(time.special)
+       << " requant=" << format_seconds(time.requant)
+       << " total=" << format_seconds(time.total()) << "\n";
+}
+
+void
+print_phase_shares(std::ostream &os, const std::string &label,
+                   const map::PhaseBreakdown &time)
+{
+    const double total = time.total();
+    auto pct = [total](double v) {
+        std::ostringstream s;
+        s << std::fixed << std::setprecision(1)
+          << (total > 0.0 ? 100.0 * v / total : 0.0) << "%";
+        return s.str();
+    };
+    os << std::left << std::setw(28) << label
+       << " weight=" << pct(time.weightLoad)
+       << " input=" << pct(time.inputLoad)
+       << " compute=" << pct(time.compute)
+       << " special=" << pct(time.special)
+       << " requant=" << pct(time.requant) << "\n";
+}
+
+void
+print_energy_breakdown(std::ostream &os, const mem::EnergyAccount &energy,
+                       bool exclude_dram)
+{
+    const double total = exclude_dram ? energy.totalExcludingDram()
+                                      : energy.total();
+    for (std::size_t c = 0; c < mem::num_energy_categories; ++c) {
+        const auto cat = static_cast<mem::EnergyCategory>(c);
+        if (exclude_dram && cat == mem::EnergyCategory::DramTransfer)
+            continue;
+        const double j = energy.joules(cat);
+        os << "  " << std::left << std::setw(14)
+           << mem::energy_category_name(cat) << format_joules(j);
+        if (total > 0.0) {
+            os << "  (" << std::fixed << std::setprecision(1)
+               << 100.0 * j / total << "%)";
+        }
+        os << "\n";
+    }
+}
+
+void
+describe_network(std::ostream &os, const dnn::Network &net,
+                 std::size_t max_rows)
+{
+    os << net.name() << ": depth " << net.reportedDepth << ", "
+       << format_count(static_cast<double>(net.totalParams()))
+       << " params, "
+       << format_count(static_cast<double>(net.totalMacs()))
+       << " MACs";
+    if (net.timesteps > 1)
+        os << " per step x " << net.timesteps << " steps";
+    os << ", " << format_count(static_cast<double>(
+                      net.totalWeightBytes()))
+       << "B weights\n";
+
+    os << std::left << std::setw(24) << "layer" << std::setw(12)
+       << "kind" << std::setw(12) << "macs" << std::setw(12) << "params"
+       << std::setw(8) << "bits" << "\n";
+    std::size_t rows = 0;
+    for (const dnn::Layer &l : net.layers()) {
+        if (max_rows != 0 && rows >= max_rows) {
+            os << "  ... (" << net.layers().size() - rows
+               << " more layers)\n";
+            break;
+        }
+        os << std::left << std::setw(24) << l.name << std::setw(12)
+           << dnn::layer_kind_name(l.kind) << std::setw(12)
+           << format_count(static_cast<double>(l.macs()))
+           << std::setw(12)
+           << format_count(static_cast<double>(l.params()))
+           << std::setw(8) << l.precisionBits << "\n";
+        ++rows;
+    }
+}
+
+void
+write_csv_header(std::ostream &os)
+{
+    os << "network,batch,layer,kind,mode,active_subarrays,macs,"
+          "weight_load_s,input_load_s,compute_s,special_s,requant_s,"
+          "total_s,energy_j\n";
+}
+
+void
+write_csv_rows(std::ostream &os, const map::RunResult &run)
+{
+    for (const map::LayerResult &l : run.layers) {
+        os << run.network << "," << run.batch << "," << l.name << ","
+           << bfree::dnn::layer_kind_name(l.kind) << ","
+           << map::exec_mode_name(l.mapping.mode) << ","
+           << l.mapping.activeSubarrays << "," << l.macs << ","
+           << l.time.weightLoad << "," << l.time.inputLoad << ","
+           << l.time.compute << "," << l.time.special << ","
+           << l.time.requant << "," << l.time.total() << ","
+           << l.energy.total() << "\n";
+    }
+}
+
+void
+print_summary(std::ostream &os, const map::RunResult &run)
+{
+    os << run.network << " (batch " << run.batch
+       << "): " << format_seconds(run.secondsPerInference())
+       << " / inference, " << format_joules(run.joulesPerInference())
+       << " / inference\n";
+}
+
+} // namespace bfree::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Report formatting: the tables and series the benches print.
+ */
+
+#ifndef BFREE_CORE_REPORT_HH
+#define BFREE_CORE_REPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "map/exec_model.hh"
+#include "mem/energy_account.hh"
+
+namespace bfree::core {
+
+/** Format seconds with an auto-selected unit (s/ms/us/ns). */
+std::string format_seconds(double seconds);
+
+/** Format joules with an auto-selected unit (J/mJ/uJ/nJ). */
+std::string format_joules(double joules);
+
+/** Format a large count with engineering suffix (K/M/G). */
+std::string format_count(double count);
+
+/** Print the per-layer table of a run (name, mode, phases, energy). */
+void print_layer_table(std::ostream &os, const map::RunResult &run,
+                       std::size_t max_rows = 0);
+
+/** Print the phase breakdown of a run as one row. */
+void print_phase_row(std::ostream &os, const std::string &label,
+                     const map::PhaseBreakdown &time);
+
+/** Print the phase breakdown as percentage shares. */
+void print_phase_shares(std::ostream &os, const std::string &label,
+                        const map::PhaseBreakdown &time);
+
+/** Print the energy account by category (optionally excluding DRAM). */
+void print_energy_breakdown(std::ostream &os,
+                            const mem::EnergyAccount &energy,
+                            bool exclude_dram = false);
+
+/** Print a one-line summary (time, energy) of a run. */
+void print_summary(std::ostream &os, const map::RunResult &run);
+
+/** Print a Table II-style description of a network: depth, parameter
+ *  and MAC totals, then the operator listing. */
+void describe_network(std::ostream &os, const dnn::Network &net,
+                      std::size_t max_rows = 0);
+
+/** Write the CSV header matching write_csv_rows. */
+void write_csv_header(std::ostream &os);
+
+/** Write one CSV row per layer of @p run. */
+void write_csv_rows(std::ostream &os, const map::RunResult &run);
+
+} // namespace bfree::core
+
+#endif // BFREE_CORE_REPORT_HH

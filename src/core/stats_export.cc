@@ -1,0 +1,78 @@
+#include "stats_export.hh"
+
+namespace bfree::core {
+
+RunStatsExport::RunStatsExport(const map::RunResult &run,
+                               const std::string &name)
+    : _root(std::make_unique<sim::StatGroup>(name))
+{
+    auto add_scalar = [this](sim::StatGroup &group,
+                             const std::string &stat_name, double value,
+                             const std::string &description) {
+        auto s = std::make_unique<sim::Scalar>(group, stat_name,
+                                               description);
+        s->set(value);
+        scalars.push_back(std::move(s));
+    };
+
+    add_scalar(*_root, "batch", run.batch, "batch size");
+    add_scalar(*_root, "secondsPerInference", run.secondsPerInference(),
+               "wall-clock seconds per inference");
+    add_scalar(*_root, "joulesPerInference", run.joulesPerInference(),
+               "energy per inference");
+    add_scalar(*_root, "numLayers",
+               static_cast<double>(run.layers.size()),
+               "operators executed");
+
+    // Phase timing.
+    auto phases = std::make_unique<sim::StatGroup>(*_root, "time");
+    add_scalar(*phases, "weightLoad", run.time.weightLoad,
+               "weight streaming seconds");
+    add_scalar(*phases, "inputLoad", run.time.inputLoad,
+               "non-hidden activation streaming seconds");
+    add_scalar(*phases, "compute", run.time.compute,
+               "MAC datapath seconds");
+    add_scalar(*phases, "special", run.time.special,
+               "LUT special-function seconds");
+    add_scalar(*phases, "requant", run.time.requant,
+               "requantization seconds");
+    add_scalar(*phases, "fill", run.time.fill,
+               "pipeline fill seconds");
+    groups.push_back(std::move(phases));
+
+    // Energy by category.
+    auto energy = std::make_unique<sim::StatGroup>(*_root, "energy");
+    for (std::size_t c = 0; c < mem::num_energy_categories; ++c) {
+        const auto cat = static_cast<mem::EnergyCategory>(c);
+        add_scalar(*energy, mem::energy_category_name(cat),
+                   run.energy.joules(cat), "joules");
+    }
+    groups.push_back(std::move(energy));
+
+    // Per-layer vectors.
+    auto layers = std::make_unique<sim::StatGroup>(*_root, "layers");
+    auto times = std::make_unique<sim::Vector>(
+        *layers, "seconds", "per-layer seconds", run.layers.size());
+    auto macs = std::make_unique<sim::Vector>(
+        *layers, "macs", "per-layer MACs", run.layers.size());
+    auto joules = std::make_unique<sim::Vector>(
+        *layers, "joules", "per-layer joules", run.layers.size());
+    for (std::size_t i = 0; i < run.layers.size(); ++i) {
+        times->add(i, run.layers[i].time.total());
+        macs->add(i, static_cast<double>(run.layers[i].macs));
+        joules->add(i, run.layers[i].energy.total());
+    }
+    vectors.push_back(std::move(times));
+    vectors.push_back(std::move(macs));
+    vectors.push_back(std::move(joules));
+    groups.push_back(std::move(layers));
+}
+
+void
+dump_run_stats(std::ostream &os, const map::RunResult &run,
+               const std::string &name)
+{
+    RunStatsExport(run, name).dump(os);
+}
+
+} // namespace bfree::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * gem5-style statistics export of a run.
+ *
+ * Converts a RunResult into a StatGroup hierarchy (run-level scalars,
+ * per-category energy, per-phase timing, per-layer vectors) and dumps
+ * it in the kernel's "name value # description" format, so downstream
+ * tooling that parses gem5 stats files can consume BFree runs.
+ */
+
+#ifndef BFREE_CORE_STATS_EXPORT_HH
+#define BFREE_CORE_STATS_EXPORT_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "map/exec_model.hh"
+#include "sim/stats.hh"
+
+namespace bfree::core {
+
+/**
+ * Owns the statistics objects built from one RunResult.
+ */
+class RunStatsExport
+{
+  public:
+    /** Build the stat hierarchy under a root group named @p name. */
+    RunStatsExport(const map::RunResult &run,
+                   const std::string &name = "bfree");
+
+    /** The root group (dump with root().dumpAll(os)). */
+    sim::StatGroup &root() { return *_root; }
+
+    /** Dump everything to @p os. */
+    void dump(std::ostream &os) const { _root->dumpAll(os); }
+
+  private:
+    std::unique_ptr<sim::StatGroup> _root;
+    std::vector<std::unique_ptr<sim::StatGroup>> groups;
+    std::vector<std::unique_ptr<sim::Scalar>> scalars;
+    std::vector<std::unique_ptr<sim::Vector>> vectors;
+};
+
+/** One-call convenience: build and dump. */
+void dump_run_stats(std::ostream &os, const map::RunResult &run,
+                    const std::string &name = "bfree");
+
+} // namespace bfree::core
+
+#endif // BFREE_CORE_STATS_EXPORT_HH

@@ -1,0 +1,83 @@
+#include "im2col.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::dnn {
+
+FloatTensor
+im2col(const Layer &layer, const FloatTensor &input)
+{
+    if (layer.kind != LayerKind::Conv)
+        bfree_panic("im2col requires a convolution layer");
+
+    const FeatureShape out = layer.outputShape();
+    const std::size_t rows = std::size_t(out.h) * out.w;
+    const std::size_t cols =
+        std::size_t(layer.input.c) * layer.kernelH * layer.kernelW;
+
+    FloatTensor matrix({rows, cols});
+    for (unsigned oh = 0; oh < out.h; ++oh) {
+        for (unsigned ow = 0; ow < out.w; ++ow) {
+            const std::size_t row = std::size_t(oh) * out.w + ow;
+            std::size_t col = 0;
+            for (unsigned c = 0; c < layer.input.c; ++c) {
+                for (unsigned r = 0; r < layer.kernelH; ++r) {
+                    for (unsigned s = 0; s < layer.kernelW; ++s, ++col) {
+                        const int ih =
+                            static_cast<int>(oh * layer.strideH + r)
+                            - static_cast<int>(layer.padH);
+                        const int iw =
+                            static_cast<int>(ow * layer.strideW + s)
+                            - static_cast<int>(layer.padW);
+                        if (ih < 0 || iw < 0
+                            || ih >= static_cast<int>(layer.input.h)
+                            || iw >= static_cast<int>(layer.input.w)) {
+                            matrix.at(row, col) = 0.0f;
+                        } else {
+                            matrix.at(row, col) = input.at(c, ih, iw);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return matrix;
+}
+
+FloatTensor
+weights_to_matrix(const Layer &layer, const std::vector<float> &weights)
+{
+    const std::size_t cols = layer.outChannels;
+    const std::size_t rows =
+        std::size_t(layer.input.c) * layer.kernelH * layer.kernelW;
+    if (weights.size() != rows * cols)
+        bfree_panic("weights_to_matrix: weight count mismatch");
+
+    FloatTensor matrix({rows, cols});
+    for (unsigned k = 0; k < layer.outChannels; ++k)
+        for (std::size_t r = 0; r < rows; ++r)
+            matrix.at(r, k) = weights[std::size_t(k) * rows + r];
+    return matrix;
+}
+
+double
+storage_expansion(const Layer &layer)
+{
+    if (layer.kind != LayerKind::Conv)
+        return 1.0;
+    const FeatureShape out = layer.outputShape();
+    const double unrolled = static_cast<double>(out.h) * out.w
+                            * layer.input.c * layer.kernelH
+                            * layer.kernelW;
+    return unrolled / static_cast<double>(layer.input.elements());
+}
+
+std::uint64_t
+unrolled_input_bytes(const Layer &layer)
+{
+    const FeatureShape out = layer.outputShape();
+    return std::uint64_t(out.h) * out.w * layer.input.c * layer.kernelH
+           * layer.kernelW * (layer.precisionBits <= 8 ? 1 : 2);
+}
+
+} // namespace bfree::dnn

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Convolution-to-matrix-multiplication transformation (Section IV-B).
+ *
+ * BFree chooses between direct convolution and the im2col matrix
+ * formulation per layer: the matrix form exploits the matmul-mode BCE
+ * (4 MACs/cycle) but replicates input elements, costing storage
+ * proportional to kernel area / stride^2. The mapping layer uses
+ * storage_expansion() for the mode decision; the functional transform
+ * backs the conv == matmul equivalence tests.
+ */
+
+#ifndef BFREE_DNN_IM2COL_HH
+#define BFREE_DNN_IM2COL_HH
+
+#include <vector>
+
+#include "layer.hh"
+#include "tensor.hh"
+
+namespace bfree::dnn {
+
+/**
+ * Unroll the input feature map of @p layer into the im2col matrix of
+ * shape [outH*outW][inC*kH*kW] (each row holds the receptive field of
+ * one output position).
+ */
+FloatTensor im2col(const Layer &layer, const FloatTensor &input);
+
+/**
+ * Reshape conv weights [outC][inC][kH][kW] into the [inC*kH*kW][outC]
+ * matrix used by the matmul formulation.
+ */
+FloatTensor weights_to_matrix(const Layer &layer,
+                              const std::vector<float> &weights);
+
+/**
+ * Ratio of unrolled input storage to the original feature map
+ * (>= 1; the wasted-copies factor the paper mentions in Fig. 9(c)).
+ */
+double storage_expansion(const Layer &layer);
+
+/** Bytes of the unrolled input matrix at the layer's precision. */
+std::uint64_t unrolled_input_bytes(const Layer &layer);
+
+} // namespace bfree::dnn
+
+#endif // BFREE_DNN_IM2COL_HH

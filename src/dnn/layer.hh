@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Layer descriptors for the workloads of Table II.
+ *
+ * A Layer captures the shape parameters the mapping and timing models
+ * need: MAC count, parameter count, input/output feature-map sizes, and
+ * the operator class (which selects conv vs matmul vs special-function
+ * execution on BFree). One struct covers all operator kinds with
+ * factory functions enforcing the relevant fields.
+ */
+
+#ifndef BFREE_DNN_LAYER_HH
+#define BFREE_DNN_LAYER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bfree::dnn {
+
+/** Operator classes used across the evaluated networks. */
+enum class LayerKind
+{
+    Conv,      ///< 2-D convolution.
+    Fc,        ///< Fully connected / linear.
+    MaxPool,   ///< Max pooling.
+    AvgPool,   ///< Average pooling.
+    Relu,      ///< Rectified linear activation.
+    Sigmoid,   ///< Logistic activation.
+    Tanh,      ///< Hyperbolic tangent activation.
+    Softmax,   ///< Softmax over the channel dimension.
+    LstmCell,  ///< One LSTM timestep (4 gates).
+    Attention, ///< One multi-head self-attention block.
+    LayerNorm, ///< Layer normalization.
+    EwAdd,     ///< Element-wise residual add.
+};
+
+/** Printable kind name. */
+const char *layer_kind_name(LayerKind kind);
+
+/** A CHW feature-map shape. */
+struct FeatureShape
+{
+    unsigned c = 0;
+    unsigned h = 0;
+    unsigned w = 0;
+
+    std::uint64_t
+    elements() const
+    {
+        return std::uint64_t(c) * h * w;
+    }
+
+    bool operator==(const FeatureShape &) const = default;
+};
+
+/**
+ * One network layer.
+ */
+struct Layer
+{
+    LayerKind kind = LayerKind::Conv;
+    std::string name;
+
+    /** Input feature map (CHW); for FC, c = inFeatures, h = w = 1. */
+    FeatureShape input;
+
+    // Convolution / pooling parameters.
+    unsigned outChannels = 0;
+    unsigned kernelH = 1;
+    unsigned kernelW = 1;
+    unsigned strideH = 1;
+    unsigned strideW = 1;
+    unsigned padH = 0;
+    unsigned padW = 0;
+
+    // Fully connected.
+    unsigned inFeatures = 0;
+    unsigned outFeatures = 0;
+    /** Independent rows a FC applies to (e.g. sequence positions). */
+    unsigned fcRows = 1;
+
+    // LSTM.
+    unsigned lstmInput = 0;
+    unsigned lstmHidden = 0;
+
+    // Attention.
+    unsigned seqLen = 0;
+    unsigned dModel = 0;
+    unsigned numHeads = 1;
+
+    /** Operand precision used on BFree (4 or 8 bits). */
+    unsigned precisionBits = 8;
+
+    // ------------------------------------------------------------------
+    // Derived quantities
+    // ------------------------------------------------------------------
+    /** Output feature-map shape. */
+    FeatureShape outputShape() const;
+
+    /** Multiply-accumulate operations in one inference of this layer. */
+    std::uint64_t macs() const;
+
+    /** Learned parameter count (weights + biases). */
+    std::uint64_t params() const;
+
+    /** Weight bytes at this layer's precision. */
+    std::uint64_t weightBytes() const;
+
+    /** Input activation bytes (1 byte per element at <= 8-bit). */
+    std::uint64_t inputBytes() const;
+
+    /** Output activation bytes. */
+    std::uint64_t outputBytes() const;
+
+    /** Non-MAC special-function evaluations (activations etc.). */
+    std::uint64_t specialOps() const;
+
+    /** True for layers executed on the MAC datapath. */
+    bool isComputeLayer() const;
+};
+
+// ----------------------------------------------------------------------
+// Factories
+// ----------------------------------------------------------------------
+Layer make_conv(std::string name, FeatureShape input, unsigned out_c,
+                unsigned kernel, unsigned stride, unsigned pad);
+
+/** Asymmetric-kernel convolution (Inception 1x7 / 7x1 factorizations). */
+Layer make_conv2(std::string name, FeatureShape input, unsigned out_c,
+                 unsigned kernel_h, unsigned kernel_w, unsigned stride,
+                 unsigned pad_h, unsigned pad_w);
+
+Layer make_fc(std::string name, unsigned in_features,
+              unsigned out_features);
+
+Layer make_pool(std::string name, LayerKind kind, FeatureShape input,
+                unsigned kernel, unsigned stride, unsigned pad = 0);
+
+Layer make_activation(std::string name, LayerKind kind,
+                      FeatureShape input);
+
+Layer make_lstm_cell(std::string name, unsigned input_size,
+                     unsigned hidden_size);
+
+Layer make_attention(std::string name, unsigned seq_len, unsigned d_model,
+                     unsigned num_heads);
+
+Layer make_layer_norm(std::string name, unsigned seq_len,
+                      unsigned d_model);
+
+Layer make_ew_add(std::string name, FeatureShape input);
+
+} // namespace bfree::dnn
+
+#endif // BFREE_DNN_LAYER_HH

@@ -1,0 +1,302 @@
+#include "model_zoo.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::dnn {
+
+namespace {
+
+/** Append a conv layer and return its output shape. */
+FeatureShape
+add_conv(Network &net, const std::string &name, FeatureShape in,
+         unsigned out_c, unsigned k, unsigned stride, unsigned pad)
+{
+    Layer l = make_conv(name, in, out_c, k, stride, pad);
+    const FeatureShape out = l.outputShape();
+    net.add(std::move(l));
+    return out;
+}
+
+FeatureShape
+add_conv2(Network &net, const std::string &name, FeatureShape in,
+          unsigned out_c, unsigned kh, unsigned kw, unsigned stride,
+          unsigned ph, unsigned pw)
+{
+    Layer l = make_conv2(name, in, out_c, kh, kw, stride, ph, pw);
+    const FeatureShape out = l.outputShape();
+    net.add(std::move(l));
+    return out;
+}
+
+FeatureShape
+add_pool(Network &net, const std::string &name, LayerKind kind,
+         FeatureShape in, unsigned k, unsigned stride, unsigned pad = 0)
+{
+    Layer l = make_pool(name, kind, in, k, stride, pad);
+    const FeatureShape out = l.outputShape();
+    net.add(std::move(l));
+    return out;
+}
+
+} // namespace
+
+Network
+make_vgg16()
+{
+    Network net("VGG-16", {3, 224, 224});
+    FeatureShape s = net.input();
+
+    auto block = [&](unsigned stage, unsigned out_c, unsigned convs) {
+        for (unsigned i = 0; i < convs; ++i) {
+            s = add_conv(net,
+                         "conv" + std::to_string(stage) + "_"
+                             + std::to_string(i + 1),
+                         s, out_c, 3, 1, 1);
+            net.add(make_activation("relu" + std::to_string(stage) + "_"
+                                        + std::to_string(i + 1),
+                                    LayerKind::Relu, s));
+        }
+        s = add_pool(net, "pool" + std::to_string(stage),
+                     LayerKind::MaxPool, s, 2, 2);
+    };
+
+    block(1, 64, 2);
+    block(2, 128, 2);
+    block(3, 256, 3);
+    block(4, 512, 3);
+    block(5, 512, 3);
+
+    net.add(make_fc("fc6", 512 * 7 * 7, 4096));
+    net.add(make_activation("relu6", LayerKind::Relu, {4096, 1, 1}));
+    net.add(make_fc("fc7", 4096, 4096));
+    net.add(make_activation("relu7", LayerKind::Relu, {4096, 1, 1}));
+    net.add(make_fc("fc8", 4096, 1000));
+    net.add(make_activation("prob", LayerKind::Softmax, {1000, 1, 1}));
+    net.reportedDepth = 16;
+    return net;
+}
+
+namespace {
+
+/** Inception-A block (Mixed_5b/5c/5d): 35x35 grid. */
+FeatureShape
+inception_a(Network &net, const std::string &prefix, FeatureShape in,
+            unsigned pool_proj)
+{
+    // Branch 1: 1x1 64.
+    add_conv(net, prefix + ".b1x1", in, 64, 1, 1, 0);
+    // Branch 2: 1x1 48 -> 5x5 64.
+    FeatureShape b2 = add_conv(net, prefix + ".b5x5_1", in, 48, 1, 1, 0);
+    add_conv(net, prefix + ".b5x5_2", b2, 64, 5, 1, 2);
+    // Branch 3: 1x1 64 -> 3x3 96 -> 3x3 96.
+    FeatureShape b3 = add_conv(net, prefix + ".b3x3dbl_1", in, 64, 1, 1,
+                               0);
+    b3 = add_conv(net, prefix + ".b3x3dbl_2", b3, 96, 3, 1, 1);
+    add_conv(net, prefix + ".b3x3dbl_3", b3, 96, 3, 1, 1);
+    // Branch 4: avg pool -> 1x1 pool_proj.
+    FeatureShape b4 =
+        add_pool(net, prefix + ".pool", LayerKind::AvgPool, in, 3, 1, 1);
+    add_conv(net, prefix + ".pool_proj", b4, pool_proj, 1, 1, 0);
+
+    return {64 + 64 + 96 + pool_proj, in.h, in.w};
+}
+
+/** Reduction-A block (Mixed_6a): 35x35 -> 17x17. */
+FeatureShape
+reduction_a(Network &net, const std::string &prefix, FeatureShape in)
+{
+    FeatureShape out1 = add_conv(net, prefix + ".b3x3", in, 384, 3, 2, 0);
+    FeatureShape b2 = add_conv(net, prefix + ".b3x3dbl_1", in, 64, 1, 1,
+                               0);
+    b2 = add_conv(net, prefix + ".b3x3dbl_2", b2, 96, 3, 1, 1);
+    FeatureShape out2 =
+        add_conv(net, prefix + ".b3x3dbl_3", b2, 96, 3, 2, 0);
+    FeatureShape out3 =
+        add_pool(net, prefix + ".pool", LayerKind::MaxPool, in, 3, 2);
+    return {out1.c + out2.c + out3.c, out1.h, out1.w};
+}
+
+/** Inception-B block (Mixed_6b..6e): 17x17, factorized 7x7 convs. */
+FeatureShape
+inception_b(Network &net, const std::string &prefix, FeatureShape in,
+            unsigned c7)
+{
+    add_conv(net, prefix + ".b1x1", in, 192, 1, 1, 0);
+
+    FeatureShape b2 = add_conv(net, prefix + ".b7x7_1", in, c7, 1, 1, 0);
+    b2 = add_conv2(net, prefix + ".b7x7_2", b2, c7, 1, 7, 1, 0, 3);
+    add_conv2(net, prefix + ".b7x7_3", b2, 192, 7, 1, 1, 3, 0);
+
+    FeatureShape b3 =
+        add_conv(net, prefix + ".b7x7dbl_1", in, c7, 1, 1, 0);
+    b3 = add_conv2(net, prefix + ".b7x7dbl_2", b3, c7, 7, 1, 1, 3, 0);
+    b3 = add_conv2(net, prefix + ".b7x7dbl_3", b3, c7, 1, 7, 1, 0, 3);
+    b3 = add_conv2(net, prefix + ".b7x7dbl_4", b3, c7, 7, 1, 1, 3, 0);
+    add_conv2(net, prefix + ".b7x7dbl_5", b3, 192, 1, 7, 1, 0, 3);
+
+    FeatureShape b4 =
+        add_pool(net, prefix + ".pool", LayerKind::AvgPool, in, 3, 1, 1);
+    add_conv(net, prefix + ".pool_proj", b4, 192, 1, 1, 0);
+
+    return {192 * 4, in.h, in.w};
+}
+
+/** Reduction-B block (Mixed_7a): 17x17 -> 8x8. */
+FeatureShape
+reduction_b(Network &net, const std::string &prefix, FeatureShape in)
+{
+    FeatureShape b1 = add_conv(net, prefix + ".b3x3_1", in, 192, 1, 1, 0);
+    FeatureShape out1 =
+        add_conv(net, prefix + ".b3x3_2", b1, 320, 3, 2, 0);
+
+    FeatureShape b2 =
+        add_conv(net, prefix + ".b7x7x3_1", in, 192, 1, 1, 0);
+    b2 = add_conv2(net, prefix + ".b7x7x3_2", b2, 192, 1, 7, 1, 0, 3);
+    b2 = add_conv2(net, prefix + ".b7x7x3_3", b2, 192, 7, 1, 1, 3, 0);
+    FeatureShape out2 =
+        add_conv(net, prefix + ".b7x7x3_4", b2, 192, 3, 2, 0);
+
+    FeatureShape out3 =
+        add_pool(net, prefix + ".pool", LayerKind::MaxPool, in, 3, 2);
+    return {out1.c + out2.c + out3.c, out1.h, out1.w};
+}
+
+/** Inception-C block (Mixed_7b/7c): 8x8, expanded filter bank. */
+FeatureShape
+inception_c(Network &net, const std::string &prefix, FeatureShape in)
+{
+    add_conv(net, prefix + ".b1x1", in, 320, 1, 1, 0);
+
+    FeatureShape b2 = add_conv(net, prefix + ".b3x3_1", in, 384, 1, 1, 0);
+    add_conv2(net, prefix + ".b3x3_2a", b2, 384, 1, 3, 1, 0, 1);
+    add_conv2(net, prefix + ".b3x3_2b", b2, 384, 3, 1, 1, 1, 0);
+
+    FeatureShape b3 =
+        add_conv(net, prefix + ".b3x3dbl_1", in, 448, 1, 1, 0);
+    b3 = add_conv(net, prefix + ".b3x3dbl_2", b3, 384, 3, 1, 1);
+    add_conv2(net, prefix + ".b3x3dbl_3a", b3, 384, 1, 3, 1, 0, 1);
+    add_conv2(net, prefix + ".b3x3dbl_3b", b3, 384, 3, 1, 1, 1, 0);
+
+    FeatureShape b4 =
+        add_pool(net, prefix + ".pool", LayerKind::AvgPool, in, 3, 1, 1);
+    add_conv(net, prefix + ".pool_proj", b4, 192, 1, 1, 0);
+
+    return {320 + 2 * 384 + 2 * 384 + 192, in.h, in.w};
+}
+
+} // namespace
+
+Network
+make_inception_v3()
+{
+    Network net("Inception-v3", {3, 299, 299});
+
+    // Stem.
+    FeatureShape s = add_conv(net, "conv1a", net.input(), 32, 3, 2, 0);
+    s = add_conv(net, "conv2a", s, 32, 3, 1, 0);
+    s = add_conv(net, "conv2b", s, 64, 3, 1, 1);
+    s = add_pool(net, "pool1", LayerKind::MaxPool, s, 3, 2);
+    s = add_conv(net, "conv3b", s, 80, 1, 1, 0);
+    s = add_conv(net, "conv4a", s, 192, 3, 1, 0);
+    s = add_pool(net, "pool2", LayerKind::MaxPool, s, 3, 2);
+
+    // 35x35 Inception-A stack.
+    s = inception_a(net, "mixed5b", s, 32);
+    s = inception_a(net, "mixed5c", s, 64);
+    s = inception_a(net, "mixed5d", s, 64);
+
+    // Reduction to 17x17.
+    s = reduction_a(net, "mixed6a", s);
+
+    // 17x17 Inception-B stack.
+    s = inception_b(net, "mixed6b", s, 128);
+    s = inception_b(net, "mixed6c", s, 160);
+    s = inception_b(net, "mixed6d", s, 160);
+    s = inception_b(net, "mixed6e", s, 192);
+
+    // Reduction to 8x8.
+    s = reduction_b(net, "mixed7a", s);
+
+    // 8x8 Inception-C stack.
+    s = inception_c(net, "mixed7b", s);
+    s = inception_c(net, "mixed7c", s);
+
+    s = add_pool(net, "pool3", LayerKind::AvgPool, s, 8, 1);
+    net.add(make_fc("fc", s.c, 1000));
+    net.add(make_activation("prob", LayerKind::Softmax, {1000, 1, 1}));
+    net.reportedDepth = 48;
+    return net;
+}
+
+Network
+make_lstm(unsigned input_size, unsigned hidden_size, unsigned timesteps)
+{
+    Network net("LSTM-" + std::to_string(hidden_size),
+                {input_size, 1, 1});
+    net.add(make_lstm_cell("cell", input_size, hidden_size));
+    net.timesteps = timesteps;
+    net.reportedDepth = 1;
+    return net;
+}
+
+void
+append_bert_encoder(Network &net, unsigned layer_index, unsigned seq_len,
+                    unsigned d_model, unsigned num_heads)
+{
+    const std::string p = "enc" + std::to_string(layer_index);
+
+    net.add(make_attention(p + ".attn", seq_len, d_model, num_heads));
+    net.add(make_ew_add(p + ".attn_res", {d_model, seq_len, 1}));
+    net.add(make_layer_norm(p + ".attn_ln", seq_len, d_model));
+
+    // Feed-forward: d -> 4d -> d, applied to every sequence position.
+    Layer ff1 = make_fc(p + ".ff1", d_model, 4 * d_model);
+    ff1.input = {d_model, seq_len, 1};
+    ff1.fcRows = seq_len;
+    net.add(ff1);
+    net.add(make_activation(p + ".gelu", LayerKind::Tanh,
+                            {4 * d_model, seq_len, 1}));
+    Layer ff2 = make_fc(p + ".ff2", 4 * d_model, d_model);
+    ff2.input = {4 * d_model, seq_len, 1};
+    ff2.fcRows = seq_len;
+    net.add(ff2);
+    net.add(make_ew_add(p + ".ff_res", {d_model, seq_len, 1}));
+    net.add(make_layer_norm(p + ".ff_ln", seq_len, d_model));
+}
+
+Network
+make_bert_base(unsigned seq_len)
+{
+    Network net("BERT-base", {768, seq_len, 1});
+    for (unsigned i = 0; i < 12; ++i)
+        append_bert_encoder(net, i, seq_len, 768, 12);
+    net.reportedDepth = 12;
+    return net;
+}
+
+Network
+make_bert_large(unsigned seq_len)
+{
+    Network net("BERT-large", {1024, seq_len, 1});
+    for (unsigned i = 0; i < 24; ++i)
+        append_bert_encoder(net, i, seq_len, 1024, 16);
+    net.reportedDepth = 24;
+    return net;
+}
+
+Network
+make_tiny_cnn()
+{
+    Network net("TinyCNN", {1, 8, 8});
+    FeatureShape s = add_conv(net, "conv1", net.input(), 4, 3, 1, 1);
+    net.add(make_activation("relu1", LayerKind::Relu, s));
+    s = add_pool(net, "pool1", LayerKind::MaxPool, s, 2, 2);
+    s = add_conv(net, "conv2", s, 8, 3, 1, 1);
+    net.add(make_activation("relu2", LayerKind::Relu, s));
+    s = add_pool(net, "pool2", LayerKind::MaxPool, s, 2, 2);
+    net.add(make_fc("fc", s.c * s.h * s.w, 10));
+    net.add(make_activation("prob", LayerKind::Softmax, {10, 1, 1}));
+    return net;
+}
+
+} // namespace bfree::dnn

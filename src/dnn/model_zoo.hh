@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Builders for the evaluated networks (Table II):
+ *
+ *   Network       Layers  Params  Mults    Dataset
+ *   Inception-v3  48      24M     4.7G     ImageNet
+ *   VGG-16        16      138M    15.5G    ImageNet
+ *   LSTM          1       4.3M    4.35M    TIMIT
+ *   BERT-base     12      87M     11.1G    MRPC
+ *   BERT-large    24      324M    39.5G    MRPC
+ *
+ * The builders reconstruct each architecture from its publication;
+ * tests assert the derived parameter/MAC totals land on the paper's
+ * numbers. A small test CNN is included for functional end-to-end
+ * validation at laptop scale.
+ */
+
+#ifndef BFREE_DNN_MODEL_ZOO_HH
+#define BFREE_DNN_MODEL_ZOO_HH
+
+#include "network.hh"
+
+namespace bfree::dnn {
+
+/** VGG-16 at 224x224x3 (Simonyan & Zisserman). */
+Network make_vgg16();
+
+/** Inception-v3 at 299x299x3 (Szegedy et al.). */
+Network make_inception_v3();
+
+/**
+ * The paper's LSTM: one cell with 1024 hidden units on TIMIT acoustic
+ * features, run over a 300-step sequence.
+ */
+Network make_lstm(unsigned input_size = 39, unsigned hidden_size = 1024,
+                  unsigned timesteps = 300);
+
+/** BERT-base encoder stack: 12 layers, d=768, 12 heads, seq 128. */
+Network make_bert_base(unsigned seq_len = 128);
+
+/** BERT-large encoder stack: 24 layers, d=1024, 16 heads, seq 128. */
+Network make_bert_large(unsigned seq_len = 128);
+
+/**
+ * A small quantization-friendly CNN (8x8 input, two conv layers, one
+ * FC) used by the functional end-to-end tests and the quickstart.
+ */
+Network make_tiny_cnn();
+
+/** One BERT encoder block's layers appended to @p net. */
+void append_bert_encoder(Network &net, unsigned layer_index,
+                         unsigned seq_len, unsigned d_model,
+                         unsigned num_heads);
+
+} // namespace bfree::dnn
+
+#endif // BFREE_DNN_MODEL_ZOO_HH

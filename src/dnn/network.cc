@@ -1,0 +1,49 @@
+#include "network.hh"
+
+namespace bfree::dnn {
+
+std::size_t
+Network::computeLayerCount() const
+{
+    std::size_t n = 0;
+    for (const Layer &l : _layers)
+        if (l.isComputeLayer())
+            ++n;
+    return n;
+}
+
+std::uint64_t
+Network::totalParams() const
+{
+    std::uint64_t total = 0;
+    for (const Layer &l : _layers)
+        total += l.params();
+    return total;
+}
+
+std::uint64_t
+Network::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const Layer &l : _layers)
+        total += l.macs();
+    return total;
+}
+
+std::uint64_t
+Network::totalWeightBytes() const
+{
+    std::uint64_t total = 0;
+    for (const Layer &l : _layers)
+        total += l.weightBytes();
+    return total;
+}
+
+void
+Network::setUniformPrecision(unsigned bits)
+{
+    for (Layer &l : _layers)
+        l.precisionBits = bits;
+}
+
+} // namespace bfree::dnn

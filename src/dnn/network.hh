@@ -1,0 +1,74 @@
+/**
+ * @file
+ * A network is an ordered list of layers plus workload-level summaries
+ * (the columns of Table II: layers, params, mults).
+ */
+
+#ifndef BFREE_DNN_NETWORK_HH
+#define BFREE_DNN_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "layer.hh"
+
+namespace bfree::dnn {
+
+/**
+ * An inference workload.
+ */
+class Network
+{
+  public:
+    Network(std::string name, FeatureShape input_shape)
+        : _name(std::move(name)), inputShape(input_shape)
+    {}
+
+    const std::string &name() const { return _name; }
+    const FeatureShape &input() const { return inputShape; }
+
+    /** Append a layer. */
+    void add(Layer layer) { _layers.push_back(std::move(layer)); }
+
+    const std::vector<Layer> &layers() const { return _layers; }
+    std::vector<Layer> &layers() { return _layers; }
+
+    /** Layers executed on the MAC datapath (the paper's layer count). */
+    std::size_t computeLayerCount() const;
+
+    /** Total learned parameters. */
+    std::uint64_t totalParams() const;
+
+    /** Total multiply-accumulates per inference. */
+    std::uint64_t totalMacs() const;
+
+    /** Total weight bytes at the configured per-layer precisions. */
+    std::uint64_t totalWeightBytes() const;
+
+    /** Set every layer's operand precision. */
+    void setUniformPrecision(unsigned bits);
+
+    /**
+     * Repetitions of the per-timestep / per-sequence work (e.g. LSTM
+     * runs its cell once per sequence step). Defaults to 1.
+     */
+    unsigned timesteps = 1;
+
+    /**
+     * The layer count the original publication reports (network depth),
+     * which differs from the flattened operator count for branched
+     * architectures: Inception-v3 is "48 layers deep" but flattens to
+     * ~95 convolutions.
+     */
+    unsigned reportedDepth = 0;
+
+  private:
+    std::string _name;
+    FeatureShape inputShape;
+    std::vector<Layer> _layers;
+};
+
+} // namespace bfree::dnn
+
+#endif // BFREE_DNN_NETWORK_HH

@@ -1,0 +1,89 @@
+#include "quantize.hh"
+
+#include <algorithm>
+
+namespace bfree::dnn {
+
+QuantizedTensor
+quantize_tensor(const FloatTensor &input, unsigned bits)
+{
+    float lo = 0.0f;
+    float hi = 0.0f;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        lo = std::min(lo, input[i]);
+        hi = std::max(hi, input[i]);
+    }
+
+    QuantizedTensor out;
+    out.qp = lut::choose_quant_params(lo, hi, bits);
+    out.values = Int8Tensor(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        out.values[i] = static_cast<std::int8_t>(
+            lut::quantize(input[i], out.qp));
+    return out;
+}
+
+std::vector<std::int8_t>
+quantize_weights(const std::vector<float> &w, lut::QuantParams &qp,
+                 unsigned bits)
+{
+    float lo = 0.0f;
+    float hi = 0.0f;
+    for (float v : w) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    qp = lut::choose_quant_params(lo, hi, bits);
+
+    std::vector<std::int8_t> out(w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        out[i] = static_cast<std::int8_t>(lut::quantize(w[i], qp));
+    return out;
+}
+
+FloatTensor
+dequantize_tensor(const QuantizedTensor &input)
+{
+    FloatTensor out(input.values.shape());
+    for (std::size_t i = 0; i < input.values.size(); ++i)
+        out[i] = static_cast<float>(
+            lut::dequantize(input.values[i], input.qp));
+    return out;
+}
+
+void
+apply_mixed_precision(Network &net)
+{
+    // Identify first and last compute layers: these keep 8 bits.
+    std::size_t first = net.layers().size();
+    std::size_t last = 0;
+    for (std::size_t i = 0; i < net.layers().size(); ++i) {
+        if (net.layers()[i].isComputeLayer()) {
+            first = std::min(first, i);
+            last = i;
+        }
+    }
+    for (std::size_t i = 0; i < net.layers().size(); ++i) {
+        Layer &l = net.layers()[i];
+        if (!l.isComputeLayer())
+            continue;
+        l.precisionBits = (i == first || i == last) ? 8 : 4;
+    }
+}
+
+double
+fraction_macs_at_4bit(const Network &net)
+{
+    std::uint64_t total = 0;
+    std::uint64_t at4 = 0;
+    for (const Layer &l : net.layers()) {
+        total += l.macs();
+        if (l.precisionBits == 4)
+            at4 += l.macs();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(at4)
+                            / static_cast<double>(total);
+}
+
+} // namespace bfree::dnn

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Tensor quantization and per-layer precision configuration.
+ *
+ * The paper executes networks at 8-bit, 4-bit, or layer-wise mixed
+ * precision (learned with the competitive-collaborative method of Khan
+ * et al.; Fig. 14 shows ~50% execution-time reduction on VGG-16 when
+ * most layers drop to 4-bit with ~1% accuracy loss). This module
+ * quantizes tensors for the functional path and builds the precision
+ * assignments the timing model consumes.
+ */
+
+#ifndef BFREE_DNN_QUANTIZE_HH
+#define BFREE_DNN_QUANTIZE_HH
+
+#include <vector>
+
+#include "lut/fixed_point.hh"
+#include "network.hh"
+#include "tensor.hh"
+
+namespace bfree::dnn {
+
+/** A tensor together with its quantization parameters. */
+struct QuantizedTensor
+{
+    Int8Tensor values{};
+    lut::QuantParams qp;
+};
+
+/** Quantize a float tensor to @p bits with range taken from the data. */
+QuantizedTensor quantize_tensor(const FloatTensor &input, unsigned bits);
+
+/** Quantize a flat weight vector. */
+std::vector<std::int8_t> quantize_weights(const std::vector<float> &w,
+                                          lut::QuantParams &qp,
+                                          unsigned bits);
+
+/** Dequantize back to float. */
+FloatTensor dequantize_tensor(const QuantizedTensor &input);
+
+/**
+ * Apply the paper's mixed-precision policy to @p net: layers stay
+ * 8-bit when they are range-sensitive (first/last compute layers),
+ * everything else drops to 4-bit.
+ */
+void apply_mixed_precision(Network &net);
+
+/** Fraction of MACs executed at 4-bit under the current assignment. */
+double fraction_macs_at_4bit(const Network &net);
+
+} // namespace bfree::dnn
+
+#endif // BFREE_DNN_QUANTIZE_HH

@@ -1,0 +1,307 @@
+#include "reference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::dnn {
+
+FloatTensor
+reference_conv(const Layer &layer, const FloatTensor &input,
+               const std::vector<float> &weights,
+               const std::vector<float> &bias)
+{
+    const FeatureShape out = layer.outputShape();
+    const unsigned in_c = layer.input.c;
+    if (weights.size() != std::size_t(layer.outChannels) * in_c
+                              * layer.kernelH * layer.kernelW)
+        bfree_panic("conv '", layer.name, "': weight count mismatch");
+    if (bias.size() != layer.outChannels)
+        bfree_panic("conv '", layer.name, "': bias count mismatch");
+
+    FloatTensor output({out.c, out.h, out.w});
+    for (unsigned k = 0; k < out.c; ++k) {
+        for (unsigned oh = 0; oh < out.h; ++oh) {
+            for (unsigned ow = 0; ow < out.w; ++ow) {
+                float acc = bias[k];
+                for (unsigned c = 0; c < in_c; ++c) {
+                    for (unsigned r = 0; r < layer.kernelH; ++r) {
+                        for (unsigned s = 0; s < layer.kernelW; ++s) {
+                            const int ih = static_cast<int>(
+                                               oh * layer.strideH + r)
+                                           - static_cast<int>(layer.padH);
+                            const int iw = static_cast<int>(
+                                               ow * layer.strideW + s)
+                                           - static_cast<int>(layer.padW);
+                            if (ih < 0 || iw < 0
+                                || ih >= static_cast<int>(layer.input.h)
+                                || iw >= static_cast<int>(layer.input.w))
+                                continue;
+                            const std::size_t widx =
+                                ((std::size_t(k) * in_c + c)
+                                     * layer.kernelH
+                                 + r) * layer.kernelW
+                                + s;
+                            acc += weights[widx]
+                                   * input.at(c, ih, iw);
+                        }
+                    }
+                }
+                output.at(k, oh, ow) = acc;
+            }
+        }
+    }
+    return output;
+}
+
+FloatTensor
+reference_fc(const Layer &layer, const FloatTensor &input,
+             const std::vector<float> &weights,
+             const std::vector<float> &bias)
+{
+    if (input.size() != layer.inFeatures)
+        bfree_panic("fc '", layer.name, "': input size ", input.size(),
+                    " != ", layer.inFeatures);
+    if (weights.size()
+        != std::size_t(layer.inFeatures) * layer.outFeatures)
+        bfree_panic("fc '", layer.name, "': weight count mismatch");
+
+    FloatTensor output({layer.outFeatures, 1, 1});
+    for (unsigned o = 0; o < layer.outFeatures; ++o) {
+        float acc = bias[o];
+        for (unsigned i = 0; i < layer.inFeatures; ++i)
+            acc += weights[std::size_t(o) * layer.inFeatures + i]
+                   * input[i];
+        output[o] = acc;
+    }
+    return output;
+}
+
+namespace {
+
+template <typename Reduce>
+FloatTensor
+pool_impl(const Layer &layer, const FloatTensor &input, float init,
+          Reduce reduce, bool average)
+{
+    const FeatureShape out = layer.outputShape();
+    FloatTensor output({out.c, out.h, out.w});
+    for (unsigned c = 0; c < out.c; ++c) {
+        for (unsigned oh = 0; oh < out.h; ++oh) {
+            for (unsigned ow = 0; ow < out.w; ++ow) {
+                float acc = init;
+                unsigned valid = 0;
+                for (unsigned r = 0; r < layer.kernelH; ++r) {
+                    for (unsigned s = 0; s < layer.kernelW; ++s) {
+                        const int ih = static_cast<int>(
+                                           oh * layer.strideH + r)
+                                       - static_cast<int>(layer.padH);
+                        const int iw = static_cast<int>(
+                                           ow * layer.strideW + s)
+                                       - static_cast<int>(layer.padW);
+                        if (ih < 0 || iw < 0
+                            || ih >= static_cast<int>(layer.input.h)
+                            || iw >= static_cast<int>(layer.input.w))
+                            continue;
+                        acc = reduce(acc, input.at(c, ih, iw));
+                        ++valid;
+                    }
+                }
+                output.at(c, oh, ow) =
+                    average && valid > 0 ? acc / valid : acc;
+            }
+        }
+    }
+    return output;
+}
+
+} // namespace
+
+FloatTensor
+reference_max_pool(const Layer &layer, const FloatTensor &input)
+{
+    return pool_impl(
+        layer, input, -std::numeric_limits<float>::infinity(),
+        [](float a, float b) { return std::max(a, b); }, false);
+}
+
+FloatTensor
+reference_avg_pool(const Layer &layer, const FloatTensor &input)
+{
+    return pool_impl(
+        layer, input, 0.0f, [](float a, float b) { return a + b; }, true);
+}
+
+FloatTensor
+reference_activation(LayerKind kind, const FloatTensor &input)
+{
+    FloatTensor output(input.shape());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const float x = input[i];
+        switch (kind) {
+          case LayerKind::Relu:
+            output[i] = std::max(0.0f, x);
+            break;
+          case LayerKind::Sigmoid:
+            output[i] = 1.0f / (1.0f + std::exp(-x));
+            break;
+          case LayerKind::Tanh:
+            output[i] = std::tanh(x);
+            break;
+          default:
+            bfree_panic("unsupported activation kind");
+        }
+    }
+    return output;
+}
+
+FloatTensor
+reference_softmax(const FloatTensor &input)
+{
+    FloatTensor output(input.shape());
+    float max_v = -std::numeric_limits<float>::infinity();
+    for (std::size_t i = 0; i < input.size(); ++i)
+        max_v = std::max(max_v, input[i]);
+    float denom = 0.0f;
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        output[i] = std::exp(input[i] - max_v);
+        denom += output[i];
+    }
+    for (std::size_t i = 0; i < input.size(); ++i)
+        output[i] /= denom;
+    return output;
+}
+
+LstmState
+reference_lstm_step(const Layer &layer, const std::vector<float> &x,
+                    const LstmState &prev,
+                    const std::vector<float> &weights,
+                    const std::vector<float> &bias)
+{
+    const unsigned in = layer.lstmInput;
+    const unsigned hid = layer.lstmHidden;
+    const unsigned cols = in + hid;
+    if (x.size() != in || prev.h.size() != hid || prev.c.size() != hid)
+        bfree_panic("lstm '", layer.name, "': state size mismatch");
+    if (weights.size() != std::size_t(4) * hid * cols
+        || bias.size() != std::size_t(4) * hid)
+        bfree_panic("lstm '", layer.name, "': weight size mismatch");
+
+    auto gate = [&](unsigned g, unsigned j) {
+        float acc = bias[g * hid + j];
+        const std::size_t row = (std::size_t(g) * hid + j) * cols;
+        for (unsigned i = 0; i < in; ++i)
+            acc += weights[row + i] * x[i];
+        for (unsigned i = 0; i < hid; ++i)
+            acc += weights[row + in + i] * prev.h[i];
+        return acc;
+    };
+    auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+
+    LstmState next;
+    next.h.resize(hid);
+    next.c.resize(hid);
+    for (unsigned j = 0; j < hid; ++j) {
+        const float i_g = sigmoid(gate(0, j));
+        const float f_g = sigmoid(gate(1, j));
+        const float g_g = std::tanh(gate(2, j));
+        const float o_g = sigmoid(gate(3, j));
+        next.c[j] = f_g * prev.c[j] + i_g * g_g;
+        next.h[j] = o_g * std::tanh(next.c[j]);
+    }
+    return next;
+}
+
+FloatTensor
+reference_matmul(const FloatTensor &a, const FloatTensor &b)
+{
+    if (a.rank() != 2 || b.rank() != 2 || a.dim(1) != b.dim(0))
+        bfree_panic("matmul shape mismatch");
+    const std::size_t m = a.dim(0);
+    const std::size_t k = a.dim(1);
+    const std::size_t n = b.dim(1);
+    FloatTensor c({m, n});
+    for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::size_t p = 0; p < k; ++p)
+                acc += a.at(i, p) * b.at(p, j);
+            c.at(i, j) = acc;
+        }
+    }
+    return c;
+}
+
+FloatTensor
+reference_attention(const Layer &layer, const FloatTensor &input,
+                    const std::vector<float> &wq,
+                    const std::vector<float> &wk,
+                    const std::vector<float> &wv,
+                    const std::vector<float> &wo)
+{
+    const unsigned s = layer.seqLen;
+    const unsigned d = layer.dModel;
+    if (input.rank() != 2 || input.dim(0) != s || input.dim(1) != d)
+        bfree_panic("attention '", layer.name, "': input must be [s][d]");
+    const std::size_t dd = std::size_t(d) * d;
+    if (wq.size() != dd || wk.size() != dd || wv.size() != dd
+        || wo.size() != dd)
+        bfree_panic("attention '", layer.name,
+                    "': projection weights must be d x d");
+
+    auto project = [&](const std::vector<float> &w) {
+        FloatTensor out({s, d});
+        for (unsigned i = 0; i < s; ++i)
+            for (unsigned j = 0; j < d; ++j) {
+                float acc = 0.0f;
+                for (unsigned p = 0; p < d; ++p)
+                    acc += input.at(i, p) * w[std::size_t(p) * d + j];
+                out.at(i, j) = acc;
+            }
+        return out;
+    };
+
+    const FloatTensor q = project(wq);
+    const FloatTensor k = project(wk);
+    const FloatTensor v = project(wv);
+
+    const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+    FloatTensor context({s, d});
+    std::vector<float> row(s);
+    for (unsigned i = 0; i < s; ++i) {
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (unsigned j = 0; j < s; ++j) {
+            float acc = 0.0f;
+            for (unsigned p = 0; p < d; ++p)
+                acc += q.at(i, p) * k.at(j, p);
+            row[j] = acc * scale;
+            max_v = std::max(max_v, row[j]);
+        }
+        float denom = 0.0f;
+        for (unsigned j = 0; j < s; ++j) {
+            row[j] = std::exp(row[j] - max_v);
+            denom += row[j];
+        }
+        for (unsigned j = 0; j < s; ++j)
+            row[j] /= denom;
+        for (unsigned p = 0; p < d; ++p) {
+            float acc = 0.0f;
+            for (unsigned j = 0; j < s; ++j)
+                acc += row[j] * v.at(j, p);
+            context.at(i, p) = acc;
+        }
+    }
+
+    FloatTensor out({s, d});
+    for (unsigned i = 0; i < s; ++i)
+        for (unsigned j = 0; j < d; ++j) {
+            float acc = 0.0f;
+            for (unsigned p = 0; p < d; ++p)
+                acc += context.at(i, p) * wo[std::size_t(p) * d + j];
+            out.at(i, j) = acc;
+        }
+    return out;
+}
+
+} // namespace bfree::dnn

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Float reference executors.
+ *
+ * Ground-truth implementations of every operator, used to validate the
+ * quantized LUT-based BFree execution path. These are straightforward
+ * loop nests — clarity over speed.
+ */
+
+#ifndef BFREE_DNN_REFERENCE_HH
+#define BFREE_DNN_REFERENCE_HH
+
+#include <vector>
+
+#include "layer.hh"
+#include "tensor.hh"
+
+namespace bfree::dnn {
+
+/** Direct convolution. Weights are [outC][inC][kH][kW] flattened. */
+FloatTensor reference_conv(const Layer &layer, const FloatTensor &input,
+                           const std::vector<float> &weights,
+                           const std::vector<float> &bias);
+
+/** Fully connected: out = W x in + b, W is [out][in] flattened. */
+FloatTensor reference_fc(const Layer &layer, const FloatTensor &input,
+                         const std::vector<float> &weights,
+                         const std::vector<float> &bias);
+
+/** Max pooling. */
+FloatTensor reference_max_pool(const Layer &layer,
+                               const FloatTensor &input);
+
+/** Average pooling. */
+FloatTensor reference_avg_pool(const Layer &layer,
+                               const FloatTensor &input);
+
+/** Element-wise activation (ReLU / sigmoid / tanh). */
+FloatTensor reference_activation(LayerKind kind, const FloatTensor &input);
+
+/** Softmax over the whole tensor (used on logits). */
+FloatTensor reference_softmax(const FloatTensor &input);
+
+/** One LSTM timestep state. */
+struct LstmState
+{
+    std::vector<float> h; ///< Hidden state.
+    std::vector<float> c; ///< Cell state.
+};
+
+/**
+ * One LSTM cell step. Gate weights are packed [i, f, g, o] each of
+ * shape [hidden][input + hidden]; biases likewise.
+ */
+LstmState reference_lstm_step(const Layer &layer,
+                              const std::vector<float> &x,
+                              const LstmState &prev,
+                              const std::vector<float> &weights,
+                              const std::vector<float> &bias);
+
+/**
+ * Single-head scaled dot-product self-attention over a [seq][d] input
+ * with packed Q/K/V/O projection weights (each [d][d]).
+ */
+FloatTensor reference_attention(const Layer &layer,
+                                const FloatTensor &input,
+                                const std::vector<float> &wq,
+                                const std::vector<float> &wk,
+                                const std::vector<float> &wv,
+                                const std::vector<float> &wo);
+
+/** Matrix multiply helper: C[m][n] = A[m][k] * B[k][n]. */
+FloatTensor reference_matmul(const FloatTensor &a, const FloatTensor &b);
+
+} // namespace bfree::dnn
+
+#endif // BFREE_DNN_REFERENCE_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * A minimal dense tensor for the functional executors.
+ *
+ * Layout is row-major over an arbitrary rank (networks here use CHW or
+ * NCHW). The class is deliberately small: the repository's heavy
+ * lifting is architectural modelling, and the functional path only
+ * needs correct, readable reference math.
+ */
+
+#ifndef BFREE_DNN_TENSOR_HH
+#define BFREE_DNN_TENSOR_HH
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+namespace bfree::dnn {
+
+/** Dense row-major tensor of T. */
+template <typename T>
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    explicit Tensor(std::vector<std::size_t> shape)
+        : _shape(std::move(shape)), _data(count(_shape), T{})
+    {}
+
+    Tensor(std::vector<std::size_t> shape, T fill)
+        : _shape(std::move(shape)), _data(count(_shape), fill)
+    {}
+
+    /** Number of elements implied by @p shape. */
+    static std::size_t
+    count(const std::vector<std::size_t> &shape)
+    {
+        return std::accumulate(shape.begin(), shape.end(),
+                               std::size_t{1}, std::multiplies<>());
+    }
+
+    const std::vector<std::size_t> &shape() const { return _shape; }
+    std::size_t rank() const { return _shape.size(); }
+    std::size_t size() const { return _data.size(); }
+
+    /** Dimension @p i of the shape. */
+    std::size_t
+    dim(std::size_t i) const
+    {
+        if (i >= _shape.size())
+            bfree_panic("tensor dim ", i, " out of rank ", _shape.size());
+        return _shape[i];
+    }
+
+    T *data() { return _data.data(); }
+    const T *data() const { return _data.data(); }
+
+    T &operator[](std::size_t flat) { return _data[flat]; }
+    const T &operator[](std::size_t flat) const { return _data[flat]; }
+
+    /** 3-D CHW accessor. */
+    T &
+    at(std::size_t c, std::size_t h, std::size_t w)
+    {
+        return _data[flatIndex(c, h, w)];
+    }
+
+    const T &
+    at(std::size_t c, std::size_t h, std::size_t w) const
+    {
+        return _data[flatIndex(c, h, w)];
+    }
+
+    /** 2-D accessor (matrices). */
+    T &
+    at(std::size_t r, std::size_t c)
+    {
+        return _data[flatIndex2(r, c)];
+    }
+
+    const T &
+    at(std::size_t r, std::size_t c) const
+    {
+        return _data[flatIndex2(r, c)];
+    }
+
+    /** Fill with uniform random values in [lo, hi] (reproducible). */
+    void
+    fillUniform(sim::Rng &rng, double lo, double hi)
+    {
+        for (T &v : _data)
+            v = static_cast<T>(rng.uniformReal(lo, hi));
+    }
+
+  private:
+    std::size_t
+    flatIndex(std::size_t c, std::size_t h, std::size_t w) const
+    {
+        if (_shape.size() != 3)
+            bfree_panic("CHW accessor on rank-", _shape.size(), " tensor");
+        if (c >= _shape[0] || h >= _shape[1] || w >= _shape[2])
+            bfree_panic("tensor index (", c, ",", h, ",", w,
+                        ") out of shape");
+        return (c * _shape[1] + h) * _shape[2] + w;
+    }
+
+    std::size_t
+    flatIndex2(std::size_t r, std::size_t c) const
+    {
+        if (_shape.size() != 2)
+            bfree_panic("matrix accessor on rank-", _shape.size(),
+                        " tensor");
+        if (r >= _shape[0] || c >= _shape[1])
+            bfree_panic("matrix index (", r, ",", c, ") out of shape");
+        return r * _shape[1] + c;
+    }
+
+    std::vector<std::size_t> _shape;
+    std::vector<T> _data;
+};
+
+using FloatTensor = Tensor<float>;
+using Int32Tensor = Tensor<std::int32_t>;
+using Int8Tensor = Tensor<std::int8_t>;
+
+} // namespace bfree::dnn
+
+#endif // BFREE_DNN_TENSOR_HH

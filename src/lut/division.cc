@@ -1,0 +1,96 @@
+#include "division.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+DivisionLut::DivisionLut(unsigned m) : m(m), frac(12)
+{
+    if (m < 2 || m > 8)
+        bfree_fatal("division LUT index width must be in [2, 8], got ", m);
+
+    table.resize(entries());
+    for (unsigned i = 0; i < entries(); ++i) {
+        // Yh = 1 + i / 2^m, an exact m-bit truncation of a [1,2) value.
+        const double yh = 1.0 + static_cast<double>(i) / entries();
+        const double recip_sq = 1.0 / (yh * yh);
+        table[i] = static_cast<std::uint16_t>(
+            std::lround(recip_sq * (1u << frac)));
+    }
+}
+
+namespace {
+
+/** Normalize v > 0 into [1, 2): v = mant * 2^exp. */
+double
+normalize(double v, int &exp)
+{
+    const double mant = std::frexp(v, &exp); // mant in [0.5, 1)
+    --exp;
+    return mant * 2.0;
+}
+
+} // namespace
+
+double
+DivisionLut::divide(double x, double y, MicroOpCounts *counts) const
+{
+    if (y <= 0.0 || x < 0.0)
+        bfree_fatal("division LUT handles x >= 0, y > 0; got ", x, " / ",
+                    y);
+    if (x == 0.0)
+        return 0.0;
+
+    int ex = 0;
+    int ey = 0;
+    const double fx = normalize(x, ex);
+    const double fy = normalize(y, ey);
+
+    // Split fy = Yh + Yl at m fractional bits.
+    const double scale = static_cast<double>(entries());
+    const double yh_index = std::floor((fy - 1.0) * scale);
+    const double yh = 1.0 + yh_index / scale;
+    const double yl = fy - yh;
+
+    // LUT fetch of 1/Yh^2 in Q(frac).
+    const auto index = static_cast<unsigned>(yh_index);
+    const double recip_sq =
+        static_cast<double>(table[index]) / (1u << frac);
+
+    // X * (Yh - Yl) * (1/Yh^2), then undo the normalization shifts.
+    const double q = fx * (yh - yl) * recip_sq;
+    const double result = std::ldexp(q, ex - ey);
+
+    if (counts != nullptr) {
+        counts->lutLookups += 1; // reciprocal fetch
+        counts->shifts += 2;     // operand normalization / re-mapping
+        counts->adds += 1;       // Yh - Yl
+        counts->romLookups += 2; // the two datapath multiplies
+        counts->cycles += 4;     // normalize, sub, mul, mul (pipelined)
+    }
+    return result;
+}
+
+std::int64_t
+DivisionLut::divideInt(std::int64_t x, std::int64_t y,
+                       MicroOpCounts *counts) const
+{
+    if (x < 0 || y <= 0)
+        bfree_fatal("divideInt handles x >= 0, y > 0; got ", x, " / ", y);
+    const double q =
+        divide(static_cast<double>(x), static_cast<double>(y), counts);
+    return static_cast<std::int64_t>(std::llround(q));
+}
+
+double
+DivisionLut::errorBound() const
+{
+    // |X/Y - X(Yh-Yl)/Yh^2| / (X/Y) = (Yl/Yh)^2 <= 2^-2m, plus the
+    // Q(frac) table rounding.
+    return std::pow(2.0, -2.0 * static_cast<double>(m))
+           + std::pow(2.0, -static_cast<double>(frac) + 1);
+}
+
+} // namespace bfree::lut

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * LUT-based division (Section III-C2).
+ *
+ * BFree performs division (average pooling, softmax normalization,
+ * layer-norm) with the small-lookup-table method of Hung, Fahmy, Mencer
+ * and Flynn (Asilomar'99), Equation (1) in the paper:
+ *
+ *     X / Y  ~=  X * (Yh - Yl) / Yh^2,    X, Y normalized into [1, 2)
+ *
+ * where Y = Yh + Yl is split into its upper m bits Yh and lower m bits
+ * Yl. The 1/Yh^2 values come from a 2^m-entry LUT; the multiply runs on
+ * the regular BCE datapath; and pre/post shifts re-map operands from and
+ * to their original binades. The approximation error is O(2^-2m).
+ */
+
+#ifndef BFREE_LUT_DIVISION_HH
+#define BFREE_LUT_DIVISION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "operand_analyzer.hh"
+
+namespace bfree::lut {
+
+/**
+ * Reciprocal-square table and the full division pipeline.
+ */
+class DivisionLut
+{
+  public:
+    /**
+     * @param m Bits of Yh (operands are treated as 2m-bit values in
+     *          [1,2)); the table holds 2^m entries. The paper's design
+     *          point uses m = 4 -> 16 one-byte entries.
+     */
+    explicit DivisionLut(unsigned m = 4);
+
+    /** Table index bits. */
+    unsigned mBits() const { return m; }
+
+    /** Number of stored reciprocal entries. */
+    unsigned entries() const { return 1u << m; }
+
+    /**
+     * Approximate x / y for positive reals using the LUT pipeline.
+     * Counts: one LUT lookup for 1/Yh^2, two multiplies worth of BCE
+     * work, one subtract, and normalization shifts.
+     */
+    double divide(double x, double y, MicroOpCounts *counts = nullptr) const;
+
+    /**
+     * Integer division used on the quantized path: returns
+     * round(x / y) computed through the same approximation.
+     * @pre x >= 0, y > 0
+     */
+    std::int64_t divideInt(std::int64_t x, std::int64_t y,
+                           MicroOpCounts *counts = nullptr) const;
+
+    /** Worst-case relative error bound of the method: ~2^-2m. */
+    double errorBound() const;
+
+    /** Raw fixed-point table (Q(fracBits)) for LUT-image serialization. */
+    const std::vector<std::uint16_t> &raw() const { return table; }
+
+    /** Fractional bits of the stored reciprocal values. */
+    unsigned fracBits() const { return frac; }
+
+  private:
+    unsigned m;
+    unsigned frac;
+    std::vector<std::uint16_t> table; ///< round(2^frac / Yh^2).
+};
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_DIVISION_HH

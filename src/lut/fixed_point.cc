@@ -1,0 +1,126 @@
+#include "fixed_point.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+std::int32_t
+saturate(std::int64_t v, std::int32_t lo, std::int32_t hi)
+{
+    return static_cast<std::int32_t>(
+        std::clamp<std::int64_t>(v, lo, hi));
+}
+
+std::int32_t
+quantize(double real, const QuantParams &qp)
+{
+    const double scaled = real / qp.scale + qp.zeroPoint;
+    const auto rounded = static_cast<std::int64_t>(std::lround(scaled));
+    return saturate(rounded, qp.qmin(), qp.qmax());
+}
+
+double
+dequantize(std::int32_t q, const QuantParams &qp)
+{
+    return qp.scale * (q - qp.zeroPoint);
+}
+
+QuantParams
+choose_quant_params(double rmin, double rmax, unsigned bits)
+{
+    if (bits < 2 || bits > 16)
+        bfree_fatal("quantization bits must be in [2, 16], got ", bits);
+
+    // The range must include zero so that padding quantizes exactly.
+    rmin = std::min(rmin, 0.0);
+    rmax = std::max(rmax, 0.0);
+    if (rmin == rmax)
+        rmax = rmin + 1.0;
+
+    QuantParams qp;
+    qp.bits = bits;
+    const double qrange =
+        static_cast<double>(qp.qmax()) - static_cast<double>(qp.qmin());
+    qp.scale = (rmax - rmin) / qrange;
+
+    // Nudge the zero point to an integer.
+    const double zp_real = qp.qmin() - rmin / qp.scale;
+    qp.zeroPoint =
+        saturate(static_cast<std::int64_t>(std::lround(zp_real)),
+                 qp.qmin(), qp.qmax());
+    return qp;
+}
+
+RequantScale
+compute_requant_scale(double real_multiplier)
+{
+    if (real_multiplier <= 0.0 || real_multiplier > 1.0)
+        bfree_fatal("requant multiplier must be in (0, 1], got ",
+                    real_multiplier);
+
+    RequantScale rs;
+    int exponent = 0;
+    const double mantissa = std::frexp(real_multiplier, &exponent);
+    // mantissa in [0.5, 1), real = mantissa * 2^exponent, exponent <= 0
+    // except for real == 1.0 where frexp yields 0.5 * 2^1.
+    auto q31 = static_cast<std::int64_t>(
+        std::lround(mantissa * static_cast<double>(1LL << 31)));
+    if (q31 == (1LL << 31)) {
+        q31 /= 2;
+        ++exponent;
+    }
+    if (exponent > 0) {
+        // real_multiplier == 1.0: saturate to the closest Q31 value.
+        q31 = std::numeric_limits<std::int32_t>::max();
+        exponent = 0;
+    }
+    rs.multiplier = static_cast<std::int32_t>(q31);
+    rs.shift = -exponent;
+    return rs;
+}
+
+std::int32_t
+saturating_rounding_doubling_high_mul(std::int32_t a, std::int32_t b)
+{
+    const bool overflow =
+        a == b && a == std::numeric_limits<std::int32_t>::min();
+    if (overflow)
+        return std::numeric_limits<std::int32_t>::max();
+
+    const std::int64_t ab = static_cast<std::int64_t>(a) * b;
+    const std::int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
+    return static_cast<std::int32_t>((ab + nudge) / (1LL << 31));
+}
+
+std::int32_t
+rounding_divide_by_pot(std::int32_t x, int shift)
+{
+    if (shift < 0 || shift > 31)
+        bfree_panic("rounding shift out of range: ", shift);
+    if (shift == 0)
+        return x;
+    const std::int32_t mask = (1 << shift) - 1;
+    const std::int32_t remainder = x & mask;
+    const std::int32_t threshold = (mask >> 1) + (x < 0 ? 1 : 0);
+    return (x >> shift) + (remainder > threshold ? 1 : 0);
+}
+
+std::int32_t
+requantize(std::int32_t acc, const RequantScale &scale,
+           std::int32_t out_zero_point, unsigned out_bits)
+{
+    const std::int32_t scaled =
+        saturating_rounding_doubling_high_mul(acc, scale.multiplier);
+    const std::int32_t shifted =
+        rounding_divide_by_pot(scaled, scale.shift);
+    const std::int32_t lo = -(1 << (out_bits - 1));
+    const std::int32_t hi = (1 << (out_bits - 1)) - 1;
+    return saturate(static_cast<std::int64_t>(shifted) + out_zero_point,
+                    lo, hi);
+}
+
+} // namespace bfree::lut

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fixed-point and quantization support.
+ *
+ * BFree executes DNN inference on reduced-precision integers (the paper
+ * uses 8-bit and 4-bit operands, quantized with the gemmlowp scheme).
+ * This header provides affine quantization parameters, saturating
+ * arithmetic and the gemmlowp-style requantization pipeline
+ * (multiply by a fixed-point scale, round, shift, saturate) that BFree
+ * performs inside the sub-arrays hosting the output features.
+ */
+
+#ifndef BFREE_LUT_FIXED_POINT_HH
+#define BFREE_LUT_FIXED_POINT_HH
+
+#include <cstdint>
+
+namespace bfree::lut {
+
+/** Affine quantization: real = scale * (q - zeroPoint). */
+struct QuantParams
+{
+    double scale = 1.0;
+    std::int32_t zeroPoint = 0;
+    unsigned bits = 8;
+
+    /** Smallest representable quantized value (signed symmetric range). */
+    std::int32_t qmin() const { return -(1 << (bits - 1)); }
+
+    /** Largest representable quantized value. */
+    std::int32_t qmax() const { return (1 << (bits - 1)) - 1; }
+};
+
+/** Clamp @p v into [lo, hi]. */
+std::int32_t saturate(std::int64_t v, std::int32_t lo, std::int32_t hi);
+
+/** Quantize a real value under @p qp with round-to-nearest. */
+std::int32_t quantize(double real, const QuantParams &qp);
+
+/** Recover the real value of quantized @p q. */
+double dequantize(std::int32_t q, const QuantParams &qp);
+
+/**
+ * Choose quantization parameters covering [@p rmin, @p rmax] with
+ * @p bits of signed precision. The range is nudged so zero is exactly
+ * representable (required so zero padding is exact).
+ */
+QuantParams choose_quant_params(double rmin, double rmax, unsigned bits);
+
+/**
+ * A positive real multiplier decomposed as m0 * 2^-shift with
+ * m0 a Q31 fixed-point value in [0.5, 1), exactly as gemmlowp does.
+ */
+struct RequantScale
+{
+    std::int32_t multiplier = 0; ///< Q31 mantissa in [2^30, 2^31).
+    int shift = 0;               ///< Right shift applied after the mul.
+};
+
+/** Decompose @p real_multiplier (must be in (0, 1]). */
+RequantScale compute_requant_scale(double real_multiplier);
+
+/**
+ * gemmlowp SaturatingRoundingDoublingHighMul: the high 32 bits of
+ * 2*a*b with rounding, saturating the single overflow case
+ * (a == b == INT32_MIN).
+ */
+std::int32_t saturating_rounding_doubling_high_mul(std::int32_t a,
+                                                   std::int32_t b);
+
+/** Rounding arithmetic right shift by @p shift >= 0. */
+std::int32_t rounding_divide_by_pot(std::int32_t x, int shift);
+
+/**
+ * Full requantization of an int32 accumulator to @p out_bits signed
+ * integer: acc -> sat( rshift( acc *q31 scale ) + out_zero_point ).
+ */
+std::int32_t requantize(std::int32_t acc, const RequantScale &scale,
+                        std::int32_t out_zero_point, unsigned out_bits);
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_FIXED_POINT_HH

@@ -1,0 +1,104 @@
+#include "lut_image.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+std::uint16_t
+fletcher16(const std::uint8_t *data, std::size_t len)
+{
+    std::uint32_t sum1 = 0;
+    std::uint32_t sum2 = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        sum1 = (sum1 + data[i]) % 255;
+        sum2 = (sum2 + sum1) % 255;
+    }
+    return static_cast<std::uint16_t>((sum2 << 8) | sum1);
+}
+
+std::uint16_t
+LutImage::checksum() const
+{
+    return fletcher16(bytes.data(), bytes.size());
+}
+
+LutImage
+serialize(const MultLut &lut)
+{
+    LutImage image;
+    image.name = "mult49";
+    image.bytes.assign(lut.raw().begin(), lut.raw().end());
+    return image;
+}
+
+LutImage
+serialize(const DivisionLut &div)
+{
+    LutImage image;
+    image.name = "recip_sq_m" + std::to_string(div.mBits());
+    image.bytes.reserve(div.raw().size() * 2);
+    for (std::uint16_t v : div.raw()) {
+        image.bytes.push_back(static_cast<std::uint8_t>(v & 0xFF));
+        image.bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+    return image;
+}
+
+namespace {
+
+std::int16_t
+to_q(double v, unsigned frac_bits, const std::string &what)
+{
+    const double scaled = v * (1 << frac_bits);
+    if (scaled < -32768.0 || scaled > 32767.0)
+        bfree_fatal("PWL value ", v, " does not fit Q", frac_bits,
+                    " 16-bit storage in ", what);
+    return static_cast<std::int16_t>(std::lround(scaled));
+}
+
+} // namespace
+
+LutImage
+serialize(const PwlTable &table, unsigned frac_bits)
+{
+    LutImage image;
+    image.name = "pwl_" + table.name();
+    image.bytes.reserve(table.raw().size() * 4);
+    for (const PwlSegment &seg : table.raw()) {
+        const std::int16_t alpha = to_q(seg.alpha, frac_bits, image.name);
+        const std::int16_t beta = to_q(seg.beta, frac_bits, image.name);
+        const auto ua = static_cast<std::uint16_t>(alpha);
+        const auto ub = static_cast<std::uint16_t>(beta);
+        image.bytes.push_back(static_cast<std::uint8_t>(ua & 0xFF));
+        image.bytes.push_back(static_cast<std::uint8_t>(ua >> 8));
+        image.bytes.push_back(static_cast<std::uint8_t>(ub & 0xFF));
+        image.bytes.push_back(static_cast<std::uint8_t>(ub >> 8));
+    }
+    return image;
+}
+
+std::vector<PwlSegment>
+parse_pwl(const LutImage &image, unsigned frac_bits)
+{
+    if (image.bytes.size() % 4 != 0)
+        bfree_fatal("PWL image '", image.name,
+                    "' has a size that is not a multiple of 4");
+
+    std::vector<PwlSegment> segs(image.bytes.size() / 4);
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+        const std::size_t base = s * 4;
+        const auto ua = static_cast<std::uint16_t>(
+            image.bytes[base] | (image.bytes[base + 1] << 8));
+        const auto ub = static_cast<std::uint16_t>(
+            image.bytes[base + 2] | (image.bytes[base + 3] << 8));
+        segs[s].alpha = static_cast<double>(static_cast<std::int16_t>(ua))
+                        / (1 << frac_bits);
+        segs[s].beta = static_cast<double>(static_cast<std::int16_t>(ub))
+                       / (1 << frac_bits);
+    }
+    return segs;
+}
+
+} // namespace bfree::lut

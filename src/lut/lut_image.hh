@@ -1,0 +1,71 @@
+/**
+ * @file
+ * LUT image serialization.
+ *
+ * During the configuration phase (Fig. 11) the cache controller loads the
+ * sub-array LUT rows with the entries the upcoming kernel needs. This
+ * module flattens the multiply / division / PWL tables into byte images
+ * sized for the 64-byte LUT region of one sub-array (8 rows x 8 bytes)
+ * and checks they fit.
+ */
+
+#ifndef BFREE_LUT_LUT_IMAGE_HH
+#define BFREE_LUT_LUT_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "division.hh"
+#include "mult_lut.hh"
+#include "pwl.hh"
+
+namespace bfree::lut {
+
+/** A named byte image destined for sub-array LUT rows. */
+struct LutImage
+{
+    std::string name;
+    std::vector<std::uint8_t> bytes;
+
+    std::size_t size() const { return bytes.size(); }
+
+    /** True when the image fits a sub-array LUT region of
+     *  @p capacity_bytes. */
+    bool fits(std::size_t capacity_bytes) const
+    { return bytes.size() <= capacity_bytes; }
+
+    /**
+     * Fletcher-16 checksum of the contents. The controller verifies
+     * it after the configuration phase: a corrupted multiply table
+     * would silently poison every product in the sub-array.
+     */
+    std::uint16_t checksum() const;
+};
+
+/** Fletcher-16 over an arbitrary byte range. */
+std::uint16_t fletcher16(const std::uint8_t *data, std::size_t len);
+
+/** Serialize the 49-entry multiply table (49 bytes). */
+LutImage serialize(const MultLut &lut);
+
+/** Serialize the reciprocal-square division table (2 bytes/entry,
+ *  little-endian Q12). */
+LutImage serialize(const DivisionLut &div);
+
+/**
+ * Serialize a PWL table. Each segment stores alpha and beta as Q(frac)
+ * signed 16-bit little-endian values (4 bytes/segment).
+ */
+LutImage serialize(const PwlTable &table, unsigned frac_bits = 8);
+
+/**
+ * Parse back a PWL image produced by serialize(); used by tests to show
+ * the trip through sub-array storage is lossless.
+ */
+std::vector<PwlSegment> parse_pwl(const LutImage &image,
+                                  unsigned frac_bits = 8);
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_LUT_IMAGE_HH

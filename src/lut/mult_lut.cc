@@ -1,0 +1,51 @@
+#include "mult_lut.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+MultLut::MultLut()
+{
+    for (unsigned i = 0; i < num_odd_operands; ++i) {
+        for (unsigned j = 0; j < num_odd_operands; ++j) {
+            const unsigned a = 3 + 2 * i;
+            const unsigned b = 3 + 2 * j;
+            table[i * num_odd_operands + j] =
+                static_cast<std::uint8_t>(a * b);
+        }
+    }
+}
+
+bool
+MultLut::isTableOperand(unsigned v)
+{
+    return v >= 3 && v <= 15 && (v % 2) == 1;
+}
+
+unsigned
+MultLut::operandIndex(unsigned v)
+{
+    if (!isTableOperand(v))
+        bfree_panic("operand ", v, " is not stored in the multiply LUT");
+    return (v - 3) / 2;
+}
+
+std::uint8_t
+MultLut::lookup(unsigned a, unsigned b) const
+{
+    return table[operandIndex(a) * num_odd_operands + operandIndex(b)];
+}
+
+std::array<MultLutVariant, 3>
+mult_lut_variants()
+{
+    return {{
+        {"full 256-entry", 256, 1},
+        {"odd-odd 49-entry", mult_lut_entries, 1},
+        {"triangular 28-entry", num_odd_operands * (num_odd_operands + 1)
+                                    / 2,
+         1},
+    }};
+}
+
+} // namespace bfree::lut

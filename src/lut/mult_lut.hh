@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The 49-entry odd x odd multiply LUT (Section III-C1, Fig. 5).
+ *
+ * A naive 4-bit multiply table needs 256 entries. Following Meher's LUT
+ * optimization (reference [17] in the paper), BFree stores products only
+ * when BOTH operands are odd and >= 3: multiplication by 0 or 1 is
+ * trivial, powers of two are shifts, and even non-powers-of-two
+ * decompose as odd * 2^k. The odd operands {3,5,7,9,11,13,15} give
+ * 7 x 7 = 49 stored products, each one byte (max 15*15 = 225).
+ *
+ * The same table doubles as the BCE's hardwired multiply ROM; the
+ * optional triangular variant (store only a <= b, 28 entries) trades
+ * half the storage for losing the ability to look up both orders in the
+ * same cycle (used by the LUT-size ablation bench).
+ */
+
+#ifndef BFREE_LUT_MULT_LUT_HH
+#define BFREE_LUT_MULT_LUT_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace bfree::lut {
+
+/** Number of distinct odd operand values >= 3 representable in 4 bits. */
+constexpr unsigned num_odd_operands = 7;
+
+/** Entries in the full (square) odd x odd table. */
+constexpr unsigned mult_lut_entries = num_odd_operands * num_odd_operands;
+
+static_assert(mult_lut_entries == 49, "the paper's 49-entry table");
+
+/**
+ * The odd x odd product table.
+ */
+class MultLut
+{
+  public:
+    /** Build the 49 products at construction. */
+    MultLut();
+
+    /** True if @p v is a legal table operand (odd, 3 <= v <= 15). */
+    static bool isTableOperand(unsigned v);
+
+    /** Row/column index of an odd operand (3 -> 0, 5 -> 1, ...). */
+    static unsigned operandIndex(unsigned v);
+
+    /**
+     * Product of two table operands.
+     * @pre isTableOperand(a) && isTableOperand(b)
+     */
+    std::uint8_t lookup(unsigned a, unsigned b) const;
+
+    /** Number of stored entries. */
+    unsigned entries() const { return mult_lut_entries; }
+
+    /** Raw table contents, row-major, for LUT-image serialization. */
+    const std::array<std::uint8_t, mult_lut_entries> &raw() const
+    { return table; }
+
+  private:
+    std::array<std::uint8_t, mult_lut_entries> table;
+};
+
+/**
+ * Storage cost (entries) of the three table organizations considered in
+ * Section III-C1, for the ablation bench.
+ */
+struct MultLutVariant
+{
+    const char *name;
+    unsigned entries;
+    /** Lookups possible per table read port per cycle. */
+    unsigned lookupsPerCycle;
+};
+
+/** Full 256-entry 4-bit table, the 49-entry odd-odd table, and the
+ *  28-entry triangular table. */
+std::array<MultLutVariant, 3> mult_lut_variants();
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_MULT_LUT_HH

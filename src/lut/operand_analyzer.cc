@@ -1,0 +1,159 @@
+#include "operand_analyzer.hh"
+
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+OperandClass
+classify_operand(unsigned v)
+{
+    if (v > 15)
+        bfree_panic("operand ", v, " does not fit in 4 bits");
+    if (v == 0)
+        return OperandClass::Zero;
+    if (v == 1)
+        return OperandClass::One;
+    if ((v & (v - 1)) == 0)
+        return OperandClass::PowerOfTwo;
+    if (v % 2 == 1)
+        return OperandClass::Odd;
+    return OperandClass::EvenComposite;
+}
+
+OddDecomposition
+decompose_odd(unsigned v)
+{
+    if (v == 0)
+        bfree_panic("cannot odd-decompose zero");
+    OddDecomposition d;
+    d.odd = v;
+    while ((d.odd & 1u) == 0) {
+        d.odd >>= 1;
+        ++d.shift;
+    }
+    return d;
+}
+
+MicroOpCounts &
+MicroOpCounts::operator+=(const MicroOpCounts &other)
+{
+    lutLookups += other.lutLookups;
+    romLookups += other.romLookups;
+    shifts += other.shifts;
+    adds += other.adds;
+    cycles += other.cycles;
+    return *this;
+}
+
+MultResult
+multiply_u4(unsigned a, unsigned b, const MultLut &lut, LookupSource source)
+{
+    if (a > 15 || b > 15)
+        bfree_panic("multiply_u4 operands must fit in 4 bits: ", a, " x ",
+                    b);
+
+    MultResult r;
+
+    const OperandClass ca = classify_operand(a);
+    const OperandClass cb = classify_operand(b);
+
+    if (ca == OperandClass::Zero || cb == OperandClass::Zero) {
+        r.product = 0;
+        // Detected at decode; consumes no datapath cycle.
+        return r;
+    }
+
+    const OddDecomposition da = decompose_odd(a);
+    const OddDecomposition db = decompose_odd(b);
+    const unsigned total_shift = da.shift + db.shift;
+
+    r.counts.cycles = 1; // One BCE step per 4-bit pair (Fig. 6).
+
+    if (da.odd == 1 && db.odd == 1) {
+        // Power-of-two times power-of-two (or 1x1): pure shift.
+        r.product = std::int64_t{1} << total_shift;
+        if (total_shift > 0)
+            r.counts.shifts = 1;
+        return r;
+    }
+
+    if (da.odd == 1 || db.odd == 1) {
+        // One operand is 1 or a power of two: shift the other.
+        const unsigned odd = da.odd == 1 ? db.odd : da.odd;
+        r.product = std::int64_t{odd} << total_shift;
+        if (total_shift > 0)
+            r.counts.shifts = 1;
+        return r;
+    }
+
+    // Both odd parts are >= 3: one table lookup plus a possible shift.
+    const std::uint8_t looked_up = lut.lookup(da.odd, db.odd);
+    if (source == LookupSource::SubarrayLut)
+        r.counts.lutLookups = 1;
+    else
+        r.counts.romLookups = 1;
+    r.product = std::int64_t{looked_up} << total_shift;
+    if (total_shift > 0)
+        r.counts.shifts = 1;
+    return r;
+}
+
+unsigned
+nibble_products(unsigned bits)
+{
+    switch (bits) {
+      case 4:
+        return 1;
+      case 8:
+        return 4;
+      case 16:
+        return 16;
+      default:
+        bfree_fatal("unsupported multiply precision: ", bits, " bits");
+    }
+}
+
+MultResult
+multiply_signed(std::int32_t a, std::int32_t b, unsigned bits,
+                const MultLut &lut, LookupSource source)
+{
+    const unsigned nibbles = nibble_products(bits) == 1
+                                 ? 1
+                                 : bits / 4; // nibbles per operand
+
+    const bool negative = (a < 0) != (b < 0);
+    const std::uint32_t ua = static_cast<std::uint32_t>(std::abs(a));
+    const std::uint32_t ub = static_cast<std::uint32_t>(std::abs(b));
+
+    const std::uint32_t limit = 1u << (bits - 1);
+    if (ua > limit || ub > limit)
+        bfree_panic("operand magnitude exceeds ", bits, "-bit range: ", a,
+                    " x ", b);
+
+    MultResult total;
+    bool first_partial = true;
+    for (unsigned i = 0; i < nibbles; ++i) {
+        const unsigned na = (ua >> (4 * i)) & 0xF;
+        if (na == 0)
+            continue;
+        for (unsigned j = 0; j < nibbles; ++j) {
+            const unsigned nb = (ub >> (4 * j)) & 0xF;
+            if (nb == 0)
+                continue;
+            MultResult partial = multiply_u4(na, nb, lut, source);
+            total.product += partial.product << (4 * (i + j));
+            total.counts += partial.counts;
+            if (!first_partial)
+                ++total.counts.adds; // accumulate into the running sum
+            first_partial = false;
+        }
+    }
+
+    if (negative)
+        total.product = -total.product;
+    return total;
+}
+
+} // namespace bfree::lut

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The BCE operand analyzer (Section III-C1).
+ *
+ * The analyzer classifies 4-bit operands and decomposes a multiplication
+ * into the minimal micro-op sequence for the LUT-based datapath:
+ *
+ *  - x * 0, x * 1          -> trivial (no LUT, no shift)
+ *  - x * 2^k               -> one shifter pass
+ *  - odd * odd (>= 3)      -> one LUT (or hardwired ROM) lookup
+ *  - even composite        -> odd-part lookup plus shift by the
+ *                             power-of-two part
+ *
+ * Wider operands (8/16-bit) are decomposed into 4-bit nibbles whose
+ * partial products are shifted and accumulated. Every function returns
+ * both the exact arithmetic result and the micro-op counts the timing
+ * and energy models consume, so functional and performance simulation
+ * share one code path.
+ */
+
+#ifndef BFREE_LUT_OPERAND_ANALYZER_HH
+#define BFREE_LUT_OPERAND_ANALYZER_HH
+
+#include <cstdint>
+
+#include "mult_lut.hh"
+
+namespace bfree::lut {
+
+/** Classification of a 4-bit unsigned operand. */
+enum class OperandClass
+{
+    Zero,          ///< 0: product is zero.
+    One,           ///< 1: product is the other operand.
+    PowerOfTwo,    ///< 2, 4, 8: product is a shift.
+    Odd,           ///< 3,5,...,15: LUT row/column.
+    EvenComposite, ///< 6, 10, 12, 14: odd * 2^k.
+};
+
+/** Classify a value in [0, 15]. */
+OperandClass classify_operand(unsigned v);
+
+/** Odd-part / power-of-two-part split of a positive value. */
+struct OddDecomposition
+{
+    unsigned odd = 0;   ///< Odd factor (1 for powers of two).
+    unsigned shift = 0; ///< Count of trailing zero bits.
+};
+
+/** Decompose @p v > 0 as odd * 2^shift. */
+OddDecomposition decompose_odd(unsigned v);
+
+/** Micro-op counts accumulated while executing LUT arithmetic. */
+struct MicroOpCounts
+{
+    std::uint64_t lutLookups = 0; ///< Sub-array LUT-row reads.
+    std::uint64_t romLookups = 0; ///< BCE hardwired multiply-ROM reads.
+    std::uint64_t shifts = 0;
+    std::uint64_t adds = 0;
+    std::uint64_t cycles = 0; ///< Sequential BCE cycles consumed.
+
+    MicroOpCounts &operator+=(const MicroOpCounts &other);
+};
+
+/** Result of a LUT-based multiplication. */
+struct MultResult
+{
+    std::int64_t product = 0;
+    MicroOpCounts counts;
+};
+
+/** Where partial products are fetched from. */
+enum class LookupSource
+{
+    SubarrayLut, ///< The 49-entry table in the sub-array LUT rows.
+    BceRom,      ///< The BCE's hardwired multiply ROM.
+};
+
+/**
+ * Multiply two unsigned 4-bit operands through the analyzer.
+ * One BCE cycle per 4-bit step, matching the Fig. 6 walk-through.
+ */
+MultResult multiply_u4(unsigned a, unsigned b, const MultLut &lut,
+                       LookupSource source = LookupSource::SubarrayLut);
+
+/**
+ * Multiply two signed operands of @p bits precision (4, 8 or 16) by
+ * nibble decomposition; exact for the full signed range.
+ */
+MultResult multiply_signed(std::int32_t a, std::int32_t b, unsigned bits,
+                           const MultLut &lut,
+                           LookupSource source = LookupSource::SubarrayLut);
+
+/**
+ * Number of 4-bit partial products a @p bits x @p bits multiply
+ * decomposes into (1, 4 or 16).
+ */
+unsigned nibble_products(unsigned bits);
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_OPERAND_ANALYZER_HH

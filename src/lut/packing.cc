@@ -1,0 +1,54 @@
+#include "packing.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+std::int8_t
+saturate_int4(std::int32_t v)
+{
+    return static_cast<std::int8_t>(std::clamp(v, -8, 7));
+}
+
+std::vector<std::uint8_t>
+pack_int4(const std::vector<std::int8_t> &v)
+{
+    std::vector<std::uint8_t> out(packed_int4_bytes(v.size()), 0);
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        if (v[i] < -8 || v[i] > 7)
+            bfree_panic("pack_int4: value ", int(v[i]),
+                        " outside the signed 4-bit range");
+        const auto nibble =
+            static_cast<std::uint8_t>(static_cast<std::uint8_t>(v[i])
+                                      & 0xF);
+        if (i % 2 == 0)
+            out[i / 2] |= nibble;
+        else
+            out[i / 2] |= static_cast<std::uint8_t>(nibble << 4);
+    }
+    return out;
+}
+
+std::vector<std::int8_t>
+unpack_int4(const std::vector<std::uint8_t> &p, std::size_t count)
+{
+    if (packed_int4_bytes(count) > p.size())
+        bfree_panic("unpack_int4: buffer of ", p.size(),
+                    " bytes cannot hold ", count, " values");
+    std::vector<std::int8_t> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::uint8_t byte = p[i / 2];
+        std::uint8_t nibble =
+            i % 2 == 0 ? (byte & 0xF)
+                       : static_cast<std::uint8_t>(byte >> 4);
+        // Sign-extend the two's-complement nibble.
+        if (nibble & 0x8)
+            nibble |= 0xF0;
+        out[i] = static_cast<std::int8_t>(nibble);
+    }
+    return out;
+}
+
+} // namespace bfree::lut

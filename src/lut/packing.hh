@@ -1,0 +1,42 @@
+/**
+ * @file
+ * 4-bit operand packing.
+ *
+ * BFree stores 4-bit weights two to a byte (that is where the Fig. 14
+ * weight-traffic halving comes from). The packing is little-nibble
+ * first: element 2i in bits [3:0], element 2i+1 in bits [7:4], each a
+ * two's-complement signed nibble in [-8, 7].
+ */
+
+#ifndef BFREE_LUT_PACKING_HH
+#define BFREE_LUT_PACKING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace bfree::lut {
+
+/** Saturate @p v into the signed 4-bit range [-8, 7]. */
+std::int8_t saturate_int4(std::int32_t v);
+
+/**
+ * Pack signed 4-bit values (stored in int8) into bytes. Values outside
+ * [-8, 7] are a caller bug and panic. Odd lengths pad the final high
+ * nibble with zero.
+ */
+std::vector<std::uint8_t> pack_int4(const std::vector<std::int8_t> &v);
+
+/** Unpack @p count values from a packed buffer. */
+std::vector<std::int8_t> unpack_int4(const std::vector<std::uint8_t> &p,
+                                     std::size_t count);
+
+/** Packed size in bytes for @p count 4-bit values. */
+constexpr std::size_t
+packed_int4_bytes(std::size_t count)
+{
+    return (count + 1) / 2;
+}
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_PACKING_HH

@@ -1,0 +1,107 @@
+#include "pwl.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+PwlTable::PwlTable(std::string name, std::function<double(double)> fn,
+                   double xmin, double xmax, unsigned segments)
+    : _name(std::move(name)), _xmin(xmin), _xmax(xmax)
+{
+    if (segments == 0 || xmax <= xmin)
+        bfree_fatal("PWL table '", _name,
+                    "' needs segments > 0 and xmax > xmin");
+
+    width = (xmax - xmin) / segments;
+    segs.resize(segments);
+    for (unsigned s = 0; s < segments; ++s) {
+        const double xl = xmin + s * width;
+        const double xr = xl + width;
+        const double yl = fn(xl);
+        const double yr = fn(xr);
+        segs[s].alpha = (yr - yl) / width;
+        segs[s].beta = yl - segs[s].alpha * xl;
+    }
+}
+
+double
+PwlTable::evaluate(double x, MicroOpCounts *counts) const
+{
+    const double clamped = std::clamp(x, _xmin, _xmax);
+    auto index = static_cast<std::size_t>((clamped - _xmin) / width);
+    index = std::min(index, segs.size() - 1);
+    const PwlSegment &seg = segs[index];
+
+    if (counts != nullptr) {
+        counts->lutLookups += 1; // alpha/beta pair fetch
+        counts->romLookups += 1; // alpha * x on the multiply datapath
+        counts->adds += 1;       // + beta
+        counts->cycles += 2;
+    }
+    return seg.alpha * clamped + seg.beta;
+}
+
+double
+PwlTable::maxAbsError(const std::function<double(double)> &fn,
+                      unsigned samples) const
+{
+    double worst = 0.0;
+    for (unsigned i = 0; i <= samples; ++i) {
+        const double x =
+            _xmin + (_xmax - _xmin) * static_cast<double>(i) / samples;
+        worst = std::max(worst, std::abs(fn(x) - evaluate(x)));
+    }
+    return worst;
+}
+
+PwlTable
+make_exp_table(unsigned segments)
+{
+    return PwlTable("exp", [](double x) { return std::exp(x); }, -16.0,
+                    0.0, segments);
+}
+
+PwlTable
+make_sigmoid_table(unsigned segments)
+{
+    return PwlTable(
+        "sigmoid", [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+        -8.0, 8.0, segments);
+}
+
+PwlTable
+make_tanh_table(unsigned segments)
+{
+    return PwlTable("tanh", [](double x) { return std::tanh(x); }, -4.0,
+                    4.0, segments);
+}
+
+std::vector<double>
+lut_softmax(const std::vector<double> &logits, const PwlTable &exp_table,
+            const DivisionLut &div, MicroOpCounts *counts)
+{
+    if (logits.empty())
+        return {};
+
+    const double max_logit =
+        *std::max_element(logits.begin(), logits.end());
+
+    std::vector<double> exps(logits.size());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        exps[i] = exp_table.evaluate(logits[i] - max_logit, counts);
+        denom += exps[i];
+        if (counts != nullptr)
+            counts->adds += 1; // running denominator accumulation
+    }
+
+    std::vector<double> out(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        out[i] = div.divide(exps[i], denom, counts);
+    return out;
+}
+
+} // namespace bfree::lut

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Piecewise-linear function tables (Section III-C3).
+ *
+ * Exponent, sigmoid and tanh are evaluated as
+ *
+ *     f_s(x) = alpha_s * x + (y_l^s - alpha_s * x_l^s),  x in [x_l^s, x_r^s]
+ *
+ * over S uniform segments (paper Equation 2). Each segment stores the
+ * slope alpha_s and intercept beta_s = y_l - alpha * x_l, two values per
+ * segment in the sub-array LUT rows. Softmax composes the exp table
+ * with the systolic sum reduction and the division LUT.
+ */
+
+#ifndef BFREE_LUT_PWL_HH
+#define BFREE_LUT_PWL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "division.hh"
+#include "operand_analyzer.hh"
+
+namespace bfree::lut {
+
+/** One linear segment: f(x) ~= alpha * x + beta. */
+struct PwlSegment
+{
+    double alpha = 0.0;
+    double beta = 0.0;
+};
+
+/**
+ * A piecewise-linear approximation of a scalar function over a closed
+ * interval, with uniform segmentation so segment selection is a shift.
+ */
+class PwlTable
+{
+  public:
+    /**
+     * Build an approximation of @p fn over [@p xmin, @p xmax] with
+     * @p segments pieces interpolating the segment endpoints.
+     */
+    PwlTable(std::string name, std::function<double(double)> fn,
+             double xmin, double xmax, unsigned segments);
+
+    const std::string &name() const { return _name; }
+    double xmin() const { return _xmin; }
+    double xmax() const { return _xmax; }
+    unsigned segments() const { return static_cast<unsigned>(segs.size()); }
+
+    /**
+     * Evaluate the approximation; inputs outside the range clamp to the
+     * boundary segments (saturating behaviour, correct for sigmoid/tanh
+     * tails and exp underflow).
+     */
+    double evaluate(double x, MicroOpCounts *counts = nullptr) const;
+
+    /** Largest absolute error against @p fn over @p samples points. */
+    double maxAbsError(const std::function<double(double)> &fn,
+                       unsigned samples = 10000) const;
+
+    /** Segment parameters for LUT-image serialization. */
+    const std::vector<PwlSegment> &raw() const { return segs; }
+
+  private:
+    std::string _name;
+    double _xmin;
+    double _xmax;
+    double width;
+    std::vector<PwlSegment> segs;
+};
+
+/** exp(x) over [-16, 0]: the shifted-input form softmax needs. */
+PwlTable make_exp_table(unsigned segments = 32);
+
+/** Logistic sigmoid over [-8, 8]. */
+PwlTable make_sigmoid_table(unsigned segments = 32);
+
+/** tanh over [-4, 4]. */
+PwlTable make_tanh_table(unsigned segments = 32);
+
+/**
+ * Numerically stable softmax over @p logits computed entirely with the
+ * LUT primitives: max-shift, exp PWL table, accumulation, LUT division.
+ */
+std::vector<double> lut_softmax(const std::vector<double> &logits,
+                                const PwlTable &exp_table,
+                                const DivisionLut &div,
+                                MicroOpCounts *counts = nullptr);
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_PWL_HH

@@ -1,0 +1,68 @@
+#include "attention_schedule.hh"
+
+#include <algorithm>
+
+#include "bce/bce.hh"
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+double
+AttentionPhases::sum() const
+{
+    return qProjection + kProjection + vProjection + scores + softmax
+           + context + output;
+}
+
+AttentionSchedule
+schedule_attention(const dnn::Layer &layer, const LayerMapping &mapping,
+                   const tech::TechParams &tech)
+{
+    if (layer.kind != dnn::LayerKind::Attention)
+        bfree_fatal("schedule_attention requires an attention layer");
+
+    const double s = layer.seqLen;
+    const double d = layer.dModel;
+    const double rate =
+        bce::Bce::macsPerCycle(bce::BceMode::Matmul,
+                               layer.precisionBits)
+        * std::max(1u, mapping.activeSubarrays) * tech.subarrayClockHz;
+
+    AttentionSchedule sched;
+    AttentionPhases &p = sched.phases;
+    p.qProjection = s * d * d / rate;
+    p.kProjection = p.qProjection;
+    p.vProjection = p.qProjection;
+    p.scores = s * s * d / rate;
+    p.context = s * s * d / rate;
+    p.output = s * d * d / rate;
+
+    // Softmax runs on the scalar/softmax units: one exp LUT evaluation
+    // (2 cycles) per score plus the reduction/redistribution and LUT
+    // division per element (4 cycles).
+    const double special_rate =
+        std::max(1u, mapping.activeSubarrays) * tech.subarrayClockHz;
+    p.softmax = (2.0 + 4.0) * s * s / special_rate;
+
+    sched.serialSeconds = p.sum();
+
+    // The paper's schedule: V is not needed until P' is computed, so
+    // its projection overlaps the whole scores + softmax window:
+    //  - Q and K proceed in parallel on disjoint halves of the fabric
+    //    (each therefore takes 2x one full-fabric projection — no
+    //    saving, but V's operand isn't blocking anything);
+    //  - the scores GEMM P = Q K^T follows on the full fabric while
+    //    V's projection starts on the W_V sub-arrays;
+    //  - the softmax P' occupies only the scalar/softmax units, so V
+    //    keeps the MAC arrays busy through it;
+    //  - context (P' V) and the output projection close the block.
+    const double qk_parallel = 2.0 * p.qProjection;
+    const double overlap_window =
+        std::max(p.vProjection, p.scores + p.softmax);
+    sched.overlappedSeconds =
+        qk_parallel + overlap_window + p.context + p.output;
+    sched.vFullyHidden = p.vProjection <= p.scores + p.softmax;
+    return sched;
+}
+
+} // namespace bfree::map

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Self-attention phase scheduling (Section IV-B2, Fig. 10).
+ *
+ * "Matrices K, Q, and V can be processed in parallel. However,
+ * matrices K and Q are required for further computation of P and P'
+ * matrices whereas V is not required until P' is computed. So, we
+ * overlap the computation of V with the computation of P' which only
+ * involves scalar and softmax units. This scheduling improves the
+ * utilization of the compute resources in the system."
+ *
+ * This module computes the phase timeline of one attention block with
+ * and without that overlap, on top of a LayerMapping.
+ */
+
+#ifndef BFREE_MAP_ATTENTION_SCHEDULE_HH
+#define BFREE_MAP_ATTENTION_SCHEDULE_HH
+
+#include "dnn/layer.hh"
+#include "mapping.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::map {
+
+/** Phase durations of one attention block, in seconds. */
+struct AttentionPhases
+{
+    double qProjection = 0.0;
+    double kProjection = 0.0;
+    double vProjection = 0.0;
+    double scores = 0.0;  ///< P = Q K^T
+    double softmax = 0.0; ///< P' = softmax(P), scalar/softmax units
+    double context = 0.0; ///< P' V
+    double output = 0.0;  ///< context W_O
+
+    double sum() const;
+};
+
+/** Timeline with and without the V/softmax overlap. */
+struct AttentionSchedule
+{
+    AttentionPhases phases;
+
+    /** Everything serialized. */
+    double serialSeconds = 0.0;
+
+    /** The paper's schedule: Q and K in parallel, V hidden behind the
+     *  scores + softmax pipeline. */
+    double overlappedSeconds = 0.0;
+
+    /** Fraction of the serial time saved. */
+    double
+    savings() const
+    {
+        return serialSeconds > 0.0
+                   ? 1.0 - overlappedSeconds / serialSeconds
+                   : 0.0;
+    }
+
+    /** True when V finished before the softmax did (fully hidden). */
+    bool vFullyHidden = false;
+};
+
+/**
+ * Build the schedule for @p layer (must be an Attention layer) under
+ * @p mapping.
+ */
+AttentionSchedule schedule_attention(const dnn::Layer &layer,
+                                     const LayerMapping &mapping,
+                                     const tech::TechParams &tech);
+
+} // namespace bfree::map
+
+#endif // BFREE_MAP_ATTENTION_SCHEDULE_HH

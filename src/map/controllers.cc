@@ -1,0 +1,123 @@
+#include "controllers.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+CacheController::CacheController(mem::SramCache &cache,
+                                 mem::MainMemory &memory,
+                                 const tech::TechParams &tech)
+    : cache(&cache), memory(&memory), tech(tech),
+      ring(cache.geometry().numSlices, tech, cache.energy())
+{}
+
+ConfigPhaseResult
+CacheController::configure(const lut::LutImage &lut_image,
+                           std::uint64_t weight_bytes,
+                           const bce::ConfigBlock &cb,
+                           unsigned active_subarrays)
+{
+    if (active_subarrays == 0
+        || active_subarrays > cache->numSubarrays())
+        bfree_fatal("configure: active sub-array count ",
+                    active_subarrays, " outside [1, ",
+                    cache->numSubarrays(), "]");
+    if (!lut_image.fits(cache->geometry().lutBytesPerSubarray()))
+        bfree_fatal("LUT image '", lut_image.name, "' (",
+                    lut_image.bytes.size(),
+                    " bytes) does not fit the sub-array LUT region");
+
+    ConfigPhaseResult r;
+
+    // LUT rows: broadcast the image once on the ring, then every
+    // active sub-array writes its copy locally (overlapped across
+    // sub-arrays; one write per LUT row).
+    r.lutLoadSeconds = ring.broadcast(
+        static_cast<double>(lut_image.bytes.size()));
+    const double lut_rows =
+        static_cast<double>(lut_image.bytes.size())
+        / cache->geometry().rowBytes();
+    r.lutLoadSeconds += lut_rows / tech.subarrayClockHz;
+    for (unsigned i = 0; i < active_subarrays; ++i)
+        cache->subarray(i).loadLut(lut_image.bytes);
+
+    // Weights: main-memory stream overlapped with the ring broadcast.
+    const double dram_s =
+        memory->stream(static_cast<double>(weight_bytes));
+    const double ring_s =
+        ring.broadcast(static_cast<double>(weight_bytes));
+    r.weightBroadcastSeconds = std::max(dram_s, ring_s);
+
+    // Config blocks: the slice controllers program every active
+    // sub-array's CB (8 bytes; one row write each, all in parallel per
+    // slice, serialized across the sub-arrays of a slice port).
+    const auto encoded = cb.encode();
+    for (unsigned i = 0; i < active_subarrays; ++i)
+        cache->subarray(i).write(cb_offset, encoded.data(),
+                                 encoded.size());
+    const double per_slice =
+        static_cast<double>(active_subarrays)
+        / cache->geometry().numSlices;
+    r.cbProgramSeconds = per_slice / tech.subarrayClockHz;
+
+    ++numKernels;
+    lastActive = active_subarrays;
+    return r;
+}
+
+ConfigPhaseResult
+CacheController::configureKernel(const CompiledKernel &kernel)
+{
+    const unsigned active =
+        std::min(std::max(1u, kernel.mapping.activeSubarrays),
+                 cache->numSubarrays());
+
+    ConfigPhaseResult total;
+    bool weights_loaded = false;
+    for (const lut::LutImage &image : kernel.lutImages) {
+        const std::uint64_t weight_bytes =
+            weights_loaded ? 0 : kernel.mapping.weightBytes;
+        const ConfigPhaseResult r =
+            configure(image, weight_bytes, kernel.configBlock, active);
+        weights_loaded = true;
+        total.lutLoadSeconds += r.lutLoadSeconds;
+        total.weightBroadcastSeconds += r.weightBroadcastSeconds;
+        total.cbProgramSeconds += r.cbProgramSeconds;
+    }
+    if (kernel.lutImages.empty()) {
+        // No tables needed (ReLU / max pool): still stream weights and
+        // program the CBs.
+        const ConfigPhaseResult r =
+            configure(lut::LutImage{"empty", {}},
+                      kernel.mapping.weightBytes, kernel.configBlock,
+                      active);
+        total.lutLoadSeconds += r.lutLoadSeconds;
+        total.weightBroadcastSeconds += r.weightBroadcastSeconds;
+        total.cbProgramSeconds += r.cbProgramSeconds;
+    }
+    return total;
+}
+
+bce::ConfigBlock
+CacheController::readConfig(unsigned index) const
+{
+    std::array<std::uint8_t, bce::ConfigBlock::encoded_size> bytes{};
+    cache->subarray(index).read(cb_offset, bytes.data(), bytes.size());
+    return bce::ConfigBlock::decode(bytes);
+}
+
+bool
+CacheController::verifyLut(unsigned index,
+                           const lut::LutImage &image) const
+{
+    mem::Subarray &sa = cache->subarray(index);
+    std::vector<std::uint8_t> readback(image.bytes.size());
+    for (std::size_t i = 0; i < readback.size(); ++i)
+        readback[i] = sa.lutRead(i);
+    return lut::fletcher16(readback.data(), readback.size())
+           == image.checksum();
+}
+
+} // namespace bfree::map

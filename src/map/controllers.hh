@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Hierarchical BFree control (Section IV-C, Fig. 11).
+ *
+ * The cache controller receives PIM kernel instructions, drives the
+ * configuration phase (load LUT rows, broadcast weights, program the
+ * per-sub-array config blocks through the slice controllers) and starts
+ * the computation phase. This module performs those steps functionally
+ * against the SramCache model so integration tests can verify the whole
+ * control path: a CB written by the controller is the CB the BCE
+ * decodes.
+ */
+
+#ifndef BFREE_MAP_CONTROLLERS_HH
+#define BFREE_MAP_CONTROLLERS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bce/config_block.hh"
+#include "kernel_compiler.hh"
+#include "lut/lut_image.hh"
+#include "mapping.hh"
+#include "mem/main_memory.hh"
+#include "mem/sram_cache.hh"
+#include "noc/ring.hh"
+
+namespace bfree::map {
+
+/** Timing of one configuration phase. */
+struct ConfigPhaseResult
+{
+    double lutLoadSeconds = 0.0;
+    double weightBroadcastSeconds = 0.0;
+    double cbProgramSeconds = 0.0;
+
+    double
+    total() const
+    {
+        return lutLoadSeconds + weightBroadcastSeconds + cbProgramSeconds;
+    }
+};
+
+/**
+ * The cache-level controller: owns the slice controllers and the ring.
+ */
+class CacheController
+{
+  public:
+    CacheController(mem::SramCache &cache, mem::MainMemory &memory,
+                    const tech::TechParams &tech);
+
+    /**
+     * Configuration phase for one kernel: load @p lut_image into every
+     * sub-array the kernel uses, stream @p weight_bytes from main
+     * memory and broadcast them over the ring, then program @p cb into
+     * the config block of every active sub-array.
+     */
+    ConfigPhaseResult configure(const lut::LutImage &lut_image,
+                                std::uint64_t weight_bytes,
+                                const bce::ConfigBlock &cb,
+                                unsigned active_subarrays);
+
+    /**
+     * Configuration phase for a compiled kernel: loads every LUT image
+     * in sequence, streams the weights and programs the config blocks
+     * on the kernel's active sub-arrays.
+     */
+    ConfigPhaseResult configureKernel(const CompiledKernel &kernel);
+
+    /**
+     * Read back the config block of sub-array @p index (what its BCE
+     * will decode in pipeline stage 1).
+     */
+    bce::ConfigBlock readConfig(unsigned index) const;
+
+    /**
+     * Verify that sub-array @p index holds @p image in its LUT rows
+     * (checksum over a read-back of the region). Returns false on any
+     * mismatch — corruption detected before the kernel computes on a
+     * poisoned table.
+     */
+    bool verifyLut(unsigned index, const lut::LutImage &image) const;
+
+    /** Kernels configured so far. */
+    unsigned kernelsConfigured() const { return numKernels; }
+
+  private:
+    /** Byte offset of the CB image inside a sub-array's data region. */
+    static constexpr std::size_t cb_offset = 0;
+
+    mem::SramCache *cache;
+    mem::MainMemory *memory;
+    tech::TechParams tech;
+    noc::RingInterconnect ring;
+    unsigned numKernels = 0;
+    unsigned lastActive = 0;
+};
+
+} // namespace bfree::map
+
+#endif // BFREE_MAP_CONTROLLERS_HH

@@ -1,0 +1,169 @@
+#include "detailed_sim.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+std::uint64_t
+detailed_chain_formula(unsigned nodes, unsigned waves, std::uint64_t cps,
+                       unsigned hop)
+{
+    if (nodes == 0 || waves == 0)
+        return 0;
+    // Node 0 emits wave w at (w+1)*cps; each downstream node adds one
+    // router hop (its local product is computed concurrently, inputs
+    // stream to all nodes at the same cadence).
+    return static_cast<std::uint64_t>(waves) * cps
+           + static_cast<std::uint64_t>(nodes - 1) * hop;
+}
+
+/**
+ * One chain stage: a sub-array + BCE pair that computes its dot-product
+ * slice when the upstream partial arrives and forwards the running sum.
+ */
+struct DetailedSubBankSim::Node
+{
+    Node(DetailedSubBankSim &parent, unsigned index)
+        : parent(parent), index(index),
+          subarray(parent.geom, parent.tech, parent.account),
+          bce(subarray, parent.tech, parent.account)
+    {
+        bce.loadMultLutImage();
+        bce.setMode(bce::BceMode::Conv);
+    }
+
+    /** Compute this node's slice of wave @p wave. */
+    std::int32_t
+    localProduct(unsigned wave)
+    {
+        const std::vector<std::int8_t> &input =
+            (*inputs)[wave];
+        const std::size_t base =
+            static_cast<std::size_t>(index) * parent.sliceLen;
+        return bce.dotProduct(/*weight_offset=*/0, input.data() + base,
+                              parent.sliceLen, parent.bits);
+    }
+
+    /** Handle the partial sum arriving from upstream. */
+    void
+    onPartial(const noc::Flit &flit)
+    {
+        const auto wave = flit.tag;
+        const auto incoming = static_cast<std::int32_t>(flit.payload);
+        const std::int32_t sum =
+            bce.accumulateIncoming(localProduct(wave), incoming);
+        parent.forward(index, wave, sum);
+    }
+
+    DetailedSubBankSim &parent;
+    unsigned index;
+    mem::Subarray subarray;
+    bce::Bce bce;
+    const std::vector<std::vector<std::int8_t>> *inputs = nullptr;
+};
+
+DetailedSubBankSim::DetailedSubBankSim(const tech::CacheGeometry &geom,
+                                       const tech::TechParams &tech,
+                                       unsigned nodes, unsigned slice_len,
+                                       unsigned bits)
+    : geom(geom), tech(tech), numNodes(nodes), sliceLen(slice_len),
+      bits(bits), clock(tech.subarrayClockHz)
+{
+    if (nodes == 0 || nodes > geom.subarraysPerSubBank)
+        bfree_fatal("chain length ", nodes, " outside [1, ",
+                    geom.subarraysPerSubBank, "]");
+    if (bits != 4 && bits != 8)
+        bfree_fatal("detailed chain supports 4- or 8-bit operands");
+
+    for (unsigned k = 0; k < nodes; ++k)
+        chain.push_back(std::make_unique<Node>(*this, k));
+    for (unsigned k = 0; k + 1 < nodes; ++k) {
+        routers.push_back(std::make_unique<noc::Router>(
+            queue, "router" + std::to_string(k), clock, tech, account));
+        Node *next = chain[k + 1].get();
+        routers.back()->connect(
+            [next](const noc::Flit &flit) { next->onPartial(flit); });
+    }
+}
+
+DetailedSubBankSim::~DetailedSubBankSim() = default;
+
+void
+DetailedSubBankSim::loadWeights(
+    const std::vector<std::vector<std::int8_t>> &weights)
+{
+    if (weights.size() != numNodes)
+        bfree_fatal("expected ", numNodes, " weight slices, got ",
+                    weights.size());
+    for (unsigned k = 0; k < numNodes; ++k) {
+        if (weights[k].size() != sliceLen)
+            bfree_fatal("weight slice ", k, " has ", weights[k].size(),
+                        " elements, expected ", sliceLen);
+        chain[k]->subarray.write(
+            0, reinterpret_cast<const std::uint8_t *>(weights[k].data()),
+            sliceLen);
+    }
+}
+
+std::uint64_t
+DetailedSubBankSim::cyclesPerStep() const
+{
+    // Conv-mode dot product over the node's slice: bits/4 cycles per
+    // MAC (Fig. 6 pipeline).
+    return static_cast<std::uint64_t>(sliceLen) * (bits / 4);
+}
+
+void
+DetailedSubBankSim::forward(unsigned from, unsigned wave,
+                            std::int32_t sum)
+{
+    if (from + 1 < numNodes) {
+        routers[from]->send(noc::Flit{
+            static_cast<std::uint64_t>(static_cast<std::uint32_t>(sum)),
+            wave});
+    } else {
+        if (wave != completed.size())
+            bfree_panic("wave ", wave, " completed out of order");
+        completed.push_back(sum);
+    }
+}
+
+DetailedRunResult
+DetailedSubBankSim::run(
+    const std::vector<std::vector<std::int8_t>> &inputs)
+{
+    const unsigned waves = static_cast<unsigned>(inputs.size());
+    for (const auto &wave : inputs) {
+        if (wave.size() != std::size_t(numNodes) * sliceLen)
+            bfree_fatal("each input wave must carry numNodes * sliceLen "
+                        "elements");
+    }
+    for (auto &node : chain)
+        node->inputs = &inputs;
+    completed.clear();
+
+    // Node 0 emits wave w at (w + 1) * cps.
+    const std::uint64_t cps = cyclesPerStep();
+    std::vector<std::unique_ptr<sim::EventFunctionWrapper>> emitters;
+    for (unsigned w = 0; w < waves; ++w) {
+        auto ev = std::make_unique<sim::EventFunctionWrapper>(
+            [this, w] {
+                const std::int32_t local = chain[0]->localProduct(w);
+                forward(0, w, local);
+            },
+            "emit wave " + std::to_string(w));
+        queue.schedule(ev.get(),
+                       clock.cyclesToTicks(sim::Cycles((w + 1) * cps)));
+        emitters.push_back(std::move(ev));
+    }
+
+    queue.run();
+
+    DetailedRunResult result;
+    result.outputs = completed;
+    result.cycles = clock.ticksToCycles(queue.now()).value();
+    result.events = queue.processed();
+    return result;
+}
+
+} // namespace bfree::map

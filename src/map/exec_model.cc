@@ -1,0 +1,343 @@
+#include "exec_model.hh"
+
+#include <algorithm>
+
+#include "attention_schedule.hh"
+#include "sim/logging.hh"
+#include "tech/access_breakdown.hh"
+
+namespace bfree::map {
+
+double
+PhaseBreakdown::total() const
+{
+    return weightLoad + inputLoad + compute + special + requant + fill;
+}
+
+PhaseBreakdown &
+PhaseBreakdown::operator+=(const PhaseBreakdown &other)
+{
+    weightLoad += other.weightLoad;
+    inputLoad += other.inputLoad;
+    compute += other.compute;
+    special += other.special;
+    requant += other.requant;
+    fill += other.fill;
+    return *this;
+}
+
+PhaseBreakdown
+PhaseBreakdown::scaled(double factor) const
+{
+    PhaseBreakdown s = *this;
+    s.weightLoad *= factor;
+    s.inputLoad *= factor;
+    s.compute *= factor;
+    s.special *= factor;
+    s.requant *= factor;
+    s.fill *= factor;
+    return s;
+}
+
+ExecutionModel::ExecutionModel(const tech::CacheGeometry &geom,
+                               const tech::TechParams &tech,
+                               ExecConfig config)
+    : geom(geom), tech(tech), cfg(config), _mapper(geom, config.mapper),
+      memParams(tech::main_memory_params(config.memory))
+{
+    if (cfg.batch == 0)
+        bfree_fatal("batch size must be positive");
+}
+
+namespace {
+
+bce::BceMode
+to_bce_mode(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::ConvMode:
+        return bce::BceMode::Conv;
+      case ExecMode::MatmulMode:
+        return bce::BceMode::Matmul;
+      case ExecMode::SpecialMode:
+        return bce::BceMode::Special;
+    }
+    return bce::BceMode::Special;
+}
+
+} // namespace
+
+double
+ExecutionModel::computeSeconds(const dnn::Layer &layer,
+                               const LayerMapping &mapping) const
+{
+    if (!layer.isComputeLayer())
+        return 0.0;
+    const double rate = bce::Bce::macsPerCycle(to_bce_mode(mapping.mode),
+                                               layer.precisionBits);
+    const double macs_per_cycle =
+        rate * static_cast<double>(mapping.activeSubarrays);
+    return static_cast<double>(layer.macs())
+           / (macs_per_cycle * tech.subarrayClockHz);
+}
+
+void
+ExecutionModel::chargeStatic(mem::EnergyAccount &energy, double seconds,
+                             unsigned active_subarrays,
+                             ExecMode mode) const
+{
+    (void)mode;
+    const double cache_mb = static_cast<double>(geom.totalBytes())
+                            / (1024.0 * 1024.0);
+    const double leak_w =
+        tech.sramLeakageMwPerMb * cache_mb * 1e-3
+        + memParams.staticPowerMw * 1e-3;
+    energy.addJoules(mem::EnergyCategory::Leakage, leak_w * seconds);
+
+    // Idle BCEs leak a small fraction of their active power.
+    const unsigned total_sa =
+        geom.totalSubarrays();
+    const unsigned idle = total_sa > active_subarrays
+                              ? total_sa - active_subarrays
+                              : 0;
+    energy.addJoules(mem::EnergyCategory::Leakage,
+                     0.05e-3 * idle * seconds);
+
+    const double controller_w =
+        (tech.cacheControllerMw
+         + tech.sliceControllerMw * cfg.mapper.slices)
+        * 1e-3;
+    energy.addJoules(mem::EnergyCategory::Controller,
+                     controller_w * seconds);
+}
+
+LayerResult
+ExecutionModel::runLayer(const dnn::Layer &layer, bool first_layer,
+                         bool spill_to_dram, bool weights_resident) const
+{
+    LayerResult r;
+    r.name = layer.name;
+    r.kind = layer.kind;
+    r.mapping = _mapper.map(layer, first_layer || spill_to_dram);
+    r.macs = layer.macs();
+
+    const double f = tech.subarrayClockHz;
+    const double active = r.mapping.activeSubarrays;
+
+    // ------------------------------------------------------------------
+    // Compute phases
+    // ------------------------------------------------------------------
+    if (layer.kind == dnn::LayerKind::Attention) {
+        // Attention blocks use the Section IV-B2 schedule: Q/K in
+        // parallel, V hidden behind the scores + softmax window. The
+        // schedule already contains the softmax work.
+        const AttentionSchedule sched =
+            schedule_attention(layer, r.mapping, tech);
+        r.time.compute = sched.overlappedSeconds;
+        r.time.special = 0.0;
+    } else {
+        r.time.compute = computeSeconds(layer, r.mapping);
+
+        // Special-function evaluations: 2 cycles each on the BCEs
+        // hosting the data.
+        r.time.special = 2.0 * static_cast<double>(layer.specialOps())
+                         / (active * f);
+    }
+
+    // Requantization of output features after MAC layers: 3 cycles per
+    // output element.
+    if (layer.isComputeLayer()) {
+        r.time.requant = 3.0 * static_cast<double>(layer.outputBytes())
+                         / (active * f);
+    }
+
+    // Pipeline and reduction-chain fill, once per layer: the partial
+    // sums traverse the sub-bank chain, plus the 3-stage BCE pipeline.
+    const double fill_cycles =
+        static_cast<double>(geom.subarraysPerSubBank)
+            * tech.routerHopCycles
+        + 3.0;
+    r.time.fill = fill_cycles / f;
+
+    // ------------------------------------------------------------------
+    // Weight loading (per batch, amortized to per-inference by caller)
+    // ------------------------------------------------------------------
+    const double weight_bytes =
+        static_cast<double>(r.mapping.weightBytes);
+    if (layer.isComputeLayer()) {
+        const double dram_s = memParams.streamSeconds(weight_bytes);
+        // The ring broadcast runs concurrently with the DRAM stream.
+        const double ring_bps = 32.0 * tech.subarrayClockHz;
+        const double ring_s = weight_bytes / ring_bps;
+        r.time.weightLoad = std::max(dram_s, ring_s);
+    }
+
+    // ------------------------------------------------------------------
+    // Activation streaming
+    // ------------------------------------------------------------------
+    double stream_bytes = 0.0;
+    if (first_layer || spill_to_dram) {
+        double in_bytes = static_cast<double>(layer.inputBytes());
+        // On-the-fly im2col re-reads the DRAM feature buffers once per
+        // redundant copy (Fig. 9(c)).
+        if (r.mapping.streamedUnrolled)
+            in_bytes *= r.mapping.storageExpansion;
+        stream_bytes += in_bytes;
+    }
+    if (spill_to_dram)
+        stream_bytes += static_cast<double>(layer.outputBytes());
+
+    const double stream_s = memParams.streamSeconds(stream_bytes);
+    const double exec_s =
+        r.time.compute + r.time.special + r.time.requant;
+    if (cfg.systolicOverlap) {
+        // Streaming hides behind compute; only the excess is visible.
+        r.time.inputLoad = std::max(0.0, stream_s - exec_s);
+    } else {
+        r.time.inputLoad = stream_s;
+    }
+
+    // ------------------------------------------------------------------
+    // Energy (per single inference)
+    // ------------------------------------------------------------------
+    mem::EnergyAccount &e = r.energy;
+
+    // DRAM: activation traffic here; weight traffic added by run() so
+    // it can be batch-amortized consistently with the time.
+    e.addJoules(mem::EnergyCategory::DramTransfer,
+                memParams.streamJoules(stream_bytes));
+
+    if (layer.isComputeLayer()) {
+        // Weight operand reads from the sub-arrays: one byte (8-bit) or
+        // nibble-packed stream per MAC, amortized 8 bytes per row read.
+        const double operand_bytes =
+            static_cast<double>(layer.macs())
+            * (layer.precisionBits / 8.0);
+        const double rows = operand_bytes / geom.rowBytes();
+        e.addPj(mem::EnergyCategory::SubarrayAccess,
+                rows * tech.subarrayAccessPj);
+
+        // Output feature writeback.
+        const double out_rows =
+            static_cast<double>(layer.outputBytes()) / geom.rowBytes();
+        e.addPj(mem::EnergyCategory::SubarrayAccess,
+                out_rows * tech.subarrayAccessPj);
+
+        // Partial products parked in the reduced-access-cost rows.
+        e.addPj(mem::EnergyCategory::LutAccess,
+                2.0 * static_cast<double>(layer.outputBytes())
+                    * tech.lutAccessPj());
+
+        if (r.mapping.mode == ExecMode::MatmulMode) {
+            // Hardwired-ROM MACs.
+            e.addPj(mem::EnergyCategory::BceCompute,
+                    static_cast<double>(layer.macs()) * tech.bceMacPj);
+        } else {
+            // Conv mode fetches odd x odd partial products from the
+            // sub-array LUT rows: ~40% of nibble pairs hit the table.
+            const double pairs =
+                static_cast<double>(layer.macs())
+                * (layer.precisionBits / 4.0)
+                * (layer.precisionBits / 4.0);
+            e.addPj(mem::EnergyCategory::LutAccess,
+                    0.4 * pairs * tech.lutAccessPj());
+        }
+    }
+
+    // BCE datapath power over the active phases.
+    const double mode_mw = r.mapping.mode == ExecMode::MatmulMode
+                               ? tech.bceMatmulModeMw
+                               : tech.bceConvModeMw;
+    e.addJoules(mem::EnergyCategory::BceCompute,
+                mode_mw * 1e-3 * active * r.time.compute);
+    e.addJoules(mem::EnergyCategory::BceCompute,
+                tech.bceOtherModeMw * 1e-3 * active
+                    * (r.time.special + r.time.requant));
+
+    // Slice H-tree entry/exit of activations plus router hops.
+    const double io_bytes = static_cast<double>(layer.inputBytes())
+                            + static_cast<double>(layer.outputBytes());
+    const double route_mm = tech::slice_route_mm(geom, tech);
+    e.addPj(mem::EnergyCategory::Interconnect,
+            io_bytes * 8.0 * route_mm * tech.wireEnergyPjPerBitPerMm);
+
+    const double in_flits =
+        static_cast<double>(layer.inputBytes()) / 8.0;
+    const double out_flits =
+        static_cast<double>(layer.outputBytes()) / 8.0;
+    e.addPj(mem::EnergyCategory::Router,
+            (in_flits * geom.subBanksPerBank
+             + out_flits * geom.subarraysPerSubBank)
+                * tech.routerHopPj);
+
+    (void)weights_resident;
+    return r;
+}
+
+RunResult
+ExecutionModel::run(const dnn::Network &net) const
+{
+    RunResult result;
+    result.network = net.name();
+    result.batch = cfg.batch;
+
+    const bool resident = _mapper.weightsResident(net);
+    // Intermediates spill to DRAM when batching (Section IV-C), or
+    // when the feature working set itself does not fit the configured
+    // slices (the Fig. 13 one-slice setup streams from DRAM buffers).
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(_mapper.availableSubarrays())
+        * _mapper.usableBytesPerSubarray();
+    std::uint64_t max_intermediate = 0;
+    for (const dnn::Layer &layer : net.layers()) {
+        max_intermediate =
+            std::max(max_intermediate,
+                     layer.inputBytes() + layer.outputBytes());
+    }
+    const bool features_fit = max_intermediate <= budget / 2;
+    const bool spill =
+        !resident && (cfg.batch > 1 || !features_fit);
+
+    const double timesteps = static_cast<double>(net.timesteps);
+    bool first = true;
+    for (const dnn::Layer &layer : net.layers()) {
+        LayerResult lr =
+            runLayer(layer, first, spill, resident);
+        first = false;
+
+        // Repeat the per-step phases across timesteps (LSTM), keep the
+        // weight load once.
+        const double weight_load = lr.time.weightLoad;
+        lr.time = lr.time.scaled(timesteps);
+        lr.time.weightLoad = weight_load;
+        if (timesteps != 1.0) {
+            mem::EnergyAccount scaled;
+            for (std::size_t c = 0; c < mem::num_energy_categories;
+                 ++c) {
+                const auto cat = static_cast<mem::EnergyCategory>(c);
+                scaled.addJoules(cat, lr.energy.joules(cat) * timesteps);
+            }
+            lr.energy = scaled;
+        }
+
+        // Batch amortization of the weight load (layer-at-a-time batch
+        // execution streams each layer's weights once per batch).
+        lr.time.weightLoad /= static_cast<double>(cfg.batch);
+        lr.energy.addJoules(
+            mem::EnergyCategory::DramTransfer,
+            memParams.streamJoules(
+                static_cast<double>(lr.mapping.weightBytes))
+                / static_cast<double>(cfg.batch));
+
+        // Static energy over this layer's wall-clock share.
+        chargeStatic(lr.energy, lr.time.total(),
+                     lr.mapping.activeSubarrays, lr.mapping.mode);
+
+        result.time += lr.time;
+        result.energy += lr.energy;
+        result.layers.push_back(std::move(lr));
+    }
+    return result;
+}
+
+} // namespace bfree::map

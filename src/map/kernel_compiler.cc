@@ -1,0 +1,223 @@
+#include "kernel_compiler.hh"
+
+#include <algorithm>
+
+#include "bce/bce.hh"
+#include "lut/division.hh"
+#include "lut/mult_lut.hh"
+#include "lut/pwl.hh"
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+std::uint64_t
+CompiledKernel::totalMacs() const
+{
+    std::uint64_t total = 0;
+    for (const bce::PimInstruction &inst : instructions)
+        total += inst.macs();
+    return total;
+}
+
+bce::PimOpcode
+opcode_for(const dnn::Layer &layer, ExecMode mode)
+{
+    using dnn::LayerKind;
+    switch (layer.kind) {
+      case LayerKind::Conv:
+        return mode == ExecMode::MatmulMode ? bce::PimOpcode::Matmul
+                                            : bce::PimOpcode::Conv;
+      case LayerKind::Fc:
+      case LayerKind::LstmCell:
+      case LayerKind::Attention:
+        return bce::PimOpcode::Matmul;
+      case LayerKind::MaxPool:
+        return bce::PimOpcode::MaxPool;
+      case LayerKind::AvgPool:
+        return bce::PimOpcode::AvgPool;
+      case LayerKind::Relu:
+        return bce::PimOpcode::Relu;
+      case LayerKind::Sigmoid:
+        return bce::PimOpcode::Sigmoid;
+      case LayerKind::Tanh:
+        return bce::PimOpcode::Tanh;
+      case LayerKind::Softmax:
+        return bce::PimOpcode::Softmax;
+      case LayerKind::LayerNorm:
+        return bce::PimOpcode::LayerNorm;
+      case LayerKind::EwAdd:
+        return bce::PimOpcode::EwAdd;
+    }
+    bfree_panic("unmapped layer kind");
+}
+
+KernelCompiler::KernelCompiler(const tech::CacheGeometry &geom,
+                               MapperOptions options)
+    : geom(geom), _mapper(geom, options)
+{}
+
+namespace {
+
+bce::PimInstruction
+gemm(bce::PimOpcode op, unsigned precision, std::uint64_t rows,
+     std::uint64_t cols, std::uint64_t inner)
+{
+    bce::PimInstruction inst;
+    inst.opcode = op;
+    inst.precisionBits = precision;
+    inst.rows = static_cast<std::uint32_t>(rows);
+    inst.cols = static_cast<std::uint32_t>(cols);
+    inst.inner = static_cast<std::uint32_t>(inner);
+    return inst;
+}
+
+/** The element-wise/special instruction covering @p elements. */
+bce::PimInstruction
+elementwise(bce::PimOpcode op, unsigned precision,
+            std::uint64_t elements)
+{
+    bce::PimInstruction inst;
+    inst.opcode = op;
+    inst.precisionBits = precision;
+    inst.rows = static_cast<std::uint32_t>(elements);
+    inst.cols = 0;
+    inst.inner = 0;
+    return inst;
+}
+
+} // namespace
+
+CompiledKernel
+KernelCompiler::compile(const dnn::Layer &layer,
+                        bool inputs_from_dram) const
+{
+    CompiledKernel k;
+    k.mapping = _mapper.map(layer, inputs_from_dram);
+    const unsigned bits = layer.precisionBits;
+    const bce::PimOpcode op = opcode_for(layer, k.mapping.mode);
+
+    using dnn::LayerKind;
+    switch (layer.kind) {
+      case LayerKind::Conv: {
+        const dnn::FeatureShape out = layer.outputShape();
+        k.instructions.push_back(
+            gemm(op, bits, std::uint64_t(out.h) * out.w, out.c,
+                 std::uint64_t(layer.input.c) * layer.kernelH
+                     * layer.kernelW));
+        break;
+      }
+      case LayerKind::Fc:
+        k.instructions.push_back(gemm(op, bits, layer.fcRows,
+                                      layer.outFeatures,
+                                      layer.inFeatures));
+        break;
+      case LayerKind::LstmCell:
+        k.instructions.push_back(
+            gemm(op, bits, 1, std::uint64_t(4) * layer.lstmHidden,
+                 std::uint64_t(layer.lstmInput) + layer.lstmHidden));
+        break;
+      case LayerKind::Attention: {
+        const std::uint64_t s = layer.seqLen;
+        const std::uint64_t d = layer.dModel;
+        // Q, K, V projections (V overlaps with the softmax pipeline,
+        // Section IV-B2 — the schedule is the controller's business,
+        // the instruction stream lists the work).
+        for (int i = 0; i < 3; ++i)
+            k.instructions.push_back(gemm(op, bits, s, d, d));
+        // Scores P = Q K^T and the softmax over each row.
+        k.instructions.push_back(gemm(op, bits, s, s, d));
+        k.instructions.push_back(
+            elementwise(bce::PimOpcode::Softmax, bits, s * s));
+        // Context P' V and the output projection.
+        k.instructions.push_back(gemm(op, bits, s, d, s));
+        k.instructions.push_back(gemm(op, bits, s, d, d));
+        break;
+      }
+      default:
+        k.instructions.push_back(
+            elementwise(op, bits, layer.specialOps()));
+        break;
+    }
+
+    // ------------------------------------------------------------------
+    // LUT images for the configuration phase.
+    // ------------------------------------------------------------------
+    switch (op) {
+      case bce::PimOpcode::Conv:
+      case bce::PimOpcode::Matmul:
+        k.lutImages.push_back(lut::serialize(lut::MultLut{}));
+        break;
+      case bce::PimOpcode::AvgPool:
+      case bce::PimOpcode::Divide:
+      case bce::PimOpcode::LayerNorm:
+        k.lutImages.push_back(lut::serialize(lut::DivisionLut(4)));
+        break;
+      case bce::PimOpcode::Sigmoid:
+        k.lutImages.push_back(
+            lut::serialize(lut::make_sigmoid_table(16)));
+        break;
+      case bce::PimOpcode::Tanh:
+        k.lutImages.push_back(lut::serialize(lut::make_tanh_table(16)));
+        break;
+      case bce::PimOpcode::Exp:
+        k.lutImages.push_back(lut::serialize(lut::make_exp_table(16)));
+        break;
+      case bce::PimOpcode::Softmax:
+        // Two-phase configuration: exp table, then the division table
+        // for the normalization pass.
+        k.lutImages.push_back(lut::serialize(lut::make_exp_table(8)));
+        k.lutImages.push_back(lut::serialize(lut::DivisionLut(4)));
+        break;
+      default:
+        break; // ReLU / max pool / ew-add need no table
+    }
+    if (layer.kind == dnn::LayerKind::Attention) {
+        // The attention block needs the multiply image and both
+        // softmax tables across its phases.
+        k.lutImages.push_back(lut::serialize(lut::make_exp_table(8)));
+        k.lutImages.push_back(lut::serialize(lut::DivisionLut(4)));
+    }
+    for (const lut::LutImage &image : k.lutImages) {
+        if (!image.fits(geom.lutBytesPerSubarray()))
+            bfree_panic("compiled LUT image '", image.name,
+                        "' does not fit the sub-array LUT region");
+    }
+
+    // ------------------------------------------------------------------
+    // Config block template.
+    // ------------------------------------------------------------------
+    k.configBlock.opcode = op;
+    k.configBlock.precisionBits = static_cast<std::uint8_t>(bits);
+
+    if (layer.isComputeLayer()) {
+        const double rate = bce::Bce::macsPerCycle(
+            k.mapping.mode == ExecMode::MatmulMode
+                ? bce::BceMode::Matmul
+                : bce::BceMode::Conv,
+            bits);
+        k.totalSteps = static_cast<std::uint64_t>(
+            static_cast<double>(layer.macs())
+            / (rate * std::max(1u, k.mapping.activeSubarrays)));
+    } else {
+        k.totalSteps = layer.specialOps()
+                       / std::max(1u, k.mapping.activeSubarrays);
+    }
+    k.configBlock.iterations = static_cast<std::uint16_t>(
+        std::min<std::uint64_t>(k.totalSteps, 0xFFFF));
+
+    // Weight rows in each sub-array tile.
+    const std::uint64_t tile_bytes =
+        k.mapping.weightTiles > 0
+            ? (k.mapping.weightBytes + k.mapping.weightTiles - 1)
+                  / k.mapping.weightTiles
+            : 0;
+    const auto rows = static_cast<std::uint16_t>(std::min<std::uint64_t>(
+        (tile_bytes + geom.rowBytes() - 1) / geom.rowBytes(),
+        std::uint64_t(geom.rowsPerPartition)
+            * geom.partitionsPerSubarray));
+    k.configBlock.startRow = 0;
+    k.configBlock.endRow = rows;
+    return k;
+}
+
+} // namespace bfree::map

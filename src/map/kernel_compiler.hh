@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Kernel compilation (Section IV-C).
+ *
+ * BFree executes networks layer by layer: each layer becomes one or
+ * more in-memory kernel instructions directed to the cache controller,
+ * which then loads the LUT rows with the entries the kernel needs and
+ * programs the per-sub-array config blocks. This module performs that
+ * lowering: Layer -> { PimInstructions, ConfigBlock template, LUT
+ * images, placement }.
+ *
+ * The compiler is checkable end-to-end: the instructions' MAC counts
+ * must sum to the layer's MACs, every LUT image must fit the 64-byte
+ * sub-array LUT region, and a config block written through the
+ * CacheController must decode back identically.
+ */
+
+#ifndef BFREE_MAP_KERNEL_COMPILER_HH
+#define BFREE_MAP_KERNEL_COMPILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bce/config_block.hh"
+#include "bce/isa.hh"
+#include "lut/lut_image.hh"
+#include "mapping.hh"
+
+namespace bfree::map {
+
+/** The lowered form of one layer. */
+struct CompiledKernel
+{
+    /** The instruction stream for the cache controller (a layer may
+     *  lower to several, e.g. the attention block's GEMMs + softmax). */
+    std::vector<bce::PimInstruction> instructions;
+
+    /** Template config block the slice controllers program into every
+     *  active sub-array. */
+    bce::ConfigBlock configBlock;
+
+    /** LUT images to load in the configuration phase, in order. */
+    std::vector<lut::LutImage> lutImages;
+
+    /** Placement of the layer on the fabric. */
+    LayerMapping mapping;
+
+    /** Compute steps each active BCE runs (before the CB's 16-bit
+     *  iteration field is applied per pass). */
+    std::uint64_t totalSteps = 0;
+
+    /** Total MACs across the instruction stream. */
+    std::uint64_t totalMacs() const;
+};
+
+/** Kernel opcode a layer kind lowers to. */
+bce::PimOpcode opcode_for(const dnn::Layer &layer, ExecMode mode);
+
+/**
+ * The compiler.
+ */
+class KernelCompiler
+{
+  public:
+    explicit KernelCompiler(const tech::CacheGeometry &geom,
+                            MapperOptions options = {});
+
+    /** Lower one layer. */
+    CompiledKernel compile(const dnn::Layer &layer,
+                           bool inputs_from_dram = false) const;
+
+    const Mapper &mapper() const { return _mapper; }
+
+  private:
+    tech::CacheGeometry geom;
+    Mapper _mapper;
+};
+
+} // namespace bfree::map
+
+#endif // BFREE_MAP_KERNEL_COMPILER_HH

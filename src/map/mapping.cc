@@ -1,0 +1,138 @@
+#include "mapping.hh"
+
+#include <algorithm>
+
+#include "dnn/im2col.hh"
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+const char *
+exec_mode_name(ExecMode mode)
+{
+    switch (mode) {
+      case ExecMode::ConvMode:
+        return "conv";
+      case ExecMode::MatmulMode:
+        return "matmul";
+      case ExecMode::SpecialMode:
+        return "special";
+    }
+    return "?";
+}
+
+Mapper::Mapper(const tech::CacheGeometry &geom, MapperOptions options)
+    : geom(geom), opts(options)
+{
+    if (opts.slices == 0 || opts.slices > geom.numSlices)
+        bfree_fatal("mapper slice count ", opts.slices,
+                    " outside [1, ", geom.numSlices, "]");
+}
+
+unsigned
+Mapper::availableSubarrays() const
+{
+    return opts.slices * geom.subarraysPerSlice();
+}
+
+std::uint64_t
+Mapper::usableBytesPerSubarray() const
+{
+    return static_cast<std::uint64_t>(
+        static_cast<double>(geom.subarrayBytes()) * opts.usableFraction);
+}
+
+bool
+Mapper::unrolledFits(const dnn::Layer &layer) const
+{
+    const std::uint64_t unrolled = dnn::unrolled_input_bytes(layer);
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(availableSubarrays())
+        * usableBytesPerSubarray();
+    return layer.weightBytes() + unrolled <= budget / 2;
+}
+
+ExecMode
+Mapper::chooseMode(const dnn::Layer &layer, bool inputs_from_dram) const
+{
+    if (opts.forcedMode != ExecMode::SpecialMode)
+        return opts.forcedMode;
+
+    if (layer.kind == dnn::LayerKind::Fc
+        || layer.kind == dnn::LayerKind::LstmCell
+        || layer.kind == dnn::LayerKind::Attention)
+        return ExecMode::MatmulMode;
+
+    if (layer.kind != dnn::LayerKind::Conv)
+        return ExecMode::SpecialMode;
+
+    // Matrix formulation needs room for the unrolled input features
+    // alongside the weights (Section IV: "If there is enough space to
+    // store all the unrolled intermediate features ... it is
+    // beneficial to adopt matrix formulation"). When the features
+    // already live in main memory the matrix can instead be generated
+    // on the fly from the DRAM buffers.
+    if (unrolledFits(layer) || inputs_from_dram)
+        return ExecMode::MatmulMode;
+    return ExecMode::ConvMode;
+}
+
+LayerMapping
+Mapper::map(const dnn::Layer &layer, bool inputs_from_dram) const
+{
+    LayerMapping m;
+    if (!layer.isComputeLayer()) {
+        m.mode = ExecMode::SpecialMode;
+        // Non-MAC layers run wherever their operands already live; use
+        // the full fabric for parallelism accounting.
+        m.weightTiles = 0;
+        m.duplication = 1;
+        m.activeSubarrays = availableSubarrays();
+        return m;
+    }
+
+    m.mode = chooseMode(layer, inputs_from_dram);
+    m.weightBytes = layer.weightBytes();
+    m.storageExpansion = dnn::storage_expansion(layer);
+    m.streamedUnrolled = m.mode == ExecMode::MatmulMode
+                         && layer.kind == dnn::LayerKind::Conv
+                         && inputs_from_dram && !unrolledFits(layer);
+
+    const std::uint64_t usable = usableBytesPerSubarray();
+    const auto tiles = static_cast<unsigned>(
+        std::min<std::uint64_t>((m.weightBytes + usable - 1) / usable,
+                                availableSubarrays()));
+    m.weightTiles = std::max(1u, tiles);
+
+    // Duplication: replicate small layers until the fabric is covered
+    // or the replica count stops being useful (bounded by the number
+    // of independent output positions to work on).
+    const unsigned fit = availableSubarrays() / m.weightTiles;
+    std::uint64_t independent_work = 1;
+    if (layer.kind == dnn::LayerKind::Conv) {
+        const dnn::FeatureShape out = layer.outputShape();
+        independent_work = std::uint64_t(out.h) * out.w;
+    } else if (layer.kind == dnn::LayerKind::Fc) {
+        independent_work = layer.fcRows;
+    } else if (layer.kind == dnn::LayerKind::Attention) {
+        independent_work = layer.seqLen;
+    } else if (layer.kind == dnn::LayerKind::LstmCell) {
+        independent_work = 1; // sequential recurrence
+    }
+    m.duplication = static_cast<unsigned>(std::min<std::uint64_t>(
+        {std::max(1u, fit), opts.maxDuplication, independent_work}));
+    m.activeSubarrays = m.weightTiles * m.duplication;
+    return m;
+}
+
+bool
+Mapper::weightsResident(const dnn::Network &net) const
+{
+    const std::uint64_t budget =
+        static_cast<std::uint64_t>(availableSubarrays())
+        * usableBytesPerSubarray();
+    // Keep half the capacity for activations and partials.
+    return net.totalWeightBytes() <= budget / 2;
+}
+
+} // namespace bfree::map

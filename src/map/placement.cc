@@ -1,0 +1,111 @@
+#include "placement.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+std::vector<TileExtent>
+WeightPlacement::replicaExtents(unsigned replica) const
+{
+    std::vector<TileExtent> out;
+    for (const TileExtent &e : extents)
+        if (e.replica == replica)
+            out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const TileExtent &a, const TileExtent &b) {
+                  return a.weightOffset < b.weightOffset;
+              });
+    return out;
+}
+
+unsigned
+WeightPlacement::passes() const
+{
+    unsigned max_pass = 0;
+    for (const TileExtent &e : extents)
+        max_pass = std::max(max_pass, e.pass);
+    return extents.empty() ? 0 : max_pass + 1;
+}
+
+WeightPlacement
+place_weights(const LayerMapping &mapping,
+              const tech::CacheGeometry &geom,
+              std::size_t subarray_data_offset)
+{
+    WeightPlacement p;
+    p.weightBytes = mapping.weightBytes;
+    p.replicas = std::max(1u, mapping.duplication);
+
+    if (mapping.weightBytes == 0 || mapping.weightTiles == 0)
+        return p;
+
+    const std::size_t usable =
+        geom.subarrayBytes() - subarray_data_offset;
+
+    // Layers whose weights exceed the assigned tiles (e.g. VGG-16's
+    // 103 MB fc6 against a 35 MB cache) stream in multiple passes:
+    // the same sub-array region is refilled between passes.
+    for (unsigned r = 0; r < p.replicas; ++r) {
+        std::uint64_t remaining = mapping.weightBytes;
+        std::uint64_t offset = 0;
+        unsigned tile = 0;
+        unsigned pass = 0;
+        while (remaining > 0) {
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(usable, remaining);
+            TileExtent e;
+            e.subarray = r * mapping.weightTiles + tile;
+            e.replica = r;
+            e.pass = pass;
+            e.weightOffset = offset;
+            e.byteOffset = subarray_data_offset;
+            e.byteCount = static_cast<std::size_t>(chunk);
+            p.extents.push_back(e);
+            offset += chunk;
+            remaining -= chunk;
+            if (++tile == mapping.weightTiles) {
+                tile = 0;
+                ++pass;
+            }
+        }
+    }
+    return p;
+}
+
+void
+load_weights(mem::SramCache &cache, const WeightPlacement &placement,
+             const std::vector<std::uint8_t> &weights)
+{
+    if (weights.size() != placement.weightBytes)
+        bfree_fatal("load_weights: blob of ", weights.size(),
+                    " bytes does not match placement of ",
+                    placement.weightBytes);
+    if (placement.passes() > 1)
+        bfree_fatal("load_weights: multi-pass placements are streamed, "
+                    "not resident; load one pass at a time");
+    for (const TileExtent &e : placement.extents) {
+        if (e.subarray >= cache.numSubarrays())
+            bfree_fatal("placement targets sub-array ", e.subarray,
+                        " beyond the cache's ", cache.numSubarrays());
+        cache.subarray(e.subarray)
+            .write(e.byteOffset,
+                   weights.data() + e.weightOffset, e.byteCount);
+    }
+}
+
+std::vector<std::uint8_t>
+read_weights(mem::SramCache &cache, const WeightPlacement &placement,
+             unsigned replica)
+{
+    std::vector<std::uint8_t> out(placement.weightBytes);
+    for (const TileExtent &e : placement.replicaExtents(replica)) {
+        cache.subarray(e.subarray)
+            .read(e.byteOffset, out.data() + e.weightOffset,
+                  e.byteCount);
+    }
+    return out;
+}
+
+} // namespace bfree::map

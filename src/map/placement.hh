@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Weight placement (Section IV-C: "it distributes the weights across
+ * and within each slice for efficient execution. It employs weight
+ * duplication, and efficient partition across sub-arrays").
+ *
+ * Turns a LayerMapping into the concrete list of (sub-array, offset,
+ * length) extents each weight replica occupies, and loads/verifies
+ * actual weight bytes through the functional cache model. Placement
+ * invariants (full disjoint coverage of every replica, extents within
+ * the usable region) are what the tests check.
+ */
+
+#ifndef BFREE_MAP_PLACEMENT_HH
+#define BFREE_MAP_PLACEMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mapping.hh"
+#include "mem/sram_cache.hh"
+
+namespace bfree::map {
+
+/** One contiguous weight extent inside one sub-array. */
+struct TileExtent
+{
+    unsigned subarray = 0;     ///< Flat sub-array index.
+    unsigned replica = 0;      ///< Which duplicate this tile belongs to.
+    unsigned pass = 0;         ///< Streaming pass (layers bigger than
+                               ///< the fabric reuse sub-arrays).
+    std::uint64_t weightOffset = 0; ///< Offset into the weight blob.
+    std::size_t byteOffset = 0;     ///< Offset inside the sub-array.
+    std::size_t byteCount = 0;
+
+    bool operator==(const TileExtent &) const = default;
+};
+
+/** Full placement of one layer's weights. */
+struct WeightPlacement
+{
+    std::vector<TileExtent> extents;
+    std::uint64_t weightBytes = 0; ///< Bytes per replica.
+    unsigned replicas = 1;
+
+    /** Extents belonging to one replica, in weight order. */
+    std::vector<TileExtent> replicaExtents(unsigned replica) const;
+
+    /** Number of streaming passes (1 = fully resident at once). */
+    unsigned passes() const;
+};
+
+/**
+ * Compute the placement for a mapping: replica r's tile t lands in
+ * sub-array (r * weightTiles + t), starting after the config block
+ * region.
+ */
+WeightPlacement place_weights(const LayerMapping &mapping,
+                              const tech::CacheGeometry &geom,
+                              std::size_t subarray_data_offset = 64);
+
+/** Write @p weights into the cache according to @p placement
+ *  (duplicating into every replica). */
+void load_weights(mem::SramCache &cache,
+                  const WeightPlacement &placement,
+                  const std::vector<std::uint8_t> &weights);
+
+/** Read one replica's weights back out of the cache. */
+std::vector<std::uint8_t> read_weights(mem::SramCache &cache,
+                                       const WeightPlacement &placement,
+                                       unsigned replica);
+
+} // namespace bfree::map
+
+#endif // BFREE_MAP_PLACEMENT_HH

@@ -1,0 +1,81 @@
+#include "softmax_sim.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+std::uint64_t
+softmax_chain_cycles(unsigned nodes, std::size_t length,
+                     unsigned hop_cycles)
+{
+    if (nodes == 0 || length == 0)
+        return 0;
+    const std::uint64_t per_node = (length + nodes - 1) / nodes;
+    const std::uint64_t exp_phase = 2 * per_node;   // PWL evaluations
+    const std::uint64_t reduce = (nodes - 1) * hop_cycles;
+    const std::uint64_t redistribute = (nodes - 1) * hop_cycles;
+    const std::uint64_t divide_phase = 4 * per_node; // LUT divisions
+    return exp_phase + reduce + redistribute + divide_phase;
+}
+
+DistributedSoftmax::DistributedSoftmax(const tech::CacheGeometry &geom,
+                                       const tech::TechParams &tech,
+                                       unsigned nodes,
+                                       unsigned exp_segments,
+                                       unsigned division_m)
+    : tech(tech), numNodes(nodes),
+      expTable(lut::make_exp_table(exp_segments)),
+      divisionLut(division_m)
+{
+    if (nodes == 0 || nodes > geom.subarraysPerSubBank)
+        bfree_fatal("softmax chain length ", nodes, " outside [1, ",
+                    geom.subarraysPerSubBank, "]");
+}
+
+SoftmaxRunResult
+DistributedSoftmax::run(const std::vector<double> &logits) const
+{
+    SoftmaxRunResult r;
+    if (logits.empty())
+        return r;
+
+    const double max_logit =
+        *std::max_element(logits.begin(), logits.end());
+    const std::size_t per_node =
+        (logits.size() + numNodes - 1) / numNodes;
+
+    // Phase 1: every node evaluates its slice through the exp table in
+    // parallel and accumulates a partial denominator.
+    std::vector<double> exps(logits.size());
+    std::vector<double> partials(numNodes, 0.0);
+    for (unsigned node = 0; node < numNodes; ++node) {
+        const std::size_t begin = node * per_node;
+        const std::size_t end =
+            std::min(logits.size(), begin + per_node);
+        for (std::size_t i = begin; i < end; ++i) {
+            exps[i] = expTable.evaluate(logits[i] - max_logit);
+            partials[node] += exps[i];
+        }
+    }
+
+    // Phase 2: partial denominators reduce down the chain to the last
+    // sub-array.
+    double denominator = 0.0;
+    for (unsigned node = 0; node < numNodes; ++node)
+        denominator += partials[node];
+    r.denominator = denominator;
+
+    // Phase 3: the denominator is redistributed and every node divides
+    // its slice through the reciprocal LUT in parallel.
+    r.probabilities.resize(logits.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        r.probabilities[i] = divisionLut.divide(exps[i], denominator);
+
+    r.cycles = softmax_chain_cycles(numNodes, logits.size(),
+                                    tech.routerHopCycles);
+    return r;
+}
+
+} // namespace bfree::map

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Distributed softmax on a sub-bank chain (Section IV-B2).
+ *
+ * "BFree executes softmax ... Each sub-array processes unique sets of
+ * elements in the vector, and accumulates across the sub-array to get
+ * denominator of the softmax (sum e^x) operation in the last
+ * sub-array. This denominator is redistributed to all the sub-arrays
+ * (increased parallelism) for computing the final output."
+ *
+ * Three phases on a K-node chain, each node owning a slice of the
+ * logit vector:
+ *
+ *   1. exp:       every node evaluates its slice through the exp PWL
+ *                 table (2 cycles per element, all nodes in parallel)
+ *                 and forms its partial denominator;
+ *   2. reduce:    partial sums flow down the chain (K - 1 hops);
+ *   3. redistribute + divide: the denominator travels back up
+ *                 (K - 1 hops) and every node divides its slice
+ *                 through the reciprocal LUT (4 cycles per element,
+ *                 in parallel).
+ *
+ * Closed form: 2 * ceil(len / K) + 2 * (K - 1) * hop
+ *              + 4 * ceil(len / K); the event-driven run must match.
+ */
+
+#ifndef BFREE_MAP_SOFTMAX_SIM_HH
+#define BFREE_MAP_SOFTMAX_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "lut/division.hh"
+#include "lut/pwl.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::map {
+
+/** Result of a distributed softmax run. */
+struct SoftmaxRunResult
+{
+    std::vector<double> probabilities;
+    std::uint64_t cycles = 0;
+    double denominator = 0.0;
+};
+
+/** The closed-form cycle count. */
+std::uint64_t softmax_chain_cycles(unsigned nodes, std::size_t length,
+                                   unsigned hop_cycles);
+
+/**
+ * Distributed softmax over a chain of @p nodes sub-arrays.
+ */
+class DistributedSoftmax
+{
+  public:
+    DistributedSoftmax(const tech::CacheGeometry &geom,
+                       const tech::TechParams &tech, unsigned nodes,
+                       unsigned exp_segments = 64,
+                       unsigned division_m = 6);
+
+    /** Run softmax over @p logits (max-shifted internally). */
+    SoftmaxRunResult run(const std::vector<double> &logits) const;
+
+    unsigned nodes() const { return numNodes; }
+
+  private:
+    tech::TechParams tech;
+    unsigned numNodes;
+    lut::PwlTable expTable;
+    lut::DivisionLut divisionLut;
+};
+
+} // namespace bfree::map
+
+#endif // BFREE_MAP_SOFTMAX_SIM_HH

@@ -1,0 +1,75 @@
+#include "task_sharing.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::map {
+
+namespace {
+
+/** One tenant's standalone run on a slice partition. */
+TenantResult
+run_alone(const tech::CacheGeometry &geom, const tech::TechParams &tech,
+          const dnn::Network &net, unsigned slices, ExecConfig config)
+{
+    config.mapper.slices = slices;
+    ExecutionModel model(geom, tech, config);
+    const RunResult r = model.run(net);
+
+    TenantResult t;
+    t.network = net.name();
+    t.slices = slices;
+    t.aloneSeconds = r.secondsPerInference();
+
+    // Channel demand: the share of wall-clock the channel is busy for
+    // this tenant (weight streaming is serialized; input streaming is
+    // overlapped but still occupies the channel).
+    const auto mem = tech::main_memory_params(config.memory);
+    const double dram_bytes =
+        r.energy.joules(mem::EnergyCategory::DramTransfer)
+        / (mem.energyPjPerByte * 1e-12);
+    const double busy = dram_bytes / (mem.bandwidthGBps * 1e9);
+    t.channelDemand =
+        t.aloneSeconds > 0.0
+            ? std::min(1.0, busy / t.aloneSeconds)
+            : 0.0;
+    return t;
+}
+
+} // namespace
+
+SharedRunResult
+run_shared(const tech::CacheGeometry &geom, const tech::TechParams &tech,
+           const dnn::Network &net_a, const dnn::Network &net_b,
+           unsigned slices_a, ExecConfig config)
+{
+    if (slices_a == 0 || slices_a >= geom.numSlices)
+        bfree_fatal("task sharing needs a split with at least one "
+                    "slice per tenant; got ", slices_a, " of ",
+                    geom.numSlices);
+
+    SharedRunResult result;
+    result.a =
+        run_alone(geom, tech, net_a, slices_a, config);
+    result.b = run_alone(geom, tech, net_b,
+                         geom.numSlices - slices_a, config);
+
+    // Channel contention: if the summed demand exceeds the channel,
+    // both tenants' memory-bound time stretches by the pressure
+    // factor; compute-bound time is unaffected (disjoint slices).
+    result.channelPressure = std::max(
+        1.0, result.a.channelDemand + result.b.channelDemand);
+
+    auto apply = [&](TenantResult &t) {
+        const double mem_time = t.aloneSeconds * t.channelDemand;
+        const double compute_time = t.aloneSeconds - mem_time;
+        t.sharedSeconds =
+            compute_time + mem_time * result.channelPressure;
+    };
+    apply(result.a);
+    apply(result.b);
+    return result;
+}
+
+} // namespace bfree::map

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Task sharing across the PIM fabric (the paper's future-work
+ * direction: "BFree has the potential to further unlock more efficient
+ * PIM capabilities with better mapping techniques and task sharing in
+ * a tightly coupled compute-memory system").
+ *
+ * Two networks run concurrently on disjoint slice partitions. Compute
+ * is fully isolated (each network's kernels own their slices), but the
+ * main-memory channel is shared: when the sum of the two workloads'
+ * channel demands exceeds the bandwidth, both see their streaming
+ * phases stretched proportionally.
+ */
+
+#ifndef BFREE_MAP_TASK_SHARING_HH
+#define BFREE_MAP_TASK_SHARING_HH
+
+#include "dnn/network.hh"
+#include "exec_model.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::map {
+
+/** One tenant's outcome under sharing. */
+struct TenantResult
+{
+    std::string network;
+    unsigned slices = 0;
+    /** Per-inference seconds running alone on its partition. */
+    double aloneSeconds = 0.0;
+    /** Per-inference seconds with the channel shared. */
+    double sharedSeconds = 0.0;
+    /** Fraction of the channel this tenant demands when alone. */
+    double channelDemand = 0.0;
+
+    double
+    slowdown() const
+    {
+        return aloneSeconds > 0.0 ? sharedSeconds / aloneSeconds : 1.0;
+    }
+
+    double
+    throughput() const
+    {
+        return sharedSeconds > 0.0 ? 1.0 / sharedSeconds : 0.0;
+    }
+};
+
+/** The co-scheduled pair. */
+struct SharedRunResult
+{
+    TenantResult a;
+    TenantResult b;
+
+    /** Channel over-subscription factor (1 = fits). */
+    double channelPressure = 1.0;
+
+    double
+    combinedThroughput() const
+    {
+        return a.throughput() + b.throughput();
+    }
+};
+
+/**
+ * Run @p net_a on @p slices_a slices and @p net_b on the remaining
+ * slices, sharing the main-memory channel of @p config.
+ */
+SharedRunResult run_shared(const tech::CacheGeometry &geom,
+                           const tech::TechParams &tech,
+                           const dnn::Network &net_a,
+                           const dnn::Network &net_b,
+                           unsigned slices_a, ExecConfig config = {});
+
+} // namespace bfree::map
+
+#endif // BFREE_MAP_TASK_SHARING_HH

@@ -1,0 +1,56 @@
+#include "address.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::mem {
+
+Location
+AddressMap::decode(std::uint64_t addr) const
+{
+    if (addr >= capacity())
+        bfree_panic("address ", addr, " exceeds cache capacity ",
+                    capacity());
+
+    Location loc;
+    loc.byte = static_cast<unsigned>(addr % geom.rowBytes());
+    addr /= geom.rowBytes();
+    loc.row = static_cast<unsigned>(addr % geom.rowsPerPartition);
+    addr /= geom.rowsPerPartition;
+    loc.partition =
+        static_cast<unsigned>(addr % geom.partitionsPerSubarray);
+    addr /= geom.partitionsPerSubarray;
+    loc.subarray =
+        static_cast<unsigned>(addr % geom.subarraysPerSubBank);
+    addr /= geom.subarraysPerSubBank;
+    loc.subBank = static_cast<unsigned>(addr % geom.subBanksPerBank);
+    addr /= geom.subBanksPerBank;
+    loc.bank = static_cast<unsigned>(addr % geom.banksPerSlice);
+    addr /= geom.banksPerSlice;
+    loc.slice = static_cast<unsigned>(addr);
+    return loc;
+}
+
+std::uint64_t
+AddressMap::encode(const Location &loc) const
+{
+    std::uint64_t addr = loc.slice;
+    addr = addr * geom.banksPerSlice + loc.bank;
+    addr = addr * geom.subBanksPerBank + loc.subBank;
+    addr = addr * geom.subarraysPerSubBank + loc.subarray;
+    addr = addr * geom.partitionsPerSubarray + loc.partition;
+    addr = addr * geom.rowsPerPartition + loc.row;
+    addr = addr * geom.rowBytes() + loc.byte;
+    return addr;
+}
+
+unsigned
+AddressMap::subarrayIndex(const Location &loc) const
+{
+    unsigned index = loc.slice;
+    index = index * geom.banksPerSlice + loc.bank;
+    index = index * geom.subBanksPerBank + loc.subBank;
+    index = index * geom.subarraysPerSubBank + loc.subarray;
+    return index;
+}
+
+} // namespace bfree::mem

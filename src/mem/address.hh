@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Physical address mapping for the modelled LLC.
+ *
+ * Flat cache byte addresses decompose hierarchically as
+ * slice : bank : sub-bank : sub-array : partition : row : byte, matching
+ * the Fig. 1 organization. Data within a sub-bank is striped across its
+ * sub-arrays row-slice by row-slice for normal cache accesses; the PIM
+ * mapping layer instead places whole operand tiles per sub-array, so
+ * both views are provided.
+ */
+
+#ifndef BFREE_MEM_ADDRESS_HH
+#define BFREE_MEM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "tech/geometry.hh"
+
+namespace bfree::mem {
+
+/** Fully decoded location of one byte in the cache. */
+struct Location
+{
+    unsigned slice = 0;
+    unsigned bank = 0;
+    unsigned subBank = 0;
+    unsigned subarray = 0;  ///< Within the sub-bank.
+    unsigned partition = 0; ///< Within the sub-array.
+    unsigned row = 0;       ///< Within the partition.
+    unsigned byte = 0;      ///< Within the row.
+
+    bool operator==(const Location &) const = default;
+};
+
+/**
+ * Bidirectional flat-address <-> Location mapping.
+ */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const tech::CacheGeometry &geom) : geom(geom) {}
+
+    /** Total mappable bytes. */
+    std::uint64_t capacity() const { return geom.totalBytes(); }
+
+    /** Decode a flat byte address. Panics when out of range. */
+    Location decode(std::uint64_t addr) const;
+
+    /** Encode a location back to its flat byte address. */
+    std::uint64_t encode(const Location &loc) const;
+
+    /** Flat index of a sub-array in [0, totalSubarrays). */
+    unsigned subarrayIndex(const Location &loc) const;
+
+    /** Geometry this map was built from. */
+    const tech::CacheGeometry &geometry() const { return geom; }
+
+  private:
+    tech::CacheGeometry geom;
+};
+
+} // namespace bfree::mem
+
+#endif // BFREE_MEM_ADDRESS_HH

@@ -1,0 +1,31 @@
+#include "energy_account.hh"
+
+namespace bfree::mem {
+
+const char *
+energy_category_name(EnergyCategory cat)
+{
+    switch (cat) {
+      case EnergyCategory::DramTransfer:
+        return "dram";
+      case EnergyCategory::SubarrayAccess:
+        return "sa_access";
+      case EnergyCategory::LutAccess:
+        return "lut_access";
+      case EnergyCategory::BceCompute:
+        return "bce";
+      case EnergyCategory::Interconnect:
+        return "interconnect";
+      case EnergyCategory::Router:
+        return "router";
+      case EnergyCategory::Controller:
+        return "controller";
+      case EnergyCategory::Leakage:
+        return "leakage";
+      case EnergyCategory::NumCategories:
+        break;
+    }
+    return "?";
+}
+
+} // namespace bfree::mem

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Energy bookkeeping shared by every timing model.
+ *
+ * All dynamic and static energy contributions are accumulated into named
+ * categories so benches can print the paper's breakdowns directly
+ * (e.g. Fig. 12(d): sub-array access + BCE dominate the cache energy
+ * once DRAM is excluded).
+ */
+
+#ifndef BFREE_MEM_ENERGY_ACCOUNT_HH
+#define BFREE_MEM_ENERGY_ACCOUNT_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+namespace bfree::mem {
+
+/** Energy categories tracked across the model. */
+enum class EnergyCategory : std::size_t
+{
+    DramTransfer,   ///< Main-memory data movement.
+    SubarrayAccess, ///< Full-bitline sub-array reads/writes.
+    LutAccess,      ///< Decoupled-bitline LUT-row reads/writes.
+    BceCompute,     ///< BCE datapath (ROM MACs, adders, shifters).
+    Interconnect,   ///< Slice H-tree traversals.
+    Router,         ///< Systolic router hops.
+    Controller,     ///< Cache/slice controller activity.
+    Leakage,        ///< Static energy integrated over runtime.
+    NumCategories,
+};
+
+/** Number of categories (for iteration). */
+constexpr std::size_t num_energy_categories =
+    static_cast<std::size_t>(EnergyCategory::NumCategories);
+
+/** Printable category name. */
+const char *energy_category_name(EnergyCategory cat);
+
+/**
+ * A per-category energy accumulator in joules.
+ */
+class EnergyAccount
+{
+  public:
+    /** Add @p picojoules to @p cat. */
+    void
+    addPj(EnergyCategory cat, double picojoules)
+    {
+        joules_[static_cast<std::size_t>(cat)] += picojoules * 1e-12;
+    }
+
+    /** Add @p j joules to @p cat. */
+    void
+    addJoules(EnergyCategory cat, double j)
+    {
+        joules_[static_cast<std::size_t>(cat)] += j;
+    }
+
+    /** Energy in joules accumulated in @p cat. */
+    double
+    joules(EnergyCategory cat) const
+    {
+        return joules_[static_cast<std::size_t>(cat)];
+    }
+
+    /** Total across all categories. */
+    double
+    total() const
+    {
+        double sum = 0.0;
+        for (double j : joules_)
+            sum += j;
+        return sum;
+    }
+
+    /** Total excluding DRAM (the paper's Fig. 12(d) view). */
+    double
+    totalExcludingDram() const
+    {
+        return total() - joules(EnergyCategory::DramTransfer);
+    }
+
+    /** Merge another account into this one. */
+    EnergyAccount &
+    operator+=(const EnergyAccount &other)
+    {
+        for (std::size_t i = 0; i < num_energy_categories; ++i)
+            joules_[i] += other.joules_[i];
+        return *this;
+    }
+
+    /** Reset all categories to zero. */
+    void reset() { joules_.fill(0.0); }
+
+  private:
+    std::array<double, num_energy_categories> joules_{};
+};
+
+} // namespace bfree::mem
+
+#endif // BFREE_MEM_ENERGY_ACCOUNT_HH

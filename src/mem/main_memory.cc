@@ -1,0 +1,14 @@
+#include "main_memory.hh"
+
+namespace bfree::mem {
+
+double
+MainMemory::stream(double bytes)
+{
+    totalBytes += bytes;
+    energy->addJoules(EnergyCategory::DramTransfer,
+                      params.streamJoules(bytes));
+    return params.streamSeconds(bytes);
+}
+
+} // namespace bfree::mem

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Main-memory channel model (DRAM / eDRAM / HBM).
+ *
+ * Weight and feature streaming time is bandwidth-bound in BFree; the
+ * paper's Fig. 14 sweeps the channel technology to show the input-load
+ * bottleneck. The model is a sustained-bandwidth pipe with per-byte
+ * transfer energy and background power, which matches how the paper
+ * treats main memory.
+ */
+
+#ifndef BFREE_MEM_MAIN_MEMORY_HH
+#define BFREE_MEM_MAIN_MEMORY_HH
+
+#include <cstdint>
+
+#include "energy_account.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::mem {
+
+/**
+ * A bandwidth/energy model of one main-memory channel.
+ */
+class MainMemory
+{
+  public:
+    MainMemory(const tech::MainMemoryParams &params,
+               EnergyAccount &energy)
+        : params(params), energy(&energy)
+    {}
+
+    /** Channel parameters. */
+    const tech::MainMemoryParams &parameters() const { return params; }
+
+    /**
+     * Stream @p bytes through the channel: returns the transfer time in
+     * seconds and charges the transfer energy.
+     */
+    double stream(double bytes);
+
+    /** Transfer time only (no energy side effect). */
+    double
+    streamSeconds(double bytes) const
+    {
+        return params.streamSeconds(bytes);
+    }
+
+    /** Total bytes streamed so far. */
+    double bytesTransferred() const { return totalBytes; }
+
+  private:
+    tech::MainMemoryParams params;
+    EnergyAccount *energy;
+    double totalBytes = 0.0;
+};
+
+} // namespace bfree::mem
+
+#endif // BFREE_MEM_MAIN_MEMORY_HH

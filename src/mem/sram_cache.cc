@@ -1,0 +1,110 @@
+#include "sram_cache.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::mem {
+
+SramCache::SramCache(const tech::CacheGeometry &geom,
+                     const tech::TechParams &tech)
+    : geom(geom), tech(tech), amap(geom),
+      access(tech::slice_access_breakdown(geom, tech))
+{
+    arrays.reserve(geom.totalSubarrays());
+    for (unsigned i = 0; i < geom.totalSubarrays(); ++i)
+        arrays.push_back(
+            std::make_unique<Subarray>(geom, tech, account));
+}
+
+Subarray &
+SramCache::subarray(unsigned index)
+{
+    if (index >= arrays.size())
+        bfree_panic("sub-array index ", index, " out of range (",
+                    arrays.size(), ")");
+    return *arrays[index];
+}
+
+const Subarray &
+SramCache::subarray(unsigned index) const
+{
+    if (index >= arrays.size())
+        bfree_panic("sub-array index ", index, " out of range (",
+                    arrays.size(), ")");
+    return *arrays[index];
+}
+
+void
+SramCache::chargeInterconnect(std::size_t bytes)
+{
+    const double route =
+        tech::slice_route_mm(geom, tech);
+    const double pj = static_cast<double>(bytes) * 8.0 * route
+                          * tech.wireEnergyPjPerBitPerMm
+                      + tech.busDriverPj;
+    account.addPj(EnergyCategory::Interconnect, pj);
+}
+
+void
+SramCache::read(std::uint64_t addr, std::uint8_t *out, std::size_t len)
+{
+    for (std::size_t i = 0; i < len;) {
+        const Location loc = amap.decode(addr + i);
+        Subarray &sa = subarray(amap.subarrayIndex(loc));
+        const std::size_t sa_offset =
+            (loc.partition * geom.rowsPerPartition + loc.row)
+                * geom.rowBytes()
+            + loc.byte;
+        const std::size_t chunk =
+            std::min<std::size_t>(len - i, geom.rowBytes() - loc.byte);
+        sa.read(sa_offset, out + i, chunk);
+        i += chunk;
+    }
+    chargeInterconnect(len);
+}
+
+void
+SramCache::write(std::uint64_t addr, const std::uint8_t *in,
+                 std::size_t len)
+{
+    for (std::size_t i = 0; i < len;) {
+        const Location loc = amap.decode(addr + i);
+        Subarray &sa = subarray(amap.subarrayIndex(loc));
+        const std::size_t sa_offset =
+            (loc.partition * geom.rowsPerPartition + loc.row)
+                * geom.rowBytes()
+            + loc.byte;
+        const std::size_t chunk =
+            std::min<std::size_t>(len - i, geom.rowBytes() - loc.byte);
+        sa.write(sa_offset, in + i, chunk);
+        i += chunk;
+    }
+    chargeInterconnect(len);
+}
+
+void
+SramCache::broadcastLut(const std::vector<std::uint8_t> &bytes)
+{
+    for (auto &sa : arrays)
+        sa->loadLut(bytes);
+}
+
+SubarrayStats
+SramCache::aggregateStats() const
+{
+    SubarrayStats total;
+    for (const auto &sa : arrays) {
+        total.reads += sa->stats().reads;
+        total.writes += sa->stats().writes;
+        total.lutReads += sa->stats().lutReads;
+        total.lutWrites += sa->stats().lutWrites;
+    }
+    return total;
+}
+
+double
+SramCache::cacheAccessLatencyNs() const
+{
+    return access.totalLatencyNs();
+}
+
+} // namespace bfree::mem

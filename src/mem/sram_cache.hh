@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The modelled last-level SRAM cache: a container of sub-arrays with
+ * functional whole-cache load/store and kernel LUT configuration.
+ *
+ * In PIM mode the cache does not behave as a cache (no tags/replacement
+ * are modelled): the BFree controllers place weights and LUT images at
+ * explicit physical locations, exactly as the paper's configuration
+ * phase does (Fig. 11). Normal cache-mode reads/writes are still
+ * available for completeness and cost the full slice traversal.
+ */
+
+#ifndef BFREE_MEM_SRAM_CACHE_HH
+#define BFREE_MEM_SRAM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "address.hh"
+#include "energy_account.hh"
+#include "subarray.hh"
+#include "tech/access_breakdown.hh"
+
+namespace bfree::mem {
+
+/**
+ * The full LLC as an array of sub-array models.
+ */
+class SramCache
+{
+  public:
+    SramCache(const tech::CacheGeometry &geom,
+              const tech::TechParams &tech);
+
+    /** Geometry of this cache. */
+    const tech::CacheGeometry &geometry() const { return geom; }
+
+    /** The shared energy account. */
+    EnergyAccount &energy() { return account; }
+    const EnergyAccount &energy() const { return account; }
+
+    /** Address mapping helper. */
+    const AddressMap &addressMap() const { return amap; }
+
+    /** Sub-array by flat index in [0, totalSubarrays). */
+    Subarray &subarray(unsigned index);
+    const Subarray &subarray(unsigned index) const;
+
+    /** Number of sub-arrays. */
+    unsigned numSubarrays() const
+    { return static_cast<unsigned>(arrays.size()); }
+
+    // ------------------------------------------------------------------
+    // Cache-mode functional access (pays sub-array + interconnect cost)
+    // ------------------------------------------------------------------
+    /** Read @p len bytes at flat address @p addr. */
+    void read(std::uint64_t addr, std::uint8_t *out, std::size_t len);
+
+    /** Write @p len bytes at flat address @p addr. */
+    void write(std::uint64_t addr, const std::uint8_t *in,
+               std::size_t len);
+
+    // ------------------------------------------------------------------
+    // PIM configuration
+    // ------------------------------------------------------------------
+    /** Load one LUT image into every sub-array (broadcast). */
+    void broadcastLut(const std::vector<std::uint8_t> &bytes);
+
+    /** Aggregate access statistics over all sub-arrays. */
+    SubarrayStats aggregateStats() const;
+
+    /** Latency of one cache-mode access (slice traversal), ns. */
+    double cacheAccessLatencyNs() const;
+
+  private:
+    /** Charge the H-tree traversal for @p bytes of cache-mode data. */
+    void chargeInterconnect(std::size_t bytes);
+
+    tech::CacheGeometry geom;
+    tech::TechParams tech;
+    AddressMap amap;
+    EnergyAccount account;
+    std::vector<std::unique_ptr<Subarray>> arrays;
+    tech::SliceAccessBreakdown access;
+};
+
+} // namespace bfree::mem
+
+#endif // BFREE_MEM_SRAM_CACHE_HH

@@ -1,0 +1,120 @@
+#include "subarray.hh"
+
+#include <cstring>
+
+#include "sim/logging.hh"
+
+namespace bfree::mem {
+
+Subarray::Subarray(const tech::CacheGeometry &geom,
+                   const tech::TechParams &tech, EnergyAccount &energy)
+    : geom(geom), tech(tech), energy(&energy),
+      data(geom.subarrayBytes(), 0),
+      lut(geom.lutBytesPerSubarray(), 0)
+{}
+
+void
+Subarray::chargeAccesses(std::size_t offset, std::size_t len, bool is_read)
+{
+    const std::size_t row_bytes = geom.rowBytes();
+    const std::size_t first_row = offset / row_bytes;
+    const std::size_t last_row = (offset + len - 1) / row_bytes;
+    const std::size_t rows = last_row - first_row + 1;
+
+    energy->addPj(EnergyCategory::SubarrayAccess,
+                  tech.subarrayAccessPj * static_cast<double>(rows));
+    if (is_read)
+        _stats.reads += rows;
+    else
+        _stats.writes += rows;
+}
+
+void
+Subarray::read(std::size_t offset, std::uint8_t *out, std::size_t len)
+{
+    if (offset + len > data.size())
+        bfree_panic("sub-array read [", offset, ", ", offset + len,
+                    ") exceeds capacity ", data.size());
+    std::memcpy(out, data.data() + offset, len);
+    chargeAccesses(offset, len, true);
+}
+
+void
+Subarray::write(std::size_t offset, const std::uint8_t *in, std::size_t len)
+{
+    if (offset + len > data.size())
+        bfree_panic("sub-array write [", offset, ", ", offset + len,
+                    ") exceeds capacity ", data.size());
+    std::memcpy(data.data() + offset, in, len);
+    chargeAccesses(offset, len, false);
+}
+
+std::uint8_t
+Subarray::peek(std::size_t offset) const
+{
+    if (offset >= data.size())
+        bfree_panic("sub-array peek at ", offset, " out of range");
+    return data[offset];
+}
+
+void
+Subarray::loadLut(const std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.size() > lut.size())
+        bfree_fatal("LUT image of ", bytes.size(),
+                    " bytes does not fit the ", lut.size(),
+                    "-byte LUT region");
+    std::copy(bytes.begin(), bytes.end(), lut.begin());
+
+    // Configuration-phase loads drive the full bitline (writes are not
+    // on the decoupled path).
+    const std::size_t rows =
+        (bytes.size() + geom.rowBytes() - 1) / geom.rowBytes();
+    energy->addPj(EnergyCategory::SubarrayAccess,
+                  tech.subarrayAccessPj * static_cast<double>(rows));
+    _stats.lutWrites += rows;
+}
+
+std::uint8_t
+Subarray::lutRead(std::size_t offset)
+{
+    if (offset >= lut.size())
+        bfree_panic("LUT read at ", offset, " exceeds LUT region of ",
+                    lut.size(), " bytes");
+    if (_pimMode) {
+        // lut_en = 1: local precharge, decoupled bitline.
+        energy->addPj(EnergyCategory::LutAccess, tech.lutAccessPj());
+    } else {
+        // lut_en = 0: the row reads like any other data row.
+        energy->addPj(EnergyCategory::SubarrayAccess,
+                      tech.subarrayAccessPj);
+    }
+    ++_stats.lutReads;
+    return lut[offset];
+}
+
+void
+Subarray::scratchWrite(std::size_t offset, std::uint8_t value)
+{
+    if (offset >= lut.size())
+        bfree_panic("scratch write at ", offset,
+                    " exceeds the reduced-cost region of ", lut.size(),
+                    " bytes");
+    lut[offset] = value;
+    energy->addPj(EnergyCategory::LutAccess, tech.lutAccessPj());
+    ++_stats.lutWrites;
+}
+
+double
+Subarray::accessLatencyNs() const
+{
+    return tech.subarrayPeriodNs() * tech.subarrayAccessCycles;
+}
+
+double
+Subarray::lutLatencyNs() const
+{
+    return _pimMode ? tech.lutAccessNs() : accessLatencyNs();
+}
+
+} // namespace bfree::mem

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Functional + cost model of one 8 KB BFree sub-array.
+ *
+ * The sub-array stores ordinary data in its 4 partitions and keeps a
+ * separate 64-byte LUT region (2 reserved rows per partition with
+ * decoupled bitlines and a local precharge). Reads and writes report
+ * their energy into an EnergyAccount: a full-bitline access costs
+ * subarrayAccessPj per 64-bit row slice, while a LUT access costs 231x
+ * less and completes 3x faster (Fig. 4). The BFree design leaves the
+ * bit-cells and peripherals untouched, so cache-mode behaviour is
+ * unchanged (lut_en = 0 reconnects the full bitline).
+ */
+
+#ifndef BFREE_MEM_SUBARRAY_HH
+#define BFREE_MEM_SUBARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "energy_account.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::mem {
+
+/** Access statistics of one sub-array. */
+struct SubarrayStats
+{
+    std::uint64_t reads = 0;     ///< Full-bitline row-slice reads.
+    std::uint64_t writes = 0;    ///< Full-bitline row-slice writes.
+    std::uint64_t lutReads = 0;  ///< Decoupled LUT-row reads.
+    std::uint64_t lutWrites = 0; ///< LUT loads (full-cost writes).
+};
+
+/**
+ * One sub-array: byte-accurate storage plus access-cost reporting.
+ */
+class Subarray
+{
+  public:
+    Subarray(const tech::CacheGeometry &geom, const tech::TechParams &tech,
+             EnergyAccount &energy);
+
+    /** Data capacity in bytes (8 KB). */
+    std::size_t capacity() const { return data.size(); }
+
+    /** LUT region capacity in bytes (64). */
+    std::size_t lutCapacity() const { return lut.size(); }
+
+    // ------------------------------------------------------------------
+    // Cache-mode data path (full bitline cost)
+    // ------------------------------------------------------------------
+    /** Read @p len bytes at @p offset. Cost: one access per row slice. */
+    void read(std::size_t offset, std::uint8_t *out, std::size_t len);
+
+    /** Write @p len bytes at @p offset. Cost: one access per row slice. */
+    void write(std::size_t offset, const std::uint8_t *in,
+               std::size_t len);
+
+    /** Convenience single-byte peek without cost (debug/verification). */
+    std::uint8_t peek(std::size_t offset) const;
+
+    // ------------------------------------------------------------------
+    // PIM-mode LUT path (decoupled bitline cost)
+    // ------------------------------------------------------------------
+    /**
+     * The lut_en signal (Fig. 4(b)): in cache mode (false) a single
+     * bitline runs across the entire column and LUT-row reads pay the
+     * full access cost; in PIM mode (true) the local precharge
+     * decouples the LUT rows. BFree preserves normal cache behaviour —
+     * the bit-cells and peripherals are untouched.
+     */
+    void setPimMode(bool enabled) { _pimMode = enabled; }
+
+    /** True when the decoupled-bitline LUT path is active. */
+    bool pimModeEnabled() const { return _pimMode; }
+
+    /**
+     * Load a LUT image into the reserved rows. Loading pays full access
+     * cost (it happens once per kernel in the configuration phase).
+     */
+    void loadLut(const std::vector<std::uint8_t> &bytes);
+
+    /** Read one LUT byte (reduced cost in PIM mode, full cost in
+     *  cache mode). */
+    std::uint8_t lutRead(std::size_t offset);
+
+    /**
+     * Read/write an intermediate value in the reduced-access-cost rows
+     * (the paper reuses them for partial products during matmul).
+     */
+    std::uint8_t scratchRead(std::size_t offset) { return lutRead(offset); }
+    void scratchWrite(std::size_t offset, std::uint8_t value);
+
+    /** Per-sub-array counters. */
+    const SubarrayStats &stats() const { return _stats; }
+
+    /** Latency of a full access in ns. */
+    double accessLatencyNs() const;
+
+    /** Latency of a LUT access in ns (mode dependent). */
+    double lutLatencyNs() const;
+
+  private:
+    /** Charge one full-bitline access per touched row slice. */
+    void chargeAccesses(std::size_t offset, std::size_t len, bool is_read);
+
+    tech::CacheGeometry geom;
+    tech::TechParams tech;
+    EnergyAccount *energy;
+    std::vector<std::uint8_t> data;
+    std::vector<std::uint8_t> lut;
+    SubarrayStats _stats;
+    bool _pimMode = true;
+};
+
+} // namespace bfree::mem
+
+#endif // BFREE_MEM_SUBARRAY_HH

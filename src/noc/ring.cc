@@ -1,0 +1,29 @@
+#include "ring.hh"
+
+namespace bfree::noc {
+
+double
+RingInterconnect::broadcast(double bytes)
+{
+    const double cycles = bytes / busBytesPerCycle()
+                          + static_cast<double>(numSlices) / 2.0;
+    const double flits = bytes / busBytesPerCycle();
+    // Each flit traverses half the ring on average.
+    energy->addPj(mem::EnergyCategory::Interconnect,
+                  flits * tech.routerHopPj
+                      * (static_cast<double>(numSlices) / 2.0));
+    return cycles / clockHz();
+}
+
+double
+RingInterconnect::transfer(double bytes, unsigned hops)
+{
+    const double cycles =
+        bytes / busBytesPerCycle() + static_cast<double>(hops);
+    const double flits = bytes / busBytesPerCycle();
+    energy->addPj(mem::EnergyCategory::Interconnect,
+                  flits * tech.routerHopPj * static_cast<double>(hops));
+    return cycles / clockHz();
+}
+
+} // namespace bfree::noc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Inter-slice ring interconnect (Fig. 1(a)).
+ *
+ * The 14 LLC slices sit on a ring (NUCA). BFree uses it in the
+ * configuration phase to broadcast weights and LUT images to all slices
+ * and, for batch inference, to spill output features toward the memory
+ * controller. The model is a pipelined ring bus: a broadcast of B bytes
+ * costs B / busBytesPerCycle cycles plus half-ring propagation, with
+ * per-hop per-flit energy.
+ */
+
+#ifndef BFREE_NOC_RING_HH
+#define BFREE_NOC_RING_HH
+
+#include <cstdint>
+
+#include "mem/energy_account.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::noc {
+
+/**
+ * Analytic model of the slice ring.
+ */
+class RingInterconnect
+{
+  public:
+    RingInterconnect(unsigned num_slices, const tech::TechParams &tech,
+                     mem::EnergyAccount &energy)
+        : numSlices(num_slices), tech(tech), energy(&energy)
+    {}
+
+    /** Ring bus width in bytes per cycle per direction. */
+    double busBytesPerCycle() const { return 32.0; }
+
+    /** Ring clock frequency (slice/uncore domain). */
+    double clockHz() const { return tech.subarrayClockHz; }
+
+    /**
+     * Broadcast @p bytes from the memory-side agent to all slices.
+     * Returns the elapsed seconds and charges interconnect energy for
+     * the traversal of (on average) half the ring per flit.
+     */
+    double broadcast(double bytes);
+
+    /** Point-to-point transfer of @p bytes between adjacent slices. */
+    double transfer(double bytes, unsigned hops);
+
+  private:
+    unsigned numSlices;
+    tech::TechParams tech;
+    mem::EnergyAccount *energy;
+};
+
+} // namespace bfree::noc
+
+#endif // BFREE_NOC_RING_HH

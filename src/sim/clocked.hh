@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Clock domains and clocked objects.
+ *
+ * A ClockDomain converts between Cycles and Ticks for one frequency.
+ * ClockedObject couples a SimObject to a domain and provides the
+ * cycle-aligned scheduling helpers timing models need.
+ */
+
+#ifndef BFREE_SIM_CLOCKED_HH
+#define BFREE_SIM_CLOCKED_HH
+
+#include "logging.hh"
+#include "sim_object.hh"
+#include "types.hh"
+
+namespace bfree::sim {
+
+/**
+ * A named frequency with cycle/tick conversion.
+ */
+class ClockDomain
+{
+  public:
+    /**
+     * @param freq_hz Operating frequency in Hz; must be positive.
+     */
+    explicit ClockDomain(double freq_hz)
+        : freqHz(freq_hz), periodTicks(frequency_to_period(freq_hz))
+    {
+        if (freq_hz <= 0.0)
+            bfree_fatal("clock domain frequency must be positive");
+    }
+
+    /** Frequency in Hz. */
+    double frequency() const { return freqHz; }
+
+    /** Ticks per cycle. */
+    Tick period() const { return periodTicks; }
+
+    /** Convert a cycle count to ticks. */
+    Tick cyclesToTicks(Cycles c) const { return c.value() * periodTicks; }
+
+    /** Convert ticks to whole cycles (floor). */
+    Cycles
+    ticksToCycles(Tick t) const
+    {
+        return Cycles(t / periodTicks);
+    }
+
+  private:
+    double freqHz;
+    Tick periodTicks;
+};
+
+/**
+ * A SimObject with a clock.
+ */
+class ClockedObject : public SimObject
+{
+  public:
+    ClockedObject(EventQueue &queue, std::string name,
+                  const ClockDomain &domain)
+        : SimObject(queue, std::move(name)), domain(&domain)
+    {}
+
+    /** This object's clock domain. */
+    const ClockDomain &clockDomain() const { return *domain; }
+
+    /** Ticks per cycle of this object's clock. */
+    Tick clockPeriod() const { return domain->period(); }
+
+    /** Current time expressed in this object's cycles (floor). */
+    Cycles curCycle() const { return domain->ticksToCycles(curTick()); }
+
+    /**
+     * The next tick that is aligned to this clock edge and is at least
+     * @p delay cycles in the future.
+     */
+    Tick
+    clockEdge(Cycles delay = Cycles(0)) const
+    {
+        const Tick period = clockPeriod();
+        const Tick now = curTick();
+        Tick aligned = ((now + period - 1) / period) * period;
+        return aligned + delay.value() * period;
+    }
+
+    /** Schedule an event @p delay cycles ahead, aligned to a clock edge. */
+    void
+    scheduleClocked(Event &event, Cycles delay)
+    {
+        schedule(event, clockEdge(delay));
+    }
+
+  private:
+    const ClockDomain *domain;
+};
+
+} // namespace bfree::sim
+
+#endif // BFREE_SIM_CLOCKED_HH

@@ -1,0 +1,72 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace bfree::sim {
+
+void
+EventQueue::schedule(Event *event, Tick when)
+{
+    if (event == nullptr)
+        bfree_panic("scheduling a null event");
+    if (event->_scheduled)
+        bfree_panic("event '", event->name(), "' is already scheduled");
+    if (when < current_tick) {
+        bfree_panic("scheduling event '", event->name(), "' at tick ", when,
+                    " in the past (now ", current_tick, ")");
+    }
+
+    event->_when = when;
+    event->_sequence = next_sequence++;
+    event->_scheduled = true;
+    event->_squashed = false;
+    heap.push(Entry{when, event->priority(), event->_sequence, event});
+    ++num_pending;
+}
+
+void
+EventQueue::deschedule(Event *event)
+{
+    if (event == nullptr || !event->_scheduled)
+        bfree_panic("descheduling an event that is not scheduled");
+    // Lazy removal: mark squashed and drop it when it surfaces.
+    event->_scheduled = false;
+    event->_squashed = true;
+    --num_pending;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap.empty()) {
+        Entry top = heap.top();
+        heap.pop();
+        if (top.event->_squashed && top.event->_sequence == top.sequence) {
+            top.event->_squashed = false;
+            continue;
+        }
+        if (!top.event->_scheduled || top.event->_sequence != top.sequence)
+            continue; // stale entry from a deschedule+reschedule
+        current_tick = top.when;
+        top.event->_scheduled = false;
+        --num_pending;
+        ++num_processed;
+        top.event->process();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run(Tick stop_at)
+{
+    while (!heap.empty()) {
+        const Entry &top = heap.top();
+        if (top.when > stop_at)
+            break;
+        step();
+    }
+    return current_tick;
+}
+
+} // namespace bfree::sim

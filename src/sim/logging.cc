@@ -1,0 +1,56 @@
+#include "logging.hh"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bfree::sim {
+
+namespace {
+
+std::atomic<std::uint64_t> num_warnings{0};
+
+const char *
+level_prefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Panic:
+        return "panic";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Inform:
+        return "info";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+log_terminate(LogLevel level, const std::string &message, const char *file,
+              int line)
+{
+    std::fprintf(stderr, "%s: %s (%s:%d)\n", level_prefix(level),
+                 message.c_str(), file, line);
+    if (level == LogLevel::Panic)
+        std::abort();
+    std::exit(1);
+}
+
+void
+log_message(LogLevel level, const std::string &message)
+{
+    if (level == LogLevel::Warn)
+        num_warnings.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "%s: %s\n", level_prefix(level), message.c_str());
+}
+
+std::uint64_t
+warn_count()
+{
+    return num_warnings.load(std::memory_order_relaxed);
+}
+
+} // namespace bfree::sim

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated (simulator bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration);
+ *            exits with an error code.
+ * warn()   — functionality is approximated or suspicious but simulation
+ *            can continue.
+ * inform() — progress/status messages.
+ */
+
+#ifndef BFREE_SIM_LOGGING_HH
+#define BFREE_SIM_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace bfree::sim {
+
+/** Severity classes understood by the logger. */
+enum class LogLevel { Panic, Fatal, Warn, Inform };
+
+/**
+ * Emit one log record. Panic aborts, Fatal exits(1); the other levels
+ * return normally. Exposed so tests can exercise formatting; prefer the
+ * convenience wrappers below.
+ */
+[[noreturn]] void log_terminate(LogLevel level, const std::string &message,
+                                const char *file, int line);
+
+/** Emit a non-terminating log record (Warn or Inform). */
+void log_message(LogLevel level, const std::string &message);
+
+/** Number of warn() calls so far (used by tests and sanity checks). */
+std::uint64_t warn_count();
+
+namespace detail {
+
+inline void
+format_into(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+format_into(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    format_into(os, rest...);
+}
+
+template <typename... Args>
+std::string
+format(const Args &...args)
+{
+    std::ostringstream os;
+    format_into(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace bfree::sim
+
+/** Abort with a message: something that should never happen did. */
+#define bfree_panic(...)                                                    \
+    ::bfree::sim::log_terminate(::bfree::sim::LogLevel::Panic,              \
+                                ::bfree::sim::detail::format(__VA_ARGS__), \
+                                __FILE__, __LINE__)
+
+/** Exit with a message: the user configuration cannot be honoured. */
+#define bfree_fatal(...)                                                    \
+    ::bfree::sim::log_terminate(::bfree::sim::LogLevel::Fatal,              \
+                                ::bfree::sim::detail::format(__VA_ARGS__), \
+                                __FILE__, __LINE__)
+
+/** Continue, but tell the user something looks off. */
+#define bfree_warn(...)                                                     \
+    ::bfree::sim::log_message(::bfree::sim::LogLevel::Warn,                 \
+                              ::bfree::sim::detail::format(__VA_ARGS__))
+
+/** Informational status message. */
+#define bfree_inform(...)                                                   \
+    ::bfree::sim::log_message(::bfree::sim::LogLevel::Inform,               \
+                              ::bfree::sim::detail::format(__VA_ARGS__))
+
+#endif // BFREE_SIM_LOGGING_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * All synthetic tensors and traces in the repository draw from Rng so
+ * that every test, example and benchmark is reproducible bit-for-bit.
+ */
+
+#ifndef BFREE_SIM_RANDOM_HH
+#define BFREE_SIM_RANDOM_HH
+
+#include <cstdint>
+#include <random>
+
+namespace bfree::sim {
+
+/** A seeded 64-bit Mersenne-Twister with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5eedULL) : engine(seed) {}
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+        return dist(engine);
+    }
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        std::uniform_real_distribution<double> dist(lo, hi);
+        return dist(engine);
+    }
+
+    /** Gaussian with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        std::normal_distribution<double> dist(mean, stddev);
+        return dist(engine);
+    }
+
+    /** Access to the raw engine for use with std algorithms. */
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace bfree::sim
+
+#endif // BFREE_SIM_RANDOM_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * SimObject: named participant in a simulation.
+ *
+ * Every modelled hardware block (sub-array, BCE, router, controller,
+ * memory channel) derives from SimObject. Objects receive the owning
+ * Simulation's event queue at construction and register themselves for
+ * stats dumping.
+ */
+
+#ifndef BFREE_SIM_SIM_OBJECT_HH
+#define BFREE_SIM_SIM_OBJECT_HH
+
+#include <string>
+
+#include "event_queue.hh"
+
+namespace bfree::sim {
+
+class StatGroup;
+
+/**
+ * Base class for every named model component.
+ */
+class SimObject
+{
+  public:
+    /**
+     * @param queue Event queue this object schedules on; must outlive it.
+     * @param name  Hierarchical dotted name, e.g. "slice0.bank1.sa3.bce".
+     */
+    SimObject(EventQueue &queue, std::string name)
+        : _queue(&queue), _name(std::move(name))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    /** Hierarchical instance name. */
+    const std::string &name() const { return _name; }
+
+    /** Event queue this object lives on. */
+    EventQueue &eventq() const { return *_queue; }
+
+    /** Current simulated time. */
+    Tick curTick() const { return _queue->now(); }
+
+    /** Schedule an event at an absolute tick. */
+    void
+    schedule(Event &event, Tick when) const
+    {
+        _queue->schedule(&event, when);
+    }
+
+  private:
+    EventQueue *_queue;
+    std::string _name;
+};
+
+} // namespace bfree::sim
+
+#endif // BFREE_SIM_SIM_OBJECT_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles and time conversion helpers.
+ *
+ * The simulation kernel measures time in Ticks (picoseconds). Clocked
+ * objects convert between their own Cycles and global Ticks through a
+ * ClockDomain (see clocked.hh). Keeping Tick at picosecond resolution lets
+ * heterogeneous clocks (1.5 GHz sub-arrays, memory channels, routers)
+ * coexist on one event queue without rounding surprises.
+ */
+
+#ifndef BFREE_SIM_TYPES_HH
+#define BFREE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace bfree::sim {
+
+/** Simulated time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** A tick value that compares greater than any schedulable time. */
+constexpr Tick max_tick = std::numeric_limits<Tick>::max();
+
+/** Number of ticks in one second (1 Tick == 1 ps). */
+constexpr Tick ticks_per_second = 1'000'000'000'000ULL;
+
+/**
+ * Strongly typed cycle count.
+ *
+ * Wraps a plain integer so that cycle counts and tick counts cannot be
+ * mixed accidentally. Supports the arithmetic needed by timing models.
+ */
+class Cycles
+{
+  public:
+    constexpr Cycles() : count(0) {}
+    constexpr explicit Cycles(std::uint64_t c) : count(c) {}
+
+    /** Raw cycle count. */
+    constexpr std::uint64_t value() const { return count; }
+
+    constexpr Cycles operator+(Cycles other) const
+    { return Cycles(count + other.count); }
+
+    constexpr Cycles operator-(Cycles other) const
+    { return Cycles(count - other.count); }
+
+    constexpr Cycles operator*(std::uint64_t n) const
+    { return Cycles(count * n); }
+
+    Cycles &
+    operator+=(Cycles other)
+    {
+        count += other.count;
+        return *this;
+    }
+
+    constexpr auto operator<=>(const Cycles &) const = default;
+
+  private:
+    std::uint64_t count;
+};
+
+/** Convert a frequency in Hz to the tick period of one cycle. */
+constexpr Tick
+frequency_to_period(double freq_hz)
+{
+    return static_cast<Tick>(static_cast<double>(ticks_per_second)
+                             / freq_hz);
+}
+
+/** Convert a tick count to seconds. */
+constexpr double
+ticks_to_seconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticks_per_second);
+}
+
+/** Convert seconds to ticks, rounding to the nearest picosecond. */
+constexpr Tick
+seconds_to_ticks(double s)
+{
+    return static_cast<Tick>(s * static_cast<double>(ticks_per_second)
+                             + 0.5);
+}
+
+} // namespace bfree::sim
+
+#endif // BFREE_SIM_TYPES_HH

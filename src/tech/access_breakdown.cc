@@ -1,0 +1,120 @@
+#include "access_breakdown.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::tech {
+
+double
+SliceAccessBreakdown::totalLatencyNs() const
+{
+    return interconnect.latencyNs + subarray.latencyNs
+           + decodeTiming.latencyNs;
+}
+
+double
+SliceAccessBreakdown::totalEnergyPj() const
+{
+    return interconnect.energyPj + subarray.energyPj
+           + decodeTiming.energyPj;
+}
+
+double
+SliceAccessBreakdown::latencyFraction(const AccessComponent &c) const
+{
+    return c.latencyNs / totalLatencyNs();
+}
+
+double
+SliceAccessBreakdown::energyFraction(const AccessComponent &c) const
+{
+    return c.energyPj / totalEnergyPj();
+}
+
+double
+slice_route_mm(const CacheGeometry &geom, const TechParams &tech)
+{
+    const AreaReport area = compute_area(geom, tech);
+    const double side_mm = std::sqrt(area.sliceBaseMm2);
+    // Average Manhattan route from the slice port at one edge to a
+    // uniformly placed sub-array and the response path back: about one
+    // side across plus half a side up, in each direction.
+    return 2.0 * 1.0 * side_mm;
+}
+
+SliceAccessBreakdown
+slice_access_breakdown(const CacheGeometry &geom, const TechParams &tech)
+{
+    SliceAccessBreakdown b;
+    const double route = slice_route_mm(geom, tech);
+
+    b.interconnect.name = "interconnect";
+    b.interconnect.latencyNs = route * tech.wireLatencyNsPerMm;
+    b.interconnect.energyPj =
+        route * tech.wireLatencyNsPerMm > 0.0
+            ? tech.sliceBusBits * route * tech.wireEnergyPjPerBitPerMm
+                  + tech.busDriverPj
+            : 0.0;
+
+    b.subarray.name = "subarray";
+    b.subarray.latencyNs =
+        tech.subarrayPeriodNs() * tech.subarrayAccessCycles;
+    b.subarray.energyPj = tech.subarrayAccessPj;
+
+    b.decodeTiming.name = "decode+timing";
+    b.decodeTiming.latencyNs = tech.decodeTimingNs;
+    b.decodeTiming.energyPj = tech.decodeTimingPj;
+
+    return b;
+}
+
+LutAccessCost
+lut_access_cost(LutDesign design, const TechParams &tech)
+{
+    LutAccessCost c;
+    c.design = design;
+    const double sa_latency =
+        tech.subarrayPeriodNs() * tech.subarrayAccessCycles;
+
+    switch (design) {
+      case LutDesign::StandaloneMacro:
+        // A small dedicated array is fast and fairly low energy, but
+        // replicating decoder/sense-amp/precharge per partition costs
+        // real area and the extra macro perturbs the sub-array floorplan
+        // (the paper rejects it for area/performance impact).
+        c.name = "standalone macro";
+        c.latencyNs = 0.5 * sa_latency;
+        c.energyPj = 0.30 * tech.subarrayAccessPj;
+        c.areaFraction = 0.08;
+        break;
+      case LutDesign::SharedBitline:
+        // LUT rows stored like data: every lookup pays a full bitline
+        // swing on the parasitic partition bitline.
+        c.name = "shared bitline";
+        c.latencyNs = sa_latency;
+        c.energyPj = tech.subarrayAccessPj;
+        c.areaFraction = 0.0;
+        break;
+      case LutDesign::DecoupledBitline:
+        // Chosen design: local precharge drives only the 2 LUT rows.
+        c.name = "decoupled bitline";
+        c.latencyNs = tech.lutAccessNs();
+        c.energyPj = tech.lutAccessPj();
+        c.areaFraction = tech.lutPrechargeAreaFraction;
+        break;
+      default:
+        bfree_panic("unknown LUT design");
+    }
+    return c;
+}
+
+std::array<LutAccessCost, 3>
+lut_design_space(const TechParams &tech)
+{
+    return {lut_access_cost(LutDesign::StandaloneMacro, tech),
+            lut_access_cost(LutDesign::SharedBitline, tech),
+            lut_access_cost(LutDesign::DecoupledBitline, tech)};
+}
+
+} // namespace bfree::tech

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Analytical models behind the paper's motivation figures.
+ *
+ * Fig. 2 breaks one slice data access into interconnect, sub-array and
+ * decode/timing components, showing that the interconnect between the
+ * sub-array and the slice port dominates (>90% of latency and energy)
+ * while the sub-array itself is ~6% of latency and ~9% of energy. This
+ * is the argument for confining PIM traffic to the sub-array.
+ *
+ * Fig. 4(c) compares the three LUT integration strategies explored in
+ * Section III-B: a standalone LUT macro, LUT rows sharing the partition
+ * bitlines, and the chosen design with decoupled bitlines and a local
+ * precharge (3x faster, 231x lower energy, +0.5% sub-array area).
+ */
+
+#ifndef BFREE_TECH_ACCESS_BREAKDOWN_HH
+#define BFREE_TECH_ACCESS_BREAKDOWN_HH
+
+#include <array>
+#include <string>
+
+#include "area_model.hh"
+#include "geometry.hh"
+#include "tech_params.hh"
+
+namespace bfree::tech {
+
+/** One component of the slice-access cost (Fig. 2). */
+struct AccessComponent
+{
+    std::string name;
+    double latencyNs = 0.0;
+    double energyPj = 0.0;
+};
+
+/** Full breakdown of a single slice data access. */
+struct SliceAccessBreakdown
+{
+    AccessComponent interconnect;
+    AccessComponent subarray;
+    AccessComponent decodeTiming;
+
+    double totalLatencyNs() const;
+    double totalEnergyPj() const;
+
+    /** Fraction of the total latency spent in a component. */
+    double latencyFraction(const AccessComponent &c) const;
+
+    /** Fraction of the total energy spent in a component. */
+    double energyFraction(const AccessComponent &c) const;
+};
+
+/**
+ * Model one data access that traverses the slice H-tree to a sub-array
+ * and back (Fig. 2).
+ */
+SliceAccessBreakdown slice_access_breakdown(const CacheGeometry &geom,
+                                            const TechParams &tech);
+
+/**
+ * Average route length in mm between the slice port and a sub-array
+ * (request plus response traversal).
+ */
+double slice_route_mm(const CacheGeometry &geom, const TechParams &tech);
+
+/** The three LUT integration strategies of Section III-B. */
+enum class LutDesign
+{
+    StandaloneMacro,   ///< Separate small array with own peripherals.
+    SharedBitline,     ///< LUT rows on the full partition bitline.
+    DecoupledBitline,  ///< Chosen design: local precharge, segmented BL.
+};
+
+/** Cost of one LUT entry lookup under a given strategy (Fig. 4(c)). */
+struct LutAccessCost
+{
+    LutDesign design;
+    std::string name;
+    double latencyNs = 0.0;
+    double energyPj = 0.0;
+    /** Added area as a fraction of one sub-array. */
+    double areaFraction = 0.0;
+};
+
+/** Evaluate one strategy. */
+LutAccessCost lut_access_cost(LutDesign design, const TechParams &tech);
+
+/** Evaluate all three strategies (ordering matches the enum). */
+std::array<LutAccessCost, 3> lut_design_space(const TechParams &tech);
+
+} // namespace bfree::tech
+
+#endif // BFREE_TECH_ACCESS_BREAKDOWN_HH

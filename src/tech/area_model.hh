@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CACTI-lite area model.
+ *
+ * Computes sub-array / slice / cache silicon area from the bit-cell size
+ * and peripheral overhead fractions, then layers the BFree additions on
+ * top (LUT precharge circuitry, BCE, routers, controllers) to reproduce
+ * the paper's Section V-B area accounting: +0.5% per sub-array for the
+ * LUT precharge, +6% per 2.5 MB slice for the BCEs, +0.1% for
+ * controllers, +5.6% for the overall cache.
+ */
+
+#ifndef BFREE_TECH_AREA_MODEL_HH
+#define BFREE_TECH_AREA_MODEL_HH
+
+#include "geometry.hh"
+#include "tech_params.hh"
+
+namespace bfree::tech {
+
+/** Absolute areas (mm^2) and the derived overhead ratios. */
+struct AreaReport
+{
+    double subarrayMm2 = 0.0;       ///< One unmodified 8 KB sub-array.
+    double lutPrechargeMm2 = 0.0;   ///< Added LUT precharge per sub-array.
+    double bcePerSubarrayMm2 = 0.0; ///< One BCE instance.
+    double sliceBaseMm2 = 0.0;      ///< One 2.5 MB slice, unmodified.
+    double sliceBfreeMm2 = 0.0;     ///< One slice including BFree logic.
+    double cacheBaseMm2 = 0.0;      ///< Whole LLC, unmodified.
+    double cacheBfreeMm2 = 0.0;     ///< Whole LLC including BFree logic.
+    double controllerMm2 = 0.0;     ///< All controllers.
+
+    /** LUT precharge overhead vs one sub-array (paper: 0.5%). */
+    double lutPrechargeFraction = 0.0;
+
+    /** BCE overhead vs one slice (paper: 6%). */
+    double bceFractionOfSlice = 0.0;
+
+    /** Total BFree overhead vs the base cache (paper: 5.6%). */
+    double totalOverheadFraction = 0.0;
+
+    /** Controller overhead vs the base cache (paper: 0.1%). */
+    double controllerFraction = 0.0;
+};
+
+/** Compute the area report for a geometry/technology design point. */
+AreaReport compute_area(const CacheGeometry &geom, const TechParams &tech);
+
+/**
+ * Area of one Eyeriss-style 8-bit MAC PE scaled to 16 nm, in mm^2.
+ * Used to size the iso-area baseline in Fig. 13: the paper configures
+ * Eyeriss with the same area as BFree's added custom logic in one slice,
+ * arriving at a 12x12 PE array.
+ */
+double eyeriss_pe_area_mm2();
+
+/**
+ * Number of Eyeriss PEs that fit in the BFree custom-logic area of one
+ * slice (paper: 144 = 12x12).
+ */
+unsigned iso_area_eyeriss_pes(const CacheGeometry &geom,
+                              const TechParams &tech);
+
+} // namespace bfree::tech
+
+#endif // BFREE_TECH_AREA_MODEL_HH

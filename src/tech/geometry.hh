@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Cache organization of the modelled last-level cache.
+ *
+ * The paper models an Intel E5-class 35 MB L3: 14 slices of 2.5 MB, each
+ * slice split into 4 banks of 10 sub-banks, each sub-bank holding 8
+ * sub-arrays of 8 KB. A sub-array has 4 partitions of 256 rows x 64
+ * cells with a 4:1 column mux. That yields 4480 sub-arrays in total, the
+ * number the paper quotes when sizing BFree's parallelism.
+ */
+
+#ifndef BFREE_TECH_GEOMETRY_HH
+#define BFREE_TECH_GEOMETRY_HH
+
+#include <cstdint>
+
+namespace bfree::tech {
+
+/**
+ * Static description of the cache organization. All counts are per the
+ * enclosing level (e.g. banksPerSlice is banks in ONE slice).
+ */
+struct CacheGeometry
+{
+    unsigned numSlices = 14;
+    unsigned banksPerSlice = 4;
+    unsigned subBanksPerBank = 10;
+    unsigned subarraysPerSubBank = 8;
+
+    /** Partitions inside one sub-array (share timer & decoder). */
+    unsigned partitionsPerSubarray = 4;
+
+    /** Rows per partition. */
+    unsigned rowsPerPartition = 256;
+
+    /** Cells (bits) per row. */
+    unsigned cellsPerRow = 64;
+
+    /** Column multiplexing factor. */
+    unsigned columnMux = 4;
+
+    /** LUT rows reserved per partition (decoupled bitlines). */
+    unsigned lutRowsPerPartition = 2;
+
+    // ------------------------------------------------------------------
+    // Derived quantities
+    // ------------------------------------------------------------------
+    /** Bytes in one row. */
+    unsigned rowBytes() const { return cellsPerRow / 8; }
+
+    /** Bytes in one partition. */
+    std::uint64_t
+    partitionBytes() const
+    {
+        return std::uint64_t(rowsPerPartition) * rowBytes();
+    }
+
+    /** Bytes in one sub-array (paper: 8 KB). */
+    std::uint64_t
+    subarrayBytes() const
+    {
+        return partitionBytes() * partitionsPerSubarray;
+    }
+
+    /** Sub-arrays in one slice. */
+    unsigned
+    subarraysPerSlice() const
+    {
+        return banksPerSlice * subBanksPerBank * subarraysPerSubBank;
+    }
+
+    /** Sub-arrays in the whole cache (paper: 4480). */
+    unsigned
+    totalSubarrays() const
+    {
+        return numSlices * subarraysPerSlice();
+    }
+
+    /** Bytes in one slice (paper: 2.5 MB). */
+    std::uint64_t
+    sliceBytes() const
+    {
+        return subarrayBytes() * subarraysPerSlice();
+    }
+
+    /** Bytes in the whole cache (paper: 35 MB). */
+    std::uint64_t
+    totalBytes() const
+    {
+        return sliceBytes() * numSlices;
+    }
+
+    /** LUT rows in one sub-array (paper: 8). */
+    unsigned
+    lutRowsPerSubarray() const
+    {
+        return lutRowsPerPartition * partitionsPerSubarray;
+    }
+
+    /** LUT capacity of one sub-array in bytes (paper: 64 entries). */
+    unsigned
+    lutBytesPerSubarray() const
+    {
+        return lutRowsPerSubarray() * rowBytes();
+    }
+};
+
+} // namespace bfree::tech
+
+#endif // BFREE_TECH_GEOMETRY_HH

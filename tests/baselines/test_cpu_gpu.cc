@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Calibrated CPU/GPU baselines: the models must land near the paper's
+ * Table III measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_gpu.hh"
+#include "dnn/model_zoo.hh"
+
+using namespace bfree::baseline;
+using namespace bfree::dnn;
+
+namespace {
+
+ProcessorModel
+cpu()
+{
+    return ProcessorModel(xeon_e5_2697());
+}
+
+ProcessorModel
+gpu()
+{
+    return ProcessorModel(titan_v());
+}
+
+/** Accept a modelled value within a factor band of the measurement. */
+void
+expect_near_factor(double got, double measured, double factor)
+{
+    EXPECT_GT(got, measured / factor);
+    EXPECT_LT(got, measured * factor);
+}
+
+} // namespace
+
+TEST(Classify, NetworksLandInTheRightClass)
+{
+    EXPECT_EQ(classify(make_vgg16()), WorkloadClass::Cnn);
+    EXPECT_EQ(classify(make_inception_v3()), WorkloadClass::Cnn);
+    EXPECT_EQ(classify(make_lstm()), WorkloadClass::Rnn);
+    EXPECT_EQ(classify(make_bert_base()), WorkloadClass::Transformer);
+    EXPECT_EQ(classify(make_bert_large()), WorkloadClass::Transformer);
+}
+
+TEST(TableIII, CpuBertBaseBatchOne)
+{
+    // Measured: 1160 ms, 34.8 J.
+    const BaselineResult r = cpu().run(make_bert_base(), 1);
+    expect_near_factor(r.secondsPerInference, 1.160, 1.25);
+    expect_near_factor(r.joulesPerInference, 34.8, 1.4);
+}
+
+TEST(TableIII, CpuBertBaseBatchSixteen)
+{
+    // Measured: 121.3 ms, 3.64 J per inference.
+    const BaselineResult r = cpu().run(make_bert_base(), 16);
+    expect_near_factor(r.secondsPerInference, 0.1213, 1.25);
+    expect_near_factor(r.joulesPerInference, 3.64, 1.6);
+}
+
+TEST(TableIII, CpuBertLargeBatchOne)
+{
+    // Measured: 2910 ms.
+    const BaselineResult r = cpu().run(make_bert_large(), 1);
+    expect_near_factor(r.secondsPerInference, 2.910, 1.4);
+}
+
+TEST(TableIII, CpuLstm)
+{
+    // Measured: 888.3 ms, 31.09 J for the 300-step sequence.
+    const BaselineResult r = cpu().run(make_lstm(), 1);
+    expect_near_factor(r.secondsPerInference, 0.8883, 1.35);
+    expect_near_factor(r.joulesPerInference, 31.09, 1.6);
+}
+
+TEST(TableIII, GpuBertBaseBatchOne)
+{
+    // Measured: 47.3 ms, 1.67 J.
+    const BaselineResult r = gpu().run(make_bert_base(), 1);
+    expect_near_factor(r.secondsPerInference, 0.0473, 1.3);
+    expect_near_factor(r.joulesPerInference, 1.67, 1.6);
+}
+
+TEST(TableIII, GpuBertBaseBatchSixteen)
+{
+    // Measured: 3.8 ms, 0.45 J per inference.
+    const BaselineResult r = gpu().run(make_bert_base(), 16);
+    expect_near_factor(r.secondsPerInference, 0.0038, 1.3);
+    expect_near_factor(r.joulesPerInference, 0.45, 1.6);
+}
+
+TEST(TableIII, GpuLstm)
+{
+    // Measured: 96.2 ms.
+    const BaselineResult r = gpu().run(make_lstm(), 1);
+    expect_near_factor(r.secondsPerInference, 0.0962, 1.5);
+}
+
+TEST(Baselines, BatchingHelpsParallelWorkloads)
+{
+    const double t1 =
+        cpu().run(make_bert_base(), 1).secondsPerInference;
+    const double t16 =
+        cpu().run(make_bert_base(), 16).secondsPerInference;
+    EXPECT_LT(t16, t1 / 4.0);
+}
+
+TEST(Baselines, BatchingDoesNotHelpTheRecurrence)
+{
+    const double t1 = cpu().run(make_lstm(), 1).secondsPerInference;
+    const double t16 = cpu().run(make_lstm(), 16).secondsPerInference;
+    EXPECT_DOUBLE_EQ(t1, t16);
+}
+
+TEST(Baselines, GpuBeatsCpuEverywhere)
+{
+    for (unsigned batch : {1u, 16u}) {
+        for (const Network &net :
+             {make_bert_base(), make_lstm(), make_vgg16()}) {
+            EXPECT_LT(gpu().run(net, batch).secondsPerInference,
+                      cpu().run(net, batch).secondsPerInference)
+                << net.name() << " batch " << batch;
+        }
+    }
+}
+
+TEST(Baselines, UtilizationInterpolatesMonotonically)
+{
+    const ProcessorParams p = xeon_e5_2697();
+    double prev = 0.0;
+    for (unsigned b : {1u, 2u, 4u, 8u, 16u}) {
+        const double u = p.utilization(WorkloadClass::Transformer, b);
+        EXPECT_GE(u, prev);
+        prev = u;
+    }
+}
+
+TEST(Baselines, PowerScalesWithUtilization)
+{
+    const BaselineResult low = gpu().run(make_bert_base(), 1);
+    const BaselineResult high = gpu().run(make_bert_base(), 16);
+    EXPECT_GT(high.watts, low.watts);
+    // Measured averages: ~35 W unbatched, ~118 W batched.
+    expect_near_factor(high.watts, 118.0, 1.4);
+}

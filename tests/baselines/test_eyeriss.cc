@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Eyeriss baseline and the Fig. 13 iso-area comparison: BFree in one
+ * 2.5 MB slice is ~4x faster on VGG-16.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/eyeriss.hh"
+#include "dnn/model_zoo.hh"
+#include "map/exec_model.hh"
+
+using namespace bfree::baseline;
+using namespace bfree::map;
+using bfree::dnn::make_vgg16;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+TEST(Eyeriss, IsoAreaConfigurationIsTwelveByTwelve)
+{
+    const EyerissParams p =
+        EyerissModel::isoArea(CacheGeometry{}, TechParams{});
+    EXPECT_GE(p.peRows, 10u);
+    EXPECT_LE(p.peRows, 13u);
+    EXPECT_EQ(p.peRows, p.peCols);
+    EXPECT_DOUBLE_EQ(p.clockHz, TechParams{}.subarrayClockHz);
+}
+
+TEST(Eyeriss, RunCoversAllLayers)
+{
+    EyerissModel eyeriss((TechParams()));
+    const RunResult r = eyeriss.run(make_vgg16());
+    EXPECT_EQ(r.layers.size(), make_vgg16().layers().size());
+    EXPECT_GT(r.secondsPerInference(), 0.0);
+}
+
+TEST(Fig13, BFreeSliceBeatsIsoAreaEyeriss)
+{
+    // Paper: 3.97x faster on VGG-16 with one 2.5 MB slice.
+    ExecConfig cfg;
+    cfg.mapper.slices = 1;
+    ExecutionModel bfree_model(CacheGeometry{}, TechParams{}, cfg);
+    EyerissModel eyeriss(
+        TechParams{}, bfree::tech::MainMemoryKind::DRAM,
+        EyerissModel::isoArea(CacheGeometry{}, TechParams{}));
+
+    const auto vgg = make_vgg16();
+    const double t_bfree =
+        bfree_model.run(vgg).secondsPerInference();
+    const double t_eyeriss = eyeriss.run(vgg).secondsPerInference();
+    const double speedup = t_eyeriss / t_bfree;
+    EXPECT_GT(speedup, 2.5);
+    EXPECT_LT(speedup, 6.5);
+}
+
+TEST(Fig13, EveryConvLayerFavorsBFree)
+{
+    // The layer-wise series in Fig. 13: BFree wins on the large conv
+    // layers (the memory-bound tail can tie).
+    ExecConfig cfg;
+    cfg.mapper.slices = 1;
+    ExecutionModel bfree_model(CacheGeometry{}, TechParams{}, cfg);
+    EyerissModel eyeriss(
+        TechParams{}, bfree::tech::MainMemoryKind::DRAM,
+        EyerissModel::isoArea(CacheGeometry{}, TechParams{}));
+
+    const auto vgg = make_vgg16();
+    const RunResult rb = bfree_model.run(vgg);
+    const RunResult re = eyeriss.run(vgg);
+    ASSERT_EQ(rb.layers.size(), re.layers.size());
+    unsigned bfree_wins = 0;
+    unsigned conv_layers = 0;
+    for (std::size_t i = 0; i < rb.layers.size(); ++i) {
+        if (rb.layers[i].kind != bfree::dnn::LayerKind::Conv)
+            continue;
+        ++conv_layers;
+        if (rb.layers[i].time.total() < re.layers[i].time.total())
+            ++bfree_wins;
+    }
+    EXPECT_EQ(conv_layers, 13u);
+    EXPECT_GE(bfree_wins, 11u);
+}
+
+TEST(Eyeriss, ComputeRateMatchesParams)
+{
+    EyerissParams p;
+    p.peRows = 12;
+    p.peCols = 12;
+    p.utilization = 1.0;
+    p.clockHz = 1e9;
+    EyerissModel eyeriss(TechParams{},
+                         bfree::tech::MainMemoryKind::HBM, p);
+
+    // One layer with known MACs; at util 1.0 and 144 PEs @ 1 GHz the
+    // compute time is macs / 144e9.
+    bfree::dnn::Network net("one", {8, 8, 8});
+    net.add(bfree::dnn::make_conv("c", {8, 8, 8}, 8, 3, 1, 1));
+    const RunResult r = eyeriss.run(net);
+    const double macs =
+        static_cast<double>(net.layers()[0].macs());
+    EXPECT_NEAR(r.time.compute, macs / 144e9, macs / 144e9 * 1e-9);
+}
+
+TEST(Eyeriss, DoubleBufferingExposesOnlyExcessStreamTime)
+{
+    // A tiny compute layer with big weights is stream-bound.
+    EyerissModel eyeriss((TechParams()));
+    bfree::dnn::Network net("fc", {4096, 1, 1});
+    net.add(bfree::dnn::make_fc("fc", 4096, 4096));
+    const RunResult r = eyeriss.run(net);
+    EXPECT_GT(r.time.inputLoad, r.time.compute);
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Neural Cache baseline: PIM-OPC, phase structure, and the Fig. 12
+ * comparison shape (BFree ~1.7x faster, ~3x lower energy on
+ * Inception-v3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/neural_cache.hh"
+#include "dnn/model_zoo.hh"
+#include "map/exec_model.hh"
+
+using namespace bfree::baseline;
+using namespace bfree::map;
+using bfree::dnn::make_inception_v3;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+ExecConfig
+conv_mode_config()
+{
+    // The paper's Fig. 12 comparison runs BFree in conv mode.
+    ExecConfig cfg;
+    cfg.mapper.forcedMode = ExecMode::ConvMode;
+    return cfg;
+}
+
+} // namespace
+
+TEST(NeuralCache, PimOpcIsPointSixThree)
+{
+    NeuralCacheParams p;
+    // 64 bitlines / 102 cycles (Section II-C).
+    EXPECT_NEAR(p.macsPerCycle(), 0.63, 0.01);
+    EXPECT_EQ(p.macCycles8bit, 102u);
+}
+
+TEST(NeuralCache, ArrayClockIsSlowerThanBFree)
+{
+    const TechParams t;
+    // MRA wordline underdrive costs frequency (Section II-B).
+    EXPECT_LT(t.neuralCacheClockHz, t.subarrayClockHz);
+}
+
+TEST(NeuralCache, RunProducesPerLayerResults)
+{
+    NeuralCacheModel nc(CacheGeometry{}, TechParams{});
+    const RunResult r = nc.run(make_inception_v3());
+    EXPECT_EQ(r.layers.size(), make_inception_v3().layers().size());
+    EXPECT_GT(r.secondsPerInference(), 0.0);
+    EXPECT_GT(r.joulesPerInference(), 0.0);
+}
+
+TEST(NeuralCache, HasExplicitInputLoadPhase)
+{
+    // Unlike BFree, input transposition is exposed even for
+    // SRAM-resident intermediates (load-then-compute, Section V-D).
+    NeuralCacheModel nc(CacheGeometry{}, TechParams{});
+    const RunResult r = nc.run(make_inception_v3());
+    EXPECT_GT(r.time.inputLoad, 0.0);
+}
+
+TEST(Fig12, BFreeSpeedupNearPaper)
+{
+    // Paper: 1.72x overall speedup on Inception-v3 at 35 MB.
+    const ExecConfig cfg = conv_mode_config();
+    ExecutionModel bfree_model(CacheGeometry{}, TechParams{}, cfg);
+    NeuralCacheModel nc(CacheGeometry{}, TechParams{}, cfg);
+
+    const auto net = make_inception_v3();
+    const double t_bfree =
+        bfree_model.run(net).secondsPerInference();
+    const double t_nc = nc.run(net).secondsPerInference();
+    const double speedup = t_nc / t_bfree;
+    EXPECT_GT(speedup, 1.3);
+    EXPECT_LT(speedup, 2.3);
+}
+
+TEST(Fig12, BFreeEnergySavingsNearPaper)
+{
+    // Paper: 3.14x lower energy on Inception-v3.
+    const ExecConfig cfg = conv_mode_config();
+    ExecutionModel bfree_model(CacheGeometry{}, TechParams{}, cfg);
+    NeuralCacheModel nc(CacheGeometry{}, TechParams{}, cfg);
+
+    const auto net = make_inception_v3();
+    const double e_bfree = bfree_model.run(net).joulesPerInference();
+    const double e_nc = nc.run(net).joulesPerInference();
+    const double ratio = e_nc / e_bfree;
+    EXPECT_GT(ratio, 2.0);
+    EXPECT_LT(ratio, 6.0);
+}
+
+TEST(Fig12, NeuralCacheSpendsLargeShareLoadingAndReducing)
+{
+    // Fig. 12(c): ~30% of Neural Cache execution is input loading and
+    // reduction.
+    NeuralCacheModel nc(CacheGeometry{}, TechParams{},
+                        conv_mode_config());
+    const RunResult r = nc.run(make_inception_v3());
+    const double overhead = r.time.inputLoad + r.time.requant;
+    const double share = overhead / r.secondsPerInference();
+    EXPECT_GT(share, 0.10);
+    EXPECT_LT(share, 0.55);
+}
+
+TEST(Fig12, ComputeEnergyPerMacFavorsBFree)
+{
+    // Neural Cache pays ~102/64 x 15.4 pJ per MAC in bitline swings;
+    // BFree pays ~1 byte of sub-array read plus a 0.5 pJ ROM MAC.
+    const TechParams t;
+    const double nc_per_mac = 102.0 / 64.0 * t.bitlineComputeOpPj;
+    const double bfree_per_mac =
+        t.subarrayAccessPj / 8.0 + t.bceMacPj
+        + 2.0 * t.bceEnergyPerCyclePj(t.bceConvModeMw);
+    EXPECT_GT(nc_per_mac, 5.0 * bfree_per_mac);
+}
+
+TEST(NeuralCache, FourBitIsFasterThanEightBit)
+{
+    NeuralCacheModel nc(CacheGeometry{}, TechParams{});
+    auto net8 = make_inception_v3();
+    auto net4 = make_inception_v3();
+    net4.setUniformPrecision(4);
+    EXPECT_LT(nc.run(net4).time.compute, nc.run(net8).time.compute);
+}

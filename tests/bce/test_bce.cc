@@ -1,0 +1,239 @@
+/**
+ * @file
+ * The BCE: functional exactness through the LUT datapath, the paper's
+ * throughput rates, and energy accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bce/bce.hh"
+#include "sim/random.hh"
+
+using namespace bfree::bce;
+using bfree::mem::EnergyAccount;
+using bfree::mem::EnergyCategory;
+using bfree::mem::Subarray;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+struct Fixture
+{
+    CacheGeometry geom;
+    TechParams tech;
+    EnergyAccount energy;
+    Subarray sa{geom, tech, energy};
+    Bce bce{sa, tech, energy};
+};
+
+} // namespace
+
+TEST(BceRates, PaperThroughputs)
+{
+    // Conv mode: 0.5 8-bit MAC/cycle; matmul mode: 4 8-bit MAC/cycle;
+    // 4-bit doubles both (Section V-D).
+    EXPECT_DOUBLE_EQ(Bce::macsPerCycle(BceMode::Conv, 8), 0.5);
+    EXPECT_DOUBLE_EQ(Bce::macsPerCycle(BceMode::Conv, 4), 1.0);
+    EXPECT_DOUBLE_EQ(Bce::macsPerCycle(BceMode::Matmul, 8), 4.0);
+    EXPECT_DOUBLE_EQ(Bce::macsPerCycle(BceMode::Matmul, 4), 8.0);
+    EXPECT_DOUBLE_EQ(Bce::macsPerCycle(BceMode::Conv, 16), 0.25);
+    EXPECT_DOUBLE_EQ(Bce::macsPerCycle(BceMode::Matmul, 16), 2.0);
+}
+
+TEST(BceMultiply, MatmulModeExhaustiveInt8)
+{
+    Fixture f;
+    f.bce.setMode(BceMode::Matmul);
+    for (int a = -128; a <= 127; a += 3)
+        for (int b = -128; b <= 127; b += 5)
+            ASSERT_EQ(f.bce.multiply(a, b, 8),
+                      static_cast<std::int64_t>(a) * b);
+}
+
+TEST(BceMultiply, ConvModeThroughSubarrayLut)
+{
+    Fixture f;
+    f.bce.loadMultLutImage();
+    f.bce.setMode(BceMode::Conv);
+    for (int a = -128; a <= 127; a += 7)
+        for (int b = -128; b <= 127; b += 11)
+            ASSERT_EQ(f.bce.multiply(a, b, 8),
+                      static_cast<std::int64_t>(a) * b);
+    // Conv mode actually read the LUT rows.
+    EXPECT_GT(f.sa.stats().lutReads, 0u);
+}
+
+TEST(BceMultiply, ConvMode4And16Bit)
+{
+    Fixture f;
+    f.bce.loadMultLutImage();
+    f.bce.setMode(BceMode::Conv);
+    for (int a = -8; a <= 7; ++a)
+        for (int b = -8; b <= 7; ++b)
+            ASSERT_EQ(f.bce.multiply(a, b, 4),
+                      static_cast<std::int64_t>(a) * b);
+    bfree::sim::Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const auto a =
+            static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        const auto b =
+            static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        ASSERT_EQ(f.bce.multiply(a, b, 16),
+                  static_cast<std::int64_t>(a) * b);
+    }
+}
+
+TEST(BceDotProduct, MatchesReference)
+{
+    Fixture f;
+    f.bce.loadMultLutImage();
+    f.bce.setMode(BceMode::Conv);
+
+    bfree::sim::Rng rng(11);
+    const std::size_t len = 64;
+    std::vector<std::int8_t> weights(len);
+    std::vector<std::int8_t> inputs(len);
+    std::int32_t expected = 0;
+    for (std::size_t i = 0; i < len; ++i) {
+        weights[i] =
+            static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        inputs[i] = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        expected += std::int32_t(weights[i]) * inputs[i];
+    }
+    // Weights live in the sub-array at offset 256.
+    f.sa.write(256, reinterpret_cast<std::uint8_t *>(weights.data()),
+               len);
+
+    const std::int32_t got =
+        f.bce.dotProduct(256, inputs.data(), len, 8);
+    EXPECT_EQ(got, expected);
+}
+
+TEST(BceDotProduct, CyclesMatchConvRate)
+{
+    Fixture f;
+    f.bce.loadMultLutImage();
+    f.bce.setMode(BceMode::Conv);
+
+    std::vector<std::int8_t> weights(32, 3);
+    std::vector<std::int8_t> inputs(32, 5);
+    f.sa.write(0, reinterpret_cast<std::uint8_t *>(weights.data()), 32);
+
+    const std::uint64_t before = f.bce.cycles();
+    f.bce.dotProduct(0, inputs.data(), 32, 8);
+    // 32 8-bit MACs at 0.5 MAC/cycle = 64 cycles.
+    EXPECT_EQ(f.bce.cycles() - before, 64u);
+    EXPECT_EQ(f.bce.macs(), 32u);
+}
+
+TEST(BceBroadcastMac, EightLanesInTwoCycles)
+{
+    Fixture f;
+    f.bce.setMode(BceMode::Matmul);
+
+    const std::int8_t b[8] = {1, -2, 3, -4, 5, -6, 7, -8};
+    std::int32_t acc[8] = {};
+    const std::uint64_t before = f.bce.cycles();
+    f.bce.broadcastMac(9, b, 8, acc, 8);
+    // One LS-4 pass + one MS-4 pass (Fig. 7).
+    EXPECT_EQ(f.bce.cycles() - before, 2u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(acc[i], 9 * b[i]);
+}
+
+TEST(BceBroadcastMac, AccumulatesOverSteps)
+{
+    Fixture f;
+    f.bce.setMode(BceMode::Matmul);
+    const std::int8_t b[4] = {10, 20, 30, 40};
+    std::int32_t acc[4] = {};
+    f.bce.broadcastMac(2, b, 4, acc, 8);
+    f.bce.broadcastMac(-1, b, 4, acc, 8);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(acc[i], 2 * b[i] - b[i]);
+}
+
+TEST(BceSpecial, MaxReduceAndAvgPool)
+{
+    Fixture f;
+    bfree::lut::DivisionLut div(4);
+    const std::int32_t values[5] = {3, -7, 12, 0, 9};
+    EXPECT_EQ(f.bce.maxReduce(values, 5), 12);
+
+    const std::int32_t window[4] = {10, 20, 30, 40};
+    EXPECT_NEAR(f.bce.avgPool(window, 4, div), 25.0, 25.0 * 0.02);
+}
+
+TEST(BceSpecial, PwlEvaluationViaLutRows)
+{
+    Fixture f;
+    const bfree::lut::PwlTable table = bfree::lut::make_sigmoid_table(32);
+    const double y = f.bce.evaluatePwl(table, 0.0);
+    EXPECT_NEAR(y, 0.5, 0.02);
+    EXPECT_GT(f.energy.joules(EnergyCategory::LutAccess), 0.0);
+}
+
+TEST(BceSpecial, DivideAndRequantize)
+{
+    Fixture f;
+    bfree::lut::DivisionLut div(4);
+    EXPECT_NEAR(f.bce.divide(20.0, 4.0, div), 5.0, 0.1);
+
+    const auto scale = bfree::lut::compute_requant_scale(0.05);
+    const std::int32_t q = f.bce.requantize(1000, scale, 0, 8);
+    EXPECT_NEAR(q, 50, 1);
+}
+
+TEST(BceEnergy, MatmulMacsChargeRomEnergy)
+{
+    Fixture f;
+    f.bce.setMode(BceMode::Matmul);
+    const double before = f.energy.joules(EnergyCategory::BceCompute);
+    (void)f.bce.multiply(77, -55, 8);
+    EXPECT_GT(f.energy.joules(EnergyCategory::BceCompute), before);
+}
+
+TEST(BceEnergy, MatmulModeCostsMorePerCycleThanConv)
+{
+    const TechParams t;
+    EXPECT_GT(t.bceEnergyPerCyclePj(t.bceMatmulModeMw),
+              t.bceEnergyPerCyclePj(t.bceConvModeMw));
+}
+
+TEST(BceConfig, LoadConfigTakesOneCycleAndStores)
+{
+    Fixture f;
+    ConfigBlock cb;
+    cb.opcode = PimOpcode::Conv;
+    cb.iterations = 99;
+    const std::uint64_t before = f.bce.cycles();
+    f.bce.loadConfig(cb);
+    EXPECT_EQ(f.bce.cycles() - before, 1u);
+    EXPECT_EQ(f.bce.config().iterations, 99);
+    EXPECT_EQ(f.bce.stats().configLoads, 1u);
+}
+
+TEST(BceDeath, ConvMultiplyWithoutLutImagePanics)
+{
+    Fixture f;
+    f.bce.setMode(BceMode::Conv);
+    EXPECT_DEATH((void)f.bce.multiply(3, 5, 8), "LUT image");
+}
+
+TEST(BceDeath, WrongModePanics)
+{
+    Fixture f;
+    f.bce.loadMultLutImage();
+    f.bce.setMode(BceMode::Matmul);
+    std::int8_t inputs[4] = {1, 2, 3, 4};
+    EXPECT_DEATH((void)f.bce.dotProduct(0, inputs, 4, 8),
+                 "requires conv mode");
+
+    f.bce.setMode(BceMode::Conv);
+    std::int32_t acc[4] = {};
+    EXPECT_DEATH(f.bce.broadcastMac(1, inputs, 4, acc, 8),
+                 "requires matmul mode");
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Config block encode/decode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bce/config_block.hh"
+
+using namespace bfree::bce;
+
+TEST(ConfigBlock, DefaultRoundTrips)
+{
+    ConfigBlock cb;
+    EXPECT_EQ(ConfigBlock::decode(cb.encode()), cb);
+}
+
+/** Round-trip across every opcode. */
+class ConfigBlockOpcodes
+    : public ::testing::TestWithParam<PimOpcode>
+{};
+
+TEST_P(ConfigBlockOpcodes, RoundTrips)
+{
+    ConfigBlock cb;
+    cb.opcode = GetParam();
+    cb.precisionBits = 4;
+    cb.iterations = 12345;
+    cb.startRow = 17;
+    cb.endRow = 511;
+    EXPECT_EQ(ConfigBlock::decode(cb.encode()), cb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, ConfigBlockOpcodes,
+    ::testing::Values(PimOpcode::Conv, PimOpcode::Matmul,
+                      PimOpcode::MaxPool, PimOpcode::AvgPool,
+                      PimOpcode::Relu, PimOpcode::Sigmoid,
+                      PimOpcode::Tanh, PimOpcode::Exp,
+                      PimOpcode::Softmax, PimOpcode::Divide,
+                      PimOpcode::EwAdd, PimOpcode::EwMul,
+                      PimOpcode::Requantize));
+
+TEST(ConfigBlock, EncodedSizeIsEightBytes)
+{
+    EXPECT_EQ(ConfigBlock::encoded_size, 8u);
+    // Fits comfortably in one sub-array row (8 bytes).
+}
+
+TEST(ConfigBlock, SixteenBitFieldsSurviveExtremes)
+{
+    ConfigBlock cb;
+    cb.iterations = 0xFFFF;
+    cb.startRow = 0xABCD;
+    cb.endRow = 0x1234;
+    const ConfigBlock out = ConfigBlock::decode(cb.encode());
+    EXPECT_EQ(out.iterations, 0xFFFF);
+    EXPECT_EQ(out.startRow, 0xABCD);
+    EXPECT_EQ(out.endRow, 0x1234);
+}
+
+TEST(ConfigBlockDeath, MalformedOpcodePanics)
+{
+    std::array<std::uint8_t, ConfigBlock::encoded_size> bytes{};
+    bytes[0] = 0xFF;
+    EXPECT_DEATH((void)ConfigBlock::decode(bytes), "malformed");
+}
+
+TEST(Isa, OpcodeNames)
+{
+    EXPECT_STREQ(opcode_name(PimOpcode::Matmul), "matmul");
+    EXPECT_STREQ(opcode_name(PimOpcode::Softmax), "softmax");
+    EXPECT_TRUE(is_matmul_mode(PimOpcode::Matmul));
+    EXPECT_FALSE(is_matmul_mode(PimOpcode::Conv));
+}
+
+TEST(Isa, InstructionMacCount)
+{
+    PimInstruction inst;
+    inst.rows = 4;
+    inst.cols = 5;
+    inst.inner = 6;
+    EXPECT_EQ(inst.macs(), 120u);
+    EXPECT_NE(inst.toString().find("4x5x6"), std::string::npos);
+}

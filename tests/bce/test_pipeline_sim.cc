@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The 3-stage BCE pipeline: fill latency, steady-state throughput,
+ * structural hazards on the LUT port, and agreement with the closed
+ * form.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bce/pipeline_sim.hh"
+#include "sim/random.hh"
+
+using namespace bfree::bce;
+
+namespace {
+
+std::vector<PipelineUop>
+uops(std::initializer_list<UopResource> resources)
+{
+    std::vector<PipelineUop> out;
+    for (UopResource res : resources)
+        out.push_back({res, 1});
+    return out;
+}
+
+} // namespace
+
+TEST(PipelineSim, SingleUopTakesPipelineDepth)
+{
+    BcePipelineSim sim;
+    const PipelineRunResult r = sim.run(uops({UopResource::Shifter}));
+    EXPECT_EQ(r.cycles, BcePipelineSim::depth);
+    EXPECT_EQ(r.stallCycles, 0u);
+    EXPECT_EQ(r.retired, 1u);
+}
+
+TEST(PipelineSim, SteadyStateIsOnePerCycle)
+{
+    BcePipelineSim sim;
+    std::vector<PipelineUop> stream(1000, {UopResource::Shifter, 1});
+    const PipelineRunResult r = sim.run(stream);
+    EXPECT_EQ(r.cycles, BcePipelineSim::depth + 1000 - 1);
+    EXPECT_EQ(r.stallCycles, 0u);
+    // IPC approaches 1 for long streams.
+    EXPECT_GT(r.ipc(), 0.99);
+}
+
+TEST(PipelineSim, EmptyStream)
+{
+    BcePipelineSim sim;
+    const PipelineRunResult r = sim.run({});
+    EXPECT_EQ(r.cycles, 0u);
+    EXPECT_EQ(r.retired, 0u);
+}
+
+TEST(PipelineSim, DecoupledLutPortDoesNotStall)
+{
+    // The design point: 1-cycle LUT reads keep the pipeline full even
+    // for back-to-back odd x odd operations.
+    BcePipelineSim sim(/*lut_port_cycles=*/1);
+    const PipelineRunResult r = sim.run(
+        uops({UopResource::LutPort, UopResource::LutPort,
+              UopResource::LutPort, UopResource::LutPort}));
+    EXPECT_EQ(r.stallCycles, 0u);
+    EXPECT_EQ(r.cycles, BcePipelineSim::depth + 4 - 1);
+}
+
+TEST(PipelineSim, SharedBitlineLutWouldStall)
+{
+    // Fig. 4's counterfactual: if LUT rows shared the full bitline
+    // (3x slower), every lookup would hold stage 2 for 3 cycles and
+    // back-to-back lookups would lose 2 cycles each.
+    BcePipelineSim slow(/*lut_port_cycles=*/3);
+    std::vector<PipelineUop> stream(10, {UopResource::LutPort, 1});
+    const PipelineRunResult r = slow.run(stream);
+    EXPECT_EQ(r.stallCycles, 10u * 2u);
+    EXPECT_EQ(r.cycles, pipeline_formula(stream, 3));
+    EXPECT_LT(r.ipc(), 0.4);
+}
+
+TEST(PipelineSim, MixedStreamMatchesFormula)
+{
+    bfree::sim::Rng rng(404);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<PipelineUop> stream;
+        const auto n = static_cast<std::size_t>(rng.uniformInt(1, 200));
+        for (std::size_t i = 0; i < n; ++i) {
+            PipelineUop uop;
+            switch (rng.uniformInt(0, 3)) {
+              case 0:
+                uop.resource = UopResource::Shifter;
+                break;
+              case 1:
+                uop.resource = UopResource::LutPort;
+                break;
+              case 2:
+                uop.resource = UopResource::RomPort;
+                break;
+              default:
+                uop.resource = UopResource::None;
+            }
+            uop.stage2Cycles =
+                static_cast<unsigned>(rng.uniformInt(1, 3));
+            stream.push_back(uop);
+        }
+        for (unsigned port : {1u, 2u, 3u}) {
+            BcePipelineSim sim(port);
+            const PipelineRunResult r = sim.run(stream);
+            EXPECT_EQ(r.cycles, pipeline_formula(stream, port))
+                << "trial " << trial << " port " << port;
+            EXPECT_EQ(r.retired, stream.size());
+        }
+    }
+}
+
+TEST(PipelineSim, LongShiftsBackpressure)
+{
+    BcePipelineSim sim;
+    std::vector<PipelineUop> stream = {
+        {UopResource::Shifter, 2}, // 16-bit decompose: two passes
+        {UopResource::Shifter, 1},
+    };
+    const PipelineRunResult r = sim.run(stream);
+    EXPECT_EQ(r.cycles, pipeline_formula(stream, 1));
+    EXPECT_EQ(r.stallCycles, 1u);
+}

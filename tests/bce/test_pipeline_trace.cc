@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The Fig. 6 and Fig. 7 pipeline walk-throughs, cycle by cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bce/pipeline_trace.hh"
+
+using namespace bfree::bce;
+using bfree::lut::MultLut;
+
+TEST(Pow2PairSplit, FourBitEvens)
+{
+    // 6 = 4+2, 10 = 8+2, 12 = 8+4 split; 14 = 8+4+2 does not.
+    EXPECT_EQ(pow2_pair_split(6), (std::vector<unsigned>{4, 2}));
+    EXPECT_EQ(pow2_pair_split(10), (std::vector<unsigned>{8, 2}));
+    EXPECT_EQ(pow2_pair_split(12), (std::vector<unsigned>{8, 4}));
+    EXPECT_TRUE(pow2_pair_split(14).empty());
+    EXPECT_TRUE(pow2_pair_split(8).empty()); // single power of two
+    EXPECT_TRUE(pow2_pair_split(7).empty()); // odd
+    EXPECT_TRUE(pow2_pair_split(0).empty());
+}
+
+TEST(Fig6Trace, ReproducesThePaperWalkthrough)
+{
+    // Fig. 6's example: three multiplications generate the first
+    // output element. The M1 row holds a power of two ("4"), an even
+    // composite split into two powers of two, and an odd pair.
+    MultLut lut;
+    const std::vector<unsigned> weights = {4, 6, 5};
+    const std::vector<unsigned> inputs = {3, 3, 7};
+    const PipelineTrace trace = trace_conv_dot(weights, inputs, lut);
+
+    // Cycle 0: CB decode. Cycle 1: stream input + read weights.
+    ASSERT_FALSE(trace.at(0).empty());
+    EXPECT_EQ(trace.at(0)[0].action, TraceAction::DecodeConfig);
+    EXPECT_EQ(trace.at(1)[0].action, TraceAction::LoadOperands);
+
+    // Cycle 2 (first multiply, weight 4 = power of two): shift, no
+    // LUT access.
+    const auto c2 = trace.at(2);
+    ASSERT_FALSE(c2.empty());
+    EXPECT_EQ(c2[0].action, TraceAction::Shift);
+
+    // Cycle 3 (weight 6 = 4 + 2): two left shifts.
+    const auto c3 = trace.at(3);
+    ASSERT_FALSE(c3.empty());
+    EXPECT_EQ(c3[0].action, TraceAction::ShiftAddPair);
+
+    // Cycle 4 (5 x 7, both odd): LUT accessed only here.
+    const auto c4 = trace.at(4);
+    ASSERT_FALSE(c4.empty());
+    EXPECT_EQ(c4[0].action, TraceAction::LutAccess);
+    EXPECT_EQ(trace.count(TraceAction::LutAccess), 1u);
+
+    // Cycle 5: writeback; 3 multiplies end-to-end in 6 cycles.
+    const auto c5 = trace.at(5);
+    ASSERT_FALSE(c5.empty());
+    EXPECT_EQ(c5.back().action, TraceAction::Writeback);
+    EXPECT_EQ(trace.cycles, 6u);
+
+    // And the arithmetic is exact: 4*3 + 6*3 + 5*7 = 65.
+    EXPECT_EQ(trace.result, 65);
+}
+
+TEST(Fig6Trace, TrivialOperandsBypass)
+{
+    MultLut lut;
+    const PipelineTrace trace =
+        trace_conv_dot({0, 1, 9}, {5, 9, 1}, lut);
+    EXPECT_EQ(trace.count(TraceAction::Bypass), 3u);
+    EXPECT_EQ(trace.count(TraceAction::LutAccess), 0u);
+    EXPECT_EQ(trace.result, 0 + 9 + 9);
+}
+
+TEST(Fig6Trace, EvenWithThreeBitsUsesOddPath)
+{
+    MultLut lut;
+    // 14 = 2 x 7: odd part from the LUT plus a shift.
+    const PipelineTrace trace = trace_conv_dot({14}, {3}, lut);
+    EXPECT_EQ(trace.count(TraceAction::LutAccess), 1u);
+    EXPECT_EQ(trace.result, 42);
+}
+
+TEST(Fig6Trace, AccumulatesAcrossElements)
+{
+    MultLut lut;
+    const PipelineTrace trace =
+        trace_conv_dot({3, 5, 7, 9}, {3, 5, 7, 9}, lut);
+    EXPECT_EQ(trace.result, 9 + 25 + 49 + 81);
+    EXPECT_EQ(trace.count(TraceAction::Accumulate), 3u);
+    // One multiply per cycle: 4 multiplies + decode + load + writeback.
+    EXPECT_EQ(trace.cycles, 7u);
+}
+
+TEST(Fig7Trace, EightMultipliesInTwoCycles)
+{
+    MultLut lut;
+    const std::vector<std::int8_t> row = {1, 2, 3, 4, 5, 6, 7, 8};
+    const PipelineTrace trace =
+        trace_matmul_broadcast({10}, {row}, lut);
+
+    EXPECT_EQ(trace.count(TraceAction::BroadcastLs4), 1u);
+    EXPECT_EQ(trace.count(TraceAction::BroadcastMs4), 1u);
+    // 10 * (1+2+...+8) = 360.
+    EXPECT_EQ(trace.result, 360);
+    // decode, load, LS-4, MS-4, writeback.
+    EXPECT_EQ(trace.cycles, 5u);
+}
+
+TEST(Fig7Trace, SubsequentRowsOverlapTheLoad)
+{
+    MultLut lut;
+    const std::vector<std::int8_t> row(8, 1);
+    const PipelineTrace trace =
+        trace_matmul_broadcast({3, -5, 7}, {row, row, row}, lut);
+
+    // Three A operands -> three LS/MS pairs; two next-row loads that
+    // share cycles with the following pass.
+    EXPECT_EQ(trace.count(TraceAction::BroadcastLs4), 3u);
+    EXPECT_EQ(trace.count(TraceAction::BroadcastMs4), 3u);
+    EXPECT_EQ(trace.count(TraceAction::LoadNextRow), 2u);
+    EXPECT_EQ(trace.result, (3 - 5 + 7) * 8);
+    // 2 setup + 3 x 2 passes + 1 writeback = 9 cycles: the paper's
+    // 8 multiplications per 2 cycles rate.
+    EXPECT_EQ(trace.cycles, 9u);
+}
+
+TEST(Fig7Trace, RateIsFourMacsPerCycle)
+{
+    MultLut lut;
+    // 16 A operands x 8-wide rows = 128 MACs in 32 broadcast cycles.
+    std::vector<std::int32_t> a(16, 3);
+    std::vector<std::vector<std::int8_t>> rows(
+        16, std::vector<std::int8_t>(8, 2));
+    const PipelineTrace trace = trace_matmul_broadcast(a, rows, lut);
+    const double broadcast_cycles =
+        static_cast<double>(trace.count(TraceAction::BroadcastLs4)
+                            + trace.count(TraceAction::BroadcastMs4));
+    EXPECT_DOUBLE_EQ(128.0 / broadcast_cycles, 4.0);
+}
+
+TEST(TraceFormatting, ReadableDump)
+{
+    MultLut lut;
+    const PipelineTrace trace = trace_conv_dot({4}, {3}, lut);
+    const std::string text = trace.toString();
+    EXPECT_NE(text.find("cycle 0: decode-config"), std::string::npos);
+    EXPECT_NE(text.find("shift"), std::string::npos);
+    EXPECT_NE(text.find("result = 12"), std::string::npos);
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Report formatting helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+
+using namespace bfree::core;
+
+TEST(Format, SecondsPicksUnits)
+{
+    EXPECT_EQ(format_seconds(1.5), "1.500 s");
+    EXPECT_EQ(format_seconds(0.0042), "4.200 ms");
+    EXPECT_EQ(format_seconds(3.1e-6), "3.100 us");
+    EXPECT_EQ(format_seconds(2e-9), "2.000 ns");
+}
+
+TEST(Format, JoulesPicksUnits)
+{
+    EXPECT_EQ(format_joules(2.0), "2.000 J");
+    EXPECT_EQ(format_joules(0.012), "12.000 mJ");
+    EXPECT_EQ(format_joules(5e-6), "5.000 uJ");
+}
+
+TEST(Format, Counts)
+{
+    EXPECT_EQ(format_count(4.7e9), "4.70G");
+    EXPECT_EQ(format_count(24e6), "24.00M");
+    EXPECT_EQ(format_count(1500), "1.50K");
+}
+
+TEST(Report, SummaryMentionsNetworkAndBatch)
+{
+    BFreeAccelerator acc;
+    const auto r = acc.run(bfree::dnn::make_tiny_cnn());
+    std::ostringstream os;
+    print_summary(os, r);
+    EXPECT_NE(os.str().find("TinyCNN"), std::string::npos);
+    EXPECT_NE(os.str().find("batch 1"), std::string::npos);
+}
+
+TEST(Report, LayerTableListsLayers)
+{
+    BFreeAccelerator acc;
+    const auto r = acc.run(bfree::dnn::make_tiny_cnn());
+    std::ostringstream os;
+    print_layer_table(os, r);
+    EXPECT_NE(os.str().find("conv1"), std::string::npos);
+    EXPECT_NE(os.str().find("fc"), std::string::npos);
+}
+
+TEST(Report, LayerTableTruncates)
+{
+    BFreeAccelerator acc;
+    const auto r = acc.run(bfree::dnn::make_vgg16());
+    std::ostringstream os;
+    print_layer_table(os, r, 3);
+    EXPECT_NE(os.str().find("more layers"), std::string::npos);
+}
+
+TEST(Report, PhaseSharesSumNearHundred)
+{
+    BFreeAccelerator acc;
+    const auto r = acc.run(bfree::dnn::make_vgg16());
+    std::ostringstream os;
+    print_phase_shares(os, "vgg", r.time);
+    EXPECT_NE(os.str().find("%"), std::string::npos);
+}
+
+TEST(Report, EnergyBreakdownListsCategories)
+{
+    BFreeAccelerator acc;
+    const auto r = acc.run(bfree::dnn::make_tiny_cnn());
+    std::ostringstream os;
+    print_energy_breakdown(os, r.energy);
+    EXPECT_NE(os.str().find("dram"), std::string::npos);
+    EXPECT_NE(os.str().find("sa_access"), std::string::npos);
+    EXPECT_NE(os.str().find("leakage"), std::string::npos);
+}
+
+TEST(Report, EnergyBreakdownCanExcludeDram)
+{
+    BFreeAccelerator acc;
+    const auto r = acc.run(bfree::dnn::make_tiny_cnn());
+    std::ostringstream os;
+    print_energy_breakdown(os, r.energy, /*exclude_dram=*/true);
+    EXPECT_EQ(os.str().find("dram"), std::string::npos);
+}

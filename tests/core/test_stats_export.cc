@@ -1,0 +1,101 @@
+/**
+ * @file
+ * gem5-style stats export and CSV output of a run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+#include "core/stats_export.hh"
+
+using namespace bfree::core;
+
+namespace {
+
+bfree::map::RunResult
+tiny_run()
+{
+    static BFreeAccelerator acc;
+    return acc.run(bfree::dnn::make_tiny_cnn());
+}
+
+} // namespace
+
+TEST(StatsExport, DumpContainsRunScalars)
+{
+    std::ostringstream os;
+    dump_run_stats(os, tiny_run());
+    const std::string text = os.str();
+    EXPECT_NE(text.find("bfree.secondsPerInference"), std::string::npos);
+    EXPECT_NE(text.find("bfree.joulesPerInference"), std::string::npos);
+    EXPECT_NE(text.find("bfree.batch"), std::string::npos);
+}
+
+TEST(StatsExport, DumpContainsPhaseAndEnergyGroups)
+{
+    std::ostringstream os;
+    dump_run_stats(os, tiny_run());
+    const std::string text = os.str();
+    EXPECT_NE(text.find("bfree.time.compute"), std::string::npos);
+    EXPECT_NE(text.find("bfree.time.weightLoad"), std::string::npos);
+    EXPECT_NE(text.find("bfree.energy.dram"), std::string::npos);
+    EXPECT_NE(text.find("bfree.energy.leakage"), std::string::npos);
+}
+
+TEST(StatsExport, PerLayerVectorsCoverAllLayers)
+{
+    const auto run = tiny_run();
+    std::ostringstream os;
+    dump_run_stats(os, run);
+    const std::string text = os.str();
+    const std::string last_index =
+        "bfree.layers.seconds[" + std::to_string(run.layers.size() - 1)
+        + "]";
+    EXPECT_NE(text.find(last_index), std::string::npos);
+    EXPECT_NE(text.find("bfree.layers.macs.total"), std::string::npos);
+}
+
+TEST(StatsExport, CustomRootName)
+{
+    std::ostringstream os;
+    dump_run_stats(os, tiny_run(), "myrun");
+    EXPECT_NE(os.str().find("myrun.secondsPerInference"),
+              std::string::npos);
+    EXPECT_EQ(os.str().find("bfree."), std::string::npos);
+}
+
+TEST(Csv, HeaderAndRowsAlign)
+{
+    const auto run = tiny_run();
+    std::ostringstream os;
+    write_csv_header(os);
+    write_csv_rows(os, run);
+
+    std::istringstream in(os.str());
+    std::string line;
+    std::getline(in, line);
+    const auto commas = [](const std::string &s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    const auto header_commas = commas(line);
+    std::size_t rows = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(commas(line), header_commas) << line;
+        ++rows;
+    }
+    EXPECT_EQ(rows, run.layers.size());
+}
+
+TEST(Csv, RowsCarryLayerNamesAndModes)
+{
+    const auto run = tiny_run();
+    std::ostringstream os;
+    write_csv_rows(os, run);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("conv1"), std::string::npos);
+    EXPECT_NE(text.find("TinyCNN"), std::string::npos);
+    EXPECT_NE(text.find("matmul"), std::string::npos);
+}

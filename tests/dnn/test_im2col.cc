@@ -1,0 +1,107 @@
+/**
+ * @file
+ * im2col: the matrix formulation computes exactly the same convolution
+ * (Section IV-B), and the storage expansion factor behaves as Fig. 9(c)
+ * describes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/im2col.hh"
+#include "dnn/reference.hh"
+#include "sim/random.hh"
+
+using namespace bfree::dnn;
+
+namespace {
+
+/** Conv parameters for the equivalence sweep. */
+struct ConvCase
+{
+    unsigned in_c, in_hw, out_c, kernel, stride, pad;
+};
+
+class Im2ColEquivalence : public ::testing::TestWithParam<ConvCase>
+{};
+
+} // namespace
+
+TEST_P(Im2ColEquivalence, MatmulEqualsDirectConv)
+{
+    const ConvCase p = GetParam();
+    const Layer l = make_conv("c", {p.in_c, p.in_hw, p.in_hw}, p.out_c,
+                              p.kernel, p.stride, p.pad);
+
+    bfree::sim::Rng rng(71);
+    FloatTensor input({p.in_c, p.in_hw, p.in_hw});
+    input.fillUniform(rng, -1.0, 1.0);
+    std::vector<float> weights(std::size_t(p.out_c) * p.in_c * p.kernel
+                               * p.kernel);
+    for (float &w : weights)
+        w = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+    std::vector<float> bias(p.out_c, 0.0f);
+
+    const FloatTensor direct = reference_conv(l, input, weights, bias);
+
+    const FloatTensor unrolled = im2col(l, input);
+    const FloatTensor wmat = weights_to_matrix(l, weights);
+    const FloatTensor product = reference_matmul(unrolled, wmat);
+
+    // product is [outH*outW][outC]; direct is [outC][outH][outW].
+    const FeatureShape out = l.outputShape();
+    for (unsigned k = 0; k < out.c; ++k)
+        for (unsigned oh = 0; oh < out.h; ++oh)
+            for (unsigned ow = 0; ow < out.w; ++ow)
+                EXPECT_NEAR(product.at(std::size_t(oh) * out.w + ow, k),
+                            direct.at(k, oh, ow), 1e-3)
+                    << k << "," << oh << "," << ow;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConvShapes, Im2ColEquivalence,
+    ::testing::Values(ConvCase{1, 6, 2, 3, 1, 0},
+                      ConvCase{3, 8, 4, 3, 1, 1},
+                      ConvCase{2, 9, 3, 3, 2, 1},
+                      ConvCase{4, 7, 2, 5, 1, 2},
+                      ConvCase{1, 5, 1, 1, 1, 0},
+                      ConvCase{2, 10, 5, 2, 2, 0}));
+
+TEST(Im2Col, MatrixShape)
+{
+    const Layer l = make_conv("c", {3, 8, 8}, 16, 3, 1, 1);
+    FloatTensor input({3, 8, 8}, 1.0f);
+    const FloatTensor m = im2col(l, input);
+    EXPECT_EQ(m.dim(0), 64u);     // 8x8 output positions
+    EXPECT_EQ(m.dim(1), 27u);     // 3x3x3 receptive field
+}
+
+TEST(Im2Col, StorageExpansionForUnitStride3x3)
+{
+    // Unit-stride 3x3 conv replicates each input ~9x (Fig. 9(c)'s
+    // redundant copies).
+    const Layer l = make_conv("c", {16, 32, 32}, 16, 3, 1, 1);
+    EXPECT_NEAR(storage_expansion(l), 9.0, 0.5);
+}
+
+TEST(Im2Col, NoExpansionFor1x1)
+{
+    const Layer l = make_conv("c", {16, 32, 32}, 16, 1, 1, 0);
+    EXPECT_NEAR(storage_expansion(l), 1.0, 1e-6);
+}
+
+TEST(Im2Col, StrideReducesExpansion)
+{
+    const Layer s1 = make_conv("c", {16, 32, 32}, 16, 3, 1, 1);
+    const Layer s2 = make_conv("c", {16, 32, 32}, 16, 3, 2, 1);
+    EXPECT_GT(storage_expansion(s1), storage_expansion(s2));
+}
+
+TEST(Im2Col, UnrolledBytesFollowPrecision)
+{
+    Layer l = make_conv("c", {3, 8, 8}, 4, 3, 1, 1);
+    l.precisionBits = 8;
+    const auto b8 = unrolled_input_bytes(l);
+    EXPECT_EQ(b8, 64ull * 27);
+    l.precisionBits = 16;
+    EXPECT_EQ(unrolled_input_bytes(l), 2 * b8);
+}

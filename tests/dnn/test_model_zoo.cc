@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Table II: the rebuilt networks must land on the paper's layer /
+ * parameter / MAC numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+
+using namespace bfree::dnn;
+
+namespace {
+
+double
+rel(double got, double expected)
+{
+    return got / expected;
+}
+
+} // namespace
+
+TEST(Vgg16, TableTwoNumbers)
+{
+    const Network net = make_vgg16();
+    EXPECT_EQ(net.reportedDepth, 16u);
+    EXPECT_EQ(net.computeLayerCount(), 16u); // 13 conv + 3 FC
+    // Params: 138 M; Mults: 15.5 G.
+    EXPECT_NEAR(rel(static_cast<double>(net.totalParams()), 138e6), 1.0,
+                0.03);
+    EXPECT_NEAR(rel(static_cast<double>(net.totalMacs()), 15.5e9), 1.0,
+                0.03);
+}
+
+TEST(Vgg16, FirstAndLastLayers)
+{
+    const Network net = make_vgg16();
+    EXPECT_EQ(net.layers().front().name, "conv1_1");
+    EXPECT_EQ(net.layers().front().outChannels, 64u);
+    EXPECT_EQ(net.layers().back().kind, LayerKind::Softmax);
+    EXPECT_EQ(net.input(), (FeatureShape{3, 224, 224}));
+}
+
+TEST(InceptionV3, TableTwoNumbers)
+{
+    const Network net = make_inception_v3();
+    EXPECT_EQ(net.reportedDepth, 48u);
+    // Params: 24 M; Mults: 4.7 G (Table II). The flattened operator
+    // count exceeds the reported depth for branched topologies.
+    EXPECT_NEAR(rel(static_cast<double>(net.totalParams()), 24e6), 1.0,
+                0.10);
+    EXPECT_NEAR(rel(static_cast<double>(net.totalMacs()), 4.7e9), 1.0,
+                0.25);
+    EXPECT_GT(net.computeLayerCount(), net.reportedDepth);
+}
+
+TEST(InceptionV3, EndsAt8x8x2048)
+{
+    const Network net = make_inception_v3();
+    // The classifier consumes 2048 features.
+    bool found_fc = false;
+    for (const Layer &l : net.layers()) {
+        if (l.kind == LayerKind::Fc) {
+            EXPECT_EQ(l.inFeatures, 2048u);
+            EXPECT_EQ(l.outFeatures, 1000u);
+            found_fc = true;
+        }
+    }
+    EXPECT_TRUE(found_fc);
+}
+
+TEST(Lstm, TableTwoNumbers)
+{
+    const Network net = make_lstm();
+    EXPECT_EQ(net.reportedDepth, 1u);
+    EXPECT_EQ(net.timesteps, 300u);
+    // Params: 4.3 M; Mults: 4.35 M per timestep.
+    EXPECT_NEAR(rel(static_cast<double>(net.totalParams()), 4.3e6), 1.0,
+                0.05);
+    EXPECT_NEAR(rel(static_cast<double>(net.totalMacs()), 4.35e6), 1.0,
+                0.05);
+}
+
+TEST(BertBase, TableTwoNumbers)
+{
+    const Network net = make_bert_base();
+    EXPECT_EQ(net.reportedDepth, 12u);
+    // Params: 87 M (encoder); Mults: 11.1 G at sequence length 128.
+    EXPECT_NEAR(rel(static_cast<double>(net.totalParams()), 87e6), 1.0,
+                0.06);
+    EXPECT_NEAR(rel(static_cast<double>(net.totalMacs()), 11.1e9), 1.0,
+                0.03);
+}
+
+TEST(BertLarge, TableTwoNumbers)
+{
+    const Network net = make_bert_large();
+    EXPECT_EQ(net.reportedDepth, 24u);
+    // Params: 324 M; Mults: 39.5 G.
+    EXPECT_NEAR(rel(static_cast<double>(net.totalParams()), 324e6), 1.0,
+                0.10);
+    EXPECT_NEAR(rel(static_cast<double>(net.totalMacs()), 39.5e9), 1.0,
+                0.03);
+}
+
+TEST(BertBase, EncoderStructure)
+{
+    const Network net = make_bert_base();
+    unsigned attention = 0;
+    unsigned layer_norm = 0;
+    for (const Layer &l : net.layers()) {
+        if (l.kind == LayerKind::Attention)
+            ++attention;
+        if (l.kind == LayerKind::LayerNorm)
+            ++layer_norm;
+    }
+    EXPECT_EQ(attention, 12u);
+    EXPECT_EQ(layer_norm, 24u); // two per encoder block
+}
+
+TEST(TinyCnn, IsRunnableScale)
+{
+    const Network net = make_tiny_cnn();
+    EXPECT_LT(net.totalMacs(), 100000u);
+    EXPECT_EQ(net.layers().back().kind, LayerKind::Softmax);
+    EXPECT_EQ(net.input(), (FeatureShape{1, 8, 8}));
+}
+
+TEST(Networks, WeightBytesFollowPrecision)
+{
+    Network net = make_vgg16();
+    const auto bytes8 = net.totalWeightBytes();
+    net.setUniformPrecision(4);
+    EXPECT_LT(net.totalWeightBytes(), bytes8);
+    EXPECT_NEAR(static_cast<double>(net.totalWeightBytes())
+                    / static_cast<double>(bytes8),
+                0.5, 0.01);
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Builder coherence: in the sequential networks every layer's declared
+ * input shape must equal its predecessor's output; transformers must
+ * be internally consistent in (seq, d_model).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+
+using namespace bfree::dnn;
+
+namespace {
+
+/** Walk a sequential (unbranched) network checking shape chaining. */
+void
+check_sequential(const Network &net)
+{
+    FeatureShape current = net.input();
+    for (const Layer &l : net.layers()) {
+        switch (l.kind) {
+          case LayerKind::Conv:
+          case LayerKind::MaxPool:
+          case LayerKind::AvgPool:
+          case LayerKind::Relu:
+          case LayerKind::Sigmoid:
+          case LayerKind::Tanh:
+            EXPECT_EQ(l.input, current) << l.name;
+            current = l.outputShape();
+            break;
+          case LayerKind::Softmax:
+            EXPECT_EQ(l.input.elements(), current.elements())
+                << l.name;
+            current = l.outputShape();
+            break;
+          case LayerKind::Fc:
+            // FC flattens whatever precedes it.
+            EXPECT_EQ(std::uint64_t(l.inFeatures), current.elements())
+                << l.name;
+            current = l.outputShape();
+            break;
+          default:
+            FAIL() << "unexpected layer kind in sequential net: "
+                   << l.name;
+        }
+    }
+}
+
+} // namespace
+
+TEST(NetworkConsistency, Vgg16ChainsExactly)
+{
+    check_sequential(make_vgg16());
+}
+
+TEST(NetworkConsistency, TinyCnnChainsExactly)
+{
+    check_sequential(make_tiny_cnn());
+}
+
+TEST(NetworkConsistency, BertLayersAgreeOnModelShape)
+{
+    for (const Network &net : {make_bert_base(), make_bert_large()}) {
+        unsigned d_model = 0;
+        unsigned seq = 0;
+        for (const Layer &l : net.layers()) {
+            if (l.kind == LayerKind::Attention) {
+                if (d_model == 0) {
+                    d_model = l.dModel;
+                    seq = l.seqLen;
+                }
+                EXPECT_EQ(l.dModel, d_model) << l.name;
+                EXPECT_EQ(l.seqLen, seq) << l.name;
+            }
+            if (l.kind == LayerKind::LayerNorm) {
+                EXPECT_EQ(l.dModel, d_model) << l.name;
+                EXPECT_EQ(l.seqLen, seq) << l.name;
+            }
+            if (l.kind == LayerKind::Fc) {
+                // FFN shapes: d -> 4d -> d.
+                EXPECT_TRUE((l.inFeatures == d_model
+                             && l.outFeatures == 4 * d_model)
+                            || (l.inFeatures == 4 * d_model
+                                && l.outFeatures == d_model))
+                    << l.name;
+                EXPECT_EQ(l.fcRows, seq) << l.name;
+            }
+        }
+        EXPECT_GT(d_model, 0u);
+    }
+}
+
+TEST(NetworkConsistency, InceptionConcatenationsAddUp)
+{
+    // Every Inception block's branch outputs are concatenated; the
+    // builder encodes the concatenated channel count in the next
+    // block's input. Verify the totals are consistent at the known
+    // stage boundaries.
+    const Network net = make_inception_v3();
+    // Find the first layer of each named stage and check its input
+    // channels (torchvision's well-known values).
+    struct Expect
+    {
+        const char *layer;
+        unsigned in_c;
+    };
+    const Expect expectations[] = {
+        {"mixed5b.b1x1", 192},  {"mixed5c.b1x1", 256},
+        {"mixed5d.b1x1", 288},  {"mixed6a.b3x3", 288},
+        {"mixed6b.b1x1", 768},  {"mixed6e.b1x1", 768},
+        {"mixed7a.b3x3_1", 768}, {"mixed7b.b1x1", 1280},
+        {"mixed7c.b1x1", 2048},
+    };
+    for (const Expect &e : expectations) {
+        bool found = false;
+        for (const Layer &l : net.layers()) {
+            if (l.name == e.layer) {
+                EXPECT_EQ(l.input.c, e.in_c) << e.layer;
+                found = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(found) << e.layer;
+    }
+}
+
+TEST(NetworkConsistency, GridSizesShrinkThroughInception)
+{
+    // 299 -> 149 -> 147 -> 73 -> 71 -> 35 -> 17 -> 8 along the trunk.
+    const Network net = make_inception_v3();
+    unsigned h_mixed5b = 0;
+    unsigned h_mixed6b = 0;
+    unsigned h_mixed7b = 0;
+    for (const Layer &l : net.layers()) {
+        if (l.name == "mixed5b.b1x1")
+            h_mixed5b = l.input.h;
+        if (l.name == "mixed6b.b1x1")
+            h_mixed6b = l.input.h;
+        if (l.name == "mixed7b.b1x1")
+            h_mixed7b = l.input.h;
+    }
+    EXPECT_EQ(h_mixed5b, 35u);
+    EXPECT_EQ(h_mixed6b, 17u);
+    EXPECT_EQ(h_mixed7b, 8u);
+}
+
+TEST(NetworkConsistency, LstmStateDimensionsMatch)
+{
+    const Network net = make_lstm();
+    ASSERT_EQ(net.layers().size(), 1u);
+    const Layer &cell = net.layers()[0];
+    EXPECT_EQ(cell.lstmInput + cell.lstmHidden, cell.input.c);
+    EXPECT_EQ(cell.outputShape().c, cell.lstmHidden);
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tensor quantization and the mixed-precision policy of Fig. 14.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "dnn/quantize.hh"
+#include "sim/random.hh"
+
+using namespace bfree::dnn;
+
+TEST(QuantizeTensor, RoundTripErrorWithinScale)
+{
+    bfree::sim::Rng rng(21);
+    FloatTensor t({4, 6, 6});
+    t.fillUniform(rng, -2.0, 2.0);
+    const QuantizedTensor q = quantize_tensor(t, 8);
+    const FloatTensor back = dequantize_tensor(q);
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_NEAR(back[i], t[i], q.qp.scale);
+}
+
+TEST(QuantizeTensor, FourBitCoarser)
+{
+    bfree::sim::Rng rng(22);
+    FloatTensor t({64});
+    t.fillUniform(rng, -1.0, 1.0);
+    const QuantizedTensor q8 = quantize_tensor(t, 8);
+    const QuantizedTensor q4 = quantize_tensor(t, 4);
+    EXPECT_GT(q4.qp.scale, q8.qp.scale);
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_LE(q4.values[i], 7);
+        EXPECT_GE(q4.values[i], -8);
+    }
+}
+
+TEST(QuantizeWeights, FlatVectorPath)
+{
+    std::vector<float> w = {-1.5f, 0.0f, 0.75f, 1.5f};
+    bfree::lut::QuantParams qp;
+    const std::vector<std::int8_t> q = quantize_weights(w, qp, 8);
+    ASSERT_EQ(q.size(), w.size());
+    for (std::size_t i = 0; i < w.size(); ++i)
+        EXPECT_NEAR(bfree::lut::dequantize(q[i], qp), w[i], qp.scale);
+}
+
+TEST(MixedPrecision, FirstAndLastStayEightBit)
+{
+    Network net = make_vgg16();
+    apply_mixed_precision(net);
+
+    // Find first/last compute layers.
+    const Layer *first = nullptr;
+    const Layer *last = nullptr;
+    for (const Layer &l : net.layers()) {
+        if (!l.isComputeLayer())
+            continue;
+        if (first == nullptr)
+            first = &l;
+        last = &l;
+    }
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->precisionBits, 8u);
+    EXPECT_EQ(last->precisionBits, 8u);
+}
+
+TEST(MixedPrecision, MostMacsRunAtFourBit)
+{
+    Network net = make_vgg16();
+    EXPECT_DOUBLE_EQ(fraction_macs_at_4bit(net), 0.0);
+    apply_mixed_precision(net);
+    // Paper: "most of the layers are executed using 4-bit precision".
+    EXPECT_GT(fraction_macs_at_4bit(net), 0.7);
+}
+
+TEST(MixedPrecision, HalvesWeightTraffic)
+{
+    Network net = make_vgg16();
+    const auto before = net.totalWeightBytes();
+    apply_mixed_precision(net);
+    EXPECT_LT(net.totalWeightBytes(), before);
+}
+
+TEST(MixedPrecision, NonComputeLayersUntouched)
+{
+    Network net = make_vgg16();
+    apply_mixed_precision(net);
+    for (const Layer &l : net.layers()) {
+        if (!l.isComputeLayer()) {
+            EXPECT_EQ(l.precisionBits, 8u) << l.name;
+        }
+    }
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Float reference executors: hand-checked values and invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dnn/reference.hh"
+#include "sim/random.hh"
+
+using namespace bfree::dnn;
+
+TEST(ReferenceConv, IdentityKernel)
+{
+    // A 1x1 conv with weight 1 copies the input.
+    const Layer l = make_conv("c", {1, 3, 3}, 1, 1, 1, 0);
+    FloatTensor in({1, 3, 3});
+    for (std::size_t i = 0; i < in.size(); ++i)
+        in[i] = static_cast<float>(i);
+    const FloatTensor out =
+        reference_conv(l, in, {1.0f}, {0.0f});
+    for (std::size_t i = 0; i < in.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(ReferenceConv, HandComputed3x3)
+{
+    const Layer l = make_conv("c", {1, 3, 3}, 1, 3, 1, 0);
+    FloatTensor in({1, 3, 3});
+    for (std::size_t i = 0; i < 9; ++i)
+        in[i] = static_cast<float>(i + 1); // 1..9
+    std::vector<float> w(9, 1.0f);
+    const FloatTensor out = reference_conv(l, in, w, {2.0f});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_FLOAT_EQ(out[0], 45.0f + 2.0f); // sum(1..9) + bias
+}
+
+TEST(ReferenceConv, PaddingContributesZeros)
+{
+    const Layer l = make_conv("c", {1, 2, 2}, 1, 3, 1, 1);
+    FloatTensor in({1, 2, 2}, 1.0f);
+    std::vector<float> w(9, 1.0f);
+    const FloatTensor out = reference_conv(l, in, w, {0.0f});
+    ASSERT_EQ(out.shape(), (std::vector<std::size_t>{1, 2, 2}));
+    // Every output sees all four ones (3x3 window covers the 2x2 map).
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_FLOAT_EQ(out[i], 4.0f);
+}
+
+TEST(ReferenceFc, MatVec)
+{
+    const Layer l = make_fc("fc", 3, 2);
+    FloatTensor in({3, 1, 1});
+    in[0] = 1.0f;
+    in[1] = 2.0f;
+    in[2] = 3.0f;
+    const std::vector<float> w = {1, 0, 0, /*row0*/ 0, 1, 1 /*row1*/};
+    const FloatTensor out = reference_fc(l, in, w, {10.0f, 20.0f});
+    EXPECT_FLOAT_EQ(out[0], 11.0f);
+    EXPECT_FLOAT_EQ(out[1], 25.0f);
+}
+
+TEST(ReferencePool, MaxAndAvg)
+{
+    const Layer mp = make_pool("m", LayerKind::MaxPool, {1, 2, 2}, 2, 2);
+    const Layer ap = make_pool("a", LayerKind::AvgPool, {1, 2, 2}, 2, 2);
+    FloatTensor in({1, 2, 2});
+    in[0] = 1.0f;
+    in[1] = 5.0f;
+    in[2] = -3.0f;
+    in[3] = 2.0f;
+    EXPECT_FLOAT_EQ(reference_max_pool(mp, in)[0], 5.0f);
+    EXPECT_FLOAT_EQ(reference_avg_pool(ap, in)[0], 1.25f);
+}
+
+TEST(ReferenceActivation, KnownPoints)
+{
+    FloatTensor in({3, 1, 1});
+    in[0] = -1.0f;
+    in[1] = 0.0f;
+    in[2] = 2.0f;
+    const FloatTensor relu =
+        reference_activation(LayerKind::Relu, in);
+    EXPECT_FLOAT_EQ(relu[0], 0.0f);
+    EXPECT_FLOAT_EQ(relu[2], 2.0f);
+
+    const FloatTensor sig =
+        reference_activation(LayerKind::Sigmoid, in);
+    EXPECT_NEAR(sig[1], 0.5f, 1e-6);
+
+    const FloatTensor th = reference_activation(LayerKind::Tanh, in);
+    EXPECT_NEAR(th[2], std::tanh(2.0f), 1e-6);
+}
+
+TEST(ReferenceSoftmax, SumsToOneAndOrders)
+{
+    FloatTensor in({4, 1, 1});
+    in[0] = 0.1f;
+    in[1] = 3.0f;
+    in[2] = -1.0f;
+    in[3] = 0.5f;
+    const FloatTensor out = reference_softmax(in);
+    float sum = 0.0f;
+    for (std::size_t i = 0; i < out.size(); ++i)
+        sum += out[i];
+    EXPECT_NEAR(sum, 1.0f, 1e-6);
+    EXPECT_GT(out[1], out[3]);
+    EXPECT_GT(out[3], out[2]);
+}
+
+TEST(ReferenceLstm, GatesBoundTheState)
+{
+    const Layer cell = make_lstm_cell("cell", 4, 8);
+    bfree::sim::Rng rng(5);
+    std::vector<float> weights(4 * (4 + 8) * 8);
+    std::vector<float> bias(4 * 8);
+    for (float &v : weights)
+        v = static_cast<float>(rng.uniformReal(-0.5, 0.5));
+    for (float &v : bias)
+        v = static_cast<float>(rng.uniformReal(-0.1, 0.1));
+
+    LstmState state;
+    state.h.assign(8, 0.0f);
+    state.c.assign(8, 0.0f);
+    std::vector<float> x = {0.3f, -0.2f, 0.9f, -0.7f};
+
+    for (int t = 0; t < 10; ++t) {
+        state = reference_lstm_step(cell, x, state, weights, bias);
+        for (float h : state.h)
+            EXPECT_LT(std::abs(h), 1.0f); // |h| < 1 by construction
+    }
+}
+
+TEST(ReferenceLstm, ForgetEverythingGivesTanhOfInputGate)
+{
+    // With all-zero weights and biases, gates are sigmoid(0) = 0.5 and
+    // g = tanh(0) = 0, so c stays 0 and h stays 0.
+    const Layer cell = make_lstm_cell("cell", 2, 4);
+    std::vector<float> weights(4 * (2 + 4) * 4, 0.0f);
+    std::vector<float> bias(4 * 4, 0.0f);
+    LstmState state;
+    state.h.assign(4, 0.0f);
+    state.c.assign(4, 0.0f);
+    state = reference_lstm_step(cell, {1.0f, -1.0f}, state, weights,
+                                bias);
+    for (float c : state.c)
+        EXPECT_FLOAT_EQ(c, 0.0f);
+    for (float h : state.h)
+        EXPECT_FLOAT_EQ(h, 0.0f);
+}
+
+TEST(ReferenceMatmul, SmallKnown)
+{
+    FloatTensor a({2, 2});
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 3;
+    a.at(1, 1) = 4;
+    FloatTensor b({2, 2});
+    b.at(0, 0) = 5;
+    b.at(0, 1) = 6;
+    b.at(1, 0) = 7;
+    b.at(1, 1) = 8;
+    const FloatTensor c = reference_matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(ReferenceAttention, UniformValuesAveraged)
+{
+    // With identity-free projections set so V rows are constant, the
+    // attention output rows equal that constant row regardless of the
+    // scores.
+    const Layer attn = make_attention("a", 4, 8, 1);
+    FloatTensor in({4, 8});
+    bfree::sim::Rng rng(9);
+    in.fillUniform(rng, -1.0, 1.0);
+
+    std::vector<float> wq(64), wk(64), wv(64, 0.0f), wo(64, 0.0f);
+    for (float &v : wq)
+        v = static_cast<float>(rng.uniformReal(-0.3, 0.3));
+    for (float &v : wk)
+        v = static_cast<float>(rng.uniformReal(-0.3, 0.3));
+    // V projects everything to zero; O is identity.
+    for (unsigned i = 0; i < 8; ++i)
+        wo[i * 8 + i] = 1.0f;
+
+    const FloatTensor out = reference_attention(attn, in, wq, wk, wv, wo);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_NEAR(out[i], 0.0f, 1e-6);
+}
+
+TEST(ReferenceAttention, RowsAreConvexCombinationsOfV)
+{
+    const Layer attn = make_attention("a", 3, 4, 1);
+    FloatTensor in({3, 4});
+    bfree::sim::Rng rng(13);
+    in.fillUniform(rng, -1.0, 1.0);
+
+    std::vector<float> identity(16, 0.0f);
+    for (unsigned i = 0; i < 4; ++i)
+        identity[i * 4 + i] = 1.0f;
+
+    // Q=K=V=O=I: output rows are softmax-weighted averages of input
+    // rows, so each output element is bounded by the input extremes.
+    const FloatTensor out =
+        reference_attention(attn, in, identity, identity, identity,
+                            identity);
+    float lo = 1e9f;
+    float hi = -1e9f;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        lo = std::min(lo, in[i]);
+        hi = std::max(hi, in[i]);
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_GE(out[i], lo - 1e-5f);
+        EXPECT_LE(out[i], hi + 1e-5f);
+    }
+}

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * A whole quantized CNN executed through the detailed machinery:
+ * every conv layer runs on the event-driven 2-D systolic grid (real
+ * Subarray/BCE/Router objects), pooling and ReLU on a BCE, and the
+ * classifier's softmax on the distributed softmax chain. The result
+ * is compared element-wise with a plain integer reference — no
+ * shortcuts anywhere in the datapath.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bce/bce.hh"
+#include "dnn/layer.hh"
+#include "map/detailed_slice_sim.hh"
+#include "map/softmax_sim.hh"
+#include "sim/random.hh"
+
+using namespace bfree;
+using namespace bfree::map;
+using dnn::FeatureShape;
+using dnn::Layer;
+
+namespace {
+
+using I8 = std::vector<std::int8_t>;
+using I32 = std::vector<std::int32_t>;
+
+/** Integer reference conv (CHW flattened, no bias). */
+I32
+ref_conv(const Layer &l, const I8 &input, const I8 &weights)
+{
+    const FeatureShape out = l.outputShape();
+    I32 result(out.elements(), 0);
+    for (unsigned k = 0; k < out.c; ++k)
+        for (unsigned oh = 0; oh < out.h; ++oh)
+            for (unsigned ow = 0; ow < out.w; ++ow) {
+                std::int32_t acc = 0;
+                for (unsigned c = 0; c < l.input.c; ++c)
+                    for (unsigned r = 0; r < l.kernelH; ++r)
+                        for (unsigned s = 0; s < l.kernelW; ++s) {
+                            const int ih =
+                                int(oh * l.strideH + r) - int(l.padH);
+                            const int iw =
+                                int(ow * l.strideW + s) - int(l.padW);
+                            if (ih < 0 || iw < 0
+                                || ih >= int(l.input.h)
+                                || iw >= int(l.input.w))
+                                continue;
+                            acc += std::int32_t(
+                                       weights[((std::size_t(k)
+                                                     * l.input.c
+                                                 + c) * l.kernelH
+                                                + r) * l.kernelW
+                                               + s])
+                                   * input[(std::size_t(c) * l.input.h
+                                            + ih) * l.input.w
+                                           + iw];
+                        }
+                result[(std::size_t(k) * out.h + oh) * out.w + ow] =
+                    acc;
+            }
+    return result;
+}
+
+/** Requantize an int32 map back to int8 by a right shift. */
+I8
+shrink(const I32 &v, unsigned shift)
+{
+    I8 out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out[i] = static_cast<std::int8_t>(
+            std::clamp<std::int32_t>(v[i] >> shift, -128, 127));
+    return out;
+}
+
+/** Run one conv layer on the detailed grid via im2col waves. */
+I32
+grid_conv(const Layer &l, const I8 &input, const I8 &weights,
+          const tech::CacheGeometry &geom, const tech::TechParams &tech)
+{
+    const FeatureShape out = l.outputShape();
+    const unsigned receptive = l.input.c * l.kernelH * l.kernelW;
+
+    // Split the receptive field over as many chain rows as divide it.
+    unsigned rows = 1;
+    for (unsigned candidate : {8u, 4u, 3u, 2u}) {
+        if (candidate <= geom.subarraysPerSubBank
+            && receptive % candidate == 0) {
+            rows = candidate;
+            break;
+        }
+    }
+    const unsigned slice_len = receptive / rows;
+
+    DetailedSliceSim grid(geom, tech, rows, out.c, slice_len, 8);
+    std::vector<std::vector<I8>> w(out.c);
+    for (unsigned k = 0; k < out.c; ++k)
+        for (unsigned r = 0; r < rows; ++r)
+            w[k].push_back(
+                I8(weights.begin() + std::size_t(k) * receptive
+                       + r * slice_len,
+                   weights.begin() + std::size_t(k) * receptive
+                       + (r + 1) * slice_len));
+    grid.loadWeights(w);
+
+    std::vector<I8> waves;
+    for (unsigned oh = 0; oh < out.h; ++oh)
+        for (unsigned ow = 0; ow < out.w; ++ow) {
+            I8 row;
+            for (unsigned c = 0; c < l.input.c; ++c)
+                for (unsigned r = 0; r < l.kernelH; ++r)
+                    for (unsigned s = 0; s < l.kernelW; ++s) {
+                        const int ih =
+                            int(oh * l.strideH + r) - int(l.padH);
+                        const int iw =
+                            int(ow * l.strideW + s) - int(l.padW);
+                        row.push_back(
+                            (ih < 0 || iw < 0 || ih >= int(l.input.h)
+                             || iw >= int(l.input.w))
+                                ? std::int8_t(0)
+                                : input[(std::size_t(c) * l.input.h
+                                         + ih) * l.input.w
+                                        + iw]);
+                    }
+            waves.push_back(std::move(row));
+        }
+
+    const DetailedGridResult r = grid.run(waves);
+    I32 result(out.elements());
+    for (unsigned k = 0; k < out.c; ++k)
+        for (std::size_t pos = 0; pos < waves.size(); ++pos)
+            result[std::size_t(k) * waves.size() + pos] =
+                r.outputs[k][pos];
+    return result;
+}
+
+} // namespace
+
+TEST(DetailedPipeline, TinyCnnEndToEndOnTheDetailedMachinery)
+{
+    tech::CacheGeometry geom;
+    tech::TechParams tech;
+    sim::Rng rng(911);
+
+    // The network: conv(1->4, 3x3 pad 1) -> relu -> maxpool2 ->
+    // conv(4->8) -> relu -> maxpool2 -> softmax over the 8x2x2
+    // flattened features (a classifier without the FC, to keep the
+    // whole thing on the grid + chain machinery).
+    const Layer conv1 = dnn::make_conv("c1", {1, 8, 8}, 4, 3, 1, 1);
+    const Layer conv2 = dnn::make_conv("c2", {4, 4, 4}, 8, 3, 1, 1);
+
+    I8 input(64);
+    for (auto &v : input)
+        v = static_cast<std::int8_t>(rng.uniformInt(-40, 40));
+    I8 w1(4 * 9);
+    I8 w2(8 * 4 * 9);
+    for (auto &v : w1)
+        v = static_cast<std::int8_t>(rng.uniformInt(-30, 30));
+    for (auto &v : w2)
+        v = static_cast<std::int8_t>(rng.uniformInt(-30, 30));
+
+    // ---- Reference path (plain integer math). ----
+    auto relu = [](I8 v) {
+        for (auto &x : v)
+            x = std::max<std::int8_t>(x, 0);
+        return v;
+    };
+    auto maxpool2 = [](const I8 &v, unsigned c, unsigned hw) {
+        I8 out(std::size_t(c) * (hw / 2) * (hw / 2));
+        for (unsigned ch = 0; ch < c; ++ch)
+            for (unsigned oh = 0; oh < hw / 2; ++oh)
+                for (unsigned ow = 0; ow < hw / 2; ++ow) {
+                    std::int8_t best = -128;
+                    for (unsigned dy = 0; dy < 2; ++dy)
+                        for (unsigned dx = 0; dx < 2; ++dx)
+                            best = std::max(
+                                best,
+                                v[(std::size_t(ch) * hw + 2 * oh + dy)
+                                      * hw
+                                  + 2 * ow + dx]);
+                    out[(std::size_t(ch) * (hw / 2) + oh) * (hw / 2)
+                        + ow] = best;
+                }
+        return out;
+    };
+
+    const I8 ref_a1 =
+        maxpool2(relu(shrink(ref_conv(conv1, input, w1), 6)), 4, 8);
+    const I8 ref_a2 =
+        maxpool2(relu(shrink(ref_conv(conv2, ref_a1, w2), 6)), 8, 4);
+
+    // ---- Detailed path: grids for the convs. ----
+    const I8 det_a1 =
+        maxpool2(relu(shrink(grid_conv(conv1, input, w1, geom, tech),
+                             6)),
+                 4, 8);
+    EXPECT_EQ(det_a1, ref_a1);
+    const I8 det_a2 =
+        maxpool2(relu(shrink(grid_conv(conv2, det_a1, w2, geom, tech),
+                             6)),
+                 8, 4);
+    EXPECT_EQ(det_a2, ref_a2);
+
+    // ---- Classifier softmax on the distributed chain. ----
+    std::vector<double> logits(det_a2.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        logits[i] = det_a2[i] / 16.0;
+    DistributedSoftmax softmax(geom, tech, 8);
+    const SoftmaxRunResult sm = softmax.run(logits);
+
+    // Exact reference softmax over the same logits.
+    std::vector<double> ref(logits.size());
+    const double max_v =
+        *std::max_element(logits.begin(), logits.end());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        ref[i] = std::exp(logits[i] - max_v);
+        denom += ref[i];
+    }
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        EXPECT_NEAR(sm.probabilities[i], ref[i] / denom, 0.01) << i;
+
+    // Same winner end to end.
+    const auto got_argmax =
+        std::max_element(sm.probabilities.begin(),
+                         sm.probabilities.end())
+        - sm.probabilities.begin();
+    const auto ref_argmax =
+        std::max_element(ref.begin(), ref.end()) - ref.begin();
+    EXPECT_EQ(got_argmax, ref_argmax);
+}

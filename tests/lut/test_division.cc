@@ -1,0 +1,114 @@
+/**
+ * @file
+ * LUT division (Hung et al. reciprocal method, paper Equation 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lut/division.hh"
+#include "sim/random.hh"
+
+using namespace bfree::lut;
+
+TEST(DivisionLut, TableSizeIsTwoToTheM)
+{
+    EXPECT_EQ(DivisionLut(4).entries(), 16u);
+    EXPECT_EQ(DivisionLut(6).entries(), 64u);
+    EXPECT_EQ(DivisionLut(4).raw().size(), 16u);
+}
+
+TEST(DivisionLut, ExactOnPowersOfTwo)
+{
+    DivisionLut div(4);
+    EXPECT_NEAR(div.divide(8.0, 2.0), 4.0, 4.0 * div.errorBound());
+    EXPECT_NEAR(div.divide(1.0, 4.0), 0.25, 0.25 * div.errorBound());
+}
+
+TEST(DivisionLut, ZeroNumerator)
+{
+    DivisionLut div(4);
+    EXPECT_DOUBLE_EQ(div.divide(0.0, 3.7), 0.0);
+}
+
+/** Relative error stays within the analytical bound across ranges. */
+class DivisionErrorSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(DivisionErrorSweep, RelativeErrorWithinBound)
+{
+    const unsigned m = GetParam();
+    DivisionLut div(m);
+    const double bound = div.errorBound() * 2.0 + 1e-6;
+    bfree::sim::Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniformReal(1e-3, 1e4);
+        const double y = rng.uniformReal(1e-3, 1e4);
+        const double got = div.divide(x, y);
+        const double expected = x / y;
+        EXPECT_NEAR(got, expected, expected * bound)
+            << x << " / " << y << " (m=" << m << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableWidths, DivisionErrorSweep,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u, 8u));
+
+TEST(DivisionLut, ErrorBoundShrinksWithM)
+{
+    EXPECT_GT(DivisionLut(2).errorBound(), DivisionLut(4).errorBound());
+    EXPECT_GT(DivisionLut(4).errorBound(), DivisionLut(6).errorBound());
+}
+
+TEST(DivisionLut, PaperDesignPointIsAccurateEnough)
+{
+    // m = 4 gives ~0.4% worst-case error: good enough for average
+    // pooling and softmax normalization.
+    DivisionLut div(4);
+    EXPECT_LT(div.errorBound(), 0.005);
+}
+
+TEST(DivisionLut, IntegerDivision)
+{
+    DivisionLut div(5);
+    EXPECT_NEAR(div.divideInt(100, 4), 25, 1);
+    EXPECT_NEAR(div.divideInt(144, 9), 16, 1);
+    EXPECT_NEAR(div.divideInt(1000000, 1000), 1000, 12);
+    EXPECT_EQ(div.divideInt(0, 7), 0);
+}
+
+TEST(DivisionLut, AveragePoolingWindows)
+{
+    // The operation average pooling actually performs: sum / count for
+    // common window sizes.
+    DivisionLut div(4);
+    for (int count : {4, 9, 25, 49, 64}) {
+        const double sum = 1234.0;
+        EXPECT_NEAR(div.divide(sum, count), sum / count,
+                    sum / count * 0.02);
+    }
+}
+
+TEST(DivisionLut, CountsMicroOps)
+{
+    DivisionLut div(4);
+    MicroOpCounts counts;
+    div.divide(10.0, 3.0, &counts);
+    EXPECT_EQ(counts.lutLookups, 1u); // one reciprocal fetch
+    EXPECT_GT(counts.cycles, 0u);
+    EXPECT_GT(counts.romLookups, 0u); // datapath multiplies
+}
+
+TEST(DivisionLutDeath, RejectsNonPositiveDivisor)
+{
+    DivisionLut div(4);
+    EXPECT_DEATH((void)div.divide(1.0, 0.0), "y > 0");
+    EXPECT_DEATH((void)div.divide(-1.0, 2.0), "x >= 0");
+}
+
+TEST(DivisionLutDeath, RejectsBadTableWidth)
+{
+    EXPECT_DEATH(DivisionLut(1), "index width");
+    EXPECT_DEATH(DivisionLut(9), "index width");
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Quantization and gemmlowp requantization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "lut/fixed_point.hh"
+
+using namespace bfree::lut;
+
+TEST(QuantParams, RangeOfSignedBits)
+{
+    QuantParams qp;
+    qp.bits = 8;
+    EXPECT_EQ(qp.qmin(), -128);
+    EXPECT_EQ(qp.qmax(), 127);
+    qp.bits = 4;
+    EXPECT_EQ(qp.qmin(), -8);
+    EXPECT_EQ(qp.qmax(), 7);
+}
+
+TEST(Quantize, RoundTripWithinHalfScale)
+{
+    const QuantParams qp = choose_quant_params(-1.0, 1.0, 8);
+    for (double v = -1.0; v <= 1.0; v += 0.01) {
+        const std::int32_t q = quantize(v, qp);
+        EXPECT_NEAR(dequantize(q, qp), v, qp.scale / 2 + 1e-9);
+    }
+}
+
+TEST(Quantize, SaturatesOutOfRange)
+{
+    const QuantParams qp = choose_quant_params(-1.0, 1.0, 8);
+    EXPECT_EQ(quantize(100.0, qp), qp.qmax());
+    EXPECT_EQ(quantize(-100.0, qp), qp.qmin());
+}
+
+TEST(Quantize, ZeroIsExactlyRepresentable)
+{
+    // Required so zero padding quantizes without error.
+    for (double lo : {-3.0, -0.5, 0.0}) {
+        for (double hi : {0.0, 0.7, 5.0}) {
+            if (lo == hi)
+                continue;
+            const QuantParams qp = choose_quant_params(lo, hi, 8);
+            const std::int32_t q0 = quantize(0.0, qp);
+            EXPECT_NEAR(dequantize(q0, qp), 0.0, qp.scale / 2 + 1e-12);
+        }
+    }
+}
+
+TEST(Quantize, FourBitIsCoarserThanEightBit)
+{
+    const QuantParams q8 = choose_quant_params(-2.0, 2.0, 8);
+    const QuantParams q4 = choose_quant_params(-2.0, 2.0, 4);
+    EXPECT_GT(q4.scale, q8.scale);
+}
+
+TEST(RequantScale, DecomposesMultiplier)
+{
+    for (double m : {0.001, 0.01, 0.3, 0.5, 0.999, 1.0}) {
+        const RequantScale rs = compute_requant_scale(m);
+        EXPECT_GE(rs.multiplier, 1 << 30);
+        EXPECT_GE(rs.shift, 0);
+        const double reconstructed =
+            static_cast<double>(rs.multiplier) / (1LL << 31)
+            / std::pow(2.0, rs.shift);
+        EXPECT_NEAR(reconstructed, m, m * 1e-8);
+    }
+}
+
+TEST(HighMul, MatchesWideArithmetic)
+{
+    const std::int32_t a = 123456789;
+    const std::int32_t b = 1987654321;
+    const std::int64_t wide = (static_cast<std::int64_t>(a) * b + (1LL << 30))
+                              >> 31;
+    EXPECT_EQ(saturating_rounding_doubling_high_mul(a, b),
+              static_cast<std::int32_t>(wide));
+}
+
+TEST(HighMul, SaturatesTheOverflowCase)
+{
+    const std::int32_t min = std::numeric_limits<std::int32_t>::min();
+    EXPECT_EQ(saturating_rounding_doubling_high_mul(min, min),
+              std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(RoundingShift, RoundsHalfAwayFromZero)
+{
+    // gemmlowp semantics: halves round away from zero.
+    EXPECT_EQ(rounding_divide_by_pot(5, 1), 3);   // 2.5 -> 3
+    EXPECT_EQ(rounding_divide_by_pot(4, 1), 2);
+    EXPECT_EQ(rounding_divide_by_pot(-5, 1), -3); // -2.5 -> -3
+    EXPECT_EQ(rounding_divide_by_pot(-4, 1), -2);
+    EXPECT_EQ(rounding_divide_by_pot(7, 2), 2);   // 1.75 -> 2
+    EXPECT_EQ(rounding_divide_by_pot(100, 0), 100);
+}
+
+/** Requantization matches the double-precision computation closely. */
+class RequantizeSweep : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RequantizeSweep, MatchesDoubleReference)
+{
+    const double multiplier = GetParam();
+    const RequantScale rs = compute_requant_scale(multiplier);
+    for (std::int32_t acc = -100000; acc <= 100000; acc += 7919) {
+        const std::int32_t got = requantize(acc, rs, 0, 8);
+        const double expected = acc * multiplier;
+        const auto clamped = std::clamp<double>(
+            std::round(expected), -128.0, 127.0);
+        EXPECT_NEAR(got, clamped, 1.0)
+            << "acc=" << acc << " mult=" << multiplier;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Multipliers, RequantizeSweep,
+                         ::testing::Values(0.0005, 0.002, 0.01, 0.05,
+                                           0.25, 0.5, 0.9, 1.0));
+
+TEST(Requantize, AppliesZeroPointAndSaturates)
+{
+    const RequantScale rs = compute_requant_scale(1.0);
+    EXPECT_EQ(requantize(100, rs, 50, 8), 127); // 150 saturates
+    EXPECT_EQ(requantize(10, rs, 5, 8), 15);
+    EXPECT_EQ(requantize(-200, rs, 0, 8), -128);
+}
+
+TEST(Saturate, ClampsIntoRange)
+{
+    EXPECT_EQ(saturate(1000, -128, 127), 127);
+    EXPECT_EQ(saturate(-1000, -128, 127), -128);
+    EXPECT_EQ(saturate(5, -128, 127), 5);
+}

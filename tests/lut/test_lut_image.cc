@@ -1,0 +1,102 @@
+/**
+ * @file
+ * LUT image serialization: everything a kernel needs fits the 64-byte
+ * sub-array LUT region, and PWL tables round-trip losslessly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lut/lut_image.hh"
+#include "tech/geometry.hh"
+
+using namespace bfree::lut;
+
+namespace {
+
+constexpr std::size_t lut_region_bytes = 64;
+
+} // namespace
+
+TEST(LutImage, MultiplyTableFitsTheLutRegion)
+{
+    const LutImage image = serialize(MultLut{});
+    EXPECT_EQ(image.size(), 49u);
+    EXPECT_TRUE(image.fits(lut_region_bytes));
+    EXPECT_EQ(image.name, "mult49");
+    // Geometry agrees with the constant used here.
+    EXPECT_EQ(bfree::tech::CacheGeometry{}.lutBytesPerSubarray(),
+              lut_region_bytes);
+}
+
+TEST(LutImage, MultiplyBytesMatchTable)
+{
+    MultLut lut;
+    const LutImage image = serialize(lut);
+    for (unsigned i = 0; i < num_odd_operands; ++i)
+        for (unsigned j = 0; j < num_odd_operands; ++j)
+            EXPECT_EQ(image.bytes[i * num_odd_operands + j],
+                      (3 + 2 * i) * (3 + 2 * j));
+}
+
+TEST(LutImage, DivisionTableFitsAtDesignPoint)
+{
+    const LutImage image = serialize(DivisionLut(4));
+    EXPECT_EQ(image.size(), 32u); // 16 entries x 2 bytes
+    EXPECT_TRUE(image.fits(lut_region_bytes));
+}
+
+TEST(LutImage, LargeDivisionTableDoesNotFit)
+{
+    const LutImage image = serialize(DivisionLut(8));
+    EXPECT_FALSE(image.fits(lut_region_bytes));
+}
+
+TEST(LutImage, SixteenSegmentPwlFits)
+{
+    const LutImage image = serialize(make_sigmoid_table(16));
+    EXPECT_EQ(image.size(), 64u); // 16 segments x 4 bytes
+    EXPECT_TRUE(image.fits(lut_region_bytes));
+}
+
+TEST(LutImage, PwlRoundTripsThroughBytes)
+{
+    const PwlTable table = make_tanh_table(16);
+    const unsigned frac = 12;
+    const LutImage image = serialize(table, frac);
+    const std::vector<PwlSegment> parsed = parse_pwl(image, frac);
+    ASSERT_EQ(parsed.size(), table.raw().size());
+    const double quantum = 1.0 / (1 << frac);
+    for (std::size_t s = 0; s < parsed.size(); ++s) {
+        EXPECT_NEAR(parsed[s].alpha, table.raw()[s].alpha, quantum);
+        EXPECT_NEAR(parsed[s].beta, table.raw()[s].beta, quantum);
+    }
+}
+
+TEST(LutImage, QuantizedPwlStillApproximatesWell)
+{
+    const PwlTable table = make_sigmoid_table(16);
+    const unsigned frac = 12;
+    const std::vector<PwlSegment> parsed =
+        parse_pwl(serialize(table, frac), frac);
+
+    // Evaluate through the quantized segments.
+    auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+    const double width = 16.0 / 16;
+    for (double x = -8.0; x <= 8.0; x += 0.05) {
+        auto idx = static_cast<std::size_t>((x + 8.0) / width);
+        idx = std::min(idx, parsed.size() - 1);
+        const double y = parsed[idx].alpha * x + parsed[idx].beta;
+        EXPECT_NEAR(y, sigmoid(x), 0.05) << x;
+    }
+}
+
+TEST(LutImageDeath, MalformedPwlImagePanics)
+{
+    LutImage image;
+    image.name = "broken";
+    image.bytes = {1, 2, 3}; // not a multiple of 4
+    EXPECT_DEATH((void)parse_pwl(image), "multiple of 4");
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The 49-entry odd x odd multiply table (Fig. 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "lut/mult_lut.hh"
+
+using namespace bfree::lut;
+
+TEST(MultLut, Has49Entries)
+{
+    MultLut lut;
+    EXPECT_EQ(lut.entries(), 49u);
+    EXPECT_EQ(lut.raw().size(), 49u);
+}
+
+TEST(MultLut, TableOperandsAreOddAndAtLeastThree)
+{
+    EXPECT_FALSE(MultLut::isTableOperand(0));
+    EXPECT_FALSE(MultLut::isTableOperand(1)); // trivial multiply
+    EXPECT_FALSE(MultLut::isTableOperand(2)); // power of two
+    EXPECT_TRUE(MultLut::isTableOperand(3));
+    EXPECT_FALSE(MultLut::isTableOperand(4));
+    EXPECT_TRUE(MultLut::isTableOperand(15));
+    EXPECT_FALSE(MultLut::isTableOperand(16));
+    EXPECT_FALSE(MultLut::isTableOperand(6)); // even composite
+}
+
+TEST(MultLut, OperandIndexing)
+{
+    EXPECT_EQ(MultLut::operandIndex(3), 0u);
+    EXPECT_EQ(MultLut::operandIndex(5), 1u);
+    EXPECT_EQ(MultLut::operandIndex(15), 6u);
+}
+
+TEST(MultLut, AllStoredProductsAreExact)
+{
+    MultLut lut;
+    for (unsigned a = 3; a <= 15; a += 2)
+        for (unsigned b = 3; b <= 15; b += 2)
+            EXPECT_EQ(lut.lookup(a, b), a * b)
+                << a << " x " << b;
+}
+
+TEST(MultLut, TableIsSymmetric)
+{
+    MultLut lut;
+    for (unsigned a = 3; a <= 15; a += 2)
+        for (unsigned b = 3; b <= 15; b += 2)
+            EXPECT_EQ(lut.lookup(a, b), lut.lookup(b, a));
+}
+
+TEST(MultLut, MaxEntryFitsOneByte)
+{
+    MultLut lut;
+    EXPECT_EQ(lut.lookup(15, 15), 225u);
+    for (std::uint8_t v : lut.raw())
+        EXPECT_LE(v, 225u);
+}
+
+TEST(MultLutVariants, StorageCosts)
+{
+    const auto variants = mult_lut_variants();
+    EXPECT_EQ(variants[0].entries, 256u); // naive full table
+    EXPECT_EQ(variants[1].entries, 49u);  // the paper's design
+    EXPECT_EQ(variants[2].entries, 28u);  // triangular (Section III-C1:
+                                          // "reduced by half" option)
+    EXPECT_LT(variants[1].entries, variants[0].entries);
+    EXPECT_LT(variants[2].entries, variants[1].entries);
+}
+
+TEST(MultLutDeath, NonTableOperandPanics)
+{
+    MultLut lut;
+    EXPECT_DEATH((void)lut.lookup(2, 3), "not stored");
+    EXPECT_DEATH((void)lut.lookup(3, 6), "not stored");
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Operand analyzer: classification, decomposition, and exhaustive
+ * correctness of the LUT-based multiply at 4, 8 and 16 bits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lut/operand_analyzer.hh"
+#include "sim/random.hh"
+
+using namespace bfree::lut;
+
+TEST(Classify, AllSixteenValues)
+{
+    EXPECT_EQ(classify_operand(0), OperandClass::Zero);
+    EXPECT_EQ(classify_operand(1), OperandClass::One);
+    EXPECT_EQ(classify_operand(2), OperandClass::PowerOfTwo);
+    EXPECT_EQ(classify_operand(3), OperandClass::Odd);
+    EXPECT_EQ(classify_operand(4), OperandClass::PowerOfTwo);
+    EXPECT_EQ(classify_operand(5), OperandClass::Odd);
+    EXPECT_EQ(classify_operand(6), OperandClass::EvenComposite);
+    EXPECT_EQ(classify_operand(7), OperandClass::Odd);
+    EXPECT_EQ(classify_operand(8), OperandClass::PowerOfTwo);
+    EXPECT_EQ(classify_operand(9), OperandClass::Odd);
+    EXPECT_EQ(classify_operand(10), OperandClass::EvenComposite);
+    EXPECT_EQ(classify_operand(11), OperandClass::Odd);
+    EXPECT_EQ(classify_operand(12), OperandClass::EvenComposite);
+    EXPECT_EQ(classify_operand(13), OperandClass::Odd);
+    EXPECT_EQ(classify_operand(14), OperandClass::EvenComposite);
+    EXPECT_EQ(classify_operand(15), OperandClass::Odd);
+}
+
+TEST(Decompose, OddTimesPowerOfTwo)
+{
+    for (unsigned v = 1; v <= 255; ++v) {
+        const OddDecomposition d = decompose_odd(v);
+        EXPECT_EQ(d.odd % 2, 1u);
+        EXPECT_EQ(d.odd << d.shift, v);
+    }
+}
+
+TEST(MultiplyU4, ExhaustivelyExact)
+{
+    MultLut lut;
+    for (unsigned a = 0; a <= 15; ++a)
+        for (unsigned b = 0; b <= 15; ++b)
+            EXPECT_EQ(multiply_u4(a, b, lut).product,
+                      static_cast<std::int64_t>(a) * b)
+                << a << " x " << b;
+}
+
+TEST(MultiplyU4, ZeroTakesNoCycle)
+{
+    MultLut lut;
+    const MultResult r = multiply_u4(0, 9, lut);
+    EXPECT_EQ(r.counts.cycles, 0u);
+    EXPECT_EQ(r.counts.lutLookups, 0u);
+}
+
+TEST(MultiplyU4, PowersOfTwoUseShiftsNotLut)
+{
+    MultLut lut;
+    for (unsigned a : {1u, 2u, 4u, 8u}) {
+        for (unsigned b = 1; b <= 15; ++b) {
+            const MultResult r = multiply_u4(a, b, lut);
+            EXPECT_EQ(r.counts.lutLookups, 0u)
+                << a << " x " << b;
+        }
+    }
+}
+
+TEST(MultiplyU4, OddOddUsesExactlyOneLookup)
+{
+    MultLut lut;
+    for (unsigned a = 3; a <= 15; a += 2)
+        for (unsigned b = 3; b <= 15; b += 2) {
+            const MultResult r = multiply_u4(a, b, lut);
+            EXPECT_EQ(r.counts.lutLookups, 1u);
+            EXPECT_EQ(r.counts.cycles, 1u);
+        }
+}
+
+TEST(MultiplyU4, EvenCompositeDecomposes)
+{
+    MultLut lut;
+    // 6 x 10 = (3<<1) x (5<<1) = 15 << 2.
+    const MultResult r = multiply_u4(6, 10, lut);
+    EXPECT_EQ(r.product, 60);
+    EXPECT_EQ(r.counts.lutLookups, 1u);
+    EXPECT_EQ(r.counts.shifts, 1u);
+}
+
+TEST(MultiplyU4, RomSourceCountsRomLookups)
+{
+    MultLut lut;
+    const MultResult r = multiply_u4(7, 9, lut, LookupSource::BceRom);
+    EXPECT_EQ(r.counts.romLookups, 1u);
+    EXPECT_EQ(r.counts.lutLookups, 0u);
+}
+
+TEST(MultiplySigned, ExhaustiveInt8)
+{
+    MultLut lut;
+    for (int a = -128; a <= 127; ++a) {
+        for (int b = -128; b <= 127; ++b) {
+            const MultResult r = multiply_signed(a, b, 8, lut);
+            ASSERT_EQ(r.product, static_cast<std::int64_t>(a) * b)
+                << a << " x " << b;
+        }
+    }
+}
+
+TEST(MultiplySigned, ExhaustiveInt4)
+{
+    MultLut lut;
+    for (int a = -8; a <= 7; ++a)
+        for (int b = -8; b <= 7; ++b)
+            EXPECT_EQ(multiply_signed(a, b, 4, lut).product,
+                      static_cast<std::int64_t>(a) * b);
+}
+
+TEST(MultiplySigned, RandomInt16)
+{
+    MultLut lut;
+    bfree::sim::Rng rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a =
+            static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        const auto b =
+            static_cast<std::int32_t>(rng.uniformInt(-32768, 32767));
+        ASSERT_EQ(multiply_signed(a, b, 16, lut).product,
+                  static_cast<std::int64_t>(a) * b)
+            << a << " x " << b;
+    }
+}
+
+TEST(MultiplySigned, ExtremesOfEachWidth)
+{
+    MultLut lut;
+    EXPECT_EQ(multiply_signed(-8, -8, 4, lut).product, 64);
+    EXPECT_EQ(multiply_signed(-128, -128, 8, lut).product, 16384);
+    EXPECT_EQ(multiply_signed(-128, 127, 8, lut).product, -16256);
+    EXPECT_EQ(multiply_signed(-32768, -32768, 16, lut).product,
+              1073741824);
+}
+
+TEST(MultiplySigned, EightBitUsesAtMostFourPartials)
+{
+    MultLut lut;
+    for (int a : {-127, -100, -3, 17, 85, 127}) {
+        for (int b : {-128, -77, 9, 33, 127}) {
+            const MultResult r = multiply_signed(a, b, 8, lut);
+            EXPECT_LE(r.counts.cycles, 4u) << a << " x " << b;
+        }
+    }
+    EXPECT_EQ(nibble_products(8), 4u);
+    EXPECT_EQ(nibble_products(4), 1u);
+    EXPECT_EQ(nibble_products(16), 16u);
+}
+
+TEST(MicroOpCounts, Accumulate)
+{
+    MicroOpCounts a;
+    a.lutLookups = 1;
+    a.cycles = 2;
+    MicroOpCounts b;
+    b.lutLookups = 3;
+    b.adds = 5;
+    a += b;
+    EXPECT_EQ(a.lutLookups, 4u);
+    EXPECT_EQ(a.adds, 5u);
+    EXPECT_EQ(a.cycles, 2u);
+}
+
+/** Parameterized sweep: the identity holds for structured operands. */
+class NibbleSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(NibbleSweep, ShiftedOperandsStayExact)
+{
+    MultLut lut;
+    const unsigned shift = GetParam();
+    for (int base = 1; base <= 15; ++base) {
+        const std::int32_t a = base << shift;
+        if (a > 32767)
+            continue;
+        for (int b = -100; b <= 100; b += 7) {
+            ASSERT_EQ(multiply_signed(a, b, 16, lut).product,
+                      static_cast<std::int64_t>(a) * b);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, NibbleSweep,
+                         ::testing::Values(0u, 1u, 2u, 4u, 7u, 10u));

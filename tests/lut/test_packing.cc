@@ -1,0 +1,79 @@
+/**
+ * @file
+ * 4-bit packing: round trips, saturation, size accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lut/packing.hh"
+#include "sim/random.hh"
+
+using namespace bfree::lut;
+
+TEST(PackInt4, RoundTripsAllValues)
+{
+    std::vector<std::int8_t> values;
+    for (int v = -8; v <= 7; ++v)
+        values.push_back(static_cast<std::int8_t>(v));
+    const auto packed = pack_int4(values);
+    EXPECT_EQ(packed.size(), 8u);
+    EXPECT_EQ(unpack_int4(packed, values.size()), values);
+}
+
+TEST(PackInt4, RandomRoundTrip)
+{
+    bfree::sim::Rng rng(77);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto n = static_cast<std::size_t>(rng.uniformInt(0, 257));
+        std::vector<std::int8_t> values(n);
+        for (auto &v : values)
+            v = static_cast<std::int8_t>(rng.uniformInt(-8, 7));
+        EXPECT_EQ(unpack_int4(pack_int4(values), n), values);
+    }
+}
+
+TEST(PackInt4, OddLengthPadsHighNibble)
+{
+    const std::vector<std::int8_t> values = {3, -2, 7};
+    const auto packed = pack_int4(values);
+    EXPECT_EQ(packed.size(), 2u);
+    // The pad nibble is zero.
+    EXPECT_EQ(packed[1] >> 4, 0);
+    EXPECT_EQ(unpack_int4(packed, 3), values);
+}
+
+TEST(PackInt4, HalvesStorage)
+{
+    EXPECT_EQ(packed_int4_bytes(100), 50u);
+    EXPECT_EQ(packed_int4_bytes(101), 51u);
+    EXPECT_EQ(packed_int4_bytes(0), 0u);
+}
+
+TEST(PackInt4, NibbleLayoutIsLittleFirst)
+{
+    const std::vector<std::int8_t> values = {1, 2};
+    const auto packed = pack_int4(values);
+    ASSERT_EQ(packed.size(), 1u);
+    EXPECT_EQ(packed[0], 0x21);
+}
+
+TEST(PackInt4, NegativeValuesSignExtend)
+{
+    const std::vector<std::int8_t> values = {-1, -8};
+    const auto unpacked = unpack_int4(pack_int4(values), 2);
+    EXPECT_EQ(unpacked[0], -1);
+    EXPECT_EQ(unpacked[1], -8);
+}
+
+TEST(SaturateInt4, Clamps)
+{
+    EXPECT_EQ(saturate_int4(100), 7);
+    EXPECT_EQ(saturate_int4(-100), -8);
+    EXPECT_EQ(saturate_int4(5), 5);
+}
+
+TEST(PackInt4Death, OutOfRangePanics)
+{
+    EXPECT_DEATH((void)pack_int4({100}), "4-bit range");
+    EXPECT_DEATH((void)unpack_int4({0x12}, 3), "cannot hold");
+}

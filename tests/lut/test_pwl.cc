@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Piecewise-linear activation tables (paper Equation 2) and softmax.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lut/pwl.hh"
+
+using namespace bfree::lut;
+
+TEST(PwlTable, InterpolatesEndpointsExactly)
+{
+    PwlTable t("square", [](double x) { return x * x; }, 0.0, 4.0, 4);
+    // Segment endpoints are exact by construction.
+    for (double x : {0.0, 1.0, 2.0, 3.0, 4.0})
+        EXPECT_NEAR(t.evaluate(x), x * x, 1e-12);
+}
+
+TEST(PwlTable, ClampsOutOfRange)
+{
+    PwlTable t = make_sigmoid_table(32);
+    EXPECT_NEAR(t.evaluate(100.0), 1.0, 1e-3);
+    EXPECT_NEAR(t.evaluate(-100.0), 0.0, 1e-3);
+}
+
+/** Error decreases as segments increase, for all three functions. */
+class PwlSegmentSweep : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PwlSegmentSweep, SigmoidErrorBound)
+{
+    const unsigned segments = GetParam();
+    PwlTable t = make_sigmoid_table(segments);
+    const double err = t.maxAbsError(
+        [](double x) { return 1.0 / (1.0 + std::exp(-x)); });
+    // Piecewise-linear error of a smooth function scales ~ width^2.
+    const double width = 16.0 / segments;
+    EXPECT_LT(err, 0.05 * width * width + 1e-6) << segments;
+}
+
+TEST_P(PwlSegmentSweep, TanhErrorBound)
+{
+    const unsigned segments = GetParam();
+    PwlTable t = make_tanh_table(segments);
+    const double err =
+        t.maxAbsError([](double x) { return std::tanh(x); });
+    const double width = 8.0 / segments;
+    EXPECT_LT(err, 0.15 * width * width + 1e-6) << segments;
+}
+
+TEST_P(PwlSegmentSweep, ExpErrorBound)
+{
+    const unsigned segments = GetParam();
+    PwlTable t = make_exp_table(segments);
+    const double err =
+        t.maxAbsError([](double x) { return std::exp(x); });
+    const double width = 16.0 / segments;
+    EXPECT_LT(err, 0.15 * width * width + 1e-6) << segments;
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, PwlSegmentSweep,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u));
+
+TEST(PwlTable, MoreSegmentsNeverWorse)
+{
+    auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+    double prev = 1e9;
+    for (unsigned s : {4u, 8u, 16u, 32u, 64u}) {
+        const double err = make_sigmoid_table(s).maxAbsError(sigmoid);
+        EXPECT_LE(err, prev * 1.05);
+        prev = err;
+    }
+}
+
+TEST(PwlTable, CountsMicroOps)
+{
+    PwlTable t = make_tanh_table(16);
+    MicroOpCounts counts;
+    t.evaluate(0.3, &counts);
+    EXPECT_EQ(counts.lutLookups, 1u);
+    EXPECT_EQ(counts.cycles, 2u);
+}
+
+TEST(LutSoftmax, SumsToOne)
+{
+    PwlTable exp_t = make_exp_table(64);
+    DivisionLut div(6);
+    const std::vector<double> logits = {1.0, 2.0, 3.0, 4.0, -1.0};
+    const std::vector<double> probs = lut_softmax(logits, exp_t, div);
+    const double sum =
+        std::accumulate(probs.begin(), probs.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 0.05);
+    for (double p : probs)
+        EXPECT_GE(p, 0.0);
+}
+
+TEST(LutSoftmax, MatchesReferenceSoftmax)
+{
+    PwlTable exp_t = make_exp_table(128);
+    DivisionLut div(6);
+    const std::vector<double> logits = {0.3, -1.2, 2.5, 0.0, 1.1};
+    const std::vector<double> probs = lut_softmax(logits, exp_t, div);
+
+    // Reference.
+    double max_v = *std::max_element(logits.begin(), logits.end());
+    std::vector<double> expected(logits.size());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        expected[i] = std::exp(logits[i] - max_v);
+        denom += expected[i];
+    }
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        EXPECT_NEAR(probs[i], expected[i] / denom, 0.02) << i;
+}
+
+TEST(LutSoftmax, PreservesArgmax)
+{
+    PwlTable exp_t = make_exp_table(32);
+    DivisionLut div(4);
+    const std::vector<double> logits = {0.1, 3.0, -2.0, 1.5};
+    const std::vector<double> probs = lut_softmax(logits, exp_t, div);
+    const auto argmax =
+        std::max_element(probs.begin(), probs.end()) - probs.begin();
+    EXPECT_EQ(argmax, 1);
+}
+
+TEST(LutSoftmax, EmptyInput)
+{
+    PwlTable exp_t = make_exp_table(8);
+    DivisionLut div(4);
+    EXPECT_TRUE(lut_softmax({}, exp_t, div).empty());
+}
+
+TEST(LutSoftmax, LargeNegativeLogitsUnderflowGracefully)
+{
+    PwlTable exp_t = make_exp_table(32);
+    DivisionLut div(4);
+    const std::vector<double> logits = {0.0, -50.0};
+    const std::vector<double> probs = lut_softmax(logits, exp_t, div);
+    EXPECT_GT(probs[0], 0.9);
+    EXPECT_LT(probs[1], 0.1);
+}

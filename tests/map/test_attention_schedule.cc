@@ -1,0 +1,95 @@
+/**
+ * @file
+ * K/Q/V overlap scheduling (Section IV-B2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "map/attention_schedule.hh"
+
+using namespace bfree::map;
+using namespace bfree::dnn;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+AttentionSchedule
+schedule_for(unsigned seq, unsigned d)
+{
+    const Layer attn = make_attention("attn", seq, d, d / 64);
+    Mapper mapper((CacheGeometry()));
+    return schedule_attention(attn, mapper.map(attn), TechParams{});
+}
+
+} // namespace
+
+TEST(AttentionSchedule, OverlapNeverSlower)
+{
+    for (unsigned seq : {32u, 128u, 512u}) {
+        for (unsigned d : {256u, 768u, 1024u}) {
+            const AttentionSchedule s = schedule_for(seq, d);
+            EXPECT_LE(s.overlappedSeconds, s.serialSeconds)
+                << seq << "x" << d;
+            EXPECT_GT(s.savings(), 0.0) << seq << "x" << d;
+        }
+    }
+}
+
+TEST(AttentionSchedule, BertBaseSavesMeaningfulTime)
+{
+    const AttentionSchedule s = schedule_for(128, 768);
+    // V overlaps the scores + softmax window: a few percent of the
+    // block at BERT-base shapes (s << d), growing with sequence
+    // length.
+    EXPECT_GT(s.savings(), 0.02);
+    EXPECT_LT(s.savings(), 0.60);
+}
+
+TEST(AttentionSchedule, PhasesArePositiveAndSumToSerial)
+{
+    const AttentionSchedule s = schedule_for(128, 768);
+    const AttentionPhases &p = s.phases;
+    for (double v : {p.qProjection, p.kProjection, p.vProjection,
+                     p.scores, p.softmax, p.context, p.output})
+        EXPECT_GT(v, 0.0);
+    EXPECT_NEAR(s.serialSeconds, p.sum(), 1e-15);
+}
+
+TEST(AttentionSchedule, ProjectionsAreSymmetric)
+{
+    const AttentionSchedule s = schedule_for(128, 768);
+    EXPECT_DOUBLE_EQ(s.phases.qProjection, s.phases.kProjection);
+    EXPECT_DOUBLE_EQ(s.phases.qProjection, s.phases.vProjection);
+}
+
+TEST(AttentionSchedule, LongSequencesHideVCompletely)
+{
+    // The scores + softmax window grows with s^2 while V's projection
+    // grows with s: once s exceeds d, V hides completely.
+    const AttentionSchedule long_seq = schedule_for(1024, 256);
+    EXPECT_TRUE(long_seq.vFullyHidden);
+    const AttentionSchedule short_seq = schedule_for(32, 768);
+    EXPECT_FALSE(short_seq.vFullyHidden);
+}
+
+TEST(AttentionSchedule, OverlapBoundedByComponents)
+{
+    const AttentionSchedule s = schedule_for(128, 1024);
+    // The overlapped timeline can never beat the critical path of the
+    // GEMMs alone.
+    const double gemm_critical = 2.0 * s.phases.qProjection
+                                 + s.phases.scores + s.phases.context
+                                 + s.phases.output;
+    EXPECT_GE(s.overlappedSeconds, gemm_critical - 1e-15);
+}
+
+TEST(AttentionScheduleDeath, RequiresAttentionLayer)
+{
+    Mapper mapper((CacheGeometry()));
+    const Layer fc = make_fc("fc", 64, 64);
+    EXPECT_DEATH(
+        (void)schedule_attention(fc, mapper.map(fc), TechParams{}),
+        "attention");
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The hierarchical control path (Fig. 11): the configuration phase
+ * writes LUT rows and config blocks that BCEs can actually decode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lut/lut_image.hh"
+#include "map/controllers.hh"
+
+using namespace bfree::map;
+using namespace bfree::bce;
+using bfree::lut::DivisionLut;
+using bfree::lut::MultLut;
+using bfree::lut::serialize;
+using bfree::mem::MainMemory;
+using bfree::mem::SramCache;
+using bfree::tech::CacheGeometry;
+using bfree::tech::MainMemoryKind;
+using bfree::tech::TechParams;
+
+namespace {
+
+struct Fixture
+{
+    Fixture()
+        : geom(smallGeometry()), cache(geom, tech),
+          memory(bfree::tech::main_memory_params(MainMemoryKind::DRAM),
+                 cache.energy()),
+          controller(cache, memory, tech)
+    {}
+
+    static CacheGeometry
+    smallGeometry()
+    {
+        CacheGeometry g;
+        g.numSlices = 2;
+        g.banksPerSlice = 2;
+        g.subBanksPerBank = 1;
+        g.subarraysPerSubBank = 4;
+        return g;
+    }
+
+    CacheGeometry geom;
+    TechParams tech;
+    SramCache cache;
+    MainMemory memory;
+    CacheController controller;
+};
+
+} // namespace
+
+TEST(Controllers, ConfigurationPhaseLoadsLutRows)
+{
+    Fixture f;
+    ConfigBlock cb;
+    cb.opcode = PimOpcode::Conv;
+    const ConfigPhaseResult r = f.controller.configure(
+        serialize(MultLut{}), 1 << 20, cb, f.cache.numSubarrays());
+
+    EXPECT_GT(r.total(), 0.0);
+    // Every sub-array now answers odd x odd lookups.
+    for (unsigned i = 0; i < f.cache.numSubarrays(); ++i)
+        EXPECT_EQ(f.cache.subarray(i).lutRead(0), 9u); // 3 x 3
+}
+
+TEST(Controllers, ConfigBlockRoundTripsThroughStorage)
+{
+    Fixture f;
+    ConfigBlock cb;
+    cb.opcode = PimOpcode::Matmul;
+    cb.precisionBits = 4;
+    cb.iterations = 777;
+    cb.startRow = 3;
+    cb.endRow = 200;
+    f.controller.configure(serialize(MultLut{}), 1024, cb, 4);
+
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(f.controller.readConfig(i), cb);
+}
+
+TEST(Controllers, WeightBroadcastBoundByDramRate)
+{
+    Fixture f;
+    ConfigBlock cb;
+    const double bytes = 100e6;
+    const ConfigPhaseResult r = f.controller.configure(
+        serialize(MultLut{}), static_cast<std::uint64_t>(bytes), cb, 2);
+    // 100 MB over 20 GB/s = 5 ms; ring is faster, so DRAM gates.
+    EXPECT_NEAR(r.weightBroadcastSeconds, bytes / 20e9,
+                0.05 * bytes / 20e9);
+}
+
+TEST(Controllers, TracksKernelCount)
+{
+    Fixture f;
+    ConfigBlock cb;
+    EXPECT_EQ(f.controller.kernelsConfigured(), 0u);
+    f.controller.configure(serialize(MultLut{}), 10, cb, 1);
+    f.controller.configure(serialize(DivisionLut(4)), 10, cb, 1);
+    EXPECT_EQ(f.controller.kernelsConfigured(), 2u);
+}
+
+TEST(Controllers, DivisionImageAlsoFits)
+{
+    Fixture f;
+    ConfigBlock cb;
+    cb.opcode = PimOpcode::Divide;
+    const ConfigPhaseResult r = f.controller.configure(
+        serialize(DivisionLut(4)), 0, cb, f.cache.numSubarrays());
+    EXPECT_GE(r.lutLoadSeconds, 0.0);
+}
+
+TEST(Controllers, LutVerificationDetectsCorruption)
+{
+    Fixture f;
+    ConfigBlock cb;
+    const bfree::lut::LutImage image = serialize(MultLut{});
+    f.controller.configure(image, 0, cb, f.cache.numSubarrays());
+
+    // Freshly configured: every sub-array verifies.
+    for (unsigned i = 0; i < f.cache.numSubarrays(); ++i)
+        EXPECT_TRUE(f.controller.verifyLut(i, image)) << i;
+
+    // Flip one LUT byte in one sub-array (a soft error in the table).
+    f.cache.subarray(2).scratchWrite(10, 0xFF);
+    EXPECT_FALSE(f.controller.verifyLut(2, image));
+    EXPECT_TRUE(f.controller.verifyLut(1, image));
+}
+
+TEST(Controllers, ChecksumIsContentSensitive)
+{
+    const bfree::lut::LutImage mult = serialize(MultLut{});
+    const bfree::lut::LutImage div = serialize(DivisionLut(4));
+    EXPECT_NE(mult.checksum(), div.checksum());
+
+    bfree::lut::LutImage copy = mult;
+    EXPECT_EQ(copy.checksum(), mult.checksum());
+    copy.bytes[0] ^= 1;
+    EXPECT_NE(copy.checksum(), mult.checksum());
+}
+
+TEST(ControllersDeath, OversizeLutImageRejected)
+{
+    Fixture f;
+    ConfigBlock cb;
+    EXPECT_DEATH(
+        f.controller.configure(serialize(DivisionLut(8)), 0, cb, 1),
+        "does not fit");
+}
+
+TEST(ControllersDeath, ZeroActiveSubarraysRejected)
+{
+    Fixture f;
+    ConfigBlock cb;
+    EXPECT_DEATH(
+        f.controller.configure(serialize(MultLut{}), 0, cb, 0),
+        "active sub-array");
+}

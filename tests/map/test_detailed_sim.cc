@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Cross-validation: the event-driven sub-bank chain matches the closed
+ * form in both results (exact dot products) and cycles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "map/detailed_sim.hh"
+#include "sim/random.hh"
+
+using namespace bfree::map;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+struct ChainCase
+{
+    unsigned nodes;
+    unsigned slice_len;
+    unsigned waves;
+    unsigned bits;
+};
+
+class ChainSweep : public ::testing::TestWithParam<ChainCase>
+{};
+
+/** Reference dot product of one wave against the weight slices. */
+std::int32_t
+reference_output(const std::vector<std::vector<std::int8_t>> &weights,
+                 const std::vector<std::int8_t> &wave,
+                 unsigned slice_len)
+{
+    std::int32_t acc = 0;
+    for (std::size_t k = 0; k < weights.size(); ++k)
+        for (unsigned i = 0; i < slice_len; ++i)
+            acc += std::int32_t(weights[k][i])
+                   * wave[k * slice_len + i];
+    return acc;
+}
+
+} // namespace
+
+TEST_P(ChainSweep, OutputsAndCyclesMatchClosedForm)
+{
+    const ChainCase p = GetParam();
+    CacheGeometry geom;
+    TechParams tech;
+
+    DetailedSubBankSim sim(geom, tech, p.nodes, p.slice_len, p.bits);
+
+    bfree::sim::Rng rng(101 + p.nodes);
+    const int lo = p.bits == 4 ? -8 : -128;
+    const int hi = p.bits == 4 ? 7 : 127;
+
+    std::vector<std::vector<std::int8_t>> weights(p.nodes);
+    for (auto &slice : weights) {
+        slice.resize(p.slice_len);
+        for (auto &w : slice)
+            w = static_cast<std::int8_t>(rng.uniformInt(lo, hi));
+    }
+    sim.loadWeights(weights);
+
+    std::vector<std::vector<std::int8_t>> inputs(p.waves);
+    for (auto &wave : inputs) {
+        wave.resize(std::size_t(p.nodes) * p.slice_len);
+        for (auto &x : wave)
+            x = static_cast<std::int8_t>(rng.uniformInt(lo, hi));
+    }
+
+    const DetailedRunResult r = sim.run(inputs);
+
+    // Functional: every wave's output is the exact dot product.
+    ASSERT_EQ(r.outputs.size(), p.waves);
+    for (unsigned w = 0; w < p.waves; ++w)
+        EXPECT_EQ(r.outputs[w],
+                  reference_output(weights, inputs[w], p.slice_len))
+            << "wave " << w;
+
+    // Timing: the event-driven wall clock equals the closed form the
+    // analytic model uses.
+    EXPECT_EQ(r.cycles,
+              detailed_chain_formula(p.nodes, p.waves,
+                                     sim.cyclesPerStep(),
+                                     tech.routerHopCycles));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chains, ChainSweep,
+    ::testing::Values(ChainCase{1, 8, 1, 8},   // degenerate chain
+                      ChainCase{2, 4, 3, 8},
+                      ChainCase{4, 8, 5, 8},
+                      ChainCase{8, 8, 10, 8},  // full sub-bank
+                      ChainCase{8, 16, 4, 8},
+                      ChainCase{8, 8, 10, 4},  // 4-bit operands
+                      ChainCase{3, 5, 7, 4},
+                      ChainCase{8, 32, 20, 8}));
+
+TEST(DetailedChainFormula, KnownValues)
+{
+    // 8 nodes, 10 waves, 64 cycles/step, 1-cycle hops:
+    // 10*64 + 7 = 647.
+    EXPECT_EQ(detailed_chain_formula(8, 10, 64, 1), 647u);
+    EXPECT_EQ(detailed_chain_formula(1, 5, 10, 1), 50u);
+    EXPECT_EQ(detailed_chain_formula(4, 0, 10, 1), 0u);
+    EXPECT_EQ(detailed_chain_formula(0, 5, 10, 1), 0u);
+}
+
+TEST(DetailedSim, CyclesPerStepFollowsPrecision)
+{
+    CacheGeometry geom;
+    TechParams tech;
+    DetailedSubBankSim sim8(geom, tech, 2, 16, 8);
+    DetailedSubBankSim sim4(geom, tech, 2, 16, 4);
+    EXPECT_EQ(sim8.cyclesPerStep(), 32u); // 16 MACs x 2 cycles
+    EXPECT_EQ(sim4.cyclesPerStep(), 16u); // 16 MACs x 1 cycle
+}
+
+TEST(DetailedSim, ChargesRouterAndLutEnergy)
+{
+    CacheGeometry geom;
+    TechParams tech;
+    DetailedSubBankSim sim(geom, tech, 4, 8, 8);
+
+    std::vector<std::vector<std::int8_t>> weights(
+        4, std::vector<std::int8_t>(8, 3));
+    sim.loadWeights(weights);
+    std::vector<std::vector<std::int8_t>> inputs(
+        2, std::vector<std::int8_t>(32, 5));
+    sim.run(inputs);
+
+    using bfree::mem::EnergyCategory;
+    EXPECT_GT(sim.energy().joules(EnergyCategory::Router), 0.0);
+    EXPECT_GT(sim.energy().joules(EnergyCategory::LutAccess), 0.0);
+    EXPECT_GT(sim.energy().joules(EnergyCategory::SubarrayAccess), 0.0);
+    EXPECT_GT(sim.energy().joules(EnergyCategory::BceCompute), 0.0);
+}
+
+TEST(DetailedSimDeath, BadChainLength)
+{
+    CacheGeometry geom;
+    TechParams tech;
+    EXPECT_DEATH(DetailedSubBankSim(geom, tech, 0, 8, 8), "chain");
+    EXPECT_DEATH(DetailedSubBankSim(geom, tech, 9, 8, 8), "chain");
+}

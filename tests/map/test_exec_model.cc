@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The analytic execution model: phase accounting, overlap, batch and
+ * bandwidth behaviour, magnitudes against the paper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "dnn/quantize.hh"
+#include "map/exec_model.hh"
+
+using namespace bfree::map;
+using namespace bfree::dnn;
+using bfree::tech::CacheGeometry;
+using bfree::tech::MainMemoryKind;
+using bfree::tech::TechParams;
+
+namespace {
+
+ExecutionModel
+model(ExecConfig cfg = {})
+{
+    return ExecutionModel(CacheGeometry{}, TechParams{}, cfg);
+}
+
+} // namespace
+
+TEST(PhaseBreakdown, TotalIsSumOfPhases)
+{
+    PhaseBreakdown p;
+    p.weightLoad = 1.0;
+    p.inputLoad = 2.0;
+    p.compute = 3.0;
+    p.special = 0.5;
+    p.requant = 0.25;
+    p.fill = 0.125;
+    EXPECT_DOUBLE_EQ(p.total(), 6.875);
+    EXPECT_DOUBLE_EQ(p.scaled(2.0).total(), 13.75);
+}
+
+TEST(ExecModel, RunTimeEqualsLayerSum)
+{
+    const RunResult r = model().run(make_vgg16());
+    PhaseBreakdown sum;
+    for (const LayerResult &l : r.layers)
+        sum += l.time;
+    EXPECT_NEAR(r.time.total(), sum.total(), 1e-12);
+    EXPECT_EQ(r.layers.size(), make_vgg16().layers().size());
+}
+
+TEST(ExecModel, EnergyEqualsLayerSum)
+{
+    const RunResult r = model().run(make_vgg16());
+    double sum = 0.0;
+    for (const LayerResult &l : r.layers)
+        sum += l.energy.total();
+    EXPECT_NEAR(r.energy.total(), sum, 1e-12);
+}
+
+TEST(ExecModel, ComputeSecondsFollowsRateFormula)
+{
+    ExecutionModel m = model();
+    const Layer l = make_fc("fc", 1024, 1024);
+    const LayerMapping mapping = m.mapper().map(l);
+    const double s = m.computeSeconds(l, mapping);
+    const double expected =
+        static_cast<double>(l.macs())
+        / (4.0 * mapping.activeSubarrays * 1.5e9);
+    EXPECT_NEAR(s, expected, expected * 1e-9);
+}
+
+TEST(ExecModel, MoreBandwidthNeverSlower)
+{
+    ExecConfig dram;
+    dram.memory = MainMemoryKind::DRAM;
+    ExecConfig edram;
+    edram.memory = MainMemoryKind::EDRAM;
+    ExecConfig hbm;
+    hbm.memory = MainMemoryKind::HBM;
+
+    const Network vgg = make_vgg16();
+    const double t_dram = model(dram).run(vgg).secondsPerInference();
+    const double t_edram = model(edram).run(vgg).secondsPerInference();
+    const double t_hbm = model(hbm).run(vgg).secondsPerInference();
+    EXPECT_GE(t_dram, t_edram);
+    EXPECT_GE(t_edram, t_hbm);
+    EXPECT_GT(t_dram, t_hbm); // strictly better end to end
+}
+
+TEST(ExecModel, BatchingAmortizesWeightLoad)
+{
+    ExecConfig b1;
+    b1.batch = 1;
+    ExecConfig b16;
+    b16.batch = 16;
+    const Network vgg = make_vgg16();
+    const RunResult r1 = model(b1).run(vgg);
+    const RunResult r16 = model(b16).run(vgg);
+    EXPECT_LT(r16.time.weightLoad, r1.time.weightLoad / 10.0);
+    EXPECT_LT(r16.secondsPerInference(), r1.secondsPerInference());
+}
+
+TEST(ExecModel, SystolicOverlapHidesInputLoad)
+{
+    ExecConfig with;
+    with.batch = 16;
+    with.systolicOverlap = true;
+    ExecConfig without = with;
+    without.systolicOverlap = false;
+
+    const Network vgg = make_vgg16();
+    const RunResult r_with = model(with).run(vgg);
+    const RunResult r_without = model(without).run(vgg);
+    EXPECT_LT(r_with.time.inputLoad, r_without.time.inputLoad);
+    EXPECT_LT(r_with.secondsPerInference(),
+              r_without.secondsPerInference());
+}
+
+TEST(ExecModel, MixedPrecisionCutsExecutionTime)
+{
+    // Fig. 14: layer-wise 4/8-bit precision halves the execution time
+    // of the 8-bit VGG-16 run.
+    Network mixed = make_vgg16();
+    apply_mixed_precision(mixed);
+
+    ExecConfig cfg;
+    cfg.memory = MainMemoryKind::HBM; // expose compute, not the channel
+    cfg.batch = 16;
+    const double t8 = model(cfg).run(make_vgg16()).time.compute;
+    const double tmix = model(cfg).run(mixed).time.compute;
+    EXPECT_LT(tmix, 0.75 * t8);
+    EXPECT_GT(tmix, 0.35 * t8);
+}
+
+TEST(ExecModel, LstmRunsInFractionOfMillisecond)
+{
+    // Table III: BFree executes the 300-step LSTM-1024 in 0.43 ms.
+    const RunResult r = model().run(make_lstm());
+    EXPECT_GT(r.secondsPerInference(), 0.1e-3);
+    EXPECT_LT(r.secondsPerInference(), 1.5e-3);
+}
+
+TEST(ExecModel, BertBaseBatchOneIsWeightLoadBound)
+{
+    const RunResult r = model().run(make_bert_base());
+    // ~87 MB over 20 GB/s dominates (paper: 5.3 ms total).
+    EXPECT_GT(r.time.weightLoad, 0.5 * r.secondsPerInference());
+    EXPECT_GT(r.secondsPerInference(), 2e-3);
+    EXPECT_LT(r.secondsPerInference(), 10e-3);
+}
+
+TEST(ExecModel, BertBaseBatchSixteenNearPaper)
+{
+    ExecConfig cfg;
+    cfg.batch = 16;
+    const RunResult r = model(cfg).run(make_bert_base());
+    // Paper: 1.2 ms per inference at batch 16.
+    EXPECT_GT(r.secondsPerInference(), 0.3e-3);
+    EXPECT_LT(r.secondsPerInference(), 3e-3);
+}
+
+TEST(ExecModel, BertLargeScalesWithWork)
+{
+    const double base =
+        model().run(make_bert_base()).secondsPerInference();
+    const double large =
+        model().run(make_bert_large()).secondsPerInference();
+    // ~3.6x the MACs and ~3.7x the weights.
+    EXPECT_GT(large, 2.5 * base);
+    EXPECT_LT(large, 5.5 * base);
+}
+
+TEST(ExecModel, EnergyBreakdownDominatedBySaAndBce)
+{
+    // Fig. 12(d): excluding DRAM, sub-array access + BCE dominate the
+    // dynamic energy.
+    const RunResult r = model().run(make_inception_v3());
+    const auto &e = r.energy;
+    const double dynamic =
+        e.totalExcludingDram()
+        - e.joules(bfree::mem::EnergyCategory::Leakage);
+    const double sa_bce =
+        e.joules(bfree::mem::EnergyCategory::SubarrayAccess)
+        + e.joules(bfree::mem::EnergyCategory::BceCompute);
+    EXPECT_GT(sa_bce, 0.70 * dynamic);
+}
+
+TEST(ExecModel, DramEnergyDominatesTotalForCnns)
+{
+    // "almost 80% of the energy is attributed to the weight loading
+    // phase from DRAM" (Section V-D, batch 1).
+    const RunResult r = model().run(make_inception_v3());
+    const double dram =
+        r.energy.joules(bfree::mem::EnergyCategory::DramTransfer);
+    EXPECT_GT(dram, 0.20 * r.energy.total());
+}
+
+TEST(ExecModel, PhasesAreNonNegative)
+{
+    for (const Network &net :
+         {make_vgg16(), make_inception_v3(), make_bert_base()}) {
+        const RunResult r = model().run(net);
+        for (const LayerResult &l : r.layers) {
+            EXPECT_GE(l.time.weightLoad, 0.0) << l.name;
+            EXPECT_GE(l.time.inputLoad, 0.0) << l.name;
+            EXPECT_GE(l.time.compute, 0.0) << l.name;
+            EXPECT_GE(l.time.special, 0.0) << l.name;
+            EXPECT_GE(l.time.requant, 0.0) << l.name;
+        }
+    }
+}
+
+TEST(ExecModelDeath, ZeroBatchIsFatal)
+{
+    ExecConfig cfg;
+    cfg.batch = 0;
+    EXPECT_DEATH(model(cfg), "batch");
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Property sweeps over the execution model: scaling laws and
+ * invariants that must hold for any layer, not just the zoo networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/model_zoo.hh"
+#include "map/exec_model.hh"
+#include "sim/random.hh"
+
+using namespace bfree::map;
+using namespace bfree::dnn;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+/** A reproducible random conv/fc layer. */
+Layer
+random_layer(bfree::sim::Rng &rng)
+{
+    if (rng.uniformInt(0, 1) == 0) {
+        const auto c = static_cast<unsigned>(rng.uniformInt(1, 64));
+        const auto hw = static_cast<unsigned>(rng.uniformInt(7, 64));
+        const auto k = static_cast<unsigned>(rng.uniformInt(1, 3)) * 2
+                       - 1; // 1, 3, 5
+        const auto out = static_cast<unsigned>(rng.uniformInt(1, 128));
+        const auto stride =
+            static_cast<unsigned>(rng.uniformInt(1, 2));
+        return make_conv("rand_conv", {c, hw, hw}, out, k, stride,
+                         k / 2);
+    }
+    Layer fc = make_fc("rand_fc",
+                       static_cast<unsigned>(rng.uniformInt(16, 4096)),
+                       static_cast<unsigned>(rng.uniformInt(16, 4096)));
+    fc.fcRows = static_cast<unsigned>(rng.uniformInt(1, 128));
+    return fc;
+}
+
+double
+run_layer_seconds(const Layer &layer, unsigned slices, unsigned batch)
+{
+    Network net("probe", layer.input);
+    net.add(layer);
+    ExecConfig cfg;
+    cfg.batch = batch;
+    cfg.mapper.slices = slices;
+    ExecutionModel model(CacheGeometry{}, TechParams{}, cfg);
+    return model.run(net).secondsPerInference();
+}
+
+} // namespace
+
+TEST(ExecProperties, MoreSlicesNeverSlower)
+{
+    bfree::sim::Rng rng(1001);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Layer l = random_layer(rng);
+        const double t1 = run_layer_seconds(l, 1, 1);
+        const double t7 = run_layer_seconds(l, 7, 1);
+        const double t14 = run_layer_seconds(l, 14, 1);
+        EXPECT_GE(t1 * 1.0001, t7) << l.name << " trial " << trial;
+        EXPECT_GE(t7 * 1.0001, t14) << l.name << " trial " << trial;
+    }
+}
+
+TEST(ExecProperties, TimesAreFiniteAndPositive)
+{
+    bfree::sim::Rng rng(1002);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Layer l = random_layer(rng);
+        const double t = run_layer_seconds(l, 14, 1);
+        EXPECT_TRUE(std::isfinite(t)) << l.name;
+        EXPECT_GT(t, 0.0) << l.name;
+    }
+}
+
+TEST(ExecProperties, BatchAmortizationIsMonotonic)
+{
+    bfree::sim::Rng rng(1003);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Layer l = random_layer(rng);
+        // Batch 1 keeps intermediates in SRAM; from batch 2 onward the
+        // spill cost is constant and amortization must be monotonic.
+        double prev = run_layer_seconds(l, 14, 2);
+        for (unsigned batch : {4u, 8u, 16u}) {
+            const double t = run_layer_seconds(l, 14, batch);
+            EXPECT_LE(t, prev * 1.0001)
+                << l.name << " batch " << batch;
+            prev = t;
+        }
+    }
+}
+
+TEST(ExecProperties, EnergyScalesWithWorkNotConfiguration)
+{
+    // Doubling a FC layer's rows roughly doubles its dynamic MAC
+    // energy contribution.
+    Layer fc = make_fc("fc", 1024, 1024);
+    fc.fcRows = 8;
+    Network small("s", fc.input);
+    small.add(fc);
+    fc.fcRows = 16;
+    Network large("l", fc.input);
+    large.add(fc);
+
+    ExecutionModel model(CacheGeometry{}, TechParams{}, ExecConfig{});
+    const double e_small =
+        model.run(small).energy.joules(
+            bfree::mem::EnergyCategory::SubarrayAccess);
+    const double e_large =
+        model.run(large).energy.joules(
+            bfree::mem::EnergyCategory::SubarrayAccess);
+    EXPECT_NEAR(e_large / e_small, 2.0, 0.25);
+}
+
+TEST(ExecProperties, LayerTimesSumAcrossArbitraryNetworks)
+{
+    bfree::sim::Rng rng(1004);
+    Network net("random", {3, 32, 32});
+    for (int i = 0; i < 10; ++i)
+        net.add(random_layer(rng));
+
+    ExecutionModel model(CacheGeometry{}, TechParams{}, ExecConfig{});
+    const RunResult r = model.run(net);
+    double sum = 0.0;
+    for (const LayerResult &l : r.layers)
+        sum += l.time.total();
+    EXPECT_NEAR(r.secondsPerInference(), sum, sum * 1e-12);
+}
+
+TEST(ExecProperties, FourBitNeverSlowerThanEightBit)
+{
+    bfree::sim::Rng rng(1005);
+    for (int trial = 0; trial < 15; ++trial) {
+        Layer l = random_layer(rng);
+        l.precisionBits = 8;
+        Network n8("n8", l.input);
+        n8.add(l);
+        l.precisionBits = 4;
+        Network n4("n4", l.input);
+        n4.add(l);
+
+        ExecutionModel model(CacheGeometry{}, TechParams{},
+                             ExecConfig{});
+        EXPECT_LE(model.run(n4).secondsPerInference(),
+                  model.run(n8).secondsPerInference() * 1.0001)
+            << l.name;
+    }
+}
+
+TEST(ExecProperties, NonOverlapIsAnUpperBound)
+{
+    bfree::sim::Rng rng(1006);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Layer l = random_layer(rng);
+        Network net("probe", l.input);
+        net.add(l);
+        ExecConfig on;
+        on.batch = 16;
+        ExecConfig off = on;
+        off.systolicOverlap = false;
+        ExecutionModel m_on(CacheGeometry{}, TechParams{}, on);
+        ExecutionModel m_off(CacheGeometry{}, TechParams{}, off);
+        EXPECT_LE(m_on.run(net).secondsPerInference(),
+                  m_off.run(net).secondsPerInference() * 1.0001)
+            << l.name;
+    }
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Mapper: mode selection, tiling, duplication, residency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "map/mapping.hh"
+
+using namespace bfree::map;
+using namespace bfree::dnn;
+using bfree::tech::CacheGeometry;
+
+TEST(Mapper, AvailabilityFollowsSliceCount)
+{
+    CacheGeometry g;
+    MapperOptions one_slice;
+    one_slice.slices = 1;
+    EXPECT_EQ(Mapper(g, one_slice).availableSubarrays(), 320u);
+    EXPECT_EQ(Mapper(g).availableSubarrays(), 4480u);
+}
+
+TEST(Mapper, FcAndAttentionPreferMatmulMode)
+{
+    Mapper mapper((CacheGeometry()));
+    EXPECT_EQ(mapper.map(make_fc("fc", 1024, 1024)).mode,
+              ExecMode::MatmulMode);
+    EXPECT_EQ(mapper.map(make_attention("a", 128, 768, 12)).mode,
+              ExecMode::MatmulMode);
+    EXPECT_EQ(mapper.map(make_lstm_cell("l", 39, 1024)).mode,
+              ExecMode::MatmulMode);
+}
+
+TEST(Mapper, SmallConvGetsMatmulMode)
+{
+    // A small conv's unrolled input easily fits: matrix formulation.
+    Mapper mapper((CacheGeometry()));
+    const Layer l = make_conv("c", {64, 28, 28}, 64, 3, 1, 1);
+    EXPECT_EQ(mapper.map(l).mode, ExecMode::MatmulMode);
+}
+
+TEST(Mapper, HugeUnrolledConvFallsBackToConvMode)
+{
+    // Shrink the fabric to a single slice so the unrolled input of a
+    // large early conv no longer fits.
+    CacheGeometry g;
+    MapperOptions opts;
+    opts.slices = 1;
+    Mapper mapper(g, opts);
+    const Layer l = make_conv("c", {64, 299, 299}, 96, 3, 1, 1);
+    EXPECT_EQ(mapper.map(l).mode, ExecMode::ConvMode);
+}
+
+TEST(Mapper, ForcedModeOverrides)
+{
+    CacheGeometry g;
+    MapperOptions opts;
+    opts.forcedMode = ExecMode::ConvMode;
+    Mapper mapper(g, opts);
+    EXPECT_EQ(mapper.map(make_fc("fc", 256, 256)).mode,
+              ExecMode::ConvMode);
+}
+
+TEST(Mapper, ActiveSubarraysBounded)
+{
+    Mapper mapper((CacheGeometry()));
+    const Network vgg = make_vgg16();
+    for (const Layer &l : vgg.layers()) {
+        const LayerMapping m = mapper.map(l);
+        EXPECT_LE(m.activeSubarrays, mapper.availableSubarrays())
+            << l.name;
+        if (l.isComputeLayer()) {
+            EXPECT_GE(m.weightTiles, 1u);
+            EXPECT_GE(m.duplication, 1u);
+            EXPECT_EQ(m.activeSubarrays,
+                      m.weightTiles * m.duplication);
+        }
+    }
+}
+
+TEST(Mapper, SmallLayersGetDuplicated)
+{
+    Mapper mapper((CacheGeometry()));
+    // A small conv fits in one sub-array; duplication should kick in.
+    const Layer l = make_conv("c", {8, 28, 28}, 8, 3, 1, 1);
+    const LayerMapping m = mapper.map(l);
+    EXPECT_GT(m.duplication, 1u);
+}
+
+TEST(Mapper, RecurrentCellIsNotDuplicated)
+{
+    Mapper mapper((CacheGeometry()));
+    // The LSTM recurrence is sequential: no useful duplication.
+    const LayerMapping m = mapper.map(make_lstm_cell("l", 39, 1024));
+    EXPECT_EQ(m.duplication, 1u);
+}
+
+TEST(Mapper, BigLayersUseManyTiles)
+{
+    Mapper mapper((CacheGeometry()));
+    const LayerMapping m = mapper.map(make_fc("fc6", 25088, 4096));
+    // ~103 MB of weights: every sub-array participates.
+    EXPECT_EQ(m.activeSubarrays, mapper.availableSubarrays());
+}
+
+TEST(Mapper, ResidencyMatchesThePaper)
+{
+    Mapper mapper((CacheGeometry()));
+    // "The whole LSTM model fits within the SRAM cache" (Section V-D);
+    // VGG-16 (138 MB) and BERT-base (~87 MB) stream per layer.
+    EXPECT_TRUE(mapper.weightsResident(make_lstm()));
+    EXPECT_FALSE(mapper.weightsResident(make_vgg16()));
+    EXPECT_FALSE(mapper.weightsResident(make_bert_base()));
+}
+
+TEST(Mapper, SpecialLayersUseWholeFabric)
+{
+    Mapper mapper((CacheGeometry()));
+    const LayerMapping m =
+        mapper.map(make_activation("r", LayerKind::Relu, {64, 56, 56}));
+    EXPECT_EQ(m.mode, ExecMode::SpecialMode);
+    EXPECT_EQ(m.activeSubarrays, mapper.availableSubarrays());
+}
+
+TEST(MapperDeath, BadSliceCount)
+{
+    CacheGeometry g;
+    MapperOptions opts;
+    opts.slices = 15;
+    EXPECT_DEATH(Mapper(g, opts), "slice count");
+}
+
+TEST(ExecModeNames, Stable)
+{
+    EXPECT_STREQ(exec_mode_name(ExecMode::ConvMode), "conv");
+    EXPECT_STREQ(exec_mode_name(ExecMode::MatmulMode), "matmul");
+    EXPECT_STREQ(exec_mode_name(ExecMode::SpecialMode), "special");
+}

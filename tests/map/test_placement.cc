@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Weight placement invariants and the functional load/read round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "dnn/model_zoo.hh"
+#include "map/placement.hh"
+#include "sim/random.hh"
+
+using namespace bfree::map;
+using namespace bfree::dnn;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+LayerMapping
+map_layer(const Layer &layer, unsigned slices = 14)
+{
+    CacheGeometry g;
+    MapperOptions opts;
+    opts.slices = slices;
+    return Mapper(g, opts).map(layer);
+}
+
+} // namespace
+
+TEST(Placement, EveryReplicaIsFullyCovered)
+{
+    const CacheGeometry geom;
+    const Network vgg = make_vgg16();
+    for (const Layer &l : vgg.layers()) {
+        if (!l.isComputeLayer())
+            continue;
+        const LayerMapping m = map_layer(l);
+        const WeightPlacement p = place_weights(m, geom);
+        for (unsigned r = 0; r < p.replicas; ++r) {
+            std::uint64_t covered = 0;
+            std::uint64_t expected_offset = 0;
+            for (const TileExtent &e : p.replicaExtents(r)) {
+                EXPECT_EQ(e.weightOffset, expected_offset) << l.name;
+                expected_offset += e.byteCount;
+                covered += e.byteCount;
+            }
+            EXPECT_EQ(covered, p.weightBytes) << l.name << " r" << r;
+        }
+    }
+}
+
+TEST(Placement, NoTwoReplicasShareASubarray)
+{
+    const CacheGeometry geom;
+    const Layer l = make_conv("c", {8, 28, 28}, 8, 3, 1, 1);
+    const LayerMapping m = map_layer(l);
+    ASSERT_GT(m.duplication, 1u);
+    const WeightPlacement p = place_weights(m, geom);
+
+    std::set<std::pair<unsigned, unsigned>> used;
+    for (const TileExtent &e : p.extents) {
+        EXPECT_TRUE(used.insert({e.subarray, e.pass}).second)
+            << "sub-array " << e.subarray << " reused within a pass";
+    }
+    EXPECT_EQ(p.passes(), 1u); // a small conv is fully resident
+}
+
+TEST(Placement, OversizeLayersStreamInPasses)
+{
+    // VGG-16's fc6 holds ~103 MB of weights: more than the whole
+    // cache, so the placement must fold into multiple passes.
+    const CacheGeometry geom;
+    const Layer fc = make_fc("fc6", 25088, 4096);
+    const WeightPlacement p = place_weights(map_layer(fc), geom);
+    EXPECT_GT(p.passes(), 1u);
+
+    // Coverage still holds across passes.
+    std::uint64_t covered = 0;
+    for (const TileExtent &e : p.replicaExtents(0))
+        covered += e.byteCount;
+    EXPECT_EQ(covered, p.weightBytes);
+}
+
+TEST(Placement, ExtentsStayInsideTheUsableRegion)
+{
+    const CacheGeometry geom;
+    const Layer fc = make_fc("fc6", 25088, 4096);
+    const WeightPlacement p = place_weights(map_layer(fc), geom);
+    for (const TileExtent &e : p.extents) {
+        EXPECT_GE(e.byteOffset, 64u); // CB region reserved
+        EXPECT_LE(e.byteOffset + e.byteCount, geom.subarrayBytes());
+    }
+}
+
+TEST(Placement, LoadReadRoundTripsThroughTheCache)
+{
+    CacheGeometry geom;
+    geom.numSlices = 1; // keep the test cache small
+    TechParams tech;
+    bfree::mem::SramCache cache(geom, tech);
+
+    MapperOptions opts;
+    opts.slices = 1;
+    const Layer l = make_conv("c", {4, 10, 10}, 4, 3, 1, 1);
+    const LayerMapping m = Mapper(geom, opts).map(l);
+    const WeightPlacement p = place_weights(m, geom);
+
+    bfree::sim::Rng rng(9);
+    std::vector<std::uint8_t> weights(p.weightBytes);
+    for (auto &b : weights)
+        b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+
+    load_weights(cache, p, weights);
+    for (unsigned r = 0; r < std::min(3u, p.replicas); ++r)
+        EXPECT_EQ(read_weights(cache, p, r), weights) << "replica " << r;
+}
+
+TEST(Placement, EmptyForSpecialLayers)
+{
+    const CacheGeometry geom;
+    const Layer relu =
+        make_activation("r", LayerKind::Relu, {8, 8, 8});
+    const WeightPlacement p = place_weights(map_layer(relu), geom);
+    EXPECT_TRUE(p.extents.empty());
+    EXPECT_EQ(p.weightBytes, 0u);
+}
+
+TEST(Placement, FourBitWeightsUseHalfTheExtentBytes)
+{
+    const CacheGeometry geom;
+    Layer fc = make_fc("fc", 1024, 1024);
+    fc.fcRows = 64;
+    const std::uint64_t bytes8 =
+        place_weights(map_layer(fc), geom).weightBytes;
+    fc.precisionBits = 4;
+    const std::uint64_t bytes4 =
+        place_weights(map_layer(fc), geom).weightBytes;
+    EXPECT_EQ(bytes4 * 2, bytes8);
+}

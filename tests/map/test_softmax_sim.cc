@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Distributed softmax: accuracy against the exact softmax, chain
+ * parallelism in the cycle model, and the Section IV-B2 claim that
+ * more sub-arrays means more softmax parallelism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "map/softmax_sim.hh"
+#include "sim/random.hh"
+
+using namespace bfree::map;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+std::vector<double>
+exact_softmax(const std::vector<double> &logits)
+{
+    const double max_v =
+        *std::max_element(logits.begin(), logits.end());
+    std::vector<double> out(logits.size());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < logits.size(); ++i) {
+        out[i] = std::exp(logits[i] - max_v);
+        denom += out[i];
+    }
+    for (double &v : out)
+        v /= denom;
+    return out;
+}
+
+} // namespace
+
+TEST(DistributedSoftmax, MatchesExactSoftmax)
+{
+    DistributedSoftmax sm(CacheGeometry{}, TechParams{}, 8);
+    bfree::sim::Rng rng(606);
+    std::vector<double> logits(64);
+    for (double &v : logits)
+        v = rng.uniformReal(-4.0, 4.0);
+
+    const SoftmaxRunResult r = sm.run(logits);
+    const std::vector<double> expected = exact_softmax(logits);
+    ASSERT_EQ(r.probabilities.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_NEAR(r.probabilities[i], expected[i], 0.01) << i;
+}
+
+TEST(DistributedSoftmax, SumsToOne)
+{
+    DistributedSoftmax sm(CacheGeometry{}, TechParams{}, 4);
+    bfree::sim::Rng rng(607);
+    std::vector<double> logits(100);
+    for (double &v : logits)
+        v = rng.uniformReal(-3.0, 3.0);
+    const SoftmaxRunResult r = sm.run(logits);
+    const double sum = std::accumulate(r.probabilities.begin(),
+                                       r.probabilities.end(), 0.0);
+    EXPECT_NEAR(sum, 1.0, 0.03);
+}
+
+TEST(DistributedSoftmax, ResultIndependentOfChainLength)
+{
+    // The distribution of elements over sub-arrays must not change the
+    // math, only the timing.
+    bfree::sim::Rng rng(608);
+    std::vector<double> logits(48);
+    for (double &v : logits)
+        v = rng.uniformReal(-2.0, 2.0);
+
+    const SoftmaxRunResult one =
+        DistributedSoftmax(CacheGeometry{}, TechParams{}, 1)
+            .run(logits);
+    const SoftmaxRunResult eight =
+        DistributedSoftmax(CacheGeometry{}, TechParams{}, 8)
+            .run(logits);
+    ASSERT_EQ(one.probabilities.size(), eight.probabilities.size());
+    for (std::size_t i = 0; i < logits.size(); ++i)
+        EXPECT_NEAR(one.probabilities[i], eight.probabilities[i],
+                    1e-12);
+    EXPECT_NEAR(one.denominator, eight.denominator, 1e-12);
+}
+
+TEST(DistributedSoftmax, MoreNodesFewerCycles)
+{
+    // "This denominator is redistributed to all the sub-arrays
+    // (increased parallelism)".
+    const std::size_t len = 1024;
+    std::uint64_t prev = ~0ull;
+    for (unsigned nodes : {1u, 2u, 4u, 8u}) {
+        const std::uint64_t cycles =
+            softmax_chain_cycles(nodes, len, 1);
+        EXPECT_LT(cycles, prev) << nodes;
+        prev = cycles;
+    }
+}
+
+TEST(DistributedSoftmax, CycleFormula)
+{
+    // 8 nodes, 64 elements: 8 per node -> 2*8 exp + 7 + 7 + 4*8 = 62.
+    EXPECT_EQ(softmax_chain_cycles(8, 64, 1), 62u);
+    // Single node: no hops.
+    EXPECT_EQ(softmax_chain_cycles(1, 10, 1), 6u * 10u);
+    EXPECT_EQ(softmax_chain_cycles(4, 0, 1), 0u);
+}
+
+TEST(DistributedSoftmax, RunReportsTheFormulaCycles)
+{
+    DistributedSoftmax sm(CacheGeometry{}, TechParams{}, 8);
+    std::vector<double> logits(64, 0.5);
+    const SoftmaxRunResult r = sm.run(logits);
+    EXPECT_EQ(r.cycles, softmax_chain_cycles(8, 64, 1));
+}
+
+TEST(DistributedSoftmax, PreservesArgmaxOnAttentionScores)
+{
+    // The operation it serves in BERT: a row of attention scores.
+    DistributedSoftmax sm(CacheGeometry{}, TechParams{}, 8);
+    bfree::sim::Rng rng(609);
+    std::vector<double> scores(128);
+    for (double &v : scores)
+        v = rng.uniformReal(-1.0, 1.0);
+    scores[37] = 3.5; // clear winner
+
+    const SoftmaxRunResult r = sm.run(scores);
+    const auto argmax =
+        std::max_element(r.probabilities.begin(),
+                         r.probabilities.end())
+        - r.probabilities.begin();
+    EXPECT_EQ(argmax, 37);
+}
+
+TEST(DistributedSoftmaxDeath, BadChainLength)
+{
+    EXPECT_DEATH(
+        DistributedSoftmax(CacheGeometry{}, TechParams{}, 0),
+        "chain length");
+    EXPECT_DEATH(
+        DistributedSoftmax(CacheGeometry{}, TechParams{}, 9),
+        "chain length");
+}

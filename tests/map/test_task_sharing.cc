@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Task sharing (the paper's future-work extension): compute isolation
+ * on disjoint slices, contention only on the shared channel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dnn/model_zoo.hh"
+#include "map/task_sharing.hh"
+
+using namespace bfree::map;
+using namespace bfree::dnn;
+using bfree::tech::CacheGeometry;
+using bfree::tech::MainMemoryKind;
+using bfree::tech::TechParams;
+
+namespace {
+
+SharedRunResult
+share(const Network &a, const Network &b, unsigned slices_a,
+      ExecConfig cfg = {})
+{
+    return run_shared(CacheGeometry{}, TechParams{}, a, b, slices_a,
+                      cfg);
+}
+
+} // namespace
+
+TEST(TaskSharing, SlowdownIsAtLeastOne)
+{
+    for (unsigned split : {2u, 7u, 12u}) {
+        const SharedRunResult r =
+            share(make_inception_v3(), make_bert_base(), split);
+        EXPECT_GE(r.a.slowdown(), 1.0 - 1e-12) << split;
+        EXPECT_GE(r.b.slowdown(), 1.0 - 1e-12) << split;
+        EXPECT_GE(r.channelPressure, 1.0) << split;
+    }
+}
+
+TEST(TaskSharing, CacheResidentTenantBarelyInterferes)
+{
+    // The LSTM runs out of cache. In steady state (its 4.3 MB of
+    // weights amortized over a stream of sequences — batch 16 here)
+    // its channel demand is a few percent, so the CNN sharing the
+    // fabric with it is almost unaffected.
+    ExecConfig cfg;
+    cfg.batch = 16;
+    const SharedRunResult r =
+        share(make_inception_v3(), make_lstm(), 7, cfg);
+    EXPECT_LT(r.b.channelDemand, 0.08);
+    EXPECT_LT(r.a.slowdown(), 1.30);
+    EXPECT_LT(r.b.slowdown(), 1.30);
+}
+
+TEST(TaskSharing, TwoStreamingCnnsContend)
+{
+    // Two weight-streaming CNNs on DRAM oversubscribe the channel.
+    const SharedRunResult r = share(make_vgg16(), make_vgg16(), 7);
+    EXPECT_GT(r.channelPressure, 1.2);
+    EXPECT_GT(r.a.slowdown(), 1.1);
+    EXPECT_GT(r.b.slowdown(), 1.1);
+}
+
+TEST(TaskSharing, FasterChannelRelievesContention)
+{
+    ExecConfig dram;
+    dram.memory = MainMemoryKind::DRAM;
+    ExecConfig hbm;
+    hbm.memory = MainMemoryKind::HBM;
+    const SharedRunResult slow =
+        share(make_vgg16(), make_vgg16(), 7, dram);
+    const SharedRunResult fast =
+        share(make_vgg16(), make_vgg16(), 7, hbm);
+    EXPECT_LT(fast.channelPressure, slow.channelPressure);
+}
+
+TEST(TaskSharing, MoreSlicesHelpTheTenantThatGetsThem)
+{
+    const SharedRunResult narrow =
+        share(make_bert_base(), make_lstm(), 2);
+    const SharedRunResult wide =
+        share(make_bert_base(), make_lstm(), 12);
+    EXPECT_LE(wide.a.sharedSeconds, narrow.a.sharedSeconds * 1.0001);
+}
+
+TEST(TaskSharing, CombinedThroughputIsSumOfTenants)
+{
+    const SharedRunResult r =
+        share(make_inception_v3(), make_bert_base(), 7);
+    EXPECT_NEAR(r.combinedThroughput(),
+                r.a.throughput() + r.b.throughput(), 1e-12);
+    EXPECT_GT(r.combinedThroughput(), 0.0);
+}
+
+TEST(TaskSharingDeath, RejectsDegenerateSplits)
+{
+    EXPECT_DEATH(share(make_lstm(), make_lstm(), 0), "at least one");
+    EXPECT_DEATH(share(make_lstm(), make_lstm(), 14), "at least one");
+}

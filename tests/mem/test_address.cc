@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Address mapping: decode/encode bijection across the hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mem/address.hh"
+
+using namespace bfree::mem;
+using bfree::tech::CacheGeometry;
+
+TEST(AddressMap, CapacityMatchesGeometry)
+{
+    AddressMap amap((CacheGeometry()));
+    EXPECT_EQ(amap.capacity(), 35ull * 1024 * 1024);
+}
+
+TEST(AddressMap, AddressZeroIsOrigin)
+{
+    AddressMap amap((CacheGeometry()));
+    const Location loc = amap.decode(0);
+    EXPECT_EQ(loc, (Location{0, 0, 0, 0, 0, 0, 0}));
+}
+
+TEST(AddressMap, RoundTripSweep)
+{
+    AddressMap amap((CacheGeometry()));
+    // Prime-strided sweep across the full capacity.
+    for (std::uint64_t addr = 0; addr < amap.capacity();
+         addr += 104729) {
+        const Location loc = amap.decode(addr);
+        EXPECT_EQ(amap.encode(loc), addr) << addr;
+    }
+}
+
+TEST(AddressMap, LastByteDecodes)
+{
+    AddressMap amap((CacheGeometry()));
+    const std::uint64_t last = amap.capacity() - 1;
+    const Location loc = amap.decode(last);
+    EXPECT_EQ(loc.slice, 13u);
+    EXPECT_EQ(loc.bank, 3u);
+    EXPECT_EQ(loc.subBank, 9u);
+    EXPECT_EQ(loc.subarray, 7u);
+    EXPECT_EQ(loc.partition, 3u);
+    EXPECT_EQ(loc.row, 255u);
+    EXPECT_EQ(loc.byte, 7u);
+    EXPECT_EQ(amap.encode(loc), last);
+}
+
+TEST(AddressMap, FieldsStayInRange)
+{
+    CacheGeometry g;
+    AddressMap amap(g);
+    for (std::uint64_t addr = 0; addr < amap.capacity();
+         addr += 999331) {
+        const Location loc = amap.decode(addr);
+        EXPECT_LT(loc.slice, g.numSlices);
+        EXPECT_LT(loc.bank, g.banksPerSlice);
+        EXPECT_LT(loc.subBank, g.subBanksPerBank);
+        EXPECT_LT(loc.subarray, g.subarraysPerSubBank);
+        EXPECT_LT(loc.partition, g.partitionsPerSubarray);
+        EXPECT_LT(loc.row, g.rowsPerPartition);
+        EXPECT_LT(loc.byte, g.rowBytes());
+    }
+}
+
+TEST(AddressMap, SubarrayIndexCoversAllSubarrays)
+{
+    CacheGeometry g;
+    AddressMap amap(g);
+    const std::uint64_t subarray_stride = g.subarrayBytes();
+    unsigned max_index = 0;
+    for (std::uint64_t addr = 0; addr < amap.capacity();
+         addr += subarray_stride) {
+        const unsigned index = amap.subarrayIndex(amap.decode(addr));
+        EXPECT_LT(index, g.totalSubarrays());
+        max_index = std::max(max_index, index);
+    }
+    EXPECT_EQ(max_index, g.totalSubarrays() - 1);
+}
+
+TEST(AddressMap, ConsecutiveBytesShareRowUntilBoundary)
+{
+    AddressMap amap((CacheGeometry()));
+    const Location a = amap.decode(0);
+    const Location b = amap.decode(7);
+    const Location c = amap.decode(8);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(c.row, a.row + 1);
+}
+
+TEST(AddressMapDeath, OutOfRangePanics)
+{
+    AddressMap amap((CacheGeometry()));
+    EXPECT_DEATH((void)amap.decode(amap.capacity()), "exceeds");
+}

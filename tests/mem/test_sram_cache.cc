@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Whole-cache functional model: cross-sub-array access, LUT broadcast,
+ * interconnect energy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mem/sram_cache.hh"
+
+using namespace bfree::mem;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+/** A small geometry keeps the test cache allocation cheap. */
+CacheGeometry
+small_geometry()
+{
+    CacheGeometry g;
+    g.numSlices = 2;
+    g.banksPerSlice = 2;
+    g.subBanksPerBank = 2;
+    g.subarraysPerSubBank = 4;
+    return g;
+}
+
+} // namespace
+
+TEST(SramCache, SubarrayCountMatchesGeometry)
+{
+    SramCache cache(small_geometry(), TechParams{});
+    EXPECT_EQ(cache.numSubarrays(), 2u * 2 * 2 * 4);
+}
+
+TEST(SramCache, ReadBackAcrossSubarrayBoundaries)
+{
+    const CacheGeometry g = small_geometry();
+    SramCache cache(g, TechParams{});
+
+    // Write a pattern spanning two sub-arrays.
+    const std::uint64_t boundary = g.subarrayBytes();
+    std::vector<std::uint8_t> data(64);
+    std::iota(data.begin(), data.end(), 1);
+    cache.write(boundary - 32, data.data(), data.size());
+
+    std::vector<std::uint8_t> out(64);
+    cache.read(boundary - 32, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(SramCache, WriteLandsInDecodedSubarray)
+{
+    const CacheGeometry g = small_geometry();
+    SramCache cache(g, TechParams{});
+    const std::uint8_t v = 0x5A;
+    cache.write(0, &v, 1);
+    EXPECT_EQ(cache.subarray(0).peek(0), 0x5A);
+
+    const std::uint64_t second = g.subarrayBytes();
+    cache.write(second, &v, 1);
+    EXPECT_EQ(cache.subarray(1).peek(0), 0x5A);
+}
+
+TEST(SramCache, AccessChargesSubarrayAndInterconnect)
+{
+    SramCache cache(small_geometry(), TechParams{});
+    const std::uint8_t v = 1;
+    cache.write(0, &v, 1);
+    EXPECT_GT(cache.energy().joules(EnergyCategory::SubarrayAccess),
+              0.0);
+    EXPECT_GT(cache.energy().joules(EnergyCategory::Interconnect), 0.0);
+}
+
+TEST(SramCache, InterconnectDominatesAccessEnergy)
+{
+    // The Fig. 2 motivation reproduced on the functional model: a
+    // cache-mode access pays far more in the H-tree than the array.
+    SramCache cache(CacheGeometry{}, TechParams{});
+    std::vector<std::uint8_t> row(8, 1);
+    cache.write(0, row.data(), row.size());
+    EXPECT_GT(cache.energy().joules(EnergyCategory::Interconnect),
+              5.0 * cache.energy().joules(
+                        EnergyCategory::SubarrayAccess));
+}
+
+TEST(SramCache, BroadcastLutReachesEverySubarray)
+{
+    SramCache cache(small_geometry(), TechParams{});
+    std::vector<std::uint8_t> image(49);
+    std::iota(image.begin(), image.end(), 1);
+    cache.broadcastLut(image);
+    for (unsigned i = 0; i < cache.numSubarrays(); ++i)
+        EXPECT_EQ(cache.subarray(i).lutRead(10), image[10]);
+}
+
+TEST(SramCache, AggregateStatsSumAcrossSubarrays)
+{
+    const CacheGeometry g = small_geometry();
+    SramCache cache(g, TechParams{});
+    const std::uint8_t v = 1;
+    cache.write(0, &v, 1);
+    cache.write(g.subarrayBytes(), &v, 1);
+    const SubarrayStats stats = cache.aggregateStats();
+    EXPECT_EQ(stats.writes, 2u);
+}
+
+TEST(SramCache, CacheAccessLatencyIsSliceScale)
+{
+    SramCache cache(CacheGeometry{}, TechParams{});
+    EXPECT_GT(cache.cacheAccessLatencyNs(), 5.0);
+    EXPECT_LT(cache.cacheAccessLatencyNs(), 20.0);
+}
+
+TEST(SramCacheDeath, BadSubarrayIndexPanics)
+{
+    SramCache cache(small_geometry(), TechParams{});
+    EXPECT_DEATH((void)cache.subarray(cache.numSubarrays()),
+                 "out of range");
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Sub-array model: functional storage, access counting, and the
+ * decoupled-bitline LUT cost advantage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mem/subarray.hh"
+
+using namespace bfree::mem;
+using bfree::tech::CacheGeometry;
+using bfree::tech::TechParams;
+
+namespace {
+
+struct Fixture
+{
+    CacheGeometry geom;
+    TechParams tech;
+    EnergyAccount energy;
+    Subarray sa{geom, tech, energy};
+};
+
+} // namespace
+
+TEST(Subarray, CapacityIs8KBWith64ByteLut)
+{
+    Fixture f;
+    EXPECT_EQ(f.sa.capacity(), 8192u);
+    EXPECT_EQ(f.sa.lutCapacity(), 64u);
+}
+
+TEST(Subarray, ReadBackWhatWasWritten)
+{
+    Fixture f;
+    std::vector<std::uint8_t> data(100);
+    std::iota(data.begin(), data.end(), 0);
+    f.sa.write(40, data.data(), data.size());
+
+    std::vector<std::uint8_t> out(100);
+    f.sa.read(40, out.data(), out.size());
+    EXPECT_EQ(out, data);
+}
+
+TEST(Subarray, PeekDoesNotCharge)
+{
+    Fixture f;
+    const std::uint8_t v = 42;
+    f.sa.write(0, &v, 1);
+    const double before = f.energy.total();
+    EXPECT_EQ(f.sa.peek(0), 42);
+    EXPECT_DOUBLE_EQ(f.energy.total(), before);
+}
+
+TEST(Subarray, AccessCountsPerRowSlice)
+{
+    Fixture f;
+    std::vector<std::uint8_t> data(16, 7);
+    f.sa.write(0, data.data(), 16); // two 8-byte rows
+    EXPECT_EQ(f.sa.stats().writes, 2u);
+
+    std::uint8_t one;
+    f.sa.read(3, &one, 1); // single row touch
+    EXPECT_EQ(f.sa.stats().reads, 1u);
+
+    // Crossing a row boundary with 2 bytes costs 2 accesses.
+    std::uint8_t two[2];
+    f.sa.read(7, two, 2);
+    EXPECT_EQ(f.sa.stats().reads, 3u);
+}
+
+TEST(Subarray, FullAccessEnergyMatchesTechParams)
+{
+    Fixture f;
+    std::uint8_t v = 1;
+    f.sa.write(0, &v, 1);
+    EXPECT_NEAR(f.energy.joules(EnergyCategory::SubarrayAccess),
+                f.tech.subarrayAccessPj * 1e-12, 1e-18);
+}
+
+TEST(Subarray, LutReadIs231xCheaper)
+{
+    Fixture f;
+    std::vector<std::uint8_t> image(49, 9);
+    f.sa.loadLut(image);
+    const double after_load =
+        f.energy.joules(EnergyCategory::SubarrayAccess);
+    EXPECT_GT(after_load, 0.0); // loading pays full cost
+
+    (void)f.sa.lutRead(0);
+    const double lut_j = f.energy.joules(EnergyCategory::LutAccess);
+    EXPECT_NEAR(lut_j, f.tech.subarrayAccessPj / 231.0 * 1e-12, 1e-20);
+}
+
+TEST(Subarray, LutReadLatencyIsThreeTimesFaster)
+{
+    Fixture f;
+    EXPECT_NEAR(f.sa.accessLatencyNs() / f.sa.lutLatencyNs(), 3.0, 1e-9);
+}
+
+TEST(Subarray, LutContentsReadable)
+{
+    Fixture f;
+    std::vector<std::uint8_t> image(64);
+    std::iota(image.begin(), image.end(), 100);
+    f.sa.loadLut(image);
+    for (unsigned i = 0; i < 64; ++i)
+        EXPECT_EQ(f.sa.lutRead(i), 100 + i);
+    EXPECT_EQ(f.sa.stats().lutReads, 64u);
+}
+
+TEST(Subarray, CacheModeDisablesTheDecoupledBitline)
+{
+    // lut_en = 0 (Fig. 4(b)): the LUT rows read like ordinary data
+    // rows — same latency, full bitline energy — so conventional cache
+    // behaviour is preserved.
+    Fixture f;
+    std::vector<std::uint8_t> image(16, 5);
+    f.sa.loadLut(image);
+
+    EXPECT_TRUE(f.sa.pimModeEnabled());
+    const double pim_latency = f.sa.lutLatencyNs();
+
+    f.sa.setPimMode(false);
+    EXPECT_FALSE(f.sa.pimModeEnabled());
+    EXPECT_DOUBLE_EQ(f.sa.lutLatencyNs(), f.sa.accessLatencyNs());
+    EXPECT_NEAR(f.sa.accessLatencyNs() / pim_latency, 3.0, 1e-9);
+
+    const double sa_before =
+        f.energy.joules(EnergyCategory::SubarrayAccess);
+    const double lut_before =
+        f.energy.joules(EnergyCategory::LutAccess);
+    EXPECT_EQ(f.sa.lutRead(3), 5);
+    // Cache-mode read charged the full bitline, not the LUT path.
+    EXPECT_GT(f.energy.joules(EnergyCategory::SubarrayAccess),
+              sa_before);
+    EXPECT_DOUBLE_EQ(f.energy.joules(EnergyCategory::LutAccess),
+                     lut_before);
+
+    // Re-enabling PIM mode restores the cheap path.
+    f.sa.setPimMode(true);
+    (void)f.sa.lutRead(3);
+    EXPECT_GT(f.energy.joules(EnergyCategory::LutAccess), lut_before);
+}
+
+TEST(Subarray, ScratchRowsStoreIntermediates)
+{
+    Fixture f;
+    std::vector<std::uint8_t> image(8, 0);
+    f.sa.loadLut(image);
+    f.sa.scratchWrite(3, 0xAB);
+    EXPECT_EQ(f.sa.scratchRead(3), 0xAB);
+}
+
+TEST(SubarrayDeath, OversizeLutImageRejected)
+{
+    Fixture f;
+    std::vector<std::uint8_t> image(65, 0);
+    EXPECT_DEATH(f.sa.loadLut(image), "does not fit");
+}
+
+TEST(SubarrayDeath, OutOfBoundsAccessPanics)
+{
+    Fixture f;
+    std::uint8_t v;
+    EXPECT_DEATH(f.sa.read(8190, &v, 4), "exceeds capacity");
+    EXPECT_DEATH((void)f.sa.lutRead(64), "exceeds");
+}

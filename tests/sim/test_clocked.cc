@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Clock domains and clocked scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clocked.hh"
+
+using namespace bfree::sim;
+
+TEST(Cycles, ArithmeticAndComparison)
+{
+    Cycles a(10);
+    Cycles b(3);
+    EXPECT_EQ((a + b).value(), 13u);
+    EXPECT_EQ((a - b).value(), 7u);
+    EXPECT_EQ((b * 4).value(), 12u);
+    EXPECT_LT(b, a);
+    a += Cycles(5);
+    EXPECT_EQ(a.value(), 15u);
+}
+
+TEST(ClockDomain, PeriodMatchesFrequency)
+{
+    ClockDomain ghz(1e9);
+    EXPECT_EQ(ghz.period(), 1000u); // 1 ns = 1000 ps
+    ClockDomain subarray(1.5e9);
+    EXPECT_EQ(subarray.period(), 666u);
+}
+
+TEST(ClockDomain, CycleTickConversionsRoundTrip)
+{
+    ClockDomain d(2e9); // 500 ps period
+    EXPECT_EQ(d.cyclesToTicks(Cycles(4)), 2000u);
+    EXPECT_EQ(d.ticksToCycles(2000).value(), 4u);
+    EXPECT_EQ(d.ticksToCycles(2499).value(), 4u); // floor
+}
+
+TEST(TickHelpers, SecondConversions)
+{
+    EXPECT_EQ(seconds_to_ticks(1e-9), 1000u);
+    EXPECT_DOUBLE_EQ(ticks_to_seconds(1000), 1e-9);
+    EXPECT_EQ(frequency_to_period(1.5e9), 666u);
+}
+
+TEST(ClockedObject, ClockEdgeAlignsForward)
+{
+    EventQueue q;
+    ClockDomain d(1e9); // 1000 ps
+    ClockedObject obj(q, "obj", d);
+
+    // At tick 0 the next edge with no delay is tick 0 itself.
+    EXPECT_EQ(obj.clockEdge(), 0u);
+    EXPECT_EQ(obj.clockEdge(Cycles(2)), 2000u);
+}
+
+TEST(ClockedObject, ScheduleClockedFiresOnEdge)
+{
+    EventQueue q;
+    ClockDomain d(1e9);
+    ClockedObject obj(q, "obj", d);
+    bool fired = false;
+    EventFunctionWrapper ev([&] { fired = true; }, "edge event");
+    obj.scheduleClocked(ev, Cycles(3));
+    q.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(q.now(), 3000u);
+}
+
+TEST(ClockedObject, MisalignedNowRoundsUp)
+{
+    EventQueue q;
+    ClockDomain d(1e9);
+    ClockedObject obj(q, "obj", d);
+
+    bool stage2 = false;
+    EventFunctionWrapper inner([&] { stage2 = true; }, "inner");
+    // Fire an event at a non-edge tick, then schedule from there.
+    EventFunctionWrapper outer(
+        [&] { obj.scheduleClocked(inner, Cycles(1)); }, "outer");
+    q.schedule(&outer, 1500);
+    q.run();
+    EXPECT_TRUE(stage2);
+    // Aligned up from 1500 to 2000, plus one cycle.
+    EXPECT_EQ(q.now(), 3000u);
+}
+
+TEST(SimObject, NameAndQueueBinding)
+{
+    EventQueue q;
+    SimObject obj(q, "slice0.bank1");
+    EXPECT_EQ(obj.name(), "slice0.bank1");
+    EXPECT_EQ(&obj.eventq(), &q);
+    EXPECT_EQ(obj.curTick(), 0u);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * EventQueue: ordering, determinism, descheduling and time advance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace bfree::sim;
+
+namespace {
+
+/** Records its firing time and order into shared logs. */
+class RecordingEvent : public Event
+{
+  public:
+    RecordingEvent(std::vector<int> &log, int id,
+                   int priority = Event::default_priority)
+        : Event(priority), log(&log), id(id)
+    {}
+
+    void process() override { log->push_back(id); }
+
+  private:
+    std::vector<int> *log;
+    int id;
+};
+
+} // namespace
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_EQ(q.processed(), 0u);
+}
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    RecordingEvent c(log, 3);
+    q.schedule(&b, 200);
+    q.schedule(&a, 100);
+    q.schedule(&c, 300);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 300u);
+    EXPECT_EQ(q.processed(), 3u);
+}
+
+TEST(EventQueue, SameTickFiresInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    RecordingEvent c(log, 3);
+    q.schedule(&c, 50);
+    q.schedule(&a, 50);
+    q.schedule(&b, 50);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent low(log, 1, 10);
+    RecordingEvent high(log, 2, -10);
+    q.schedule(&low, 50);
+    q.schedule(&high, 50);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, StepProcessesExactlyOne)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(q.now(), 10u);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, RunStopsAtBound)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    q.schedule(&a, 10);
+    q.schedule(&b, 1000);
+    q.run(500);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_FALSE(q.empty());
+    q.run();
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(EventQueue, DescheduledEventDoesNotFire)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+    q.deschedule(&a);
+    EXPECT_FALSE(a.scheduled());
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, RescheduleAfterDeschedule)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    q.schedule(&a, 10);
+    q.deschedule(&a);
+    q.schedule(&a, 30);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, EventCanRescheduleItself)
+{
+    EventQueue q;
+    int fired = 0;
+    EventFunctionWrapper ev(
+        [&] {
+            ++fired;
+            if (fired < 5)
+                q.schedule(&ev, q.now() + 10);
+        },
+        "self rescheduling");
+    q.schedule(&ev, 10);
+    q.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 50u);
+}
+
+TEST(EventQueue, ScheduledFlagTracksLifecycle)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    EXPECT_FALSE(a.scheduled());
+    q.schedule(&a, 10);
+    EXPECT_TRUE(a.scheduled());
+    q.run();
+    EXPECT_FALSE(a.scheduled());
+}
+
+TEST(EventQueue, FunctionWrapperCarriesName)
+{
+    EventFunctionWrapper ev([] {}, "my event");
+    EXPECT_EQ(ev.name(), "my event");
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    q.schedule(&a, 100);
+    q.run();
+    EXPECT_DEATH(q.schedule(&b, 50), "in the past");
+}
+
+TEST(EventQueueDeath, DoubleSchedulePanics)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    q.schedule(&a, 10);
+    EXPECT_DEATH(q.schedule(&a, 20), "already scheduled");
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Logging levels and deterministic random generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace bfree::sim;
+
+TEST(Logging, WarnCountsAccumulate)
+{
+    const std::uint64_t before = warn_count();
+    bfree_warn("model approximation in effect: ", 42);
+    bfree_warn("another warning");
+    EXPECT_EQ(warn_count(), before + 2);
+}
+
+TEST(Logging, InformDoesNotCountAsWarning)
+{
+    const std::uint64_t before = warn_count();
+    bfree_inform("status message");
+    EXPECT_EQ(warn_count(), before);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(bfree_panic("invariant ", 1, " violated"),
+                 "invariant 1 violated");
+}
+
+TEST(LoggingDeath, FatalExitsCleanly)
+{
+    EXPECT_EXIT(bfree_fatal("bad configuration: ", "x"),
+                ::testing::ExitedWithCode(1), "bad configuration: x");
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.uniformInt(-1000, 1000), b.uniformInt(-1000, 1000));
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    bool diverged = false;
+    for (int i = 0; i < 20 && !diverged; ++i)
+        diverged = a.uniformInt(0, 1 << 30) != b.uniformInt(0, 1 << 30);
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformIntStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(-5, 9);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 9);
+    }
+}
+
+TEST(Rng, UniformRealStaysInRange)
+{
+    Rng rng(8);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal(0.25, 0.75);
+        EXPECT_GE(v, 0.25);
+        EXPECT_LT(v, 0.75);
+    }
+}
+
+TEST(Rng, GaussianHasRoughlyTheRequestedMoments)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.gaussian(3.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 3.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.3);
+}

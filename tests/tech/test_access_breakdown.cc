@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fig. 2 (slice access breakdown) and Fig. 4(c) (LUT design space).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/access_breakdown.hh"
+
+using namespace bfree::tech;
+
+namespace {
+
+SliceAccessBreakdown
+breakdown()
+{
+    return slice_access_breakdown(CacheGeometry{}, TechParams{});
+}
+
+} // namespace
+
+TEST(Fig2, InterconnectDominatesLatency)
+{
+    const SliceAccessBreakdown b = breakdown();
+    // Paper: interconnect > 90% of data-access latency.
+    EXPECT_GT(b.latencyFraction(b.interconnect), 0.85);
+}
+
+TEST(Fig2, InterconnectDominatesEnergy)
+{
+    const SliceAccessBreakdown b = breakdown();
+    EXPECT_GT(b.energyFraction(b.interconnect), 0.85);
+}
+
+TEST(Fig2, SubarrayIsSmallShare)
+{
+    const SliceAccessBreakdown b = breakdown();
+    // Paper: sub-array access is ~6% of latency and ~9% of energy.
+    EXPECT_GT(b.latencyFraction(b.subarray), 0.03);
+    EXPECT_LT(b.latencyFraction(b.subarray), 0.12);
+    EXPECT_GT(b.energyFraction(b.subarray), 0.05);
+    EXPECT_LT(b.energyFraction(b.subarray), 0.14);
+}
+
+TEST(Fig2, TotalsAreSumOfComponents)
+{
+    const SliceAccessBreakdown b = breakdown();
+    EXPECT_NEAR(b.totalLatencyNs(),
+                b.interconnect.latencyNs + b.subarray.latencyNs
+                    + b.decodeTiming.latencyNs,
+                1e-12);
+    EXPECT_NEAR(b.totalEnergyPj(),
+                b.interconnect.energyPj + b.subarray.energyPj
+                    + b.decodeTiming.energyPj,
+                1e-12);
+}
+
+TEST(Fig2, SubarrayComponentsMatchTechParams)
+{
+    const TechParams t;
+    const SliceAccessBreakdown b = breakdown();
+    EXPECT_DOUBLE_EQ(b.subarray.energyPj, t.subarrayAccessPj);
+    EXPECT_NEAR(b.subarray.latencyNs, t.subarrayPeriodNs(), 1e-9);
+}
+
+TEST(Fig2, SliceAccessLatencyIsL3Scale)
+{
+    const SliceAccessBreakdown b = breakdown();
+    // A 2.5 MB slice access lands in the 5-20 ns L3 range.
+    EXPECT_GT(b.totalLatencyNs(), 5.0);
+    EXPECT_LT(b.totalLatencyNs(), 20.0);
+}
+
+TEST(Fig4, DecoupledIsThreeTimesFaster)
+{
+    const TechParams t;
+    const LutAccessCost shared =
+        lut_access_cost(LutDesign::SharedBitline, t);
+    const LutAccessCost decoupled =
+        lut_access_cost(LutDesign::DecoupledBitline, t);
+    EXPECT_NEAR(shared.latencyNs / decoupled.latencyNs, 3.0, 1e-6);
+}
+
+TEST(Fig4, DecoupledIs231xMoreEnergyEfficient)
+{
+    const TechParams t;
+    const LutAccessCost shared =
+        lut_access_cost(LutDesign::SharedBitline, t);
+    const LutAccessCost decoupled =
+        lut_access_cost(LutDesign::DecoupledBitline, t);
+    EXPECT_NEAR(shared.energyPj / decoupled.energyPj, 231.0, 0.5);
+}
+
+TEST(Fig4, DecoupledAreaCostIsHalfPercent)
+{
+    const TechParams t;
+    const LutAccessCost decoupled =
+        lut_access_cost(LutDesign::DecoupledBitline, t);
+    EXPECT_DOUBLE_EQ(decoupled.areaFraction, 0.005);
+}
+
+TEST(Fig4, StandaloneMacroCostsTheMostArea)
+{
+    const TechParams t;
+    const auto space = lut_design_space(t);
+    EXPECT_GT(space[0].areaFraction, space[1].areaFraction);
+    EXPECT_GT(space[0].areaFraction, space[2].areaFraction);
+}
+
+TEST(Fig4, SharedBitlinePaysFullAccessCost)
+{
+    const TechParams t;
+    const LutAccessCost shared =
+        lut_access_cost(LutDesign::SharedBitline, t);
+    EXPECT_DOUBLE_EQ(shared.energyPj, t.subarrayAccessPj);
+    EXPECT_DOUBLE_EQ(shared.areaFraction, 0.0);
+}
+
+TEST(Fig4, DesignSpaceCoversAllThree)
+{
+    const auto space = lut_design_space(TechParams{});
+    EXPECT_EQ(space[0].design, LutDesign::StandaloneMacro);
+    EXPECT_EQ(space[1].design, LutDesign::SharedBitline);
+    EXPECT_EQ(space[2].design, LutDesign::DecoupledBitline);
+    for (const auto &c : space) {
+        EXPECT_GT(c.latencyNs, 0.0);
+        EXPECT_GT(c.energyPj, 0.0);
+        EXPECT_FALSE(c.name.empty());
+    }
+}

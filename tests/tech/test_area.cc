@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Area model: Section V-B accounting (0.5% LUT precharge, 6% BCE per
+ * slice, 5.6% total, 0.1% controllers, iso-area 12x12 Eyeriss).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/area_model.hh"
+
+using namespace bfree::tech;
+
+namespace {
+
+AreaReport
+default_report()
+{
+    return compute_area(CacheGeometry{}, TechParams{});
+}
+
+} // namespace
+
+TEST(AreaModel, SubarrayAreaIsPlausible)
+{
+    const AreaReport r = default_report();
+    // 64 Kb of 0.074 um^2 bit-cells plus periphery: around 0.006 mm^2.
+    EXPECT_GT(r.subarrayMm2, 0.004);
+    EXPECT_LT(r.subarrayMm2, 0.010);
+}
+
+TEST(AreaModel, LutPrechargeIsHalfPercent)
+{
+    const AreaReport r = default_report();
+    EXPECT_DOUBLE_EQ(r.lutPrechargeFraction, 0.005);
+    EXPECT_NEAR(r.lutPrechargeMm2 / r.subarrayMm2, 0.005, 1e-12);
+}
+
+TEST(AreaModel, BceIsSixPercentOfSlice)
+{
+    const AreaReport r = default_report();
+    EXPECT_DOUBLE_EQ(r.bceFractionOfSlice, 0.06);
+    const double bce_total =
+        r.bcePerSubarrayMm2 * CacheGeometry{}.subarraysPerSlice();
+    EXPECT_NEAR(bce_total / r.sliceBaseMm2, 0.06, 1e-9);
+}
+
+TEST(AreaModel, TotalOverheadNearPaper)
+{
+    const AreaReport r = default_report();
+    // Paper: 5.6% overall cache area increase.
+    EXPECT_GT(r.totalOverheadFraction, 0.045);
+    EXPECT_LT(r.totalOverheadFraction, 0.068);
+}
+
+TEST(AreaModel, ControllerShareIsTenthOfPercent)
+{
+    const AreaReport r = default_report();
+    EXPECT_DOUBLE_EQ(r.controllerFraction, 0.001);
+}
+
+TEST(AreaModel, BfreeCacheIsLargerThanBase)
+{
+    const AreaReport r = default_report();
+    EXPECT_GT(r.cacheBfreeMm2, r.cacheBaseMm2);
+    EXPECT_GT(r.sliceBfreeMm2, r.sliceBaseMm2);
+    EXPECT_NEAR(r.cacheBfreeMm2,
+                r.cacheBaseMm2 * (1.0 + r.totalOverheadFraction), 1e-9);
+}
+
+TEST(AreaModel, IsoAreaEyerissIsAbout144Pes)
+{
+    const unsigned pes = iso_area_eyeriss_pes(CacheGeometry{},
+                                              TechParams{});
+    // Paper: 12x12 array at iso-area with the BFree custom logic.
+    EXPECT_GE(pes, 120u);
+    EXPECT_LE(pes, 170u);
+}
+
+TEST(AreaModel, SpecializedMacComparison)
+{
+    const TechParams t;
+    // Paper: BCE is 3% smaller and 48% more energy efficient than an
+    // equivalently configurable specialized MAC unit.
+    EXPECT_NEAR(t.specializedMacAreaVsBce, 1.03, 1e-12);
+    EXPECT_NEAR(t.specializedMacEnergyVsBce, 1.48, 1e-12);
+}
+
+TEST(AreaModel, ScalesLinearlyWithSliceCount)
+{
+    CacheGeometry g;
+    const AreaReport full = compute_area(g, TechParams{});
+    g.numSlices = 7;
+    const AreaReport half = compute_area(g, TechParams{});
+    EXPECT_NEAR(full.cacheBaseMm2, 2.0 * half.cacheBaseMm2, 1e-9);
+    // Per-slice quantities are unchanged.
+    EXPECT_NEAR(full.sliceBaseMm2, half.sliceBaseMm2, 1e-12);
+}

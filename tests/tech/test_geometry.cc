@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cache geometry: the paper's organization numbers must fall out.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tech/geometry.hh"
+
+using bfree::tech::CacheGeometry;
+
+TEST(Geometry, DefaultMatchesThePaper)
+{
+    CacheGeometry g;
+    EXPECT_EQ(g.numSlices, 14u);
+    EXPECT_EQ(g.subarrayBytes(), 8u * 1024u);          // 8 KB sub-array
+    EXPECT_EQ(g.sliceBytes(), 2560u * 1024u);          // 2.5 MB slice
+    EXPECT_EQ(g.totalBytes(), 35ull * 1024 * 1024);    // 35 MB LLC
+    EXPECT_EQ(g.totalSubarrays(), 4480u);              // paper: 4480
+    EXPECT_EQ(g.subarraysPerSlice(), 320u);
+}
+
+TEST(Geometry, SubBankHoldsEightSubarrays)
+{
+    CacheGeometry g;
+    EXPECT_EQ(g.subarraysPerSubBank, 8u); // Fig. 8 chain length
+    EXPECT_EQ(g.banksPerSlice * g.subBanksPerBank * g.subarraysPerSubBank,
+              g.subarraysPerSlice());
+}
+
+TEST(Geometry, PartitionLayout)
+{
+    CacheGeometry g;
+    EXPECT_EQ(g.partitionsPerSubarray, 4u);
+    EXPECT_EQ(g.rowsPerPartition, 256u);
+    EXPECT_EQ(g.cellsPerRow, 64u);
+    EXPECT_EQ(g.rowBytes(), 8u);
+    EXPECT_EQ(g.partitionBytes(), 2048u);
+    EXPECT_EQ(g.partitionBytes() * g.partitionsPerSubarray,
+              g.subarrayBytes());
+}
+
+TEST(Geometry, LutRegionIs64Entries)
+{
+    CacheGeometry g;
+    // Two reserved rows per partition -> 8 rows -> 64 one-byte entries
+    // (Section III-B).
+    EXPECT_EQ(g.lutRowsPerSubarray(), 8u);
+    EXPECT_EQ(g.lutBytesPerSubarray(), 64u);
+}
+
+TEST(Geometry, ScalesWithSliceCount)
+{
+    CacheGeometry g;
+    g.numSlices = 1;
+    EXPECT_EQ(g.totalBytes(), g.sliceBytes());
+    EXPECT_EQ(g.totalSubarrays(), 320u);
+}
+
+TEST(Geometry, CustomRowWidthPropagates)
+{
+    CacheGeometry g;
+    g.cellsPerRow = 128;
+    EXPECT_EQ(g.rowBytes(), 16u);
+    EXPECT_EQ(g.subarrayBytes(), 16u * 1024u);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Main-memory channel models (Fig. 14's DRAM / eDRAM / HBM options).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/energy_account.hh"
+#include "mem/main_memory.hh"
+#include "tech/tech_params.hh"
+
+using namespace bfree::tech;
+using namespace bfree::mem;
+
+TEST(MainMemoryParams, PaperBandwidths)
+{
+    EXPECT_DOUBLE_EQ(main_memory_params(MainMemoryKind::DRAM)
+                         .bandwidthGBps,
+                     20.0);
+    EXPECT_DOUBLE_EQ(main_memory_params(MainMemoryKind::EDRAM)
+                         .bandwidthGBps,
+                     64.0);
+    EXPECT_DOUBLE_EQ(main_memory_params(MainMemoryKind::HBM)
+                         .bandwidthGBps,
+                     100.0);
+}
+
+TEST(MainMemoryParams, StreamTimeIsBytesOverBandwidth)
+{
+    const MainMemoryParams dram =
+        main_memory_params(MainMemoryKind::DRAM);
+    // 20 GB at 20 GB/s = 1 s.
+    EXPECT_NEAR(dram.streamSeconds(20e9), 1.0, 1e-12);
+    // 1 MB at 20 GB/s = 50 us.
+    EXPECT_NEAR(dram.streamSeconds(1e6), 50e-6, 1e-12);
+}
+
+TEST(MainMemoryParams, FasterMemoriesCostLessEnergyPerByte)
+{
+    const auto dram = main_memory_params(MainMemoryKind::DRAM);
+    const auto edram = main_memory_params(MainMemoryKind::EDRAM);
+    const auto hbm = main_memory_params(MainMemoryKind::HBM);
+    EXPECT_GT(dram.energyPjPerByte, edram.energyPjPerByte);
+    EXPECT_GT(edram.energyPjPerByte, hbm.energyPjPerByte);
+}
+
+TEST(MainMemoryParams, NamesAreStable)
+{
+    EXPECT_STREQ(main_memory_params(MainMemoryKind::DRAM).name(), "DRAM");
+    EXPECT_STREQ(main_memory_params(MainMemoryKind::EDRAM).name(),
+                 "eDRAM");
+    EXPECT_STREQ(main_memory_params(MainMemoryKind::HBM).name(), "HBM");
+}
+
+TEST(MainMemoryChannel, StreamChargesEnergyAndTracksBytes)
+{
+    const auto params = main_memory_params(MainMemoryKind::DRAM);
+    EnergyAccount account;
+    MainMemory mem(params, account);
+    const double seconds = mem.stream(1e6);
+    EXPECT_NEAR(seconds, 50e-6, 1e-12);
+    EXPECT_DOUBLE_EQ(mem.bytesTransferred(), 1e6);
+    EXPECT_NEAR(account.joules(EnergyCategory::DramTransfer),
+                1e6 * params.energyPjPerByte * 1e-12, 1e-12);
+}
+
+TEST(MainMemoryChannel, StreamsAccumulate)
+{
+    EnergyAccount account;
+    MainMemory mem(main_memory_params(MainMemoryKind::HBM), account);
+    mem.stream(1e6);
+    mem.stream(2e6);
+    EXPECT_DOUBLE_EQ(mem.bytesTransferred(), 3e6);
+}
+
+TEST(MainMemoryChannel, HigherBandwidthIsFaster)
+{
+    EnergyAccount a1;
+    EnergyAccount a2;
+    MainMemory dram(main_memory_params(MainMemoryKind::DRAM), a1);
+    MainMemory hbm(main_memory_params(MainMemoryKind::HBM), a2);
+    EXPECT_GT(dram.streamSeconds(1e9), hbm.streamSeconds(1e9));
+}
+
+TEST(TechParams, DerivedLutCosts)
+{
+    const TechParams t;
+    EXPECT_NEAR(t.lutAccessPj(), 8.6 / 231.0, 1e-9);
+    EXPECT_NEAR(t.lutAccessNs(), t.subarrayPeriodNs() / 3.0, 1e-9);
+    EXPECT_NEAR(t.subarrayPeriodNs(), 1.0 / 1.5, 1e-9);
+}
+
+TEST(TechParams, BceEnergyPerCycle)
+{
+    const TechParams t;
+    // mW x ns = pJ; conv mode: 0.4 mW at 1.5 GHz -> ~0.267 pJ/cycle.
+    EXPECT_NEAR(t.bceEnergyPerCyclePj(t.bceConvModeMw), 0.4 / 1.5, 1e-9);
+    EXPECT_NEAR(t.bceEnergyPerCyclePj(t.bceMatmulModeMw), 1.3 / 1.5,
+                1e-9);
+}

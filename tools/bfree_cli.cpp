@@ -1,0 +1,212 @@
+/**
+ * @file
+ * bfree_cli — run any modelled workload/configuration from the shell.
+ *
+ *   bfree_cli --network bert-base --batch 16 --memory hbm
+ *   bfree_cli --network vgg16 --slices 1 --baseline eyeriss
+ *   bfree_cli --network inception --mode conv --baseline neural-cache
+ *   bfree_cli --network vgg16 --precision mixed --csv
+ *   bfree_cli --network lstm --stats
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "core/bfree.hh"
+#include "core/report.hh"
+#include "core/stats_export.hh"
+#include "dnn/quantize.hh"
+
+namespace {
+
+using namespace bfree;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: bfree_cli [options]\n"
+          "  --network NAME    vgg16 | inception | lstm | bert-base |\n"
+          "                    bert-large | tiny   (default vgg16)\n"
+          "  --batch N         batch size (default 1)\n"
+          "  --memory KIND     dram | edram | hbm   (default dram)\n"
+          "  --slices N        LLC slices to use (default 14)\n"
+          "  --mode MODE       auto | conv | matmul (default auto)\n"
+          "  --precision P     8 | 4 | mixed        (default 8)\n"
+          "  --baseline B      none | neural-cache | eyeriss | cpu |\n"
+          "                    gpu | all            (default none)\n"
+          "  --describe        print the network's structure and exit\n"
+          "  --layers          print the per-layer table\n"
+          "  --csv             emit per-layer CSV instead of text\n"
+          "  --stats           dump gem5-style statistics\n"
+          "  --help            this text\n";
+}
+
+dnn::Network
+select_network(const std::string &name)
+{
+    if (name == "vgg16")
+        return dnn::make_vgg16();
+    if (name == "inception")
+        return dnn::make_inception_v3();
+    if (name == "lstm")
+        return dnn::make_lstm();
+    if (name == "bert-base")
+        return dnn::make_bert_base();
+    if (name == "bert-large")
+        return dnn::make_bert_large();
+    if (name == "tiny")
+        return dnn::make_tiny_cnn();
+    std::cerr << "unknown network '" << name << "'\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string network = "vgg16";
+    std::string memory = "dram";
+    std::string mode = "auto";
+    std::string precision = "8";
+    std::string baseline = "none";
+    unsigned batch = 1;
+    unsigned slices = 14;
+    bool layers = false;
+    bool describe = false;
+    bool csv = false;
+    bool stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--network")
+            network = next();
+        else if (arg == "--batch")
+            batch = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--memory")
+            memory = next();
+        else if (arg == "--slices")
+            slices = static_cast<unsigned>(std::stoul(next()));
+        else if (arg == "--mode")
+            mode = next();
+        else if (arg == "--precision")
+            precision = next();
+        else if (arg == "--baseline")
+            baseline = next();
+        else if (arg == "--describe")
+            describe = true;
+        else if (arg == "--layers")
+            layers = true;
+        else if (arg == "--csv")
+            csv = true;
+        else if (arg == "--stats")
+            stats = true;
+        else if (arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+
+    dnn::Network net = select_network(network);
+    if (precision == "4")
+        net.setUniformPrecision(4);
+    else if (precision == "mixed")
+        dnn::apply_mixed_precision(net);
+    else if (precision != "8") {
+        std::cerr << "unknown precision '" << precision << "'\n";
+        return 2;
+    }
+
+    if (describe) {
+        core::describe_network(std::cout, net);
+        return 0;
+    }
+
+    map::ExecConfig cfg;
+    cfg.batch = batch;
+    cfg.mapper.slices = slices;
+    if (memory == "dram")
+        cfg.memory = tech::MainMemoryKind::DRAM;
+    else if (memory == "edram")
+        cfg.memory = tech::MainMemoryKind::EDRAM;
+    else if (memory == "hbm")
+        cfg.memory = tech::MainMemoryKind::HBM;
+    else {
+        std::cerr << "unknown memory '" << memory << "'\n";
+        return 2;
+    }
+    if (mode == "conv")
+        cfg.mapper.forcedMode = map::ExecMode::ConvMode;
+    else if (mode == "matmul")
+        cfg.mapper.forcedMode = map::ExecMode::MatmulMode;
+    else if (mode != "auto") {
+        std::cerr << "unknown mode '" << mode << "'\n";
+        return 2;
+    }
+
+    core::BFreeAccelerator acc;
+    const map::RunResult run = acc.run(net, cfg);
+
+    if (csv) {
+        core::write_csv_header(std::cout);
+        core::write_csv_rows(std::cout, run);
+        return 0;
+    }
+    if (stats) {
+        core::dump_run_stats(std::cout, run);
+        return 0;
+    }
+
+    core::print_summary(std::cout, run);
+    core::print_phase_shares(std::cout, "phase shares", run.time);
+    std::cout << "energy breakdown:\n";
+    core::print_energy_breakdown(std::cout, run.energy);
+    if (layers) {
+        std::cout << "\n";
+        core::print_layer_table(std::cout, run);
+    }
+
+    auto compare = [&](const std::string &label, double seconds,
+                       double joules) {
+        std::cout << label << ": "
+                  << core::format_seconds(seconds) << " / "
+                  << core::format_joules(joules) << "  (BFree "
+                  << seconds / run.secondsPerInference() << "x time, "
+                  << joules / run.joulesPerInference()
+                  << "x energy advantage)\n";
+    };
+
+    if (baseline == "neural-cache" || baseline == "all") {
+        const auto nc = acc.runNeuralCache(net, cfg);
+        compare("Neural Cache", nc.secondsPerInference(),
+                nc.joulesPerInference());
+    }
+    if (baseline == "eyeriss" || baseline == "all") {
+        const auto ey = acc.runEyeriss(net);
+        compare("Eyeriss (iso-area)", ey.secondsPerInference(),
+                ey.joulesPerInference());
+    }
+    if (baseline == "cpu" || baseline == "all") {
+        const auto cpu = acc.runCpu(net, batch);
+        compare(cpu.device, cpu.secondsPerInference,
+                cpu.joulesPerInference);
+    }
+    if (baseline == "gpu" || baseline == "all") {
+        const auto gpu = acc.runGpu(net, batch);
+        compare(gpu.device, gpu.secondsPerInference,
+                gpu.joulesPerInference);
+    }
+    return 0;
+}

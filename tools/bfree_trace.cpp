@@ -1,0 +1,90 @@
+/**
+ * @file
+ * bfree_trace — dump the cycle-by-cycle BCE pipeline for given
+ * operands (the Fig. 6 / Fig. 7 walk-throughs, programmatically).
+ *
+ *   bfree_trace conv 4,6,5 3,3,7
+ *   bfree_trace matmul 10,-3 8
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bce/pipeline_trace.hh"
+
+namespace {
+
+std::vector<int>
+parse_list(const std::string &text)
+{
+    std::vector<int> out;
+    std::istringstream in(text);
+    std::string token;
+    while (std::getline(in, token, ','))
+        out.push_back(std::stoi(token));
+    return out;
+}
+
+void
+usage()
+{
+    std::cerr << "usage:\n"
+                 "  bfree_trace conv W1,W2,... X1,X2,...\n"
+                 "      conv-mode dot product of 4-bit operand lists\n"
+                 "  bfree_trace matmul A1,A2,... WIDTH\n"
+                 "      matmul-mode broadcast of 8-bit A operands\n"
+                 "      against WIDTH-wide rows of ones\n";
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace bfree::bce;
+
+    if (argc < 2)
+        usage();
+    const std::string mode = argv[1];
+    const bfree::lut::MultLut lut;
+
+    if (mode == "conv") {
+        if (argc != 4)
+            usage();
+        const std::vector<int> w = parse_list(argv[2]);
+        const std::vector<int> x = parse_list(argv[3]);
+        if (w.size() != x.size()) {
+            std::cerr << "operand lists must have equal length\n";
+            return 2;
+        }
+        std::vector<unsigned> wu(w.begin(), w.end());
+        std::vector<unsigned> xu(x.begin(), x.end());
+        const PipelineTrace trace = trace_conv_dot(wu, xu, lut);
+        std::printf("%s", trace.toString().c_str());
+        return 0;
+    }
+
+    if (mode == "matmul") {
+        if (argc != 4)
+            usage();
+        const std::vector<int> a = parse_list(argv[2]);
+        const int width = std::stoi(argv[3]);
+        std::vector<std::int32_t> a_ops(a.begin(), a.end());
+        std::vector<std::vector<std::int8_t>> rows(
+            a_ops.size(),
+            std::vector<std::int8_t>(static_cast<std::size_t>(width),
+                                     1));
+        const PipelineTrace trace =
+            trace_matmul_broadcast(a_ops, rows, lut);
+        std::printf("%s", trace.toString().c_str());
+        return 0;
+    }
+
+    usage();
+    return 2;
+}
