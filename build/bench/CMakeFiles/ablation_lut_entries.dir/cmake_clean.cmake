@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lut_entries.dir/ablation_lut_entries.cpp.o"
+  "CMakeFiles/ablation_lut_entries.dir/ablation_lut_entries.cpp.o.d"
+  "ablation_lut_entries"
+  "ablation_lut_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lut_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lut_rows.dir/ablation_lut_rows.cpp.o"
+  "CMakeFiles/ablation_lut_rows.dir/ablation_lut_rows.cpp.o.d"
+  "ablation_lut_rows"
+  "ablation_lut_rows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lut_rows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

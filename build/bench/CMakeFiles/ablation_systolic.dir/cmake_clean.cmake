@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_systolic.dir/ablation_systolic.cpp.o"
+  "CMakeFiles/ablation_systolic.dir/ablation_systolic.cpp.o.d"
+  "ablation_systolic"
+  "ablation_systolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_systolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_report.dir/area_report.cpp.o"
+  "CMakeFiles/area_report.dir/area_report.cpp.o.d"
+  "area_report"
+  "area_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

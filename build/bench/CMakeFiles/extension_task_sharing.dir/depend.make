@@ -1,0 +1,2 @@
+# Empty dependencies file for extension_task_sharing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_inception_neuralcache.dir/fig12_inception_neuralcache.cpp.o"
+  "CMakeFiles/fig12_inception_neuralcache.dir/fig12_inception_neuralcache.cpp.o.d"
+  "fig12_inception_neuralcache"
+  "fig12_inception_neuralcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_inception_neuralcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

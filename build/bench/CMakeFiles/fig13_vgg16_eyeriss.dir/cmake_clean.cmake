@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_vgg16_eyeriss.dir/fig13_vgg16_eyeriss.cpp.o"
+  "CMakeFiles/fig13_vgg16_eyeriss.dir/fig13_vgg16_eyeriss.cpp.o.d"
+  "fig13_vgg16_eyeriss"
+  "fig13_vgg16_eyeriss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_vgg16_eyeriss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_vgg16_eyeriss.
+# This may be replaced when dependencies are built.

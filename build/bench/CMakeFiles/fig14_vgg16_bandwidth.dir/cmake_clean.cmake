@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_vgg16_bandwidth.dir/fig14_vgg16_bandwidth.cpp.o"
+  "CMakeFiles/fig14_vgg16_bandwidth.dir/fig14_vgg16_bandwidth.cpp.o.d"
+  "fig14_vgg16_bandwidth"
+  "fig14_vgg16_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_vgg16_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

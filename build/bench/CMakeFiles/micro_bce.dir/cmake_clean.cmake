@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bce.dir/micro_bce.cpp.o"
+  "CMakeFiles/micro_bce.dir/micro_bce.cpp.o.d"
+  "micro_bce"
+  "micro_bce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_pim_opc.dir/motivation_pim_opc.cpp.o"
+  "CMakeFiles/motivation_pim_opc.dir/motivation_pim_opc.cpp.o.d"
+  "motivation_pim_opc"
+  "motivation_pim_opc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_pim_opc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_lstm_bert.dir/table3_lstm_bert.cpp.o"
+  "CMakeFiles/table3_lstm_bert.dir/table3_lstm_bert.cpp.o.d"
+  "table3_lstm_bert"
+  "table3_lstm_bert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_lstm_bert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

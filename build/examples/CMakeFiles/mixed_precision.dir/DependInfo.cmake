@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mixed_precision.cpp" "examples/CMakeFiles/mixed_precision.dir/mixed_precision.cpp.o" "gcc" "examples/CMakeFiles/mixed_precision.dir/mixed_precision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bfree_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/bfree_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/map/CMakeFiles/bfree_map.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/bfree_dnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/bce/CMakeFiles/bfree_bce.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/bfree_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/bfree_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bfree_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/bfree_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bfree_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_baselines.dir/bit_serial.cc.o"
+  "CMakeFiles/bfree_baselines.dir/bit_serial.cc.o.d"
+  "CMakeFiles/bfree_baselines.dir/cpu_gpu.cc.o"
+  "CMakeFiles/bfree_baselines.dir/cpu_gpu.cc.o.d"
+  "CMakeFiles/bfree_baselines.dir/eyeriss.cc.o"
+  "CMakeFiles/bfree_baselines.dir/eyeriss.cc.o.d"
+  "CMakeFiles/bfree_baselines.dir/neural_cache.cc.o"
+  "CMakeFiles/bfree_baselines.dir/neural_cache.cc.o.d"
+  "libbfree_baselines.a"
+  "libbfree_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bce/bce.cc" "src/bce/CMakeFiles/bfree_bce.dir/bce.cc.o" "gcc" "src/bce/CMakeFiles/bfree_bce.dir/bce.cc.o.d"
+  "/root/repo/src/bce/config_block.cc" "src/bce/CMakeFiles/bfree_bce.dir/config_block.cc.o" "gcc" "src/bce/CMakeFiles/bfree_bce.dir/config_block.cc.o.d"
+  "/root/repo/src/bce/isa.cc" "src/bce/CMakeFiles/bfree_bce.dir/isa.cc.o" "gcc" "src/bce/CMakeFiles/bfree_bce.dir/isa.cc.o.d"
+  "/root/repo/src/bce/pipeline_sim.cc" "src/bce/CMakeFiles/bfree_bce.dir/pipeline_sim.cc.o" "gcc" "src/bce/CMakeFiles/bfree_bce.dir/pipeline_sim.cc.o.d"
+  "/root/repo/src/bce/pipeline_trace.cc" "src/bce/CMakeFiles/bfree_bce.dir/pipeline_trace.cc.o" "gcc" "src/bce/CMakeFiles/bfree_bce.dir/pipeline_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/bfree_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bfree_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/bfree_lut.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

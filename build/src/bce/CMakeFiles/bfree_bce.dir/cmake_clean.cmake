@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_bce.dir/bce.cc.o"
+  "CMakeFiles/bfree_bce.dir/bce.cc.o.d"
+  "CMakeFiles/bfree_bce.dir/config_block.cc.o"
+  "CMakeFiles/bfree_bce.dir/config_block.cc.o.d"
+  "CMakeFiles/bfree_bce.dir/isa.cc.o"
+  "CMakeFiles/bfree_bce.dir/isa.cc.o.d"
+  "CMakeFiles/bfree_bce.dir/pipeline_sim.cc.o"
+  "CMakeFiles/bfree_bce.dir/pipeline_sim.cc.o.d"
+  "CMakeFiles/bfree_bce.dir/pipeline_trace.cc.o"
+  "CMakeFiles/bfree_bce.dir/pipeline_trace.cc.o.d"
+  "libbfree_bce.a"
+  "libbfree_bce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_bce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

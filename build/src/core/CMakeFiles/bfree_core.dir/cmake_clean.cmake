@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_core.dir/bfree.cc.o"
+  "CMakeFiles/bfree_core.dir/bfree.cc.o.d"
+  "CMakeFiles/bfree_core.dir/functional.cc.o"
+  "CMakeFiles/bfree_core.dir/functional.cc.o.d"
+  "CMakeFiles/bfree_core.dir/report.cc.o"
+  "CMakeFiles/bfree_core.dir/report.cc.o.d"
+  "CMakeFiles/bfree_core.dir/stats_export.cc.o"
+  "CMakeFiles/bfree_core.dir/stats_export.cc.o.d"
+  "libbfree_core.a"
+  "libbfree_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

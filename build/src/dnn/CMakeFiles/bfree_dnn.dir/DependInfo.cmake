@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnn/im2col.cc" "src/dnn/CMakeFiles/bfree_dnn.dir/im2col.cc.o" "gcc" "src/dnn/CMakeFiles/bfree_dnn.dir/im2col.cc.o.d"
+  "/root/repo/src/dnn/layer.cc" "src/dnn/CMakeFiles/bfree_dnn.dir/layer.cc.o" "gcc" "src/dnn/CMakeFiles/bfree_dnn.dir/layer.cc.o.d"
+  "/root/repo/src/dnn/model_zoo.cc" "src/dnn/CMakeFiles/bfree_dnn.dir/model_zoo.cc.o" "gcc" "src/dnn/CMakeFiles/bfree_dnn.dir/model_zoo.cc.o.d"
+  "/root/repo/src/dnn/network.cc" "src/dnn/CMakeFiles/bfree_dnn.dir/network.cc.o" "gcc" "src/dnn/CMakeFiles/bfree_dnn.dir/network.cc.o.d"
+  "/root/repo/src/dnn/quantize.cc" "src/dnn/CMakeFiles/bfree_dnn.dir/quantize.cc.o" "gcc" "src/dnn/CMakeFiles/bfree_dnn.dir/quantize.cc.o.d"
+  "/root/repo/src/dnn/reference.cc" "src/dnn/CMakeFiles/bfree_dnn.dir/reference.cc.o" "gcc" "src/dnn/CMakeFiles/bfree_dnn.dir/reference.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/bfree_lut.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

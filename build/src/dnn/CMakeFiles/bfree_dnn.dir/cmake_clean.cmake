@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_dnn.dir/im2col.cc.o"
+  "CMakeFiles/bfree_dnn.dir/im2col.cc.o.d"
+  "CMakeFiles/bfree_dnn.dir/layer.cc.o"
+  "CMakeFiles/bfree_dnn.dir/layer.cc.o.d"
+  "CMakeFiles/bfree_dnn.dir/model_zoo.cc.o"
+  "CMakeFiles/bfree_dnn.dir/model_zoo.cc.o.d"
+  "CMakeFiles/bfree_dnn.dir/network.cc.o"
+  "CMakeFiles/bfree_dnn.dir/network.cc.o.d"
+  "CMakeFiles/bfree_dnn.dir/quantize.cc.o"
+  "CMakeFiles/bfree_dnn.dir/quantize.cc.o.d"
+  "CMakeFiles/bfree_dnn.dir/reference.cc.o"
+  "CMakeFiles/bfree_dnn.dir/reference.cc.o.d"
+  "libbfree_dnn.a"
+  "libbfree_dnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_dnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

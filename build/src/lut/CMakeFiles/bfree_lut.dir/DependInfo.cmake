@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lut/division.cc" "src/lut/CMakeFiles/bfree_lut.dir/division.cc.o" "gcc" "src/lut/CMakeFiles/bfree_lut.dir/division.cc.o.d"
+  "/root/repo/src/lut/fixed_point.cc" "src/lut/CMakeFiles/bfree_lut.dir/fixed_point.cc.o" "gcc" "src/lut/CMakeFiles/bfree_lut.dir/fixed_point.cc.o.d"
+  "/root/repo/src/lut/lut_image.cc" "src/lut/CMakeFiles/bfree_lut.dir/lut_image.cc.o" "gcc" "src/lut/CMakeFiles/bfree_lut.dir/lut_image.cc.o.d"
+  "/root/repo/src/lut/mult_lut.cc" "src/lut/CMakeFiles/bfree_lut.dir/mult_lut.cc.o" "gcc" "src/lut/CMakeFiles/bfree_lut.dir/mult_lut.cc.o.d"
+  "/root/repo/src/lut/operand_analyzer.cc" "src/lut/CMakeFiles/bfree_lut.dir/operand_analyzer.cc.o" "gcc" "src/lut/CMakeFiles/bfree_lut.dir/operand_analyzer.cc.o.d"
+  "/root/repo/src/lut/packing.cc" "src/lut/CMakeFiles/bfree_lut.dir/packing.cc.o" "gcc" "src/lut/CMakeFiles/bfree_lut.dir/packing.cc.o.d"
+  "/root/repo/src/lut/pwl.cc" "src/lut/CMakeFiles/bfree_lut.dir/pwl.cc.o" "gcc" "src/lut/CMakeFiles/bfree_lut.dir/pwl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfree_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

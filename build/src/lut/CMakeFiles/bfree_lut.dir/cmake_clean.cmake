@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_lut.dir/division.cc.o"
+  "CMakeFiles/bfree_lut.dir/division.cc.o.d"
+  "CMakeFiles/bfree_lut.dir/fixed_point.cc.o"
+  "CMakeFiles/bfree_lut.dir/fixed_point.cc.o.d"
+  "CMakeFiles/bfree_lut.dir/lut_image.cc.o"
+  "CMakeFiles/bfree_lut.dir/lut_image.cc.o.d"
+  "CMakeFiles/bfree_lut.dir/mult_lut.cc.o"
+  "CMakeFiles/bfree_lut.dir/mult_lut.cc.o.d"
+  "CMakeFiles/bfree_lut.dir/operand_analyzer.cc.o"
+  "CMakeFiles/bfree_lut.dir/operand_analyzer.cc.o.d"
+  "CMakeFiles/bfree_lut.dir/packing.cc.o"
+  "CMakeFiles/bfree_lut.dir/packing.cc.o.d"
+  "CMakeFiles/bfree_lut.dir/pwl.cc.o"
+  "CMakeFiles/bfree_lut.dir/pwl.cc.o.d"
+  "libbfree_lut.a"
+  "libbfree_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/map/attention_schedule.cc" "src/map/CMakeFiles/bfree_map.dir/attention_schedule.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/attention_schedule.cc.o.d"
+  "/root/repo/src/map/controllers.cc" "src/map/CMakeFiles/bfree_map.dir/controllers.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/controllers.cc.o.d"
+  "/root/repo/src/map/detailed_sim.cc" "src/map/CMakeFiles/bfree_map.dir/detailed_sim.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/detailed_sim.cc.o.d"
+  "/root/repo/src/map/detailed_slice_sim.cc" "src/map/CMakeFiles/bfree_map.dir/detailed_slice_sim.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/detailed_slice_sim.cc.o.d"
+  "/root/repo/src/map/exec_model.cc" "src/map/CMakeFiles/bfree_map.dir/exec_model.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/exec_model.cc.o.d"
+  "/root/repo/src/map/kernel_compiler.cc" "src/map/CMakeFiles/bfree_map.dir/kernel_compiler.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/kernel_compiler.cc.o.d"
+  "/root/repo/src/map/mapping.cc" "src/map/CMakeFiles/bfree_map.dir/mapping.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/mapping.cc.o.d"
+  "/root/repo/src/map/placement.cc" "src/map/CMakeFiles/bfree_map.dir/placement.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/placement.cc.o.d"
+  "/root/repo/src/map/softmax_sim.cc" "src/map/CMakeFiles/bfree_map.dir/softmax_sim.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/softmax_sim.cc.o.d"
+  "/root/repo/src/map/task_sharing.cc" "src/map/CMakeFiles/bfree_map.dir/task_sharing.cc.o" "gcc" "src/map/CMakeFiles/bfree_map.dir/task_sharing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/bfree_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bfree_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/bfree_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lut/CMakeFiles/bfree_lut.dir/DependInfo.cmake"
+  "/root/repo/build/src/bce/CMakeFiles/bfree_bce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnn/CMakeFiles/bfree_dnn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

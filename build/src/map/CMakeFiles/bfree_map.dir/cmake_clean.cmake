@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_map.dir/attention_schedule.cc.o"
+  "CMakeFiles/bfree_map.dir/attention_schedule.cc.o.d"
+  "CMakeFiles/bfree_map.dir/controllers.cc.o"
+  "CMakeFiles/bfree_map.dir/controllers.cc.o.d"
+  "CMakeFiles/bfree_map.dir/detailed_sim.cc.o"
+  "CMakeFiles/bfree_map.dir/detailed_sim.cc.o.d"
+  "CMakeFiles/bfree_map.dir/detailed_slice_sim.cc.o"
+  "CMakeFiles/bfree_map.dir/detailed_slice_sim.cc.o.d"
+  "CMakeFiles/bfree_map.dir/exec_model.cc.o"
+  "CMakeFiles/bfree_map.dir/exec_model.cc.o.d"
+  "CMakeFiles/bfree_map.dir/kernel_compiler.cc.o"
+  "CMakeFiles/bfree_map.dir/kernel_compiler.cc.o.d"
+  "CMakeFiles/bfree_map.dir/mapping.cc.o"
+  "CMakeFiles/bfree_map.dir/mapping.cc.o.d"
+  "CMakeFiles/bfree_map.dir/placement.cc.o"
+  "CMakeFiles/bfree_map.dir/placement.cc.o.d"
+  "CMakeFiles/bfree_map.dir/softmax_sim.cc.o"
+  "CMakeFiles/bfree_map.dir/softmax_sim.cc.o.d"
+  "CMakeFiles/bfree_map.dir/task_sharing.cc.o"
+  "CMakeFiles/bfree_map.dir/task_sharing.cc.o.d"
+  "libbfree_map.a"
+  "libbfree_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

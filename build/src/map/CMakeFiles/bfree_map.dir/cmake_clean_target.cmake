@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbfree_map.a"
+)

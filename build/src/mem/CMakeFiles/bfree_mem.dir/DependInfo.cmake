@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address.cc" "src/mem/CMakeFiles/bfree_mem.dir/address.cc.o" "gcc" "src/mem/CMakeFiles/bfree_mem.dir/address.cc.o.d"
+  "/root/repo/src/mem/energy_account.cc" "src/mem/CMakeFiles/bfree_mem.dir/energy_account.cc.o" "gcc" "src/mem/CMakeFiles/bfree_mem.dir/energy_account.cc.o.d"
+  "/root/repo/src/mem/main_memory.cc" "src/mem/CMakeFiles/bfree_mem.dir/main_memory.cc.o" "gcc" "src/mem/CMakeFiles/bfree_mem.dir/main_memory.cc.o.d"
+  "/root/repo/src/mem/sram_cache.cc" "src/mem/CMakeFiles/bfree_mem.dir/sram_cache.cc.o" "gcc" "src/mem/CMakeFiles/bfree_mem.dir/sram_cache.cc.o.d"
+  "/root/repo/src/mem/subarray.cc" "src/mem/CMakeFiles/bfree_mem.dir/subarray.cc.o" "gcc" "src/mem/CMakeFiles/bfree_mem.dir/subarray.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfree_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/bfree_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_mem.dir/address.cc.o"
+  "CMakeFiles/bfree_mem.dir/address.cc.o.d"
+  "CMakeFiles/bfree_mem.dir/energy_account.cc.o"
+  "CMakeFiles/bfree_mem.dir/energy_account.cc.o.d"
+  "CMakeFiles/bfree_mem.dir/main_memory.cc.o"
+  "CMakeFiles/bfree_mem.dir/main_memory.cc.o.d"
+  "CMakeFiles/bfree_mem.dir/sram_cache.cc.o"
+  "CMakeFiles/bfree_mem.dir/sram_cache.cc.o.d"
+  "CMakeFiles/bfree_mem.dir/subarray.cc.o"
+  "CMakeFiles/bfree_mem.dir/subarray.cc.o.d"
+  "libbfree_mem.a"
+  "libbfree_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_noc.dir/ring.cc.o"
+  "CMakeFiles/bfree_noc.dir/ring.cc.o.d"
+  "CMakeFiles/bfree_noc.dir/router.cc.o"
+  "CMakeFiles/bfree_noc.dir/router.cc.o.d"
+  "libbfree_noc.a"
+  "libbfree_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_sim.dir/event_queue.cc.o"
+  "CMakeFiles/bfree_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/bfree_sim.dir/logging.cc.o"
+  "CMakeFiles/bfree_sim.dir/logging.cc.o.d"
+  "CMakeFiles/bfree_sim.dir/stats.cc.o"
+  "CMakeFiles/bfree_sim.dir/stats.cc.o.d"
+  "libbfree_sim.a"
+  "libbfree_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tech/access_breakdown.cc" "src/tech/CMakeFiles/bfree_tech.dir/access_breakdown.cc.o" "gcc" "src/tech/CMakeFiles/bfree_tech.dir/access_breakdown.cc.o.d"
+  "/root/repo/src/tech/area_model.cc" "src/tech/CMakeFiles/bfree_tech.dir/area_model.cc.o" "gcc" "src/tech/CMakeFiles/bfree_tech.dir/area_model.cc.o.d"
+  "/root/repo/src/tech/tech_params.cc" "src/tech/CMakeFiles/bfree_tech.dir/tech_params.cc.o" "gcc" "src/tech/CMakeFiles/bfree_tech.dir/tech_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bfree_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_tech.dir/access_breakdown.cc.o"
+  "CMakeFiles/bfree_tech.dir/access_breakdown.cc.o.d"
+  "CMakeFiles/bfree_tech.dir/area_model.cc.o"
+  "CMakeFiles/bfree_tech.dir/area_model.cc.o.d"
+  "CMakeFiles/bfree_tech.dir/tech_params.cc.o"
+  "CMakeFiles/bfree_tech.dir/tech_params.cc.o.d"
+  "libbfree_tech.a"
+  "libbfree_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bfree_tech.
+# This may be replaced when dependencies are built.

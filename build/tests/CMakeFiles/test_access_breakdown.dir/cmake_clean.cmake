@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_access_breakdown.dir/tech/test_access_breakdown.cc.o"
+  "CMakeFiles/test_access_breakdown.dir/tech/test_access_breakdown.cc.o.d"
+  "test_access_breakdown"
+  "test_access_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_access_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

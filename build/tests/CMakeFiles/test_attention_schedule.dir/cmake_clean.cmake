@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attention_schedule.dir/map/test_attention_schedule.cc.o"
+  "CMakeFiles/test_attention_schedule.dir/map/test_attention_schedule.cc.o.d"
+  "test_attention_schedule"
+  "test_attention_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attention_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bce.dir/bce/test_bce.cc.o"
+  "CMakeFiles/test_bce.dir/bce/test_bce.cc.o.d"
+  "test_bce"
+  "test_bce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

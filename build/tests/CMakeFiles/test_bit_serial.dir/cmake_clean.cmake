@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_serial.dir/baselines/test_bit_serial.cc.o"
+  "CMakeFiles/test_bit_serial.dir/baselines/test_bit_serial.cc.o.d"
+  "test_bit_serial"
+  "test_bit_serial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocked.dir/sim/test_clocked.cc.o"
+  "CMakeFiles/test_clocked.dir/sim/test_clocked.cc.o.d"
+  "test_clocked"
+  "test_clocked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

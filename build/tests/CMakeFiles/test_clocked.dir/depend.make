@@ -1,0 +1,2 @@
+# Empty dependencies file for test_clocked.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_block.dir/bce/test_config_block.cc.o"
+  "CMakeFiles/test_config_block.dir/bce/test_config_block.cc.o.d"
+  "test_config_block"
+  "test_config_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controllers.dir/map/test_controllers.cc.o"
+  "CMakeFiles/test_controllers.dir/map/test_controllers.cc.o.d"
+  "test_controllers"
+  "test_controllers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controllers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

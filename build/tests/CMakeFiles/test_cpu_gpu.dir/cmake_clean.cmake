@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_gpu.dir/baselines/test_cpu_gpu.cc.o"
+  "CMakeFiles/test_cpu_gpu.dir/baselines/test_cpu_gpu.cc.o.d"
+  "test_cpu_gpu"
+  "test_cpu_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detailed_conv.dir/integration/test_detailed_conv.cc.o"
+  "CMakeFiles/test_detailed_conv.dir/integration/test_detailed_conv.cc.o.d"
+  "test_detailed_conv"
+  "test_detailed_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detailed_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detailed_pipeline.dir/integration/test_detailed_pipeline.cc.o"
+  "CMakeFiles/test_detailed_pipeline.dir/integration/test_detailed_pipeline.cc.o.d"
+  "test_detailed_pipeline"
+  "test_detailed_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detailed_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

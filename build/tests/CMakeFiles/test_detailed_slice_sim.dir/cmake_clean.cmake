@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_detailed_slice_sim.dir/map/test_detailed_slice_sim.cc.o"
+  "CMakeFiles/test_detailed_slice_sim.dir/map/test_detailed_slice_sim.cc.o.d"
+  "test_detailed_slice_sim"
+  "test_detailed_slice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_detailed_slice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

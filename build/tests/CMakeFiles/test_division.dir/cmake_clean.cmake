@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_division.dir/lut/test_division.cc.o"
+  "CMakeFiles/test_division.dir/lut/test_division.cc.o.d"
+  "test_division"
+  "test_division.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_division.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_properties.dir/map/test_exec_properties.cc.o"
+  "CMakeFiles/test_exec_properties.dir/map/test_exec_properties.cc.o.d"
+  "test_exec_properties"
+  "test_exec_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

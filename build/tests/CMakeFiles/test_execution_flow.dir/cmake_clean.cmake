@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_execution_flow.dir/integration/test_execution_flow.cc.o"
+  "CMakeFiles/test_execution_flow.dir/integration/test_execution_flow.cc.o.d"
+  "test_execution_flow"
+  "test_execution_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_execution_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

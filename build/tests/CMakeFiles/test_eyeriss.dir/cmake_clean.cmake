@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eyeriss.dir/baselines/test_eyeriss.cc.o"
+  "CMakeFiles/test_eyeriss.dir/baselines/test_eyeriss.cc.o.d"
+  "test_eyeriss"
+  "test_eyeriss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eyeriss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_functional_seq.dir/core/test_functional_seq.cc.o"
+  "CMakeFiles/test_functional_seq.dir/core/test_functional_seq.cc.o.d"
+  "test_functional_seq"
+  "test_functional_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_functional_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_compiler.dir/map/test_kernel_compiler.cc.o"
+  "CMakeFiles/test_kernel_compiler.dir/map/test_kernel_compiler.cc.o.d"
+  "test_kernel_compiler"
+  "test_kernel_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging_random.dir/sim/test_logging_random.cc.o"
+  "CMakeFiles/test_logging_random.dir/sim/test_logging_random.cc.o.d"
+  "test_logging_random"
+  "test_logging_random.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging_random.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lut_image.dir/lut/test_lut_image.cc.o"
+  "CMakeFiles/test_lut_image.dir/lut/test_lut_image.cc.o.d"
+  "test_lut_image"
+  "test_lut_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lut_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mult_lut.dir/lut/test_mult_lut.cc.o"
+  "CMakeFiles/test_mult_lut.dir/lut/test_mult_lut.cc.o.d"
+  "test_mult_lut"
+  "test_mult_lut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mult_lut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

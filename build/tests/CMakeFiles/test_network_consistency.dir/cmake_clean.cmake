@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_consistency.dir/dnn/test_network_consistency.cc.o"
+  "CMakeFiles/test_network_consistency.dir/dnn/test_network_consistency.cc.o.d"
+  "test_network_consistency"
+  "test_network_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_neural_cache.dir/baselines/test_neural_cache.cc.o"
+  "CMakeFiles/test_neural_cache.dir/baselines/test_neural_cache.cc.o.d"
+  "test_neural_cache"
+  "test_neural_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_neural_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_operand_analyzer.dir/lut/test_operand_analyzer.cc.o"
+  "CMakeFiles/test_operand_analyzer.dir/lut/test_operand_analyzer.cc.o.d"
+  "test_operand_analyzer"
+  "test_operand_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_operand_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_trace.dir/bce/test_pipeline_trace.cc.o"
+  "CMakeFiles/test_pipeline_trace.dir/bce/test_pipeline_trace.cc.o.d"
+  "test_pipeline_trace"
+  "test_pipeline_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

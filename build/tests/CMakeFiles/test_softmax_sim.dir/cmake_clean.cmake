@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_softmax_sim.dir/map/test_softmax_sim.cc.o"
+  "CMakeFiles/test_softmax_sim.dir/map/test_softmax_sim.cc.o.d"
+  "test_softmax_sim"
+  "test_softmax_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_softmax_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_export.dir/core/test_stats_export.cc.o"
+  "CMakeFiles/test_stats_export.dir/core/test_stats_export.cc.o.d"
+  "test_stats_export"
+  "test_stats_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subarray.dir/mem/test_subarray.cc.o"
+  "CMakeFiles/test_subarray.dir/mem/test_subarray.cc.o.d"
+  "test_subarray"
+  "test_subarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_sharing.dir/map/test_task_sharing.cc.o"
+  "CMakeFiles/test_task_sharing.dir/map/test_task_sharing.cc.o.d"
+  "test_task_sharing"
+  "test_task_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

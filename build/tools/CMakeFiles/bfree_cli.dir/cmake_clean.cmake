@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_cli.dir/bfree_cli.cpp.o"
+  "CMakeFiles/bfree_cli.dir/bfree_cli.cpp.o.d"
+  "bfree_cli"
+  "bfree_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

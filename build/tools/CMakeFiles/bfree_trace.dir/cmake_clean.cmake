@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bfree_trace.dir/bfree_trace.cpp.o"
+  "CMakeFiles/bfree_trace.dir/bfree_trace.cpp.o.d"
+  "bfree_trace"
+  "bfree_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bfree_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

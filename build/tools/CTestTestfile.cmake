@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_smoke "/root/repo/build/tools/bfree_cli" "--network" "tiny" "--batch" "1")
+set_tests_properties(cli_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_csv "/root/repo/build/tools/bfree_cli" "--network" "lstm" "--csv")
+set_tests_properties(cli_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/bfree_cli" "--network" "tiny" "--stats")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_describe "/root/repo/build/tools/bfree_cli" "--network" "bert-base" "--describe")
+set_tests_properties(cli_describe PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_baselines "/root/repo/build/tools/bfree_cli" "--network" "tiny" "--baseline" "all")
+set_tests_properties(cli_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace_conv "/root/repo/build/tools/bfree_trace" "conv" "4,6,5" "3,3,7")
+set_tests_properties(trace_conv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(trace_matmul "/root/repo/build/tools/bfree_trace" "matmul" "10,-3" "8")
+set_tests_properties(trace_matmul PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
