@@ -9,82 +9,128 @@
  *   - 101x / 3x speed and 91x / 11x energy vs CPU / GPU on BERT-base;
  *   - CNN ratios of Section V-D (259x/5.5x Inception, 193x/3x VGG at
  *     batch 16).
+ *
+ * Each comparison is an independent SweepRunner job (--threads N,
+ * default: hardware concurrency). Jobs print to their private streams
+ * and record their ratios as statistics; the join concatenates both in
+ * job-index order, so stdout and the stats dump are bit-identical for
+ * any thread count.
  */
 
-#include <cstdio>
+#include <iostream>
 
 #include "core/bfree.hh"
 #include "core/report.hh"
+#include "sim/parallel.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bfree;
 
+    const unsigned threads = sim::threads_from_args(argc, argv);
     core::BFreeAccelerator acc;
-    std::printf("BFree headline summary (paper value in parentheses)\n");
-    std::printf("====================================================\n");
 
-    // Neural Cache comparison.
-    {
+    std::vector<sim::SweepJob> jobs;
+
+    jobs.push_back({"neural_cache", [&](sim::SweepContext &ctx) {
         map::ExecConfig cfg;
         cfg.mapper.forcedMode = map::ExecMode::ConvMode;
         const auto net = dnn::make_inception_v3();
         const auto bf = acc.run(net, cfg);
         const auto nc = acc.runNeuralCache(net, cfg);
-        std::printf("vs Neural Cache (Inception-v3): %.2fx speed "
-                    "(1.72x), %.2fx energy (3.14x)\n",
-                    nc.secondsPerInference() / bf.secondsPerInference(),
-                    nc.joulesPerInference() / bf.joulesPerInference());
-    }
+        const double speed =
+            nc.secondsPerInference() / bf.secondsPerInference();
+        const double energy =
+            nc.joulesPerInference() / bf.joulesPerInference();
+        char line[128];
+        std::snprintf(line, sizeof(line),
+                      "vs Neural Cache (Inception-v3): %.2fx speed "
+                      "(1.72x), %.2fx energy (3.14x)\n",
+                      speed, energy);
+        ctx.out << line;
+        ctx.scalar("speedup", "speed vs baseline").set(speed);
+        ctx.scalar("energy_ratio", "energy vs baseline").set(energy);
+    }});
 
-    // Area.
-    std::printf("cache area overhead: %.2f%% (5.6%%)\n",
-                100.0 * acc.area().totalOverheadFraction);
+    jobs.push_back({"area", [&](sim::SweepContext &ctx) {
+        char line[64];
+        const double overhead = 100.0 * acc.area().totalOverheadFraction;
+        std::snprintf(line, sizeof(line),
+                      "cache area overhead: %.2f%% (5.6%%)\n", overhead);
+        ctx.out << line;
+        ctx.scalar("area_overhead_pct", "added cache area %").set(overhead);
+    }});
 
-    // Eyeriss.
-    {
+    jobs.push_back({"eyeriss", [&](sim::SweepContext &ctx) {
         map::ExecConfig cfg;
         cfg.mapper.slices = 1;
         const auto vgg = dnn::make_vgg16();
-        std::printf("vs iso-area Eyeriss (VGG-16): %.2fx (3.97x)\n",
-                    acc.runEyeriss(vgg).secondsPerInference()
-                        / acc.run(vgg, cfg).secondsPerInference());
-    }
+        const double speed = acc.runEyeriss(vgg).secondsPerInference()
+                             / acc.run(vgg, cfg).secondsPerInference();
+        char line[80];
+        std::snprintf(line, sizeof(line),
+                      "vs iso-area Eyeriss (VGG-16): %.2fx (3.97x)\n",
+                      speed);
+        ctx.out << line;
+        ctx.scalar("speedup", "speed vs baseline").set(speed);
+    }});
 
-    // BERT-base vs CPU / GPU.
-    {
+    jobs.push_back({"bert_cpu_gpu", [&](sim::SweepContext &ctx) {
         const auto bert = dnn::make_bert_base();
         const auto bf = acc.run(bert);
         const auto cpu = acc.runCpu(bert, 1);
         const auto gpu = acc.runGpu(bert, 1);
-        std::printf("BERT-base vs CPU: %.0fx speed (101x), %.0fx "
-                    "energy (91x)\n",
-                    cpu.secondsPerInference / bf.secondsPerInference(),
-                    cpu.joulesPerInference / bf.joulesPerInference());
-        std::printf("BERT-base vs GPU: %.1fx speed (3x), %.1fx energy "
-                    "(11x)\n",
-                    gpu.secondsPerInference / bf.secondsPerInference(),
-                    gpu.joulesPerInference / bf.joulesPerInference());
-    }
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "BERT-base vs CPU: %.0fx speed (101x), %.0fx "
+                      "energy (91x)\n",
+                      cpu.secondsPerInference / bf.secondsPerInference(),
+                      cpu.joulesPerInference / bf.joulesPerInference());
+        ctx.out << line;
+        std::snprintf(line, sizeof(line),
+                      "BERT-base vs GPU: %.1fx speed (3x), %.1fx energy "
+                      "(11x)\n",
+                      gpu.secondsPerInference / bf.secondsPerInference(),
+                      gpu.joulesPerInference / bf.joulesPerInference());
+        ctx.out << line;
+        ctx.scalar("cpu_speedup", "speed vs CPU")
+            .set(cpu.secondsPerInference / bf.secondsPerInference());
+        ctx.scalar("gpu_speedup", "speed vs GPU")
+            .set(gpu.secondsPerInference / bf.secondsPerInference());
+    }});
 
-    // Section V-D CNN ratios at batch 16.
-    for (const dnn::Network &net :
-         {dnn::make_inception_v3(), dnn::make_vgg16()}) {
-        map::ExecConfig cfg;
-        cfg.batch = 16;
-        const auto bf = acc.run(net, cfg);
-        const auto cpu = acc.runCpu(net, 16);
-        const auto gpu = acc.runGpu(net, 16);
-        std::printf("%s (batch 16) vs CPU/GPU: %.0fx / %.1fx speed, "
-                    "%.0fx / %.1fx energy\n",
-                    net.name().c_str(),
-                    cpu.secondsPerInference / bf.secondsPerInference(),
-                    gpu.secondsPerInference / bf.secondsPerInference(),
-                    cpu.joulesPerInference / bf.joulesPerInference(),
-                    gpu.joulesPerInference / bf.joulesPerInference());
-    }
-    std::printf("(paper: Inception 259x/5.5x speed & 307x/11.8x "
-                "energy; VGG-16 193x/3x & 253x/7x)\n");
+    jobs.push_back({"cnn_batch16", [&](sim::SweepContext &ctx) {
+        for (const dnn::Network &net :
+             {dnn::make_inception_v3(), dnn::make_vgg16()}) {
+            map::ExecConfig cfg;
+            cfg.batch = 16;
+            const auto bf = acc.run(net, cfg);
+            const auto cpu = acc.runCpu(net, 16);
+            const auto gpu = acc.runGpu(net, 16);
+            char line[200];
+            std::snprintf(
+                line, sizeof(line),
+                "%s (batch 16) vs CPU/GPU: %.0fx / %.1fx speed, "
+                "%.0fx / %.1fx energy\n",
+                net.name().c_str(),
+                cpu.secondsPerInference / bf.secondsPerInference(),
+                gpu.secondsPerInference / bf.secondsPerInference(),
+                cpu.joulesPerInference / bf.joulesPerInference(),
+                gpu.joulesPerInference / bf.joulesPerInference());
+            ctx.out << line;
+        }
+    }});
+
+    sim::SweepRunner sweeper(threads);
+    const sim::SweepReport report = sweeper.run(std::move(jobs));
+
+    std::cout << "BFree headline summary (paper value in parentheses)\n";
+    std::cout << "====================================================\n";
+    std::cout << report.output();
+    std::cout << "(paper: Inception 259x/5.5x speed & 307x/11.8x "
+                 "energy; VGG-16 193x/3x & 253x/7x)\n";
+    std::cout << "\nmerged sweep statistics (job-index order):\n";
+    report.dumpStats(std::cout);
     return 0;
 }

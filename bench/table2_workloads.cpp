@@ -3,49 +3,79 @@
  * Table II — Summary of neural network workloads: layers, parameters
  * and multiplies of each evaluated network, derived from the rebuilt
  * architectures.
+ *
+ * Each network is rebuilt and characterized in its own sweep job
+ * (--threads N, default: hardware concurrency); rows are joined in
+ * job-index order, so the table is bit-identical for any thread count.
  */
 
 #include <cstdio>
+#include <iostream>
 
 #include "dnn/model_zoo.hh"
+#include "sim/parallel.hh"
 
 namespace {
 
+using namespace bfree;
+
 void
-row(const bfree::dnn::Network &net, const char *paper_params,
+row(std::ostream &os, const dnn::Network &net, const char *paper_params,
     const char *paper_mults, const char *dataset)
 {
-    std::printf("%-14s %7u %9.1fM %9.2fG   %-9s (paper: %s params, %s "
-                "mults)\n",
-                net.name().c_str(), net.reportedDepth,
-                static_cast<double>(net.totalParams()) / 1e6,
-                static_cast<double>(net.totalMacs()) / 1e9, dataset,
-                paper_params, paper_mults);
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "%-14s %7u %9.1fM %9.2fG   %-9s (paper: %s params, %s "
+                  "mults)\n",
+                  net.name().c_str(), net.reportedDepth,
+                  static_cast<double>(net.totalParams()) / 1e6,
+                  static_cast<double>(net.totalMacs()) / 1e9, dataset,
+                  paper_params, paper_mults);
+    os << line;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace bfree::dnn;
+
+    const unsigned threads = bfree::sim::threads_from_args(argc, argv);
+
+    std::vector<bfree::sim::SweepJob> jobs;
+    jobs.push_back({"inception", [](bfree::sim::SweepContext &ctx) {
+        row(ctx.out, make_inception_v3(), "24M", "4.7G", "ImageNet");
+    }});
+    jobs.push_back({"vgg16", [](bfree::sim::SweepContext &ctx) {
+        row(ctx.out, make_vgg16(), "138M", "15.5G", "ImageNet");
+    }});
+    jobs.push_back({"lstm", [](bfree::sim::SweepContext &ctx) {
+        const Network lstm = make_lstm();
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-14s %7u %9.1fM %9.2fM   %-9s (paper: 4.3M "
+                      "params, 4.35M mults/step)\n",
+                      lstm.name().c_str(), lstm.reportedDepth,
+                      static_cast<double>(lstm.totalParams()) / 1e6,
+                      static_cast<double>(lstm.totalMacs()) / 1e6,
+                      "TIMIT");
+        ctx.out << line;
+    }});
+    jobs.push_back({"bert_base", [](bfree::sim::SweepContext &ctx) {
+        row(ctx.out, make_bert_base(), "87M", "11.1G", "MRPC");
+    }});
+    jobs.push_back({"bert_large", [](bfree::sim::SweepContext &ctx) {
+        row(ctx.out, make_bert_large(), "324M", "39.5G", "MRPC");
+    }});
+
+    bfree::sim::SweepRunner sweeper(threads);
+    const bfree::sim::SweepReport report = sweeper.run(std::move(jobs));
 
     std::printf("Table II — summary of neural network workloads\n\n");
     std::printf("%-14s %7s %10s %10s   %-9s\n", "network", "layers",
                 "params", "mults", "dataset");
-
-    row(make_inception_v3(), "24M", "4.7G", "ImageNet");
-    row(make_vgg16(), "138M", "15.5G", "ImageNet");
-
-    const Network lstm = make_lstm();
-    std::printf("%-14s %7u %9.1fM %9.2fM   %-9s (paper: 4.3M params, "
-                "4.35M mults/step)\n",
-                lstm.name().c_str(), lstm.reportedDepth,
-                static_cast<double>(lstm.totalParams()) / 1e6,
-                static_cast<double>(lstm.totalMacs()) / 1e6, "TIMIT");
-
-    row(make_bert_base(), "87M", "11.1G", "MRPC");
-    row(make_bert_large(), "324M", "39.5G", "MRPC");
+    std::cout << report.output();
 
     std::printf("\nnote: 'layers' is the publication's depth; branched "
                 "topologies flatten to more operators (Inception-v3: "

@@ -13,6 +13,13 @@ BFreeAccelerator::run(const dnn::Network &net, map::ExecConfig config) const
     return model.run(net);
 }
 
+std::vector<map::RunResult>
+BFreeAccelerator::runMany(const std::vector<map::ExecJob> &jobs,
+                          unsigned threads) const
+{
+    return map::run_sweep(opts.geometry, opts.tech, jobs, threads);
+}
+
 map::RunResult
 BFreeAccelerator::runNeuralCache(const dnn::Network &net,
                                  map::ExecConfig config) const

@@ -59,6 +59,15 @@ class BFreeAccelerator
     map::RunResult run(const dnn::Network &net,
                        map::ExecConfig config = {}) const;
 
+    /**
+     * Run many (network, config) sweep points in parallel on the
+     * work-stealing pool. Results are in job order and bit-identical
+     * for any thread count; @p threads = 0 uses hardware concurrency.
+     */
+    std::vector<map::RunResult>
+    runMany(const std::vector<map::ExecJob> &jobs,
+            unsigned threads = 0) const;
+
     /** Run the Neural Cache baseline under the same configuration. */
     map::RunResult runNeuralCache(const dnn::Network &net,
                                   map::ExecConfig config = {}) const;

@@ -1,6 +1,7 @@
 #include "detailed_sim.hh"
 
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace bfree::map {
 
@@ -164,6 +165,28 @@ DetailedSubBankSim::run(
     result.cycles = clock.ticksToCycles(queue.now()).value();
     result.events = queue.processed();
     return result;
+}
+
+std::vector<DetailedRunResult>
+run_detailed_batch(const tech::CacheGeometry &geom,
+                   const tech::TechParams &tech,
+                   const std::vector<DetailedJob> &jobs, unsigned threads)
+{
+    std::vector<DetailedRunResult> results(jobs.size());
+    sim::ThreadPool pool(threads);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        tasks.push_back([&geom, &tech, &jobs, &results, i] {
+            const DetailedJob &job = jobs[i];
+            DetailedSubBankSim sim(geom, tech, job.nodes, job.sliceLen,
+                                   job.bits);
+            sim.loadWeights(job.weights);
+            results[i] = sim.run(job.inputs);
+        });
+    }
+    pool.run(std::move(tasks));
+    return results;
 }
 
 } // namespace bfree::map

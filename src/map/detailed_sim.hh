@@ -103,6 +103,28 @@ class DetailedSubBankSim
     std::vector<std::int32_t> completed;
 };
 
+/** One self-contained detailed chain run (weights + input waves). */
+struct DetailedJob
+{
+    unsigned nodes = 8;
+    unsigned sliceLen = 16;
+    unsigned bits = 8;
+    std::vector<std::vector<std::int8_t>> weights; ///< [nodes][sliceLen]
+    std::vector<std::vector<std::int8_t>> inputs;  ///< [waves][nodes*sliceLen]
+};
+
+/**
+ * Run each job through a private DetailedSubBankSim (its own event
+ * queue, clock and energy account), sharded across a work-stealing
+ * thread pool. Results come back in job order and are bit-identical
+ * for any thread count; @p threads = 0 uses hardware concurrency.
+ */
+std::vector<DetailedRunResult>
+run_detailed_batch(const tech::CacheGeometry &geom,
+                   const tech::TechParams &tech,
+                   const std::vector<DetailedJob> &jobs,
+                   unsigned threads = 0);
+
 } // namespace bfree::map
 
 #endif // BFREE_MAP_DETAILED_SIM_HH

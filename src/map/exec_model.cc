@@ -4,6 +4,7 @@
 
 #include "attention_schedule.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 #include "tech/access_breakdown.hh"
 
 namespace bfree::map {
@@ -338,6 +339,24 @@ ExecutionModel::run(const dnn::Network &net) const
         result.layers.push_back(std::move(lr));
     }
     return result;
+}
+
+std::vector<RunResult>
+run_sweep(const tech::CacheGeometry &geom, const tech::TechParams &tech,
+          const std::vector<ExecJob> &jobs, unsigned threads)
+{
+    std::vector<RunResult> results(jobs.size());
+    sim::ThreadPool pool(threads);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        tasks.push_back([&geom, &tech, &jobs, &results, i] {
+            ExecutionModel model(geom, tech, jobs[i].config);
+            results[i] = model.run(jobs[i].network);
+        });
+    }
+    pool.run(std::move(tasks));
+    return results;
 }
 
 } // namespace bfree::map

@@ -138,6 +138,24 @@ class ExecutionModel
     tech::MainMemoryParams memParams;
 };
 
+/** One configuration point of a design-space sweep. */
+struct ExecJob
+{
+    dnn::Network network;
+    ExecConfig config{};
+};
+
+/**
+ * Run every sweep point through its own ExecutionModel, sharded across
+ * a work-stealing thread pool (sim/parallel.hh). Results come back in
+ * job order and are bit-identical for any thread count; @p threads = 0
+ * uses hardware concurrency.
+ */
+std::vector<RunResult> run_sweep(const tech::CacheGeometry &geom,
+                                 const tech::TechParams &tech,
+                                 const std::vector<ExecJob> &jobs,
+                                 unsigned threads = 0);
+
 } // namespace bfree::map
 
 #endif // BFREE_MAP_EXEC_MODEL_HH

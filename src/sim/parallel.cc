@@ -1,0 +1,271 @@
+#include "parallel.hh"
+
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "logging.hh"
+
+namespace bfree::sim {
+
+namespace {
+
+/** Sanity cap on the CLI flag; far above any real machine. */
+constexpr unsigned long maxThreads = 4096;
+
+} // namespace
+
+unsigned
+resolve_threads(unsigned requested)
+{
+    if (requested != 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw != 0 ? hw : 1;
+}
+
+unsigned
+threads_from_args(int argc, char **argv, unsigned fallback)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) != "--threads")
+            continue;
+        if (i + 1 >= argc)
+            bfree_fatal("--threads needs a value");
+        // strtoul accepts a leading '-' and wraps; reject it explicitly
+        // before it turns into a four-billion-thread request.
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || argv[i + 1][0] == '-')
+            bfree_fatal("--threads got '", argv[i + 1],
+                        "', expected a non-negative number");
+        if (v > maxThreads)
+            bfree_fatal("--threads got ", v, ", max is ", maxThreads);
+        return resolve_threads(static_cast<unsigned>(v));
+    }
+    return resolve_threads(fallback);
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+    : numThreads(resolve_threads(threads))
+{
+    if (numThreads < 2)
+        return; // inline mode: no queues, no workers
+    queues.reserve(numThreads);
+    for (unsigned i = 0; i < numThreads; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(numThreads);
+    for (unsigned i = 0; i < numThreads; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wake.notify_all();
+    for (std::thread &t : workers)
+        t.join();
+}
+
+void
+ThreadPool::execute(std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!firstError)
+            firstError = std::current_exception();
+    }
+}
+
+void
+ThreadPool::run(std::vector<std::function<void()>> tasks)
+{
+    if (numThreads < 2) {
+        std::exception_ptr error;
+        for (auto &task : tasks) {
+            try {
+                task();
+            } catch (...) {
+                if (!error)
+                    error = std::current_exception();
+            }
+        }
+        if (error)
+            std::rethrow_exception(error);
+        return;
+    }
+
+    // Deal the batch round-robin across the worker deques.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        WorkerQueue &q = *queues[i % numThreads];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        q.tasks.push_back(std::move(tasks[i]));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        pending += tasks.size();
+    }
+    wake.notify_all();
+
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        done.wait(lock, [this] { return pending == 0; });
+        error = firstError;
+        firstError = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+bool
+ThreadPool::popLocal(unsigned self, std::function<void()> &task)
+{
+    WorkerQueue &q = *queues[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    task = std::move(q.tasks.back()); // LIFO: newest, still-warm work
+    q.tasks.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::steal(unsigned self, std::function<void()> &task)
+{
+    for (unsigned k = 1; k < numThreads; ++k) {
+        WorkerQueue &q = *queues[(self + k) % numThreads];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (q.tasks.empty())
+            continue;
+        task = std::move(q.tasks.front()); // FIFO: the victim's oldest
+        q.tasks.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(unsigned self)
+{
+    for (;;) {
+        std::function<void()> task;
+        if (popLocal(self, task) || steal(self, task)) {
+            execute(task);
+            std::lock_guard<std::mutex> lock(mutex);
+            if (--pending == 0)
+                done.notify_all();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(mutex);
+        if (stopping)
+            return;
+        // Timed wait instead of a predicate: queues are guarded by
+        // their own mutexes, so a notify can race our empty-handed
+        // scan. The timeout bounds that window without hot-spinning.
+        wake.wait_for(lock, std::chrono::milliseconds(1));
+    }
+}
+
+Scalar &
+SweepContext::scalar(std::string name, std::string description)
+{
+    auto stat = std::make_unique<Scalar>(stats, std::move(name),
+                                         std::move(description));
+    Scalar &ref = *stat;
+    owned.push_back(std::move(stat));
+    return ref;
+}
+
+Vector &
+SweepContext::vector(std::string name, std::string description,
+                     std::size_t size)
+{
+    auto stat = std::make_unique<Vector>(stats, std::move(name),
+                                         std::move(description), size);
+    Vector &ref = *stat;
+    owned.push_back(std::move(stat));
+    return ref;
+}
+
+Histogram &
+SweepContext::histogram(std::string name, std::string description,
+                        double lo, double hi, std::size_t bins)
+{
+    auto stat = std::make_unique<Histogram>(
+        stats, std::move(name), std::move(description), lo, hi, bins);
+    Histogram &ref = *stat;
+    owned.push_back(std::move(stat));
+    return ref;
+}
+
+SweepReport::SweepReport() : root(std::make_unique<StatGroup>("sweep")) {}
+
+std::string
+SweepReport::output() const
+{
+    std::string all;
+    for (const SweepJobResult &r : results)
+        all += r.output;
+    return all;
+}
+
+double
+SweepReport::totalJobSeconds() const
+{
+    double total = 0.0;
+    for (const SweepJobResult &r : results)
+        total += r.seconds;
+    return total;
+}
+
+SweepReport
+SweepRunner::run(std::vector<SweepJob> jobs)
+{
+    SweepReport report;
+    const std::size_t n = jobs.size();
+    report.results.resize(n);
+    report.ownedStats.resize(n);
+
+    // Groups are created up front on the calling thread so the root's
+    // child list is in job-index order regardless of scheduling; each
+    // worker then only touches its own job's group.
+    report.jobGroups.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::string name = jobs[i].name.empty()
+                               ? "job" + std::to_string(i)
+                               : jobs[i].name;
+        report.jobGroups.push_back(
+            std::make_unique<StatGroup>(*report.root, std::move(name)));
+        report.results[i].name = jobs[i].name;
+    }
+
+    std::vector<std::ostringstream> streams(n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        tasks.push_back([&, i] {
+            const auto start = std::chrono::steady_clock::now();
+            SweepContext ctx(i, streams[i], *report.jobGroups[i],
+                             report.ownedStats[i]);
+            jobs[i].work(ctx);
+            report.results[i].seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+        });
+    }
+    pool.run(std::move(tasks));
+
+    for (std::size_t i = 0; i < n; ++i)
+        report.results[i].output = streams[i].str();
+    return report;
+}
+
+} // namespace bfree::sim

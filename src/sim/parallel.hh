@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The parallel sweep engine: a work-stealing thread pool and a
+ * deterministic SweepRunner.
+ *
+ * Design-space sweeps and full-network evaluations are embarrassingly
+ * parallel across configuration points, layers and sub-bank chains, but
+ * a naive fork/join makes the output depend on completion order. The
+ * engine here separates the two concerns:
+ *
+ *  - ThreadPool schedules tasks onto worker threads with per-worker
+ *    deques and work stealing (owners pop LIFO from their own deque,
+ *    idle workers steal FIFO from a victim), so unbalanced job costs
+ *    still fill every core;
+ *
+ *  - SweepRunner gives every job a private output stream and a private
+ *    StatGroup, then merges both at join in STABLE JOB-INDEX ORDER.
+ *    Nothing observable depends on which worker ran a job or when it
+ *    finished, so sweep output and stats dumps are bit-identical for
+ *    any thread count, including --threads 1.
+ *
+ * Jobs must not touch shared mutable state; everything they produce
+ * goes through their SweepContext (or into a pre-sized slot owned by
+ * the caller, indexed by job).
+ */
+
+#ifndef BFREE_SIM_PARALLEL_HH
+#define BFREE_SIM_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stats.hh"
+
+namespace bfree::sim {
+
+/** Resolve a thread-count request: 0 means hardware concurrency. */
+unsigned resolve_threads(unsigned requested);
+
+/**
+ * Scan argv for a "--threads N" option (benchmark convenience).
+ * Returns @p fallback when the flag is absent; exits with an error on a
+ * malformed value. Other arguments are ignored.
+ */
+unsigned threads_from_args(int argc, char **argv, unsigned fallback = 0);
+
+/**
+ * A work-stealing thread pool.
+ *
+ * Workers own one deque each. Submitted batches are dealt round-robin
+ * across the deques; an owner pops newest-first (LIFO, cache-friendly)
+ * while an idle worker steals oldest-first (FIFO) from the first
+ * non-empty victim. A pool of one thread runs tasks inline on the
+ * calling thread in submission order, with no worker threads at all —
+ * the degenerate case costs nothing and simplifies debugging.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads Worker count; 0 means hardware concurrency. */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of workers (1 means inline execution). */
+    unsigned threads() const { return numThreads; }
+
+    /**
+     * Execute every task to completion; blocks the caller. Tasks may
+     * run in any order and on any worker. If a task throws, the batch
+     * still drains and the first exception is rethrown here.
+     */
+    void run(std::vector<std::function<void()>> tasks);
+
+  private:
+    /** One worker's deque; its mutex only guards this deque. */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> tasks;
+    };
+
+    void workerLoop(unsigned self);
+    bool popLocal(unsigned self, std::function<void()> &task);
+    bool steal(unsigned self, std::function<void()> &task);
+    void execute(std::function<void()> &task);
+
+    unsigned numThreads;
+    std::vector<std::unique_ptr<WorkerQueue>> queues;
+    std::vector<std::thread> workers;
+
+    std::mutex mutex;            ///< Guards the fields below.
+    std::condition_variable wake; ///< Workers sleep here when idle.
+    std::condition_variable done; ///< run() sleeps here until drained.
+    std::size_t pending = 0;      ///< Submitted but not yet finished.
+    bool stopping = false;
+    std::exception_ptr firstError;
+};
+
+/** What one sweep job sees while it runs. */
+class SweepContext
+{
+  public:
+    /** Index of this job in the submitted list. */
+    std::size_t jobIndex;
+
+    /**
+     * Private buffered output; the concatenation in job-index order
+     * becomes SweepReport::output().
+     */
+    std::ostream &out;
+
+    /**
+     * Private stat group, nested under the report root. Congruent
+     * groups can later be folded with StatGroup::mergeFrom.
+     */
+    StatGroup &stats;
+
+    /**
+     * Create a stat inside this job's group, owned by the SweepReport
+     * (it stays valid for the report's lifetime, unlike a stack-local
+     * stat, which would unregister when the job returns).
+     */
+    Scalar &scalar(std::string name, std::string description = "");
+    Vector &vector(std::string name, std::string description,
+                   std::size_t size);
+    Histogram &histogram(std::string name, std::string description,
+                         double lo, double hi, std::size_t bins);
+
+  private:
+    friend class SweepRunner;
+
+    SweepContext(std::size_t index, std::ostream &out, StatGroup &stats,
+                 std::vector<std::unique_ptr<StatBase>> &owned)
+        : jobIndex(index), out(out), stats(stats), owned(owned)
+    {}
+
+    std::vector<std::unique_ptr<StatBase>> &owned;
+};
+
+/** One independent unit of sweep work. */
+struct SweepJob
+{
+    /** Names the job's stat group; keep unique within one sweep. */
+    std::string name;
+    std::function<void(SweepContext &)> work;
+};
+
+/** Per-job outcome. */
+struct SweepJobResult
+{
+    std::string name;
+    std::string output; ///< Everything the job wrote to ctx.out.
+    double seconds = 0.0; ///< Wall clock; informational only, never part
+                          ///< of deterministic output.
+};
+
+/**
+ * The joined result of a sweep. Owns the per-job stat groups, nested
+ * under a root group named "sweep" in job-index order.
+ */
+class SweepReport
+{
+  public:
+    SweepReport();
+    SweepReport(SweepReport &&) = default;
+    SweepReport &operator=(SweepReport &&) = default;
+
+    /** Per-job results in job-index order. */
+    const std::vector<SweepJobResult> &jobs() const { return results; }
+
+    /** All job output concatenated in job-index order. */
+    std::string output() const;
+
+    /** The root stat group holding one child group per job. */
+    const StatGroup &stats() const { return *root; }
+
+    /** Dump the merged stats hierarchy (deterministic). */
+    void dumpStats(std::ostream &os) const { root->dumpAll(os); }
+
+    /** Sum of per-job wall-clock seconds (informational). */
+    double totalJobSeconds() const;
+
+  private:
+    friend class SweepRunner;
+
+    std::unique_ptr<StatGroup> root;
+    std::vector<std::unique_ptr<StatGroup>> jobGroups; ///< Job order.
+    /** Stats created through SweepContext, per job; declared after
+     *  jobGroups so they are destroyed first (they unregister from
+     *  their group on destruction). */
+    std::vector<std::vector<std::unique_ptr<StatBase>>> ownedStats;
+    std::vector<SweepJobResult> results;
+};
+
+/**
+ * Runs a list of independent jobs on a ThreadPool and joins their
+ * outputs deterministically.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads Worker count; 0 means hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0) : pool(threads) {}
+
+    unsigned threads() const { return pool.threads(); }
+
+    /** Run all jobs; returns once every job has finished. */
+    SweepReport run(std::vector<SweepJob> jobs);
+
+  private:
+    ThreadPool pool;
+};
+
+} // namespace bfree::sim
+
+#endif // BFREE_SIM_PARALLEL_HH

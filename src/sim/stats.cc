@@ -15,6 +15,11 @@ StatBase::StatBase(StatGroup &parent, std::string name,
     parent.registerStat(this);
 }
 
+StatBase::~StatBase()
+{
+    _parent->unregisterStat(this);
+}
+
 std::string
 StatBase::fullName() const
 {
@@ -41,6 +46,16 @@ void
 Scalar::dump(std::ostream &os) const
 {
     emit_line(os, fullName(), total, description());
+}
+
+bool
+Scalar::mergeFrom(const StatBase &other)
+{
+    const auto *o = dynamic_cast<const Scalar *>(&other);
+    if (o == nullptr)
+        return false;
+    total += o->total;
+    return true;
 }
 
 void
@@ -78,6 +93,17 @@ Vector::dump(std::ostream &os) const
                   description());
     }
     emit_line(os, fullName() + ".total", total(), description());
+}
+
+bool
+Vector::mergeFrom(const StatBase &other)
+{
+    const auto *o = dynamic_cast<const Vector *>(&other);
+    if (o == nullptr || o->values.size() != values.size())
+        return false;
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] += o->values[i];
+    return true;
 }
 
 Histogram::Histogram(StatGroup &parent, std::string name,
@@ -127,6 +153,21 @@ Histogram::reset()
     sum = 0.0;
 }
 
+bool
+Histogram::mergeFrom(const StatBase &other)
+{
+    const auto *o = dynamic_cast<const Histogram *>(&other);
+    if (o == nullptr || o->counts.size() != counts.size() || o->lo != lo
+        || o->hi != hi) {
+        return false;
+    }
+    for (std::size_t i = 0; i < counts.size(); ++i)
+        counts[i] += o->counts[i];
+    numSamples += o->numSamples;
+    sum += o->sum;
+    return true;
+}
+
 void
 Formula::dump(std::ostream &os) const
 {
@@ -151,6 +192,12 @@ void
 StatGroup::unregisterChild(StatGroup *child)
 {
     std::erase(children, child);
+}
+
+void
+StatGroup::unregisterStat(StatBase *stat)
+{
+    std::erase(stats, stat);
 }
 
 std::string
@@ -190,6 +237,50 @@ StatGroup::resetAll()
         stat->reset();
     for (StatGroup *child : children)
         child->resetAll();
+}
+
+StatBase *
+StatGroup::findStat(const std::string &name) const
+{
+    for (StatBase *stat : stats) {
+        if (stat->name() == name)
+            return stat;
+    }
+    return nullptr;
+}
+
+StatGroup *
+StatGroup::findChild(const std::string &name) const
+{
+    for (StatGroup *child : children) {
+        if (child->name() == name)
+            return child;
+    }
+    return nullptr;
+}
+
+void
+StatGroup::mergeFrom(const StatGroup &other)
+{
+    for (const StatBase *stat : other.stats) {
+        StatBase *mine = findStat(stat->name());
+        if (mine == nullptr) {
+            bfree_panic("merge into '", fullName(), "': no stat named '",
+                        stat->name(), "'");
+        }
+        if (!mine->mergeFrom(*stat)) {
+            bfree_panic("merge into '", fullName(), "': stat '",
+                        stat->name(), "' has a different kind or shape");
+        }
+    }
+    for (const StatGroup *child : other.children) {
+        StatGroup *mine = findChild(child->name());
+        if (mine == nullptr) {
+            bfree_panic("merge into '", fullName(),
+                        "': no child group named '", child->name(), "'");
+        }
+        mine->mergeFrom(*child);
+    }
 }
 
 } // namespace bfree::sim

@@ -28,7 +28,7 @@ class StatBase
 {
   public:
     StatBase(StatGroup &parent, std::string name, std::string description);
-    virtual ~StatBase() = default;
+    virtual ~StatBase();
 
     StatBase(const StatBase &) = delete;
     StatBase &operator=(const StatBase &) = delete;
@@ -47,6 +47,16 @@ class StatBase
 
     /** Reset to the initial value. */
     virtual void reset() = 0;
+
+    /**
+     * Accumulate another stat's values into this one. The two stats
+     * must be of the same kind and shape (same vector length, same
+     * histogram binning); returns false otherwise, leaving this stat
+     * untouched. Merging is associative, so folding a set of congruent
+     * stats in a fixed order yields a bit-identical result no matter
+     * which threads produced them.
+     */
+    virtual bool mergeFrom(const StatBase &other) = 0;
 
   protected:
     const StatGroup &parent() const { return *_parent; }
@@ -82,6 +92,7 @@ class Scalar : public StatBase
 
     void dump(std::ostream &os) const override;
     void reset() override { total = 0.0; }
+    bool mergeFrom(const StatBase &other) override;
 
   private:
     double total = 0.0;
@@ -104,6 +115,7 @@ class Vector : public StatBase
 
     void dump(std::ostream &os) const override;
     void reset() override { values.assign(values.size(), 0.0); }
+    bool mergeFrom(const StatBase &other) override;
 
   private:
     std::vector<double> values;
@@ -125,6 +137,7 @@ class Histogram : public StatBase
 
     void dump(std::ostream &os) const override;
     void reset() override;
+    bool mergeFrom(const StatBase &other) override;
 
   private:
     double lo;
@@ -148,6 +161,13 @@ class Formula : public StatBase
 
     void dump(std::ostream &os) const override;
     void reset() override {}
+
+    /** Formulas hold no state; merging succeeds as a no-op. */
+    bool
+    mergeFrom(const StatBase &other) override
+    {
+        return dynamic_cast<const Formula *>(&other) != nullptr;
+    }
 
   private:
     std::function<double()> fn;
@@ -182,10 +202,26 @@ class StatGroup
     /** Reset all stats in this group and its children. */
     void resetAll();
 
+    /** Stat with leaf name @p name, or nullptr. */
+    StatBase *findStat(const std::string &name) const;
+
+    /** Child group with leaf name @p name, or nullptr. */
+    StatGroup *findChild(const std::string &name) const;
+
+    /**
+     * Accumulate a structurally congruent group into this one: every
+     * stat and child group of @p other is matched by leaf name and
+     * merged recursively. Panics on a missing or shape-mismatched
+     * counterpart — merging is for same-schema groups (e.g. the same
+     * simulation run under different shardings), not arbitrary pairs.
+     */
+    void mergeFrom(const StatGroup &other);
+
   private:
     friend class StatBase;
 
     void registerStat(StatBase *stat) { stats.push_back(stat); }
+    void unregisterStat(StatBase *stat);
     void registerChild(StatGroup *child) { children.push_back(child); }
     void unregisterChild(StatGroup *child);
 

@@ -100,6 +100,97 @@ TEST(DivisionLut, CountsMicroOps)
     EXPECT_GT(counts.romLookups, 0u); // datapath multiplies
 }
 
+/**
+ * Dense operand sweep: every Y mantissa on a fine grid, across many
+ * binades of X and Y, must obey the Hung identity's analytic relative
+ * error bound |X/Y - X(Yh-Yl)/Yh^2| / (X/Y) = (Yl/Yh)^2 <= 2^-2m (plus
+ * the Q12 table rounding folded into errorBound()).
+ */
+TEST(DivisionLutBounds, DenseMantissaSweepWithinAnalyticBound)
+{
+    for (unsigned m : {2u, 4u, 6u}) {
+        const DivisionLut div(m);
+        const double bound = div.errorBound() * 2.0 + 1e-9;
+        for (int step = 0; step < 512; ++step) {
+            const double fy = 1.0 + step / 512.0; // Y mantissa in [1, 2)
+            for (int ey : {-7, -1, 0, 1, 9}) {
+                const double y = std::ldexp(fy, ey);
+                for (double fx : {1.0, 1.3125, 1.75, 1.9999}) {
+                    for (int ex : {-3, 0, 5}) {
+                        const double x = std::ldexp(fx, ex);
+                        const double expected = x / y;
+                        const double got = div.divide(x, y);
+                        ASSERT_NEAR(got, expected, expected * bound)
+                            << x << " / " << y << " (m=" << m << ")";
+                    }
+                }
+            }
+        }
+    }
+}
+
+/**
+ * Y normalization edge cases at the [1, 2) boundaries: exact powers of
+ * two (mantissa exactly 1.0, the first table entry) and divisors one
+ * ulp below a power of two (mantissa 2 - ulp, the last table entry).
+ */
+TEST(DivisionLutBounds, NormalizationBoundaryOperands)
+{
+    const DivisionLut div(4);
+    const double bound = div.errorBound() * 2.0 + 1e-9;
+    for (int k = -8; k <= 8; ++k) {
+        const double pow2 = std::ldexp(1.0, k);
+        const double below = std::nextafter(pow2, 0.0); // mantissa 2-ulp
+        const double above = std::nextafter(pow2, 1e30);
+        for (double y : {pow2, below, above}) {
+            for (double x : {1.0, 3.7, 1000.0}) {
+                const double expected = x / y;
+                ASSERT_NEAR(div.divide(x, y), expected, expected * bound)
+                    << x << " / " << y;
+            }
+        }
+    }
+}
+
+/**
+ * Binade invariance: normalization strips powers of two before the
+ * table, so scaling either operand by 2^k must scale the result by
+ * exactly 2^±k — bit-exact, not approximately.
+ */
+TEST(DivisionLutBounds, BinadeShiftsAreExact)
+{
+    const DivisionLut div(4);
+    bfree::sim::Rng rng(99);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniformReal(1.0, 2.0);
+        const double y = rng.uniformReal(1.0, 2.0);
+        const double base = div.divide(x, y);
+        for (int k : {-12, -3, 1, 7, 20}) {
+            EXPECT_EQ(div.divide(std::ldexp(x, k), y),
+                      std::ldexp(base, k))
+                << x << " " << y << " " << k;
+            EXPECT_EQ(div.divide(x, std::ldexp(y, k)),
+                      std::ldexp(base, -k))
+                << x << " " << y << " " << k;
+        }
+    }
+}
+
+/** The worst observed error should actually approach the bound's order
+ *  of magnitude — otherwise the bound test is vacuous. */
+TEST(DivisionLutBounds, BoundIsTightWithinAFactorOfFour)
+{
+    const DivisionLut div(4);
+    double worst = 0.0;
+    for (int step = 0; step < 4096; ++step) {
+        const double y = 1.0 + step / 4096.0;
+        const double got = div.divide(1.5, y);
+        worst = std::max(worst, std::abs(got - 1.5 / y) / (1.5 / y));
+    }
+    EXPECT_GT(worst, div.errorBound() / 4.0);
+    EXPECT_LT(worst, div.errorBound() * 2.0);
+}
+
 TEST(DivisionLutDeath, RejectsNonPositiveDivisor)
 {
     DivisionLut div(4);

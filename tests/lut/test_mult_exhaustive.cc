@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Exhaustive differential test of the LUT multiply path.
+ *
+ * The operand analyzer + 49-entry odd-odd ROM claim to be EXACT for
+ * every signed operand pair at 4- and 8-bit precision. Spot checks are
+ * not evidence of that; enumerating the whole space is. The spaces are
+ * small enough to brute-force:
+ *
+ *   - 8-bit signed:   256 x 256 = 65,536 pairs,
+ *   - 4-bit signed:    16 x 16  =    256 pairs,
+ *   - 4-bit unsigned:  16 x 16  =    256 pairs (multiply_u4),
+ *
+ * each checked against plain integer multiplication, through both
+ * lookup sources (sub-array LUT rows and the BCE's hardwired ROM).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lut/operand_analyzer.hh"
+
+using namespace bfree::lut;
+
+namespace {
+
+class MultExhaustive : public ::testing::TestWithParam<LookupSource>
+{
+  protected:
+    MultLut lut;
+};
+
+} // namespace
+
+TEST_P(MultExhaustive, AllSigned8BitPairsExact)
+{
+    const LookupSource source = GetParam();
+    for (int a = -128; a <= 127; ++a) {
+        for (int b = -128; b <= 127; ++b) {
+            const MultResult r = multiply_signed(a, b, 8, lut, source);
+            ASSERT_EQ(r.product, std::int64_t(a) * std::int64_t(b))
+                << a << " * " << b;
+        }
+    }
+}
+
+TEST_P(MultExhaustive, AllSigned4BitPairsExact)
+{
+    const LookupSource source = GetParam();
+    for (int a = -8; a <= 7; ++a) {
+        for (int b = -8; b <= 7; ++b) {
+            const MultResult r = multiply_signed(a, b, 4, lut, source);
+            ASSERT_EQ(r.product, std::int64_t(a) * std::int64_t(b))
+                << a << " * " << b;
+        }
+    }
+}
+
+TEST_P(MultExhaustive, AllUnsigned4BitPairsExact)
+{
+    const LookupSource source = GetParam();
+    for (unsigned a = 0; a <= 15; ++a) {
+        for (unsigned b = 0; b <= 15; ++b) {
+            const MultResult r = multiply_u4(a, b, lut, source);
+            ASSERT_EQ(r.product, std::int64_t(a) * std::int64_t(b))
+                << a << " * " << b;
+        }
+    }
+}
+
+/**
+ * Micro-op accounting invariants over the full 4-bit space: zero/one
+ * operands never touch a table; an odd-odd pair costs exactly one
+ * lookup; the lookup lands in the selected source.
+ */
+TEST_P(MultExhaustive, MicroOpInvariantsOverFull4BitSpace)
+{
+    const LookupSource source = GetParam();
+    for (unsigned a = 0; a <= 15; ++a) {
+        for (unsigned b = 0; b <= 15; ++b) {
+            const MultResult r = multiply_u4(a, b, lut, source);
+            const std::uint64_t lookups =
+                r.counts.lutLookups + r.counts.romLookups;
+            if (a <= 1 || b <= 1) {
+                ASSERT_EQ(lookups, 0u) << a << " * " << b;
+            } else if (a % 2 == 1 && b % 2 == 1) {
+                ASSERT_EQ(lookups, 1u) << a << " * " << b;
+            }
+            if (source == LookupSource::SubarrayLut)
+                ASSERT_EQ(r.counts.romLookups, 0u) << a << " * " << b;
+            else
+                ASSERT_EQ(r.counts.lutLookups, 0u) << a << " * " << b;
+        }
+    }
+}
+
+/** 8-bit multiplies decompose into at most 4 nibble products. */
+TEST_P(MultExhaustive, LookupCountBoundedByNibbleProducts)
+{
+    const LookupSource source = GetParam();
+    for (int a = -128; a <= 127; ++a) {
+        for (int b = -128; b <= 127; ++b) {
+            const MultResult r = multiply_signed(a, b, 8, lut, source);
+            ASSERT_LE(r.counts.lutLookups + r.counts.romLookups,
+                      nibble_products(8))
+                << a << " * " << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sources, MultExhaustive,
+                         ::testing::Values(LookupSource::SubarrayLut,
+                                           LookupSource::BceRom),
+                         [](const auto &info) {
+                             return info.param == LookupSource::SubarrayLut
+                                        ? "SubarrayLut"
+                                        : "BceRom";
+                         });

@@ -66,6 +66,80 @@ TEST_P(PwlSegmentSweep, ExpErrorBound)
 INSTANTIATE_TEST_SUITE_P(Segments, PwlSegmentSweep,
                          ::testing::Values(8u, 16u, 32u, 64u, 128u));
 
+/**
+ * Analytic segment bounds (paper Equation 2 tables): an endpoint-
+ * interpolating PWL approximation of a C^2 function obeys
+ *
+ *     max |f(x) - pwl(x)|  <=  h^2 / 8 * max |f''|
+ *
+ * over each segment of width h. The second-derivative maxima are
+ * exp: 1 on [-16,0]; sigmoid: 1/(6*sqrt(3)); tanh: 4/(3*sqrt(3)).
+ */
+class PwlAnalyticBound : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(PwlAnalyticBound, ExpWithinSegmentBound)
+{
+    const unsigned segments = GetParam();
+    PwlTable t = make_exp_table(segments);
+    const double h = 16.0 / segments;
+    const double bound = h * h / 8.0 * 1.0; // max|exp''| = exp(0) = 1
+    EXPECT_LE(t.maxAbsError([](double x) { return std::exp(x); }, 40000),
+              bound + 1e-12)
+        << segments;
+}
+
+TEST_P(PwlAnalyticBound, SigmoidWithinSegmentBound)
+{
+    const unsigned segments = GetParam();
+    PwlTable t = make_sigmoid_table(segments);
+    const double h = 16.0 / segments;
+    const double bound = h * h / 8.0 / (6.0 * std::sqrt(3.0));
+    EXPECT_LE(t.maxAbsError(
+                  [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+                  40000),
+              bound + 1e-12)
+        << segments;
+}
+
+TEST_P(PwlAnalyticBound, TanhWithinSegmentBound)
+{
+    const unsigned segments = GetParam();
+    PwlTable t = make_tanh_table(segments);
+    const double h = 8.0 / segments;
+    const double bound = h * h / 8.0 * 4.0 / (3.0 * std::sqrt(3.0));
+    EXPECT_LE(t.maxAbsError([](double x) { return std::tanh(x); }, 40000),
+              bound + 1e-12)
+        << segments;
+}
+
+INSTANTIATE_TEST_SUITE_P(Segments, PwlAnalyticBound,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u, 256u));
+
+/** Quadratic convergence: doubling segments cuts the error ~4x. */
+TEST(PwlAnalyticBound, ErrorConvergesQuadratically)
+{
+    auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+    double prev = make_sigmoid_table(8).maxAbsError(sigmoid, 40000);
+    for (unsigned s : {16u, 32u, 64u, 128u}) {
+        const double err = make_sigmoid_table(s).maxAbsError(sigmoid, 40000);
+        EXPECT_LT(err, prev / 3.0) << s; // 4x in theory, 3x with slack
+        prev = err;
+    }
+}
+
+/** Design points vs 8-bit quantization noise: 32 segments keep the
+ *  activation within one LSB of a [0,1] output, 64 within half an LSB —
+ *  so the PWL table never dominates the quantization error budget. */
+TEST(PwlAnalyticBound, DesignPointBeatsQuantizationNoise)
+{
+    auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+    EXPECT_LT(make_sigmoid_table(32).maxAbsError(sigmoid, 40000),
+              1.0 / 255.0);
+    EXPECT_LT(make_sigmoid_table(64).maxAbsError(sigmoid, 40000),
+              0.5 / 255.0);
+}
+
 TEST(PwlTable, MoreSegmentsNeverWorse)
 {
     auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };

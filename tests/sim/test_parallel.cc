@@ -1,0 +1,363 @@
+/**
+ * @file
+ * The parallel sweep engine: work-stealing pool, deterministic stats
+ * merge, and cross-thread-count reproducibility.
+ *
+ * The determinism contract under test: a SweepRunner joins job output
+ * and job stats in stable job-index order, so every observable result
+ * is byte-identical for any thread count — including --threads 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "dnn/model_zoo.hh"
+#include "map/detailed_sim.hh"
+#include "map/exec_model.hh"
+#include "sim/parallel.hh"
+#include "sim/random.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+using namespace bfree;
+using namespace bfree::sim;
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threads(), 4u);
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 500; ++i)
+        tasks.push_back([&count] { ++count; });
+    pool.run(std::move(tasks));
+    EXPECT_EQ(count.load(), 500);
+}
+
+TEST(ThreadPool, ReusableAcrossBatches)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int batch = 0; batch < 10; ++batch) {
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 17; ++i)
+            tasks.push_back([&count] { ++count; });
+        pool.run(std::move(tasks));
+    }
+    EXPECT_EQ(count.load(), 170);
+}
+
+TEST(ThreadPool, SingleThreadRunsInlineInOrder)
+{
+    ThreadPool pool(1);
+    const auto caller = std::this_thread::get_id();
+    std::vector<int> order;
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 8; ++i) {
+        tasks.push_back([&order, caller, i] {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            order.push_back(i);
+        });
+    }
+    pool.run(std::move(tasks));
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPool, UnbalancedTasksAllComplete)
+{
+    // One task is 1000x heavier than the rest; stealing must keep the
+    // batch from serializing behind the deque it landed in.
+    ThreadPool pool(4);
+    std::atomic<long> sum{0};
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&sum] {
+        long s = 0;
+        for (int i = 0; i < 1000000; ++i)
+            s += i % 7;
+        sum += s;
+    });
+    for (int i = 0; i < 64; ++i)
+        tasks.push_back([&sum] { sum += 1; });
+    pool.run(std::move(tasks));
+    EXPECT_GE(sum.load(), 64);
+}
+
+TEST(ThreadPool, PropagatesFirstException)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 20; ++i) {
+        tasks.push_back([&count, i] {
+            if (i == 7)
+                throw std::runtime_error("boom");
+            ++count;
+        });
+    }
+    EXPECT_THROW(pool.run(std::move(tasks)), std::runtime_error);
+    EXPECT_EQ(count.load(), 19); // the batch still drains
+
+    // The pool stays usable after a failed batch.
+    std::vector<std::function<void()>> more;
+    more.push_back([&count] { ++count; });
+    pool.run(std::move(more));
+    EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, ZeroResolvesToHardwareConcurrency)
+{
+    EXPECT_GE(resolve_threads(0), 1u);
+    EXPECT_EQ(resolve_threads(5), 5u);
+}
+
+namespace {
+
+/** A job mix with data-dependent cost, text output and all stat kinds. */
+std::vector<SweepJob>
+make_mixed_jobs(unsigned count)
+{
+    std::vector<SweepJob> jobs;
+    for (unsigned j = 0; j < count; ++j) {
+        jobs.push_back({"mix" + std::to_string(j),
+                        [j](SweepContext &ctx) {
+            Rng rng(1000 + j);
+            // Unbalanced, deterministic amount of work per job.
+            const int iters =
+                static_cast<int>(rng.uniformInt(1000, 20000));
+            double acc = 0.0;
+            Scalar &draws = ctx.scalar("draws", "rng draws");
+            Vector &mod = ctx.vector("mod", "draw mod 4", 4);
+            Histogram &hist =
+                ctx.histogram("gauss", "gaussian draws", -4.0, 4.0, 8);
+            for (int i = 0; i < iters; ++i) {
+                const double g = rng.gaussian(0.0, 1.0);
+                acc += g;
+                ++draws;
+                mod.add(static_cast<std::size_t>(i % 4), 1.0);
+                hist.sample(g);
+            }
+            ctx.out << "job " << ctx.jobIndex << " iters " << iters
+                    << " acc " << acc << "\n";
+        }});
+    }
+    return jobs;
+}
+
+/** Full observable state of a finished sweep as one string. */
+std::string
+sweep_fingerprint(const SweepReport &report)
+{
+    std::ostringstream os;
+    os << report.output() << "---\n";
+    report.dumpStats(os);
+    for (const SweepJobResult &r : report.jobs())
+        os << r.name << "\n"; // order + names, not timing
+    return os.str();
+}
+
+} // namespace
+
+TEST(SweepRunner, ByteIdenticalAcrossThreadCounts)
+{
+    std::string reference;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        SweepRunner runner(threads);
+        const SweepReport report = runner.run(make_mixed_jobs(24));
+        const std::string fp = sweep_fingerprint(report);
+        if (reference.empty())
+            reference = fp;
+        else
+            EXPECT_EQ(fp, reference) << threads << " threads";
+    }
+    EXPECT_FALSE(reference.empty());
+}
+
+TEST(SweepRunner, JobGroupsNestUnderSweepRootInJobOrder)
+{
+    SweepRunner runner(2);
+    std::vector<SweepJob> jobs;
+    jobs.push_back({"alpha", [](SweepContext &ctx) {
+        ctx.scalar("value", "v").set(1.0);
+    }});
+    jobs.push_back({"", [](SweepContext &ctx) { // unnamed -> job1
+        ctx.scalar("value", "v").set(2.0);
+    }});
+    const SweepReport report = runner.run(std::move(jobs));
+
+    const StatGroup *alpha = report.stats().findChild("alpha");
+    const StatGroup *anon = report.stats().findChild("job1");
+    ASSERT_NE(alpha, nullptr);
+    ASSERT_NE(anon, nullptr);
+    const auto *v = dynamic_cast<Scalar *>(alpha->findStat("value"));
+    ASSERT_NE(v, nullptr);
+    EXPECT_DOUBLE_EQ(v->value(), 1.0);
+    EXPECT_EQ(alpha->fullName(), "sweep.alpha");
+}
+
+TEST(SweepRunner, MergeFromFoldsCongruentJobStats)
+{
+    SweepRunner runner(4);
+    std::vector<SweepJob> jobs;
+    for (unsigned j = 0; j < 6; ++j) {
+        jobs.push_back({"shard" + std::to_string(j),
+                        [j](SweepContext &ctx) {
+            ctx.scalar("count", "c").set(static_cast<double>(j));
+            Vector &v = ctx.vector("v", "v", 3);
+            v.add(j % 3, 1.0);
+        }});
+    }
+    const SweepReport report = runner.run(std::move(jobs));
+
+    // Fold shards 1..5 into shard 0, in job-index order.
+    StatGroup *total = report.stats().findChild("shard0");
+    ASSERT_NE(total, nullptr);
+    for (unsigned j = 1; j < 6; ++j)
+        total->mergeFrom(*report.stats().findChild(
+            "shard" + std::to_string(j)));
+
+    const auto *count = dynamic_cast<Scalar *>(total->findStat("count"));
+    ASSERT_NE(count, nullptr);
+    EXPECT_DOUBLE_EQ(count->value(), 0 + 1 + 2 + 3 + 4 + 5);
+    const auto *v = dynamic_cast<Vector *>(total->findStat("v"));
+    ASSERT_NE(v, nullptr);
+    EXPECT_DOUBLE_EQ(v->total(), 6.0);
+    EXPECT_DOUBLE_EQ(v->value(0), 2.0);
+}
+
+TEST(SweepRunner, RecordsPerJobTiming)
+{
+    SweepRunner runner(2);
+    std::vector<SweepJob> jobs = make_mixed_jobs(4);
+    const SweepReport report = runner.run(std::move(jobs));
+    ASSERT_EQ(report.jobs().size(), 4u);
+    for (const SweepJobResult &r : report.jobs())
+        EXPECT_GE(r.seconds, 0.0);
+    EXPECT_GE(report.totalJobSeconds(), 0.0);
+}
+
+TEST(ExecSweep, ResultsBitIdenticalAcrossThreadCounts)
+{
+    const tech::CacheGeometry geom;
+    const tech::TechParams tech;
+    std::vector<map::ExecJob> jobs;
+    for (unsigned slices : {1u, 2u, 4u, 7u, 14u}) {
+        map::ExecConfig cfg;
+        cfg.mapper.slices = slices;
+        jobs.push_back({dnn::make_tiny_cnn(), cfg});
+    }
+
+    const auto serial = map::run_sweep(geom, tech, jobs, 1);
+    const auto parallel = map::run_sweep(geom, tech, jobs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        // Bit-identical, not approximately equal.
+        EXPECT_EQ(serial[i].secondsPerInference(),
+                  parallel[i].secondsPerInference())
+            << i;
+        EXPECT_EQ(serial[i].joulesPerInference(),
+                  parallel[i].joulesPerInference())
+            << i;
+        EXPECT_EQ(serial[i].layers.size(), parallel[i].layers.size());
+    }
+    // Larger fabrics are not slower on the same network.
+    EXPECT_LE(serial.back().time.compute, serial.front().time.compute);
+}
+
+TEST(DetailedBatch, MatchesSingleRunsAndFormula)
+{
+    const tech::CacheGeometry geom;
+    const tech::TechParams tech;
+
+    std::vector<map::DetailedJob> jobs;
+    for (unsigned j = 0; j < 3; ++j) {
+        map::DetailedJob job;
+        job.nodes = 2 + j;
+        job.sliceLen = 8;
+        job.bits = 8;
+        Rng rng(42 + j);
+        job.weights.assign(job.nodes,
+                           std::vector<std::int8_t>(job.sliceLen));
+        for (auto &s : job.weights)
+            for (auto &w : s)
+                w = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        job.inputs.assign(
+            5, std::vector<std::int8_t>(std::size_t(job.nodes)
+                                        * job.sliceLen));
+        for (auto &wave : job.inputs)
+            for (auto &x : wave)
+                x = static_cast<std::int8_t>(rng.uniformInt(-128, 127));
+        jobs.push_back(std::move(job));
+    }
+
+    const auto batch =
+        map::run_detailed_batch(geom, tech, jobs, 3);
+    ASSERT_EQ(batch.size(), jobs.size());
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+        map::DetailedSubBankSim single(geom, tech, jobs[j].nodes,
+                                       jobs[j].sliceLen, jobs[j].bits);
+        single.loadWeights(jobs[j].weights);
+        const auto expected = single.run(jobs[j].inputs);
+        EXPECT_EQ(batch[j].outputs, expected.outputs) << j;
+        EXPECT_EQ(batch[j].cycles, expected.cycles) << j;
+        EXPECT_EQ(batch[j].cycles,
+                  map::detailed_chain_formula(jobs[j].nodes, 5,
+                                              single.cyclesPerStep(),
+                                              tech.routerHopCycles))
+            << j;
+    }
+}
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(0xfeedULL);
+    Rng b(0xfeedULL);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.uniformInt(-1000000, 1000000),
+                  b.uniformInt(-1000000, 1000000));
+        EXPECT_EQ(a.uniformReal(0.0, 1.0), b.uniformReal(0.0, 1.0));
+        EXPECT_EQ(a.gaussian(0.0, 1.0), b.gaussian(0.0, 1.0));
+    }
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniformInt(0, 1u << 30) != b.uniformInt(0, 1u << 30))
+            ++differing;
+    }
+    EXPECT_GT(differing, 90);
+}
+
+TEST(Rng, PerJobStreamsUnaffectedByThreadCount)
+{
+    // Each job owns a seeded Rng; interleaving with other threads must
+    // not perturb any job's stream.
+    auto draw_sums = [](unsigned threads) {
+        std::vector<double> sums(16, 0.0);
+        std::vector<SweepJob> jobs;
+        for (unsigned j = 0; j < 16; ++j) {
+            jobs.push_back({"rng" + std::to_string(j),
+                            [j, &sums](SweepContext &) {
+                Rng rng(7000 + j);
+                double s = 0.0;
+                for (int i = 0; i < 5000; ++i)
+                    s += rng.uniformReal(-1.0, 1.0);
+                sums[j] = s;
+            }});
+        }
+        SweepRunner runner(threads);
+        runner.run(std::move(jobs));
+        return sums;
+    };
+    const auto serial = draw_sums(1);
+    EXPECT_EQ(draw_sums(2), serial);
+    EXPECT_EQ(draw_sums(8), serial);
+}

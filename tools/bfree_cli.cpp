@@ -13,10 +13,13 @@
 #include <iostream>
 #include <string>
 
+#include <optional>
+
 #include "core/bfree.hh"
 #include "core/report.hh"
 #include "core/stats_export.hh"
 #include "dnn/quantize.hh"
+#include "sim/parallel.hh"
 
 namespace {
 
@@ -35,6 +38,8 @@ usage(std::ostream &os)
           "  --precision P     8 | 4 | mixed        (default 8)\n"
           "  --baseline B      none | neural-cache | eyeriss | cpu |\n"
           "                    gpu | all            (default none)\n"
+          "  --threads N       worker threads for the run + baseline\n"
+          "                    sweep (default: hardware concurrency)\n"
           "  --describe        print the network's structure and exit\n"
           "  --layers          print the per-layer table\n"
           "  --csv             emit per-layer CSV instead of text\n"
@@ -73,6 +78,7 @@ main(int argc, char **argv)
     std::string baseline = "none";
     unsigned batch = 1;
     unsigned slices = 14;
+    unsigned threads = 0; // 0: hardware concurrency
     bool layers = false;
     bool describe = false;
     bool csv = false;
@@ -87,14 +93,34 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        // stoul would accept "-3" and wrap it to ~4 billion.
+        auto next_unsigned = [&](unsigned long max) -> unsigned {
+            const std::string v = next();
+            unsigned long n = 0;
+            std::size_t used = 0;
+            try {
+                n = std::stoul(v, &used);
+            } catch (const std::exception &) {
+                used = 0;
+            }
+            if (used != v.size() || v[0] == '-' || n > max) {
+                std::cerr << arg << " got '" << v
+                          << "', expected a number in [0, " << max
+                          << "]\n";
+                std::exit(2);
+            }
+            return static_cast<unsigned>(n);
+        };
         if (arg == "--network")
             network = next();
         else if (arg == "--batch")
-            batch = static_cast<unsigned>(std::stoul(next()));
+            batch = next_unsigned(1u << 20);
         else if (arg == "--memory")
             memory = next();
         else if (arg == "--slices")
-            slices = static_cast<unsigned>(std::stoul(next()));
+            slices = next_unsigned(1u << 10);
+        else if (arg == "--threads")
+            threads = next_unsigned(4096);
         else if (arg == "--mode")
             mode = next();
         else if (arg == "--precision")
@@ -157,7 +183,43 @@ main(int argc, char **argv)
     }
 
     core::BFreeAccelerator acc;
-    const map::RunResult run = acc.run(net, cfg);
+
+    // The main run and every requested baseline are independent jobs;
+    // shard them across the sweep engine. Results land in fixed slots,
+    // so the printed report below is identical for any thread count.
+    map::RunResult run;
+    std::optional<map::RunResult> nc_run;
+    std::optional<map::RunResult> ey_run;
+    std::optional<baseline::BaselineResult> cpu_run;
+    std::optional<baseline::BaselineResult> gpu_run;
+    {
+        std::vector<sim::SweepJob> jobs;
+        jobs.push_back({"bfree", [&](sim::SweepContext &) {
+            run = acc.run(net, cfg);
+        }});
+        if (baseline == "neural-cache" || baseline == "all") {
+            jobs.push_back({"neural_cache", [&](sim::SweepContext &) {
+                nc_run = acc.runNeuralCache(net, cfg);
+            }});
+        }
+        if (baseline == "eyeriss" || baseline == "all") {
+            jobs.push_back({"eyeriss", [&](sim::SweepContext &) {
+                ey_run = acc.runEyeriss(net);
+            }});
+        }
+        if (baseline == "cpu" || baseline == "all") {
+            jobs.push_back({"cpu", [&](sim::SweepContext &) {
+                cpu_run = acc.runCpu(net, batch);
+            }});
+        }
+        if (baseline == "gpu" || baseline == "all") {
+            jobs.push_back({"gpu", [&](sim::SweepContext &) {
+                gpu_run = acc.runGpu(net, batch);
+            }});
+        }
+        sim::SweepRunner sweeper(threads);
+        sweeper.run(std::move(jobs));
+    }
 
     if (csv) {
         core::write_csv_header(std::cout);
@@ -188,25 +250,21 @@ main(int argc, char **argv)
                   << "x energy advantage)\n";
     };
 
-    if (baseline == "neural-cache" || baseline == "all") {
-        const auto nc = acc.runNeuralCache(net, cfg);
-        compare("Neural Cache", nc.secondsPerInference(),
-                nc.joulesPerInference());
+    if (nc_run) {
+        compare("Neural Cache", nc_run->secondsPerInference(),
+                nc_run->joulesPerInference());
     }
-    if (baseline == "eyeriss" || baseline == "all") {
-        const auto ey = acc.runEyeriss(net);
-        compare("Eyeriss (iso-area)", ey.secondsPerInference(),
-                ey.joulesPerInference());
+    if (ey_run) {
+        compare("Eyeriss (iso-area)", ey_run->secondsPerInference(),
+                ey_run->joulesPerInference());
     }
-    if (baseline == "cpu" || baseline == "all") {
-        const auto cpu = acc.runCpu(net, batch);
-        compare(cpu.device, cpu.secondsPerInference,
-                cpu.joulesPerInference);
+    if (cpu_run) {
+        compare(cpu_run->device, cpu_run->secondsPerInference,
+                cpu_run->joulesPerInference);
     }
-    if (baseline == "gpu" || baseline == "all") {
-        const auto gpu = acc.runGpu(net, batch);
-        compare(gpu.device, gpu.secondsPerInference,
-                gpu.joulesPerInference);
+    if (gpu_run) {
+        compare(gpu_run->device, gpu_run->secondsPerInference,
+                gpu_run->joulesPerInference);
     }
     return 0;
 }
