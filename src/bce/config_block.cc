@@ -1,7 +1,5 @@
 #include "config_block.hh"
 
-#include "sim/logging.hh"
-
 namespace bfree::bce {
 
 std::array<std::uint8_t, ConfigBlock::encoded_size>
@@ -19,12 +17,11 @@ ConfigBlock::encode() const
     return bytes;
 }
 
-ConfigBlock
+std::optional<ConfigBlock>
 ConfigBlock::decode(const std::array<std::uint8_t, encoded_size> &bytes)
 {
     if (bytes[0] > static_cast<std::uint8_t>(PimOpcode::LayerNorm))
-        bfree_panic("malformed config block: opcode byte ",
-                    static_cast<unsigned>(bytes[0]));
+        return std::nullopt;
 
     ConfigBlock cb;
     cb.opcode = static_cast<PimOpcode>(bytes[0]);

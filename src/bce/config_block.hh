@@ -14,6 +14,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 
 #include "isa.hh"
 
@@ -36,8 +37,10 @@ struct ConfigBlock
     /** Pack into the byte layout stored in the sub-array. */
     std::array<std::uint8_t, encoded_size> encode() const;
 
-    /** Unpack; panics on a malformed opcode byte. */
-    static ConfigBlock decode(
+    /** Unpack. Returns std::nullopt on a malformed opcode byte —
+     *  callers surface that as a cb-opcode-byte lint diagnostic
+     *  rather than aborting. */
+    static std::optional<ConfigBlock> decode(
         const std::array<std::uint8_t, encoded_size> &bytes);
 };
 

@@ -1,5 +1,7 @@
 #include "bfree.hh"
 
+#include "map/kernel_compiler.hh"
+
 namespace bfree::core {
 
 BFreeAccelerator::BFreeAccelerator(Options options)
@@ -9,8 +11,33 @@ BFreeAccelerator::BFreeAccelerator(Options options)
 map::RunResult
 BFreeAccelerator::run(const dnn::Network &net, map::ExecConfig config) const
 {
+    verify::VerifyReport report = lint(net, config);
+    if (!report.ok()) {
+        map::RunResult rejected;
+        rejected.network = net.name();
+        rejected.batch = config.batch;
+        rejected.diagnostics = std::move(report);
+        rejected.rejected = true;
+        return rejected;
+    }
+
     map::ExecutionModel model(opts.geometry, opts.tech, config);
-    return model.run(net);
+    map::RunResult result = model.run(net);
+    result.diagnostics = std::move(report);
+    return result;
+}
+
+verify::VerifyReport
+BFreeAccelerator::lint(const dnn::Network &net,
+                       map::ExecConfig config) const
+{
+    const map::KernelCompiler compiler(opts.geometry, config.mapper);
+    verify::VerifyReport report;
+    for (const dnn::Layer &layer : net.layers()) {
+        const map::CompiledKernel kernel = compiler.compile(layer);
+        report.merge(kernel.diagnostics, "layer '" + layer.name + "'");
+    }
+    return report;
 }
 
 std::vector<map::RunResult>

@@ -24,6 +24,7 @@
 #include "dnn/network.hh"
 #include "map/exec_model.hh"
 #include "tech/area_model.hh"
+#include "verify/diagnostic.hh"
 #include "tech/geometry.hh"
 #include "tech/tech_params.hh"
 
@@ -55,9 +56,21 @@ class BFreeAccelerator
     /**
      * Run @p net on BFree. @p config defaults to batch 1 on DRAM with
      * all slices and automatic mode selection.
+     *
+     * Every layer is compiled and statically verified first; a network
+     * with any error-severity finding is rejected (result.rejected,
+     * zero time/energy) with the findings in result.diagnostics.
      */
     map::RunResult run(const dnn::Network &net,
                        map::ExecConfig config = {}) const;
+
+    /**
+     * Statically verify @p net without executing it: compile every
+     * layer and collect the verifier findings, locations prefixed with
+     * the layer names. The core of `bfree_lint` / `bfree_cli --lint`.
+     */
+    verify::VerifyReport lint(const dnn::Network &net,
+                              map::ExecConfig config = {}) const;
 
     /**
      * Run many (network, config) sweep points in parallel on the

@@ -28,6 +28,14 @@ struct LutImage
     std::string name;
     std::vector<std::uint8_t> bytes;
 
+    /**
+     * Configuration phase the controller loads this image in. Images
+     * sharing a phase are co-resident in the 8 LUT rows and their row
+     * footprints must fit the budget together; images in distinct
+     * phases replace each other and are only bounded individually.
+     */
+    unsigned configPhase = 0;
+
     std::size_t size() const { return bytes.size(); }
 
     /** True when the image fits a sub-array LUT region of

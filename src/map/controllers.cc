@@ -100,7 +100,7 @@ CacheController::configureKernel(const CompiledKernel &kernel)
     return total;
 }
 
-bce::ConfigBlock
+std::optional<bce::ConfigBlock>
 CacheController::readConfig(unsigned index) const
 {
     std::array<std::uint8_t, bce::ConfigBlock::encoded_size> bytes{};

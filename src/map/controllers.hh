@@ -15,6 +15,7 @@
 #define BFREE_MAP_CONTROLLERS_HH
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "bce/config_block.hh"
@@ -70,9 +71,10 @@ class CacheController
 
     /**
      * Read back the config block of sub-array @p index (what its BCE
-     * will decode in pipeline stage 1).
+     * will decode in pipeline stage 1). std::nullopt when the stored
+     * bytes do not decode — corrupt or never-programmed CB region.
      */
-    bce::ConfigBlock readConfig(unsigned index) const;
+    std::optional<bce::ConfigBlock> readConfig(unsigned index) const;
 
     /**
      * Verify that sub-array @p index holds @p image in its LUT rows

@@ -38,6 +38,7 @@
 #include "mapping.hh"
 #include "mem/energy_account.hh"
 #include "tech/tech_params.hh"
+#include "verify/diagnostic.hh"
 
 namespace bfree::map {
 
@@ -79,6 +80,14 @@ struct RunResult
     std::vector<LayerResult> layers;
     PhaseBreakdown time;       ///< Per inference (batch-amortized).
     mem::EnergyAccount energy; ///< Per inference.
+
+    /** Findings of the pre-execution verification pass (empty when
+     *  the entry point skipped verification). */
+    verify::VerifyReport diagnostics;
+
+    /** True when verification rejected the network: no kernel ran and
+     *  time/energy are zero. The diagnostics explain why. */
+    bool rejected = false;
 
     double secondsPerInference() const { return time.total(); }
     double joulesPerInference() const { return energy.total(); }

@@ -7,6 +7,7 @@
 #include "lut/mult_lut.hh"
 #include "lut/pwl.hh"
 #include "sim/logging.hh"
+#include "verify/kernel_verifier.hh"
 
 namespace bfree::map {
 
@@ -52,8 +53,9 @@ opcode_for(const dnn::Layer &layer, ExecMode mode)
 }
 
 KernelCompiler::KernelCompiler(const tech::CacheGeometry &geom,
-                               MapperOptions options)
-    : geom(geom), _mapper(geom, options)
+                               MapperOptions options,
+                               CompileOptions compile_options)
+    : geom(geom), _mapper(geom, options), copts(compile_options)
 {}
 
 namespace {
@@ -177,11 +179,12 @@ KernelCompiler::compile(const dnn::Layer &layer,
         k.lutImages.push_back(lut::serialize(lut::make_exp_table(8)));
         k.lutImages.push_back(lut::serialize(lut::DivisionLut(4)));
     }
-    for (const lut::LutImage &image : k.lutImages) {
-        if (!image.fits(geom.lutBytesPerSubarray()))
-            bfree_panic("compiled LUT image '", image.name,
-                        "' does not fit the sub-array LUT region");
-    }
+    // The controller loads images sequentially, each replacing its
+    // predecessor in the LUT rows: one configuration phase per image.
+    // (An oversized image is a diagnostic now, not an abort — the
+    // verifier reports rule lut-oversize.)
+    for (std::size_t i = 0; i < k.lutImages.size(); ++i)
+        k.lutImages[i].configPhase = static_cast<unsigned>(i);
 
     // ------------------------------------------------------------------
     // Config block template.
@@ -190,11 +193,17 @@ KernelCompiler::compile(const dnn::Layer &layer,
     k.configBlock.precisionBits = static_cast<std::uint8_t>(bits);
 
     if (layer.isComputeLayer()) {
-        const double rate = bce::Bce::macsPerCycle(
-            k.mapping.mode == ExecMode::MatmulMode
-                ? bce::BceMode::Matmul
-                : bce::BceMode::Conv,
-            bits);
+        // Guard the datapath query: an unsupported precision must
+        // surface as an op-precision diagnostic from the verifier
+        // below, not an abort inside the rate model.
+        const bool known_bits = bits == 4 || bits == 8 || bits == 16;
+        const double rate =
+            known_bits ? bce::Bce::macsPerCycle(
+                k.mapping.mode == ExecMode::MatmulMode
+                    ? bce::BceMode::Matmul
+                    : bce::BceMode::Conv,
+                bits)
+                       : 1.0;
         k.totalSteps = static_cast<std::uint64_t>(
             static_cast<double>(layer.macs())
             / (rate * std::max(1u, k.mapping.activeSubarrays)));
@@ -205,18 +214,36 @@ KernelCompiler::compile(const dnn::Layer &layer,
     k.configBlock.iterations = static_cast<std::uint16_t>(
         std::min<std::uint64_t>(k.totalSteps, 0xFFFF));
 
-    // Weight rows in each sub-array tile.
+    // Weight row range, per the canonical sub-array layout (see
+    // verify/kernel_verifier.hh): rows [0, 8) hold the CB region,
+    // the top lutRowsPerSubarray() rows are reserved for LUTs, and a
+    // tile larger than the usable span runs as multiple passes over
+    // the same rows.
     const std::uint64_t tile_bytes =
         k.mapping.weightTiles > 0
             ? (k.mapping.weightBytes + k.mapping.weightTiles - 1)
                   / k.mapping.weightTiles
             : 0;
-    const auto rows = static_cast<std::uint16_t>(std::min<std::uint64_t>(
-        (tile_bytes + geom.rowBytes() - 1) / geom.rowBytes(),
-        std::uint64_t(geom.rowsPerPartition)
-            * geom.partitionsPerSubarray));
-    k.configBlock.startRow = 0;
-    k.configBlock.endRow = rows;
+    if (tile_bytes > 0) {
+        const unsigned base_row =
+            (64 + geom.rowBytes() - 1) / geom.rowBytes();
+        const unsigned last_row = geom.rowsPerPartition
+                                      * geom.partitionsPerSubarray
+                                  - geom.lutRowsPerSubarray();
+        const std::uint64_t usable_bytes =
+            std::uint64_t(last_row - base_row) * geom.rowBytes();
+        const std::uint64_t pass_rows =
+            (std::min(tile_bytes, usable_bytes) + geom.rowBytes() - 1)
+            / geom.rowBytes();
+        k.configBlock.startRow = static_cast<std::uint16_t>(base_row);
+        k.configBlock.endRow =
+            static_cast<std::uint16_t>(base_row + pass_rows);
+    }
+
+    if (copts.verify) {
+        const verify::KernelVerifier verifier(geom);
+        k.diagnostics = verifier.verify(k, layer);
+    }
     return k;
 }
 

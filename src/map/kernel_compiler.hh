@@ -25,6 +25,7 @@
 #include "bce/isa.hh"
 #include "lut/lut_image.hh"
 #include "mapping.hh"
+#include "verify/diagnostic.hh"
 
 namespace bfree::map {
 
@@ -49,12 +50,26 @@ struct CompiledKernel
      *  iteration field is applied per pass). */
     std::uint64_t totalSteps = 0;
 
+    /** Findings of the verify-on-compile pass (empty when verification
+     *  was disabled via CompileOptions). A kernel with
+     *  !diagnostics.ok() must not execute. */
+    verify::VerifyReport diagnostics;
+
     /** Total MACs across the instruction stream. */
     std::uint64_t totalMacs() const;
 };
 
 /** Kernel opcode a layer kind lowers to. */
 bce::PimOpcode opcode_for(const dnn::Layer &layer, ExecMode mode);
+
+/** Compiler tunables. */
+struct CompileOptions
+{
+    /** Run the static verifier over every compiled kernel and record
+     *  its findings in CompiledKernel::diagnostics (on by default;
+     *  opt out for hot compile loops that verify elsewhere). */
+    bool verify = true;
+};
 
 /**
  * The compiler.
@@ -63,17 +78,20 @@ class KernelCompiler
 {
   public:
     explicit KernelCompiler(const tech::CacheGeometry &geom,
-                            MapperOptions options = {});
+                            MapperOptions options = {},
+                            CompileOptions compile_options = {});
 
     /** Lower one layer. */
     CompiledKernel compile(const dnn::Layer &layer,
                            bool inputs_from_dram = false) const;
 
     const Mapper &mapper() const { return _mapper; }
+    const CompileOptions &compileOptions() const { return copts; }
 
   private:
     tech::CacheGeometry geom;
     Mapper _mapper;
+    CompileOptions copts;
 };
 
 } // namespace bfree::map

@@ -41,8 +41,12 @@ place_weights(const LayerMapping &mapping,
     if (mapping.weightBytes == 0 || mapping.weightTiles == 0)
         return p;
 
-    const std::size_t usable =
-        geom.subarrayBytes() - subarray_data_offset;
+    // The top lutRowsPerSubarray() rows stay reserved for LUT entries
+    // (decoupled bitlines); weights may only occupy the span between
+    // the config-block region and the LUT rows.
+    const std::size_t usable = geom.subarrayBytes()
+                               - subarray_data_offset
+                               - geom.lutBytesPerSubarray();
 
     // Layers whose weights exceed the assigned tiles (e.g. VGG-16's
     // 103 MB fc6 against a 35 MB cache) stream in multiple passes:

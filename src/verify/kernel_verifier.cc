@@ -1,0 +1,678 @@
+#include "kernel_verifier.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <sstream>
+
+namespace bfree::verify {
+
+namespace {
+
+/** True for the precisions the nibble-decomposed LUT path supports. */
+bool
+supported_precision(unsigned bits)
+{
+    return bits == 4 || bits == 8 || bits == 16;
+}
+
+/** True for opcodes lowered to GEMM-shaped instructions. */
+bool
+is_gemm_opcode(bce::PimOpcode op)
+{
+    return op == bce::PimOpcode::Conv || op == bce::PimOpcode::Matmul;
+}
+
+std::string
+inst_location(const std::string &prefix, const bce::PimInstruction &inst)
+{
+    std::ostringstream os;
+    os << prefix << " `" << inst.toString() << "`";
+    return os.str();
+}
+
+/** Rows a LUT image occupies (images are row-aligned). */
+unsigned
+image_rows(const lut::LutImage &image, unsigned row_bytes)
+{
+    return static_cast<unsigned>((image.size() + row_bytes - 1)
+                                 / row_bytes);
+}
+
+} // namespace
+
+std::vector<ReductionChain>
+derive_reduction_chains(const map::LayerMapping &mapping,
+                        const tech::CacheGeometry &geom)
+{
+    std::vector<ReductionChain> chains;
+    if (mapping.mode == map::ExecMode::SpecialMode
+        || mapping.activeSubarrays == 0)
+        return chains;
+
+    const unsigned span = std::max(1u, geom.subarraysPerSubBank);
+    for (unsigned base = 0; base < mapping.activeSubarrays; base += span) {
+        ReductionChain chain;
+        const unsigned end =
+            std::min(mapping.activeSubarrays, base + span);
+        for (unsigned id = base; id < end; ++id) {
+            chain.nodes.push_back(id);
+            if (id + 1 < end)
+                chain.links.emplace_back(id, id + 1);
+        }
+        chains.push_back(std::move(chain));
+    }
+    return chains;
+}
+
+KernelVerifier::KernelVerifier(const tech::CacheGeometry &geom,
+                               VerifierOptions options)
+    : geom(geom), opts(options)
+{}
+
+unsigned
+KernelVerifier::totalRows() const
+{
+    return geom.rowsPerPartition * geom.partitionsPerSubarray;
+}
+
+unsigned
+KernelVerifier::weightBaseRow() const
+{
+    // The 64-byte CB region at the bottom of the sub-array.
+    return (64 + geom.rowBytes() - 1) / geom.rowBytes();
+}
+
+unsigned
+KernelVerifier::firstLutRow() const
+{
+    return totalRows() - geom.lutRowsPerSubarray();
+}
+
+void
+KernelVerifier::checkInstruction(const bce::PimInstruction &inst,
+                                 VerifyReport &report,
+                                 const std::string &location) const
+{
+    if (!supported_precision(inst.precisionBits)) {
+        report.add(RuleId::OpPrecision, Severity::Error,
+                   inst_location(location, inst),
+                   "precision " + std::to_string(inst.precisionBits)
+                       + "-bit is not expressible by nibble "
+                         "decomposition over the 49-entry odd x odd "
+                         "table",
+                   "use 4, 8 or 16-bit operands");
+    }
+
+    if (is_gemm_opcode(inst.opcode)) {
+        if (inst.rows == 0 || inst.cols == 0 || inst.inner == 0) {
+            report.add(RuleId::InstShape, Severity::Error,
+                       inst_location(location, inst),
+                       "GEMM instruction with a zero dimension performs "
+                       "no work",
+                       "drop the instruction or fix rows/cols/inner");
+        }
+    } else {
+        if (inst.rows == 0) {
+            report.add(RuleId::InstShape, Severity::Error,
+                       inst_location(location, inst),
+                       "element-wise instruction covers zero elements",
+                       "set rows to the element count");
+        }
+        if (inst.cols != 0 || inst.inner != 0) {
+            report.add(RuleId::InstShape, Severity::Error,
+                       inst_location(location, inst),
+                       "element-wise instruction must leave cols/inner "
+                       "zero",
+                       "encode the element count in rows only");
+        }
+    }
+
+    if (inst.rows != 0 && inst.cols != 0 && inst.inner != 0) {
+        const std::uint64_t rc =
+            std::uint64_t(inst.cols) * inst.inner; // < 2^64, no overflow
+        if (inst.rows > std::numeric_limits<std::uint64_t>::max() / rc) {
+            report.add(RuleId::InstMacOverflow, Severity::Error,
+                       inst_location(location, inst),
+                       "rows x cols x inner overflows the 64-bit MAC "
+                       "counter",
+                       "split the layer into smaller instructions");
+        }
+    }
+}
+
+void
+KernelVerifier::checkConfigBlock(const bce::ConfigBlock &cb,
+                                 VerifyReport &report,
+                                 const std::string &location) const
+{
+    if (!supported_precision(cb.precisionBits)) {
+        report.add(RuleId::CbPrecision, Severity::Error, location,
+                   "precision field holds "
+                       + std::to_string(cb.precisionBits)
+                       + ", which no BCE datapath implements",
+                   "program 4, 8 or 16");
+    }
+
+    // Round trip through the sub-array byte layout. A CB whose opcode
+    // enum value has no encoding (e.g. forged by a buggy lowering)
+    // comes back different or not at all.
+    const auto bytes = cb.encode();
+    const auto decoded = bce::ConfigBlock::decode(bytes);
+    if (!decoded) {
+        report.add(RuleId::CbRoundTrip, Severity::Error, location,
+                   "config block does not survive the sub-array byte "
+                   "layout: opcode value "
+                       + std::to_string(
+                             static_cast<unsigned>(cb.opcode))
+                       + " has no encoding",
+                   "use a PimOpcode enumerator");
+    } else if (!(*decoded == cb)) {
+        report.add(RuleId::CbRoundTrip, Severity::Error, location,
+                   "encode/decode round trip altered the config block",
+                   "check the field packing against encoded_size");
+    }
+
+    // Weight row range against the canonical sub-array layout. An
+    // empty range (startRow == endRow) means "no weights" and is
+    // exempt from the layout rules.
+    if (cb.startRow > cb.endRow) {
+        report.add(RuleId::CbRowRange, Severity::Error, location,
+                   "weight row range [" + std::to_string(cb.startRow)
+                       + ", " + std::to_string(cb.endRow)
+                       + ") is inverted",
+                   "startRow must not exceed endRow");
+    } else if (cb.startRow < cb.endRow) {
+        if (cb.endRow > totalRows()) {
+            report.add(RuleId::CbRowRange, Severity::Error, location,
+                       "weight rows end at " + std::to_string(cb.endRow)
+                           + " but the sub-array has "
+                           + std::to_string(totalRows()) + " rows",
+                       "shrink the tile or raise weightTiles");
+        }
+        if (cb.startRow < weightBaseRow()) {
+            report.add(RuleId::CbRowRange, Severity::Error, location,
+                       "weight rows start at "
+                           + std::to_string(cb.startRow)
+                           + ", inside the config-block region (rows "
+                             "[0, "
+                           + std::to_string(weightBaseRow()) + "))",
+                       "start the weight region at row "
+                           + std::to_string(weightBaseRow()));
+        }
+        if (cb.endRow > firstLutRow() && cb.endRow <= totalRows()) {
+            report.add(RuleId::WeightLutOverlap, Severity::Error,
+                       location,
+                       "weight rows reach "
+                           + std::to_string(cb.endRow)
+                           + ", colliding with the reserved LUT rows ["
+                           + std::to_string(firstLutRow()) + ", "
+                           + std::to_string(totalRows()) + ")",
+                       "cap the weight region at row "
+                           + std::to_string(firstLutRow()));
+        }
+    }
+}
+
+void
+KernelVerifier::checkConfigBytes(
+    const std::array<std::uint8_t, bce::ConfigBlock::encoded_size> &bytes,
+    VerifyReport &report, const std::string &location) const
+{
+    const auto decoded = bce::ConfigBlock::decode(bytes);
+    if (!decoded) {
+        report.add(RuleId::CbOpcodeByte, Severity::Error, location,
+                   "opcode byte "
+                       + std::to_string(static_cast<unsigned>(bytes[0]))
+                       + " is not a PIM opcode",
+                   "re-program the config block; the BCE must not "
+                   "fetch it");
+        return;
+    }
+    checkConfigBlock(*decoded, report, location);
+}
+
+void
+KernelVerifier::checkLutImages(const std::vector<lut::LutImage> &images,
+                               VerifyReport &report) const
+{
+    const unsigned budget_bytes = geom.lutBytesPerSubarray();
+    const unsigned budget_rows = geom.lutRowsPerSubarray();
+    const unsigned row_bytes = geom.rowBytes();
+
+    // Per-image bound.
+    for (const lut::LutImage &image : images) {
+        if (!image.fits(budget_bytes)) {
+            report.add(RuleId::LutOversize, Severity::Error,
+                       "LUT image '" + image.name + "'",
+                       std::to_string(image.size())
+                           + " bytes exceed the "
+                           + std::to_string(budget_bytes)
+                           + "-byte decoupled-bitline region",
+                       "shrink the table or split it across "
+                       "configuration phases");
+        }
+    }
+
+    // Partition-conflict bound: images sharing a configuration phase
+    // are co-resident and each starts on a fresh row, so their row
+    // counts add up against the 8-row budget.
+    std::map<unsigned, std::vector<const lut::LutImage *>> phases;
+    for (const lut::LutImage &image : images)
+        phases[image.configPhase].push_back(&image);
+    for (const auto &[phase, group] : phases) {
+        unsigned rows = 0;
+        std::string names;
+        for (const lut::LutImage *image : group) {
+            rows += image_rows(*image, row_bytes);
+            names += (names.empty() ? "'" : ", '") + image->name + "'";
+        }
+        if (group.size() > 1 && rows > budget_rows) {
+            report.add(RuleId::LutPartitionConflict, Severity::Error,
+                       "configuration phase " + std::to_string(phase),
+                       "co-resident images " + names + " need "
+                           + std::to_string(rows)
+                           + " LUT rows but a sub-array reserves only "
+                           + std::to_string(budget_rows),
+                       "move an image to its own configuration phase");
+        }
+    }
+}
+
+void
+KernelVerifier::checkMapping(const map::LayerMapping &mapping,
+                             VerifyReport &report,
+                             const std::string &location) const
+{
+    const unsigned total = geom.totalSubarrays();
+
+    if (mapping.activeSubarrays == 0) {
+        report.add(RuleId::PlacementOccupancy, Severity::Error, location,
+                   "mapping activates zero sub-arrays",
+                   "every kernel needs at least one BCE");
+        return;
+    }
+    if (mapping.activeSubarrays > total) {
+        report.add(RuleId::PlacementOccupancy, Severity::Error, location,
+                   "mapping activates "
+                       + std::to_string(mapping.activeSubarrays)
+                       + " sub-arrays but the cache has "
+                       + std::to_string(total),
+                   "reduce duplication or weightTiles");
+    }
+    if (mapping.mode != map::ExecMode::SpecialMode) {
+        const std::uint64_t expected =
+            std::uint64_t(mapping.weightTiles) * mapping.duplication;
+        if (expected != mapping.activeSubarrays) {
+            report.add(RuleId::PlacementOccupancy, Severity::Error,
+                       location,
+                       "activeSubarrays ("
+                           + std::to_string(mapping.activeSubarrays)
+                           + ") != weightTiles x duplication ("
+                           + std::to_string(expected) + ")",
+                       "keep the occupancy identity when editing "
+                       "mappings");
+        }
+        if (mapping.weightTiles == 0) {
+            report.add(RuleId::PlacementOccupancy, Severity::Error,
+                       location,
+                       "compute-mode mapping has zero weight tiles",
+                       "tile the weights over at least one sub-array");
+        }
+    }
+}
+
+void
+KernelVerifier::checkPlacement(const map::WeightPlacement &placement,
+                               VerifyReport &report) const
+{
+    const unsigned total = geom.totalSubarrays();
+    const std::size_t data_floor = weightBaseRow() * geom.rowBytes();
+    const std::size_t lut_floor =
+        static_cast<std::size_t>(firstLutRow()) * geom.rowBytes();
+
+    for (const map::TileExtent &e : placement.extents) {
+        const std::string loc = "extent (sub-array "
+                                + std::to_string(e.subarray) + ", pass "
+                                + std::to_string(e.pass) + ")";
+        if (e.subarray >= total) {
+            report.add(RuleId::PlacementOccupancy, Severity::Error, loc,
+                       "targets a sub-array beyond the cache's "
+                           + std::to_string(total),
+                       "re-run the mapper with the real geometry");
+        }
+        if (e.byteOffset < data_floor) {
+            report.add(RuleId::PlacementOccupancy, Severity::Error, loc,
+                       "starts at byte " + std::to_string(e.byteOffset)
+                           + ", inside the config-block region (first "
+                           + std::to_string(data_floor) + " bytes)",
+                       "place weights at or above byte "
+                           + std::to_string(data_floor));
+        }
+        if (e.byteOffset + e.byteCount > lut_floor) {
+            report.add(RuleId::WeightLutOverlap, Severity::Error, loc,
+                       "ends at byte "
+                           + std::to_string(e.byteOffset + e.byteCount)
+                           + ", overlapping the reserved LUT rows "
+                             "(bytes ["
+                           + std::to_string(lut_floor) + ", "
+                           + std::to_string(geom.subarrayBytes()) + "))",
+                       "cap extents at byte "
+                           + std::to_string(lut_floor));
+        }
+    }
+
+    // Pairwise overlap inside one (sub-array, pass).
+    std::vector<const map::TileExtent *> sorted;
+    sorted.reserve(placement.extents.size());
+    for (const map::TileExtent &e : placement.extents)
+        sorted.push_back(&e);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const map::TileExtent *a, const map::TileExtent *b) {
+                  return std::tie(a->subarray, a->pass, a->byteOffset)
+                         < std::tie(b->subarray, b->pass,
+                                    b->byteOffset);
+              });
+    for (std::size_t i = 1; i < sorted.size(); ++i) {
+        const map::TileExtent &prev = *sorted[i - 1];
+        const map::TileExtent &cur = *sorted[i];
+        if (prev.subarray == cur.subarray && prev.pass == cur.pass
+            && prev.byteOffset + prev.byteCount > cur.byteOffset) {
+            report.add(RuleId::PlacementOverlap, Severity::Error,
+                       "sub-array " + std::to_string(cur.subarray)
+                           + ", pass " + std::to_string(cur.pass),
+                       "extents of replicas "
+                           + std::to_string(prev.replica) + " and "
+                           + std::to_string(cur.replica)
+                           + " overlap at byte "
+                           + std::to_string(cur.byteOffset),
+                       "give each replica tile a disjoint range");
+        }
+    }
+
+    // Every replica must cover the full weight blob.
+    for (unsigned r = 0; r < placement.replicas; ++r) {
+        std::uint64_t covered = 0;
+        for (const map::TileExtent &e : placement.extents)
+            if (e.replica == r)
+                covered += e.byteCount;
+        if (covered != placement.weightBytes) {
+            report.add(RuleId::PlacementOccupancy, Severity::Error,
+                       "replica " + std::to_string(r),
+                       "extents cover " + std::to_string(covered)
+                           + " of " + std::to_string(placement.weightBytes)
+                           + " weight bytes",
+                       "placement must tile the blob exactly once per "
+                       "replica");
+        }
+    }
+}
+
+void
+KernelVerifier::checkChains(const std::vector<ReductionChain> &chains,
+                            const map::LayerMapping &mapping,
+                            VerifyReport &report) const
+{
+    std::uint64_t covered = 0;
+
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+        const ReductionChain &chain = chains[c];
+        const std::string loc = "reduction chain " + std::to_string(c);
+        covered += chain.nodes.size();
+
+        std::map<unsigned, std::size_t> index;
+        for (std::size_t i = 0; i < chain.nodes.size(); ++i)
+            index[chain.nodes[i]] = i;
+
+        std::vector<std::vector<std::size_t>> out(chain.nodes.size());
+        std::vector<std::size_t> parent(chain.nodes.size(), SIZE_MAX);
+        bool links_ok = true;
+        for (const auto &[from, to] : chain.links) {
+            const auto fi = index.find(from);
+            const auto ti = index.find(to);
+            if (fi == index.end() || ti == index.end()) {
+                report.add(RuleId::ChainDisconnected, Severity::Error,
+                           loc,
+                           "link " + std::to_string(from) + " -> "
+                               + std::to_string(to)
+                               + " references a sub-array outside the "
+                                 "chain",
+                           "links may only join the chain's own nodes");
+                links_ok = false;
+                continue;
+            }
+            out[fi->second].push_back(ti->second);
+        }
+
+        for (std::size_t i = 0; i < out.size(); ++i) {
+            if (out[i].size() > 1) {
+                report.add(RuleId::ChainFanout, Severity::Error, loc,
+                           "sub-array "
+                               + std::to_string(chain.nodes[i])
+                               + " forwards partial sums to "
+                               + std::to_string(out[i].size())
+                               + " neighbours; the systolic chain is "
+                                 "unidirectional",
+                           "keep out-degree at most one");
+            }
+        }
+
+        // Cycle detection (iterative colouring).
+        enum class Colour { White, Grey, Black };
+        std::vector<Colour> colour(out.size(), Colour::White);
+        bool cyclic = false;
+        for (std::size_t root = 0; root < out.size() && !cyclic;
+             ++root) {
+            if (colour[root] != Colour::White)
+                continue;
+            std::vector<std::pair<std::size_t, std::size_t>> stack;
+            stack.emplace_back(root, 0);
+            colour[root] = Colour::Grey;
+            while (!stack.empty() && !cyclic) {
+                auto &[node, next] = stack.back();
+                if (next < out[node].size()) {
+                    const std::size_t succ = out[node][next++];
+                    if (colour[succ] == Colour::Grey)
+                        cyclic = true;
+                    else if (colour[succ] == Colour::White) {
+                        colour[succ] = Colour::Grey;
+                        stack.emplace_back(succ, 0);
+                    }
+                } else {
+                    colour[node] = Colour::Black;
+                    stack.pop_back();
+                }
+            }
+        }
+        if (cyclic) {
+            report.add(RuleId::ChainCyclic, Severity::Error, loc,
+                       "reduction chain contains a cycle; partial sums "
+                       "would circulate forever",
+                       "order the chain so sums flow toward one sink");
+        }
+
+        // Weak connectivity: every BCE's partial sum must be able to
+        // reach the rest of the chain. (Skip if links were already
+        // malformed — the union-find would double-report.)
+        if (links_ok && chain.nodes.size() > 1) {
+            std::vector<std::size_t> uf(chain.nodes.size());
+            for (std::size_t i = 0; i < uf.size(); ++i)
+                uf[i] = i;
+            auto find = [&uf](std::size_t x) {
+                while (uf[x] != x)
+                    x = uf[x] = uf[uf[x]];
+                return x;
+            };
+            for (const auto &[from, to] : chain.links)
+                uf[find(index.at(from))] = find(index.at(to));
+            for (std::size_t i = 0; i < uf.size(); ++i) {
+                if (find(i) != find(0)) {
+                    report.add(
+                        RuleId::ChainDisconnected, Severity::Error, loc,
+                        "sub-array " + std::to_string(chain.nodes[i])
+                            + " is not connected to the chain's "
+                              "reduction path",
+                        "link every active BCE into the chain");
+                    break;
+                }
+            }
+        }
+    }
+
+    if (mapping.mode != map::ExecMode::SpecialMode
+        && covered != mapping.activeSubarrays) {
+        report.add(RuleId::ChainDisconnected, Severity::Error,
+                   "reduction chains",
+                   "chains cover " + std::to_string(covered)
+                       + " sub-arrays but the mapping activates "
+                       + std::to_string(mapping.activeSubarrays)
+                       + "; every active BCE must reduce through a "
+                         "chain",
+                   "chain each active sub-array exactly once");
+    }
+}
+
+void
+KernelVerifier::checkMode(bce::PimOpcode opcode, map::ExecMode mode,
+                          VerifyReport &report,
+                          const std::string &location) const
+{
+    const char *op = bce::opcode_name(opcode);
+    switch (mode) {
+      case map::ExecMode::MatmulMode:
+        if (!bce::is_matmul_mode(opcode)) {
+            report.add(RuleId::ModeDatapath, Severity::Error, location,
+                       std::string("opcode '") + op
+                           + "' cannot execute on the matmul-mode "
+                             "broadcast datapath",
+                       "lower the layer to matmul or map it to "
+                       "conv/special mode");
+        }
+        break;
+      case map::ExecMode::ConvMode:
+        // The conv-mode systolic datapath executes any MAC opcode
+        // (forcing conv mode on an FC layer is a legal ablation); it
+        // has no special-function path.
+        if (!is_gemm_opcode(opcode)) {
+            report.add(RuleId::ModeDatapath, Severity::Error, location,
+                       std::string("opcode '") + op
+                           + "' cannot execute on the conv-mode "
+                             "systolic MAC datapath",
+                       "map special-function kernels to special mode");
+        }
+        break;
+      case map::ExecMode::SpecialMode:
+        if (is_gemm_opcode(opcode)) {
+            report.add(RuleId::ModeDatapath, Severity::Error, location,
+                       std::string("MAC opcode '") + op
+                           + "' mapped to the special-function datapath",
+                       "map MAC kernels to conv or matmul mode");
+        }
+        break;
+    }
+}
+
+void
+KernelVerifier::checkMacConservation(const map::CompiledKernel &kernel,
+                                     const dnn::Layer &layer,
+                                     VerifyReport &report) const
+{
+    const std::uint64_t compiled = kernel.totalMacs();
+    const std::uint64_t expected =
+        layer.isComputeLayer() ? layer.macs() : 0;
+    if (compiled != expected) {
+        report.add(RuleId::MacConservation, Severity::Error,
+                   "layer '" + layer.name + "'",
+                   "instruction stream performs "
+                       + std::to_string(compiled) + " MACs but the layer "
+                       + (layer.isComputeLayer() ? "defines "
+                                                 : "is special and "
+                                                   "defines ")
+                       + std::to_string(expected),
+                   "the lowering must neither drop nor invent work");
+    }
+}
+
+VerifyReport
+KernelVerifier::verify(const map::CompiledKernel &kernel) const
+{
+    VerifyReport report;
+
+    for (std::size_t i = 0; i < kernel.instructions.size(); ++i)
+        checkInstruction(kernel.instructions[i], report,
+                         "instruction " + std::to_string(i));
+
+    checkConfigBlock(kernel.configBlock, report);
+
+    // The CB's 16-bit iteration field must hold the clamped step
+    // count; the controller re-programs it once per pass.
+    const std::uint64_t expected_iters =
+        std::min<std::uint64_t>(kernel.totalSteps, 0xFFFF);
+    if (kernel.configBlock.iterations != expected_iters) {
+        report.add(RuleId::CbIterations, Severity::Error, "config block",
+                   "iteration field holds "
+                       + std::to_string(kernel.configBlock.iterations)
+                       + " but the kernel's step count clamps to "
+                       + std::to_string(expected_iters),
+                   "program min(totalSteps, 0xFFFF)");
+    } else if (kernel.totalSteps > 0xFFFF) {
+        report.add(RuleId::CbIterations, Severity::Note, "config block",
+                   std::to_string(kernel.totalSteps)
+                       + " steps exceed the 16-bit iteration field; the "
+                         "controller must re-arm the CB across passes");
+    }
+
+    checkLutImages(kernel.lutImages, report);
+    checkMapping(kernel.mapping, report);
+    checkMode(kernel.configBlock.opcode, kernel.mapping.mode, report);
+
+    if (opts.checkPlacement
+        && kernel.mapping.mode != map::ExecMode::SpecialMode
+        && kernel.mapping.weightBytes > 0) {
+        checkPlacement(map::place_weights(kernel.mapping, geom), report);
+        checkChains(derive_reduction_chains(kernel.mapping, geom),
+                    kernel.mapping, report);
+    }
+    return report;
+}
+
+VerifyReport
+KernelVerifier::verify(const map::CompiledKernel &kernel,
+                       const dnn::Layer &layer) const
+{
+    VerifyReport report = verify(kernel);
+    checkMacConservation(kernel, layer, report);
+    return report;
+}
+
+void
+check_operand_range(const std::vector<int> &values, unsigned bits,
+                    bool is_signed, VerifyReport &report,
+                    const std::string &location)
+{
+    if (bits == 0 || bits > 16) {
+        report.add(RuleId::OperandRange, Severity::Error, location,
+                   std::to_string(bits)
+                       + "-bit operands are outside the datapath's "
+                         "supported widths");
+        return;
+    }
+    const long lo = is_signed ? -(1L << (bits - 1)) : 0L;
+    const long hi =
+        is_signed ? (1L << (bits - 1)) - 1 : (1L << bits) - 1;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (values[i] < lo || values[i] > hi) {
+            report.add(RuleId::OperandRange, Severity::Error,
+                       location + "[" + std::to_string(i) + "]",
+                       std::to_string(values[i]) + " does not fit "
+                           + (is_signed ? "signed " : "unsigned ")
+                           + std::to_string(bits) + "-bit storage ["
+                           + std::to_string(lo) + ", "
+                           + std::to_string(hi) + "]",
+                       "quantize the operand or raise the precision");
+        }
+    }
+}
+
+} // namespace bfree::verify

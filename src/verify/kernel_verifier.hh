@@ -1,0 +1,165 @@
+/**
+ * @file
+ * bfree-lint: static semantic verification of compiled PIM programs.
+ *
+ * The paper states the invariants BFree's correctness rests on; this
+ * pass checks them mechanically over a CompiledKernel before anything
+ * executes, and over the raw artifacts (PimInstruction, ConfigBlock,
+ * LutImage, LayerMapping, WeightPlacement, reduction chains)
+ * independently. Violations become Diagnostics, never aborts.
+ *
+ * Canonical sub-array row layout the rules check against (one 8 KB
+ * sub-array, 1024 rows of 8 bytes):
+ *
+ *   rows [0, 8)      config-block region (64 bytes; CB image at byte 0)
+ *   rows [8, 1016)   weight region (8064 bytes usable for tiles)
+ *   rows [1016, 1024) reserved LUT rows (64 bytes, decoupled bitlines)
+ *
+ * The rule catalogue lives in diagnostic.hh; DESIGN.md documents each
+ * rule in prose.
+ */
+
+#ifndef BFREE_VERIFY_KERNEL_VERIFIER_HH
+#define BFREE_VERIFY_KERNEL_VERIFIER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bce/config_block.hh"
+#include "bce/isa.hh"
+#include "diagnostic.hh"
+#include "lut/lut_image.hh"
+#include "map/kernel_compiler.hh"
+#include "map/placement.hh"
+#include "tech/geometry.hh"
+
+namespace bfree::verify {
+
+/**
+ * One systolic reduction chain: the sub-arrays of a sub-bank whose
+ * BCEs forward partial sums downstream (Fig. 8/9(b)). Links are
+ * (from, to) flat sub-array ids; a well-formed chain is acyclic,
+ * unidirectional (out-degree <= 1) and connects every node to the
+ * single sink that feeds the router.
+ */
+struct ReductionChain
+{
+    std::vector<unsigned> nodes;
+    std::vector<std::pair<unsigned, unsigned>> links;
+};
+
+/**
+ * Derive the reduction chains a mapping implies: active sub-arrays are
+ * grouped into sub-banks of geom.subarraysPerSubBank nodes, linearly
+ * chained in id order. Special-mode mappings reduce nothing and yield
+ * no chains.
+ */
+std::vector<ReductionChain>
+derive_reduction_chains(const map::LayerMapping &mapping,
+                        const tech::CacheGeometry &geom);
+
+/** Tunables of the verifier. */
+struct VerifierOptions
+{
+    /** Derive and check the weight placement + reduction chains of a
+     *  kernel's mapping (the most expensive rules; on by default). */
+    bool checkPlacement = true;
+};
+
+/**
+ * The static-analysis pass. Stateless apart from geometry/options, so
+ * one instance can verify any number of kernels.
+ */
+class KernelVerifier
+{
+  public:
+    explicit KernelVerifier(const tech::CacheGeometry &geom,
+                            VerifierOptions options = {});
+
+    // ------------------------------------------------------------------
+    // Whole-kernel passes
+    // ------------------------------------------------------------------
+    /** Run every rule over @p kernel. */
+    VerifyReport verify(const map::CompiledKernel &kernel) const;
+
+    /** As above plus the kernel-vs-layer rules (MAC conservation,
+     *  precision agreement). */
+    VerifyReport verify(const map::CompiledKernel &kernel,
+                        const dnn::Layer &layer) const;
+
+    // ------------------------------------------------------------------
+    // Artifact-level checks (append findings into @p report)
+    // ------------------------------------------------------------------
+    void checkInstruction(const bce::PimInstruction &inst,
+                          VerifyReport &report,
+                          const std::string &location = "instruction") const;
+
+    void checkConfigBlock(const bce::ConfigBlock &cb, VerifyReport &report,
+                          const std::string &location = "config block") const;
+
+    /** Raw CB bytes as fetched from a sub-array (pipeline stage 1). */
+    void checkConfigBytes(
+        const std::array<std::uint8_t, bce::ConfigBlock::encoded_size> &bytes,
+        VerifyReport &report,
+        const std::string &location = "config bytes") const;
+
+    /** LUT images of one kernel; images sharing a configPhase must
+     *  together fit the 8-row/64-entry budget. */
+    void checkLutImages(const std::vector<lut::LutImage> &images,
+                        VerifyReport &report) const;
+
+    void checkMapping(const map::LayerMapping &mapping,
+                      VerifyReport &report,
+                      const std::string &location = "mapping") const;
+
+    void checkPlacement(const map::WeightPlacement &placement,
+                        VerifyReport &report) const;
+
+    void checkChains(const std::vector<ReductionChain> &chains,
+                     const map::LayerMapping &mapping,
+                     VerifyReport &report) const;
+
+    /** Datapath legality of @p opcode under @p mode. */
+    void checkMode(bce::PimOpcode opcode, map::ExecMode mode,
+                   VerifyReport &report,
+                   const std::string &location = "mode") const;
+
+    void checkMacConservation(const map::CompiledKernel &kernel,
+                              const dnn::Layer &layer,
+                              VerifyReport &report) const;
+
+    // ------------------------------------------------------------------
+    // Canonical row layout
+    // ------------------------------------------------------------------
+    /** Rows in one sub-array (1024). */
+    unsigned totalRows() const;
+
+    /** First weight row (8: past the config-block region). */
+    unsigned weightBaseRow() const;
+
+    /** First reserved LUT row (1016). */
+    unsigned firstLutRow() const;
+
+    const tech::CacheGeometry &geometry() const { return geom; }
+    const VerifierOptions &options() const { return opts; }
+
+  private:
+    tech::CacheGeometry geom;
+    VerifierOptions opts;
+};
+
+/**
+ * Validate that every value fits @p bits (signed two's-complement when
+ * @p is_signed, else unsigned); violations report rule operand-range.
+ * Used by bfree_trace to vet operand lists before tracing.
+ */
+void check_operand_range(const std::vector<int> &values, unsigned bits,
+                         bool is_signed, VerifyReport &report,
+                         const std::string &location);
+
+} // namespace bfree::verify
+
+#endif // BFREE_VERIFY_KERNEL_VERIFIER_HH

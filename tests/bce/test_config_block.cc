@@ -53,17 +53,26 @@ TEST(ConfigBlock, SixteenBitFieldsSurviveExtremes)
     cb.iterations = 0xFFFF;
     cb.startRow = 0xABCD;
     cb.endRow = 0x1234;
-    const ConfigBlock out = ConfigBlock::decode(cb.encode());
+    const ConfigBlock out = ConfigBlock::decode(cb.encode()).value();
     EXPECT_EQ(out.iterations, 0xFFFF);
     EXPECT_EQ(out.startRow, 0xABCD);
     EXPECT_EQ(out.endRow, 0x1234);
 }
 
-TEST(ConfigBlockDeath, MalformedOpcodePanics)
+TEST(ConfigBlock, MalformedOpcodeByteDecodesToNullopt)
 {
+    // A corrupt CB region must not abort the process — the BCE refuses
+    // the fetch and the lint surfaces rule cb-opcode-byte.
     std::array<std::uint8_t, ConfigBlock::encoded_size> bytes{};
     bytes[0] = 0xFF;
-    EXPECT_DEATH((void)ConfigBlock::decode(bytes), "malformed");
+    EXPECT_EQ(ConfigBlock::decode(bytes), std::nullopt);
+
+    bytes[0] = static_cast<std::uint8_t>(PimOpcode::LayerNorm) + 1;
+    EXPECT_EQ(ConfigBlock::decode(bytes), std::nullopt);
+
+    bytes[0] = static_cast<std::uint8_t>(PimOpcode::LayerNorm);
+    ASSERT_TRUE(ConfigBlock::decode(bytes).has_value());
+    EXPECT_EQ(ConfigBlock::decode(bytes)->opcode, PimOpcode::LayerNorm);
 }
 
 TEST(Isa, OpcodeNames)

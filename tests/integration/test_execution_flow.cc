@@ -124,13 +124,13 @@ TEST(ExecutionFlow, ReconfigurationSwitchesKernels)
     const CompiledKernel matmul =
         rig.compiler.compile(dnn::make_fc("fc", 32, 32));
     rig.controller.configureKernel(matmul);
-    EXPECT_EQ(rig.controller.readConfig(0).opcode,
+    EXPECT_EQ(rig.controller.readConfig(0)->opcode,
               bce::PimOpcode::Matmul);
 
     const CompiledKernel sigmoid = rig.compiler.compile(
         dnn::make_activation("s", dnn::LayerKind::Sigmoid,
                              {32, 1, 1}));
     rig.controller.configureKernel(sigmoid);
-    EXPECT_EQ(rig.controller.readConfig(0).opcode,
+    EXPECT_EQ(rig.controller.readConfig(0)->opcode,
               bce::PimOpcode::Sigmoid);
 }

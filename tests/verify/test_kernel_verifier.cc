@@ -1,0 +1,559 @@
+/**
+ * @file
+ * The static kernel verifier: a golden corpus of valid kernels for
+ * every PimOpcode, one deliberately-broken kernel per rule (asserting
+ * the exact rule id fires), and the whole-zoo cleanliness guarantee
+ * bfree_lint relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/bfree.hh"
+#include "dnn/model_zoo.hh"
+#include "map/kernel_compiler.hh"
+#include "map/placement.hh"
+#include "verify/kernel_verifier.hh"
+
+using namespace bfree;
+using namespace bfree::verify;
+
+namespace {
+
+tech::CacheGeometry
+defaultGeometry()
+{
+    return tech::CacheGeometry{};
+}
+
+KernelVerifier
+makeVerifier()
+{
+    return KernelVerifier(defaultGeometry());
+}
+
+/** Compile @p layer with the default mapper and verify against it. */
+VerifyReport
+compileAndVerify(const dnn::Layer &layer,
+                 map::MapperOptions opts = {})
+{
+    const map::KernelCompiler compiler(defaultGeometry(), opts);
+    const map::CompiledKernel k = compiler.compile(layer);
+    return makeVerifier().verify(k, layer);
+}
+
+/**
+ * A hand-built special-mode kernel for opcodes the zoo's layer kinds
+ * never lower to directly (Exp, Divide, EwMul, Requantize).
+ */
+map::CompiledKernel
+specialKernel(bce::PimOpcode op)
+{
+    map::CompiledKernel k;
+    bce::PimInstruction inst;
+    inst.opcode = op;
+    inst.precisionBits = 8;
+    inst.rows = 4096; // elements
+    k.instructions.push_back(inst);
+
+    k.mapping.mode = map::ExecMode::SpecialMode;
+    k.mapping.weightTiles = 0;
+    k.mapping.duplication = 1;
+    k.mapping.activeSubarrays = 64;
+
+    k.totalSteps = 4096 / 64;
+    k.configBlock.opcode = op;
+    k.configBlock.precisionBits = 8;
+    k.configBlock.iterations =
+        static_cast<std::uint16_t>(k.totalSteps);
+    return k;
+}
+
+/** A minimal valid compute kernel to break one invariant at a time. */
+map::CompiledKernel
+validFcKernel()
+{
+    const map::KernelCompiler compiler(defaultGeometry());
+    return compiler.compile(dnn::make_fc("fc", 256, 256));
+}
+
+} // namespace
+
+// ----------------------------------------------------------------------
+// Golden corpus: every opcode has a verifiably clean kernel.
+// ----------------------------------------------------------------------
+
+TEST(GoldenCorpus, ConvOpcodeInConvMode)
+{
+    map::MapperOptions opts;
+    opts.forcedMode = map::ExecMode::ConvMode;
+    const auto report = compileAndVerify(
+        dnn::make_conv("c", {64, 56, 56}, 64, 3, 1, 1), opts);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(GoldenCorpus, MatmulOpcode)
+{
+    const auto report =
+        compileAndVerify(dnn::make_fc("fc", 4096, 4096));
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(GoldenCorpus, SpecialLayerOpcodes)
+{
+    const dnn::FeatureShape shape{64, 28, 28};
+    const std::vector<dnn::Layer> layers = {
+        dnn::make_pool("maxpool", dnn::LayerKind::MaxPool, shape, 2, 2),
+        dnn::make_pool("avgpool", dnn::LayerKind::AvgPool, shape, 2, 2),
+        dnn::make_activation("relu", dnn::LayerKind::Relu, shape),
+        dnn::make_activation("sigmoid", dnn::LayerKind::Sigmoid, shape),
+        dnn::make_activation("tanh", dnn::LayerKind::Tanh, shape),
+        dnn::make_activation("softmax", dnn::LayerKind::Softmax, shape),
+        dnn::make_layer_norm("ln", 128, 768),
+        dnn::make_ew_add("add", shape),
+    };
+    for (const dnn::Layer &layer : layers) {
+        const auto report = compileAndVerify(layer);
+        EXPECT_TRUE(report.ok()) << layer.name << "\n"
+                                 << report.toString();
+    }
+}
+
+TEST(GoldenCorpus, CompositeLayerOpcodes)
+{
+    // LSTM cell and attention lower to matmul (+softmax) kernels.
+    const auto lstm =
+        compileAndVerify(dnn::make_lstm_cell("cell", 39, 1024));
+    EXPECT_TRUE(lstm.ok()) << lstm.toString();
+    const auto attn =
+        compileAndVerify(dnn::make_attention("attn", 128, 768, 12));
+    EXPECT_TRUE(attn.ok()) << attn.toString();
+}
+
+TEST(GoldenCorpus, HandBuiltSpecialOpcodes)
+{
+    // Opcodes with no direct layer kind still verify as kernels.
+    for (const bce::PimOpcode op :
+         {bce::PimOpcode::Exp, bce::PimOpcode::Divide,
+          bce::PimOpcode::EwMul, bce::PimOpcode::Requantize}) {
+        const auto report = makeVerifier().verify(specialKernel(op));
+        EXPECT_TRUE(report.ok())
+            << bce::opcode_name(op) << "\n" << report.toString();
+    }
+}
+
+TEST(GoldenCorpus, EveryOpcodeRoundTripsThroughConfigBytes)
+{
+    const auto verifier = makeVerifier();
+    for (unsigned v = 0;
+         v <= static_cast<unsigned>(bce::PimOpcode::LayerNorm); ++v) {
+        bce::ConfigBlock cb;
+        cb.opcode = static_cast<bce::PimOpcode>(v);
+        cb.precisionBits = 8;
+        VerifyReport report;
+        verifier.checkConfigBytes(cb.encode(), report);
+        EXPECT_TRUE(report.ok()) << v << "\n" << report.toString();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Broken corpus: one seeded violation per rule, exact rule id asserted.
+// ----------------------------------------------------------------------
+
+TEST(BrokenCorpus, CbOpcodeByte)
+{
+    std::array<std::uint8_t, bce::ConfigBlock::encoded_size> bytes{};
+    bytes[0] = 0xEE;
+    VerifyReport report;
+    makeVerifier().checkConfigBytes(bytes, report);
+    EXPECT_TRUE(report.has(RuleId::CbOpcodeByte)) << report.toString();
+    EXPECT_FALSE(report.ok());
+}
+
+TEST(BrokenCorpus, CbRoundTrip)
+{
+    bce::ConfigBlock cb;
+    cb.opcode = static_cast<bce::PimOpcode>(99); // forged enum value
+    VerifyReport report;
+    makeVerifier().checkConfigBlock(cb, report);
+    EXPECT_TRUE(report.has(RuleId::CbRoundTrip)) << report.toString();
+}
+
+TEST(BrokenCorpus, CbPrecision)
+{
+    bce::ConfigBlock cb;
+    cb.precisionBits = 5;
+    VerifyReport report;
+    makeVerifier().checkConfigBlock(cb, report);
+    EXPECT_TRUE(report.has(RuleId::CbPrecision)) << report.toString();
+}
+
+TEST(BrokenCorpus, CbRowRangeInverted)
+{
+    bce::ConfigBlock cb;
+    cb.startRow = 500;
+    cb.endRow = 100;
+    VerifyReport report;
+    makeVerifier().checkConfigBlock(cb, report);
+    EXPECT_TRUE(report.has(RuleId::CbRowRange)) << report.toString();
+}
+
+TEST(BrokenCorpus, CbRowRangeInsideConfigRegion)
+{
+    bce::ConfigBlock cb;
+    cb.startRow = 2; // inside rows [0, 8): the CB region
+    cb.endRow = 100;
+    VerifyReport report;
+    makeVerifier().checkConfigBlock(cb, report);
+    EXPECT_TRUE(report.has(RuleId::CbRowRange)) << report.toString();
+}
+
+TEST(BrokenCorpus, CbIterationsMismatch)
+{
+    map::CompiledKernel k = validFcKernel();
+    ASSERT_TRUE(k.diagnostics.ok()) << k.diagnostics.toString();
+    k.configBlock.iterations =
+        static_cast<std::uint16_t>(k.configBlock.iterations + 1);
+    const auto report = makeVerifier().verify(k);
+    EXPECT_TRUE(report.has(RuleId::CbIterations)) << report.toString();
+}
+
+TEST(BrokenCorpus, WeightLutOverlap)
+{
+    bce::ConfigBlock cb;
+    cb.startRow = 8;
+    cb.endRow = 1020; // reaches into the reserved LUT rows [1016, 1024)
+    VerifyReport report;
+    makeVerifier().checkConfigBlock(cb, report);
+    EXPECT_TRUE(report.has(RuleId::WeightLutOverlap))
+        << report.toString();
+    EXPECT_FALSE(report.has(RuleId::CbRowRange)) << report.toString();
+}
+
+TEST(BrokenCorpus, OpPrecision)
+{
+    bce::PimInstruction inst;
+    inst.opcode = bce::PimOpcode::Matmul;
+    inst.precisionBits = 3; // not expressible by nibble decomposition
+    inst.rows = inst.cols = inst.inner = 4;
+    VerifyReport report;
+    makeVerifier().checkInstruction(inst, report);
+    EXPECT_TRUE(report.has(RuleId::OpPrecision)) << report.toString();
+}
+
+TEST(BrokenCorpus, InstShape)
+{
+    bce::PimInstruction gemm;
+    gemm.opcode = bce::PimOpcode::Matmul;
+    gemm.rows = 4;
+    gemm.cols = 4;
+    gemm.inner = 0; // zero reduction length
+    VerifyReport report;
+    makeVerifier().checkInstruction(gemm, report);
+    EXPECT_TRUE(report.has(RuleId::InstShape)) << report.toString();
+
+    bce::PimInstruction ew;
+    ew.opcode = bce::PimOpcode::Relu;
+    ew.rows = 16;
+    ew.cols = 4; // element-wise must leave cols/inner zero
+    VerifyReport ew_report;
+    makeVerifier().checkInstruction(ew, ew_report);
+    EXPECT_TRUE(ew_report.has(RuleId::InstShape))
+        << ew_report.toString();
+}
+
+TEST(BrokenCorpus, InstMacOverflow)
+{
+    bce::PimInstruction inst;
+    inst.opcode = bce::PimOpcode::Matmul;
+    inst.rows = inst.cols = inst.inner = 0xFFFFFFFF;
+    VerifyReport report;
+    makeVerifier().checkInstruction(inst, report);
+    EXPECT_TRUE(report.has(RuleId::InstMacOverflow))
+        << report.toString();
+}
+
+TEST(BrokenCorpus, LutOversize)
+{
+    lut::LutImage image;
+    image.name = "oversized";
+    image.bytes.assign(100, 0); // 100 > 64-byte LUT region
+    VerifyReport report;
+    makeVerifier().checkLutImages({image}, report);
+    EXPECT_TRUE(report.has(RuleId::LutOversize)) << report.toString();
+}
+
+TEST(BrokenCorpus, LutPartitionConflict)
+{
+    // Two co-resident 40-byte images need 5 rows each: 10 > 8 rows.
+    lut::LutImage a;
+    a.name = "a";
+    a.bytes.assign(40, 0);
+    a.configPhase = 0;
+    lut::LutImage b;
+    b.name = "b";
+    b.bytes.assign(40, 0);
+    b.configPhase = 0;
+    VerifyReport report;
+    makeVerifier().checkLutImages({a, b}, report);
+    EXPECT_TRUE(report.has(RuleId::LutPartitionConflict))
+        << report.toString();
+
+    // Distinct phases (sequential loading) are conflict-free.
+    b.configPhase = 1;
+    VerifyReport sequential;
+    makeVerifier().checkLutImages({a, b}, sequential);
+    EXPECT_TRUE(sequential.ok()) << sequential.toString();
+}
+
+TEST(BrokenCorpus, MacConservation)
+{
+    const dnn::Layer layer = dnn::make_fc("fc", 256, 256);
+    const map::KernelCompiler compiler(defaultGeometry());
+    map::CompiledKernel k = compiler.compile(layer);
+    ASSERT_TRUE(k.diagnostics.ok()) << k.diagnostics.toString();
+    k.instructions[0].rows += 1; // invent work the layer never defined
+    const auto report = makeVerifier().verify(k, layer);
+    EXPECT_TRUE(report.has(RuleId::MacConservation))
+        << report.toString();
+}
+
+TEST(BrokenCorpus, PlacementOccupancy)
+{
+    map::LayerMapping mapping;
+    mapping.mode = map::ExecMode::MatmulMode;
+    mapping.weightTiles = 1;
+    mapping.duplication = 1;
+    mapping.activeSubarrays = 7; // != weightTiles x duplication
+    VerifyReport report;
+    makeVerifier().checkMapping(mapping, report);
+    EXPECT_TRUE(report.has(RuleId::PlacementOccupancy))
+        << report.toString();
+}
+
+TEST(BrokenCorpus, PlacementOverlap)
+{
+    map::WeightPlacement placement;
+    placement.weightBytes = 200;
+    placement.replicas = 1;
+    map::TileExtent first;
+    first.subarray = 0;
+    first.byteOffset = 64;
+    first.byteCount = 100;
+    map::TileExtent second = first;
+    second.weightOffset = 100;
+    second.byteOffset = 120; // overlaps [64, 164)
+    placement.extents = {first, second};
+    VerifyReport report;
+    makeVerifier().checkPlacement(placement, report);
+    EXPECT_TRUE(report.has(RuleId::PlacementOverlap))
+        << report.toString();
+}
+
+namespace {
+
+/** A compute mapping whose chains the test hand-builds. */
+map::LayerMapping
+chainMapping(unsigned active)
+{
+    map::LayerMapping m;
+    m.mode = map::ExecMode::MatmulMode;
+    m.weightTiles = active;
+    m.duplication = 1;
+    m.activeSubarrays = active;
+    return m;
+}
+
+} // namespace
+
+TEST(BrokenCorpus, ChainCyclic)
+{
+    ReductionChain chain;
+    chain.nodes = {0, 1, 2};
+    chain.links = {{0, 1}, {1, 2}, {2, 0}}; // sums circulate forever
+    VerifyReport report;
+    makeVerifier().checkChains({chain}, chainMapping(3), report);
+    EXPECT_TRUE(report.has(RuleId::ChainCyclic)) << report.toString();
+    EXPECT_FALSE(report.has(RuleId::ChainFanout)) << report.toString();
+}
+
+TEST(BrokenCorpus, ChainFanout)
+{
+    ReductionChain chain;
+    chain.nodes = {0, 1, 2};
+    chain.links = {{0, 1}, {0, 2}}; // node 0 forwards twice
+    VerifyReport report;
+    makeVerifier().checkChains({chain}, chainMapping(3), report);
+    EXPECT_TRUE(report.has(RuleId::ChainFanout)) << report.toString();
+    EXPECT_FALSE(report.has(RuleId::ChainCyclic)) << report.toString();
+}
+
+TEST(BrokenCorpus, ChainDisconnected)
+{
+    ReductionChain chain;
+    chain.nodes = {0, 1, 2};
+    chain.links = {{0, 1}}; // node 2 never reduces anywhere
+    VerifyReport report;
+    makeVerifier().checkChains({chain}, chainMapping(3), report);
+    EXPECT_TRUE(report.has(RuleId::ChainDisconnected))
+        << report.toString();
+
+    // Chains covering fewer sub-arrays than the mapping activates.
+    ReductionChain partial;
+    partial.nodes = {0, 1};
+    partial.links = {{0, 1}};
+    VerifyReport coverage;
+    makeVerifier().checkChains({partial}, chainMapping(3), coverage);
+    EXPECT_TRUE(coverage.has(RuleId::ChainDisconnected))
+        << coverage.toString();
+}
+
+TEST(BrokenCorpus, ModeDatapath)
+{
+    const auto verifier = makeVerifier();
+
+    VerifyReport special;
+    verifier.checkMode(bce::PimOpcode::Matmul,
+                       map::ExecMode::SpecialMode, special);
+    EXPECT_TRUE(special.has(RuleId::ModeDatapath))
+        << special.toString();
+
+    VerifyReport conv;
+    verifier.checkMode(bce::PimOpcode::Sigmoid, map::ExecMode::ConvMode,
+                       conv);
+    EXPECT_TRUE(conv.has(RuleId::ModeDatapath)) << conv.toString();
+
+    VerifyReport matmul;
+    verifier.checkMode(bce::PimOpcode::Conv, map::ExecMode::MatmulMode,
+                       matmul);
+    EXPECT_TRUE(matmul.has(RuleId::ModeDatapath)) << matmul.toString();
+
+    // Forcing conv mode onto a matmul kernel is a legal ablation.
+    VerifyReport forced;
+    verifier.checkMode(bce::PimOpcode::Matmul, map::ExecMode::ConvMode,
+                       forced);
+    EXPECT_TRUE(forced.ok()) << forced.toString();
+}
+
+TEST(BrokenCorpus, OperandRange)
+{
+    VerifyReport report;
+    check_operand_range({20}, 4, /*is_signed=*/false, report, "ops");
+    EXPECT_TRUE(report.has(RuleId::OperandRange)) << report.toString();
+
+    VerifyReport negative;
+    check_operand_range({-9}, 4, /*is_signed=*/true, negative, "ops");
+    EXPECT_TRUE(negative.has(RuleId::OperandRange))
+        << negative.toString();
+
+    VerifyReport fits;
+    check_operand_range({-8, 7}, 4, /*is_signed=*/true, fits, "ops");
+    EXPECT_TRUE(fits.ok()) << fits.toString();
+}
+
+// ----------------------------------------------------------------------
+// Integration: verify-on-compile, rejection, and the clean zoo.
+// ----------------------------------------------------------------------
+
+TEST(VerifyIntegration, CompilerVerifiesByDefaultAndCanOptOut)
+{
+    // An unsupported precision no longer aborts compilation: the
+    // verify-on-compile pass reports it instead.
+    dnn::Layer layer = dnn::make_fc("fc", 256, 256);
+    layer.precisionBits = 3;
+
+    const map::KernelCompiler verifying(defaultGeometry());
+    const map::CompiledKernel bad = verifying.compile(layer);
+    EXPECT_FALSE(bad.diagnostics.ok());
+    EXPECT_TRUE(bad.diagnostics.has(RuleId::OpPrecision))
+        << bad.diagnostics.toString();
+    EXPECT_TRUE(bad.diagnostics.has(RuleId::CbPrecision))
+        << bad.diagnostics.toString();
+
+    map::CompileOptions opt_out;
+    opt_out.verify = false;
+    const map::KernelCompiler silent(defaultGeometry(), {}, opt_out);
+    EXPECT_FALSE(silent.compileOptions().verify);
+    EXPECT_TRUE(
+        silent.compile(layer).diagnostics.diagnostics().empty());
+}
+
+TEST(VerifyIntegration, AcceleratorRejectsInvalidNetworks)
+{
+    const core::BFreeAccelerator acc;
+
+    dnn::Network bad("bad", {64, 1, 1});
+    dnn::Layer layer = dnn::make_fc("fc", 64, 64);
+    layer.precisionBits = 3;
+    bad.add(layer);
+    const map::RunResult rejected = acc.run(bad);
+    EXPECT_TRUE(rejected.rejected);
+    EXPECT_FALSE(rejected.diagnostics.ok());
+    EXPECT_EQ(rejected.secondsPerInference(), 0.0);
+
+    const map::RunResult good = acc.run(dnn::make_tiny_cnn());
+    EXPECT_FALSE(good.rejected);
+    EXPECT_TRUE(good.diagnostics.ok()) << good.diagnostics.toString();
+    EXPECT_GT(good.secondsPerInference(), 0.0);
+}
+
+TEST(VerifyIntegration, ModelZooCompilesClean)
+{
+    const std::vector<dnn::Network> zoo = {
+        dnn::make_vgg16(),     dnn::make_inception_v3(),
+        dnn::make_lstm(),      dnn::make_bert_base(),
+        dnn::make_bert_large(), dnn::make_tiny_cnn(),
+    };
+    const map::KernelCompiler compiler(defaultGeometry());
+    const auto verifier = makeVerifier();
+    for (const dnn::Network &net : zoo) {
+        for (const dnn::Layer &layer : net.layers()) {
+            const map::CompiledKernel k = compiler.compile(layer);
+            EXPECT_TRUE(k.diagnostics.ok())
+                << net.name() << " / " << layer.name << "\n"
+                << k.diagnostics.toString();
+            // The standalone pass agrees with verify-on-compile.
+            const auto report = verifier.verify(k, layer);
+            EXPECT_EQ(report.errorCount(), k.diagnostics.errorCount())
+                << net.name() << " / " << layer.name;
+        }
+    }
+}
+
+TEST(VerifyIntegration, DerivedChainsAreWellFormed)
+{
+    const map::KernelCompiler compiler(defaultGeometry());
+    const map::CompiledKernel k =
+        compiler.compile(dnn::make_fc("fc", 4096, 4096));
+    const auto chains =
+        derive_reduction_chains(k.mapping, defaultGeometry());
+    ASSERT_FALSE(chains.empty());
+    std::size_t covered = 0;
+    for (const ReductionChain &chain : chains) {
+        covered += chain.nodes.size();
+        EXPECT_LE(chain.nodes.size(),
+                  defaultGeometry().subarraysPerSubBank);
+    }
+    EXPECT_EQ(covered, k.mapping.activeSubarrays);
+
+    VerifyReport report;
+    makeVerifier().checkChains(chains, k.mapping, report);
+    EXPECT_TRUE(report.ok()) << report.toString();
+}
+
+TEST(VerifyIntegration, ReportFormatting)
+{
+    VerifyReport report;
+    report.add(RuleId::LutOversize, Severity::Error, "image 'big'",
+               "too big", "shrink it");
+    const std::string text = report.toString();
+    EXPECT_NE(text.find("error[lut-oversize]"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("(fix: shrink it)"), std::string::npos) << text;
+    EXPECT_EQ(report.count(RuleId::LutOversize), 1u);
+
+    VerifyReport outer;
+    outer.merge(report, "layer 'fc'");
+    EXPECT_NE(outer.toString().find("layer 'fc': image 'big'"),
+              std::string::npos)
+        << outer.toString();
+}

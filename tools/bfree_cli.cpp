@@ -40,6 +40,8 @@ usage(std::ostream &os)
           "                    gpu | all            (default none)\n"
           "  --threads N       worker threads for the run + baseline\n"
           "                    sweep (default: hardware concurrency)\n"
+          "  --lint            statically verify the compiled kernels\n"
+          "                    and exit (non-zero on errors)\n"
           "  --describe        print the network's structure and exit\n"
           "  --layers          print the per-layer table\n"
           "  --csv             emit per-layer CSV instead of text\n"
@@ -83,6 +85,7 @@ main(int argc, char **argv)
     bool describe = false;
     bool csv = false;
     bool stats = false;
+    bool lint = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -127,6 +130,8 @@ main(int argc, char **argv)
             precision = next();
         else if (arg == "--baseline")
             baseline = next();
+        else if (arg == "--lint")
+            lint = true;
         else if (arg == "--describe")
             describe = true;
         else if (arg == "--layers")
@@ -184,6 +189,16 @@ main(int argc, char **argv)
 
     core::BFreeAccelerator acc;
 
+    if (lint) {
+        const verify::VerifyReport report = acc.lint(net, cfg);
+        std::cout << net.name() << ": " << report.errorCount()
+                  << " error(s), " << report.warningCount()
+                  << " warning(s)\n";
+        for (const verify::Diagnostic &d : report.diagnostics())
+            std::cout << "  " << d.toString() << "\n";
+        return report.ok() ? 0 : 1;
+    }
+
     // The main run and every requested baseline are independent jobs;
     // shard them across the sweep engine. Results land in fixed slots,
     // so the printed report below is identical for any thread count.
@@ -219,6 +234,13 @@ main(int argc, char **argv)
         }
         sim::SweepRunner sweeper(threads);
         sweeper.run(std::move(jobs));
+    }
+
+    if (run.rejected) {
+        std::cerr << "verification rejected " << run.network << ":\n";
+        for (const verify::Diagnostic &d : run.diagnostics.diagnostics())
+            std::cerr << "  " << d.toString() << "\n";
+        return 1;
     }
 
     if (csv) {

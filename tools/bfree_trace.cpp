@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bce/pipeline_trace.hh"
+#include "verify/kernel_verifier.hh"
 
 namespace {
 
@@ -27,6 +28,23 @@ parse_list(const std::string &text)
     while (std::getline(in, token, ','))
         out.push_back(std::stoi(token));
     return out;
+}
+
+/**
+ * Vet an operand list through the verifier instead of trusting it:
+ * out-of-range operands would index past the 49-entry LUT. Prints the
+ * diagnostics; returns false when any error fired.
+ */
+bool
+operands_ok(const std::vector<int> &values, unsigned bits,
+            bool is_signed, const std::string &location)
+{
+    bfree::verify::VerifyReport report;
+    bfree::verify::check_operand_range(values, bits, is_signed, report,
+                                       location);
+    for (const bfree::verify::Diagnostic &d : report.diagnostics())
+        std::cerr << d.toString() << "\n";
+    return report.ok();
 }
 
 void
@@ -62,6 +80,9 @@ main(int argc, char **argv)
             std::cerr << "operand lists must have equal length\n";
             return 2;
         }
+        if (!operands_ok(w, 4, /*is_signed=*/false, "weights")
+            || !operands_ok(x, 4, /*is_signed=*/false, "inputs"))
+            return 1;
         std::vector<unsigned> wu(w.begin(), w.end());
         std::vector<unsigned> xu(x.begin(), x.end());
         const PipelineTrace trace = trace_conv_dot(wu, xu, lut);
@@ -74,6 +95,12 @@ main(int argc, char **argv)
             usage();
         const std::vector<int> a = parse_list(argv[2]);
         const int width = std::stoi(argv[3]);
+        if (!operands_ok(a, 8, /*is_signed=*/true, "a-operands"))
+            return 1;
+        if (width <= 0) {
+            std::cerr << "WIDTH must be positive\n";
+            return 2;
+        }
         std::vector<std::int32_t> a_ops(a.begin(), a.end());
         std::vector<std::vector<std::int8_t>> rows(
             a_ops.size(),
