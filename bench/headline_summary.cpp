@@ -17,10 +17,13 @@
  * any thread count.
  */
 
+#include <cstring>
 #include <iostream>
+#include <utility>
 
 #include "core/bfree.hh"
 #include "core/report.hh"
+#include "sim/bench_json.hh"
 #include "sim/parallel.hh"
 
 int
@@ -29,7 +32,15 @@ main(int argc, char **argv)
     using namespace bfree;
 
     const unsigned threads = sim::threads_from_args(argc, argv);
+    std::string json_path;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (!std::strcmp(argv[i], "--json"))
+            json_path = argv[i + 1];
     core::BFreeAccelerator acc;
+
+    // Pre-sized per-job slots for the machine-readable export; jobs
+    // write only their own slot, so the merge stays deterministic.
+    std::vector<std::vector<std::pair<const char *, double>>> exported(5);
 
     std::vector<sim::SweepJob> jobs;
 
@@ -51,6 +62,8 @@ main(int argc, char **argv)
         ctx.out << line;
         ctx.scalar("speedup", "speed vs baseline").set(speed);
         ctx.scalar("energy_ratio", "energy vs baseline").set(energy);
+        exported[ctx.jobIndex] = {{"neural_cache_speedup", speed},
+                                  {"neural_cache_energy_ratio", energy}};
     }});
 
     jobs.push_back({"area", [&](sim::SweepContext &ctx) {
@@ -60,6 +73,7 @@ main(int argc, char **argv)
                       "cache area overhead: %.2f%% (5.6%%)\n", overhead);
         ctx.out << line;
         ctx.scalar("area_overhead_pct", "added cache area %").set(overhead);
+        exported[ctx.jobIndex] = {{"area_overhead_pct", overhead}};
     }});
 
     jobs.push_back({"eyeriss", [&](sim::SweepContext &ctx) {
@@ -74,6 +88,7 @@ main(int argc, char **argv)
                       speed);
         ctx.out << line;
         ctx.scalar("speedup", "speed vs baseline").set(speed);
+        exported[ctx.jobIndex] = {{"eyeriss_speedup", speed}};
     }});
 
     jobs.push_back({"bert_cpu_gpu", [&](sim::SweepContext &ctx) {
@@ -98,6 +113,11 @@ main(int argc, char **argv)
             .set(cpu.secondsPerInference / bf.secondsPerInference());
         ctx.scalar("gpu_speedup", "speed vs GPU")
             .set(gpu.secondsPerInference / bf.secondsPerInference());
+        exported[ctx.jobIndex] = {
+            {"bert_cpu_speedup",
+             cpu.secondsPerInference / bf.secondsPerInference()},
+            {"bert_gpu_speedup",
+             gpu.secondsPerInference / bf.secondsPerInference()}};
     }});
 
     jobs.push_back({"cnn_batch16", [&](sim::SweepContext &ctx) {
@@ -132,5 +152,20 @@ main(int argc, char **argv)
                  "energy; VGG-16 193x/3x & 253x/7x)\n";
     std::cout << "\nmerged sweep statistics (job-index order):\n";
     report.dumpStats(std::cout);
+
+    if (!json_path.empty()) {
+        // Append to an existing document (e.g. micro_datapath's
+        // BENCH_pr3.json) rather than clobbering it.
+        sim::BenchJson json;
+        json.load(json_path);
+        for (const auto &slot : exported)
+            for (const auto &kv : slot)
+                json.set("headline_summary", kv.first, kv.second);
+        if (!json.save(json_path)) {
+            std::cerr << "cannot write " << json_path << "\n";
+            return 1;
+        }
+        std::cout << "wrote " << json_path << "\n";
+    }
     return 0;
 }

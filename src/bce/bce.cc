@@ -1,5 +1,6 @@
 #include "bce.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "lut/lut_image.hh"
@@ -16,14 +17,44 @@ void
 Bce::chargeCycles(std::uint64_t n)
 {
     stats_.cycles += n;
-    double mode_mw = tech.bceOtherModeMw;
-    if (_mode == BceMode::Conv)
-        mode_mw = tech.bceConvModeMw;
-    else if (_mode == BceMode::Matmul)
-        mode_mw = tech.bceMatmulModeMw;
-    energy->addPj(mem::EnergyCategory::BceCompute,
-                  tech.bceEnergyPerCyclePj(mode_mw)
-                      * static_cast<double>(n));
+    stats_.cyclesByMode[static_cast<std::size_t>(_mode)] += n;
+}
+
+void
+Bce::noteConvLutReads(std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    // lut_en decides the cost category a read will flush into.
+    if (sa->pimModeEnabled())
+        stats_.lutReadsPim += n;
+    else
+        stats_.lutReadsCache += n;
+    sa->noteLutReads(n);
+}
+
+void
+Bce::flushEnergy()
+{
+    mem::BceEnergyTallies now;
+    now.romLookups = stats_.counts.romLookups;
+    now.lutReadsPim = stats_.lutReadsPim;
+    now.lutReadsCache = stats_.lutReadsCache;
+    now.specialLutEvents = stats_.specialLutEvents;
+    now.cyclesByMode = stats_.cyclesByMode;
+
+    mem::BceEnergyTallies delta;
+    delta.romLookups = now.romLookups - flushed_.romLookups;
+    delta.lutReadsPim = now.lutReadsPim - flushed_.lutReadsPim;
+    delta.lutReadsCache = now.lutReadsCache - flushed_.lutReadsCache;
+    delta.specialLutEvents =
+        now.specialLutEvents - flushed_.specialLutEvents;
+    for (std::size_t m = 0; m < now.cyclesByMode.size(); ++m)
+        delta.cyclesByMode[m] =
+            now.cyclesByMode[m] - flushed_.cyclesByMode[m];
+
+    mem::MicroOpEnergyModel(tech).deposit(delta, *energy);
+    flushed_ = now;
 }
 
 void
@@ -54,7 +85,7 @@ Bce::loadConfig(const ConfigBlock &new_cb)
 }
 
 std::int64_t
-Bce::lutMultiply4(unsigned a, unsigned b)
+Bce::lutMultiply4(unsigned a, unsigned b, lut::MicroOpCounts &counts)
 {
     if (!multLutLoaded)
         bfree_panic("conv-mode multiply before the LUT image was loaded");
@@ -73,27 +104,28 @@ Bce::lutMultiply4(unsigned a, unsigned b)
     if (da.odd == 1 && db.odd == 1) {
         product = std::int64_t{1} << total_shift;
         if (total_shift > 0)
-            ++stats_.counts.shifts;
+            ++counts.shifts;
     } else if (da.odd == 1 || db.odd == 1) {
         const unsigned odd = da.odd == 1 ? db.odd : da.odd;
         product = std::int64_t{odd} << total_shift;
         if (total_shift > 0)
-            ++stats_.counts.shifts;
+            ++counts.shifts;
     } else {
         const std::size_t offset =
             lut::MultLut::operandIndex(da.odd) * lut::num_odd_operands
             + lut::MultLut::operandIndex(db.odd);
-        const std::uint8_t value = sa->lutRead(offset);
-        ++stats_.counts.lutLookups;
+        const std::uint8_t value = sa->lutPeek(offset);
+        ++counts.lutLookups;
         product = std::int64_t{value} << total_shift;
         if (total_shift > 0)
-            ++stats_.counts.shifts;
+            ++counts.shifts;
     }
     return product;
 }
 
 std::int64_t
-Bce::multiplyViaSubarrayLut(std::int32_t a, std::int32_t b, unsigned bits)
+Bce::multiplyViaSubarrayLut(std::int32_t a, std::int32_t b, unsigned bits,
+                            lut::MicroOpCounts &counts)
 {
     const unsigned nibbles = bits / 4;
     const bool negative = (a < 0) != (b < 0);
@@ -110,13 +142,43 @@ Bce::multiplyViaSubarrayLut(std::int32_t a, std::int32_t b, unsigned bits)
             const unsigned nb = (ub >> (4 * j)) & 0xF;
             if (nb == 0)
                 continue;
-            product += lutMultiply4(na, nb) << (4 * (i + j));
+            product += lutMultiply4(na, nb, counts) << (4 * (i + j));
             if (!first)
-                ++stats_.counts.adds;
+                ++counts.adds;
             first = false;
         }
     }
     return negative ? -product : product;
+}
+
+const lut::DatapathTable &
+Bce::convTable(unsigned bits)
+{
+    lut::DatapathTable &t = bits == 4 ? convTable4_ : convTable8_;
+    if (!t.valid() || t.generation != sa->lutGeneration()) {
+        if (!multLutLoaded)
+            bfree_panic(
+                "conv-mode multiply before the LUT image was loaded");
+        // Seed from the legacy scalar path over the whole operand
+        // space; the table can only ever reproduce the reference.
+        t = lut::DatapathTable::build(
+            bits, [this, bits](std::int32_t a, std::int32_t b) {
+                lut::MultResult r;
+                r.product = multiplyViaSubarrayLut(a, b, bits, r.counts);
+                return r;
+            });
+        t.generation = sa->lutGeneration();
+    }
+    return t;
+}
+
+const lut::DatapathTable &
+Bce::romTable(unsigned bits)
+{
+    lut::DatapathTable &t = bits == 4 ? romTable4_ : romTable8_;
+    if (!t.valid())
+        t = lut::build_rom_datapath_table(bits, rom);
+    return t;
 }
 
 std::int64_t
@@ -130,12 +192,13 @@ Bce::multiply(std::int32_t a, std::int32_t b, unsigned bits)
         lut::MultResult r = lut::multiply_signed(
             a, b, bits, rom, lut::LookupSource::BceRom);
         stats_.counts += r.counts;
-        energy->addPj(mem::EnergyCategory::BceCompute,
-                      tech.bceMacPj
-                          * static_cast<double>(r.counts.romLookups));
         return r.product;
     }
-    return multiplyViaSubarrayLut(a, b, bits);
+    lut::MicroOpCounts c;
+    const std::int64_t product = multiplyViaSubarrayLut(a, b, bits, c);
+    stats_.counts += c;
+    noteConvLutReads(c.lutLookups);
+    return product;
 }
 
 std::int32_t
@@ -149,27 +212,74 @@ Bce::dotProduct(std::size_t weight_offset, const std::int8_t *inputs,
     std::vector<std::uint8_t> weights(len * bytes_per_weight);
     sa->read(weight_offset, weights.data(), weights.size());
 
+    if (bytes_per_weight == 1)
+        return dotProductSpan(
+            reinterpret_cast<const std::int8_t *>(weights.data()), inputs,
+            len, bits);
+
     std::int64_t acc = 0;
     for (std::size_t i = 0; i < len; ++i) {
-        std::int32_t w = 0;
-        if (bytes_per_weight == 1) {
-            w = static_cast<std::int8_t>(weights[i]);
-        } else {
-            w = static_cast<std::int16_t>(
-                weights[2 * i] | (weights[2 * i + 1] << 8));
-        }
-        std::int32_t in = inputs[i];
-        if (bits == 4) {
-            // 4-bit operands arrive sign-extended in the int8 stream.
-            w = std::clamp(w, -8, 7);
-            in = std::clamp<std::int32_t>(in, -8, 7);
-        }
-        acc += multiplyViaSubarrayLut(w, in, bits);
+        const auto w = static_cast<std::int32_t>(static_cast<std::int16_t>(
+            weights[2 * i] | (weights[2 * i + 1] << 8)));
+        lut::MicroOpCounts c;
+        acc += multiplyViaSubarrayLut(w, inputs[i], bits, c);
+        stats_.counts += c;
+        noteConvLutReads(c.lutLookups);
         if (i > 0)
             ++stats_.counts.adds;
     }
 
     // Conv-mode rate: bits/4 cycles per MAC (0.5 MAC/cycle at 8-bit).
+    chargeCycles(len * (bits / 4));
+    stats_.macs += len;
+    return static_cast<std::int32_t>(acc);
+}
+
+std::int32_t
+Bce::dotProductSpan(const std::int8_t *weights, const std::int8_t *inputs,
+                    std::size_t len, unsigned bits)
+{
+    if (_mode != BceMode::Conv)
+        bfree_panic("dotProduct requires conv mode");
+
+    std::int64_t acc = 0;
+    if (_tier == ExecTier::Tiered && lut::DatapathTable::coversBits(bits)) {
+        const lut::DatapathTable &t = convTable(bits);
+        std::uint64_t luts = 0, shifts = 0, adds = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+            std::int32_t w = weights[i];
+            std::int32_t in = inputs[i];
+            if (bits == 4) {
+                w = std::clamp(w, -8, 7);
+                in = std::clamp(in, -8, 7);
+            }
+            const lut::DatapathEntry &e = t.at(w, in);
+            acc += e.product;
+            luts += e.lutLookups;
+            shifts += e.shifts;
+            adds += e.adds;
+        }
+        stats_.counts.lutLookups += luts;
+        stats_.counts.shifts += shifts;
+        stats_.counts.adds += adds + (len > 0 ? len - 1 : 0);
+        noteConvLutReads(luts);
+    } else {
+        for (std::size_t i = 0; i < len; ++i) {
+            std::int32_t w = weights[i];
+            std::int32_t in = inputs[i];
+            if (bits == 4) {
+                w = std::clamp(w, -8, 7);
+                in = std::clamp(in, -8, 7);
+            }
+            lut::MicroOpCounts c;
+            acc += multiplyViaSubarrayLut(w, in, bits, c);
+            stats_.counts += c;
+            noteConvLutReads(c.lutLookups);
+            if (i > 0)
+                ++stats_.counts.adds;
+        }
+    }
+
     chargeCycles(len * (bits / 4));
     stats_.macs += len;
     return static_cast<std::int32_t>(acc);
@@ -189,9 +299,6 @@ Bce::broadcastMac(std::int32_t a, const std::int8_t *b, std::size_t n,
         lut::MultResult r = lut::multiply_signed(
             a, b[i], bits, rom, lut::LookupSource::BceRom);
         stats_.counts += r.counts;
-        energy->addPj(mem::EnergyCategory::BceCompute,
-                      tech.bceMacPj
-                          * static_cast<double>(r.counts.romLookups));
         acc[i] += static_cast<std::int32_t>(r.product);
         ++stats_.counts.adds;
     }
@@ -199,6 +306,62 @@ Bce::broadcastMac(std::int32_t a, const std::int8_t *b, std::size_t n,
     // One LS-4/MS-4 pass per operand nibble, independent of n (Fig. 7).
     chargeCycles(bits / 4);
     stats_.macs += n;
+}
+
+std::int32_t
+Bce::matmulDotSpan(const std::int8_t *a, const std::int8_t *b,
+                   std::size_t len, unsigned bits)
+{
+    if (_mode != BceMode::Matmul)
+        bfree_panic("broadcastMac requires matmul mode");
+
+    std::int32_t acc = 0;
+    if (_tier == ExecTier::Tiered && lut::DatapathTable::coversBits(bits)) {
+        const lut::DatapathTable &t = romTable(bits);
+        const std::int32_t half = std::int32_t{1} << (bits - 1);
+        std::uint64_t roms = 0, shifts = 0, adds = 0, cycles = 0;
+        for (std::size_t i = 0; i < len; ++i) {
+            const std::int32_t ai = a[i];
+            const std::int32_t bi = b[i];
+            if (ai < -half || ai > half || bi < -half || bi > half) {
+                // Out of range: the analyzer raises the legacy panic.
+                lut::multiply_signed(ai, bi, bits, rom,
+                                     lut::LookupSource::BceRom);
+            }
+            const lut::DatapathEntry &e = t.at(ai, bi);
+            acc += e.product;
+            roms += e.romLookups;
+            shifts += e.shifts;
+            adds += e.adds;
+            cycles += e.cycles;
+        }
+        stats_.counts.romLookups += roms;
+        stats_.counts.shifts += shifts;
+        stats_.counts.adds += adds + len; // one lane add per element
+        stats_.counts.cycles += cycles;
+    } else {
+        for (std::size_t i = 0; i < len; ++i) {
+            lut::MultResult r = lut::multiply_signed(
+                a[i], b[i], bits, rom, lut::LookupSource::BceRom);
+            stats_.counts += r.counts;
+            acc += static_cast<std::int32_t>(r.product);
+            ++stats_.counts.adds;
+        }
+    }
+
+    chargeCycles(len * (bits / 4));
+    stats_.macs += len;
+    return acc;
+}
+
+void
+Bce::matmulTile(const std::int8_t *a, const std::int8_t *bt,
+                std::int32_t *out, std::size_t m, std::size_t k,
+                std::size_t n, unsigned bits)
+{
+    for (std::size_t i = 0; i < m; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            out[i * n + j] += matmulDotSpan(a + i * k, bt + j * k, k, bits);
 }
 
 std::int32_t
@@ -216,7 +379,7 @@ Bce::evaluatePwl(const lut::PwlTable &table, double x)
     const double y = table.evaluate(x, &counts);
     stats_.counts += counts;
     // The alpha/beta fetch reads the sub-array LUT rows.
-    energy->addPj(mem::EnergyCategory::LutAccess, tech.lutAccessPj());
+    ++stats_.specialLutEvents;
     chargeCycles(counts.cycles);
     return y;
 }
@@ -227,7 +390,7 @@ Bce::divide(double x, double y, const lut::DivisionLut &div)
     lut::MicroOpCounts counts;
     const double q = div.divide(x, y, &counts);
     stats_.counts += counts;
-    energy->addPj(mem::EnergyCategory::LutAccess, tech.lutAccessPj());
+    ++stats_.specialLutEvents;
     chargeCycles(counts.cycles);
     return q;
 }
@@ -276,7 +439,6 @@ Bce::requantize(std::int32_t acc, const lut::RequantScale &scale,
     ++stats_.counts.romLookups;
     ++stats_.counts.shifts;
     ++stats_.counts.adds;
-    energy->addPj(mem::EnergyCategory::BceCompute, tech.bceMacPj);
     chargeCycles(3);
     return out;
 }

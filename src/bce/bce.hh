@@ -11,9 +11,24 @@
  *
  * The model is simultaneously functional and timed: every operation
  * computes the exact integer result through the LUT datapath (operand
- * analyzer + 49-entry table) while accumulating cycle counts, micro-op
- * statistics and energy. Functional correctness of the LUT path is
+ * analyzer + 49-entry table) while accumulating cycle counts and
+ * micro-op statistics. Functional correctness of the LUT path is
  * therefore tested by the same code that produces performance numbers.
+ *
+ * Execution is tiered (ExecTier). The Legacy tier runs the full operand
+ * decomposition on every multiply — it is the reference. The Tiered
+ * engine memoizes the decomposition into flat datapath tables (one per
+ * mode/precision, seeded BY the legacy path over the whole operand
+ * space) and exposes batched span kernels, turning a steady-state MAC
+ * into one table read plus integer adds. Both tiers are bit- and
+ * stat-exact by construction.
+ *
+ * Energy is not booked per micro-op. The hot loops keep integer tallies
+ * only (cycles per mode, ROM lookups, LUT-row reads, special-function
+ * table events); flushEnergy() converts the tallies accumulated since
+ * the previous flush into joules in bulk (mem/micro_op_energy) and
+ * deposits them into the EnergyAccount. Callers must flush before
+ * reading the account.
  *
  * Throughput matches the paper:
  *   - conv mode:   0.5 8-bit MAC/cycle  (1 MUX, 1 adder, 2 shifters)
@@ -25,16 +40,20 @@
 #ifndef BFREE_BCE_BCE_HH
 #define BFREE_BCE_BCE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "config_block.hh"
+#include "isa.hh"
+#include "lut/datapath_table.hh"
 #include "lut/division.hh"
 #include "lut/fixed_point.hh"
 #include "lut/mult_lut.hh"
 #include "lut/operand_analyzer.hh"
 #include "lut/pwl.hh"
 #include "mem/energy_account.hh"
+#include "mem/micro_op_energy.hh"
 #include "mem/subarray.hh"
 
 namespace bfree::bce {
@@ -50,13 +69,20 @@ enum class BceMode
 /** Width of the input/output register files (Fig. 7: 8 operands). */
 constexpr unsigned bce_vector_width = 8;
 
-/** Aggregate BCE statistics. */
+/** Aggregate BCE statistics. All integers: the authoritative record the
+ *  bulk energy conversion is derived from. */
 struct BceStats
 {
     std::uint64_t cycles = 0;
     std::uint64_t macs = 0;
     std::uint64_t configLoads = 0;
     lut::MicroOpCounts counts;
+    /** cycles split per BceMode (Conv, Matmul, Special): each mode
+     *  draws different datapath power. */
+    std::array<std::uint64_t, 3> cyclesByMode{};
+    std::uint64_t lutReadsPim = 0;   ///< Conv-path LUT reads, lut_en = 1.
+    std::uint64_t lutReadsCache = 0; ///< Conv-path LUT reads, lut_en = 0.
+    std::uint64_t specialLutEvents = 0; ///< PWL / division table fetches.
 };
 
 /**
@@ -77,6 +103,12 @@ class Bce
 
     /** Switch datapath mode (reconfiguration, takes one cycle). */
     void setMode(BceMode mode);
+
+    /** Select the execution tier (exact either way; see file header). */
+    void setTier(ExecTier tier) { _tier = tier; }
+
+    /** Active execution tier. */
+    ExecTier tier() const { return _tier; }
 
     /**
      * Load the 49-entry multiply image into the sub-array LUT rows;
@@ -111,12 +143,45 @@ class Bce
                             unsigned bits);
 
     /**
+     * Conv-mode dot product over two host-resident operand spans (an
+     * im2col patch against a filter row). Identical arithmetic and
+     * accounting to dotProduct() minus the sub-array weight fetch:
+     * per-element multiply micro-ops, len-1 accumulator adds,
+     * len * bits/4 cycles, len MACs. The Tiered engine serves each
+     * element from the memoized conv table.
+     */
+    std::int32_t dotProductSpan(const std::int8_t *weights,
+                                const std::int8_t *inputs,
+                                std::size_t len, unsigned bits);
+
+    /**
      * Matmul-mode broadcast step: one A operand against @p n <= 8
      * B operands, accumulating into @p acc (Fig. 7). Consumes
      * bits/4 cycles regardless of n.
      */
     void broadcastMac(std::int32_t a, const std::int8_t *b, std::size_t n,
                       std::int32_t *acc, unsigned bits);
+
+    /**
+     * Matmul-mode dot product over two spans: exactly equivalent to
+     * len single-lane broadcastMac() steps (per element: ROM micro-ops,
+     * one lane add, bits/4 cycles, one MAC). Returns the int32
+     * accumulator.
+     */
+    std::int32_t matmulDotSpan(const std::int8_t *a,
+                               const std::int8_t *b, std::size_t len,
+                               unsigned bits);
+
+    /**
+     * Blocked matmul tile: A is m x k row-major, BT is the transposed
+     * B tile (n x k row-major, so both operands stream contiguously),
+     * and out (m x n row-major) is accumulated in place:
+     * out[i][j] += dot(A[i], BT[j]). Equivalent to m*n matmulDotSpan()
+     * calls.
+     */
+    void matmulTile(const std::int8_t *a, const std::int8_t *bt,
+                    std::int32_t *out, std::size_t m, std::size_t k,
+                    std::size_t n, unsigned bits);
 
     /** Accumulate a partial sum arriving from the systolic neighbour. */
     std::int32_t accumulateIncoming(std::int32_t local,
@@ -158,19 +223,42 @@ class Bce
     /** Full statistics. */
     const BceStats &stats() const { return stats_; }
 
+    /**
+     * Convert the integer tallies accumulated since the previous flush
+     * into joules and deposit them into the EnergyAccount. Must be
+     * called before the account is read; idempotent when nothing new
+     * has been tallied.
+     */
+    void flushEnergy();
+
     /** The attached sub-array. */
     mem::Subarray &subarray() { return *sa; }
 
   private:
-    /** Charge @p n datapath cycles at the current mode's power. */
+    /** Tally @p n datapath cycles against the current mode. */
     void chargeCycles(std::uint64_t n);
 
-    /** 4-bit multiply with partial products from the sub-array LUT. */
-    std::int64_t lutMultiply4(unsigned a, unsigned b);
+    /** Record conv-path LUT-row reads (mode-dependent cost category). */
+    void noteConvLutReads(std::uint64_t n);
 
-    /** Signed multiply routed through the sub-array LUT rows. */
+    /** 4-bit multiply with partial products from the sub-array LUT;
+     *  micro-ops land in @p counts (no stats/energy side effects, so
+     *  the same code both executes and seeds memo tables). */
+    std::int64_t lutMultiply4(unsigned a, unsigned b,
+                              lut::MicroOpCounts &counts);
+
+    /** Signed multiply routed through the sub-array LUT rows;
+     *  side-effect-free except for @p counts. */
     std::int64_t multiplyViaSubarrayLut(std::int32_t a, std::int32_t b,
-                                        unsigned bits);
+                                        unsigned bits,
+                                        lut::MicroOpCounts &counts);
+
+    /** Memoized conv-mode table for @p bits (4 or 8); reseeded from the
+     *  legacy path whenever the sub-array LUT generation moves. */
+    const lut::DatapathTable &convTable(unsigned bits);
+
+    /** Memoized matmul-mode (hardwired ROM) table for @p bits. */
+    const lut::DatapathTable &romTable(unsigned bits);
 
     mem::Subarray *sa;
     tech::TechParams tech;
@@ -178,7 +266,11 @@ class Bce
     lut::MultLut rom; ///< Hardwired multiply ROM inside the BCE.
     ConfigBlock cb;
     BceMode _mode = BceMode::Conv;
+    ExecTier _tier = ExecTier::Legacy;
     BceStats stats_;
+    mem::BceEnergyTallies flushed_; ///< Tallies already converted.
+    lut::DatapathTable convTable4_, convTable8_;
+    lut::DatapathTable romTable4_, romTable8_;
     bool multLutLoaded = false;
 };
 

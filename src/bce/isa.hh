@@ -16,6 +16,21 @@
 
 namespace bfree::bce {
 
+/**
+ * Execution tier of the BCE datapath model.
+ *
+ * Both tiers compute bit-identical products and accumulate identical
+ * micro-op statistics (and therefore identical derived energy): the
+ * tiered engine is memoized from the legacy scalar decomposition, never
+ * re-derived. Legacy remains the reference; Tiered trades a one-time
+ * table build per (mode, precision) for constant-time steady-state MACs.
+ */
+enum class ExecTier : std::uint8_t
+{
+    Legacy, ///< Reference path: full operand decomposition per multiply.
+    Tiered, ///< Memoized datapath tables + batched span kernels.
+};
+
 /** Kernel-level PIM opcodes. */
 enum class PimOpcode : std::uint8_t
 {

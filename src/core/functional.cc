@@ -11,6 +11,7 @@ NetworkWeights
 random_weights(const dnn::Network &net, sim::Rng &rng, double scale)
 {
     NetworkWeights all;
+    all.reserve(net.layers().size());
     for (const dnn::Layer &l : net.layers()) {
         LayerWeights w;
         std::size_t count = 0;
@@ -49,13 +50,15 @@ random_weights(const dnn::Network &net, sim::Rng &rng, double scale)
 }
 
 FunctionalExecutor::FunctionalExecutor(const tech::CacheGeometry &geom,
-                                       const tech::TechParams &tech)
+                                       const tech::TechParams &tech,
+                                       bce::ExecTier tier)
     : geom(geom), tech(tech), subarray(geom, tech, account),
       bce(subarray, tech, account), divisionLut(4),
       sigmoidTable(lut::make_sigmoid_table()),
       tanhTable(lut::make_tanh_table()),
       expTable(lut::make_exp_table())
 {
+    bce.setTier(tier);
     bce.loadMultLutImage();
 }
 
@@ -103,34 +106,97 @@ FunctionalExecutor::runConv(const dnn::Layer &layer,
 
     bce.setMode(bce::BceMode::Conv);
     dnn::FloatTensor output({out.c, out.h, out.w});
-    for (unsigned k = 0; k < out.c; ++k) {
+
+    const std::size_t patch_len =
+        std::size_t(layer.input.c) * layer.kernelH * layer.kernelW;
+
+    if (bits <= 8) {
+        // Quantize the whole filter bank once up front: q() is a pure
+        // function, so hoisting it out of the spatial loops is
+        // bit-identical to quantizing at every use. The filter layout
+        // [outC][inC][kh][kw] already matches the im2col patch order,
+        // so each filter is one contiguous span.
+        std::vector<std::int8_t> qweights(w.weights.size());
+        for (std::size_t i = 0; i < w.weights.size(); ++i)
+            qweights[i] = static_cast<std::int8_t>(qw.q(w.weights[i]));
+
+        // im2col with patch reuse: gather each input window once per
+        // (oh, ow) and run it against every output channel, instead of
+        // re-walking the window per (k, oh, ow). Out-of-bounds taps
+        // gather a literal 0, which the LUT datapath multiplies for
+        // free (zero operands short-circuit with no micro-ops).
+        std::vector<std::int8_t> patch(patch_len);
         for (unsigned oh = 0; oh < out.h; ++oh) {
             for (unsigned ow = 0; ow < out.w; ++ow) {
-                std::int64_t acc = 0;
+                std::size_t p = 0;
                 for (unsigned c = 0; c < layer.input.c; ++c) {
                     for (unsigned r = 0; r < layer.kernelH; ++r) {
-                        for (unsigned s = 0; s < layer.kernelW; ++s) {
+                        for (unsigned s = 0; s < layer.kernelW;
+                             ++s, ++p) {
                             const int ih = static_cast<int>(
                                                oh * layer.strideH + r)
                                            - static_cast<int>(layer.padH);
                             const int iw = static_cast<int>(
                                                ow * layer.strideW + s)
                                            - static_cast<int>(layer.padW);
-                            if (ih < 0 || iw < 0
-                                || ih >= static_cast<int>(layer.input.h)
-                                || iw >= static_cast<int>(layer.input.w))
-                                continue;
-                            const std::size_t widx =
-                                ((std::size_t(k) * layer.input.c + c)
-                                     * layer.kernelH
-                                 + r) * layer.kernelW
-                                + s;
-                            acc += bce.multiply(
-                                qw.q(w.weights[widx]),
-                                qi.q(input.at(c, ih, iw)), bits);
+                            const bool inside =
+                                ih >= 0 && iw >= 0
+                                && ih < static_cast<int>(layer.input.h)
+                                && iw < static_cast<int>(layer.input.w);
+                            patch[p] =
+                                inside ? static_cast<std::int8_t>(
+                                             qi.q(input.at(c, ih, iw)))
+                                       : std::int8_t{0};
                         }
                     }
                 }
+                for (unsigned k = 0; k < out.c; ++k) {
+                    const std::int32_t acc = bce.dotProductSpan(
+                        &qweights[std::size_t(k) * patch_len],
+                        patch.data(), patch_len, bits);
+                    output.at(k, oh, ow) =
+                        static_cast<float>(acc * qw.scale * qi.scale)
+                        + w.bias[k];
+                }
+            }
+        }
+        return output;
+    }
+
+    // 16-bit operands exceed the int8 patch element; run scalar
+    // multiplies over an int32 patch with the same reuse structure.
+    std::vector<std::int32_t> qweights(w.weights.size());
+    for (std::size_t i = 0; i < w.weights.size(); ++i)
+        qweights[i] = qw.q(w.weights[i]);
+
+    std::vector<std::int32_t> patch(patch_len);
+    for (unsigned oh = 0; oh < out.h; ++oh) {
+        for (unsigned ow = 0; ow < out.w; ++ow) {
+            std::size_t p = 0;
+            for (unsigned c = 0; c < layer.input.c; ++c) {
+                for (unsigned r = 0; r < layer.kernelH; ++r) {
+                    for (unsigned s = 0; s < layer.kernelW; ++s, ++p) {
+                        const int ih = static_cast<int>(
+                                           oh * layer.strideH + r)
+                                       - static_cast<int>(layer.padH);
+                        const int iw = static_cast<int>(
+                                           ow * layer.strideW + s)
+                                       - static_cast<int>(layer.padW);
+                        const bool inside =
+                            ih >= 0 && iw >= 0
+                            && ih < static_cast<int>(layer.input.h)
+                            && iw < static_cast<int>(layer.input.w);
+                        patch[p] =
+                            inside ? qi.q(input.at(c, ih, iw)) : 0;
+                    }
+                }
+            }
+            for (unsigned k = 0; k < out.c; ++k) {
+                std::int64_t acc = 0;
+                const std::size_t base = std::size_t(k) * patch_len;
+                for (std::size_t q = 0; q < patch_len; ++q)
+                    acc += bce.multiply(qweights[base + q], patch[q],
+                                        bits);
                 output.at(k, oh, ow) =
                     static_cast<float>(acc * qw.scale * qi.scale)
                     + w.bias[k];
@@ -157,6 +223,27 @@ FunctionalExecutor::runFc(const dnn::Layer &layer,
     for (unsigned i = 0; i < layer.inFeatures; ++i)
         qin[i] = static_cast<std::int8_t>(qi.q(input[i]));
 
+    if (bits <= 8) {
+        // The weight matrix is stored [outFeatures][inFeatures] — it
+        // already is the transposed-B tile matmulTile wants, so the
+        // whole layer is one blocked GEMM over the LUT datapath.
+        const std::size_t k = layer.inFeatures;
+        const std::size_t n = layer.outFeatures;
+        std::vector<std::int8_t> qwt(n * k);
+        for (std::size_t i = 0; i < qwt.size(); ++i)
+            qwt[i] = static_cast<std::int8_t>(qw.q(w.weights[i]));
+
+        std::vector<std::int32_t> accs(n, 0);
+        bce.matmulTile(qin.data(), qwt.data(), accs.data(), 1, k, n,
+                       bits);
+        for (unsigned o = 0; o < layer.outFeatures; ++o)
+            output[o] = static_cast<float>(accs[o] * qw.scale * qi.scale)
+                        + w.bias[o];
+        return output;
+    }
+
+    // 16-bit weights exceed the int8 span; broadcast them one at a
+    // time as before.
     for (unsigned o = 0; o < layer.outFeatures; ++o) {
         std::int64_t acc = 0;
         const std::size_t row = std::size_t(o) * layer.inFeatures;
@@ -217,6 +304,7 @@ FunctionalExecutor::runPool(const dnn::Layer &layer,
     const dnn::FeatureShape out = layer.outputShape();
     dnn::FloatTensor output({out.c, out.h, out.w});
     std::vector<std::int32_t> window;
+    window.reserve(std::size_t(layer.kernelH) * layer.kernelW);
     for (unsigned c = 0; c < out.c; ++c) {
         for (unsigned oh = 0; oh < out.h; ++oh) {
             for (unsigned ow = 0; ow < out.w; ++ow) {
@@ -284,6 +372,31 @@ FunctionalExecutor::qMatmul(const dnn::FloatTensor &a, const float *w,
 
     bce.setMode(bce::BceMode::Matmul);
     dnn::FloatTensor out({m, n});
+
+    if (bits <= 8) {
+        // Quantize A row-major and W transposed (both once — q() is
+        // pure), then run the whole product as one blocked GEMM tile.
+        std::vector<std::int8_t> qrows(m * k);
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t p = 0; p < k; ++p)
+                qrows[i * k + p] =
+                    static_cast<std::int8_t>(qa.q(a.at(i, p)));
+        std::vector<std::int8_t> qbt(n * k);
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t p = 0; p < k; ++p)
+                qbt[j * k + p] =
+                    static_cast<std::int8_t>(qw.q(w[p * n + j]));
+
+        std::vector<std::int32_t> accs(m * n, 0);
+        bce.matmulTile(qrows.data(), qbt.data(), accs.data(), m, k, n,
+                       bits);
+        for (std::size_t i = 0; i < m; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                out.at(i, j) = static_cast<float>(accs[i * n + j]
+                                                  * qa.scale * qw.scale);
+        return out;
+    }
+
     std::vector<std::int8_t> qrow(k);
     for (std::size_t i = 0; i < m; ++i) {
         for (std::size_t p = 0; p < k; ++p)

@@ -57,8 +57,16 @@ struct FunctionalResult
 class FunctionalExecutor
 {
   public:
+    /**
+     * @param tier Execution tier of the underlying BCE. Tiered (the
+     *             default) serves steady-state MACs from memoized
+     *             datapath tables; Legacy runs the full scalar
+     *             decomposition. Both produce bit-identical outputs,
+     *             statistics and energy.
+     */
     FunctionalExecutor(const tech::CacheGeometry &geom = {},
-                       const tech::TechParams &tech = {});
+                       const tech::TechParams &tech = {},
+                       bce::ExecTier tier = bce::ExecTier::Tiered);
 
     /**
      * Run @p net on @p input with @p weights through the quantized LUT
@@ -102,11 +110,23 @@ class FunctionalExecutor
     /** BCE statistics accumulated so far. */
     const bce::BceStats &stats() const { return bce.stats(); }
 
-    /** Energy accumulated by the functional datapath so far. */
-    const mem::EnergyAccount &energy() const { return account; }
+    /**
+     * Energy accumulated by the functional datapath so far. Flushes
+     * the BCE's deferred integer tallies into the account first, so
+     * the returned reference is up to date.
+     */
+    const mem::EnergyAccount &
+    energy()
+    {
+        bce.flushEnergy();
+        return account;
+    }
+
+    /** Execution tier of the underlying BCE. */
+    bce::ExecTier tier() const { return bce.tier(); }
 
   private:
-    /** Quantized conv through bce.multiply; returns float outputs. */
+    /** Quantized conv over im2col patches on the conv-mode datapath. */
     dnn::FloatTensor runConv(const dnn::Layer &layer,
                              const dnn::FloatTensor &input,
                              const LayerWeights &w, unsigned bits);

@@ -1,0 +1,15 @@
+#include "datapath_table.hh"
+
+namespace bfree::lut {
+
+DatapathTable
+build_rom_datapath_table(unsigned bits, const MultLut &rom)
+{
+    return DatapathTable::build(
+        bits, [&](std::int32_t a, std::int32_t b) {
+            return multiply_signed(a, b, bits, rom,
+                                   LookupSource::BceRom);
+        });
+}
+
+} // namespace bfree::lut

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tier-1 memoized datapath tables.
+ *
+ * The operand analyzer's decomposition of a multiplication into LUT
+ * lookups, shifts and adds is a pure function of (a, b, bits, lookup
+ * source): nothing about it depends on execution history. The tiered
+ * execution engine therefore precomputes, once per (source, bits)
+ * pair, a flat table over the full signed operand space holding the
+ * exact product plus the micro-op deltas the legacy scalar path would
+ * have accumulated. A steady-state MAC then becomes one array read and
+ * a handful of integer additions instead of a full nibble-decomposition
+ * walk.
+ *
+ * The tables are SEEDED BY the legacy scalar path (the caller passes a
+ * reference functor that runs the real decomposition), so the scalar
+ * code remains the single source of truth: the memoized engine can
+ * only ever reproduce it. Conv-mode tables additionally bake in the
+ * bytes currently resident in the sub-array LUT rows, so their owner
+ * must tag them with the sub-array's LUT generation and rebuild when
+ * the rows are rewritten (see Subarray::lutGeneration()).
+ */
+
+#ifndef BFREE_LUT_DATAPATH_TABLE_HH
+#define BFREE_LUT_DATAPATH_TABLE_HH
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "operand_analyzer.hh"
+#include "sim/logging.hh"
+
+namespace bfree::lut {
+
+/**
+ * One memoized multiplication: exact product plus the micro-op deltas
+ * of the scalar decomposition. The deltas are tiny (at most 4 of each
+ * per 8-bit multiply), so a byte per field keeps the full 8-bit table
+ * under 1 MB and cache-resident.
+ */
+struct DatapathEntry
+{
+    std::int32_t product = 0;
+    std::uint8_t lutLookups = 0;
+    std::uint8_t romLookups = 0;
+    std::uint8_t shifts = 0;
+    std::uint8_t adds = 0;
+    std::uint8_t cycles = 0;
+};
+
+/**
+ * A flat (2^bits + 1)^2 entry table over the signed operand domain
+ * [-2^(bits-1), +2^(bits-1)] — the full range the operand analyzer
+ * accepts, including the asymmetric +/-2^(bits-1) endpoints.
+ */
+class DatapathTable
+{
+  public:
+    DatapathTable() = default;
+
+    /** Memoization covers 4- and 8-bit operands; 16-bit stays scalar
+     *  (a 2^32-entry table would defeat the point). */
+    static bool
+    coversBits(unsigned bits)
+    {
+        return bits == 4 || bits == 8;
+    }
+
+    /** True once built. */
+    bool valid() const { return !entries.empty(); }
+
+    /** Operand precision this table covers. */
+    unsigned bits() const { return _bits; }
+
+    /** Number of memoized operand pairs. */
+    std::size_t entryCount() const { return entries.size(); }
+
+    /**
+     * Owner-managed invalidation tag. Conv-mode tables record the
+     * sub-array LUT generation they were seeded against; a mismatch
+     * at dispatch time forces a reseed.
+     */
+    std::uint64_t generation = 0;
+
+    /** The memoized entry for (a, b); both in [-2^(bits-1), 2^(bits-1)]. */
+    const DatapathEntry &
+    at(std::int32_t a, std::int32_t b) const
+    {
+        return entries[static_cast<std::size_t>(a + half) * span
+                       + static_cast<std::size_t>(b + half)];
+    }
+
+    /**
+     * Build a table by exhaustively running @p reference — the legacy
+     * scalar path — over the operand space. @p reference must return a
+     * MultResult for (a, b).
+     */
+    template <typename Ref>
+    static DatapathTable
+    build(unsigned bits, Ref &&reference)
+    {
+        if (!coversBits(bits))
+            bfree_fatal("no datapath table for ", bits, "-bit operands");
+
+        DatapathTable t;
+        t._bits = bits;
+        t.half = std::int32_t{1} << (bits - 1);
+        t.span = 2u * static_cast<unsigned>(t.half) + 1;
+        t.entries.resize(std::size_t{t.span} * t.span);
+
+        for (std::int32_t a = -t.half; a <= t.half; ++a) {
+            for (std::int32_t b = -t.half; b <= t.half; ++b) {
+                const MultResult r = reference(a, b);
+                DatapathEntry &e =
+                    t.entries[static_cast<std::size_t>(a + t.half) * t.span
+                              + static_cast<std::size_t>(b + t.half)];
+                e.product = checkedProduct(r.product);
+                e.lutLookups = checkedCount(r.counts.lutLookups);
+                e.romLookups = checkedCount(r.counts.romLookups);
+                e.shifts = checkedCount(r.counts.shifts);
+                e.adds = checkedCount(r.counts.adds);
+                e.cycles = checkedCount(r.counts.cycles);
+            }
+        }
+        return t;
+    }
+
+  private:
+    static std::int32_t
+    checkedProduct(std::int64_t p)
+    {
+        // |product| <= 2^(bits-1) * 2^(bits-1) = 2^14 for 8-bit.
+        if (p < INT32_MIN || p > INT32_MAX)
+            bfree_panic("datapath-table product ", p,
+                        " overflows the entry");
+        return static_cast<std::int32_t>(p);
+    }
+
+    static std::uint8_t
+    checkedCount(std::uint64_t c)
+    {
+        if (c > 0xFF)
+            bfree_panic("datapath-table micro-op count ", c,
+                        " overflows the entry");
+        return static_cast<std::uint8_t>(c);
+    }
+
+    std::vector<DatapathEntry> entries;
+    std::int32_t half = 0;
+    unsigned span = 0;
+    unsigned _bits = 0;
+};
+
+/**
+ * Build the ROM-source table for @p bits by seeding from the operand
+ * analyzer over the hardwired multiply ROM (the matmul-mode reference
+ * path).
+ */
+DatapathTable build_rom_datapath_table(unsigned bits, const MultLut &rom);
+
+} // namespace bfree::lut
+
+#endif // BFREE_LUT_DATAPATH_TABLE_HH

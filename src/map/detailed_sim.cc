@@ -160,6 +160,11 @@ DetailedSubBankSim::run(
 
     queue.run();
 
+    // Convert every node's integer micro-op tallies into joules before
+    // the shared account is read.
+    for (auto &node : chain)
+        node->bce.flushEnergy();
+
     DetailedRunResult result;
     result.outputs = completed;
     result.cycles = clock.ticksToCycles(queue.now()).value();

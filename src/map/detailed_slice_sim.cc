@@ -181,6 +181,12 @@ DetailedSliceSim::run(const std::vector<std::vector<std::int8_t>> &inputs)
 
     queue.run();
 
+    // Convert every node's integer micro-op tallies into joules before
+    // the shared account is read.
+    for (auto &column : grid)
+        for (auto &node : column)
+            node->bce.flushEnergy();
+
     DetailedGridResult result;
     result.outputs = completed;
     result.cycles = clock.ticksToCycles(queue.now()).value();

@@ -1,0 +1,63 @@
+#include "micro_op_energy.hh"
+
+namespace bfree::mem {
+
+namespace {
+
+double
+mode_mw(const tech::TechParams &tech, std::size_t mode)
+{
+    // Index order matches bce::BceMode: Conv, Matmul, Special.
+    switch (mode) {
+      case 0:
+        return tech.bceConvModeMw;
+      case 1:
+        return tech.bceMatmulModeMw;
+      default:
+        return tech.bceOtherModeMw;
+    }
+}
+
+} // namespace
+
+double
+MicroOpEnergyModel::bceComputePj(const BceEnergyTallies &delta) const
+{
+    double pj = tech.bceMacPj * static_cast<double>(delta.romLookups);
+    for (std::size_t m = 0; m < delta.cyclesByMode.size(); ++m)
+        pj += tech.bceEnergyPerCyclePj(mode_mw(tech, m))
+              * static_cast<double>(delta.cyclesByMode[m]);
+    return pj;
+}
+
+double
+MicroOpEnergyModel::lutAccessPj(const BceEnergyTallies &delta) const
+{
+    return tech.lutAccessPj()
+           * static_cast<double>(delta.lutReadsPim
+                                 + delta.specialLutEvents);
+}
+
+double
+MicroOpEnergyModel::subarrayAccessPj(const BceEnergyTallies &delta) const
+{
+    return tech.subarrayAccessPj
+           * static_cast<double>(delta.lutReadsCache);
+}
+
+void
+MicroOpEnergyModel::deposit(const BceEnergyTallies &delta,
+                            EnergyAccount &account) const
+{
+    const double bce = bceComputePj(delta);
+    if (bce != 0.0)
+        account.addPj(EnergyCategory::BceCompute, bce);
+    const double lut = lutAccessPj(delta);
+    if (lut != 0.0)
+        account.addPj(EnergyCategory::LutAccess, lut);
+    const double sa = subarrayAccessPj(delta);
+    if (sa != 0.0)
+        account.addPj(EnergyCategory::SubarrayAccess, sa);
+}
+
+} // namespace bfree::mem

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bulk conversion of integer micro-op tallies into energy.
+ *
+ * The legacy datapath charged a floating-point addPj() on every
+ * micro-op, which both dominated the simulator's hot loop and made the
+ * accumulated joules depend on the exact interleaving of operations.
+ * The tiered engine instead keeps the authoritative record in integer
+ * counters (micro-op counts, cycles per BCE mode, LUT-row reads) and
+ * converts them to picojoules here, in one closed-form expression per
+ * energy category, once per flush. Because the conversion is a pure
+ * function of the integers, two execution engines that agree on every
+ * count agree on every joule — bit for bit.
+ */
+
+#ifndef BFREE_MEM_MICRO_OP_ENERGY_HH
+#define BFREE_MEM_MICRO_OP_ENERGY_HH
+
+#include <array>
+#include <cstdint>
+
+#include "energy_account.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::mem {
+
+/**
+ * The integer tallies one flush converts. Deltas, not totals: the BCE
+ * snapshots its cumulative counters at each flush and hands the
+ * difference here.
+ */
+struct BceEnergyTallies
+{
+    std::uint64_t romLookups = 0;  ///< Hardwired multiply-ROM reads.
+    std::uint64_t lutReadsPim = 0; ///< Decoupled-bitline LUT-row reads.
+    std::uint64_t lutReadsCache = 0; ///< LUT-row reads with lut_en = 0.
+    std::uint64_t specialLutEvents = 0; ///< PWL / division table fetches.
+    /** Datapath cycles per BceMode (Conv, Matmul, Special). */
+    std::array<std::uint64_t, 3> cyclesByMode{};
+};
+
+/**
+ * Converts BCE micro-op tallies to energy and books them into an
+ * EnergyAccount. Stateless apart from the technology scalars.
+ */
+class MicroOpEnergyModel
+{
+  public:
+    explicit MicroOpEnergyModel(const tech::TechParams &tech)
+        : tech(tech)
+    {}
+
+    /** BCE-datapath energy (ROM MACs + per-mode cycle power) in pJ. */
+    double bceComputePj(const BceEnergyTallies &delta) const;
+
+    /** Decoupled-bitline LUT traffic (conv-path reads + special-function
+     *  alpha/beta fetches) in pJ. */
+    double lutAccessPj(const BceEnergyTallies &delta) const;
+
+    /** Full-bitline cost of LUT-row reads issued in cache mode, in pJ. */
+    double subarrayAccessPj(const BceEnergyTallies &delta) const;
+
+    /** Convert @p delta and book every category into @p account. */
+    void deposit(const BceEnergyTallies &delta,
+                 EnergyAccount &account) const;
+
+  private:
+    tech::TechParams tech;
+};
+
+} // namespace bfree::mem
+
+#endif // BFREE_MEM_MICRO_OP_ENERGY_HH

@@ -65,6 +65,7 @@ Subarray::loadLut(const std::vector<std::uint8_t> &bytes)
                     " bytes does not fit the ", lut.size(),
                     "-byte LUT region");
     std::copy(bytes.begin(), bytes.end(), lut.begin());
+    ++_lutGeneration;
 
     // Configuration-phase loads drive the full bitline (writes are not
     // on the decoupled path).
@@ -93,6 +94,15 @@ Subarray::lutRead(std::size_t offset)
     return lut[offset];
 }
 
+std::uint8_t
+Subarray::lutPeek(std::size_t offset) const
+{
+    if (offset >= lut.size())
+        bfree_panic("LUT read at ", offset, " exceeds LUT region of ",
+                    lut.size(), " bytes");
+    return lut[offset];
+}
+
 void
 Subarray::scratchWrite(std::size_t offset, std::uint8_t value)
 {
@@ -101,6 +111,7 @@ Subarray::scratchWrite(std::size_t offset, std::uint8_t value)
                     " exceeds the reduced-cost region of ", lut.size(),
                     " bytes");
     lut[offset] = value;
+    ++_lutGeneration;
     energy->addPj(EnergyCategory::LutAccess, tech.lutAccessPj());
     ++_stats.lutWrites;
 }

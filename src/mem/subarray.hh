@@ -87,6 +87,25 @@ class Subarray
     std::uint8_t lutRead(std::size_t offset);
 
     /**
+     * Read one LUT byte without any accounting. The BCE's multiply
+     * path uses this together with noteLutReads() so the per-read
+     * bookkeeping stays integer-only in the hot loop; the energy is
+     * converted in bulk at flush time (mem/micro_op_energy).
+     */
+    std::uint8_t lutPeek(std::size_t offset) const;
+
+    /** Record @p n LUT-row reads in the access counters (stats only;
+     *  the caller owns the deferred energy conversion). */
+    void noteLutReads(std::uint64_t n) { _stats.lutReads += n; }
+
+    /**
+     * Monotonic counter bumped whenever the LUT-row bytes change
+     * (loadLut / scratchWrite). Memoized datapath tables seeded from
+     * the rows record the generation they saw and rebuild on mismatch.
+     */
+    std::uint64_t lutGeneration() const { return _lutGeneration; }
+
+    /**
      * Read/write an intermediate value in the reduced-access-cost rows
      * (the paper reuses them for partial products during matmul).
      */
@@ -112,6 +131,7 @@ class Subarray
     std::vector<std::uint8_t> data;
     std::vector<std::uint8_t> lut;
     SubarrayStats _stats;
+    std::uint64_t _lutGeneration = 0;
     bool _pimMode = true;
 };
 

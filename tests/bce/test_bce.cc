@@ -173,6 +173,7 @@ TEST(BceSpecial, PwlEvaluationViaLutRows)
     const bfree::lut::PwlTable table = bfree::lut::make_sigmoid_table(32);
     const double y = f.bce.evaluatePwl(table, 0.0);
     EXPECT_NEAR(y, 0.5, 0.02);
+    f.bce.flushEnergy();
     EXPECT_GT(f.energy.joules(EnergyCategory::LutAccess), 0.0);
 }
 
@@ -191,8 +192,10 @@ TEST(BceEnergy, MatmulMacsChargeRomEnergy)
 {
     Fixture f;
     f.bce.setMode(BceMode::Matmul);
+    f.bce.flushEnergy();
     const double before = f.energy.joules(EnergyCategory::BceCompute);
     (void)f.bce.multiply(77, -55, 8);
+    f.bce.flushEnergy();
     EXPECT_GT(f.energy.joules(EnergyCategory::BceCompute), before);
 }
 

@@ -1,0 +1,568 @@
+/**
+ * @file
+ * Differential proof that the tiered (memoized-table, batched-span)
+ * execution engine is bit- and stat-exact against the legacy scalar
+ * datapath: identical products over the full operand space, identical
+ * MicroOpCounts/cycles, and — because joules are derived from the
+ * integer tallies in one closed form — identical energy, for every
+ * PIM opcode, both BCE modes, and whole networks through
+ * FunctionalExecutor::run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "bce/bce.hh"
+#include "core/functional.hh"
+#include "dnn/model_zoo.hh"
+#include "lut/division.hh"
+#include "lut/fixed_point.hh"
+#include "lut/pwl.hh"
+#include "sim/parallel.hh"
+
+using namespace bfree;
+using bce::BceMode;
+using bce::ExecTier;
+
+namespace {
+
+/** One self-contained BCE rig at a chosen execution tier. */
+struct Engine
+{
+    tech::CacheGeometry geom{};
+    tech::TechParams tech{};
+    mem::EnergyAccount account;
+    mem::Subarray subarray{geom, tech, account};
+    bce::Bce bce{subarray, tech, account};
+
+    explicit Engine(ExecTier tier, bool load_lut = true)
+    {
+        bce.setTier(tier);
+        if (load_lut)
+            bce.loadMultLutImage();
+    }
+};
+
+void
+expect_stats_equal(const bce::BceStats &a, const bce::BceStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.macs, b.macs);
+    EXPECT_EQ(a.configLoads, b.configLoads);
+    EXPECT_EQ(a.counts.lutLookups, b.counts.lutLookups);
+    EXPECT_EQ(a.counts.romLookups, b.counts.romLookups);
+    EXPECT_EQ(a.counts.shifts, b.counts.shifts);
+    EXPECT_EQ(a.counts.adds, b.counts.adds);
+    EXPECT_EQ(a.counts.cycles, b.counts.cycles);
+    EXPECT_EQ(a.cyclesByMode, b.cyclesByMode);
+    EXPECT_EQ(a.lutReadsPim, b.lutReadsPim);
+    EXPECT_EQ(a.lutReadsCache, b.lutReadsCache);
+    EXPECT_EQ(a.specialLutEvents, b.specialLutEvents);
+}
+
+/** Flush both engines and require bit-identical joules per category. */
+void
+expect_engines_identical(Engine &legacy, Engine &tiered)
+{
+    expect_stats_equal(legacy.bce.stats(), tiered.bce.stats());
+    legacy.bce.flushEnergy();
+    tiered.bce.flushEnergy();
+    for (std::size_t c = 0; c < mem::num_energy_categories; ++c) {
+        const auto cat = static_cast<mem::EnergyCategory>(c);
+        EXPECT_EQ(legacy.account.joules(cat), tiered.account.joules(cat))
+            << "energy category " << c;
+    }
+}
+
+/** Deterministic int8 test vector (no RNG dependence). */
+std::vector<std::int8_t>
+pattern(std::size_t n, int seed, int limit = 127)
+{
+    std::vector<std::int8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int r = static_cast<int>((i * 37 + seed * 101) % 1000);
+        v[i] = static_cast<std::int8_t>(r % (2 * limit + 1) - limit);
+    }
+    return v;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Full operand space, both modes
+// ---------------------------------------------------------------------
+
+TEST(TieredDatapath, Conv8BitFullOperandSpaceExact)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+
+    // Per-pair products over the whole reachable int8 space.
+    for (int a = -128; a <= 127; ++a) {
+        for (int b = -128; b <= 127; ++b) {
+            const auto wa = static_cast<std::int8_t>(a);
+            const auto xb = static_cast<std::int8_t>(b);
+            const std::int32_t pl =
+                legacy.bce.dotProductSpan(&wa, &xb, 1, 8);
+            const std::int32_t pt =
+                tiered.bce.dotProductSpan(&wa, &xb, 1, 8);
+            ASSERT_EQ(pl, pt) << "a=" << a << " b=" << b;
+        }
+    }
+    expect_engines_identical(legacy, tiered);
+}
+
+TEST(TieredDatapath, Matmul8BitFullOperandSpaceExact)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+    legacy.bce.setMode(BceMode::Matmul);
+    tiered.bce.setMode(BceMode::Matmul);
+
+    for (int a = -128; a <= 127; ++a) {
+        for (int b = -128; b <= 127; ++b) {
+            const auto aa = static_cast<std::int8_t>(a);
+            const auto bb = static_cast<std::int8_t>(b);
+            const std::int32_t pl =
+                legacy.bce.matmulDotSpan(&aa, &bb, 1, 8);
+            const std::int32_t pt =
+                tiered.bce.matmulDotSpan(&aa, &bb, 1, 8);
+            ASSERT_EQ(pl, pt) << "a=" << a << " b=" << b;
+        }
+    }
+    expect_engines_identical(legacy, tiered);
+}
+
+TEST(TieredDatapath, FourBitFullSpaceAndClampExact)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+
+    // In-range 4-bit space plus out-of-range values, which the span
+    // kernels clamp to [-8, 7] exactly like the legacy dotProduct.
+    for (int a = -20; a <= 20; ++a) {
+        for (int b = -20; b <= 20; ++b) {
+            const auto wa = static_cast<std::int8_t>(a);
+            const auto xb = static_cast<std::int8_t>(b);
+            ASSERT_EQ(legacy.bce.dotProductSpan(&wa, &xb, 1, 4),
+                      tiered.bce.dotProductSpan(&wa, &xb, 1, 4))
+                << "a=" << a << " b=" << b;
+        }
+    }
+    legacy.bce.setMode(BceMode::Matmul);
+    tiered.bce.setMode(BceMode::Matmul);
+    for (int a = -8; a <= 7; ++a) {
+        for (int b = -8; b <= 7; ++b) {
+            const auto aa = static_cast<std::int8_t>(a);
+            const auto bb = static_cast<std::int8_t>(b);
+            ASSERT_EQ(legacy.bce.matmulDotSpan(&aa, &bb, 1, 4),
+                      tiered.bce.matmulDotSpan(&aa, &bb, 1, 4))
+                << "a=" << a << " b=" << b;
+        }
+    }
+    expect_engines_identical(legacy, tiered);
+}
+
+TEST(TieredDatapath, LongSpansBatchStatsExactly)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+
+    const std::vector<std::int8_t> w = pattern(4096, 1);
+    const std::vector<std::int8_t> x = pattern(4096, 2);
+    EXPECT_EQ(legacy.bce.dotProductSpan(w.data(), x.data(), w.size(), 8),
+              tiered.bce.dotProductSpan(w.data(), x.data(), w.size(), 8));
+
+    legacy.bce.setMode(BceMode::Matmul);
+    tiered.bce.setMode(BceMode::Matmul);
+    EXPECT_EQ(legacy.bce.matmulDotSpan(w.data(), x.data(), w.size(), 8),
+              tiered.bce.matmulDotSpan(w.data(), x.data(), w.size(), 8));
+    expect_engines_identical(legacy, tiered);
+}
+
+// ---------------------------------------------------------------------
+// Batched kernels vs the scalar op sequences they replace
+// ---------------------------------------------------------------------
+
+TEST(TieredDatapath, MatmulDotSpanEqualsBroadcastMacSequence)
+{
+    // The batched span must be indistinguishable — products, stats and
+    // energy — from the per-pair broadcastMac loop it replaces.
+    Engine scalar(ExecTier::Legacy);
+    Engine span(ExecTier::Tiered);
+    scalar.bce.setMode(BceMode::Matmul);
+    span.bce.setMode(BceMode::Matmul);
+
+    const std::vector<std::int8_t> a = pattern(300, 3);
+    const std::vector<std::int8_t> b = pattern(300, 4);
+
+    std::int32_t acc_scalar = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        std::int32_t lane = 0;
+        scalar.bce.broadcastMac(a[i], &b[i], 1, &lane, 8);
+        acc_scalar += lane;
+    }
+    const std::int32_t acc_span =
+        span.bce.matmulDotSpan(a.data(), b.data(), a.size(), 8);
+
+    EXPECT_EQ(acc_scalar, acc_span);
+    expect_engines_identical(scalar, span);
+}
+
+TEST(TieredDatapath, MatmulTileEqualsPerRowSpans)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+    legacy.bce.setMode(BceMode::Matmul);
+    tiered.bce.setMode(BceMode::Matmul);
+
+    const std::size_t m = 5, k = 33, n = 7;
+    const std::vector<std::int8_t> a = pattern(m * k, 5);
+    const std::vector<std::int8_t> bt = pattern(n * k, 6);
+    std::vector<std::int32_t> out_l(m * n, 0), out_t(m * n, 0);
+
+    legacy.bce.matmulTile(a.data(), bt.data(), out_l.data(), m, k, n, 8);
+    tiered.bce.matmulTile(a.data(), bt.data(), out_t.data(), m, k, n, 8);
+
+    EXPECT_EQ(out_l, out_t);
+    expect_engines_identical(legacy, tiered);
+}
+
+TEST(TieredDatapath, SixteenBitFallsBackToScalarExactly)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+
+    const std::vector<std::int8_t> w = pattern(64, 7);
+    const std::vector<std::int8_t> x = pattern(64, 8);
+    EXPECT_EQ(legacy.bce.dotProductSpan(w.data(), x.data(), w.size(), 16),
+              tiered.bce.dotProductSpan(w.data(), x.data(), w.size(), 16));
+    EXPECT_EQ(legacy.bce.multiply(-30000, 123, 16),
+              tiered.bce.multiply(-30000, 123, 16));
+    expect_engines_identical(legacy, tiered);
+}
+
+// ---------------------------------------------------------------------
+// Every PIM opcode through both engines
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Execute an op sequence covering all 14 PimOpcodes and log every
+ * numeric result; the logs of both engines must match bit for bit.
+ *
+ *   Conv -> dotProductSpan        Matmul  -> matmulTile
+ *   MaxPool/Relu -> maxReduce     AvgPool -> avgPool
+ *   Sigmoid/Tanh/Exp -> evaluatePwl
+ *   Softmax -> exp PWL + divide   Divide  -> divide
+ *   EwAdd -> accumulateIncoming   EwMul   -> multiply
+ *   Requantize -> requantize      LayerNorm -> adds + divide + multiply
+ */
+void
+run_all_opcodes(bce::Bce &bce, std::vector<double> &log)
+{
+    const lut::PwlTable sigmoid = lut::make_sigmoid_table();
+    const lut::PwlTable tanh_t = lut::make_tanh_table();
+    const lut::PwlTable exp_t = lut::make_exp_table();
+    const lut::DivisionLut div(4);
+    const lut::RequantScale scale = lut::compute_requant_scale(0.05);
+
+    // Conv (conv-mode dot product over the sub-array LUT).
+    bce.setMode(BceMode::Conv);
+    const std::vector<std::int8_t> w = pattern(49, 11);
+    const std::vector<std::int8_t> x = pattern(49, 12);
+    log.push_back(bce.dotProductSpan(w.data(), x.data(), w.size(), 8));
+
+    // EwMul (element-wise multiplies on the conv path).
+    for (int i = -5; i <= 5; ++i)
+        log.push_back(
+            static_cast<double>(bce.multiply(i * 11, 7 - i, 8)));
+
+    // Matmul (blocked tile on the hardwired ROM).
+    bce.setMode(BceMode::Matmul);
+    std::vector<std::int32_t> tile(6, 0);
+    bce.matmulTile(w.data(), x.data(), tile.data(), 2, 16, 3, 8);
+    for (const std::int32_t v : tile)
+        log.push_back(v);
+
+    // Requantize.
+    log.push_back(bce.requantize(1000, scale, 0, 8));
+    log.push_back(bce.requantize(-777, scale, 3, 8));
+
+    // MaxPool / Relu (comparator reductions).
+    bce.setMode(BceMode::Special);
+    const std::int32_t vals[6] = {3, -7, 12, 0, 9, -2};
+    log.push_back(bce.maxReduce(vals, 6));
+    const std::int32_t relu[2] = {0, -41};
+    log.push_back(bce.maxReduce(relu, 2));
+
+    // AvgPool (accumulate + LUT division).
+    log.push_back(bce.avgPool(vals, 6, div));
+
+    // Sigmoid / Tanh / Exp (PWL tables).
+    log.push_back(bce.evaluatePwl(sigmoid, 0.7));
+    log.push_back(bce.evaluatePwl(tanh_t, -0.3));
+    log.push_back(bce.evaluatePwl(exp_t, 1.1));
+
+    // Softmax over 3 logits: exp PWL then LUT division.
+    double exps[3];
+    double denom = 0.0;
+    const double logits[3] = {0.2, -0.4, 1.0};
+    for (int i = 0; i < 3; ++i) {
+        exps[i] = bce.evaluatePwl(exp_t, logits[i]);
+        denom += exps[i];
+    }
+    for (const double e : exps)
+        log.push_back(bce.divide(e, denom, div));
+
+    // Divide.
+    log.push_back(bce.divide(20.0, 4.0, div));
+
+    // EwAdd (systolic partial-sum accumulation).
+    log.push_back(bce.accumulateIncoming(123, -45));
+
+    // LayerNorm: mean via adds + division, then a normalizing multiply
+    // on the conv path.
+    std::int32_t sum = 0;
+    for (const std::int32_t v : vals)
+        sum = bce.accumulateIncoming(sum, v);
+    const double mean = bce.divide(std::abs(sum), 6.0, div);
+    log.push_back(mean);
+    bce.setMode(BceMode::Conv);
+    log.push_back(static_cast<double>(
+        bce.multiply(static_cast<std::int32_t>(mean), 13, 8)));
+}
+
+} // namespace
+
+TEST(TieredDatapath, AllFourteenOpcodesExact)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+
+    std::vector<double> log_l, log_t;
+    run_all_opcodes(legacy.bce, log_l);
+    run_all_opcodes(tiered.bce, log_t);
+
+    ASSERT_EQ(log_l.size(), log_t.size());
+    for (std::size_t i = 0; i < log_l.size(); ++i)
+        EXPECT_EQ(log_l[i], log_t[i]) << "log entry " << i;
+    expect_engines_identical(legacy, tiered);
+}
+
+// ---------------------------------------------------------------------
+// Table invalidation
+// ---------------------------------------------------------------------
+
+TEST(TieredDatapath, MemoTablesRebuildWhenLutRowsChange)
+{
+    Engine legacy(ExecTier::Legacy);
+    Engine tiered(ExecTier::Tiered);
+
+    // Seed the tiered conv tables from the pristine LUT image.
+    const std::vector<std::int8_t> w = pattern(64, 21);
+    const std::vector<std::int8_t> x = pattern(64, 22);
+    EXPECT_EQ(legacy.bce.dotProductSpan(w.data(), x.data(), w.size(), 8),
+              tiered.bce.dotProductSpan(w.data(), x.data(), w.size(), 8));
+
+    // Overwrite the 3*3 entry (row 0, col 0 of the odd-odd table) in
+    // BOTH sub-arrays. The legacy path reads the new byte immediately;
+    // the tiered engine must notice the LUT generation moved and
+    // reseed instead of serving stale products.
+    legacy.subarray.scratchWrite(0, 42);
+    tiered.subarray.scratchWrite(0, 42);
+
+    const std::int8_t three = 3;
+    const std::int32_t pl = legacy.bce.dotProductSpan(&three, &three, 1, 8);
+    const std::int32_t pt = tiered.bce.dotProductSpan(&three, &three, 1, 8);
+    EXPECT_EQ(pl, 42); // the poisoned table entry, shift 0
+    EXPECT_EQ(pl, pt);
+
+    EXPECT_EQ(legacy.bce.dotProductSpan(w.data(), x.data(), w.size(), 8),
+              tiered.bce.dotProductSpan(w.data(), x.data(), w.size(), 8));
+    expect_engines_identical(legacy, tiered);
+}
+
+TEST(TieredDatapathDeath, ConvSpanBeforeLutLoadPanicsOnBothTiers)
+{
+    EXPECT_DEATH(
+        {
+            Engine e(ExecTier::Legacy, /*load_lut=*/false);
+            const std::int8_t v = 3;
+            (void)e.bce.dotProductSpan(&v, &v, 1, 8);
+        },
+        "LUT image was loaded");
+    EXPECT_DEATH(
+        {
+            Engine e(ExecTier::Tiered, /*load_lut=*/false);
+            const std::int8_t v = 3;
+            (void)e.bce.dotProductSpan(&v, &v, 1, 8);
+        },
+        "LUT image was loaded");
+}
+
+// ---------------------------------------------------------------------
+// Whole networks through FunctionalExecutor::run
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+expect_network_equivalence(unsigned bits)
+{
+    const dnn::Network net = dnn::make_tiny_cnn();
+    sim::Rng rng(2024);
+    const core::NetworkWeights weights = core::random_weights(net, rng);
+    dnn::FloatTensor input({1, 8, 8});
+    input.fillUniform(rng, 0.0, 1.0);
+
+    core::FunctionalExecutor legacy({}, {}, ExecTier::Legacy);
+    core::FunctionalExecutor tiered({}, {}, ExecTier::Tiered);
+
+    const core::FunctionalResult rl = legacy.run(net, input, weights, bits);
+    const core::FunctionalResult rt = tiered.run(net, input, weights, bits);
+
+    ASSERT_EQ(rl.output.size(), rt.output.size());
+    for (std::size_t i = 0; i < rl.output.size(); ++i)
+        EXPECT_EQ(rl.output[i], rt.output[i]) << "output " << i;
+    expect_stats_equal(rl.stats, rt.stats);
+    for (std::size_t c = 0; c < mem::num_energy_categories; ++c) {
+        const auto cat = static_cast<mem::EnergyCategory>(c);
+        EXPECT_EQ(legacy.energy().joules(cat), tiered.energy().joules(cat))
+            << "energy category " << c;
+    }
+}
+
+} // namespace
+
+TEST(TieredNetwork, TinyCnn8BitBitExact)
+{
+    expect_network_equivalence(8);
+}
+
+TEST(TieredNetwork, TinyCnn4BitBitExact)
+{
+    expect_network_equivalence(4);
+}
+
+TEST(TieredNetwork, Conv16BitBitExact)
+{
+    dnn::Network net("conv16", {1, 6, 6});
+    net.add(dnn::make_conv("c", {1, 6, 6}, 3, 3, 1, 1));
+    sim::Rng rng(314);
+    const core::NetworkWeights weights = core::random_weights(net, rng);
+    dnn::FloatTensor input({1, 6, 6});
+    input.fillUniform(rng, -1.0, 1.0);
+
+    core::FunctionalExecutor legacy({}, {}, ExecTier::Legacy);
+    core::FunctionalExecutor tiered({}, {}, ExecTier::Tiered);
+    const core::FunctionalResult rl = legacy.run(net, input, weights, 16);
+    const core::FunctionalResult rt = tiered.run(net, input, weights, 16);
+    for (std::size_t i = 0; i < rl.output.size(); ++i)
+        EXPECT_EQ(rl.output[i], rt.output[i]) << i;
+    expect_stats_equal(rl.stats, rt.stats);
+}
+
+TEST(TieredNetwork, LstmStepBitExact)
+{
+    const dnn::Layer cell = dnn::make_lstm_cell("cell", 6, 12);
+    sim::Rng rng(31);
+    core::LayerWeights w;
+    w.weights.resize(std::size_t(4) * 12 * (6 + 12));
+    w.bias.resize(std::size_t(4) * 12);
+    for (float &v : w.weights)
+        v = static_cast<float>(rng.uniformReal(-0.4, 0.4));
+    for (float &v : w.bias)
+        v = static_cast<float>(rng.uniformReal(-0.1, 0.1));
+
+    core::FunctionalExecutor legacy({}, {}, ExecTier::Legacy);
+    core::FunctionalExecutor tiered({}, {}, ExecTier::Tiered);
+    dnn::LstmState sl, st;
+    sl.h.assign(12, 0.0f);
+    sl.c.assign(12, 0.0f);
+    st = sl;
+
+    const std::vector<float> xin = {0.5f, -0.25f, 0.1f,
+                                    -0.7f, 0.3f, 0.9f};
+    for (int t = 0; t < 3; ++t) {
+        sl = legacy.runLstmStep(cell, xin, sl, w);
+        st = tiered.runLstmStep(cell, xin, st, w);
+        for (unsigned j = 0; j < 12; ++j) {
+            EXPECT_EQ(sl.h[j], st.h[j]) << "t=" << t << " j=" << j;
+            EXPECT_EQ(sl.c[j], st.c[j]) << "t=" << t << " j=" << j;
+        }
+    }
+    expect_stats_equal(legacy.stats(), tiered.stats());
+}
+
+TEST(TieredNetwork, AttentionBitExact)
+{
+    const dnn::Layer attn = dnn::make_attention("attn", 6, 8, 1);
+    sim::Rng rng(41);
+    dnn::FloatTensor input({6, 8});
+    input.fillUniform(rng, -1.0, 1.0);
+    core::LayerWeights w;
+    w.weights.resize(4 * 64);
+    for (float &v : w.weights)
+        v = static_cast<float>(rng.uniformReal(-0.35, 0.35));
+
+    core::FunctionalExecutor legacy({}, {}, ExecTier::Legacy);
+    core::FunctionalExecutor tiered({}, {}, ExecTier::Tiered);
+    const dnn::FloatTensor ol = legacy.runAttention(attn, input, w);
+    const dnn::FloatTensor ot = tiered.runAttention(attn, input, w);
+    ASSERT_EQ(ol.size(), ot.size());
+    for (std::size_t i = 0; i < ol.size(); ++i)
+        EXPECT_EQ(ol[i], ot[i]) << i;
+    expect_stats_equal(legacy.stats(), tiered.stats());
+}
+
+// ---------------------------------------------------------------------
+// Sweep engine integration: per-thread tables, deterministic merge
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string
+sweep_output(unsigned threads)
+{
+    std::vector<sim::SweepJob> jobs;
+    for (int j = 0; j < 6; ++j) {
+        jobs.push_back(sim::SweepJob{
+            "job" + std::to_string(j), [j](sim::SweepContext &ctx) {
+                // Each job owns a private executor, hence private
+                // memoized tables — no sharing across threads.
+                const dnn::Network net = dnn::make_tiny_cnn();
+                sim::Rng rng(100 + j);
+                const core::NetworkWeights weights =
+                    core::random_weights(net, rng);
+                dnn::FloatTensor input({1, 8, 8});
+                input.fillUniform(rng, 0.0, 1.0);
+
+                core::FunctionalExecutor exec({}, {}, ExecTier::Tiered);
+                const core::FunctionalResult r =
+                    exec.run(net, input, weights, 8);
+                ctx.out << std::hexfloat;
+                for (std::size_t i = 0; i < r.output.size(); ++i)
+                    ctx.out << r.output[i] << "\n";
+                ctx.out << r.stats.macs << " " << r.stats.cycles << " "
+                        << exec.energy().total() << "\n";
+            }});
+    }
+    sim::SweepRunner runner(threads);
+    return runner.run(std::move(jobs)).output();
+}
+
+} // namespace
+
+TEST(TieredSweep, PerThreadTablesMergeDeterministically)
+{
+    const std::string one = sweep_output(1);
+    const std::string four = sweep_output(4);
+    EXPECT_FALSE(one.empty());
+    EXPECT_EQ(one, four);
+}
