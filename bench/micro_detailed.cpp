@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Full-cache detailed-timing engine throughput: wall-clock of the
+ * sharded epoch-barrier engine against the single-queue baseline on one
+ * whole-cache GEMM (all 14 slices), with inline bit-exactness checks.
+ *
+ * Four engine configurations run the same workload:
+ *
+ *   single_queue        one event queue, per-flit routing (the
+ *                       original literal model, the speedup baseline)
+ *   single_queue_burst  one event queue, wave-train bursts
+ *   sharded_1t          per-slice queues on the epoch engine, 1 worker
+ *   sharded_nt          per-slice queues, --threads workers
+ *
+ * Every configuration must produce the same int32 accumulators as a
+ * plain integer GEMM and a cycle count equal to detailed_cache_formula
+ * (exit 2 on divergence). Output: a BenchJson document (--out FILE,
+ * default BENCH_pr4.json) with seconds, events/s, waves/s and
+ * speedup_vs_single_queue per configuration. With --check-baseline
+ * FILE the run exits 1 when sharded_nt waves/s collapsed more than 5x
+ * below the committed baseline (the non-gating CI perf-smoke job).
+ *
+ * --dump-stats FILE skips the timed passes and writes one line of
+ * deterministic statistics (checksum, cycles, events, epochs, messages,
+ * energy with full double precision) per configuration. The CI
+ * determinism job runs it at --threads 1 and --threads 8 and byte-diffs
+ * the two files.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "map/detailed_cache_sim.hh"
+#include "sim/bench_json.hh"
+#include "sim/parallel.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+namespace {
+
+using namespace bfree;
+using map::CacheEngine;
+using map::DetailedCacheOptions;
+using map::DetailedCacheResult;
+using map::DetailedCacheSim;
+using map::GridEngine;
+
+/** Deterministic small int8 values. */
+std::vector<std::vector<std::int8_t>>
+make_matrix(unsigned rows, unsigned cols, int seed)
+{
+    std::vector<std::vector<std::int8_t>> m(rows);
+    for (unsigned r = 0; r < rows; ++r) {
+        m[r].resize(cols);
+        for (unsigned c = 0; c < cols; ++c)
+            m[r][c] = static_cast<std::int8_t>(
+                ((seed + 3 * r + 7 * c) % 23) - 11);
+    }
+    return m;
+}
+
+/** Position-sensitive checksum over the accumulator matrix. */
+std::int64_t
+checksum(const std::vector<std::vector<std::int32_t>> &accs)
+{
+    std::int64_t sum = 0;
+    for (std::size_t f = 0; f < accs.size(); ++f)
+        for (std::size_t w = 0; w < accs[f].size(); ++w)
+            sum += std::int64_t(accs[f][w]) *
+                   std::int64_t(f * 1315423911u + w * 2654435761u + 1);
+    return sum;
+}
+
+/** One engine configuration under test. */
+struct Config
+{
+    const char *name;
+    CacheEngine engine;
+    GridEngine grid;
+    unsigned threads; // sharded only
+};
+
+struct Row
+{
+    DetailedCacheResult result;
+    double seconds = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned threads = sim::threads_from_args(argc, argv);
+    std::string out_path = "BENCH_pr4.json";
+    std::string baseline_path;
+    std::string dump_path;
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out"))
+            out_path = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--check-baseline"))
+            baseline_path = argv[i + 1];
+        else if (!std::strcmp(argv[i], "--dump-stats"))
+            dump_path = argv[i + 1];
+    }
+
+    // One whole-cache GEMM: 42 filters = 3 columns on each of the 14
+    // slices, 16-element dot products on the default 8-row grids, 896
+    // input waves. Per-flit routing schedules ~10^5 events while the
+    // burst engine needs ~10^3 for the same simulated traffic.
+    const unsigned k = 16, filters = 42, waves = 896;
+    const std::size_t reps = dump_path.empty() ? 3 : 1;
+    tech::CacheGeometry geom;
+    tech::TechParams tech;
+    const auto fbank = make_matrix(filters, k, 41);
+    const auto inputs = make_matrix(waves, k, 5);
+
+    const std::vector<Config> configs = {
+        {"single_queue", CacheEngine::SingleQueue, GridEngine::PerFlit, 0},
+        {"single_queue_burst", CacheEngine::SingleQueue, GridEngine::Burst,
+         0},
+        {"sharded_1t", CacheEngine::Sharded, GridEngine::Burst, 1},
+        {"sharded_nt", CacheEngine::Sharded, GridEngine::Burst, threads},
+    };
+
+    // The ground truth every engine must reproduce.
+    DetailedCacheSim probe(geom, tech,
+                           {0, 8, CacheEngine::SingleQueue,
+                            GridEngine::Burst, 0});
+    const unsigned rows = probe.rowsFor(k);
+    const std::uint64_t cps =
+        std::uint64_t((k + rows - 1) / rows) * (8 / 4);
+    const std::uint64_t formula = map::detailed_cache_formula(
+        rows, map::partition_filters(filters, geom.numSlices), waves, cps,
+        tech.routerHopCycles, tech.interSliceHopCycles);
+    const std::int64_t expected = [&] {
+        std::vector<std::vector<std::int32_t>> ref(filters);
+        for (unsigned f = 0; f < filters; ++f) {
+            ref[f].resize(waves);
+            for (unsigned w = 0; w < waves; ++w) {
+                std::int32_t acc = 0;
+                for (unsigned i = 0; i < k; ++i)
+                    acc += std::int32_t(fbank[f][i]) *
+                           std::int32_t(inputs[w][i]);
+                ref[f][w] = acc;
+            }
+        }
+        return checksum(ref);
+    }();
+
+    std::vector<Row> rows_out(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const Config &c = configs[i];
+        DetailedCacheOptions opts;
+        opts.engine = c.engine;
+        opts.grid = c.grid;
+        opts.threads = c.threads;
+
+        const auto start = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < reps; ++r) {
+            DetailedCacheSim sim(geom, tech, opts);
+            rows_out[i].result = sim.runGemm(fbank, inputs);
+        }
+        const auto stop = std::chrono::steady_clock::now();
+        rows_out[i].seconds =
+            std::chrono::duration<double>(stop - start).count();
+
+        const auto &res = rows_out[i].result;
+        if (checksum(res.accs) != expected) {
+            std::cerr << c.name << ": accumulators diverged from the "
+                      << "integer reference\n";
+            return 2;
+        }
+        if (res.cycles != formula) {
+            std::cerr << c.name << ": " << res.cycles
+                      << " cycles != formula " << formula << "\n";
+            return 2;
+        }
+    }
+
+    if (!dump_path.empty()) {
+        // Deterministic statistics only: byte-identical for any
+        // --threads, so CI can diff runs directly.
+        std::ofstream out(dump_path);
+        if (!out) {
+            std::cerr << "cannot write " << dump_path << "\n";
+            return 1;
+        }
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const auto &res = rows_out[i].result;
+            char line[256];
+            std::snprintf(line, sizeof(line),
+                          "%s checksum=%lld cycles=%llu events=%llu "
+                          "epochs=%llu messages=%llu energy=%.17g\n",
+                          configs[i].name,
+                          static_cast<long long>(checksum(res.accs)),
+                          static_cast<unsigned long long>(res.cycles),
+                          static_cast<unsigned long long>(res.events),
+                          static_cast<unsigned long long>(res.epochs),
+                          static_cast<unsigned long long>(
+                              res.crossMessages),
+                          res.energy.total());
+            out << line;
+        }
+        std::cout << "wrote " << dump_path << "\n";
+        return 0;
+    }
+
+    const double base_seconds = rows_out[0].seconds;
+    std::cout << "micro_detailed: full-cache GEMM, " << filters
+              << " filters x " << waves << " waves, k=" << k << ", "
+              << reps << " reps\n";
+
+    sim::BenchJson json;
+    json.set("workload", "filters", filters);
+    json.set("workload", "k", k);
+    json.set("workload", "waves", waves);
+    json.set("workload", "reps", double(reps));
+    json.set("workload", "cycles", double(formula));
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const Row &row = rows_out[i];
+        const double events_s =
+            row.seconds > 0.0
+                ? double(row.result.events) * reps / row.seconds
+                : 0.0;
+        const double waves_s =
+            row.seconds > 0.0 ? double(waves) * reps / row.seconds : 0.0;
+        const double speedup =
+            row.seconds > 0.0 ? base_seconds / row.seconds : 0.0;
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "%-20s %8.4f s  %12.0f events/s  %8.1f waves/s  "
+                      "speedup %6.2fx\n",
+                      configs[i].name, row.seconds, events_s, waves_s,
+                      speedup);
+        std::cout << line;
+        json.set(configs[i].name, "seconds", row.seconds);
+        json.set(configs[i].name, "events", double(row.result.events));
+        json.set(configs[i].name, "events_per_s", events_s);
+        json.set(configs[i].name, "waves_per_s", waves_s);
+        json.set(configs[i].name, "speedup_vs_single_queue", speedup);
+    }
+    if (!json.save(out_path)) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+
+    if (!baseline_path.empty()) {
+        sim::BenchJson baseline;
+        if (!baseline.load(baseline_path)) {
+            std::cerr << "cannot load baseline " << baseline_path << "\n";
+            return 1;
+        }
+        const double ref =
+            baseline.get("sharded_nt", "waves_per_s", 0.0);
+        const double now =
+            json.get("sharded_nt", "waves_per_s", 0.0);
+        // Only a >5x collapse vs the committed baseline fails: the gate
+        // catches algorithmic regressions, not runner noise.
+        if (ref > 0.0 && now < ref / 5.0) {
+            std::cerr << "sharded_nt: " << now
+                      << " waves/s is >5x below baseline " << ref << "\n";
+            return 1;
+        }
+        std::cout << "baseline check passed (threshold: 5x)\n";
+    }
+    return 0;
+}

@@ -62,37 +62,11 @@ FunctionalExecutor::FunctionalExecutor(const tech::CacheGeometry &geom,
     bce.loadMultLutImage();
 }
 
-namespace {
-
-/** Symmetric per-tensor quantization helpers for the functional path. */
-struct SymQuant
-{
-    double scale = 1.0;
-    std::int32_t limit = 127;
-
-    std::int32_t
-    q(float v) const
-    {
-        const auto r = static_cast<std::int64_t>(
-            std::lround(v / scale));
-        return static_cast<std::int32_t>(
-            std::clamp<std::int64_t>(r, -limit, limit));
-    }
-};
-
-SymQuant
-choose_sym(const float *data, std::size_t n, unsigned bits)
-{
-    float peak = 1e-9f;
-    for (std::size_t i = 0; i < n; ++i)
-        peak = std::max(peak, std::abs(data[i]));
-    SymQuant s;
-    s.limit = (1 << (bits - 1)) - 1;
-    s.scale = peak / s.limit;
-    return s;
-}
-
-} // namespace
+// Symmetric per-tensor quantization lives in dnn::SymQuant /
+// dnn::choose_sym, shared with the detailed cache driver so both paths
+// quantize (and so dequantize) bit-identically.
+using dnn::SymQuant;
+using dnn::choose_sym;
 
 dnn::FloatTensor
 FunctionalExecutor::runConv(const dnn::Layer &layer,

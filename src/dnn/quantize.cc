@@ -1,8 +1,21 @@
 #include "quantize.hh"
 
 #include <algorithm>
+#include <cmath>
 
 namespace bfree::dnn {
+
+SymQuant
+choose_sym(const float *data, std::size_t n, unsigned bits)
+{
+    float peak = 1e-9f;
+    for (std::size_t i = 0; i < n; ++i)
+        peak = std::max(peak, std::abs(data[i]));
+    SymQuant s;
+    s.limit = (1 << (bits - 1)) - 1;
+    s.scale = peak / s.limit;
+    return s;
+}
 
 QuantizedTensor
 quantize_tensor(const FloatTensor &input, unsigned bits)

@@ -13,6 +13,9 @@
 #ifndef BFREE_DNN_QUANTIZE_HH
 #define BFREE_DNN_QUANTIZE_HH
 
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "lut/fixed_point.hh"
@@ -20,6 +23,31 @@
 #include "tensor.hh"
 
 namespace bfree::dnn {
+
+/**
+ * Symmetric per-tensor quantizer: round-to-nearest onto
+ * [-limit, limit] with a data-derived scale. The functional executor
+ * and the detailed cache driver both quantize through this exact
+ * struct, which is what makes their float outputs bit-identical (same
+ * rounding, same clamp, same dequant arithmetic).
+ */
+struct SymQuant
+{
+    double scale = 1.0;
+    std::int32_t limit = 127;
+
+    std::int32_t
+    q(float v) const
+    {
+        const auto r = static_cast<std::int64_t>(
+            std::lround(v / scale));
+        return static_cast<std::int32_t>(
+            std::clamp<std::int64_t>(r, -limit, limit));
+    }
+};
+
+/** Pick the symmetric quantizer for @p n floats at @p bits precision. */
+SymQuant choose_sym(const float *data, std::size_t n, unsigned bits);
 
 /** A tensor together with its quantization parameters. */
 struct QuantizedTensor

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Full-cache detailed timing simulation: all geometry.numSlices LLC
+ * slice grids computing one layer cooperatively (Fig. 12-14 scale).
+ *
+ * Filters are partitioned across slices in contiguous blocks; every
+ * slice runs the same 2-D systolic grid as DetailedSliceSim over its
+ * block of filters. Inputs stream along the inter-slice ring: slice
+ * s + 1 sees each wave interSliceHopCycles after slice s, so slice s's
+ * grid is simply the single-slice model shifted by
+ * s * interSliceHopCycles, and the whole layer drains at
+ *
+ *     max over active s of
+ *         s * slice_hop + waves * cps + (cols_s - 1 + rows - 1) * hop
+ *
+ * (detailed_cache_formula). Two execution engines produce bit-identical
+ * results:
+ *
+ *  - CacheEngine::SingleQueue runs every slice grid on one shared
+ *    event queue (the baseline the sharded engine is measured against);
+ *
+ *  - CacheEngine::Sharded gives each slice its own EventQueue and runs
+ *    them on a sim::ShardedEngine with the inter-slice hop as the
+ *    lookahead. Input-streaming hand-offs are the only cross-shard
+ *    traffic and cross exactly at epoch barriers, so outputs, cycle
+ *    counts, event counts and energy are identical for any --threads.
+ *
+ * Energy is accumulated per slice and merged in slice order in both
+ * engines, so the two are bitwise comparable there too.
+ */
+
+#ifndef BFREE_MAP_DETAILED_CACHE_SIM_HH
+#define BFREE_MAP_DETAILED_CACHE_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "dnn/network.hh"
+#include "dnn/tensor.hh"
+#include "map/detailed_slice_sim.hh"
+#include "mem/energy_account.hh"
+#include "tech/geometry.hh"
+#include "tech/tech_params.hh"
+
+namespace bfree::map {
+
+/** Execution engine for the full-cache detailed model. */
+enum class CacheEngine
+{
+    SingleQueue, ///< All slices on one event queue (serial baseline).
+    Sharded,     ///< One queue per slice on the epoch-barrier engine.
+};
+
+/** Knobs for a full-cache detailed run. */
+struct DetailedCacheOptions
+{
+    /** Grid rows per slice column; 0 means subarraysPerSubBank
+     *  (clamped to the dot-product length). */
+    unsigned rows = 0;
+    unsigned bits = 8;
+    CacheEngine engine = CacheEngine::Sharded;
+    GridEngine grid = GridEngine::Burst;
+    /** Worker threads for the sharded engine; 0 = hardware. */
+    unsigned threads = 0;
+};
+
+/** Result of a full-cache detailed run. */
+struct DetailedCacheResult
+{
+    /** accs[filter][wave]: exact int32 dot products. */
+    std::vector<std::vector<std::int32_t>> accs;
+    /** Dequantized layer output (runConv / runFc only). */
+    dnn::FloatTensor output{};
+    /** Whole-cache drain time in sub-array cycles (includes the
+     *  inter-slice streaming offsets). */
+    std::uint64_t cycles = 0;
+    /** Per-active-slice drain cycles, slice order. */
+    std::vector<std::uint64_t> sliceCycles;
+    /** Events dispatched across all queues. */
+    std::uint64_t events = 0;
+    /** Sharded engine only: epochs and cross-shard messages. */
+    std::uint64_t epochs = 0;
+    std::uint64_t crossMessages = 0;
+    /** Per-slice energy merged in slice order. */
+    mem::EnergyAccount energy;
+    unsigned activeSlices = 0;
+    unsigned waves = 0;
+};
+
+/**
+ * Contiguous block partition of @p filters across @p slices: every
+ * slice gets filters/slices, the remainder going to the lowest-index
+ * slices. Returns one count per slice (zeros when filters < slices).
+ */
+std::vector<unsigned> partition_filters(unsigned filters,
+                                        unsigned slices);
+
+/**
+ * Closed-form whole-cache drain time in cycles; @p cols_per_slice from
+ * partition_filters (zero-column slices are idle).
+ */
+std::uint64_t detailed_cache_formula(
+    unsigned rows, const std::vector<unsigned> &cols_per_slice,
+    unsigned waves, std::uint64_t cps, unsigned hop, unsigned slice_hop);
+
+/**
+ * Drives one layer through every LLC slice at detailed timing.
+ */
+class DetailedCacheSim
+{
+  public:
+    DetailedCacheSim(const tech::CacheGeometry &geom,
+                     const tech::TechParams &tech,
+                     const DetailedCacheOptions &opts = {});
+
+    /**
+     * Exact integer GEMM: filters[f] (all the same length) against
+     * inputs[w], distributed over the whole cache. The workhorse under
+     * runConv / runFc; exposed for benches and tests.
+     */
+    DetailedCacheResult
+    runGemm(const std::vector<std::vector<std::int8_t>> &filters,
+            const std::vector<std::vector<std::int8_t>> &inputs);
+
+    /**
+     * One conv layer: symmetric per-tensor quantization (the same
+     * dnn::choose_sym the functional executor uses), im2col waves in
+     * (oh, ow) order, filters across slices, then dequantize + bias.
+     * @p weights is the flat [outC][inC][kh][kw] filter bank.
+     */
+    DetailedCacheResult runConv(const dnn::Layer &layer,
+                                const dnn::FloatTensor &input,
+                                const std::vector<float> &weights,
+                                const std::vector<float> &bias);
+
+    /**
+     * One FC layer: the quantized input vector is the single wave,
+     * weight rows [outFeatures][inFeatures] are the filters.
+     */
+    DetailedCacheResult runFc(const dnn::Layer &layer,
+                              const dnn::FloatTensor &input,
+                              const std::vector<float> &weights,
+                              const std::vector<float> &bias);
+
+    /** Grid rows a GEMM of dot-length @p k would use. */
+    unsigned rowsFor(std::size_t k) const;
+
+    const DetailedCacheOptions &options() const { return opts; }
+
+  private:
+    tech::CacheGeometry geom;
+    tech::TechParams tech;
+    DetailedCacheOptions opts;
+};
+
+} // namespace bfree::map
+
+#endif // BFREE_MAP_DETAILED_CACHE_SIM_HH

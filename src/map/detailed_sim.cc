@@ -142,20 +142,17 @@ DetailedSubBankSim::run(
     for (auto &node : chain)
         node->inputs = &inputs;
     completed.clear();
+    completed.reserve(waves);
 
-    // Node 0 emits wave w at (w + 1) * cps.
+    // Node 0 emits wave w at (w + 1) * cps. Emitters are pooled
+    // one-shot events, recycled by the queue as they fire.
     const std::uint64_t cps = cyclesPerStep();
-    std::vector<std::unique_ptr<sim::EventFunctionWrapper>> emitters;
     for (unsigned w = 0; w < waves; ++w) {
-        auto ev = std::make_unique<sim::EventFunctionWrapper>(
-            [this, w] {
+        queue.scheduleCallback(
+            clock.cyclesToTicks(sim::Cycles((w + 1) * cps)), [this, w] {
                 const std::int32_t local = chain[0]->localProduct(w);
                 forward(0, w, local);
-            },
-            "emit wave " + std::to_string(w));
-        queue.schedule(ev.get(),
-                       clock.cyclesToTicks(sim::Cycles((w + 1) * cps)));
-        emitters.push_back(std::move(ev));
+            });
     }
 
     queue.run();

@@ -1,8 +1,55 @@
 #include "event_queue.hh"
 
+#include <utility>
+
 #include "logging.hh"
 
 namespace bfree::sim {
+
+/**
+ * A pooled one-shot event backing EventQueue::scheduleCallback.
+ *
+ * Fired events recycle themselves onto the owning queue's intrusive
+ * free list *before* invoking the callback, so a callback may schedule
+ * further pooled events (including, transitively, itself) and reuse the
+ * very slot it ran from.
+ */
+class EventQueue::PoolEvent : public Event
+{
+  public:
+    explicit PoolEvent(EventQueue &owner) : owner(owner) {}
+
+    void
+    arm(std::function<void()> fn)
+    {
+        callback = std::move(fn);
+    }
+
+    void
+    process() override
+    {
+        // Move the callback to the stack and recycle the slot first:
+        // after this point the callback may freely schedule new pooled
+        // events without invalidating the one that is running.
+        std::function<void()> fn = std::move(callback);
+        callback = nullptr;
+        next_free = owner.free_list;
+        owner.free_list = this;
+        fn();
+    }
+
+    std::string name() const override { return "pooled callback"; }
+
+  private:
+    friend class EventQueue;
+
+    EventQueue &owner;
+    std::function<void()> callback;
+    PoolEvent *next_free = nullptr;
+};
+
+EventQueue::EventQueue() = default;
+EventQueue::~EventQueue() = default;
 
 void
 EventQueue::schedule(Event *event, Tick when)
@@ -35,38 +82,98 @@ EventQueue::deschedule(Event *event)
     --num_pending;
 }
 
+void
+EventQueue::scheduleCallback(Tick when, std::function<void()> callback,
+                             int priority)
+{
+    PoolEvent *ev = free_list;
+    if (ev != nullptr) {
+        free_list = ev->next_free;
+        ev->next_free = nullptr;
+    } else {
+        pool_storage.push_back(std::make_unique<PoolEvent>(*this));
+        ev = pool_storage.back().get();
+    }
+    ev->_priority = priority;
+    ev->arm(std::move(callback));
+    schedule(ev, when);
+}
+
+void
+EventQueue::pruneStale()
+{
+    while (!heap.empty()) {
+        const Entry &top = heap.top();
+        if (top.event->_squashed && top.event->_sequence == top.sequence) {
+            top.event->_squashed = false;
+            heap.pop();
+            continue;
+        }
+        if (!top.event->_scheduled
+            || top.event->_sequence != top.sequence) {
+            // Stale entry from a deschedule + reschedule: the live
+            // entry for this event sits elsewhere in the heap.
+            heap.pop();
+            continue;
+        }
+        break;
+    }
+}
+
 bool
 EventQueue::step()
 {
-    while (!heap.empty()) {
-        Entry top = heap.top();
-        heap.pop();
-        if (top.event->_squashed && top.event->_sequence == top.sequence) {
-            top.event->_squashed = false;
-            continue;
-        }
-        if (!top.event->_scheduled || top.event->_sequence != top.sequence)
-            continue; // stale entry from a deschedule+reschedule
-        current_tick = top.when;
-        top.event->_scheduled = false;
-        --num_pending;
-        ++num_processed;
-        top.event->process();
-        return true;
-    }
-    return false;
+    pruneStale();
+    if (heap.empty())
+        return false;
+    Entry top = heap.top();
+    heap.pop();
+    current_tick = top.when;
+    top.event->_scheduled = false;
+    --num_pending;
+    ++num_processed;
+    top.event->process();
+    return true;
 }
 
 Tick
 EventQueue::run(Tick stop_at)
 {
-    while (!heap.empty()) {
-        const Entry &top = heap.top();
-        if (top.when > stop_at)
+    for (;;) {
+        pruneStale();
+        if (heap.empty() || heap.top().when > stop_at)
             break;
         step();
     }
     return current_tick;
+}
+
+std::uint64_t
+EventQueue::runUntilBarrier(Tick barrier)
+{
+    if (barrier < current_tick) {
+        bfree_panic("epoch barrier ", barrier, " is in the past (now ",
+                    current_tick, ")");
+    }
+    std::uint64_t dispatched = 0;
+    for (;;) {
+        pruneStale();
+        if (heap.empty() || heap.top().when >= barrier)
+            break;
+        step();
+        ++dispatched;
+    }
+    // Idle-advance to the barrier so work injected by the cross-shard
+    // rendezvous at exactly the barrier tick is legal to schedule.
+    current_tick = barrier;
+    return dispatched;
+}
+
+Tick
+EventQueue::nextEventTick()
+{
+    pruneStale();
+    return heap.empty() ? max_tick : heap.top().when;
 }
 
 } // namespace bfree::sim

@@ -8,6 +8,20 @@
  * the order they were scheduled. This makes simulations fully
  * deterministic, which the cross-validation tests between the detailed
  * and analytic timing models rely on.
+ *
+ * Two facilities support the sharded detailed engine:
+ *
+ *  - scheduleCallback() draws one-shot events from an object pool linked
+ *    through an intrusive free list, so hot paths that fire millions of
+ *    transient events (wave emitters, cross-shard injections) allocate
+ *    nothing in steady state;
+ *
+ *  - runUntilBarrier() advances the queue through one epoch window,
+ *    processing every event strictly before the barrier and then moving
+ *    simulated time to the barrier itself. Independent queues stepped
+ *    through the same barrier sequence stay in lockstep, which is what
+ *    lets one queue per cache slice run on separate threads while
+ *    cross-slice traffic crosses only at the (deterministic) barriers.
  */
 
 #ifndef BFREE_SIM_EVENT_QUEUE_HH
@@ -15,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <string>
 #include <vector>
@@ -99,7 +114,11 @@ class EventFunctionWrapper : public Event
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Schedule @p event to fire at absolute tick @p when. */
     void schedule(Event *event, Tick when);
@@ -109,6 +128,17 @@ class EventQueue
      * rescheduled later.
      */
     void deschedule(Event *event);
+
+    /**
+     * Schedule a one-shot callback at absolute tick @p when. The event
+     * object behind it comes from an internal pool threaded on an
+     * intrusive free list and is recycled the moment it fires, so a
+     * steady stream of transient events costs no allocation once the
+     * pool has warmed up (the callback itself is also move-assigned
+     * into the pooled slot, reusing small-buffer storage).
+     */
+    void scheduleCallback(Tick when, std::function<void()> callback,
+                          int priority = Event::default_priority);
 
     /** Current simulated time. */
     Tick now() const { return current_tick; }
@@ -123,6 +153,12 @@ class EventQueue
     std::uint64_t processed() const { return num_processed; }
 
     /**
+     * Pool slots ever allocated by scheduleCallback (monotonic; a
+     * steady-state workload should see this plateau).
+     */
+    std::size_t callbackPoolSize() const { return pool_storage.size(); }
+
+    /**
      * Run until the queue drains or simulated time would exceed
      * @p stop_at. Returns the tick of the last processed event (or the
      * current tick when nothing ran).
@@ -132,7 +168,26 @@ class EventQueue
     /** Dispatch exactly one event; returns false if the queue is empty. */
     bool step();
 
+    /**
+     * Epoch window API: process every event strictly before @p barrier,
+     * then advance simulated time to the barrier itself (even when the
+     * queue is idle). Returns the number of events dispatched. After it
+     * returns, new work may legally be scheduled at any tick >= the
+     * barrier, which is the contract the sharded engine's cross-shard
+     * rendezvous relies on.
+     */
+    std::uint64_t runUntilBarrier(Tick barrier);
+
+    /**
+     * Tick of the earliest pending event, or max_tick when the queue is
+     * empty. Prunes stale heap entries left behind by deschedule() as a
+     * side effect.
+     */
+    Tick nextEventTick();
+
   private:
+    class PoolEvent;
+
     struct Entry
     {
         Tick when;
@@ -154,11 +209,22 @@ class EventQueue
         }
     };
 
+    /**
+     * Drop squashed / superseded entries from the top of the heap so
+     * heap.top(), when present, is the genuine next event.
+     */
+    void pruneStale();
+
     std::priority_queue<Entry, std::vector<Entry>, EntryCompare> heap;
     Tick current_tick = 0;
     std::uint64_t next_sequence = 0;
     std::uint64_t num_processed = 0;
     std::size_t num_pending = 0;
+
+    /** Owning storage for pooled events (stable addresses). */
+    std::vector<std::unique_ptr<PoolEvent>> pool_storage;
+    /** Head of the intrusive free list of recycled pool events. */
+    PoolEvent *free_list = nullptr;
 };
 
 } // namespace bfree::sim

@@ -1,0 +1,88 @@
+#include "sharded.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "logging.hh"
+
+namespace bfree::sim {
+
+ShardedEngine::ShardedEngine(std::vector<EventQueue *> queues_,
+                             Tick lookahead_, unsigned threads)
+    : queues(std::move(queues_)), lookahead(lookahead_), pool(threads),
+      outboxes(queues.size())
+{
+    if (queues.empty())
+        bfree_panic("sharded engine needs at least one queue");
+    if (lookahead == 0)
+        bfree_panic("sharded engine needs a positive lookahead");
+    for (const EventQueue *q : queues) {
+        if (q == nullptr)
+            bfree_panic("sharded engine given a null queue");
+    }
+}
+
+void
+ShardedEngine::post(unsigned from, unsigned to, Tick when,
+                    std::function<void()> deliver)
+{
+    if (from >= queues.size() || to >= queues.size())
+        bfree_panic("cross-shard post with shard index out of range");
+    const Tick earliest = queues[from]->now() + lookahead;
+    if (when < earliest) {
+        bfree_panic("cross-shard message at tick ", when,
+                    " violates lookahead (poster now ",
+                    queues[from]->now(), ", lookahead ", lookahead, ")");
+    }
+    outboxes[from].push_back(Message{to, when, std::move(deliver)});
+}
+
+void
+ShardedEngine::run()
+{
+    for (;;) {
+        Tick t_min = max_tick;
+        for (EventQueue *q : queues)
+            t_min = std::min(t_min, q->nextEventTick());
+        if (t_min == max_tick)
+            break; // every shard idle and (invariant) no messages pending
+
+        // Saturating add: a huge t_min must not wrap past zero.
+        const Tick barrier =
+            t_min > max_tick - lookahead ? max_tick : t_min + lookahead;
+
+        std::vector<std::function<void()>> tasks;
+        tasks.reserve(queues.size());
+        for (EventQueue *q : queues)
+            tasks.push_back([q, barrier] { q->runUntilBarrier(barrier); });
+        pool.run(std::move(tasks));
+        ++num_epochs;
+
+        // Rendezvous: drain outboxes in shard order on this thread.
+        // Every arrival tick is >= poster.now() + lookahead >=
+        // t_min + lookahead == barrier, and every queue now sits exactly
+        // at the barrier, so each delivery schedules into the future.
+        for (std::vector<Message> &outbox : outboxes) {
+            for (Message &m : outbox) {
+                if (m.when < barrier) {
+                    bfree_panic("cross-shard message at tick ", m.when,
+                                " arrived behind the barrier ", barrier);
+                }
+                m.deliver();
+                ++num_messages;
+            }
+            outbox.clear();
+        }
+    }
+}
+
+std::uint64_t
+ShardedEngine::processed() const
+{
+    std::uint64_t total = 0;
+    for (const EventQueue *q : queues)
+        total += q->processed();
+    return total;
+}
+
+} // namespace bfree::sim

@@ -174,6 +174,177 @@ TEST(EventQueue, FunctionWrapperCarriesName)
     EXPECT_EQ(ev.name(), "my event");
 }
 
+TEST(EventQueue, RescheduleEarlierThanOriginalFiltersStaleEntry)
+{
+    // Deschedule + reschedule EARLIER: the stale heap entry (sequence
+    // of the first schedule) still sits at tick 100 and must be
+    // filtered by the sequence comparison after the live entry fires.
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    q.schedule(&a, 100);
+    q.deschedule(&a);
+    q.schedule(&a, 10);
+    q.schedule(&b, 100);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.now(), 100u);
+    // Only the two live firings count; the stale entry is not an event.
+    EXPECT_EQ(q.processed(), 2u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RescheduleLaterThanOriginalFiltersStaleEntry)
+{
+    // Deschedule + reschedule LATER: the stale entry surfaces FIRST.
+    // If it were dispatched, the event would fire at tick 10 and the
+    // live entry at 50 would be dropped as superseded.
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    q.schedule(&a, 10);
+    q.deschedule(&a);
+    q.schedule(&a, 50);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.processed(), 1u);
+}
+
+TEST(EventQueue, RepeatedDescheduleRescheduleLeavesOneLiveEntry)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    for (int i = 0; i < 4; ++i) {
+        q.schedule(&a, 10 + 10 * i);
+        q.deschedule(&a);
+    }
+    q.schedule(&a, 25);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), 25u);
+    EXPECT_EQ(q.processed(), 1u);
+}
+
+TEST(EventQueue, DescheduledNeverRescheduledIsSquashedSilently)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    q.schedule(&a, 10);
+    q.schedule(&b, 20);
+    q.deschedule(&a);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2}));
+    EXPECT_EQ(q.processed(), 1u);
+    // The event is reusable afterwards.
+    q.schedule(&a, 30);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, NextEventTickSeesThroughStaleEntries)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    q.schedule(&a, 10);
+    q.deschedule(&a);
+    q.schedule(&a, 70);
+    EXPECT_EQ(q.nextEventTick(), 70u);
+    q.run();
+    EXPECT_EQ(q.nextEventTick(), max_tick);
+}
+
+TEST(EventQueue, ScheduleCallbackFiresAndRecycles)
+{
+    EventQueue q;
+    std::vector<int> log;
+    q.scheduleCallback(10, [&] { log.push_back(1); });
+    q.scheduleCallback(20, [&] { log.push_back(2); });
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2}));
+    EXPECT_EQ(q.callbackPoolSize(), 2u);
+
+    // The fired events are back on the free list: scheduling two more
+    // must not grow the pool.
+    q.scheduleCallback(30, [&] { log.push_back(3); });
+    q.scheduleCallback(40, [&] { log.push_back(4); });
+    EXPECT_EQ(q.callbackPoolSize(), 2u);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PooledCallbackCanScheduleFromInsideItself)
+{
+    // A callback scheduling another pooled callback may get the very
+    // slot it is running from (it was recycled before invocation).
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            q.scheduleCallback(q.now() + 10, chain);
+    };
+    q.scheduleCallback(10, chain);
+    q.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 50u);
+    EXPECT_EQ(q.callbackPoolSize(), 1u);
+}
+
+TEST(EventQueue, CallbackRespectsPriority)
+{
+    EventQueue q;
+    std::vector<int> log;
+    q.scheduleCallback(10, [&] { log.push_back(1); }, 10);
+    q.scheduleCallback(10, [&] { log.push_back(2); }, -10);
+    q.run();
+    EXPECT_EQ(log, (std::vector<int>{2, 1}));
+}
+
+TEST(EventQueue, RunUntilBarrierIsStrictAndIdleAdvances)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    RecordingEvent b(log, 2);
+    RecordingEvent c(log, 3);
+    q.schedule(&a, 10);
+    q.schedule(&b, 50); // exactly at the barrier: must NOT fire
+    q.schedule(&c, 90);
+    EXPECT_EQ(q.runUntilBarrier(50), 1u);
+    EXPECT_EQ(log, (std::vector<int>{1}));
+    EXPECT_EQ(q.now(), 50u); // idle-advanced to the barrier
+
+    // Work injected at exactly the barrier tick is legal and ordered
+    // before the event already waiting there (b was scheduled first,
+    // but same-tick order is by sequence, so b still fires first).
+    q.scheduleCallback(50, [&] { log.push_back(4); });
+    EXPECT_EQ(q.runUntilBarrier(100), 3u);
+    EXPECT_EQ(log, (std::vector<int>{1, 2, 4, 3}));
+    EXPECT_EQ(q.now(), 100u);
+
+    // An empty queue still advances to the barrier.
+    EXPECT_EQ(q.runUntilBarrier(200), 0u);
+    EXPECT_EQ(q.now(), 200u);
+}
+
+TEST(EventQueueDeath, BarrierInThePastPanics)
+{
+    EventQueue q;
+    std::vector<int> log;
+    RecordingEvent a(log, 1);
+    q.schedule(&a, 100);
+    q.run();
+    EXPECT_DEATH(q.runUntilBarrier(50), "in the past");
+}
+
 TEST(EventQueueDeath, SchedulingInThePastPanics)
 {
     EventQueue q;

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ShardedEngine: epoch-barrier parallel execution over per-shard
+ * queues — lockstep windows, deterministic rendezvous, bit-identical
+ * results for any worker count, and lookahead enforcement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sharded.hh"
+
+using namespace bfree::sim;
+
+namespace {
+
+/**
+ * A ping-pong workload: shard s, on every local event, records its
+ * tick and forwards a token to shard (s + 1) % N with the lookahead
+ * latency, until each token has made `laps` full loops. Every handoff
+ * crosses a shard boundary, so this exercises post() on every event.
+ */
+struct PingPong
+{
+    static constexpr Tick lookahead = 100;
+
+    std::vector<EventQueue> queues;
+    ShardedEngine engine;
+    std::vector<std::vector<Tick>> trace; // per shard: ticks seen
+    unsigned laps_left;
+
+    PingPong(unsigned shards, unsigned laps, unsigned threads)
+        : queues(shards),
+          engine(
+              [&] {
+                  std::vector<EventQueue *> ptrs;
+                  for (auto &q : queues)
+                      ptrs.push_back(&q);
+                  return ptrs;
+              }(),
+              lookahead, threads),
+          trace(shards), laps_left(laps * shards)
+    {}
+
+    void
+    hop(unsigned s)
+    {
+        trace[s].push_back(queues[s].now());
+        if (--laps_left == 0)
+            return;
+        const unsigned next =
+            (s + 1) % static_cast<unsigned>(queues.size());
+        const Tick when = queues[s].now() + lookahead;
+        engine.post(s, next, when, [this, next, when] {
+            queues[next].scheduleCallback(when,
+                                          [this, next] { hop(next); });
+        });
+    }
+
+    void
+    run()
+    {
+        queues[0].scheduleCallback(10, [this] { hop(0); });
+        engine.run();
+    }
+};
+
+} // namespace
+
+TEST(ShardedEngine, PingPongCrossesShardsWithLookaheadSpacing)
+{
+    PingPong p(3, 4, 2);
+    p.run();
+    // 4 laps of 3 shards = 12 hops, spaced exactly one lookahead apart.
+    std::vector<Tick> all;
+    for (const auto &t : p.trace)
+        for (Tick tick : t)
+            all.push_back(tick);
+    EXPECT_EQ(all.size(), 12u);
+    for (unsigned s = 0; s < 3; ++s) {
+        for (std::size_t i = 0; i < p.trace[s].size(); ++i) {
+            // Shard s sees the token at 10 + (3*i + s) * lookahead.
+            EXPECT_EQ(p.trace[s][i],
+                      10 + (3 * i + s) * PingPong::lookahead)
+                << "shard " << s << " visit " << i;
+        }
+    }
+    EXPECT_EQ(p.engine.messages(), 11u); // final hop posts nothing
+    EXPECT_GT(p.engine.epochs(), 0u);
+    EXPECT_EQ(p.engine.processed(), 12u);
+}
+
+TEST(ShardedEngine, ResultsAreIdenticalForAnyThreadCount)
+{
+    auto run_with = [](unsigned threads) {
+        PingPong p(4, 8, threads);
+        p.run();
+        return std::make_tuple(p.trace, p.engine.epochs(),
+                               p.engine.messages(),
+                               p.engine.processed());
+    };
+    const auto base = run_with(1);
+    EXPECT_EQ(run_with(2), base);
+    EXPECT_EQ(run_with(4), base);
+    EXPECT_EQ(run_with(8), base);
+}
+
+TEST(ShardedEngine, IndependentShardsRunWithoutMessages)
+{
+    std::vector<EventQueue> queues(4);
+    std::vector<EventQueue *> ptrs;
+    for (auto &q : queues)
+        ptrs.push_back(&q);
+    ShardedEngine engine(ptrs, 50, 2);
+
+    std::vector<int> counts(4, 0);
+    for (unsigned s = 0; s < 4; ++s) {
+        for (int i = 1; i <= 3; ++i) {
+            queues[s].scheduleCallback(
+                static_cast<Tick>(i) * 10 * (s + 1),
+                [&counts, s] { ++counts[s]; });
+        }
+    }
+    engine.run();
+    EXPECT_EQ(counts, (std::vector<int>{3, 3, 3, 3}));
+    EXPECT_EQ(engine.messages(), 0u);
+    EXPECT_EQ(engine.processed(), 12u);
+}
+
+TEST(ShardedEngine, EpochsFollowTheBarrierSequence)
+{
+    // Two shards, events only on shard 0 at ticks 10 and 1000, with
+    // lookahead 100: epoch 1 covers [10, 110), epoch 2 [1000, 1100).
+    std::vector<EventQueue> queues(2);
+    ShardedEngine engine({&queues[0], &queues[1]}, 100, 1);
+    int fired = 0;
+    queues[0].scheduleCallback(10, [&] { ++fired; });
+    queues[0].scheduleCallback(1000, [&] { ++fired; });
+    engine.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(engine.epochs(), 2u);
+    // Both queues idle-advanced through the same barriers.
+    EXPECT_EQ(queues[0].now(), queues[1].now());
+}
+
+TEST(ShardedEngineDeath, ZeroLookaheadPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(ShardedEngine({&q}, 0, 1), "lookahead");
+}
+
+TEST(ShardedEngineDeath, LookaheadViolationPanics)
+{
+    std::vector<EventQueue> queues(2);
+    ShardedEngine engine({&queues[0], &queues[1]}, 100, 1);
+    queues[0].scheduleCallback(10, [&] {
+        // Posting for now + 50 < now + lookahead must die.
+        engine.post(0, 1, queues[0].now() + 50, [] {});
+    });
+    EXPECT_DEATH(engine.run(), "lookahead");
+}
