@@ -40,7 +40,7 @@ main(int argc, char **argv)
 
     // Pre-sized per-job slots for the machine-readable export; jobs
     // write only their own slot, so the merge stays deterministic.
-    std::vector<std::vector<std::pair<const char *, double>>> exported(5);
+    std::vector<std::vector<std::pair<const char *, double>>> exported(6);
 
     std::vector<sim::SweepJob> jobs;
 
@@ -140,6 +140,49 @@ main(int argc, char **argv)
                 gpu.joulesPerInference / bf.joulesPerInference());
             ctx.out << line;
         }
+    }});
+
+    jobs.push_back({"functional_plan", [&](sim::SweepContext &ctx) {
+        // The execution-plan layer end to end: compile once, amortize
+        // across a batch on the pool. Everything printed here is
+        // deterministic (counts and bytes, no wall clock), so the
+        // 1-vs-N-thread determinism check covers this job too.
+        const auto net = dnn::make_tiny_cnn();
+        sim::Rng rng(12);
+        const core::NetworkWeights weights =
+            core::random_weights(net, rng);
+        const core::NetworkPlan plan = acc.compilePlan(net, weights, 8);
+
+        std::vector<dnn::FloatTensor> batch;
+        for (int i = 0; i < 8; ++i) {
+            dnn::FloatTensor in({1, 8, 8});
+            in.fillUniform(rng, 0.0, 1.0);
+            batch.push_back(std::move(in));
+        }
+        const core::BatchResult r = acc.runFunctionalBatch(plan, batch);
+
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "functional plan (tiny CNN): %zu layers frozen "
+                      "once (%.1f KB), arena %zu B, %llu-input batch, "
+                      "%.2f MMACs\n",
+                      plan.layers().size(),
+                      static_cast<double>(plan.stats().frozenWeightBytes)
+                          / 1024.0,
+                      plan.stats().arenaBytes,
+                      static_cast<unsigned long long>(plan.runsServed()),
+                      static_cast<double>(r.stats.macs) / 1e6);
+        ctx.out << line;
+        ctx.scalar("plan_arena_bytes", "steady-state scratch arena")
+            .set(static_cast<double>(plan.stats().arenaBytes));
+        ctx.scalar("plan_runs_served", "inferences amortized")
+            .set(static_cast<double>(plan.runsServed()));
+        exported[ctx.jobIndex] = {
+            {"plan_arena_bytes",
+             static_cast<double>(plan.stats().arenaBytes)},
+            {"plan_frozen_values",
+             static_cast<double>(plan.stats().frozenValues)},
+            {"plan_batch_macs", static_cast<double>(r.stats.macs)}};
     }});
 
     sim::SweepRunner sweeper(threads);

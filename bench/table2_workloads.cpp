@@ -2,7 +2,10 @@
  * @file
  * Table II — Summary of neural network workloads: layers, parameters
  * and multiplies of each evaluated network, derived from the rebuilt
- * architectures.
+ * architectures, plus the functional execution-plan footprint (the
+ * steady-state scratch arena a compiled core::NetworkPlan would
+ * reserve; '-' where the flattened layer list cannot be planned, e.g.
+ * branched Inception or the BERT residual/LayerNorm blocks).
  *
  * Each network is rebuilt and characterized in its own sweep job
  * (--threads N, default: hardware concurrency); rows are joined in
@@ -12,6 +15,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/network_plan.hh"
 #include "dnn/model_zoo.hh"
 #include "sim/parallel.hh"
 
@@ -19,18 +23,36 @@ namespace {
 
 using namespace bfree;
 
+/** Plan arena column: "12.3K" / "24.5M" or "-" when unplannable. */
+void
+plan_arena(const dnn::Network &net, char *buf, std::size_t len)
+{
+    core::PlanStats ps;
+    if (!core::NetworkPlan::tryEstimate(net, 8, ps)) {
+        std::snprintf(buf, len, "%9s", "-");
+        return;
+    }
+    const double bytes = static_cast<double>(ps.arenaBytes);
+    if (bytes >= 1024.0 * 1024.0)
+        std::snprintf(buf, len, "%8.1fM", bytes / (1024.0 * 1024.0));
+    else
+        std::snprintf(buf, len, "%8.1fK", bytes / 1024.0);
+}
+
 void
 row(std::ostream &os, const dnn::Network &net, const char *paper_params,
     const char *paper_mults, const char *dataset)
 {
-    char line[160];
+    char arena[16];
+    plan_arena(net, arena, sizeof(arena));
+    char line[192];
     std::snprintf(line, sizeof(line),
-                  "%-14s %7u %9.1fM %9.2fG   %-9s (paper: %s params, %s "
-                  "mults)\n",
+                  "%-14s %7u %9.1fM %9.2fG %s   %-9s (paper: %s params, "
+                  "%s mults)\n",
                   net.name().c_str(), net.reportedDepth,
                   static_cast<double>(net.totalParams()) / 1e6,
-                  static_cast<double>(net.totalMacs()) / 1e9, dataset,
-                  paper_params, paper_mults);
+                  static_cast<double>(net.totalMacs()) / 1e9, arena,
+                  dataset, paper_params, paper_mults);
     os << line;
 }
 
@@ -52,13 +74,15 @@ main(int argc, char **argv)
     }});
     jobs.push_back({"lstm", [](bfree::sim::SweepContext &ctx) {
         const Network lstm = make_lstm();
-        char line[160];
+        char arena[16];
+        plan_arena(lstm, arena, sizeof(arena));
+        char line[192];
         std::snprintf(line, sizeof(line),
-                      "%-14s %7u %9.1fM %9.2fM   %-9s (paper: 4.3M "
+                      "%-14s %7u %9.1fM %9.2fM %s   %-9s (paper: 4.3M "
                       "params, 4.35M mults/step)\n",
                       lstm.name().c_str(), lstm.reportedDepth,
                       static_cast<double>(lstm.totalParams()) / 1e6,
-                      static_cast<double>(lstm.totalMacs()) / 1e6,
+                      static_cast<double>(lstm.totalMacs()) / 1e6, arena,
                       "TIMIT");
         ctx.out << line;
     }});
@@ -73,13 +97,14 @@ main(int argc, char **argv)
     const bfree::sim::SweepReport report = sweeper.run(std::move(jobs));
 
     std::printf("Table II — summary of neural network workloads\n\n");
-    std::printf("%-14s %7s %10s %10s   %-9s\n", "network", "layers",
-                "params", "mults", "dataset");
+    std::printf("%-14s %7s %10s %10s %9s   %-9s\n", "network", "layers",
+                "params", "mults", "plan", "dataset");
     std::cout << report.output();
 
     std::printf("\nnote: 'layers' is the publication's depth; branched "
                 "topologies flatten to more operators (Inception-v3: "
-                "%zu MAC layers).\n",
+                "%zu MAC layers). 'plan' is the steady-state scratch "
+                "arena of a compiled execution plan.\n",
                 make_inception_v3().computeLayerCount());
     return 0;
 }

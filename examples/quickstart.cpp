@@ -1,17 +1,31 @@
 /**
  * @file
- * Quickstart: build the accelerator, run a tiny quantized CNN through
- * the real LUT datapath, then estimate latency/energy of a full
- * network on the modelled 35 MB cache.
+ * Quickstart: compile an execution plan for a tiny quantized CNN, run
+ * it through the real LUT datapath (compile once, amortize across
+ * inputs), then estimate latency/energy of a full network on the
+ * modelled 35 MB cache.
  *
  *   $ ./quickstart
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "core/bfree.hh"
 #include "core/functional.hh"
 #include "core/report.hh"
+
+namespace {
+
+double
+ms_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+} // namespace
 
 int
 main()
@@ -19,7 +33,8 @@ main()
     using namespace bfree;
 
     // ------------------------------------------------------------------
-    // 1. Functional: quantized inference through the LUT datapath.
+    // 1. Functional: plan once, then quantized inference through the
+    //    LUT datapath with zero steady-state allocations.
     // ------------------------------------------------------------------
     const dnn::Network tiny = dnn::make_tiny_cnn();
     sim::Rng rng(1);
@@ -28,9 +43,21 @@ main()
     dnn::FloatTensor input({1, 8, 8});
     input.fillUniform(rng, 0.0, 1.0);
 
+    // Compile: weights quantized and frozen, scratch arena sized.
+    const auto t_compile = std::chrono::steady_clock::now();
+    const core::NetworkPlan plan =
+        core::NetworkPlan::compile(tiny, weights, /*bits=*/8);
+    const double compile_ms = ms_since(t_compile);
+
     core::FunctionalExecutor executor;
-    const core::FunctionalResult result =
-        executor.run(tiny, input, weights, /*bits=*/8);
+    const core::FunctionalResult result = executor.run(plan, input);
+
+    // Steady state: the plan is amortized across every further input.
+    const int warm_runs = 50;
+    const auto t_warm = std::chrono::steady_clock::now();
+    for (int i = 0; i < warm_runs; ++i)
+        (void)executor.run(plan, input);
+    const double warm_ms = ms_since(t_warm) / warm_runs;
 
     std::cout << "== functional run of " << tiny.name() << " ==\n";
     std::cout << "class probabilities:";
@@ -40,7 +67,11 @@ main()
     std::cout << "BCE activity: " << result.stats.macs << " MACs, "
               << result.stats.cycles << " cycles, "
               << result.stats.counts.lutLookups << " LUT lookups, "
-              << result.stats.counts.romLookups << " ROM lookups\n\n";
+              << result.stats.counts.romLookups << " ROM lookups\n";
+    std::cout << "plan: " << plan.stats().frozenValues
+              << " weights frozen in " << compile_ms << " ms, arena "
+              << plan.stats().arenaBytes << " B; steady state " << warm_ms
+              << " ms/run over " << plan.runsServed() << " runs\n\n";
 
     // ------------------------------------------------------------------
     // 2. Architectural: latency/energy of Inception-v3 on the LLC.

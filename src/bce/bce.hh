@@ -83,6 +83,39 @@ struct BceStats
     std::uint64_t lutReadsPim = 0;   ///< Conv-path LUT reads, lut_en = 1.
     std::uint64_t lutReadsCache = 0; ///< Conv-path LUT reads, lut_en = 0.
     std::uint64_t specialLutEvents = 0; ///< PWL / division table fetches.
+
+    /** Component-wise accumulate (batch runs merge per-input deltas). */
+    BceStats &
+    operator+=(const BceStats &o)
+    {
+        cycles += o.cycles;
+        macs += o.macs;
+        configLoads += o.configLoads;
+        counts += o.counts;
+        for (std::size_t i = 0; i < cyclesByMode.size(); ++i)
+            cyclesByMode[i] += o.cyclesByMode[i];
+        lutReadsPim += o.lutReadsPim;
+        lutReadsCache += o.lutReadsCache;
+        specialLutEvents += o.specialLutEvents;
+        return *this;
+    }
+
+    /** Component-wise difference: the activity between two snapshots. */
+    BceStats
+    operator-(const BceStats &o) const
+    {
+        BceStats d;
+        d.cycles = cycles - o.cycles;
+        d.macs = macs - o.macs;
+        d.configLoads = configLoads - o.configLoads;
+        d.counts = counts - o.counts;
+        for (std::size_t i = 0; i < cyclesByMode.size(); ++i)
+            d.cyclesByMode[i] = cyclesByMode[i] - o.cyclesByMode[i];
+        d.lutReadsPim = lutReadsPim - o.lutReadsPim;
+        d.lutReadsCache = lutReadsCache - o.lutReadsCache;
+        d.specialLutEvents = specialLutEvents - o.specialLutEvents;
+        return d;
+    }
 };
 
 /**

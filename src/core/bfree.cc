@@ -78,6 +78,34 @@ BFreeAccelerator::runGpu(const dnn::Network &net, unsigned batch) const
     return gpu.run(net, batch);
 }
 
+NetworkPlan
+BFreeAccelerator::compilePlan(const dnn::Network &net,
+                              const NetworkWeights &weights,
+                              unsigned bits) const
+{
+    return NetworkPlan::compile(net, weights, bits);
+}
+
+FunctionalResult
+BFreeAccelerator::runFunctional(const NetworkPlan &plan,
+                                const dnn::FloatTensor &input) const
+{
+    FunctionalExecutor exec(opts.geometry, opts.tech);
+    return exec.run(plan, input);
+}
+
+BatchResult
+BFreeAccelerator::runFunctionalBatch(
+    const NetworkPlan &plan, const std::vector<dnn::FloatTensor> &inputs,
+    unsigned threads) const
+{
+    BatchOptions bo;
+    bo.threads = threads;
+    bo.geom = opts.geometry;
+    bo.tech = opts.tech;
+    return run_functional_batch(plan, inputs, bo);
+}
+
 tech::AreaReport
 BFreeAccelerator::area() const
 {

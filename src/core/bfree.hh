@@ -20,6 +20,8 @@
 #include "baselines/cpu_gpu.hh"
 #include "baselines/eyeriss.hh"
 #include "baselines/neural_cache.hh"
+#include "core/functional.hh"
+#include "core/network_plan.hh"
 #include "dnn/model_zoo.hh"
 #include "dnn/network.hh"
 #include "map/exec_model.hh"
@@ -95,6 +97,30 @@ class BFreeAccelerator
     /** Run the calibrated GPU baseline. */
     baseline::BaselineResult runGpu(const dnn::Network &net,
                                     unsigned batch = 1) const;
+
+    /**
+     * Compile a functional execution plan for @p net: weights
+     * quantized and frozen once, scratch arena sized. Amortize the
+     * returned plan across runFunctional / runFunctionalBatch calls;
+     * recompile when the network, weights or precision change.
+     */
+    NetworkPlan compilePlan(const dnn::Network &net,
+                            const NetworkWeights &weights,
+                            unsigned bits = 8) const;
+
+    /** Run a compiled plan functionally on one input. */
+    FunctionalResult runFunctional(const NetworkPlan &plan,
+                                   const dnn::FloatTensor &input) const;
+
+    /**
+     * Run a compiled plan over many inputs on the work-stealing pool;
+     * outputs, statistics and energy are bit-identical to a sequential
+     * loop for any @p threads (0 = hardware concurrency).
+     */
+    BatchResult
+    runFunctionalBatch(const NetworkPlan &plan,
+                       const std::vector<dnn::FloatTensor> &inputs,
+                       unsigned threads = 0) const;
 
     /** Area accounting (Section V-B). */
     tech::AreaReport area() const;

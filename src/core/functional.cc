@@ -2,52 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 
+#include "mem/micro_op_energy.hh"
 #include "sim/logging.hh"
+#include "sim/parallel.hh"
 
 namespace bfree::core {
-
-NetworkWeights
-random_weights(const dnn::Network &net, sim::Rng &rng, double scale)
-{
-    NetworkWeights all;
-    all.reserve(net.layers().size());
-    for (const dnn::Layer &l : net.layers()) {
-        LayerWeights w;
-        std::size_t count = 0;
-        std::size_t biases = 0;
-        switch (l.kind) {
-          case dnn::LayerKind::Conv:
-            count = std::size_t(l.outChannels) * l.input.c * l.kernelH
-                    * l.kernelW;
-            biases = l.outChannels;
-            break;
-          case dnn::LayerKind::Fc:
-            count = std::size_t(l.inFeatures) * l.outFeatures;
-            biases = l.outFeatures;
-            break;
-          case dnn::LayerKind::LstmCell:
-            count = std::size_t(4) * (l.lstmInput + l.lstmHidden)
-                    * l.lstmHidden;
-            biases = std::size_t(4) * l.lstmHidden;
-            break;
-          case dnn::LayerKind::Attention:
-            count = std::size_t(4) * l.dModel * l.dModel;
-            biases = 0;
-            break;
-          default:
-            break;
-        }
-        w.weights.resize(count);
-        w.bias.resize(biases);
-        for (float &v : w.weights)
-            v = static_cast<float>(rng.uniformReal(-scale, scale));
-        for (float &v : w.bias)
-            v = static_cast<float>(rng.uniformReal(-scale, scale) * 0.1);
-        all.push_back(std::move(w));
-    }
-    return all;
-}
 
 FunctionalExecutor::FunctionalExecutor(const tech::CacheGeometry &geom,
                                        const tech::TechParams &tech,
@@ -64,44 +25,37 @@ FunctionalExecutor::FunctionalExecutor(const tech::CacheGeometry &geom,
 
 // Symmetric per-tensor quantization lives in dnn::SymQuant /
 // dnn::choose_sym, shared with the detailed cache driver so both paths
-// quantize (and so dequantize) bit-identically.
+// quantize (and so dequantize) bit-identically. Weight-side quantization
+// is frozen at plan compile (dnn::freeze_weights); only the
+// input-dependent activation side is quantized here.
 using dnn::SymQuant;
 using dnn::choose_sym;
 
-dnn::FloatTensor
-FunctionalExecutor::runConv(const dnn::Layer &layer,
-                            const dnn::FloatTensor &input,
-                            const LayerWeights &w, unsigned bits)
+void
+FunctionalExecutor::runConvInto(const PlannedLayer &pl, unsigned bits,
+                                const float *in, float *out)
 {
-    const dnn::FeatureShape out = layer.outputShape();
-    const SymQuant qi = choose_sym(input.data(), input.size(), bits);
-    const SymQuant qw =
-        choose_sym(w.weights.data(), w.weights.size(), bits);
+    const dnn::Layer &layer = pl.layer;
+    const dnn::FeatureShape o = layer.outputShape();
+    const dnn::QuantizedWeights &fw = pl.frozen[0];
+    const SymQuant qi = choose_sym(in, pl.inElems, bits);
 
     bce.setMode(bce::BceMode::Conv);
-    dnn::FloatTensor output({out.c, out.h, out.w});
 
     const std::size_t patch_len =
         std::size_t(layer.input.c) * layer.kernelH * layer.kernelW;
+    const std::size_t inW = layer.input.w;
+    const std::size_t inHW = std::size_t(layer.input.h) * inW;
+    const std::size_t outHW = std::size_t(o.h) * o.w;
 
     if (bits <= 8) {
-        // Quantize the whole filter bank once up front: q() is a pure
-        // function, so hoisting it out of the spatial loops is
-        // bit-identical to quantizing at every use. The filter layout
-        // [outC][inC][kh][kw] already matches the im2col patch order,
-        // so each filter is one contiguous span.
-        std::vector<std::int8_t> qweights(w.weights.size());
-        for (std::size_t i = 0; i < w.weights.size(); ++i)
-            qweights[i] = static_cast<std::int8_t>(qw.q(w.weights[i]));
-
         // im2col with patch reuse: gather each input window once per
-        // (oh, ow) and run it against every output channel, instead of
-        // re-walking the window per (k, oh, ow). Out-of-bounds taps
-        // gather a literal 0, which the LUT datapath multiplies for
-        // free (zero operands short-circuit with no micro-ops).
-        std::vector<std::int8_t> patch(patch_len);
-        for (unsigned oh = 0; oh < out.h; ++oh) {
-            for (unsigned ow = 0; ow < out.w; ++ow) {
+        // (oh, ow) and run it against every output channel's frozen
+        // filter span. Out-of-bounds taps gather a literal 0, which
+        // the LUT datapath multiplies for free.
+        std::int8_t *patch = arena_.alloc<std::int8_t>(patch_len);
+        for (unsigned oh = 0; oh < o.h; ++oh) {
+            for (unsigned ow = 0; ow < o.w; ++ow) {
                 std::size_t p = 0;
                 for (unsigned c = 0; c < layer.input.c; ++c) {
                     for (unsigned r = 0; r < layer.kernelH; ++r) {
@@ -118,34 +72,33 @@ FunctionalExecutor::runConv(const dnn::Layer &layer,
                                 && ih < static_cast<int>(layer.input.h)
                                 && iw < static_cast<int>(layer.input.w);
                             patch[p] =
-                                inside ? static_cast<std::int8_t>(
-                                             qi.q(input.at(c, ih, iw)))
-                                       : std::int8_t{0};
+                                inside
+                                    ? static_cast<std::int8_t>(qi.q(
+                                          in[c * inHW + ih * inW + iw]))
+                                    : std::int8_t{0};
                         }
                     }
                 }
-                for (unsigned k = 0; k < out.c; ++k) {
+                for (unsigned k = 0; k < o.c; ++k) {
                     const std::int32_t acc = bce.dotProductSpan(
-                        &qweights[std::size_t(k) * patch_len],
-                        patch.data(), patch_len, bits);
-                    output.at(k, oh, ow) =
-                        static_cast<float>(acc * qw.scale * qi.scale)
-                        + w.bias[k];
+                        fw.q8.data() + std::size_t(k) * patch_len, patch,
+                        patch_len, bits);
+                    out[std::size_t(k) * outHW + std::size_t(oh) * o.w
+                        + ow] =
+                        static_cast<float>(acc * fw.scale.scale
+                                           * qi.scale)
+                        + pl.bias[k];
                 }
             }
         }
-        return output;
+        return;
     }
 
     // 16-bit operands exceed the int8 patch element; run scalar
     // multiplies over an int32 patch with the same reuse structure.
-    std::vector<std::int32_t> qweights(w.weights.size());
-    for (std::size_t i = 0; i < w.weights.size(); ++i)
-        qweights[i] = qw.q(w.weights[i]);
-
-    std::vector<std::int32_t> patch(patch_len);
-    for (unsigned oh = 0; oh < out.h; ++oh) {
-        for (unsigned ow = 0; ow < out.w; ++ow) {
+    std::int32_t *patch = arena_.alloc<std::int32_t>(patch_len);
+    for (unsigned oh = 0; oh < o.h; ++oh) {
+        for (unsigned ow = 0; ow < o.w; ++ow) {
             std::size_t p = 0;
             for (unsigned c = 0; c < layer.input.c; ++c) {
                 for (unsigned r = 0; r < layer.kernelH; ++r) {
@@ -161,59 +114,53 @@ FunctionalExecutor::runConv(const dnn::Layer &layer,
                             && ih < static_cast<int>(layer.input.h)
                             && iw < static_cast<int>(layer.input.w);
                         patch[p] =
-                            inside ? qi.q(input.at(c, ih, iw)) : 0;
+                            inside ? qi.q(in[c * inHW + ih * inW + iw])
+                                   : 0;
                     }
                 }
             }
-            for (unsigned k = 0; k < out.c; ++k) {
+            for (unsigned k = 0; k < o.c; ++k) {
                 std::int64_t acc = 0;
                 const std::size_t base = std::size_t(k) * patch_len;
                 for (std::size_t q = 0; q < patch_len; ++q)
-                    acc += bce.multiply(qweights[base + q], patch[q],
+                    acc += bce.multiply(fw.q32[base + q], patch[q],
                                         bits);
-                output.at(k, oh, ow) =
-                    static_cast<float>(acc * qw.scale * qi.scale)
-                    + w.bias[k];
+                out[std::size_t(k) * outHW + std::size_t(oh) * o.w + ow] =
+                    static_cast<float>(acc * fw.scale.scale * qi.scale)
+                    + pl.bias[k];
             }
         }
     }
-    return output;
 }
 
-dnn::FloatTensor
-FunctionalExecutor::runFc(const dnn::Layer &layer,
-                          const dnn::FloatTensor &input,
-                          const LayerWeights &w, unsigned bits)
+void
+FunctionalExecutor::runFcInto(const PlannedLayer &pl, unsigned bits,
+                              const float *in, float *out)
 {
-    const SymQuant qi = choose_sym(input.data(), input.size(), bits);
-    const SymQuant qw =
-        choose_sym(w.weights.data(), w.weights.size(), bits);
+    const dnn::Layer &layer = pl.layer;
+    const dnn::QuantizedWeights &fw = pl.frozen[0];
+    const SymQuant qi = choose_sym(in, pl.inElems, bits);
 
     // FC layers run on the matmul-mode broadcast datapath.
     bce.setMode(bce::BceMode::Matmul);
-    dnn::FloatTensor output({layer.outFeatures, std::size_t(1),
-                             std::size_t(1)});
-    std::vector<std::int8_t> qin(layer.inFeatures);
+    std::int8_t *qin = arena_.alloc<std::int8_t>(layer.inFeatures);
     for (unsigned i = 0; i < layer.inFeatures; ++i)
-        qin[i] = static_cast<std::int8_t>(qi.q(input[i]));
+        qin[i] = static_cast<std::int8_t>(qi.q(in[i]));
 
     if (bits <= 8) {
-        // The weight matrix is stored [outFeatures][inFeatures] — it
-        // already is the transposed-B tile matmulTile wants, so the
-        // whole layer is one blocked GEMM over the LUT datapath.
+        // The frozen [outFeatures][inFeatures] matrix already is the
+        // transposed-B tile matmulTile wants, so the whole layer is
+        // one blocked GEMM over the LUT datapath.
         const std::size_t k = layer.inFeatures;
         const std::size_t n = layer.outFeatures;
-        std::vector<std::int8_t> qwt(n * k);
-        for (std::size_t i = 0; i < qwt.size(); ++i)
-            qwt[i] = static_cast<std::int8_t>(qw.q(w.weights[i]));
-
-        std::vector<std::int32_t> accs(n, 0);
-        bce.matmulTile(qin.data(), qwt.data(), accs.data(), 1, k, n,
-                       bits);
+        std::int32_t *accs = arena_.alloc<std::int32_t>(n);
+        std::fill(accs, accs + n, 0);
+        bce.matmulTile(qin, fw.q8.data(), accs, 1, k, n, bits);
         for (unsigned o = 0; o < layer.outFeatures; ++o)
-            output[o] = static_cast<float>(accs[o] * qw.scale * qi.scale)
-                        + w.bias[o];
-        return output;
+            out[o] = static_cast<float>(accs[o] * fw.scale.scale
+                                        * qi.scale)
+                     + pl.bias[o];
+        return;
     }
 
     // 16-bit weights exceed the int8 span; broadcast them one at a
@@ -227,7 +174,7 @@ FunctionalExecutor::runFc(const dnn::Layer &layer,
             std::int32_t lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
             // Broadcast each weight against up to 8 input lanes.
             for (std::size_t j = 0; j < n; ++j) {
-                const std::int32_t wq = qw.q(w.weights[row + i + j]);
+                const std::int32_t wq = fw.q32[row + i + j];
                 std::int32_t lane = 0;
                 bce.broadcastMac(wq, &qin[i + j], 1, &lane, bits);
                 lanes[j] = lane;
@@ -235,54 +182,53 @@ FunctionalExecutor::runFc(const dnn::Layer &layer,
             for (std::size_t j = 0; j < n; ++j)
                 acc += lanes[j];
         }
-        output[o] = static_cast<float>(acc * qw.scale * qi.scale)
-                    + w.bias[o];
+        out[o] = static_cast<float>(acc * fw.scale.scale * qi.scale)
+                 + pl.bias[o];
     }
-    return output;
 }
 
-dnn::FloatTensor
-FunctionalExecutor::runActivation(const dnn::Layer &layer,
-                                  const dnn::FloatTensor &input)
+void
+FunctionalExecutor::runActivationInto(const PlannedLayer &pl,
+                                      const float *in, float *out)
 {
-    dnn::FloatTensor output(input.shape());
-    for (std::size_t i = 0; i < input.size(); ++i) {
-        const float x = input[i];
-        switch (layer.kind) {
+    for (std::size_t i = 0; i < pl.inElems; ++i) {
+        const float x = in[i];
+        switch (pl.layer.kind) {
           case dnn::LayerKind::Relu: {
             const std::int32_t vals[2] = {
                 0, static_cast<std::int32_t>(std::lround(x * 256.0f))};
-            output[i] =
+            out[i] =
                 static_cast<float>(bce.maxReduce(vals, 2)) / 256.0f;
             break;
           }
           case dnn::LayerKind::Sigmoid:
-            output[i] =
+            out[i] =
                 static_cast<float>(bce.evaluatePwl(sigmoidTable, x));
             break;
           case dnn::LayerKind::Tanh:
-            output[i] =
-                static_cast<float>(bce.evaluatePwl(tanhTable, x));
+            out[i] = static_cast<float>(bce.evaluatePwl(tanhTable, x));
             break;
           default:
             bfree_panic("unsupported activation in functional path");
         }
     }
-    return output;
 }
 
-dnn::FloatTensor
-FunctionalExecutor::runPool(const dnn::Layer &layer,
-                            const dnn::FloatTensor &input)
+void
+FunctionalExecutor::runPoolInto(const PlannedLayer &pl, const float *in,
+                                float *out)
 {
-    const dnn::FeatureShape out = layer.outputShape();
-    dnn::FloatTensor output({out.c, out.h, out.w});
-    std::vector<std::int32_t> window;
-    window.reserve(std::size_t(layer.kernelH) * layer.kernelW);
-    for (unsigned c = 0; c < out.c; ++c) {
-        for (unsigned oh = 0; oh < out.h; ++oh) {
-            for (unsigned ow = 0; ow < out.w; ++ow) {
-                window.clear();
+    const dnn::Layer &layer = pl.layer;
+    const dnn::FeatureShape o = layer.outputShape();
+    const std::size_t inW = layer.input.w;
+    const std::size_t inHW = std::size_t(layer.input.h) * inW;
+    const std::size_t outHW = std::size_t(o.h) * o.w;
+    std::int32_t *window = arena_.alloc<std::int32_t>(
+        std::size_t(layer.kernelH) * layer.kernelW);
+    for (unsigned c = 0; c < o.c; ++c) {
+        for (unsigned oh = 0; oh < o.h; ++oh) {
+            for (unsigned ow = 0; ow < o.w; ++ow) {
+                std::size_t wn = 0;
                 for (unsigned r = 0; r < layer.kernelH; ++r) {
                     for (unsigned s = 0; s < layer.kernelW; ++s) {
                         const int ih =
@@ -295,79 +241,147 @@ FunctionalExecutor::runPool(const dnn::Layer &layer,
                             || ih >= static_cast<int>(layer.input.h)
                             || iw >= static_cast<int>(layer.input.w))
                             continue;
-                        window.push_back(static_cast<std::int32_t>(
-                            std::lround(input.at(c, ih, iw) * 256.0f)));
+                        window[wn++] = static_cast<std::int32_t>(
+                            std::lround(in[c * inHW + ih * inW + iw]
+                                        * 256.0f));
                     }
                 }
+                float &slot = out[std::size_t(c) * outHW
+                                  + std::size_t(oh) * o.w + ow];
                 if (layer.kind == dnn::LayerKind::MaxPool) {
-                    output.at(c, oh, ow) =
-                        static_cast<float>(
-                            bce.maxReduce(window.data(), window.size()))
-                        / 256.0f;
+                    slot = static_cast<float>(bce.maxReduce(window, wn))
+                           / 256.0f;
                 } else {
                     // Average pooling: accumulate + LUT division.
-                    output.at(c, oh, ow) =
-                        static_cast<float>(bce.avgPool(window.data(),
-                                                       window.size(),
-                                                       divisionLut))
-                        / 256.0f;
+                    slot = static_cast<float>(
+                               bce.avgPool(window, wn, divisionLut))
+                           / 256.0f;
                 }
             }
         }
     }
-    return output;
 }
 
-dnn::FloatTensor
-FunctionalExecutor::runSoftmax(const dnn::FloatTensor &input)
+void
+FunctionalExecutor::runSoftmaxInto(const PlannedLayer &pl,
+                                   const float *in, float *out)
 {
-    std::vector<double> logits(input.size());
-    for (std::size_t i = 0; i < input.size(); ++i)
-        logits[i] = input[i];
+    const std::size_t n = pl.inElems;
+    double *logits = arena_.alloc<double>(n);
+    for (std::size_t i = 0; i < n; ++i)
+        logits[i] = in[i];
     lut::MicroOpCounts counts;
-    const std::vector<double> probs =
-        lut::lut_softmax(logits, expTable, divisionLut, &counts);
-    dnn::FloatTensor output(input.shape());
-    for (std::size_t i = 0; i < probs.size(); ++i)
-        output[i] = static_cast<float>(probs[i]);
-    return output;
+    lut::lut_softmax_into(logits, n, logits, expTable, divisionLut,
+                          &counts);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = static_cast<float>(logits[i]);
+}
+
+void
+FunctionalExecutor::runInto(const NetworkPlan &plan, const float *input,
+                            std::size_t inElems, float *output,
+                            std::size_t outElems)
+{
+    if (inElems != plan.inputElems())
+        bfree_fatal("plan run: input of ", inElems, " elements, plan "
+                    "expects ", plan.inputElems());
+    if (outElems != plan.outputElems())
+        bfree_fatal("plan run: output of ", outElems, " elements, plan "
+                    "produces ", plan.outputElems());
+
+    const PlanStats &ps = plan.stats();
+    arena_.reserve(ps.arenaBytes);
+    arena_.reset();
+    float *cur = arena_.alloc<float>(ps.maxActivationElems);
+    float *next = arena_.alloc<float>(ps.maxActivationElems);
+    std::copy(input, input + inElems, cur);
+
+    const unsigned bits = plan.bits();
+    for (const PlannedLayer &pl : plan.layers()) {
+        const dnn::TensorArena::Marker marker = arena_.mark();
+        switch (pl.layer.kind) {
+          case dnn::LayerKind::Conv:
+            runConvInto(pl, bits, cur, next);
+            break;
+          case dnn::LayerKind::Fc:
+            runFcInto(pl, bits, cur, next);
+            break;
+          case dnn::LayerKind::Relu:
+          case dnn::LayerKind::Sigmoid:
+          case dnn::LayerKind::Tanh:
+            runActivationInto(pl, cur, next);
+            break;
+          case dnn::LayerKind::MaxPool:
+          case dnn::LayerKind::AvgPool:
+            runPoolInto(pl, cur, next);
+            break;
+          case dnn::LayerKind::Softmax:
+            runSoftmaxInto(pl, cur, next);
+            break;
+          default:
+            bfree_fatal("functional path does not execute layer kind '",
+                        dnn::layer_kind_name(pl.layer.kind), "'");
+        }
+        arena_.release(marker);
+        std::swap(cur, next);
+    }
+
+    std::copy(cur, cur + outElems, output);
+    plan.noteRun();
+}
+
+FunctionalResult
+FunctionalExecutor::run(const NetworkPlan &plan,
+                        const dnn::FloatTensor &input)
+{
+    dnn::FloatTensor out(plan.outputShape());
+    runInto(plan, input.data(), input.size(), out.data(), out.size());
+    return FunctionalResult{std::move(out), bce.stats()};
+}
+
+FunctionalResult
+FunctionalExecutor::run(const dnn::Network &net,
+                        const dnn::FloatTensor &input,
+                        const NetworkWeights &weights, unsigned bits)
+{
+    return run(NetworkPlan::compile(net, weights, bits), input);
 }
 
 dnn::FloatTensor
-FunctionalExecutor::qMatmul(const dnn::FloatTensor &a, const float *w,
-                            std::size_t k, std::size_t n, unsigned bits)
+FunctionalExecutor::qMatmulFrozen(const dnn::FloatTensor &a,
+                                  const dnn::QuantizedWeights &wt,
+                                  std::size_t k, std::size_t n)
 {
     if (a.rank() != 2 || a.dim(1) != k)
         bfree_panic("qMatmul: a must be [m][k]");
+    if (wt.count() != k * n)
+        bfree_panic("qMatmulFrozen: expected an n x k tile of ", k * n,
+                    " values, got ", wt.count());
+    const unsigned bits = wt.bits;
     const std::size_t m = a.dim(0);
 
     const SymQuant qa = choose_sym(a.data(), a.size(), bits);
-    const SymQuant qw = choose_sym(w, k * n, bits);
 
     bce.setMode(bce::BceMode::Matmul);
     dnn::FloatTensor out({m, n});
 
     if (bits <= 8) {
-        // Quantize A row-major and W transposed (both once — q() is
-        // pure), then run the whole product as one blocked GEMM tile.
+        // Quantize A row-major (per call — it is the activation side);
+        // the B^T tile is already frozen. One blocked GEMM tile.
         std::vector<std::int8_t> qrows(m * k);
         for (std::size_t i = 0; i < m; ++i)
             for (std::size_t p = 0; p < k; ++p)
                 qrows[i * k + p] =
                     static_cast<std::int8_t>(qa.q(a.at(i, p)));
-        std::vector<std::int8_t> qbt(n * k);
-        for (std::size_t j = 0; j < n; ++j)
-            for (std::size_t p = 0; p < k; ++p)
-                qbt[j * k + p] =
-                    static_cast<std::int8_t>(qw.q(w[p * n + j]));
 
         std::vector<std::int32_t> accs(m * n, 0);
-        bce.matmulTile(qrows.data(), qbt.data(), accs.data(), m, k, n,
+        bce.matmulTile(qrows.data(), wt.q8.data(), accs.data(), m, k, n,
                        bits);
         for (std::size_t i = 0; i < m; ++i)
             for (std::size_t j = 0; j < n; ++j)
-                out.at(i, j) = static_cast<float>(accs[i * n + j]
-                                                  * qa.scale * qw.scale);
+                out.at(i, j) =
+                    static_cast<float>(accs[i * n + j] * qa.scale
+                                       * wt.scale.scale);
         return out;
     }
 
@@ -378,64 +392,64 @@ FunctionalExecutor::qMatmul(const dnn::FloatTensor &a, const float *w,
         for (std::size_t j = 0; j < n; ++j) {
             std::int64_t acc = 0;
             for (std::size_t p = 0; p < k; ++p) {
-                const std::int32_t wq = qw.q(w[p * n + j]);
+                const std::int32_t wq = wt.q32[j * k + p];
                 std::int32_t lane = 0;
                 bce.broadcastMac(wq, &qrow[p], 1, &lane, bits);
                 acc += lane;
             }
-            out.at(i, j) =
-                static_cast<float>(acc * qa.scale * qw.scale);
+            out.at(i, j) = static_cast<float>(acc * qa.scale
+                                              * wt.scale.scale);
         }
     }
     return out;
 }
 
+dnn::FloatTensor
+FunctionalExecutor::qMatmul(const dnn::FloatTensor &a, const float *w,
+                            std::size_t k, std::size_t n, unsigned bits)
+{
+    return qMatmulFrozen(a, dnn::freeze_weights_transposed(w, k, n, bits),
+                         k, n);
+}
+
 dnn::LstmState
-FunctionalExecutor::runLstmStep(const dnn::Layer &layer,
-                                const std::vector<float> &x,
-                                const dnn::LstmState &prev,
-                                const LayerWeights &w, unsigned bits)
+FunctionalExecutor::lstmStepImpl(const dnn::Layer &layer,
+                                 const std::vector<float> &x,
+                                 const dnn::LstmState &prev,
+                                 const dnn::QuantizedWeights &gatesW,
+                                 const std::vector<float> &bias)
 {
     const unsigned in = layer.lstmInput;
     const unsigned hid = layer.lstmHidden;
     const unsigned cols = in + hid;
     if (x.size() != in || prev.h.size() != hid)
         bfree_fatal("runLstmStep: state size mismatch");
-    if (w.weights.size() != std::size_t(4) * hid * cols
-        || w.bias.size() != std::size_t(4) * hid)
-        bfree_fatal("runLstmStep: weight size mismatch");
 
     // Concatenate [x, h] into one row vector and run the packed gate
-    // matvec on the broadcast datapath: [1][cols] x [cols][4*hid].
+    // matvec on the broadcast datapath: [1][cols] x [cols][4*hid]. The
+    // frozen row-major [4*hid][cols] gate matrix is exactly the
+    // transposed tile that product wants.
     dnn::FloatTensor xh({std::size_t(1), cols});
     for (unsigned i = 0; i < in; ++i)
         xh.at(0, i) = x[i];
     for (unsigned i = 0; i < hid; ++i)
         xh.at(0, in + i) = prev.h[i];
 
-    // The reference stores gate weights row-major [4*hid][cols];
-    // transpose into [cols][4*hid] for qMatmul.
-    std::vector<float> wt(std::size_t(cols) * 4 * hid);
-    for (std::size_t g = 0; g < std::size_t(4) * hid; ++g)
-        for (unsigned c = 0; c < cols; ++c)
-            wt[std::size_t(c) * 4 * hid + g] =
-                w.weights[g * cols + c];
-
     const dnn::FloatTensor gates =
-        qMatmul(xh, wt.data(), cols, std::size_t(4) * hid, bits);
+        qMatmulFrozen(xh, gatesW, cols, std::size_t(4) * hid);
 
     dnn::LstmState next;
     next.h.resize(hid);
     next.c.resize(hid);
     for (unsigned j = 0; j < hid; ++j) {
         const double i_g = bce.evaluatePwl(
-            sigmoidTable, gates.at(0, 0 * hid + j) + w.bias[0 * hid + j]);
+            sigmoidTable, gates.at(0, 0 * hid + j) + bias[0 * hid + j]);
         const double f_g = bce.evaluatePwl(
-            sigmoidTable, gates.at(0, 1 * hid + j) + w.bias[1 * hid + j]);
+            sigmoidTable, gates.at(0, 1 * hid + j) + bias[1 * hid + j]);
         const double g_g = bce.evaluatePwl(
-            tanhTable, gates.at(0, 2 * hid + j) + w.bias[2 * hid + j]);
+            tanhTable, gates.at(0, 2 * hid + j) + bias[2 * hid + j]);
         const double o_g = bce.evaluatePwl(
-            sigmoidTable, gates.at(0, 3 * hid + j) + w.bias[3 * hid + j]);
+            sigmoidTable, gates.at(0, 3 * hid + j) + bias[3 * hid + j]);
         const double c_new = f_g * prev.c[j] + i_g * g_g;
         next.c[j] = static_cast<float>(c_new);
         next.h[j] = static_cast<float>(
@@ -444,27 +458,52 @@ FunctionalExecutor::runLstmStep(const dnn::Layer &layer,
     return next;
 }
 
+dnn::LstmState
+FunctionalExecutor::runLstmStep(const NetworkPlan &plan,
+                                std::size_t layerIndex,
+                                const std::vector<float> &x,
+                                const dnn::LstmState &prev)
+{
+    if (layerIndex >= plan.layers().size())
+        bfree_fatal("runLstmStep: layer index ", layerIndex,
+                    " out of range");
+    const PlannedLayer &pl = plan.layers()[layerIndex];
+    if (pl.layer.kind != dnn::LayerKind::LstmCell)
+        bfree_fatal("runLstmStep: layer '", pl.layer.name,
+                    "' is not an LSTM cell");
+    plan.noteRun();
+    return lstmStepImpl(pl.layer, x, prev, pl.frozen[0], pl.bias);
+}
+
+dnn::LstmState
+FunctionalExecutor::runLstmStep(const dnn::Layer &layer,
+                                const std::vector<float> &x,
+                                const dnn::LstmState &prev,
+                                const LayerWeights &w, unsigned bits)
+{
+    const unsigned cols = layer.lstmInput + layer.lstmHidden;
+    if (w.weights.size() != std::size_t(4) * layer.lstmHidden * cols
+        || w.bias.size() != std::size_t(4) * layer.lstmHidden)
+        bfree_fatal("runLstmStep: weight size mismatch");
+    return lstmStepImpl(layer, x, prev,
+                        dnn::freeze_weights(w.weights.data(),
+                                            w.weights.size(), bits),
+                        w.bias);
+}
+
 dnn::FloatTensor
-FunctionalExecutor::runAttention(const dnn::Layer &layer,
-                                 const dnn::FloatTensor &input,
-                                 const LayerWeights &w, unsigned bits)
+FunctionalExecutor::attentionImpl(const dnn::Layer &layer,
+                                  const dnn::FloatTensor &input,
+                                  const dnn::QuantizedWeights *proj)
 {
     const unsigned s = layer.seqLen;
     const unsigned d = layer.dModel;
     if (input.rank() != 2 || input.dim(0) != s || input.dim(1) != d)
         bfree_fatal("runAttention: input must be [seq][d]");
-    const std::size_t dd = std::size_t(d) * d;
-    if (w.weights.size() != 4 * dd)
-        bfree_fatal("runAttention: weights must pack wq|wk|wv|wo");
 
-    const float *wq = w.weights.data();
-    const float *wk = w.weights.data() + dd;
-    const float *wv = w.weights.data() + 2 * dd;
-    const float *wo = w.weights.data() + 3 * dd;
-
-    const dnn::FloatTensor q = qMatmul(input, wq, d, d, bits);
-    const dnn::FloatTensor k = qMatmul(input, wk, d, d, bits);
-    const dnn::FloatTensor v = qMatmul(input, wv, d, d, bits);
+    const dnn::FloatTensor q = qMatmulFrozen(input, proj[0], d, d);
+    const dnn::FloatTensor k = qMatmulFrozen(input, proj[1], d, d);
+    const dnn::FloatTensor v = qMatmulFrozen(input, proj[2], d, d);
 
     // Scores: Q x K^T, scaled; softmax per row through the LUT path.
     const float scale = 1.0f / std::sqrt(static_cast<float>(d));
@@ -488,57 +527,113 @@ FunctionalExecutor::runAttention(const dnn::Layer &layer,
             context.at(i, p) = static_cast<float>(acc);
         }
     }
-    return qMatmul(context, wo, d, d, bits);
+    return qMatmulFrozen(context, proj[3], d, d);
 }
 
-FunctionalResult
-FunctionalExecutor::run(const dnn::Network &net,
-                        const dnn::FloatTensor &input,
-                        const NetworkWeights &weights, unsigned bits)
+dnn::FloatTensor
+FunctionalExecutor::runAttention(const NetworkPlan &plan,
+                                 std::size_t layerIndex,
+                                 const dnn::FloatTensor &input)
 {
-    if (weights.size() != net.layers().size())
-        bfree_fatal("functional run: expected ", net.layers().size(),
-                    " weight entries, got ", weights.size());
+    if (layerIndex >= plan.layers().size())
+        bfree_fatal("runAttention: layer index ", layerIndex,
+                    " out of range");
+    const PlannedLayer &pl = plan.layers()[layerIndex];
+    if (pl.layer.kind != dnn::LayerKind::Attention)
+        bfree_fatal("runAttention: layer '", pl.layer.name,
+                    "' is not an attention block");
+    plan.noteRun();
+    return attentionImpl(pl.layer, input, pl.frozen.data());
+}
 
-    dnn::FloatTensor act = input;
-    for (std::size_t i = 0; i < net.layers().size(); ++i) {
-        const dnn::Layer &layer = net.layers()[i];
-        switch (layer.kind) {
-          case dnn::LayerKind::Conv:
-            act = runConv(layer, act, weights[i], bits);
-            break;
-          case dnn::LayerKind::Fc: {
-            // Flatten the activation into the FC's input vector.
-            if (act.size() != layer.inFeatures)
-                bfree_fatal("fc '", layer.name, "': flattened input of ",
-                            act.size(), " != ", layer.inFeatures);
-            dnn::FloatTensor flat({layer.inFeatures, std::size_t(1),
-                                   std::size_t(1)});
-            for (std::size_t j = 0; j < act.size(); ++j)
-                flat[j] = act[j];
-            act = runFc(layer, flat, weights[i], bits);
-            break;
-          }
-          case dnn::LayerKind::Relu:
-          case dnn::LayerKind::Sigmoid:
-          case dnn::LayerKind::Tanh:
-            act = runActivation(layer, act);
-            break;
-          case dnn::LayerKind::MaxPool:
-          case dnn::LayerKind::AvgPool:
-            act = runPool(layer, act);
-            break;
-          case dnn::LayerKind::Softmax:
-            act = runSoftmax(act);
-            break;
-          default:
-            bfree_fatal("functional path does not execute layer kind '",
-                        dnn::layer_kind_name(layer.kind), "'");
-        }
+dnn::FloatTensor
+FunctionalExecutor::runAttention(const dnn::Layer &layer,
+                                 const dnn::FloatTensor &input,
+                                 const LayerWeights &w, unsigned bits)
+{
+    const std::size_t dd = std::size_t(layer.dModel) * layer.dModel;
+    if (w.weights.size() != 4 * dd)
+        bfree_fatal("runAttention: weights must pack wq|wk|wv|wo");
+    dnn::QuantizedWeights proj[4];
+    for (unsigned b = 0; b < 4; ++b)
+        proj[b] = dnn::freeze_weights_transposed(
+            w.weights.data() + b * dd, layer.dModel, layer.dModel, bits);
+    return attentionImpl(layer, input, proj);
+}
+
+BatchResult
+run_functional_batch(const NetworkPlan &plan,
+                     const std::vector<dnn::FloatTensor> &inputs,
+                     const BatchOptions &opts)
+{
+    BatchResult result;
+    const std::size_t n = inputs.size();
+    result.outputs.reserve(n);
+    for (const dnn::FloatTensor &in : inputs) {
+        if (in.size() != plan.inputElems())
+            bfree_fatal("batch input of ", in.size(), " elements, plan "
+                        "expects ", plan.inputElems());
+        result.outputs.emplace_back(plan.outputShape());
     }
+    if (n == 0)
+        return result;
 
-    FunctionalResult r{std::move(act), bce.stats()};
-    return r;
+    const unsigned threads = sim::resolve_threads(opts.threads);
+    const std::size_t chunks = std::min<std::size_t>(threads, n);
+    const std::size_t per = (n + chunks - 1) / chunks;
+
+    // Contiguous chunks, one long-lived executor each: the memoized
+    // datapath tables and the arena are paid once per worker. Each
+    // input's BCE activity is captured as a snapshot delta into its
+    // own slot, then reduced in input order below — integer sums in a
+    // fixed order, so the totals cannot depend on scheduling.
+    std::vector<bce::BceStats> perInput(n);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t begin = c * per;
+        const std::size_t end = std::min(n, begin + per);
+        if (begin >= end)
+            break;
+        tasks.push_back([&plan, &inputs, &result, &perInput, &opts,
+                         begin, end] {
+            FunctionalExecutor exec(opts.geom, opts.tech, opts.tier);
+            for (std::size_t i = begin; i < end; ++i) {
+                const bce::BceStats before = exec.stats();
+                exec.runInto(plan, inputs[i].data(), inputs[i].size(),
+                             result.outputs[i].data(),
+                             result.outputs[i].size());
+                // Park the datapath back in conv mode INSIDE the
+                // measured window: the delta then includes the
+                // return-to-conv switch and every input starts from
+                // the same mode, making the per-input delta
+                // independent of the input's position in its chunk —
+                // which is what keeps batch statistics bit-identical
+                // across thread counts.
+                exec.parkDatapath();
+                perInput[i] = exec.stats() - before;
+            }
+        });
+    }
+    sim::ThreadPool pool(threads);
+    pool.run(std::move(tasks));
+
+    for (const bce::BceStats &s : perInput)
+        result.stats += s;
+
+    // One bulk energy conversion from the summed integer tallies — the
+    // same closed-form deposit Bce::flushEnergy performs, so the batch
+    // energy equals a sequential run's datapath energy exactly. The
+    // per-worker LUT-image load is deliberately excluded (fixed
+    // per-executor setup, not batch work).
+    mem::BceEnergyTallies tallies;
+    tallies.romLookups = result.stats.counts.romLookups;
+    tallies.lutReadsPim = result.stats.lutReadsPim;
+    tallies.lutReadsCache = result.stats.lutReadsCache;
+    tallies.specialLutEvents = result.stats.specialLutEvents;
+    tallies.cyclesByMode = result.stats.cyclesByMode;
+    mem::MicroOpEnergyModel(opts.tech).deposit(tallies, result.energy);
+    return result;
 }
 
 } // namespace bfree::core

@@ -9,6 +9,15 @@
  * division tables approximate the nonlinearities well enough for
  * inference. The tests compare its output against the float reference
  * executors under quantization tolerance.
+ *
+ * Execution is plan-driven (core::NetworkPlan): weights are quantized
+ * once at plan compile and the steady-state path serves all scratch
+ * from one pre-sized TensorArena with zero heap allocations. The
+ * legacy one-shot entry points remain and simply compile a throwaway
+ * plan, so they are bit-identical to the plan path by construction.
+ * run_functional_batch() amortizes one plan across many inputs on the
+ * work-stealing pool with outputs, statistics and energy bit-identical
+ * to the sequential loop at any thread count.
  */
 
 #ifndef BFREE_CORE_FUNCTIONAL_HH
@@ -17,10 +26,12 @@
 #include <vector>
 
 #include "bce/bce.hh"
+#include "core/network_plan.hh"
 #include "dnn/network.hh"
 #include "dnn/quantize.hh"
 #include "dnn/reference.hh"
 #include "dnn/tensor.hh"
+#include "dnn/tensor_arena.hh"
 #include "lut/division.hh"
 #include "lut/pwl.hh"
 #include "mem/subarray.hh"
@@ -29,20 +40,6 @@
 #include "tech/tech_params.hh"
 
 namespace bfree::core {
-
-/** Weights of one layer (flat, reference layout). */
-struct LayerWeights
-{
-    std::vector<float> weights;
-    std::vector<float> bias;
-};
-
-/** Per-layer weights for a whole network. */
-using NetworkWeights = std::vector<LayerWeights>;
-
-/** Draw reproducible random weights for every layer of @p net. */
-NetworkWeights random_weights(const dnn::Network &net, sim::Rng &rng,
-                              double scale = 0.5);
 
 /** Result of a functional run. */
 struct FunctionalResult
@@ -69,8 +66,27 @@ class FunctionalExecutor
                        bce::ExecTier tier = bce::ExecTier::Tiered);
 
     /**
-     * Run @p net on @p input with @p weights through the quantized LUT
-     * datapath at @p bits precision.
+     * Run a compiled plan on @p input. The steady-state entry point:
+     * no weight quantization, no heap allocation after the first call
+     * (which sizes the arena and seeds the memo tables).
+     */
+    FunctionalResult run(const NetworkPlan &plan,
+                         const dnn::FloatTensor &input);
+
+    /**
+     * The allocation-free core of run(): executes @p plan reading
+     * @p inElems floats from @p input and writing @p outElems floats
+     * to @p output (both caller-owned). All intermediate activations
+     * ping-pong between two arena buffers.
+     */
+    void runInto(const NetworkPlan &plan, const float *input,
+                 std::size_t inElems, float *output,
+                 std::size_t outElems);
+
+    /**
+     * One-shot convenience: compile a throwaway plan for @p net and run
+     * it. Bit-identical to the plan path (it IS the plan path); prefer
+     * compiling once when running more than one input.
      */
     FunctionalResult run(const dnn::Network &net,
                          const dnn::FloatTensor &input,
@@ -78,9 +94,19 @@ class FunctionalExecutor
                          unsigned bits = 8);
 
     /**
-     * One LSTM timestep through the LUT datapath: gate matvecs on the
-     * matmul-mode BCE, sigmoid/tanh through the PWL tables. Weights
-     * are packed [i, f, g, o] x [input + hidden] as in
+     * One LSTM timestep from a compiled plan: gate matvecs on the
+     * matmul-mode BCE against the frozen gate tile, sigmoid/tanh
+     * through the PWL tables. @p layerIndex selects the LstmCell layer
+     * inside the plan.
+     */
+    dnn::LstmState runLstmStep(const NetworkPlan &plan,
+                               std::size_t layerIndex,
+                               const std::vector<float> &x,
+                               const dnn::LstmState &prev);
+
+    /**
+     * One-shot LSTM timestep; freezes the gate weights and delegates.
+     * Weights are packed [i, f, g, o] x [input + hidden] as in
      * dnn::reference_lstm_step.
      */
     dnn::LstmState runLstmStep(const dnn::Layer &layer,
@@ -89,10 +115,17 @@ class FunctionalExecutor
                                const LayerWeights &w, unsigned bits = 8);
 
     /**
-     * Single-head self-attention through the LUT datapath: Q/K/V/O
-     * projections and the score product on the matmul-mode BCE, the
-     * row softmax through the exp table + LUT division. Weights are
-     * packed [wq | wk | wv | wo], each d x d.
+     * Single-head self-attention from a compiled plan: Q/K/V/O
+     * projections against the frozen tiles, the row softmax through
+     * the exp table + LUT division.
+     */
+    dnn::FloatTensor runAttention(const NetworkPlan &plan,
+                                  std::size_t layerIndex,
+                                  const dnn::FloatTensor &input);
+
+    /**
+     * One-shot self-attention; freezes the four projections and
+     * delegates. Weights are packed [wq | wk | wv | wo], each d x d.
      */
     dnn::FloatTensor runAttention(const dnn::Layer &layer,
                                   const dnn::FloatTensor &input,
@@ -102,10 +135,32 @@ class FunctionalExecutor
     /**
      * Quantized matrix product through the broadcast datapath:
      * out[m][n] = a[m][k] * w[k][n], with w supplied row-major.
+     * Freezes w transposed and delegates to qMatmulFrozen.
      */
     dnn::FloatTensor qMatmul(const dnn::FloatTensor &a, const float *w,
                              std::size_t k, std::size_t n,
                              unsigned bits);
+
+    /**
+     * The same product against an already-frozen transposed tile
+     * @p wt (n x k, as produced by dnn::freeze_weights_transposed —
+     * or any row-major [n][k] matrix frozen in place). Only the
+     * activation side is quantized per call.
+     */
+    dnn::FloatTensor qMatmulFrozen(const dnn::FloatTensor &a,
+                                   const dnn::QuantizedWeights &wt,
+                                   std::size_t k, std::size_t n);
+
+    /**
+     * Return the datapath to conv mode (its construction state). The
+     * batch runner parks the datapath after every input so each
+     * input's stats delta is independent of its position in the batch
+     * — the keystone of thread-count-invariant batch statistics.
+     */
+    void parkDatapath() { bce.setMode(bce::BceMode::Conv); }
+
+    /** The scratch arena (sizing/zero-allocation introspection). */
+    const dnn::TensorArena &arena() const { return arena_; }
 
     /** BCE statistics accumulated so far. */
     const bce::BceStats &stats() const { return bce.stats(); }
@@ -126,22 +181,33 @@ class FunctionalExecutor
     bce::ExecTier tier() const { return bce.tier(); }
 
   private:
-    /** Quantized conv over im2col patches on the conv-mode datapath. */
-    dnn::FloatTensor runConv(const dnn::Layer &layer,
-                             const dnn::FloatTensor &input,
-                             const LayerWeights &w, unsigned bits);
+    /** Conv over im2col patches, frozen filter bank, arena scratch. */
+    void runConvInto(const PlannedLayer &pl, unsigned bits,
+                     const float *in, float *out);
 
-    dnn::FloatTensor runFc(const dnn::Layer &layer,
-                           const dnn::FloatTensor &input,
-                           const LayerWeights &w, unsigned bits);
+    void runFcInto(const PlannedLayer &pl, unsigned bits,
+                   const float *in, float *out);
 
-    dnn::FloatTensor runActivation(const dnn::Layer &layer,
-                                   const dnn::FloatTensor &input);
+    void runActivationInto(const PlannedLayer &pl, const float *in,
+                           float *out);
 
-    dnn::FloatTensor runPool(const dnn::Layer &layer,
-                             const dnn::FloatTensor &input);
+    void runPoolInto(const PlannedLayer &pl, const float *in,
+                     float *out);
 
-    dnn::FloatTensor runSoftmax(const dnn::FloatTensor &input);
+    void runSoftmaxInto(const PlannedLayer &pl, const float *in,
+                        float *out);
+
+    /** Shared LSTM step against a frozen gate tile. */
+    dnn::LstmState lstmStepImpl(const dnn::Layer &layer,
+                                const std::vector<float> &x,
+                                const dnn::LstmState &prev,
+                                const dnn::QuantizedWeights &gates,
+                                const std::vector<float> &bias);
+
+    /** Shared attention block against four frozen projections. */
+    dnn::FloatTensor attentionImpl(const dnn::Layer &layer,
+                                   const dnn::FloatTensor &input,
+                                   const dnn::QuantizedWeights *proj);
 
     tech::CacheGeometry geom;
     tech::TechParams tech;
@@ -152,7 +218,43 @@ class FunctionalExecutor
     lut::PwlTable sigmoidTable;
     lut::PwlTable tanhTable;
     lut::PwlTable expTable;
+    dnn::TensorArena arena_;
 };
+
+/** Knobs for a batched plan run. */
+struct BatchOptions
+{
+    /** Worker threads; 0 means hardware concurrency. */
+    unsigned threads = 0;
+    tech::CacheGeometry geom{};
+    tech::TechParams tech{};
+    bce::ExecTier tier = bce::ExecTier::Tiered;
+};
+
+/** Result of a batched plan run. */
+struct BatchResult
+{
+    /** Per-input outputs, input order. */
+    std::vector<dnn::FloatTensor> outputs;
+    /** Summed per-input BCE activity, accumulated in input order —
+     *  bit-identical for any thread count. */
+    bce::BceStats stats;
+    /** Datapath energy of the batch, converted from the summed integer
+     *  tallies in one bulk deposit. Excludes the per-worker LUT-image
+     *  load (a fixed per-executor setup cost, not batch work). */
+    mem::EnergyAccount energy;
+};
+
+/**
+ * Run @p plan over every input, fanning out across the work-stealing
+ * pool in contiguous chunks (one long-lived executor per chunk, so the
+ * memoized datapath tables are seeded once per worker, not per input).
+ * Outputs, statistics and energy are bit-identical to a sequential
+ * loop for any thread count.
+ */
+BatchResult run_functional_batch(const NetworkPlan &plan,
+                                 const std::vector<dnn::FloatTensor> &inputs,
+                                 const BatchOptions &opts = {});
 
 } // namespace bfree::core
 

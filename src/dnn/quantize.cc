@@ -17,6 +17,46 @@ choose_sym(const float *data, std::size_t n, unsigned bits)
     return s;
 }
 
+QuantizedWeights
+freeze_weights(const float *w, std::size_t n, unsigned bits)
+{
+    QuantizedWeights out;
+    out.scale = choose_sym(w, n, bits);
+    out.bits = bits;
+    if (bits <= 8) {
+        out.q8.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out.q8[i] = static_cast<std::int8_t>(out.scale.q(w[i]));
+    } else {
+        out.q32.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            out.q32[i] = out.scale.q(w[i]);
+    }
+    return out;
+}
+
+QuantizedWeights
+freeze_weights_transposed(const float *w, std::size_t k, std::size_t n,
+                          unsigned bits)
+{
+    QuantizedWeights out;
+    out.scale = choose_sym(w, k * n, bits);
+    out.bits = bits;
+    if (bits <= 8) {
+        out.q8.resize(k * n);
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t p = 0; p < k; ++p)
+                out.q8[j * k + p] =
+                    static_cast<std::int8_t>(out.scale.q(w[p * n + j]));
+    } else {
+        out.q32.resize(k * n);
+        for (std::size_t j = 0; j < n; ++j)
+            for (std::size_t p = 0; p < k; ++p)
+                out.q32[j * k + p] = out.scale.q(w[p * n + j]);
+    }
+    return out;
+}
+
 QuantizedTensor
 quantize_tensor(const FloatTensor &input, unsigned bits)
 {

@@ -49,6 +49,47 @@ struct SymQuant
 /** Pick the symmetric quantizer for @p n floats at @p bits precision. */
 SymQuant choose_sym(const float *data, std::size_t n, unsigned bits);
 
+/**
+ * A weight tensor frozen at compile time: the chosen symmetric scale
+ * plus every element pushed through SymQuant::q once, up front. q() is
+ * a pure function, so consuming the frozen values is bit-identical to
+ * re-quantizing at every use — that identity is what lets the
+ * execution-plan layer hoist all weight quantization out of the
+ * steady-state path. Narrow precisions (<= 8 bits) land in q8; wider
+ * ones in q32 (the layouts the batched BCE kernels consume).
+ */
+struct QuantizedWeights
+{
+    SymQuant scale;
+    unsigned bits = 8;
+    std::vector<std::int8_t> q8;    ///< bits <= 8 (int8 span kernels).
+    std::vector<std::int32_t> q32;  ///< bits > 8 (scalar datapath).
+
+    bool narrow() const { return bits <= 8; }
+    std::size_t count() const { return narrow() ? q8.size() : q32.size(); }
+    std::size_t frozenBytes() const
+    {
+        return narrow() ? q8.size() : q32.size() * sizeof(std::int32_t);
+    }
+};
+
+/**
+ * Freeze @p n weights in storage order. The scale is chosen by
+ * choose_sym over exactly this span (order-independent: it only reads
+ * the peak magnitude).
+ */
+QuantizedWeights freeze_weights(const float *w, std::size_t n,
+                                unsigned bits);
+
+/**
+ * Freeze a row-major [k][n] matrix into the transposed-B layout the
+ * blocked matmul tile consumes: element (j, p) of the result is
+ * q(w[p * n + j]), rows contiguous per output column. The scale is
+ * chosen over the same k * n floats as the in-order variant.
+ */
+QuantizedWeights freeze_weights_transposed(const float *w, std::size_t k,
+                                           std::size_t n, unsigned bits);
+
 /** A tensor together with its quantization parameters. */
 struct QuantizedTensor
 {

@@ -1,0 +1,47 @@
+#include "tensor_arena.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::dnn {
+
+void
+TensorArena::reserve(std::size_t bytes)
+{
+    if (bytes <= cap)
+        return;
+    // new[] of std::byte returns storage aligned for std::max_align_t;
+    // over-allocate so the base can be rounded up to the arena
+    // alignment without losing capacity.
+    block = std::make_unique<std::byte[]>(bytes + alignment);
+    cap = bytes;
+    off = 0;
+}
+
+void
+TensorArena::release(Marker m)
+{
+    if (m > off)
+        bfree_panic("arena release to marker ", m, " beyond offset ",
+                    off);
+    off = m;
+}
+
+void *
+TensorArena::allocBytes(std::size_t bytes)
+{
+    if (off + bytes > cap)
+        bfree_panic("arena overflow: ", off + bytes, " bytes requested, ",
+                    cap, " reserved (planning pass undersized?)");
+    const auto base = reinterpret_cast<std::uintptr_t>(block.get());
+    const std::uintptr_t aligned =
+        (base + alignment - 1) / alignment * alignment;
+    void *p = reinterpret_cast<void *>(aligned + off);
+    off += bytes;
+    high = std::max(high, off);
+    ++count;
+    return p;
+}
+
+} // namespace bfree::dnn

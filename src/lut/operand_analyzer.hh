@@ -60,6 +60,19 @@ struct MicroOpCounts
     std::uint64_t cycles = 0; ///< Sequential BCE cycles consumed.
 
     MicroOpCounts &operator+=(const MicroOpCounts &other);
+
+    /** Component-wise difference (for windowed/delta statistics). */
+    MicroOpCounts
+    operator-(const MicroOpCounts &other) const
+    {
+        MicroOpCounts d;
+        d.lutLookups = lutLookups - other.lutLookups;
+        d.romLookups = romLookups - other.romLookups;
+        d.shifts = shifts - other.shifts;
+        d.adds = adds - other.adds;
+        d.cycles = cycles - other.cycles;
+        return d;
+    }
 };
 
 /** Result of a LUT-based multiplication. */

@@ -83,25 +83,34 @@ std::vector<double>
 lut_softmax(const std::vector<double> &logits, const PwlTable &exp_table,
             const DivisionLut &div, MicroOpCounts *counts)
 {
-    if (logits.empty())
-        return {};
+    std::vector<double> out(logits.size());
+    lut_softmax_into(logits.data(), logits.size(), out.data(), exp_table,
+                     div, counts);
+    return out;
+}
 
-    const double max_logit =
-        *std::max_element(logits.begin(), logits.end());
+void
+lut_softmax_into(const double *logits, std::size_t n, double *out,
+                 const PwlTable &exp_table, const DivisionLut &div,
+                 MicroOpCounts *counts)
+{
+    if (n == 0)
+        return;
 
-    std::vector<double> exps(logits.size());
+    const double max_logit = *std::max_element(logits, logits + n);
+
+    // exp values land directly in out; the division then rewrites each
+    // slot, so the routine needs no scratch of its own (and @p out may
+    // alias @p logits: each slot is read before it is written).
     double denom = 0.0;
-    for (std::size_t i = 0; i < logits.size(); ++i) {
-        exps[i] = exp_table.evaluate(logits[i] - max_logit, counts);
-        denom += exps[i];
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = exp_table.evaluate(logits[i] - max_logit, counts);
+        denom += out[i];
         if (counts != nullptr)
             counts->adds += 1; // running denominator accumulation
     }
-
-    std::vector<double> out(logits.size());
-    for (std::size_t i = 0; i < logits.size(); ++i)
-        out[i] = div.divide(exps[i], denom, counts);
-    return out;
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = div.divide(out[i], denom, counts);
 }
 
 } // namespace bfree::lut

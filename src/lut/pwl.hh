@@ -91,6 +91,17 @@ std::vector<double> lut_softmax(const std::vector<double> &logits,
                                 const DivisionLut &div,
                                 MicroOpCounts *counts = nullptr);
 
+/**
+ * Allocation-free lut_softmax: reads @p n logits from @p logits and
+ * writes @p n probabilities to @p out (in-place operation, @p out ==
+ * @p logits, is allowed). Identical arithmetic to the vector overload —
+ * the steady-state inference path uses this form with arena-backed
+ * buffers.
+ */
+void lut_softmax_into(const double *logits, std::size_t n, double *out,
+                      const PwlTable &exp_table, const DivisionLut &div,
+                      MicroOpCounts *counts = nullptr);
+
 } // namespace bfree::lut
 
 #endif // BFREE_LUT_PWL_HH

@@ -278,33 +278,47 @@ DetailedCacheSim::runConv(const dnn::Layer &layer,
                           const std::vector<float> &weights,
                           const std::vector<float> &bias)
 {
+    // Freezing at this sim's precision is bit-identical to quantizing
+    // per use (SymQuant::q is pure); callers running a layer more than
+    // once should freeze once and use the frozen overload directly.
+    return runConv(layer, input,
+                   dnn::freeze_weights(weights.data(), weights.size(),
+                                       opts.bits),
+                   bias);
+}
+
+DetailedCacheResult
+DetailedCacheSim::runConv(const dnn::Layer &layer,
+                          const dnn::FloatTensor &input,
+                          const dnn::QuantizedWeights &weights,
+                          const std::vector<float> &bias)
+{
     if (layer.kind != dnn::LayerKind::Conv)
         bfree_fatal("runConv on a non-conv layer");
     const dnn::FeatureShape out = layer.outputShape();
     const std::size_t patch_len =
         std::size_t(layer.input.c) * layer.kernelH * layer.kernelW;
-    if (weights.size() != std::size_t(out.c) * patch_len)
+    if (weights.count() != std::size_t(out.c) * patch_len)
         bfree_fatal("conv weights: expected ",
                     std::size_t(out.c) * patch_len, " values");
+    if (weights.bits != opts.bits)
+        bfree_fatal("conv weights frozen at ", weights.bits,
+                    "-bit, sim runs ", opts.bits, "-bit");
     if (bias.size() != out.c)
         bfree_fatal("conv bias: expected ", out.c, " values");
 
     const unsigned bits = opts.bits;
     const dnn::SymQuant qi =
         dnn::choose_sym(input.data(), input.size(), bits);
-    const dnn::SymQuant qw =
-        dnn::choose_sym(weights.data(), weights.size(), bits);
+    const dnn::SymQuant &qw = weights.scale;
 
-    // Quantize the filter bank once; layout [outC][inC][kh][kw] already
-    // matches the im2col patch order (same hoisting as the functional
-    // executor, which is bit-identical to quantizing per use).
+    // The frozen filter bank [outC][inC][kh][kw] already matches the
+    // im2col patch order; split it into per-filter spans.
     std::vector<std::vector<std::int8_t>> filters(out.c);
     for (unsigned f = 0; f < out.c; ++f) {
-        filters[f].resize(patch_len);
-        for (std::size_t i = 0; i < patch_len; ++i) {
-            filters[f][i] = static_cast<std::int8_t>(
-                qw.q(weights[std::size_t(f) * patch_len + i]));
-        }
+        const std::int8_t *row =
+            weights.q8.data() + std::size_t(f) * patch_len;
+        filters[f].assign(row, row + patch_len);
     }
 
     // One input wave per output position: the im2col patch in
@@ -363,29 +377,41 @@ DetailedCacheSim::runFc(const dnn::Layer &layer,
                         const std::vector<float> &weights,
                         const std::vector<float> &bias)
 {
+    return runFc(layer, input,
+                 dnn::freeze_weights(weights.data(), weights.size(),
+                                     opts.bits),
+                 bias);
+}
+
+DetailedCacheResult
+DetailedCacheSim::runFc(const dnn::Layer &layer,
+                        const dnn::FloatTensor &input,
+                        const dnn::QuantizedWeights &weights,
+                        const std::vector<float> &bias)
+{
     if (layer.kind != dnn::LayerKind::Fc)
         bfree_fatal("runFc on a non-fc layer");
     if (input.size() != layer.inFeatures)
         bfree_fatal("fc input: expected ", layer.inFeatures, " values");
-    if (weights.size()
+    if (weights.count()
         != std::size_t(layer.outFeatures) * layer.inFeatures)
         bfree_fatal("fc weights: expected outFeatures * inFeatures");
+    if (weights.bits != opts.bits)
+        bfree_fatal("fc weights frozen at ", weights.bits,
+                    "-bit, sim runs ", opts.bits, "-bit");
     if (bias.size() != layer.outFeatures)
         bfree_fatal("fc bias: expected ", layer.outFeatures, " values");
 
     const unsigned bits = opts.bits;
     const dnn::SymQuant qi =
         dnn::choose_sym(input.data(), input.size(), bits);
-    const dnn::SymQuant qw =
-        dnn::choose_sym(weights.data(), weights.size(), bits);
+    const dnn::SymQuant &qw = weights.scale;
 
     std::vector<std::vector<std::int8_t>> filters(layer.outFeatures);
     for (unsigned o = 0; o < layer.outFeatures; ++o) {
-        filters[o].resize(layer.inFeatures);
-        const std::size_t row = std::size_t(o) * layer.inFeatures;
-        for (unsigned i = 0; i < layer.inFeatures; ++i)
-            filters[o][i] =
-                static_cast<std::int8_t>(qw.q(weights[row + i]));
+        const std::int8_t *row =
+            weights.q8.data() + std::size_t(o) * layer.inFeatures;
+        filters[o].assign(row, row + layer.inFeatures);
     }
 
     std::vector<std::vector<std::int8_t>> wave(1);

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "dnn/network.hh"
+#include "dnn/quantize.hh"
 #include "dnn/tensor.hh"
 #include "map/detailed_slice_sim.hh"
 #include "mem/energy_account.hh"
@@ -123,10 +124,21 @@ class DetailedCacheSim
             const std::vector<std::vector<std::int8_t>> &inputs);
 
     /**
-     * One conv layer: symmetric per-tensor quantization (the same
-     * dnn::choose_sym the functional executor uses), im2col waves in
-     * (oh, ow) order, filters across slices, then dequantize + bias.
-     * @p weights is the flat [outC][inC][kh][kw] filter bank.
+     * One conv layer against a frozen filter bank (the primary entry:
+     * a plan freezes the [outC][inC][kh][kw] weights once and every
+     * detailed run reuses them). Input quantization is per run (the
+     * same dnn::choose_sym the functional executor uses), im2col waves
+     * in (oh, ow) order, filters across slices, then dequantize + bias.
+     */
+    DetailedCacheResult runConv(const dnn::Layer &layer,
+                                const dnn::FloatTensor &input,
+                                const dnn::QuantizedWeights &weights,
+                                const std::vector<float> &bias);
+
+    /**
+     * One conv layer from float weights: freezes the filter bank at
+     * this sim's precision and delegates (bit-identical — SymQuant::q
+     * is pure). @p weights is the flat [outC][inC][kh][kw] bank.
      */
     DetailedCacheResult runConv(const dnn::Layer &layer,
                                 const dnn::FloatTensor &input,
@@ -134,9 +146,16 @@ class DetailedCacheSim
                                 const std::vector<float> &bias);
 
     /**
-     * One FC layer: the quantized input vector is the single wave,
-     * weight rows [outFeatures][inFeatures] are the filters.
+     * One FC layer against frozen weights: the quantized input vector
+     * is the single wave, frozen rows [outFeatures][inFeatures] are
+     * the filters.
      */
+    DetailedCacheResult runFc(const dnn::Layer &layer,
+                              const dnn::FloatTensor &input,
+                              const dnn::QuantizedWeights &weights,
+                              const std::vector<float> &bias);
+
+    /** One FC layer from float weights: freeze once, delegate. */
     DetailedCacheResult runFc(const dnn::Layer &layer,
                               const dnn::FloatTensor &input,
                               const std::vector<float> &weights,

@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Execution-plan parity and steady-state guarantees: a compiled
+ * NetworkPlan (weights frozen once) must match the legacy per-call
+ * quantization path float-for-float, the batch runner must be
+ * bit-identical to a sequential loop for any thread count, and the
+ * steady-state path must make zero heap allocations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "core/functional.hh"
+#include "dnn/model_zoo.hh"
+
+// ---------------------------------------------------------------------
+// Global allocation counter: every operator new in this binary bumps
+// g_heap_allocs, so a test can assert that a code region allocated
+// nothing. Counting is the only change; allocation still comes from
+// malloc and failure still throws.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+void *
+counted_alloc(std::size_t n)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+} // namespace
+
+void *operator new(std::size_t n) { return counted_alloc(n); }
+void *operator new[](std::size_t n) { return counted_alloc(n); }
+void *
+operator new(std::size_t n, std::align_val_t a)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                     (n + static_cast<std::size_t>(a) - 1)
+                                         / static_cast<std::size_t>(a)
+                                         * static_cast<std::size_t>(a)))
+        return p;
+    throw std::bad_alloc{};
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void operator delete(void *p, std::align_val_t) noexcept { std::free(p); }
+void
+operator delete(void *p, std::size_t, std::align_val_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace bfree::core;
+using namespace bfree::dnn;
+
+namespace {
+
+void
+expect_stats_eq(const bfree::bce::BceStats &a,
+                const bfree::bce::BceStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.macs, b.macs);
+    EXPECT_EQ(a.configLoads, b.configLoads);
+    EXPECT_EQ(a.counts.lutLookups, b.counts.lutLookups);
+    EXPECT_EQ(a.counts.romLookups, b.counts.romLookups);
+    EXPECT_EQ(a.counts.shifts, b.counts.shifts);
+    EXPECT_EQ(a.counts.adds, b.counts.adds);
+    EXPECT_EQ(a.counts.cycles, b.counts.cycles);
+    for (std::size_t m = 0; m < a.cyclesByMode.size(); ++m)
+        EXPECT_EQ(a.cyclesByMode[m], b.cyclesByMode[m]) << "mode " << m;
+    EXPECT_EQ(a.lutReadsPim, b.lutReadsPim);
+    EXPECT_EQ(a.lutReadsCache, b.lutReadsCache);
+    EXPECT_EQ(a.specialLutEvents, b.specialLutEvents);
+}
+
+void
+expect_bitwise_eq(const FloatTensor &a, const FloatTensor &b)
+{
+    ASSERT_EQ(a.shape(), b.shape());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(),
+                             a.size() * sizeof(float)));
+}
+
+} // namespace
+
+TEST(NetworkPlan, EstimateMatchesCompileSizing)
+{
+    const Network net = make_tiny_cnn();
+    bfree::sim::Rng rng(11);
+    const NetworkWeights weights = random_weights(net, rng);
+
+    for (unsigned bits : {4u, 8u, 16u}) {
+        const PlanStats est = NetworkPlan::estimate(net, bits);
+        const NetworkPlan plan = NetworkPlan::compile(net, weights, bits);
+        EXPECT_EQ(est.arenaBytes, plan.stats().arenaBytes) << bits;
+        EXPECT_EQ(est.activationBytes, plan.stats().activationBytes);
+        EXPECT_EQ(est.peakScratchBytes, plan.stats().peakScratchBytes);
+        EXPECT_EQ(est.maxActivationElems,
+                  plan.stats().maxActivationElems);
+        EXPECT_GT(plan.stats().frozenValues, 0u);
+        EXPECT_GT(plan.stats().frozenWeightBytes, 0u);
+        EXPECT_EQ(plan.inputElems(), net.input().elements());
+        EXPECT_EQ(plan.layers().size(), net.layers().size());
+    }
+}
+
+TEST(NetworkPlan, TinyCnnPlanMatchesLegacyBitwise)
+{
+    const Network net = make_tiny_cnn();
+    bfree::sim::Rng rng(2024);
+    const NetworkWeights weights = random_weights(net, rng);
+
+    for (unsigned bits : {4u, 8u, 16u}) {
+        const NetworkPlan plan = NetworkPlan::compile(net, weights, bits);
+        for (int trial = 0; trial < 3; ++trial) {
+            FloatTensor input({1, 8, 8});
+            input.fillUniform(rng, 0.0, 1.0);
+
+            // The plan (weights frozen once, reused across trials)
+            // against the legacy entry (fresh quantization per call).
+            FunctionalExecutor planned;
+            FunctionalExecutor legacy;
+            const FunctionalResult a = planned.run(plan, input);
+            const FunctionalResult b =
+                legacy.run(net, input, weights, bits);
+
+            expect_bitwise_eq(a.output, b.output);
+            expect_stats_eq(a.stats, b.stats);
+            EXPECT_EQ(planned.energy().total(), legacy.energy().total());
+        }
+        EXPECT_EQ(plan.runsServed(), 3u);
+    }
+}
+
+TEST(NetworkPlan, LstmStepPlanMatchesLegacyBitwise)
+{
+    const Network net = make_lstm(6, 12, 4);
+    ASSERT_EQ(net.layers().size(), 1u);
+    const Layer &cell = net.layers()[0];
+
+    bfree::sim::Rng rng(31);
+    const NetworkWeights weights = random_weights(net, rng);
+    const NetworkPlan plan = NetworkPlan::compile(net, weights, 8);
+
+    LstmState planned_state;
+    planned_state.h.assign(12, 0.0f);
+    planned_state.c.assign(12, 0.0f);
+    LstmState legacy_state = planned_state;
+
+    FunctionalExecutor planned;
+    FunctionalExecutor legacy;
+    for (int t = 0; t < 4; ++t) {
+        std::vector<float> x(6);
+        for (float &v : x)
+            v = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+        planned_state = planned.runLstmStep(plan, 0, x, planned_state);
+        legacy_state =
+            legacy.runLstmStep(cell, x, legacy_state, weights[0], 8);
+        EXPECT_EQ(planned_state.h, legacy_state.h) << "t=" << t;
+        EXPECT_EQ(planned_state.c, legacy_state.c) << "t=" << t;
+    }
+    expect_stats_eq(planned.stats(), legacy.stats());
+}
+
+TEST(NetworkPlan, AttentionPlanMatchesLegacyBitwise)
+{
+    Network net("attn-net", {1, 6, 8});
+    net.add(make_attention("attn", 6, 8, 1));
+
+    bfree::sim::Rng rng(41);
+    const NetworkWeights weights = random_weights(net, rng);
+    const NetworkPlan plan = NetworkPlan::compile(net, weights, 8);
+
+    FloatTensor input({6, 8});
+    input.fillUniform(rng, -1.0, 1.0);
+
+    FunctionalExecutor planned;
+    FunctionalExecutor legacy;
+    const FloatTensor a = planned.runAttention(plan, 0, input);
+    const FloatTensor b =
+        legacy.runAttention(net.layers()[0], input, weights[0], 8);
+
+    expect_bitwise_eq(a, b);
+    expect_stats_eq(planned.stats(), legacy.stats());
+}
+
+TEST(NetworkPlan, QMatmulFrozenMatchesPerCallFreeze)
+{
+    bfree::sim::Rng rng(43);
+    FloatTensor a({5, 7});
+    a.fillUniform(rng, -1.0, 1.0);
+    std::vector<float> w(7 * 3);
+    for (float &v : w)
+        v = static_cast<float>(rng.uniformReal(-1.0, 1.0));
+
+    for (unsigned bits : {8u, 16u}) {
+        const QuantizedWeights frozen =
+            freeze_weights_transposed(w.data(), 7, 3, bits);
+        FunctionalExecutor e1;
+        FunctionalExecutor e2;
+        const FloatTensor got1 = e1.qMatmulFrozen(a, frozen, 7, 3);
+        const FloatTensor got2 = e2.qMatmul(a, w.data(), 7, 3, bits);
+        expect_bitwise_eq(got1, got2);
+        expect_stats_eq(e1.stats(), e2.stats());
+    }
+}
+
+TEST(NetworkPlanBatch, BitIdenticalToSequentialAtAnyThreadCount)
+{
+    const Network net = make_tiny_cnn();
+    bfree::sim::Rng rng(77);
+    const NetworkWeights weights = random_weights(net, rng);
+    const NetworkPlan plan = NetworkPlan::compile(net, weights, 8);
+
+    std::vector<FloatTensor> inputs;
+    for (int i = 0; i < 7; ++i) {
+        FloatTensor in({1, 8, 8});
+        in.fillUniform(rng, 0.0, 1.0);
+        inputs.push_back(std::move(in));
+    }
+
+    // Sequential reference: one long-lived executor, parked after every
+    // input exactly like the batch runner, summing per-input deltas.
+    std::vector<FloatTensor> seq_outputs;
+    bfree::bce::BceStats seq_stats;
+    {
+        FunctionalExecutor exec;
+        for (const FloatTensor &in : inputs) {
+            const bfree::bce::BceStats before = exec.stats();
+            seq_outputs.push_back(exec.run(plan, in).output);
+            exec.parkDatapath();
+            seq_stats += exec.stats() - before;
+        }
+    }
+
+    double energy_at_one = -1.0;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        BatchOptions opts;
+        opts.threads = threads;
+        const BatchResult got = run_functional_batch(plan, inputs, opts);
+
+        ASSERT_EQ(got.outputs.size(), inputs.size()) << threads;
+        for (std::size_t i = 0; i < inputs.size(); ++i)
+            expect_bitwise_eq(got.outputs[i], seq_outputs[i]);
+        expect_stats_eq(got.stats, seq_stats);
+
+        if (energy_at_one < 0.0)
+            energy_at_one = got.energy.total();
+        else
+            EXPECT_EQ(got.energy.total(), energy_at_one) << threads;
+    }
+    EXPECT_GE(plan.runsServed(), inputs.size());
+}
+
+TEST(NetworkPlan, SteadyStateMakesZeroHeapAllocations)
+{
+    const Network net = make_tiny_cnn();
+    bfree::sim::Rng rng(55);
+    const NetworkWeights weights = random_weights(net, rng);
+    const NetworkPlan plan = NetworkPlan::compile(net, weights, 8);
+
+    FloatTensor input({1, 8, 8});
+    input.fillUniform(rng, 0.0, 1.0);
+    std::vector<float> output(plan.outputElems());
+
+    FunctionalExecutor exec;
+    // First run sizes the arena and seeds the memoized datapath tables.
+    exec.runInto(plan, input.data(), plan.inputElems(), output.data(),
+                 output.size());
+
+    const std::uint64_t before =
+        g_heap_allocs.load(std::memory_order_relaxed);
+    const std::uint64_t arena_before = exec.arena().allocCount();
+    exec.runInto(plan, input.data(), plan.inputElems(), output.data(),
+                 output.size());
+    const std::uint64_t after =
+        g_heap_allocs.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << "steady-state runInto must not touch the heap";
+    // The scratch really is served by the arena, not skipped.
+    EXPECT_GT(exec.arena().allocCount(), arena_before);
+    // And the planning pass sized it exactly: the run fills the arena
+    // to the byte, never beyond.
+    EXPECT_EQ(exec.arena().capacity(), plan.stats().arenaBytes);
+    EXPECT_EQ(exec.arena().highWater(), plan.stats().arenaBytes);
+}
+
+TEST(NetworkPlanDeath, CompileRejectsWeightCountMismatch)
+{
+    const Network net = make_tiny_cnn();
+    EXPECT_DEATH((void)NetworkPlan::compile(net, NetworkWeights{}, 8),
+                 "weight entries");
+}
+
+TEST(NetworkPlanDeath, RunIntoRejectsWrongElementCounts)
+{
+    const Network net = make_tiny_cnn();
+    bfree::sim::Rng rng(3);
+    const NetworkWeights weights = random_weights(net, rng);
+    const NetworkPlan plan = NetworkPlan::compile(net, weights, 8);
+
+    FunctionalExecutor exec;
+    std::vector<float> in(plan.inputElems() - 1);
+    std::vector<float> out(plan.outputElems());
+    EXPECT_DEATH(exec.runInto(plan, in.data(), in.size(), out.data(),
+                              out.size()),
+                 "input");
+}

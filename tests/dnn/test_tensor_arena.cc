@@ -1,0 +1,98 @@
+/**
+ * @file
+ * TensorArena: alignment, marker rewind, high-water accounting and the
+ * overflow panic that backs the zero-allocation steady-state contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "dnn/tensor_arena.hh"
+
+using bfree::dnn::TensorArena;
+
+TEST(TensorArena, PaddedBytesRoundsToAlignment)
+{
+    EXPECT_EQ(TensorArena::paddedBytes<float>(0), 0u);
+    EXPECT_EQ(TensorArena::paddedBytes<float>(1), TensorArena::alignment);
+    EXPECT_EQ(TensorArena::paddedBytes<float>(16), 64u);
+    EXPECT_EQ(TensorArena::paddedBytes<float>(17), 128u);
+    EXPECT_EQ(TensorArena::paddedBytes<std::int8_t>(64), 64u);
+    EXPECT_EQ(TensorArena::paddedBytes<std::int8_t>(65), 128u);
+    EXPECT_EQ(TensorArena::paddedBytes<double>(8), 64u);
+}
+
+TEST(TensorArena, AllocationsAreCacheLineAligned)
+{
+    TensorArena arena;
+    arena.reserve(1024);
+    const auto aligned = [](const void *p) {
+        return reinterpret_cast<std::uintptr_t>(p)
+                   % TensorArena::alignment
+               == 0;
+    };
+    EXPECT_TRUE(aligned(arena.alloc<std::int8_t>(3)));
+    EXPECT_TRUE(aligned(arena.alloc<float>(5)));
+    EXPECT_TRUE(aligned(arena.alloc<double>(7)));
+    EXPECT_EQ(arena.used(), 3 * TensorArena::alignment);
+}
+
+TEST(TensorArena, MarkReleaseRewindsAndReusesSpace)
+{
+    TensorArena arena;
+    arena.reserve(4 * TensorArena::alignment);
+
+    float *base = arena.alloc<float>(16);
+    const TensorArena::Marker m = arena.mark();
+
+    float *scratch1 = arena.alloc<float>(16);
+    arena.release(m);
+    float *scratch2 = arena.alloc<float>(16);
+
+    // The released region is handed out again: ping-pong reuse.
+    EXPECT_EQ(scratch1, scratch2);
+    EXPECT_NE(base, scratch1);
+    EXPECT_EQ(arena.used(), 2 * TensorArena::alignment);
+}
+
+TEST(TensorArena, HighWaterAndAllocCountAccumulate)
+{
+    TensorArena arena;
+    arena.reserve(8 * TensorArena::alignment);
+
+    arena.alloc<float>(16); // 1 line
+    const TensorArena::Marker m = arena.mark();
+    arena.alloc<float>(48); // +3 lines -> high water 4
+    arena.release(m);
+    arena.alloc<float>(16); // back to 2 lines used
+
+    EXPECT_EQ(arena.used(), 2 * TensorArena::alignment);
+    EXPECT_EQ(arena.highWater(), 4 * TensorArena::alignment);
+    EXPECT_EQ(arena.allocCount(), 3u);
+
+    arena.reset();
+    EXPECT_EQ(arena.used(), 0u);
+    // reset keeps capacity and the high-water mark.
+    EXPECT_EQ(arena.highWater(), 4 * TensorArena::alignment);
+    EXPECT_EQ(arena.capacity(), 8 * TensorArena::alignment);
+}
+
+TEST(TensorArena, ReserveWithinCapacityKeepsBlock)
+{
+    TensorArena arena;
+    arena.reserve(1024);
+    float *p = arena.alloc<float>(4);
+    *p = 1.0f;
+    arena.reset();
+    arena.reserve(512); // no-op: within capacity
+    EXPECT_EQ(arena.alloc<float>(4), p);
+}
+
+TEST(TensorArenaDeath, OverflowPanicsInsteadOfSpilling)
+{
+    TensorArena arena;
+    arena.reserve(TensorArena::alignment);
+    arena.alloc<std::int8_t>(TensorArena::alignment);
+    EXPECT_DEATH(arena.alloc<std::int8_t>(1), "arena");
+}

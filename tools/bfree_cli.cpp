@@ -9,6 +9,7 @@
  *   bfree_cli --network lstm --stats
  */
 
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -16,8 +17,10 @@
 #include <optional>
 
 #include "core/bfree.hh"
+#include "core/network_plan.hh"
 #include "core/report.hh"
 #include "core/stats_export.hh"
+#include "dnn/layer.hh"
 #include "dnn/quantize.hh"
 #include "sim/parallel.hh"
 
@@ -42,6 +45,10 @@ usage(std::ostream &os)
           "                    sweep (default: hardware concurrency)\n"
           "  --lint            statically verify the compiled kernels\n"
           "                    and exit (non-zero on errors)\n"
+          "  --plan-stats      compile a functional execution plan and\n"
+          "                    print its footprint (arena bytes,\n"
+          "                    per-layer scratch, frozen weights,\n"
+          "                    amortization counts), then exit\n"
           "  --describe        print the network's structure and exit\n"
           "  --layers          print the per-layer table\n"
           "  --csv             emit per-layer CSV instead of text\n"
@@ -86,6 +93,7 @@ main(int argc, char **argv)
     bool csv = false;
     bool stats = false;
     bool lint = false;
+    bool planStats = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -132,6 +140,8 @@ main(int argc, char **argv)
             baseline = next();
         else if (arg == "--lint")
             lint = true;
+        else if (arg == "--plan-stats")
+            planStats = true;
         else if (arg == "--describe")
             describe = true;
         else if (arg == "--layers")
@@ -197,6 +207,93 @@ main(int argc, char **argv)
         for (const verify::Diagnostic &d : report.diagnostics())
             std::cout << "  " << d.toString() << "\n";
         return report.ok() ? 0 : 1;
+    }
+
+    if (planStats) {
+        // Plans are uniform-precision; "mixed" falls back to int8.
+        const unsigned bits = (precision == "4") ? 4u : 8u;
+        core::PlanStats probe;
+        if (!core::NetworkPlan::tryEstimate(net, bits, probe)) {
+            std::cout << net.name()
+                      << ": no execution plan — the flattened layer "
+                         "list cannot be planned (branched topology, "
+                         "or a layer kind the functional path does "
+                         "not execute)\n";
+            return 0;
+        }
+
+        sim::Rng rng(42);
+        const core::NetworkWeights weights =
+            core::random_weights(net, rng);
+        const core::NetworkPlan plan =
+            acc.compilePlan(net, weights, bits);
+        const core::PlanStats &ps = plan.stats();
+
+        std::printf("execution plan: %s @ int%u\n", net.name().c_str(),
+                    bits);
+        std::printf("%-22s %-9s %10s %10s %10s %9s\n", "layer", "kind",
+                    "in", "out", "frozen", "scratchB");
+        bool executable = true;
+        for (const core::PlannedLayer &pl : plan.layers()) {
+            std::uint64_t frozen = 0;
+            for (const dnn::QuantizedWeights &f : pl.frozen)
+                frozen += f.count();
+            std::printf("%-22s %-9s %10zu %10zu %10llu %9zu\n",
+                        pl.layer.name.c_str(),
+                        dnn::layer_kind_name(pl.layer.kind), pl.inElems,
+                        pl.outElems,
+                        static_cast<unsigned long long>(frozen),
+                        pl.scratchBytes);
+            switch (pl.layer.kind) {
+              case dnn::LayerKind::Conv:
+              case dnn::LayerKind::Fc:
+              case dnn::LayerKind::Relu:
+              case dnn::LayerKind::Sigmoid:
+              case dnn::LayerKind::Tanh:
+              case dnn::LayerKind::MaxPool:
+              case dnn::LayerKind::AvgPool:
+              case dnn::LayerKind::Softmax:
+                break;
+              default:
+                // Plannable for sizing, but only runnable standalone
+                // (e.g. an LSTM cell via runLstmStep).
+                executable = false;
+                break;
+            }
+        }
+        std::printf("arena: %zu B (2 x %zu B activations + %zu B peak "
+                    "scratch, %zu-element peak activation)\n",
+                    ps.arenaBytes, ps.activationBytes / 2,
+                    ps.peakScratchBytes, ps.maxActivationElems);
+        std::printf("frozen weights: %zu B (%llu values quantized once "
+                    "at compile)\n",
+                    ps.frozenWeightBytes,
+                    static_cast<unsigned long long>(ps.frozenValues));
+
+        // Amortization demo: run a batch through the plan so the reuse
+        // counter is visible. Skipped when a layer only runs standalone
+        // or the network is too large to execute functionally here.
+        if (executable && net.totalMacs() <= (1ull << 26)) {
+            std::vector<dnn::FloatTensor> inputs;
+            for (unsigned i = 0; i < std::max(batch, 1u); ++i) {
+                dnn::FloatTensor in({net.input().c, net.input().h,
+                                     net.input().w});
+                in.fillUniform(rng, 0.0, 1.0);
+                inputs.push_back(std::move(in));
+            }
+            (void)acc.runFunctionalBatch(plan, inputs, threads);
+            std::printf("amortization: %llu inference(s) served from "
+                        "one compile\n",
+                        static_cast<unsigned long long>(
+                            plan.runsServed()));
+        } else {
+            std::printf("amortization: functional demo run skipped "
+                        "(%s)\n",
+                        executable ? "network too large to execute "
+                                     "functionally here"
+                                   : "layer only runs standalone");
+        }
+        return 0;
     }
 
     // The main run and every requested baseline are independent jobs;
