@@ -566,12 +566,26 @@ run_functional_batch(const NetworkPlan &plan,
                      const std::vector<dnn::FloatTensor> &inputs,
                      const BatchOptions &opts)
 {
+    std::vector<const dnn::FloatTensor *> borrowed;
+    borrowed.reserve(inputs.size());
+    for (const dnn::FloatTensor &in : inputs)
+        borrowed.push_back(&in);
+    return run_functional_batch(plan, borrowed, opts);
+}
+
+BatchResult
+run_functional_batch(const NetworkPlan &plan,
+                     const std::vector<const dnn::FloatTensor *> &inputs,
+                     const BatchOptions &opts)
+{
     BatchResult result;
     const std::size_t n = inputs.size();
     result.outputs.reserve(n);
-    for (const dnn::FloatTensor &in : inputs) {
-        if (in.size() != plan.inputElems())
-            bfree_fatal("batch input of ", in.size(), " elements, plan "
+    for (const dnn::FloatTensor *in : inputs) {
+        if (in == nullptr)
+            bfree_fatal("null input tensor in batch dispatch");
+        if (in->size() != plan.inputElems())
+            bfree_fatal("batch input of ", in->size(), " elements, plan "
                         "expects ", plan.inputElems());
         result.outputs.emplace_back(plan.outputShape());
     }
@@ -600,7 +614,7 @@ run_functional_batch(const NetworkPlan &plan,
             FunctionalExecutor exec(opts.geom, opts.tech, opts.tier);
             for (std::size_t i = begin; i < end; ++i) {
                 const bce::BceStats before = exec.stats();
-                exec.runInto(plan, inputs[i].data(), inputs[i].size(),
+                exec.runInto(plan, inputs[i]->data(), inputs[i]->size(),
                              result.outputs[i].data(),
                              result.outputs[i].size());
                 // Park the datapath back in conv mode INSIDE the

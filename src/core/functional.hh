@@ -256,6 +256,18 @@ BatchResult run_functional_batch(const NetworkPlan &plan,
                                  const std::vector<dnn::FloatTensor> &inputs,
                                  const BatchOptions &opts = {});
 
+/**
+ * The dispatch hook the serving layer uses: the same batched run over
+ * borrowed inputs (no copies — the caller keeps ownership, e.g. of
+ * tensors still held by queued requests). Null pointers are fatal.
+ * Identical determinism guarantee to the owning overload, which
+ * delegates here.
+ */
+BatchResult
+run_functional_batch(const NetworkPlan &plan,
+                     const std::vector<const dnn::FloatTensor *> &inputs,
+                     const BatchOptions &opts = {});
+
 } // namespace bfree::core
 
 #endif // BFREE_CORE_FUNCTIONAL_HH

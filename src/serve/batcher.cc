@@ -1,0 +1,60 @@
+#include "serve/batcher.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace bfree::serve {
+
+ContinuousBatcher::ContinuousBatcher(RequestQueue &queue,
+                                     BatcherConfig cfg)
+    : queue(queue), cfg(cfg)
+{
+    if (cfg.maxBatch == 0)
+        bfree_fatal("continuous batcher needs maxBatch >= 1");
+}
+
+sim::Tick
+ContinuousBatcher::nextDispatchTick(sim::Tick now) const
+{
+    const std::size_t depth = queue.depth();
+    if (depth == 0)
+        return sim::max_tick;
+    // A full batch releases immediately; a partial one when the oldest
+    // request's window expires (which may already have passed).
+    sim::Tick trigger = now;
+    if (depth < cfg.maxBatch) {
+        const sim::Tick oldest = queue.oldestEnqueueTick();
+        trigger = std::max(now, oldest + cfg.windowTicks);
+    }
+    // Either way, not before the in-flight batch completes.
+    return std::max(trigger, inFlightUntil);
+}
+
+std::vector<Request>
+ContinuousBatcher::tryForm(sim::Tick now)
+{
+    std::vector<Request> batch;
+    if (busy(now))
+        return batch;
+    const std::size_t depth = queue.depth();
+    if (depth == 0)
+        return batch;
+    const bool full = depth >= cfg.maxBatch;
+    const bool windowExpired =
+        now >= queue.oldestEnqueueTick() + cfg.windowTicks;
+    if (!full && !windowExpired)
+        return batch;
+    queue.popUpTo(cfg.maxBatch, batch);
+    for (Request &r : batch)
+        r.dispatchTick = now;
+    return batch;
+}
+
+void
+ContinuousBatcher::noteDispatch(sim::Tick completeTick)
+{
+    inFlightUntil = completeTick;
+}
+
+} // namespace bfree::serve

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The continuous batcher: merges queued arrivals into the next batch.
+ *
+ * Classic fixed fan-out serves whatever was present when the server
+ * went idle; continuous batching instead lets every request that
+ * arrived while the previous batch was in flight join the next one,
+ * up to a configured occupancy. Two triggers release a batch:
+ *
+ *  - the queue holds maxBatch requests (a full batch is never delayed);
+ *  - the oldest waiting request has waited windowTicks (a lone request
+ *    is never starved — when the window expires it goes out alone).
+ *
+ * Both triggers are suppressed while a batch is in flight; at the
+ * in-flight batch's completion tick everything waiting merges into the
+ * next batch. The batcher holds no clock of its own: every decision is
+ * a pure function of (now, queue contents, in-flight state), so a
+ * replayed trace reproduces batch compositions byte-for-byte.
+ */
+
+#ifndef BFREE_SERVE_BATCHER_HH
+#define BFREE_SERVE_BATCHER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/types.hh"
+
+#include "serve/queue.hh"
+#include "serve/request.hh"
+
+namespace bfree::serve {
+
+/** Batch-forming knobs. */
+struct BatcherConfig
+{
+    /** Occupancy cap per dispatched batch. */
+    std::size_t maxBatch = 8;
+
+    /** Ticks the oldest request may wait before a partial batch goes
+     *  out anyway. */
+    sim::Tick windowTicks = 64;
+};
+
+/** Decides when the next batch forms and what goes into it. */
+class ContinuousBatcher
+{
+  public:
+    ContinuousBatcher(RequestQueue &queue, BatcherConfig cfg);
+
+    const BatcherConfig &config() const { return cfg; }
+
+    /** True while a dispatched batch has not yet completed at @p now. */
+    bool busy(sim::Tick now) const { return now < inFlightUntil; }
+
+    /** Completion tick of the most recently dispatched batch (0 when
+     *  nothing has been dispatched yet); the server is busy while
+     *  now < busyUntil(). */
+    sim::Tick
+    busyUntil() const
+    {
+        return inFlightUntil;
+    }
+
+    /**
+     * Earliest tick >= @p now at which a batch could be released,
+     * given what is queued right now; max_tick when nothing waits.
+     * The replay engine advances its clock to the minimum of this and
+     * the next arrival.
+     */
+    sim::Tick nextDispatchTick(sim::Tick now) const;
+
+    /**
+     * Release a batch at @p now if a trigger fires: pops up to
+     * maxBatch requests (FIFO), stamps their dispatchTick and returns
+     * them. Returns an empty vector when no trigger fires (in flight,
+     * empty queue, or partial batch still inside its window).
+     */
+    std::vector<Request> tryForm(sim::Tick now);
+
+    /** Mark the just-dispatched batch in flight until @p completeTick. */
+    void noteDispatch(sim::Tick completeTick);
+
+  private:
+    RequestQueue &queue;
+    const BatcherConfig cfg;
+
+    /** Completion tick of the batch in flight; 0 when idle. */
+    sim::Tick inFlightUntil = 0;
+};
+
+} // namespace bfree::serve
+
+#endif // BFREE_SERVE_BATCHER_HH

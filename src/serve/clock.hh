@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The serving layer's injected clock.
+ *
+ * Nothing in src/serve reads wall-clock time. Every component takes a
+ * VirtualClock supplied by its driver — the trace-replay engine in
+ * steady control of simulated time, or a test advancing it by hand —
+ * so every scheduling decision (admission stamp, window expiry, batch
+ * dispatch, completion) is a pure function of the arrival trace and
+ * the configuration, replayable byte-for-byte.
+ *
+ * Serve ticks are an abstract scheduler unit, not the picosecond
+ * sim::Tick of the event engine: the replay engine maps modelled BCE
+ * cycles onto them through ServeConfig::cyclesPerTick. The underlying
+ * integer type is shared (sim::Tick) so arithmetic and sentinels
+ * (max_tick) carry over.
+ */
+
+#ifndef BFREE_SERVE_CLOCK_HH
+#define BFREE_SERVE_CLOCK_HH
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace bfree::serve {
+
+/** A monotonically advancing virtual clock owned by the driver. */
+class VirtualClock
+{
+  public:
+    explicit VirtualClock(sim::Tick start = 0) : tick(start) {}
+
+    /** Current virtual time. */
+    sim::Tick now() const { return tick; }
+
+    /** Jump forward to @p t; going backwards is a bug in the driver. */
+    void
+    advanceTo(sim::Tick t)
+    {
+        if (t < tick)
+            bfree_panic("serve clock moved backwards: ", tick, " -> ", t);
+        tick = t;
+    }
+
+    /** Advance by @p delta ticks. */
+    void advanceBy(sim::Tick delta) { tick += delta; }
+
+  private:
+    sim::Tick tick;
+};
+
+} // namespace bfree::serve
+
+#endif // BFREE_SERVE_CLOCK_HH

@@ -1,0 +1,85 @@
+#include "serve/queue.hh"
+
+#include "sim/logging.hh"
+
+namespace bfree::serve {
+
+const char *
+admit_result_name(AdmitResult r)
+{
+    switch (r) {
+      case AdmitResult::Admitted:
+        return "admitted";
+      case AdmitResult::RejectedQueueFull:
+        return "queue_full";
+      case AdmitResult::RejectedClosed:
+        return "closed";
+      case AdmitResult::RejectedZeroDeadline:
+        return "zero_deadline";
+    }
+    return "unknown";
+}
+
+RequestQueue::RequestQueue(std::size_t maxDepth) : bound(maxDepth)
+{
+    if (maxDepth == 0)
+        bfree_fatal("request queue needs a depth bound >= 1");
+}
+
+AdmitResult
+RequestQueue::tryEnqueue(Request &r, sim::Tick now)
+{
+    if (r.deadlineTicks == 0)
+        return AdmitResult::RejectedZeroDeadline;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (isClosed)
+        return AdmitResult::RejectedClosed;
+    if (waiting.size() >= bound)
+        return AdmitResult::RejectedQueueFull;
+    r.enqueueTick = now;
+    waiting.push_back(std::move(r));
+    return AdmitResult::Admitted;
+}
+
+std::size_t
+RequestQueue::popUpTo(std::size_t maxCount, std::vector<Request> &out)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::size_t popped = 0;
+    while (popped < maxCount && !waiting.empty()) {
+        out.push_back(std::move(waiting.front()));
+        waiting.pop_front();
+        ++popped;
+    }
+    return popped;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return waiting.size();
+}
+
+sim::Tick
+RequestQueue::oldestEnqueueTick() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return waiting.empty() ? sim::max_tick : waiting.front().enqueueTick;
+}
+
+void
+RequestQueue::close()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    isClosed = true;
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return isClosed;
+}
+
+} // namespace bfree::serve

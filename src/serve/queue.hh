@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A bounded, thread-safe request queue with admission control.
+ *
+ * The queue is the only mutable state shared between producers (load
+ * generators, RPC handlers) and the batcher, so it owns the one lock
+ * in the serving layer. Admission is decided under that lock and the
+ * outcome is returned to the caller with a reason — a full queue
+ * rejects (bounded memory, bounded queueing delay), a closed queue
+ * rejects (drain for shutdown), and a zero-tick deadline rejects
+ * (service takes at least one tick, so admitting it manufactures a
+ * guaranteed SLO miss).
+ *
+ * Replay determinism does not come from the lock: the trace-replay
+ * engine feeds the queue from a single driver thread in trace order,
+ * so FIFO order is the arrival order by construction. The lock makes
+ * the same queue safe for live multi-producer use (exercised under
+ * TSan in tests/serve).
+ */
+
+#ifndef BFREE_SERVE_QUEUE_HH
+#define BFREE_SERVE_QUEUE_HH
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "sim/types.hh"
+
+#include "serve/request.hh"
+
+namespace bfree::serve {
+
+/** Admission outcome; everything but Admitted is a rejection. */
+enum class AdmitResult
+{
+    Admitted,
+    RejectedQueueFull,
+    RejectedClosed,
+    RejectedZeroDeadline,
+};
+
+/** Stable lower-case token for logs and stats. */
+const char *admit_result_name(AdmitResult r);
+
+/** Bounded FIFO of admitted requests. */
+class RequestQueue
+{
+  public:
+    /** @param maxDepth Admission bound; 0 is a configuration error. */
+    explicit RequestQueue(std::size_t maxDepth);
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Admit @p r at time @p now, stamping its enqueueTick on success.
+     * On rejection @p r is left untouched (the caller may retry or
+     * account it).
+     */
+    AdmitResult tryEnqueue(Request &r, sim::Tick now);
+
+    /**
+     * Pop up to @p maxCount requests in FIFO order into @p out
+     * (appended). Returns the number popped.
+     */
+    std::size_t popUpTo(std::size_t maxCount, std::vector<Request> &out);
+
+    /** Requests currently waiting. */
+    std::size_t depth() const;
+
+    /** Admission bound this queue was built with. */
+    std::size_t maxDepth() const { return bound; }
+
+    /**
+     * Enqueue tick of the oldest waiting request; max_tick when the
+     * queue is empty. The batcher's window timer reads this.
+     */
+    sim::Tick oldestEnqueueTick() const;
+
+    /** Stop admitting; waiting requests can still be drained. */
+    void close();
+
+    /** True once close() has been called. */
+    bool closed() const;
+
+  private:
+    const std::size_t bound;
+    mutable std::mutex mutex;
+    std::deque<Request> waiting;
+    bool isClosed = false;
+};
+
+} // namespace bfree::serve
+
+#endif // BFREE_SERVE_QUEUE_HH

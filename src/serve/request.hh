@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The unit of work a serving front-end moves around: one inference
+ * request with its lifecycle timestamps.
+ *
+ * Timestamps are serve-clock ticks (see clock.hh), stamped at the
+ * three lifecycle points the SLO accounting needs: admission into the
+ * queue, dispatch as part of a batch, and completion when the batch's
+ * modelled service time elapses. Latencies derive from the stamps
+ * (queue wait = dispatch - enqueue, total = complete - enqueue), so a
+ * replayed trace reproduces every latency bit-for-bit.
+ */
+
+#ifndef BFREE_SERVE_REQUEST_HH
+#define BFREE_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "dnn/tensor.hh"
+#include "sim/types.hh"
+
+namespace bfree::serve {
+
+/** Sentinel: the request has no deadline. */
+constexpr sim::Tick no_deadline = std::numeric_limits<sim::Tick>::max();
+
+/** One inference request travelling queue -> batch -> completion. */
+struct Request
+{
+    /** Caller-assigned id; batch logs and outputs are keyed by it. */
+    std::uint64_t id = 0;
+
+    /** Input activations; must match the plan's inputElems. */
+    dnn::FloatTensor input;
+
+    /**
+     * Relative deadline in ticks from enqueue; no_deadline disables
+     * the SLO check. An explicit 0 can never be met (service takes at
+     * least one tick) and is rejected at admission.
+     */
+    sim::Tick deadlineTicks = no_deadline;
+
+    /** Lifecycle stamps, filled in by the serving engine. */
+    sim::Tick enqueueTick = 0;
+    sim::Tick dispatchTick = 0;
+    sim::Tick completeTick = 0;
+
+    /** True when the request has a deadline and missed it. */
+    bool
+    missedDeadline() const
+    {
+        return deadlineTicks != no_deadline
+               && completeTick > enqueueTick + deadlineTicks;
+    }
+};
+
+} // namespace bfree::serve
+
+#endif // BFREE_SERVE_REQUEST_HH

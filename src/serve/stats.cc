@@ -1,0 +1,47 @@
+#include "serve/stats.hh"
+
+namespace bfree::serve {
+
+void
+ServeStats::recordAdmission(AdmitResult r)
+{
+    ++offered;
+    switch (r) {
+      case AdmitResult::Admitted:
+        ++admitted;
+        break;
+      case AdmitResult::RejectedQueueFull:
+        ++rejectedFull;
+        break;
+      case AdmitResult::RejectedClosed:
+        ++rejectedClosed;
+        break;
+      case AdmitResult::RejectedZeroDeadline:
+        ++rejectedZeroDeadline;
+        break;
+    }
+}
+
+void
+ServeStats::recordDispatch(std::size_t occupancy)
+{
+    ++batches;
+    batchedRequests += static_cast<double>(occupancy);
+    batchOccupancy.sample(static_cast<double>(occupancy));
+}
+
+void
+ServeStats::recordCompletion(const Request &r)
+{
+    ++completed;
+    queueWaitTicks.sample(
+        static_cast<double>(r.dispatchTick - r.enqueueTick));
+    serviceTicks.sample(
+        static_cast<double>(r.completeTick - r.dispatchTick));
+    latencyTicks.sample(
+        static_cast<double>(r.completeTick - r.enqueueTick));
+    if (r.missedDeadline())
+        ++deadlineMisses;
+}
+
+} // namespace bfree::serve

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * SLO accounting for the serving front-end, on the sim::stats package.
+ *
+ * One ServeStats group holds everything the open-loop methodology
+ * reports: admission counters by outcome, batch counters and occupancy,
+ * and the three latency histograms (queue wait, service, total) the
+ * percentile readouts interpolate from. Being ordinary sim stats, the
+ * group dumps through StatGroup::dumpAll (so the CI 1-vs-8-thread
+ * byte-diff covers histogram stats) and merges through
+ * StatGroup::mergeFrom (shard-and-fold aggregation).
+ */
+
+#ifndef BFREE_SERVE_STATS_HH
+#define BFREE_SERVE_STATS_HH
+
+#include <cstddef>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+#include "serve/queue.hh"
+#include "serve/request.hh"
+
+namespace bfree::serve {
+
+/** Histogram shape knobs (fixed bounds keep merges associative). */
+struct ServeStatsConfig
+{
+    /** Upper edge of the latency histograms, in ticks (samples above
+     *  clamp into the last bin; percentiles then saturate there). */
+    double latencyHistMaxTicks = 1 << 20;
+
+    /** Bins of each latency histogram. */
+    std::size_t latencyBins = 128;
+
+    /** Upper edge (exclusive) of the batch-occupancy histogram; set
+     *  it to maxBatch + 1 so each occupancy gets its own bin. */
+    std::size_t occupancyBins = 65;
+};
+
+/** The serving front-end's statistics group. */
+class ServeStats : public sim::StatGroup
+{
+  public:
+    /** A root group named "serve". */
+    explicit ServeStats(const ServeStatsConfig &cfg = {})
+        : sim::StatGroup("serve"), cfg_(cfg)
+    {}
+
+    /** A child group named "serve" under @p parent. */
+    ServeStats(sim::StatGroup &parent, const ServeStatsConfig &cfg = {})
+        : sim::StatGroup(parent, "serve"), cfg_(cfg)
+    {}
+
+    /** Account one admission outcome. */
+    void recordAdmission(AdmitResult r);
+
+    /** Account one dispatched batch of @p occupancy requests. */
+    void recordDispatch(std::size_t occupancy);
+
+    /** Account one completed request (stamps must be filled in). */
+    void recordCompletion(const Request &r);
+
+    /** Total latency percentile in ticks (p in [0, 1]). */
+    double
+    latencyPercentile(double p) const
+    {
+        return latencyTicks.percentile(p);
+    }
+
+    /** Queue-wait percentile in ticks. */
+    double
+    queueWaitPercentile(double p) const
+    {
+        return queueWaitTicks.percentile(p);
+    }
+
+  private:
+    /** Kept before the stats so their initializers can read it. */
+    const ServeStatsConfig cfg_;
+
+  public:
+    // Counters (public: read in tests and report emitters).
+    sim::Scalar offered{*this, "offered", "admission attempts"};
+    sim::Scalar admitted{*this, "admitted", "requests entering the queue"};
+    sim::Scalar rejectedFull{*this, "rejected_queue_full",
+                             "rejected: queue at its depth bound"};
+    sim::Scalar rejectedClosed{*this, "rejected_closed",
+                               "rejected: queue closed"};
+    sim::Scalar rejectedZeroDeadline{
+        *this, "rejected_zero_deadline",
+        "rejected: deadline impossible to meet"};
+    sim::Scalar completed{*this, "completed",
+                          "requests served to completion"};
+    sim::Scalar deadlineMisses{*this, "deadline_misses",
+                               "completed after their deadline"};
+    sim::Scalar batches{*this, "batches", "batches dispatched"};
+    sim::Scalar batchedRequests{*this, "batched_requests",
+                                "requests across all batches"};
+
+    // Distributions.
+    sim::Histogram queueWaitTicks{
+        *this, "queue_wait_ticks", "ticks from enqueue to dispatch", 0.0,
+        cfg_.latencyHistMaxTicks, cfg_.latencyBins};
+    sim::Histogram serviceTicks{
+        *this, "service_ticks", "ticks from dispatch to completion", 0.0,
+        cfg_.latencyHistMaxTicks, cfg_.latencyBins};
+    sim::Histogram latencyTicks{
+        *this, "latency_ticks", "ticks from enqueue to completion", 0.0,
+        cfg_.latencyHistMaxTicks, cfg_.latencyBins};
+    sim::Histogram batchOccupancy{
+        *this, "batch_occupancy", "requests per dispatched batch", 0.0,
+        static_cast<double>(cfg_.occupancyBins), cfg_.occupancyBins};
+
+  private:
+    // Derived at dump time so the listing carries the percentiles.
+    sim::Formula p50_{*this, "latency_p50_ticks",
+                      "total latency 50th percentile",
+                      [this] { return latencyTicks.percentile(0.50); }};
+    sim::Formula p95_{*this, "latency_p95_ticks",
+                      "total latency 95th percentile",
+                      [this] { return latencyTicks.percentile(0.95); }};
+    sim::Formula p99_{*this, "latency_p99_ticks",
+                      "total latency 99th percentile",
+                      [this] { return latencyTicks.percentile(0.99); }};
+    sim::Formula missRate_{
+        *this, "deadline_miss_rate",
+        "deadline misses over completed requests", [this] {
+            const double done = completed.value();
+            return done > 0.0 ? deadlineMisses.value() / done : 0.0;
+        }};
+    sim::Formula meanOccupancy_{
+        *this, "mean_batch_occupancy", "requests per batch, mean",
+        [this] {
+            const double b = batches.value();
+            return b > 0.0 ? batchedRequests.value() / b : 0.0;
+        }};
+};
+
+} // namespace bfree::serve
+
+#endif // BFREE_SERVE_STATS_HH

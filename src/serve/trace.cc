@@ -1,0 +1,90 @@
+#include "serve/trace.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace bfree::serve {
+
+sim::Tick
+ArrivalTrace::horizon() const
+{
+    return arrivals.empty() ? 0 : arrivals.back().tick;
+}
+
+namespace {
+
+/** Exponential gap with mean @p mean, rounded up to >= 1 tick. */
+sim::Tick
+exponential_gap(sim::Rng &rng, double mean)
+{
+    // uniformReal is in [0, 1); 1-u is in (0, 1], so the log is finite.
+    const double u = rng.uniformReal(0.0, 1.0);
+    const double gap = -mean * std::log(1.0 - u);
+    return std::max<sim::Tick>(1, static_cast<sim::Tick>(std::ceil(gap)));
+}
+
+} // namespace
+
+ArrivalTrace
+poisson_trace(sim::Rng &rng, std::size_t n, double meanGapTicks,
+              sim::Tick deadlineTicks)
+{
+    if (meanGapTicks <= 0.0)
+        bfree_fatal("poisson_trace needs a positive mean gap, got ",
+                    meanGapTicks);
+    ArrivalTrace trace;
+    trace.arrivals.reserve(n);
+    sim::Tick now = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        now += exponential_gap(rng, meanGapTicks);
+        Arrival a;
+        a.tick = now;
+        a.inputSeed = static_cast<std::uint64_t>(
+            rng.uniformInt(0, std::numeric_limits<std::int64_t>::max()));
+        a.deadlineTicks = deadlineTicks;
+        trace.arrivals.push_back(a);
+    }
+    return trace;
+}
+
+ArrivalTrace
+bursty_trace(sim::Rng &rng, std::size_t n, std::size_t burstSize,
+             double meanBurstGapTicks, sim::Tick deadlineTicks)
+{
+    if (burstSize == 0)
+        bfree_fatal("bursty_trace needs a burst size >= 1");
+    if (meanBurstGapTicks <= 0.0)
+        bfree_fatal("bursty_trace needs a positive mean burst gap, got ",
+                    meanBurstGapTicks);
+    ArrivalTrace trace;
+    trace.arrivals.reserve(n);
+    sim::Tick burstStart = 0;
+    while (trace.arrivals.size() < n) {
+        burstStart += exponential_gap(rng, meanBurstGapTicks);
+        for (std::size_t b = 0;
+             b < burstSize && trace.arrivals.size() < n; ++b) {
+            Arrival a;
+            a.tick = burstStart + b; // back-to-back, one tick apart
+            a.inputSeed = static_cast<std::uint64_t>(rng.uniformInt(
+                0, std::numeric_limits<std::int64_t>::max()));
+            a.deadlineTicks = deadlineTicks;
+            trace.arrivals.push_back(a);
+        }
+        // Keep the next burst strictly after this one's tail.
+        burstStart += burstSize;
+    }
+    return trace;
+}
+
+dnn::FloatTensor
+make_request_input(const core::NetworkPlan &plan, std::uint64_t seed)
+{
+    const dnn::FeatureShape &in = plan.network().input();
+    dnn::FloatTensor t({in.c, in.h, in.w});
+    sim::Rng rng(seed);
+    t.fillUniform(rng, -1.0, 1.0);
+    return t;
+}
+
+} // namespace bfree::serve

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Arrival traces for open-loop load generation.
+ *
+ * A trace is the complete, immutable description of an offered load:
+ * when each request arrives, which synthetic input it carries (as a
+ * seed, so the tensor itself is derived on demand) and its relative
+ * deadline. Traces are produced by seeded generators — Poisson for
+ * memoryless open-loop load, bursty for the pathological case — and
+ * replayed by the ServeEngine. Because the trace is data, not a
+ * stream of wall-clock events, the same trace replays to the same
+ * schedule on any machine at any thread count.
+ */
+
+#ifndef BFREE_SERVE_TRACE_HH
+#define BFREE_SERVE_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/network_plan.hh"
+#include "dnn/tensor.hh"
+#include "sim/random.hh"
+#include "sim/types.hh"
+
+#include "serve/request.hh"
+
+namespace bfree::serve {
+
+/** One arrival in a trace. */
+struct Arrival
+{
+    /** Absolute arrival tick. */
+    sim::Tick tick = 0;
+
+    /** Seed the request's input tensor derives from. */
+    std::uint64_t inputSeed = 0;
+
+    /** Relative deadline (no_deadline = unconstrained). */
+    sim::Tick deadlineTicks = no_deadline;
+};
+
+/** A whole offered load, sorted by arrival tick. */
+struct ArrivalTrace
+{
+    std::vector<Arrival> arrivals;
+
+    std::size_t size() const { return arrivals.size(); }
+
+    /** Last arrival tick (0 for an empty trace). */
+    sim::Tick horizon() const;
+};
+
+/**
+ * Poisson (memoryless) arrivals: @p n requests whose inter-arrival
+ * gaps are exponential with mean @p meanGapTicks, rounded up so time
+ * always advances. Input seeds are drawn from the same @p rng, so one
+ * seed reproduces the whole trace, inputs included.
+ */
+ArrivalTrace poisson_trace(sim::Rng &rng, std::size_t n,
+                           double meanGapTicks,
+                           sim::Tick deadlineTicks = no_deadline);
+
+/**
+ * Bursty arrivals: bursts of @p burstSize back-to-back requests (one
+ * tick apart) separated by exponential gaps with mean
+ * @p meanBurstGapTicks. The worst case for a bounded queue: offered
+ * load arrives faster than any batcher can drain within a burst.
+ */
+ArrivalTrace bursty_trace(sim::Rng &rng, std::size_t n,
+                          std::size_t burstSize,
+                          double meanBurstGapTicks,
+                          sim::Tick deadlineTicks = no_deadline);
+
+/**
+ * The synthetic input tensor for @p seed, shaped for @p plan: a
+ * deterministic function of the seed alone, so the parity tests can
+ * regenerate the exact tensors a replay served.
+ */
+dnn::FloatTensor make_request_input(const core::NetworkPlan &plan,
+                                    std::uint64_t seed);
+
+} // namespace bfree::serve
+
+#endif // BFREE_SERVE_TRACE_HH

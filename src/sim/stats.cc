@@ -134,6 +134,25 @@ Histogram::mean() const
     return numSamples > 0.0 ? sum / numSamples : 0.0;
 }
 
+double
+Histogram::percentile(double p) const
+{
+    if (numSamples <= 0.0)
+        return lo;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * numSamples;
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (cumulative + counts[i] >= target && counts[i] > 0.0) {
+            const double frac = (target - cumulative) / counts[i];
+            return lo + width * (static_cast<double>(i) + frac);
+        }
+        cumulative += counts[i];
+    }
+    return hi;
+}
+
 void
 Histogram::dump(std::ostream &os) const
 {

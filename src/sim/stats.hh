@@ -135,6 +135,22 @@ class Histogram : public StatBase
     double samples() const { return numSamples; }
     double mean() const;
 
+    /** Lower edge of the sampling range. */
+    double rangeLo() const { return lo; }
+
+    /** Upper edge of the sampling range. */
+    double rangeHi() const { return hi; }
+
+    /**
+     * The value below which a fraction @p p (in [0, 1]) of the sampled
+     * weight falls, linearly interpolated inside the crossing bin (the
+     * bin's weight is treated as uniformly spread over its width).
+     * Returns rangeLo() for an empty histogram. Out-of-range samples
+     * were clamped into the edge bins, so percentiles never leave
+     * [rangeLo(), rangeHi()].
+     */
+    double percentile(double p) const;
+
     void dump(std::ostream &os) const override;
     void reset() override;
     bool mergeFrom(const StatBase &other) override;

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Batch-forming policy of the continuous batcher: full-batch release,
+ * window expiry (including the lone-request case), in-flight
+ * suppression and arrival merging.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "serve/batcher.hh"
+#include "serve/queue.hh"
+
+using namespace bfree;
+using namespace bfree::serve;
+
+namespace {
+
+void
+admit(RequestQueue &q, std::uint64_t id, sim::Tick now)
+{
+    Request r;
+    r.id = id;
+    ASSERT_EQ(q.tryEnqueue(r, now), AdmitResult::Admitted);
+}
+
+std::vector<std::uint64_t>
+ids_of(const std::vector<Request> &batch)
+{
+    std::vector<std::uint64_t> ids;
+    for (const Request &r : batch)
+        ids.push_back(r.id);
+    return ids;
+}
+
+} // namespace
+
+TEST(ServeBatcher, FullBatchReleasesImmediately)
+{
+    RequestQueue q(32);
+    ContinuousBatcher b(q, {.maxBatch = 4, .windowTicks = 100});
+    for (std::uint64_t i = 0; i < 4; ++i)
+        admit(q, i, 10);
+    EXPECT_EQ(b.nextDispatchTick(10), 10u);
+    const std::vector<Request> batch = b.tryForm(10);
+    EXPECT_EQ(ids_of(batch), (std::vector<std::uint64_t>{0, 1, 2, 3}));
+    for (const Request &r : batch)
+        EXPECT_EQ(r.dispatchTick, 10u);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(ServeBatcher, WindowExpiryReleasesASingleRequest)
+{
+    // The satellite edge case: the batching window expires with one
+    // request waiting — it must go out alone, not starve.
+    RequestQueue q(32);
+    ContinuousBatcher b(q, {.maxBatch = 8, .windowTicks = 10});
+    admit(q, 7, 5);
+    EXPECT_EQ(b.nextDispatchTick(5), 15u);
+    EXPECT_TRUE(b.tryForm(14).empty()); // window still open
+    const std::vector<Request> batch = b.tryForm(15);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0].id, 7u);
+    EXPECT_EQ(batch[0].dispatchTick, 15u);
+}
+
+TEST(ServeBatcher, OversizeQueueDrainsInFifoChunks)
+{
+    RequestQueue q(32);
+    ContinuousBatcher b(q, {.maxBatch = 3, .windowTicks = 100});
+    for (std::uint64_t i = 0; i < 7; ++i)
+        admit(q, i, 0);
+    EXPECT_EQ(ids_of(b.tryForm(0)), (std::vector<std::uint64_t>{0, 1, 2}));
+    b.noteDispatch(5);
+    EXPECT_TRUE(b.tryForm(2).empty()); // in flight
+    EXPECT_EQ(ids_of(b.tryForm(5)), (std::vector<std::uint64_t>{3, 4, 5}));
+    b.noteDispatch(9);
+    // The tail request is partial: released only by its window.
+    EXPECT_TRUE(b.tryForm(9).empty());
+    EXPECT_EQ(b.nextDispatchTick(9), 100u); // enqueue 0 + window 100
+    EXPECT_EQ(ids_of(b.tryForm(100)), (std::vector<std::uint64_t>{6}));
+}
+
+TEST(ServeBatcher, InFlightSuppressionMergesArrivalsIntoNextBatch)
+{
+    // Arrivals during an in-flight batch accumulate and all merge
+    // into the batch formed at the completion tick — the continuous
+    // part of continuous batching.
+    RequestQueue q(32);
+    ContinuousBatcher b(q, {.maxBatch = 8, .windowTicks = 5});
+    admit(q, 0, 0);
+    const std::vector<Request> first = b.tryForm(5); // window expiry
+    ASSERT_EQ(first.size(), 1u);
+    b.noteDispatch(50);
+    EXPECT_TRUE(b.busy(20));
+
+    admit(q, 1, 10);
+    admit(q, 2, 20);
+    admit(q, 3, 49);
+    // Even though request 1's window expired at 15, nothing releases
+    // before the in-flight batch completes at 50.
+    EXPECT_TRUE(b.tryForm(20).empty());
+    EXPECT_EQ(b.nextDispatchTick(20), 50u);
+    EXPECT_EQ(ids_of(b.tryForm(50)), (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(ServeBatcher, EmptyQueueHasNoDispatchTick)
+{
+    RequestQueue q(32);
+    ContinuousBatcher b(q, {.maxBatch = 4, .windowTicks = 10});
+    EXPECT_EQ(b.nextDispatchTick(0), sim::max_tick);
+    EXPECT_TRUE(b.tryForm(0).empty());
+}
+
+TEST(ServeBatcherDeath, ZeroMaxBatchIsFatal)
+{
+    RequestQueue q(4);
+    EXPECT_DEATH(ContinuousBatcher(q, {.maxBatch = 0, .windowTicks = 1}),
+                 "maxBatch");
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Batching must never change results: N requests served through the
+ * continuous batcher produce outputs byte-identical to the same N
+ * inputs pushed through run_functional_batch directly — whatever
+ * batch compositions the schedule happened to form.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/functional.hh"
+#include "core/network_plan.hh"
+#include "dnn/layer.hh"
+#include "dnn/network.hh"
+#include "sim/random.hh"
+
+#include "serve/server.hh"
+#include "serve/trace.hh"
+
+using namespace bfree;
+using namespace bfree::serve;
+
+namespace {
+
+core::NetworkPlan
+make_plan()
+{
+    dnn::Network net("parity-mlp", {16, 1, 1});
+    net.add(dnn::make_fc("fc1", 16, 24));
+    net.add(dnn::make_activation("act1", dnn::LayerKind::Relu,
+                                 {24, 1, 1}));
+    net.add(dnn::make_fc("fc2", 24, 8));
+    net.add(dnn::make_activation("prob", dnn::LayerKind::Softmax,
+                                 {8, 1, 1}));
+    sim::Rng rng(3);
+    const core::NetworkWeights weights = core::random_weights(net, rng);
+    return core::NetworkPlan::compile(net, weights, 8);
+}
+
+bool
+bitwise_equal(const dnn::FloatTensor &a, const dnn::FloatTensor &b)
+{
+    if (a.size() != b.size())
+        return false;
+    return std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+} // namespace
+
+TEST(ServeParity, BatcherOutputsMatchDirectBatchBitwise)
+{
+    const core::NetworkPlan plan = make_plan();
+
+    // A trace that exercises several batch shapes: bursts (full
+    // batches) and stragglers (window-expiry singles).
+    sim::Rng rng(2024);
+    ArrivalTrace trace = bursty_trace(rng, 25, /*burstSize=*/6,
+                                      /*meanBurstGapTicks=*/2000);
+    {
+        sim::Rng tail(99);
+        ArrivalTrace sparse = poisson_trace(tail, 5, 5000);
+        const sim::Tick offset = trace.horizon() + 1000;
+        for (Arrival a : sparse.arrivals) {
+            a.tick += offset;
+            trace.arrivals.push_back(a);
+        }
+    }
+
+    ServeConfig cfg;
+    cfg.queueDepth = 64; // roomy: every request must be admitted
+    cfg.batcher.maxBatch = 4;
+    cfg.batcher.windowTicks = 300;
+    cfg.threads = 2;
+    ServeEngine engine(plan, cfg);
+    const ReplayReport rep = engine.replay(trace);
+
+    ASSERT_EQ(rep.served.size(), trace.size());
+    // Several distinct batch shapes actually occurred.
+    EXPECT_GT(engine.stats().batches.value(), 1.0);
+    EXPECT_LT(engine.stats().batches.value(),
+              static_cast<double>(trace.size()));
+
+    // The same inputs, regenerated from the trace seeds, through the
+    // batch runner in one go.
+    std::vector<dnn::FloatTensor> inputs;
+    inputs.reserve(trace.size());
+    for (const Arrival &a : trace.arrivals)
+        inputs.push_back(make_request_input(plan, a.inputSeed));
+    const core::BatchResult direct =
+        core::run_functional_batch(plan, inputs, {});
+
+    for (std::size_t id = 0; id < trace.size(); ++id) {
+        EXPECT_TRUE(bitwise_equal(rep.outputs[id], direct.outputs[id]))
+            << "output of request " << id
+            << " diverged between the batcher and the direct batch";
+    }
+}
+
+TEST(ServeParity, PointerBatchHookMatchesOwningOverload)
+{
+    const core::NetworkPlan plan = make_plan();
+    sim::Rng rng(7);
+    std::vector<dnn::FloatTensor> inputs;
+    std::vector<const dnn::FloatTensor *> borrowed;
+    for (int i = 0; i < 6; ++i) {
+        dnn::FloatTensor t({16, 1, 1});
+        t.fillUniform(rng, -1.0, 1.0);
+        inputs.push_back(std::move(t));
+    }
+    for (const dnn::FloatTensor &t : inputs)
+        borrowed.push_back(&t);
+
+    const core::BatchResult owning =
+        core::run_functional_batch(plan, inputs, {});
+    const core::BatchResult byPtr =
+        core::run_functional_batch(plan, borrowed, {});
+    ASSERT_EQ(owning.outputs.size(), byPtr.outputs.size());
+    for (std::size_t i = 0; i < owning.outputs.size(); ++i)
+        EXPECT_TRUE(bitwise_equal(owning.outputs[i], byPtr.outputs[i]));
+    EXPECT_EQ(owning.stats.cycles, byPtr.stats.cycles);
+    EXPECT_EQ(owning.stats.macs, byPtr.stats.macs);
+    EXPECT_DOUBLE_EQ(owning.energy.total(), byPtr.energy.total());
+}
