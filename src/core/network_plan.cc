@@ -5,6 +5,7 @@
 #include <string>
 
 #include "sim/logging.hh"
+#include "verify/plan_verifier.hh"
 
 namespace bfree::core {
 
@@ -211,7 +212,8 @@ NetworkPlan::tryEstimate(const dnn::Network &net, unsigned bits,
 
 NetworkPlan
 NetworkPlan::compile(const dnn::Network &net,
-                     const NetworkWeights &weights, unsigned bits)
+                     const NetworkWeights &weights, unsigned bits,
+                     bool verify)
 {
     if (weights.size() != net.layers().size())
         bfree_fatal("plan compile: expected ", net.layers().size(),
@@ -306,6 +308,14 @@ NetworkPlan::compile(const dnn::Network &net,
             plan.stats_.frozenWeightBytes += f.frozenBytes();
             plan.stats_.frozenValues += f.count();
         }
+    }
+
+    // Verify-on-compile, mirroring KernelCompiler: the whole-plan
+    // auditor records its findings instead of aborting; serving
+    // rejects a plan whose report is not ok().
+    if (verify) {
+        const verify::PlanVerifier verifier{tech::CacheGeometry{}};
+        plan.diagnostics_ = verifier.verify(plan);
     }
     return plan;
 }

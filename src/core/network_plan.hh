@@ -36,6 +36,7 @@
 #include "dnn/quantize.hh"
 #include "dnn/tensor_arena.hh"
 #include "sim/random.hh"
+#include "verify/diagnostic.hh"
 
 namespace bfree::core {
 
@@ -116,6 +117,7 @@ class NetworkPlan
         inElems_ = o.inElems_;
         outElems_ = o.outElems_;
         outShape_ = std::move(o.outShape_);
+        diagnostics_ = std::move(o.diagnostics_);
         served_.store(o.served_.load(std::memory_order_relaxed),
                       std::memory_order_relaxed);
         return *this;
@@ -124,11 +126,14 @@ class NetworkPlan
     /**
      * Compile @p net with @p weights at @p bits precision. Weight
      * layouts and sizes are validated here (fatal on mismatch), so the
-     * steady-state path can run unchecked.
+     * steady-state path can run unchecked. With @p verify the whole
+     * plan is additionally audited by verify::PlanVerifier and the
+     * findings recorded in diagnostics() — a plan with
+     * !diagnostics().ok() must not be served.
      */
     static NetworkPlan compile(const dnn::Network &net,
                                const NetworkWeights &weights,
-                               unsigned bits = 8);
+                               unsigned bits = 8, bool verify = true);
 
     /**
      * The dry planning pass alone: shapes, per-layer scratch and the
@@ -149,6 +154,13 @@ class NetworkPlan
 
     const dnn::Network &network() const { return net_; }
     unsigned bits() const { return bits_; }
+
+    /** Findings of the verify-on-compile audit (empty when compiled
+     *  with verify = false). */
+    const verify::VerifyReport &diagnostics() const
+    {
+        return diagnostics_;
+    }
     const std::vector<PlannedLayer> &layers() const { return layers_; }
     const PlanStats &stats() const { return stats_; }
 
@@ -189,6 +201,7 @@ class NetworkPlan
     std::size_t inElems_ = 0;
     std::size_t outElems_ = 0;
     std::vector<std::size_t> outShape_;
+    verify::VerifyReport diagnostics_;
 
     /** Amortization counter; mutable telemetry, not plan state. */
     mutable std::atomic<std::uint64_t> served_{0};

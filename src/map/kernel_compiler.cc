@@ -7,6 +7,7 @@
 #include "lut/mult_lut.hh"
 #include "lut/pwl.hh"
 #include "sim/logging.hh"
+#include "tech/row_layout.hh"
 #include "verify/kernel_verifier.hh"
 
 namespace bfree::map {
@@ -214,24 +215,19 @@ KernelCompiler::compile(const dnn::Layer &layer,
     k.configBlock.iterations = static_cast<std::uint16_t>(
         std::min<std::uint64_t>(k.totalSteps, 0xFFFF));
 
-    // Weight row range, per the canonical sub-array layout (see
-    // verify/kernel_verifier.hh): rows [0, 8) hold the CB region,
-    // the top lutRowsPerSubarray() rows are reserved for LUTs, and a
-    // tile larger than the usable span runs as multiple passes over
-    // the same rows.
+    // Weight row range, per the canonical sub-array layout
+    // (tech/row_layout.hh): the CB region at the bottom, the reserved
+    // LUT rows at the top, and a tile larger than the usable span runs
+    // as multiple passes over the same rows.
     const std::uint64_t tile_bytes =
         k.mapping.weightTiles > 0
             ? (k.mapping.weightBytes + k.mapping.weightTiles - 1)
                   / k.mapping.weightTiles
             : 0;
     if (tile_bytes > 0) {
-        const unsigned base_row =
-            (64 + geom.rowBytes() - 1) / geom.rowBytes();
-        const unsigned last_row = geom.rowsPerPartition
-                                      * geom.partitionsPerSubarray
-                                  - geom.lutRowsPerSubarray();
+        const unsigned base_row = tech::weight_base_row(geom);
         const std::uint64_t usable_bytes =
-            std::uint64_t(last_row - base_row) * geom.rowBytes();
+            tech::usable_weight_bytes(geom);
         const std::uint64_t pass_rows =
             (std::min(tile_bytes, usable_bytes) + geom.rowBytes() - 1)
             / geom.rowBytes();

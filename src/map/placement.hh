@@ -19,6 +19,7 @@
 
 #include "mapping.hh"
 #include "mem/sram_cache.hh"
+#include "tech/row_layout.hh"
 
 namespace bfree::map {
 
@@ -57,7 +58,8 @@ struct WeightPlacement
  */
 WeightPlacement place_weights(const LayerMapping &mapping,
                               const tech::CacheGeometry &geom,
-                              std::size_t subarray_data_offset = 64);
+                              std::size_t subarray_data_offset =
+                                  tech::config_region_bytes);
 
 /** Write @p weights into the cache according to @p placement
  *  (duplicating into every replica). */

@@ -4,16 +4,33 @@
 #include <sstream>
 
 #include "sim/logging.hh"
+#include "verify/plan_verifier.hh"
 
 namespace bfree::serve {
 
 ServeEngine::ServeEngine(const core::NetworkPlan &plan, ServeConfig cfg)
     : plan(plan), cfg(cfg), stats_(cfg.stats)
 {
-    if (this->cfg.cyclesPerTick == 0)
-        bfree_fatal("serve engine needs cyclesPerTick >= 1");
-    if (this->cfg.minServiceTicks == 0)
-        bfree_fatal("serve engine needs minServiceTicks >= 1");
+    // Reject-on-serve: a config the static audit finds inconsistent, or
+    // a plan that failed its verify-on-compile audit, never admits a
+    // request.
+    verify::ServeAuditConfig audit;
+    audit.queueDepth = this->cfg.queueDepth;
+    audit.maxBatch = this->cfg.batcher.maxBatch;
+    audit.windowTicks = this->cfg.batcher.windowTicks;
+    audit.cyclesPerTick = this->cfg.cyclesPerTick;
+    audit.minServiceTicks = this->cfg.minServiceTicks;
+    audit.sloDeadlineTicks = this->cfg.sloDeadlineTicks;
+    const verify::VerifyReport report =
+        verify::audit_serve_config(audit);
+    if (!report.ok())
+        bfree_fatal("serve engine rejected its config:\n",
+                    report.toString());
+    if (!plan.diagnostics().ok())
+        bfree_fatal("serve engine rejected plan '",
+                    plan.network().name(),
+                    "' (failed verify-on-compile):\n",
+                    plan.diagnostics().toString());
 }
 
 ReplayReport

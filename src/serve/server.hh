@@ -34,6 +34,7 @@
 #include "bce/bce.hh"
 #include "core/functional.hh"
 #include "core/network_plan.hh"
+#include "sim/types.hh"
 #include "tech/geometry.hh"
 #include "tech/tech_params.hh"
 
@@ -68,6 +69,14 @@ struct ServeConfig
 
     /** Floor of any batch's service time. */
     sim::Tick minServiceTicks = 1;
+
+    /**
+     * Advertised SLO deadline in ticks (sim::max_tick = none). Only
+     * read by the static serve-config audit: a batching window or
+     * service floor that cannot fit inside it is rejected at engine
+     * construction (rules serve-window / serve-service).
+     */
+    sim::Tick sloDeadlineTicks = sim::max_tick;
 
     /** Histogram shapes of the stats group. */
     ServeStatsConfig stats;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The canonical sub-array row layout, shared by the kernel compiler,
+ * the weight placement engine and the static verifiers.
+ *
+ * One 8 KB sub-array (1024 rows of 8 bytes) is carved up as:
+ *
+ *   rows [0, weight_base_row)        config-block region (64 bytes;
+ *                                    the CB image sits at byte 0)
+ *   rows [weight_base_row,
+ *         first_lut_row)             weight region (8064 usable bytes
+ *                                    per pass)
+ *   rows [first_lut_row, total_rows) reserved LUT rows (64 bytes,
+ *                                    decoupled bitlines)
+ *
+ * Every producer (KernelCompiler row ranges, place_weights extents)
+ * and every checker (KernelVerifier, PlanVerifier) must derive its
+ * bounds from these functions — duplicating the constants is exactly
+ * the class of drift the verifiers exist to catch.
+ */
+
+#ifndef BFREE_TECH_ROW_LAYOUT_HH
+#define BFREE_TECH_ROW_LAYOUT_HH
+
+#include <cstdint>
+
+#include "geometry.hh"
+
+namespace bfree::tech {
+
+/** Bytes reserved for the config block at the base of a sub-array. */
+inline constexpr unsigned config_region_bytes = 64;
+
+/** Rows in one sub-array (paper: 1024). */
+inline unsigned
+total_rows(const CacheGeometry &geom)
+{
+    return geom.rowsPerPartition * geom.partitionsPerSubarray;
+}
+
+/** First weight row: the row past the config-block region (8). */
+inline unsigned
+weight_base_row(const CacheGeometry &geom)
+{
+    return (config_region_bytes + geom.rowBytes() - 1) / geom.rowBytes();
+}
+
+/** First reserved LUT row (1016). */
+inline unsigned
+first_lut_row(const CacheGeometry &geom)
+{
+    return total_rows(geom) - geom.lutRowsPerSubarray();
+}
+
+/** Weight rows usable per pass in one sub-array (1008). */
+inline unsigned
+usable_weight_rows(const CacheGeometry &geom)
+{
+    return first_lut_row(geom) - weight_base_row(geom);
+}
+
+/** Weight bytes usable per pass in one sub-array (8064). */
+inline std::uint64_t
+usable_weight_bytes(const CacheGeometry &geom)
+{
+    return std::uint64_t(usable_weight_rows(geom)) * geom.rowBytes();
+}
+
+} // namespace bfree::tech
+
+#endif // BFREE_TECH_ROW_LAYOUT_HH

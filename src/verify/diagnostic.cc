@@ -1,6 +1,8 @@
 #include "diagnostic.hh"
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace bfree::verify {
 
@@ -60,6 +62,38 @@ rule_name(RuleId rule)
         return "mode-datapath";
       case RuleId::OperandRange:
         return "operand-range";
+      case RuleId::PlanEmpty:
+        return "plan-empty";
+      case RuleId::PlanPrecision:
+        return "plan-precision";
+      case RuleId::RegionBounds:
+        return "region-bounds";
+      case RuleId::RegionOverlap:
+        return "region-overlap";
+      case RuleId::RegionCrossPlan:
+        return "region-cross-plan";
+      case RuleId::DataflowCycle:
+        return "dataflow-cycle";
+      case RuleId::DataflowDangling:
+        return "dataflow-dangling";
+      case RuleId::DataflowFanin:
+        return "dataflow-fanin";
+      case RuleId::DataflowUnreachable:
+        return "dataflow-unreachable";
+      case RuleId::CapacityRows:
+        return "capacity-rows";
+      case RuleId::CapacityFabric:
+        return "capacity-fabric";
+      case RuleId::CapacityArena:
+        return "capacity-arena";
+      case RuleId::ServeQueue:
+        return "serve-queue";
+      case RuleId::ServeBatch:
+        return "serve-batch";
+      case RuleId::ServeWindow:
+        return "serve-window";
+      case RuleId::ServeService:
+        return "serve-service";
     }
     return "?";
 }
@@ -102,6 +136,36 @@ VerifyReport::merge(const VerifyReport &other, const std::string &location)
         }
         diags.push_back(std::move(copy));
     }
+}
+
+void
+VerifyReport::mergeFrom(VerifyReport &&other, const std::string &location,
+                        std::size_t sequence)
+{
+    // Findings of one source report share a key, so the insertion
+    // point is found once: past every finding with key <= sequence.
+    // upper_bound keeps the vector sorted by key; distinct keys make
+    // the final order independent of the merge order.
+    const auto at = std::upper_bound(
+        diags.begin(), diags.end(), sequence,
+        [](std::size_t key, const Diagnostic &d) {
+            return key < d.sequence;
+        });
+    const std::size_t pos = static_cast<std::size_t>(at - diags.begin());
+
+    std::vector<Diagnostic> incoming = std::move(other.diags);
+    other.diags.clear();
+    for (Diagnostic &d : incoming) {
+        if (!location.empty()) {
+            d.location = d.location.empty()
+                             ? location
+                             : location + ": " + d.location;
+        }
+        d.sequence = sequence;
+    }
+    diags.insert(diags.begin() + static_cast<std::ptrdiff_t>(pos),
+                 std::make_move_iterator(incoming.begin()),
+                 std::make_move_iterator(incoming.end()));
 }
 
 bool

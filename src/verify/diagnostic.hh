@@ -75,6 +75,48 @@ enum class RuleId
 
     // Tool-input rules.
     OperandRange, ///< operand-range: operand does not fit the precision.
+
+    // ------------------------------------------------------------------
+    // Plan-level rules (plan_verifier; DESIGN.md section 13).
+    // ------------------------------------------------------------------
+    PlanEmpty,     ///< plan-empty: plan contains no layers.
+    PlanPrecision, ///< plan-precision: layer precision disagrees with
+                   ///< the plan's compiled precision (or is unsupported).
+
+    // Region/interval rules over (slice, sub-bank, sub-array, row).
+    RegionBounds,    ///< region-bounds: a placed region exits the
+                     ///< geometry or the usable weight rows.
+    RegionOverlap,   ///< region-overlap: two layers of one plan claim
+                     ///< overlapping resident rows.
+    RegionCrossPlan, ///< region-cross-plan: co-resident plans claim
+                     ///< overlapping rows (multi-model residency).
+
+    // Dataflow-graph rules over the producer/consumer graph.
+    DataflowCycle,       ///< dataflow-cycle: the layer graph cycles.
+    DataflowDangling,    ///< dataflow-dangling: consumer names a
+                         ///< producer that does not exist.
+    DataflowFanin,       ///< dataflow-fanin: producer/consumer element
+                         ///< counts disagree.
+    DataflowUnreachable, ///< dataflow-unreachable: a kernel's output
+                         ///< feeds neither a consumer nor the plan
+                         ///< output.
+
+    // Capacity-ledger rules.
+    CapacityRows,   ///< capacity-rows: resident sub-array/CB demand
+                    ///< exceeds the fabric.
+    CapacityFabric, ///< capacity-fabric: resident weight bytes exceed
+                    ///< the fabric's usable capacity.
+    CapacityArena,  ///< capacity-arena: the TensorArena ledger is
+                    ///< inconsistent or over budget.
+
+    // Serving-config rules.
+    ServeQueue,   ///< serve-queue: zero-capacity request queue.
+    ServeBatch,   ///< serve-batch: batch bound zero or beyond what the
+                  ///< queue can ever supply.
+    ServeWindow,  ///< serve-window: batching window not inside the SLO
+                  ///< deadline.
+    ServeService, ///< serve-service: service-time model degenerate or
+                  ///< its floor alone misses the SLO.
 };
 
 /** Stable kebab-case rule name (e.g. "cb-opcode-byte"). */
@@ -88,6 +130,15 @@ struct Diagnostic
     std::string location; ///< Artifact coordinates ("fc6: instruction 0").
     std::string message;  ///< What is wrong.
     std::string fixHint;  ///< How to repair it (may be empty).
+
+    /**
+     * Aggregation key: the position of the finding's artifact in its
+     * enclosing plan (e.g. the layer index). mergeFrom keeps findings
+     * ordered by this key, so a plan report assembled from per-kernel
+     * reports reads in layer order no matter which kernel was verified
+     * first. add() leaves it 0; merge paths stamp it.
+     */
+    std::size_t sequence = 0;
 
     /** "error[cb-opcode-byte] fc6: instruction 0: ... (fix: ...)". */
     std::string toString() const;
@@ -107,6 +158,18 @@ class VerifyReport
 
     /** Append every finding of @p other, prefixing @p location. */
     void merge(const VerifyReport &other, const std::string &location);
+
+    /**
+     * Move every finding of @p other into this report, prefixing
+     * @p location and stamping @p sequence (e.g. the layer index of
+     * the kernel the sub-report describes). Findings are kept sorted
+     * by sequence, stably: two findings with the same key stay in
+     * their source order. Merging per-kernel reports therefore yields
+     * one and the same plan report regardless of the order the merges
+     * happen in — the property the order-independence unit test pins.
+     */
+    void mergeFrom(VerifyReport &&other, const std::string &location,
+                   std::size_t sequence);
 
     /** All findings, in check order. */
     const std::vector<Diagnostic> &diagnostics() const { return diags; }

@@ -6,6 +6,8 @@
 #include <map>
 #include <sstream>
 
+#include "tech/row_layout.hh"
+
 namespace bfree::verify {
 
 namespace {
@@ -74,20 +76,19 @@ KernelVerifier::KernelVerifier(const tech::CacheGeometry &geom,
 unsigned
 KernelVerifier::totalRows() const
 {
-    return geom.rowsPerPartition * geom.partitionsPerSubarray;
+    return tech::total_rows(geom);
 }
 
 unsigned
 KernelVerifier::weightBaseRow() const
 {
-    // The 64-byte CB region at the bottom of the sub-array.
-    return (64 + geom.rowBytes() - 1) / geom.rowBytes();
+    return tech::weight_base_row(geom);
 }
 
 unsigned
 KernelVerifier::firstLutRow() const
 {
-    return totalRows() - geom.lutRowsPerSubarray();
+    return tech::first_lut_row(geom);
 }
 
 void

@@ -8,12 +8,10 @@
  * LutImage, LayerMapping, WeightPlacement, reduction chains)
  * independently. Violations become Diagnostics, never aborts.
  *
- * Canonical sub-array row layout the rules check against (one 8 KB
- * sub-array, 1024 rows of 8 bytes):
- *
- *   rows [0, 8)      config-block region (64 bytes; CB image at byte 0)
- *   rows [8, 1016)   weight region (8064 bytes usable for tiles)
- *   rows [1016, 1024) reserved LUT rows (64 bytes, decoupled bitlines)
+ * The canonical sub-array row layout the rules check against (CB
+ * region / weight region / reserved LUT rows) is defined once in
+ * tech/row_layout.hh, shared with the kernel compiler and the weight
+ * placement engine; the row helpers below delegate to it.
  *
  * The rule catalogue lives in diagnostic.hh; DESIGN.md documents each
  * rule in prose.
@@ -132,7 +130,7 @@ class KernelVerifier
                               VerifyReport &report) const;
 
     // ------------------------------------------------------------------
-    // Canonical row layout
+    // Canonical row layout (delegates to tech/row_layout.hh)
     // ------------------------------------------------------------------
     /** Rows in one sub-array (1024). */
     unsigned totalRows() const;

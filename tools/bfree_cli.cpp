@@ -25,6 +25,7 @@
 #include "serve/server.hh"
 #include "serve/trace.hh"
 #include "sim/parallel.hh"
+#include "verify/plan_verifier.hh"
 
 namespace {
 
@@ -47,6 +48,10 @@ usage(std::ostream &os)
           "                    sweep (default: hardware concurrency)\n"
           "  --lint            statically verify the compiled kernels\n"
           "                    and exit (non-zero on errors)\n"
+          "  --audit           whole-plan static analysis (regions,\n"
+          "                    dataflow, capacity; the bfree_audit\n"
+          "                    entry point) and exit (non-zero on\n"
+          "                    errors)\n"
           "  --plan-stats      compile a functional execution plan and\n"
           "                    print its footprint (arena bytes,\n"
           "                    per-layer scratch, frozen weights,\n"
@@ -99,6 +104,7 @@ main(int argc, char **argv)
     bool csv = false;
     bool stats = false;
     bool lint = false;
+    bool audit = false;
     bool planStats = false;
     bool serveStats = false;
 
@@ -147,6 +153,8 @@ main(int argc, char **argv)
             baseline = next();
         else if (arg == "--lint")
             lint = true;
+        else if (arg == "--audit")
+            audit = true;
         else if (arg == "--plan-stats")
             planStats = true;
         else if (arg == "--serve-stats")
@@ -210,6 +218,23 @@ main(int argc, char **argv)
 
     if (lint) {
         const verify::VerifyReport report = acc.lint(net, cfg);
+        std::cout << net.name() << ": " << report.errorCount()
+                  << " error(s), " << report.warningCount()
+                  << " warning(s)\n";
+        for (const verify::Diagnostic &d : report.diagnostics())
+            std::cout << "  " << d.toString() << "\n";
+        return report.ok() ? 0 : 1;
+    }
+
+    if (audit) {
+        // Shares the bfree_audit entry point: whole-plan analysis over
+        // the selected network at its configured per-layer precisions
+        // (expected bits pinned for the uniform sweeps, 0 for mixed).
+        const unsigned expected =
+            (precision == "4") ? 4u : (precision == "8") ? 8u : 0u;
+        const verify::PlanVerifier verifier{tech::CacheGeometry{}};
+        const verify::VerifyReport report =
+            verifier.verifyNetwork(net, expected, cfg.mapper);
         std::cout << net.name() << ": " << report.errorCount()
                   << " error(s), " << report.warningCount()
                   << " warning(s)\n";
