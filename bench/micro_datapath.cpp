@@ -26,6 +26,7 @@
 #include "mem/energy_account.hh"
 #include "mem/subarray.hh"
 #include "sim/bench_json.hh"
+#include "sim/cpuid.hh"
 #include "sim/parallel.hh"
 #include "tech/geometry.hh"
 #include "tech/tech_params.hh"
@@ -178,6 +179,10 @@ main(int argc, char **argv)
     std::cout << report.output();
 
     sim::BenchJson json;
+    json.set("host", "hardware_threads",
+             static_cast<double>(sim::resolve_threads(0)));
+    json.set("host", "simd_level",
+             static_cast<double>(sim::active_simd_level()));
     for (std::size_t i = 0; i < points.size(); ++i) {
         json.set(points[i].name, "legacy_macs_per_s",
                  rows[i].legacy.macsPerSecond);

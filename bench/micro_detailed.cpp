@@ -218,6 +218,8 @@ main(int argc, char **argv)
               << reps << " reps\n";
 
     sim::BenchJson json;
+    json.set("host", "hardware_threads",
+             static_cast<double>(sim::resolve_threads(0)));
     json.set("workload", "filters", filters);
     json.set("workload", "k", k);
     json.set("workload", "waves", waves);

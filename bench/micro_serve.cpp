@@ -240,6 +240,8 @@ main(int argc, char **argv)
     }
 
     sim::BenchJson json;
+    json.set("host", "hardware_threads",
+             static_cast<double>(sim::resolve_threads(0)));
     json.set("serve_config", "queue_depth",
              static_cast<double>(cfg.queueDepth));
     json.set("serve_config", "max_batch",

@@ -5,6 +5,7 @@
 
 #include "lut/lut_image.hh"
 #include "sim/logging.hh"
+#include "simd_kernels.hh"
 
 namespace bfree::bce {
 
@@ -168,6 +169,7 @@ Bce::convTable(unsigned bits)
                 return r;
             });
         t.generation = sa->lutGeneration();
+        ++convSeeds_;
     }
     return t;
 }
@@ -244,25 +246,16 @@ Bce::dotProductSpan(const std::int8_t *weights, const std::int8_t *inputs,
 
     std::int64_t acc = 0;
     if (_tier == ExecTier::Tiered && lut::DatapathTable::coversBits(bits)) {
+        // The dispatched SIMD kernel returns exactly the sums the
+        // scalar loop would have accumulated element by element.
         const lut::DatapathTable &t = convTable(bits);
-        std::uint64_t luts = 0, shifts = 0, adds = 0;
-        for (std::size_t i = 0; i < len; ++i) {
-            std::int32_t w = weights[i];
-            std::int32_t in = inputs[i];
-            if (bits == 4) {
-                w = std::clamp(w, -8, 7);
-                in = std::clamp(in, -8, 7);
-            }
-            const lut::DatapathEntry &e = t.at(w, in);
-            acc += e.product;
-            luts += e.lutLookups;
-            shifts += e.shifts;
-            adds += e.adds;
-        }
-        stats_.counts.lutLookups += luts;
-        stats_.counts.shifts += shifts;
-        stats_.counts.adds += adds + (len > 0 ? len - 1 : 0);
-        noteConvLutReads(luts);
+        const simd::SpanSums s = simd::run_span(
+            t, weights, inputs, len, simd::SpanSemantics::ConvClamp);
+        acc = s.acc;
+        stats_.counts.lutLookups += s.lookups;
+        stats_.counts.shifts += s.shifts;
+        stats_.counts.adds += s.adds + (len > 0 ? len - 1 : 0);
+        noteConvLutReads(s.lookups);
     } else {
         for (std::size_t i = 0; i < len; ++i) {
             std::int32_t w = weights[i];
@@ -318,27 +311,19 @@ Bce::matmulDotSpan(const std::int8_t *a, const std::int8_t *b,
     std::int32_t acc = 0;
     if (_tier == ExecTier::Tiered && lut::DatapathTable::coversBits(bits)) {
         const lut::DatapathTable &t = romTable(bits);
-        const std::int32_t half = std::int32_t{1} << (bits - 1);
-        std::uint64_t roms = 0, shifts = 0, adds = 0, cycles = 0;
-        for (std::size_t i = 0; i < len; ++i) {
-            const std::int32_t ai = a[i];
-            const std::int32_t bi = b[i];
-            if (ai < -half || ai > half || bi < -half || bi > half) {
-                // Out of range: the analyzer raises the legacy panic.
-                lut::multiply_signed(ai, bi, bits, rom,
-                                     lut::LookupSource::BceRom);
-            }
-            const lut::DatapathEntry &e = t.at(ai, bi);
-            acc += e.product;
-            roms += e.romLookups;
-            shifts += e.shifts;
-            adds += e.adds;
-            cycles += e.cycles;
+        const simd::SpanSums s = simd::run_span(
+            t, a, b, len, simd::SpanSemantics::MatmulStrict);
+        if (!s.inRange) {
+            // Out of range: the analyzer raises the legacy panic.
+            lut::multiply_signed(a[s.firstOutOfRange],
+                                 b[s.firstOutOfRange], bits, rom,
+                                 lut::LookupSource::BceRom);
         }
-        stats_.counts.romLookups += roms;
-        stats_.counts.shifts += shifts;
-        stats_.counts.adds += adds + len; // one lane add per element
-        stats_.counts.cycles += cycles;
+        acc = s.acc;
+        stats_.counts.romLookups += s.lookups;
+        stats_.counts.shifts += s.shifts;
+        stats_.counts.adds += s.adds + len; // one lane add per element
+        stats_.counts.cycles += s.cycles;
     } else {
         for (std::size_t i = 0; i < len; ++i) {
             lut::MultResult r = lut::multiply_signed(

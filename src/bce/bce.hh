@@ -267,6 +267,11 @@ class Bce
     /** The attached sub-array. */
     mem::Subarray &subarray() { return *sa; }
 
+    /** Times a conv-mode datapath table has been (re)seeded — lets
+     *  tests prove a LUT-row rewrite mid-batch forces a reseed and a
+     *  matching generation does not. */
+    std::uint64_t convTableSeeds() const { return convSeeds_; }
+
   private:
     /** Tally @p n datapath cycles against the current mode. */
     void chargeCycles(std::uint64_t n);
@@ -304,6 +309,7 @@ class Bce
     mem::BceEnergyTallies flushed_; ///< Tallies already converted.
     lut::DatapathTable convTable4_, convTable8_;
     lut::DatapathTable romTable4_, romTable8_;
+    std::uint64_t convSeeds_ = 0; ///< Conv-table (re)seed count.
     bool multLutLoaded = false;
 };
 

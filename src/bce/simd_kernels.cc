@@ -1,0 +1,361 @@
+#include "simd_kernels.hh"
+
+#include <algorithm>
+
+#include "sim/cpuid.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define BFREE_X86_KERNELS 1
+#endif
+#if defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace bfree::bce::simd {
+
+namespace {
+
+/**
+ * Blocked scalar tally over packed micro-op deltas. Two u64
+ * accumulators hold the four byte fields in 16-bit windows (lookups
+ * and adds in `lo`, shifts and cycles in `hi`); each window can absorb
+ * at most 256 additions of a <=255 field before it could carry into
+ * its neighbour, so the block spills to the 64-bit totals every 256
+ * entries.
+ */
+struct TallyBlock
+{
+    static constexpr unsigned block = 256;
+
+    std::uint64_t lo = 0, hi = 0;
+    unsigned n = 0;
+
+    void
+    add(std::uint32_t d, SpanSums &s)
+    {
+        lo += d & 0x00FF00FFu;
+        hi += (d >> 8) & 0x00FF00FFu;
+        if (++n == block)
+            spill(s);
+    }
+
+    void
+    spill(SpanSums &s)
+    {
+        s.lookups += lo & 0xFFFFu;
+        s.adds += (lo >> 16) & 0xFFFFu;
+        s.shifts += hi & 0xFFFFu;
+        s.cycles += (hi >> 16) & 0xFFFFu;
+        lo = hi = 0;
+        n = 0;
+    }
+};
+
+/**
+ * Scalar element loop over [begin, end); also the tail pass of every
+ * SIMD variant. Accumulates into @p s / @p acc; returns false at the
+ * first strict-domain violation (with firstOutOfRange set).
+ */
+bool
+scalar_range(const lut::DatapathTable &t, const std::int8_t *a,
+             const std::int8_t *b, std::size_t begin, std::size_t end,
+             bool clamp, bool strict, std::uint32_t &acc, SpanSums &s)
+{
+    const std::int32_t half = t.half();
+    const std::int32_t *prod = t.products();
+    const std::uint32_t *delta = t.deltas();
+    const bool exact = t.productsExact();
+
+    TallyBlock tb;
+    for (std::size_t i = begin; i < end; ++i) {
+        std::int32_t w = a[i];
+        std::int32_t x = b[i];
+        if (clamp) {
+            w = std::clamp(w, -half, half - 1);
+            x = std::clamp(x, -half, half - 1);
+        } else if (strict
+                   && (w < -half || w > half || x < -half || x > half)) {
+            tb.spill(s);
+            s.inRange = false;
+            s.firstOutOfRange = i;
+            return false;
+        }
+        const std::size_t idx = t.index(w, x);
+        acc += static_cast<std::uint32_t>(exact ? w * x : prod[idx]);
+        tb.add(delta[idx], s);
+    }
+    tb.spill(s);
+    return true;
+}
+
+SpanSums
+span_scalar(const lut::DatapathTable &t, const std::int8_t *a,
+            const std::int8_t *b, std::size_t len, bool clamp,
+            bool strict)
+{
+    SpanSums s;
+    std::uint32_t acc = 0;
+    scalar_range(t, a, b, 0, len, clamp, strict, acc, s);
+    s.acc = static_cast<std::int32_t>(acc);
+    return s;
+}
+
+#ifdef BFREE_X86_KERNELS
+
+/** Sum of eight u32 lanes, widened (store-and-add; spill path only). */
+__attribute__((target("avx2"))) std::uint64_t
+hsum_u32x8(__m256i v)
+{
+    alignas(32) std::uint32_t lane[8];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lane), v);
+    std::uint64_t sum = 0;
+    for (const std::uint32_t l : lane)
+        sum += l;
+    return sum;
+}
+
+/**
+ * AVX2 variant: 8 operand pairs per step. Widening byte->dword
+ * converts feed a mullo for the products (or a product-plane gather
+ * when the table is poisoned), one dword gather fetches the packed
+ * deltas, and four masked lane accumulators implement the blocked
+ * tally (spilled well before any u32 lane can saturate).
+ */
+__attribute__((target("avx2"))) SpanSums
+span_avx2(const lut::DatapathTable &t, const std::int8_t *a,
+          const std::int8_t *b, std::size_t len, bool clamp, bool strict)
+{
+    SpanSums s;
+    const std::int32_t half = t.half();
+    const std::int32_t *prod = t.products();
+    const auto *delta = reinterpret_cast<const int *>(t.deltas());
+    const bool exact = t.productsExact();
+
+    const __m256i vhalf = _mm256_set1_epi32(half);
+    const __m256i vspan = _mm256_set1_epi32(static_cast<int>(t.span()));
+    const __m256i vmin = _mm256_set1_epi32(-half);
+    const __m256i vmax = _mm256_set1_epi32(half - 1);
+    const __m256i byteMask = _mm256_set1_epi32(0xFF);
+
+    __m256i accP = _mm256_setzero_si256();
+    __m256i f0 = accP, f1 = accP, f2 = accP, f3 = accP;
+    std::uint32_t acc = 0;
+
+    // Each u32 lane absorbs a <=255 field per step: spill long before
+    // 2^32 / 255 steps so the lanes can never saturate.
+    constexpr std::size_t spill_block = std::size_t{1} << 22;
+    std::size_t sinceSpill = 0;
+
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        __m256i vw = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(a + i)));
+        __m256i vx = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+            reinterpret_cast<const __m128i *>(b + i)));
+        if (clamp) {
+            vw = _mm256_min_epi32(_mm256_max_epi32(vw, vmin), vmax);
+            vx = _mm256_min_epi32(_mm256_max_epi32(vx, vmin), vmax);
+        } else if (strict) {
+            // Out-of-domain lanes would index outside the planes; let
+            // the scalar tail walk this block and pinpoint the first
+            // offender in element order.
+            const __m256i bad = _mm256_or_si256(
+                _mm256_or_si256(_mm256_cmpgt_epi32(vmin, vw),
+                                _mm256_cmpgt_epi32(vw, vhalf)),
+                _mm256_or_si256(_mm256_cmpgt_epi32(vmin, vx),
+                                _mm256_cmpgt_epi32(vx, vhalf)));
+            if (_mm256_movemask_epi8(bad) != 0)
+                break;
+        }
+        const __m256i idx = _mm256_add_epi32(
+            _mm256_mullo_epi32(_mm256_add_epi32(vw, vhalf), vspan),
+            _mm256_add_epi32(vx, vhalf));
+        const __m256i d = _mm256_i32gather_epi32(delta, idx, 4);
+        const __m256i p = exact
+                              ? _mm256_mullo_epi32(vw, vx)
+                              : _mm256_i32gather_epi32(prod, idx, 4);
+        accP = _mm256_add_epi32(accP, p);
+        f0 = _mm256_add_epi32(f0, _mm256_and_si256(d, byteMask));
+        f1 = _mm256_add_epi32(
+            f1, _mm256_and_si256(_mm256_srli_epi32(d, 8), byteMask));
+        f2 = _mm256_add_epi32(
+            f2, _mm256_and_si256(_mm256_srli_epi32(d, 16), byteMask));
+        f3 = _mm256_add_epi32(f3, _mm256_srli_epi32(d, 24));
+        if (++sinceSpill == spill_block) {
+            s.lookups += hsum_u32x8(f0);
+            s.shifts += hsum_u32x8(f1);
+            s.adds += hsum_u32x8(f2);
+            s.cycles += hsum_u32x8(f3);
+            f0 = f1 = f2 = f3 = _mm256_setzero_si256();
+            sinceSpill = 0;
+        }
+    }
+    s.lookups += hsum_u32x8(f0);
+    s.shifts += hsum_u32x8(f1);
+    s.adds += hsum_u32x8(f2);
+    s.cycles += hsum_u32x8(f3);
+    acc += static_cast<std::uint32_t>(hsum_u32x8(accP));
+
+    scalar_range(t, a, b, i, len, clamp, strict, acc, s);
+    s.acc = static_cast<std::int32_t>(acc);
+    return s;
+}
+
+/**
+ * SSE4.2 variant: 4 pairs per step. Widening converts plus pmulld
+ * cover the product side; without a hardware gather, the packed
+ * deltas are fetched with scalar loads into the blocked tally.
+ */
+__attribute__((target("sse4.2"))) SpanSums
+span_sse42(const lut::DatapathTable &t, const std::int8_t *a,
+           const std::int8_t *b, std::size_t len, bool clamp,
+           bool strict)
+{
+    SpanSums s;
+    const std::int32_t half = t.half();
+    const std::uint32_t span = t.span();
+    const std::int32_t *prod = t.products();
+    const std::uint32_t *delta = t.deltas();
+    const bool exact = t.productsExact();
+
+    const __m128i vhalf = _mm_set1_epi32(half);
+    const __m128i vspan = _mm_set1_epi32(static_cast<int>(span));
+    const __m128i vmin = _mm_set1_epi32(-half);
+    const __m128i vmax = _mm_set1_epi32(half - 1);
+
+    __m128i accP = _mm_setzero_si128();
+    std::uint32_t acc = 0;
+    TallyBlock tb;
+
+    std::size_t i = 0;
+    for (; i + 4 <= len; i += 4) {
+        std::int32_t wword, xword;
+        __builtin_memcpy(&wword, a + i, 4);
+        __builtin_memcpy(&xword, b + i, 4);
+        __m128i vw = _mm_cvtepi8_epi32(_mm_cvtsi32_si128(wword));
+        __m128i vx = _mm_cvtepi8_epi32(_mm_cvtsi32_si128(xword));
+        if (clamp) {
+            vw = _mm_min_epi32(_mm_max_epi32(vw, vmin), vmax);
+            vx = _mm_min_epi32(_mm_max_epi32(vx, vmin), vmax);
+        } else if (strict) {
+            const __m128i bad = _mm_or_si128(
+                _mm_or_si128(_mm_cmpgt_epi32(vmin, vw),
+                             _mm_cmpgt_epi32(vw, vhalf)),
+                _mm_or_si128(_mm_cmpgt_epi32(vmin, vx),
+                             _mm_cmpgt_epi32(vx, vhalf)));
+            if (_mm_movemask_epi8(bad) != 0)
+                break; // scalar tail pinpoints the offender
+        }
+        const __m128i idx = _mm_add_epi32(
+            _mm_mullo_epi32(_mm_add_epi32(vw, vhalf), vspan),
+            _mm_add_epi32(vx, vhalf));
+        alignas(16) std::int32_t lane[4];
+        _mm_store_si128(reinterpret_cast<__m128i *>(lane), idx);
+        tb.add(delta[lane[0]], s);
+        tb.add(delta[lane[1]], s);
+        tb.add(delta[lane[2]], s);
+        tb.add(delta[lane[3]], s);
+        if (exact) {
+            accP = _mm_add_epi32(accP, _mm_mullo_epi32(vw, vx));
+        } else {
+            acc += static_cast<std::uint32_t>(prod[lane[0]]);
+            acc += static_cast<std::uint32_t>(prod[lane[1]]);
+            acc += static_cast<std::uint32_t>(prod[lane[2]]);
+            acc += static_cast<std::uint32_t>(prod[lane[3]]);
+        }
+    }
+    tb.spill(s);
+    alignas(16) std::uint32_t plane[4];
+    _mm_store_si128(reinterpret_cast<__m128i *>(plane), accP);
+    acc += plane[0] + plane[1] + plane[2] + plane[3];
+
+    scalar_range(t, a, b, i, len, clamp, strict, acc, s);
+    s.acc = static_cast<std::int32_t>(acc);
+    return s;
+}
+
+#endif // BFREE_X86_KERNELS
+
+#ifdef __ARM_NEON
+
+/**
+ * NEON variant: 8 pairs per step through a widening vmull_s8 (an
+ * int8 x int8 product always fits int16, |p| <= 2^14), pairwise
+ * accumulated into int32 lanes. Deltas are fetched scalar (no
+ * gather). Clamp/strict/poisoned-table shapes delegate to the scalar
+ * loop — they are either the 4-bit niche or the post-rewrite reseed
+ * window, never the steady state.
+ */
+SpanSums
+span_neon(const lut::DatapathTable &t, const std::int8_t *a,
+          const std::int8_t *b, std::size_t len, bool clamp, bool strict)
+{
+    if (t.bits() != 8 || !t.productsExact() || clamp || strict)
+        return span_scalar(t, a, b, len, clamp, strict);
+
+    SpanSums s;
+    const std::int32_t half = t.half();
+    const std::uint32_t span = t.span();
+    const std::uint32_t *delta = t.deltas();
+
+    int32x4_t accP = vdupq_n_s32(0);
+    std::uint32_t acc = 0;
+    TallyBlock tb;
+
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        const int8x8_t vw = vld1_s8(a + i);
+        const int8x8_t vx = vld1_s8(b + i);
+        accP = vpadalq_s16(accP, vmull_s8(vw, vx));
+        for (unsigned j = 0; j < 8; ++j) {
+            const std::size_t idx =
+                static_cast<std::size_t>(a[i + j] + half) * span
+                + static_cast<std::size_t>(b[i + j] + half);
+            tb.add(delta[idx], s);
+        }
+    }
+    tb.spill(s);
+    acc += static_cast<std::uint32_t>(vgetq_lane_s32(accP, 0))
+           + static_cast<std::uint32_t>(vgetq_lane_s32(accP, 1))
+           + static_cast<std::uint32_t>(vgetq_lane_s32(accP, 2))
+           + static_cast<std::uint32_t>(vgetq_lane_s32(accP, 3));
+
+    scalar_range(t, a, b, i, len, clamp, strict, acc, s);
+    s.acc = static_cast<std::int32_t>(acc);
+    return s;
+}
+
+#endif // __ARM_NEON
+
+} // namespace
+
+SpanSums
+run_span(const lut::DatapathTable &table, const std::int8_t *a,
+         const std::int8_t *b, std::size_t len, SpanSemantics semantics)
+{
+    if (!table.valid())
+        bfree_panic("span kernel dispatched on an unseeded datapath "
+                    "table");
+    const bool clamp =
+        semantics == SpanSemantics::ConvClamp && table.bits() == 4;
+    const bool strict =
+        semantics == SpanSemantics::MatmulStrict && table.bits() == 4;
+
+    switch (sim::active_simd_level()) {
+#ifdef BFREE_X86_KERNELS
+      case sim::SimdLevel::Avx2:
+        return span_avx2(table, a, b, len, clamp, strict);
+      case sim::SimdLevel::Sse42:
+        return span_sse42(table, a, b, len, clamp, strict);
+#endif
+#ifdef __ARM_NEON
+      case sim::SimdLevel::Neon:
+        return span_neon(table, a, b, len, clamp, strict);
+#endif
+      default:
+        return span_scalar(table, a, b, len, clamp, strict);
+    }
+}
+
+} // namespace bfree::bce::simd

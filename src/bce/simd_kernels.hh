@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Vectorized span kernels over the SoA datapath tables.
+ *
+ * These kernels are the steady-state inner loops of the tiered
+ * execution engine: given two int8 operand spans and a memoized
+ * lut::DatapathTable, they produce the wrapped int32 accumulator plus
+ * the summed micro-op tallies — exactly the values the scalar tiered
+ * loop in bce.cc used to accumulate element by element, so the caller
+ * books identical statistics (and therefore identical energy) no
+ * matter which ISA variant ran.
+ *
+ * Products are computed with a SIMD widening multiply whenever the
+ * table's product plane is exact (DatapathTable::productsExact, the
+ * pristine-LUT steady state); a poisoned table instead gathers from
+ * the product plane, preserving bit-exactness against the legacy
+ * scalar decomposition in both regimes. The packed micro-op deltas
+ * are accumulated with a blocked tally pass: byte fields are summed
+ * in wide lanes and spilled to 64-bit totals before any lane can
+ * saturate.
+ *
+ * Variant selection is runtime CPU dispatch (sim/cpuid): one binary
+ * carries scalar, SSE4.2, AVX2 and NEON paths, and CI pins each via
+ * BFREE_FORCE_SCALAR / BFREE_FORCE_ISA to differentially verify them
+ * all on one host.
+ */
+
+#ifndef BFREE_BCE_SIMD_KERNELS_HH
+#define BFREE_BCE_SIMD_KERNELS_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "lut/datapath_table.hh"
+
+namespace bfree::bce::simd {
+
+/** Everything a span kernel accumulates. */
+struct SpanSums
+{
+    /** Wrapped int32 sum of per-pair products (identical to the
+     *  truncated int64 accumulation of the scalar loop). */
+    std::int32_t acc = 0;
+    std::uint64_t lookups = 0; ///< LUT-row or ROM reads (table source).
+    std::uint64_t shifts = 0;
+    std::uint64_t adds = 0;    ///< Intra-multiply adds only.
+    std::uint64_t cycles = 0;
+    /** False when MatmulStrict found an out-of-domain operand; the
+     *  caller must reproduce the legacy analyzer panic. */
+    bool inRange = true;
+    std::size_t firstOutOfRange = 0;
+};
+
+/** Domain handling for operands outside [-2^(bits-1), +2^(bits-1)]. */
+enum class SpanSemantics
+{
+    /** Conv spans clamp 4-bit operands to [-8, 7] like the legacy
+     *  dotProduct. */
+    ConvClamp,
+    /** Matmul spans must refuse out-of-domain operands (the legacy
+     *  analyzer panics); the kernel reports the first offender. */
+    MatmulStrict,
+};
+
+/**
+ * Run the dispatched span kernel: sum of products and micro-op
+ * tallies for a[i] * b[i], i in [0, len), served from @p table.
+ * The table must be valid and cover both operand spans' precision.
+ */
+SpanSums run_span(const lut::DatapathTable &table, const std::int8_t *a,
+                  const std::int8_t *b, std::size_t len,
+                  SpanSemantics semantics);
+
+} // namespace bfree::bce::simd
+
+#endif // BFREE_BCE_SIMD_KERNELS_HH

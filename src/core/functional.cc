@@ -587,6 +587,18 @@ run_functional_batch(const NetworkPlan &plan,
         if (in->size() != plan.inputElems())
             bfree_fatal("batch input of ", in->size(), " elements, plan "
                         "expects ", plan.inputElems());
+        // The executor quantizes these user buffers straight into
+        // 64-byte-aligned arena spans; the float loads themselves only
+        // need natural alignment, but a buffer that misses even that
+        // points at a caller-side lifetime or aliasing bug — refuse it
+        // here with a usable message rather than faulting in a kernel.
+        if (reinterpret_cast<std::uintptr_t>(in->data())
+                % alignof(float) != 0)
+            bfree_fatal("batch input tensor data at ",
+                        static_cast<const void *>(in->data()),
+                        " is not aligned for float access; pass "
+                        "naturally-aligned buffers to "
+                        "run_functional_batch");
         result.outputs.emplace_back(plan.outputShape());
     }
     if (n == 0)

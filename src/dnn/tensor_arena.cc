@@ -31,6 +31,11 @@ TensorArena::release(Marker m)
 void *
 TensorArena::allocBytes(std::size_t bytes)
 {
+    // Round a raw byte request up to the arena granule: every span the
+    // arena hands out must start on a 64-byte boundary or the SIMD
+    // span kernels downstream would fault on aligned loads. alloc<T>
+    // already pads via paddedBytes; this keeps direct callers honest.
+    bytes = (bytes + alignment - 1) / alignment * alignment;
     if (off + bytes > cap)
         bfree_panic("arena overflow: ", off + bytes, " bytes requested, ",
                     cap, " reserved (planning pass undersized?)");
@@ -38,6 +43,10 @@ TensorArena::allocBytes(std::size_t bytes)
     const std::uintptr_t aligned =
         (base + alignment - 1) / alignment * alignment;
     void *p = reinterpret_cast<void *>(aligned + off);
+    if (reinterpret_cast<std::uintptr_t>(p) % alignment != 0)
+        bfree_panic("arena handed out a span at ", p, " that misses the ",
+                    alignment, "-byte alignment contract (offset ", off,
+                    "); SIMD kernels require aligned spans");
     off += bytes;
     high = std::max(high, off);
     ++count;

@@ -1,18 +1,39 @@
 /**
  * @file
- * Tier-1 memoized datapath tables.
+ * Tier-1 memoized datapath tables, structure-of-arrays layout.
  *
  * The operand analyzer's decomposition of a multiplication into LUT
  * lookups, shifts and adds is a pure function of (a, b, bits, lookup
  * source): nothing about it depends on execution history. The tiered
  * execution engine therefore precomputes, once per (source, bits)
- * pair, a flat table over the full signed operand space holding the
+ * pair, flat planes over the full signed operand space holding the
  * exact product plus the micro-op deltas the legacy scalar path would
  * have accumulated. A steady-state MAC then becomes one array read and
  * a handful of integer additions instead of a full nibble-decomposition
  * walk.
  *
- * The tables are SEEDED BY the legacy scalar path (the caller passes a
+ * The layout is two parallel planes rather than an array of structs,
+ * so the SIMD span kernels can consume them directly:
+ *
+ *  - an int32 PRODUCT PLANE (products()): the exact product per
+ *    operand pair. When every entry equals a*b — true whenever the
+ *    backing LUT rows hold the pristine multiply image — the table
+ *    additionally reports productsExact(), and the kernels skip the
+ *    plane entirely in favour of a SIMD widening-multiply. A rewritten
+ *    (poisoned) LUT row clears the flag and the kernels gather from
+ *    the plane instead, preserving bit-exactness against the legacy
+ *    scalar walk in both regimes.
+ *
+ *  - a packed uint32 MICRO-OP-DELTA PLANE (deltas()): per pair, the
+ *    four micro-op tallies of the scalar decomposition packed one per
+ *    byte (lookups | shifts<<8 | adds<<16 | cycles<<24). The deltas
+ *    are tiny (at most 4 of each per 8-bit multiply, enforced at
+ *    build), so a blocked SIMD tally pass can accumulate thousands of
+ *    entries before widening. A table memoizes exactly one lookup
+ *    source, so the "lookups" byte is LUT-row reads for conv tables
+ *    and hardwired-ROM reads for matmul tables — never both.
+ *
+ * The planes are SEEDED BY the legacy scalar path (the caller passes a
  * reference functor that runs the real decomposition), so the scalar
  * code remains the single source of truth: the memoized engine can
  * only ever reproduce it. Conv-mode tables additionally bake in the
@@ -34,10 +55,8 @@
 namespace bfree::lut {
 
 /**
- * One memoized multiplication: exact product plus the micro-op deltas
- * of the scalar decomposition. The deltas are tiny (at most 4 of each
- * per 8-bit multiply), so a byte per field keeps the full 8-bit table
- * under 1 MB and cache-resident.
+ * One memoized multiplication, materialized from the planes: exact
+ * product plus the micro-op deltas of the scalar decomposition.
  */
 struct DatapathEntry
 {
@@ -50,13 +69,19 @@ struct DatapathEntry
 };
 
 /**
- * A flat (2^bits + 1)^2 entry table over the signed operand domain
+ * Flat (2^bits + 1)^2 entry planes over the signed operand domain
  * [-2^(bits-1), +2^(bits-1)] — the full range the operand analyzer
  * accepts, including the asymmetric +/-2^(bits-1) endpoints.
  */
 class DatapathTable
 {
   public:
+    /** Byte positions inside one packed micro-op delta. */
+    static constexpr unsigned delta_lookups_shift = 0;
+    static constexpr unsigned delta_shifts_shift = 8;
+    static constexpr unsigned delta_adds_shift = 16;
+    static constexpr unsigned delta_cycles_shift = 24;
+
     DatapathTable() = default;
 
     /** Memoization covers 4- and 8-bit operands; 16-bit stays scalar
@@ -68,13 +93,13 @@ class DatapathTable
     }
 
     /** True once built. */
-    bool valid() const { return !entries.empty(); }
+    bool valid() const { return !products_.empty(); }
 
     /** Operand precision this table covers. */
     unsigned bits() const { return _bits; }
 
     /** Number of memoized operand pairs. */
-    std::size_t entryCount() const { return entries.size(); }
+    std::size_t entryCount() const { return products_.size(); }
 
     /**
      * Owner-managed invalidation tag. Conv-mode tables record the
@@ -83,18 +108,69 @@ class DatapathTable
      */
     std::uint64_t generation = 0;
 
-    /** The memoized entry for (a, b); both in [-2^(bits-1), 2^(bits-1)]. */
-    const DatapathEntry &
+    /** True when this table's planes were seeded against @p gen —
+     *  the dispatch-time staleness test (a stale table must be
+     *  rejected and reseeded, never served). */
+    bool
+    matchesGeneration(std::uint64_t gen) const
+    {
+        return valid() && generation == gen;
+    }
+
+    /** Extent of one plane axis: 2^bits + 1. */
+    unsigned span() const { return _span; }
+
+    /** Half-range 2^(bits-1): operands live in [-half, +half]. */
+    std::int32_t half() const { return _half; }
+
+    /** Plane index of the pair (a, b); both in [-half, +half]. */
+    std::size_t
+    index(std::int32_t a, std::int32_t b) const
+    {
+        return static_cast<std::size_t>(a + _half) * _span
+               + static_cast<std::size_t>(b + _half);
+    }
+
+    /** The flat int32 product plane (entryCount() values). */
+    const std::int32_t *products() const { return products_.data(); }
+
+    /** The packed micro-op-delta plane (entryCount() values). */
+    const std::uint32_t *deltas() const { return deltas_.data(); }
+
+    /**
+     * True when every product equals a*b (the pristine-LUT steady
+     * state), letting kernels compute products with a widening
+     * multiply instead of a gather. Verified exhaustively at build.
+     */
+    bool productsExact() const { return productsExact_; }
+
+    /** Kind of lookup the delta "lookups" byte counts. */
+    bool countsRomLookups() const { return romSource_; }
+
+    /** The memoized entry for (a, b), materialized from the planes. */
+    DatapathEntry
     at(std::int32_t a, std::int32_t b) const
     {
-        return entries[static_cast<std::size_t>(a + half) * span
-                       + static_cast<std::size_t>(b + half)];
+        const std::size_t i = index(a, b);
+        const std::uint32_t d = deltas_[i];
+        DatapathEntry e;
+        e.product = products_[i];
+        const auto lookups =
+            static_cast<std::uint8_t>(d >> delta_lookups_shift);
+        if (romSource_)
+            e.romLookups = lookups;
+        else
+            e.lutLookups = lookups;
+        e.shifts = static_cast<std::uint8_t>(d >> delta_shifts_shift);
+        e.adds = static_cast<std::uint8_t>(d >> delta_adds_shift);
+        e.cycles = static_cast<std::uint8_t>(d >> delta_cycles_shift);
+        return e;
     }
 
     /**
-     * Build a table by exhaustively running @p reference — the legacy
-     * scalar path — over the operand space. @p reference must return a
-     * MultResult for (a, b).
+     * Build the planes by exhaustively running @p reference — the
+     * legacy scalar path — over the operand space. @p reference must
+     * return a MultResult for (a, b).
      */
     template <typename Ref>
     static DatapathTable
@@ -105,24 +181,33 @@ class DatapathTable
 
         DatapathTable t;
         t._bits = bits;
-        t.half = std::int32_t{1} << (bits - 1);
-        t.span = 2u * static_cast<unsigned>(t.half) + 1;
-        t.entries.resize(std::size_t{t.span} * t.span);
+        t._half = std::int32_t{1} << (bits - 1);
+        t._span = 2u * static_cast<unsigned>(t._half) + 1;
+        const std::size_t n = std::size_t{t._span} * t._span;
+        t.products_.resize(n);
+        t.deltas_.resize(n);
+        t.productsExact_ = true;
 
-        for (std::int32_t a = -t.half; a <= t.half; ++a) {
-            for (std::int32_t b = -t.half; b <= t.half; ++b) {
+        bool sawLut = false, sawRom = false;
+        for (std::int32_t a = -t._half; a <= t._half; ++a) {
+            for (std::int32_t b = -t._half; b <= t._half; ++b) {
                 const MultResult r = reference(a, b);
-                DatapathEntry &e =
-                    t.entries[static_cast<std::size_t>(a + t.half) * t.span
-                              + static_cast<std::size_t>(b + t.half)];
-                e.product = checkedProduct(r.product);
-                e.lutLookups = checkedCount(r.counts.lutLookups);
-                e.romLookups = checkedCount(r.counts.romLookups);
-                e.shifts = checkedCount(r.counts.shifts);
-                e.adds = checkedCount(r.counts.adds);
-                e.cycles = checkedCount(r.counts.cycles);
+                const std::size_t i = t.index(a, b);
+                t.products_[i] = checkedProduct(r.product);
+                if (t.products_[i] != a * b)
+                    t.productsExact_ = false;
+                sawLut = sawLut || r.counts.lutLookups != 0;
+                sawRom = sawRom || r.counts.romLookups != 0;
+                const std::uint64_t lookups =
+                    r.counts.lutLookups + r.counts.romLookups;
+                t.deltas_[i] = packDelta(lookups, r.counts.shifts,
+                                         r.counts.adds, r.counts.cycles);
             }
         }
+        if (sawLut && sawRom)
+            bfree_panic("datapath-table reference mixes LUT-row and "
+                        "ROM lookups; one table memoizes one source");
+        t.romSource_ = sawRom;
         return t;
     }
 
@@ -137,19 +222,29 @@ class DatapathTable
         return static_cast<std::int32_t>(p);
     }
 
-    static std::uint8_t
-    checkedCount(std::uint64_t c)
+    static std::uint32_t
+    packDelta(std::uint64_t lookups, std::uint64_t shifts,
+              std::uint64_t adds, std::uint64_t cycles)
     {
-        if (c > 0xFF)
-            bfree_panic("datapath-table micro-op count ", c,
-                        " overflows the entry");
-        return static_cast<std::uint8_t>(c);
+        if (lookups > 0xFF || shifts > 0xFF || adds > 0xFF
+            || cycles > 0xFF)
+            bfree_panic("datapath-table micro-op count overflows its "
+                        "packed byte");
+        return static_cast<std::uint32_t>(lookups)
+               << delta_lookups_shift
+               | static_cast<std::uint32_t>(shifts) << delta_shifts_shift
+               | static_cast<std::uint32_t>(adds) << delta_adds_shift
+               | static_cast<std::uint32_t>(cycles)
+                     << delta_cycles_shift;
     }
 
-    std::vector<DatapathEntry> entries;
-    std::int32_t half = 0;
-    unsigned span = 0;
+    std::vector<std::int32_t> products_;
+    std::vector<std::uint32_t> deltas_;
+    std::int32_t _half = 0;
+    unsigned _span = 0;
     unsigned _bits = 0;
+    bool productsExact_ = false;
+    bool romSource_ = false;
 };
 
 /**

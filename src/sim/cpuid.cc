@@ -1,0 +1,162 @@
+#include "cpuid.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "logging.hh"
+
+namespace bfree::sim {
+
+namespace {
+
+/** The one resolved level; std::nullopt until first use. */
+std::optional<SimdLevel> resolved;
+
+SimdLevel
+widest_available()
+{
+    for (const SimdLevel level :
+         {SimdLevel::Avx2, SimdLevel::Neon, SimdLevel::Sse42}) {
+        if (simd_level_compiled(level) && simd_level_supported(level))
+            return level;
+    }
+    return SimdLevel::Scalar;
+}
+
+/** Parse a BFREE_FORCE_ISA value; fatal on an unknown name. */
+SimdLevel
+parse_level(const char *name)
+{
+    for (const SimdLevel level :
+         {SimdLevel::Scalar, SimdLevel::Sse42, SimdLevel::Neon,
+          SimdLevel::Avx2}) {
+        if (!std::strcmp(name, simd_level_name(level)))
+            return level;
+    }
+    bfree_fatal("BFREE_FORCE_ISA=", name, " is not a known ISA "
+                "(expected scalar, sse42, neon or avx2)");
+}
+
+/** Validate a requested level against the binary and the CPU. */
+void
+require_runnable(SimdLevel level, const char *origin)
+{
+    if (!simd_level_compiled(level))
+        bfree_fatal(origin, " requested ISA '", simd_level_name(level),
+                    "' but this binary was not built with kernels for "
+                    "it");
+    if (!simd_level_supported(level))
+        bfree_fatal(origin, " requested ISA '", simd_level_name(level),
+                    "' but this CPU does not support it");
+}
+
+SimdLevel
+resolve_from_environment()
+{
+    const char *scalar = std::getenv("BFREE_FORCE_SCALAR");
+    if (scalar != nullptr && scalar[0] != '\0'
+        && std::strcmp(scalar, "0") != 0)
+        return SimdLevel::Scalar;
+
+    const char *isa = std::getenv("BFREE_FORCE_ISA");
+    if (isa != nullptr && isa[0] != '\0') {
+        const SimdLevel level = parse_level(isa);
+        require_runnable(level, "BFREE_FORCE_ISA");
+        return level;
+    }
+    return widest_available();
+}
+
+} // namespace
+
+const char *
+simd_level_name(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return "scalar";
+      case SimdLevel::Sse42:
+        return "sse42";
+      case SimdLevel::Neon:
+        return "neon";
+      case SimdLevel::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+bool
+simd_level_compiled(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return true;
+      case SimdLevel::Sse42:
+      case SimdLevel::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        return true;
+#else
+        return false;
+#endif
+      case SimdLevel::Neon:
+#if defined(__ARM_NEON)
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+bool
+simd_level_supported(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Scalar:
+        return true;
+      case SimdLevel::Sse42:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("sse4.2") != 0;
+#else
+        return false;
+#endif
+      case SimdLevel::Avx2:
+#if defined(__x86_64__) || defined(__i386__)
+        return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+      case SimdLevel::Neon:
+#if defined(__ARM_NEON)
+        // AArch64 mandates Advanced SIMD; compiled in implies runnable.
+        return true;
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+SimdLevel
+active_simd_level()
+{
+    if (!resolved)
+        resolved = resolve_from_environment();
+    return *resolved;
+}
+
+void
+force_simd_level(SimdLevel level)
+{
+    require_runnable(level, "force_simd_level");
+    resolved = level;
+}
+
+void
+reset_simd_level()
+{
+    resolved = resolve_from_environment();
+}
+
+} // namespace bfree::sim

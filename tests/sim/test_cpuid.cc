@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Runtime SIMD dispatch: level naming, capability queries, forced
+ * overrides and the environment resolution CI leans on.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "sim/cpuid.hh"
+
+namespace {
+
+using namespace bfree;
+
+TEST(Cpuid, LevelNamesAreStable)
+{
+    EXPECT_STREQ("scalar", sim::simd_level_name(sim::SimdLevel::Scalar));
+    EXPECT_STREQ("sse42", sim::simd_level_name(sim::SimdLevel::Sse42));
+    EXPECT_STREQ("neon", sim::simd_level_name(sim::SimdLevel::Neon));
+    EXPECT_STREQ("avx2", sim::simd_level_name(sim::SimdLevel::Avx2));
+}
+
+TEST(Cpuid, ScalarIsAlwaysCompiledAndSupported)
+{
+    EXPECT_TRUE(sim::simd_level_compiled(sim::SimdLevel::Scalar));
+    EXPECT_TRUE(sim::simd_level_supported(sim::SimdLevel::Scalar));
+}
+
+TEST(Cpuid, ActiveLevelIsRunnable)
+{
+    const sim::SimdLevel level = sim::active_simd_level();
+    EXPECT_TRUE(sim::simd_level_compiled(level));
+    EXPECT_TRUE(sim::simd_level_supported(level));
+}
+
+TEST(Cpuid, ForceAndResetRoundTrip)
+{
+    // Scalar is runnable everywhere, so forcing it must stick.
+    sim::force_simd_level(sim::SimdLevel::Scalar);
+    EXPECT_EQ(sim::SimdLevel::Scalar, sim::active_simd_level());
+
+    // Reset re-resolves from the environment; whatever comes back
+    // must be runnable on this host.
+    sim::reset_simd_level();
+    const sim::SimdLevel level = sim::active_simd_level();
+    EXPECT_TRUE(sim::simd_level_compiled(level));
+    EXPECT_TRUE(sim::simd_level_supported(level));
+}
+
+TEST(Cpuid, EveryCompiledAndSupportedLevelCanBeForced)
+{
+    for (const sim::SimdLevel level :
+         {sim::SimdLevel::Scalar, sim::SimdLevel::Sse42,
+          sim::SimdLevel::Neon, sim::SimdLevel::Avx2}) {
+        if (!sim::simd_level_compiled(level)
+            || !sim::simd_level_supported(level))
+            continue;
+        sim::force_simd_level(level);
+        EXPECT_EQ(level, sim::active_simd_level());
+    }
+    sim::reset_simd_level();
+}
+
+TEST(CpuidDeath, ForcingAnUncompiledLevelIsFatal)
+{
+    // One of NEON / AVX2 is never compiled in: a binary targets x86
+    // or ARM, not both. Forcing the missing one must die loudly
+    // rather than silently fall back.
+    const sim::SimdLevel missing =
+        sim::simd_level_compiled(sim::SimdLevel::Avx2)
+            ? sim::SimdLevel::Neon
+            : sim::SimdLevel::Avx2;
+    ASSERT_FALSE(sim::simd_level_compiled(missing));
+    EXPECT_DEATH(sim::force_simd_level(missing),
+                 "not built with kernels");
+}
+
+TEST(Cpuid, ForceScalarEnvironmentWinsOverIsaRequest)
+{
+    ASSERT_EQ(0, setenv("BFREE_FORCE_SCALAR", "1", 1));
+    ASSERT_EQ(0, setenv("BFREE_FORCE_ISA",
+                        sim::simd_level_name(sim::active_simd_level()),
+                        1));
+    sim::reset_simd_level();
+    EXPECT_EQ(sim::SimdLevel::Scalar, sim::active_simd_level());
+
+    // "0" and empty both mean "not forced".
+    ASSERT_EQ(0, setenv("BFREE_FORCE_SCALAR", "0", 1));
+    ASSERT_EQ(0, unsetenv("BFREE_FORCE_ISA"));
+    sim::reset_simd_level();
+    const sim::SimdLevel level = sim::active_simd_level();
+    EXPECT_TRUE(sim::simd_level_supported(level));
+    ASSERT_EQ(0, unsetenv("BFREE_FORCE_SCALAR"));
+    sim::reset_simd_level();
+}
+
+TEST(Cpuid, ForceIsaEnvironmentSelectsThatLevel)
+{
+    ASSERT_EQ(0, setenv("BFREE_FORCE_ISA", "scalar", 1));
+    sim::reset_simd_level();
+    EXPECT_EQ(sim::SimdLevel::Scalar, sim::active_simd_level());
+    ASSERT_EQ(0, unsetenv("BFREE_FORCE_ISA"));
+    sim::reset_simd_level();
+}
+
+TEST(CpuidDeath, UnknownForceIsaNameIsFatal)
+{
+    ASSERT_EQ(0, setenv("BFREE_FORCE_ISA", "avx1024", 1));
+    EXPECT_DEATH(
+        {
+            sim::reset_simd_level();
+            (void)sim::active_simd_level();
+        },
+        "not a known ISA");
+    ASSERT_EQ(0, unsetenv("BFREE_FORCE_ISA"));
+    sim::reset_simd_level();
+}
+
+} // namespace
