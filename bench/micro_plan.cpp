@@ -210,9 +210,15 @@ main(int argc, char **argv)
     }
 
     // --- batched throughput ------------------------------------------
+    // Multi-worker points on a 1-hardware-thread host can only measure
+    // oversubscription overhead: measure the 1-thread throughput, mark
+    // the scaling section skipped, and emit no efficiency figures.
+    const unsigned hw = sim::resolve_threads(0);
     double ips_first = 0.0;
     double ips_last = 0.0;
     for (unsigned t : {1u, 2u, 4u, 8u}) {
+        if (hw <= 1 && t > 1)
+            break;
         core::BatchOptions opts;
         opts.threads = t;
         (void)core::run_functional_batch(plan, inputs, opts); // warm-up
@@ -235,12 +241,14 @@ main(int argc, char **argv)
         std::printf("%-14s %8.1f images/s\n", section.c_str(), ips);
         ips_last = ips;
     }
-    json.set("batch_scaling", "t8_over_t1",
-             ips_first > 0.0 ? ips_last / ips_first : 0.0);
-    // Scaling is bounded by the machine: on a 1-core runner the t8
-    // point can only measure oversubscription overhead.
+    json.set("batch_scaling", "skipped", hw <= 1 ? 1.0 : 0.0);
+    if (hw <= 1)
+        std::cout << "batch scaling: skipped (1 hardware thread)\n";
+    else
+        json.set("batch_scaling", "t8_over_t1",
+                 ips_first > 0.0 ? ips_last / ips_first : 0.0);
     json.set("batch_scaling", "hardware_threads",
-             static_cast<double>(sim::resolve_threads(0)));
+             static_cast<double>(hw));
 
     if (!json.save(out_path)) {
         std::cerr << "cannot write " << out_path << "\n";

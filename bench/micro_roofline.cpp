@@ -2,11 +2,10 @@
  * @file
  * Roofline and scaling study of the SIMD tiered datapath.
  *
- * Four measurements, one JSON document (default BENCH_pr8.json):
+ * Measurements, one JSON document (default BENCH_pr9.json):
  *
  *  - host: hardware threads and the ISA the dispatcher resolved, so
- *    every number downstream can be read in context. A 1-thread
- *    runner's scaling figures are recorded but never gated on.
+ *    every number downstream can be read in context.
  *
  *  - membw: a STREAM-triad pass (c[i] = a[i] + s * b[i] over arrays
  *    far larger than LLC) giving the memory bandwidth that bounds any
@@ -14,9 +13,20 @@
  *
  *  - kernel_<isa>: steady-state conv/matmul MAC/s of the tiered span
  *    kernels with the dispatcher pinned to each ISA variant this
- *    binary carries AND this CPU supports (scalar always; sse42/avx2
- *    on x86, neon on ARM). speedup_vs_scalar quantifies what the
- *    vectorized inner loops buy over the scalar tiered loop.
+ *    binary carries AND this CPU supports (scalar always; sse42/avx2/
+ *    avx512 on x86, neon on ARM). The headline conv number runs the
+ *    gather-free histogram tally (the production default); a second
+ *    conv point pins the delta-plane gather so the ablation
+ *    hist_over_gather quantifies exactly what the factored fold buys.
+ *    speedup_vs_scalar compares the headline against the scalar
+ *    tiered loop.
+ *
+ *  - stages: per-stage wall time of one conv layer's full front half
+ *    vs its span kernels at the resolved ISA — quantize_span over the
+ *    input plane, im2col_patch_i8 over every output position, then
+ *    the tiered dot-product spans. front_half_fraction is the
+ *    quantize+im2col share of the total; the PR 9 vectorization is
+ *    aimed at driving it down.
  *
  *  - roofline: the tiered MAC streams two int8 operands per multiply
  *    (the tables and tallies stay cache-resident), so the bandwidth
@@ -24,13 +34,13 @@
  *    measured kernel against that roof.
  *
  *  - scaling: aggregate MAC/s with 1/2/4/8 ThreadPool workers, each
- *    owning a private engine (the production batch-dispatch shape),
- *    with per-thread-count efficiency rate_tN / (N * rate_t1).
+ *    owning a private engine (the production batch-dispatch shape).
+ *    On a 1-hardware-thread host the efficiency figures could only
+ *    measure oversubscription, so the section records skipped = 1 and
+ *    nothing else is emitted or gated.
  *
  * With --check-baseline FILE the run exits 1 on a >5x collapse of any
- * kernel point present in both the run and the baseline. Scaling
- * points are only gated when the host has more than one hardware
- * thread; a 1-thread host prints a note and skips them.
+ * kernel point present in both the run and the baseline.
  */
 
 #include <algorithm>
@@ -43,6 +53,10 @@
 #include <vector>
 
 #include "bce/bce.hh"
+#include "bce/simd_kernels.hh"
+#include "dnn/im2col.hh"
+#include "dnn/layer.hh"
+#include "dnn/quantize.hh"
 #include "mem/energy_account.hh"
 #include "mem/subarray.hh"
 #include "sim/bench_json.hh"
@@ -119,7 +133,7 @@ measure_membw_bytes_per_s()
     return best;
 }
 
-/** Steady-state MAC/s of one span kernel on the active ISA. */
+/** Steady-state MAC/s of one span kernel on the active ISA and tally. */
 double
 measure_kernel_macs_per_s(bce::BceMode mode, unsigned bits,
                           std::size_t reps, std::int64_t &checksum)
@@ -143,6 +157,78 @@ measure_kernel_macs_per_s(bce::BceMode mode, unsigned bits,
     const double secs = seconds_since(start);
     const double macs = static_cast<double>(reps) * len;
     return secs > 0.0 ? macs / secs : 0.0;
+}
+
+/** Wall seconds per stage of one conv image at the active ISA. */
+struct StageSeconds
+{
+    double quantize = 0.0;
+    double im2col = 0.0;
+    double kernel = 0.0;
+};
+
+/**
+ * The production conv pipeline of core/functional.cc, staged and timed
+ * separately: quantize the whole input plane once, extract every int8
+ * patch with the row-run copies, then run the tiered span kernel per
+ * (output position, output channel). Patches are staged into one
+ * buffer so the kernel timing reads exactly what im2col produced
+ * without re-extracting inside the timed kernel loop.
+ */
+StageSeconds
+measure_stage_breakdown(std::size_t reps, std::int64_t &checksum)
+{
+    const dnn::Layer l =
+        dnn::make_conv("stage", {32, 16, 16}, 32, 3, 1, 1);
+    const dnn::FeatureShape out = l.outputShape();
+    const std::size_t in_elems = l.input.elements();
+    const std::size_t patch_len =
+        std::size_t(l.input.c) * l.kernelH * l.kernelW;
+    const std::size_t positions = std::size_t(out.h) * out.w;
+
+    std::vector<float> in(in_elems);
+    for (std::size_t i = 0; i < in_elems; ++i)
+        in[i] = static_cast<float>(static_cast<int>(i * 13 % 255) - 127)
+                / 64.0f;
+    dnn::SymQuant sq;
+    sq.scale = 1.0 / 64.0;
+
+    std::vector<std::int8_t> qin(in_elems);
+    std::vector<std::int8_t> patches(positions * patch_len);
+    const std::vector<std::int8_t> weights =
+        pattern(std::size_t(l.outChannels) * patch_len, 5, 127);
+
+    Engine e(bce::BceMode::Conv);
+    // Warm-up: fault pages and seed the conv table untimed.
+    dnn::quantize_span(sq, in.data(), in_elems, qin.data());
+    checksum += e.bce.dotProductSpan(qin.data(), qin.data(),
+                                     std::min(in_elems, patch_len), 8);
+
+    StageSeconds s;
+    for (std::size_t r = 0; r < reps; ++r) {
+        auto t0 = std::chrono::steady_clock::now();
+        dnn::quantize_span(sq, in.data(), in_elems, qin.data());
+        s.quantize += seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        for (unsigned oh = 0; oh < out.h; ++oh)
+            for (unsigned ow = 0; ow < out.w; ++ow)
+                dnn::im2col_patch_i8(
+                    l, qin.data(), oh, ow,
+                    patches.data()
+                        + (std::size_t(oh) * out.w + ow) * patch_len);
+        s.im2col += seconds_since(t0);
+
+        t0 = std::chrono::steady_clock::now();
+        for (std::size_t p = 0; p < positions; ++p)
+            for (unsigned oc = 0; oc < l.outChannels; ++oc)
+                checksum += e.bce.dotProductSpan(
+                    patches.data() + p * patch_len,
+                    weights.data() + std::size_t(oc) * patch_len,
+                    patch_len, 8);
+        s.kernel += seconds_since(t0);
+    }
+    return s;
 }
 
 /**
@@ -184,12 +270,16 @@ kernel_section(sim::SimdLevel level)
     return std::string("kernel_") + sim::simd_level_name(level);
 }
 
+constexpr sim::SimdLevel all_levels[] = {
+    sim::SimdLevel::Scalar, sim::SimdLevel::Sse42, sim::SimdLevel::Neon,
+    sim::SimdLevel::Avx2, sim::SimdLevel::Avx512};
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_pr8.json";
+    std::string out_path = "BENCH_pr9.json";
     std::string baseline_path;
     for (int i = 1; i + 1 < argc; ++i) {
         if (!std::strcmp(argv[i], "--out"))
@@ -218,18 +308,26 @@ main(int argc, char **argv)
     std::int64_t checksum0 = 0; // scalar reference checksums
     double scalar_conv = 0.0;
     double best_conv = 0.0;
-    for (const sim::SimdLevel level :
-         {sim::SimdLevel::Scalar, sim::SimdLevel::Sse42,
-          sim::SimdLevel::Neon, sim::SimdLevel::Avx2}) {
+    for (const sim::SimdLevel level : all_levels) {
         if (!sim::simd_level_compiled(level)
             || !sim::simd_level_supported(level))
             continue;
         sim::force_simd_level(level);
         std::int64_t checksum = 0;
+
+        // Headline: the gather-free histogram tally (the default).
+        bce::simd::force_tally_mode(bce::simd::TallyMode::Histogram);
         const double conv = measure_kernel_macs_per_s(
             bce::BceMode::Conv, 8, reps, checksum);
         const double mm = measure_kernel_macs_per_s(
             bce::BceMode::Matmul, 8, reps, checksum);
+
+        // Ablation: same span, delta-plane gather pinned.
+        bce::simd::force_tally_mode(bce::simd::TallyMode::Gather);
+        const double conv_gather = measure_kernel_macs_per_s(
+            bce::BceMode::Conv, 8, reps, checksum);
+        bce::simd::reset_tally_mode();
+
         if (level == sim::SimdLevel::Scalar) {
             scalar_conv = conv;
             checksum0 = checksum;
@@ -241,18 +339,47 @@ main(int argc, char **argv)
         const std::string sec = kernel_section(level);
         json.set(sec, "conv_8bit_macs_per_s", conv);
         json.set(sec, "matmul_8bit_macs_per_s", mm);
+        json.set(sec, "conv_8bit_gather_macs_per_s", conv_gather);
+        json.set(sec, "hist_over_gather",
+                 conv_gather > 0.0 ? conv / conv_gather : 0.0);
         json.set(sec, "speedup_vs_scalar",
                  scalar_conv > 0.0 ? conv / scalar_conv : 0.0);
         best_conv = std::max(best_conv, conv);
-        char line[160];
+        char line[200];
         std::snprintf(line, sizeof(line),
                       "%-14s conv %10.2f MMAC/s  matmul %10.2f MMAC/s  "
-                      "vs scalar %5.2fx\n",
+                      "gather %10.2f MMAC/s  vs scalar %5.2fx\n",
                       sec.c_str(), conv / 1e6, mm / 1e6,
+                      conv_gather / 1e6,
                       scalar_conv > 0.0 ? conv / scalar_conv : 0.0);
         std::cout << line;
     }
     sim::reset_simd_level();
+
+    // ---- Per-stage breakdown at the resolved ISA --------------------
+    {
+        std::int64_t stage_checksum = 0;
+        const std::size_t stage_reps = 40;
+        const StageSeconds s =
+            measure_stage_breakdown(stage_reps, stage_checksum);
+        const double per = 1.0 / static_cast<double>(stage_reps);
+        const double total = s.quantize + s.im2col + s.kernel;
+        const double front = s.quantize + s.im2col;
+        json.set("stages", "quantize_ms_per_image",
+                 1e3 * s.quantize * per);
+        json.set("stages", "im2col_ms_per_image", 1e3 * s.im2col * per);
+        json.set("stages", "kernel_ms_per_image", 1e3 * s.kernel * per);
+        json.set("stages", "front_half_fraction",
+                 total > 0.0 ? front / total : 0.0);
+        char line[200];
+        std::snprintf(line, sizeof(line),
+                      "stages: quantize %.3f ms  im2col %.3f ms  "
+                      "kernel %.3f ms  front-half %4.1f%%\n",
+                      1e3 * s.quantize * per, 1e3 * s.im2col * per,
+                      1e3 * s.kernel * per,
+                      total > 0.0 ? 100.0 * front / total : 0.0);
+        std::cout << line;
+    }
 
     // ---- Roofline placement -----------------------------------------
     // The steady-state tiered MAC streams exactly the two int8
@@ -268,32 +395,44 @@ main(int argc, char **argv)
               << (roof > 0.0 ? 100.0 * best_conv / roof : 0.0) << "%\n";
 
     // ---- Thread scaling ---------------------------------------------
-    const std::size_t reps_per_thread = 20000;
-    double rate1 = 0.0, rate8 = 0.0;
-    for (const unsigned t : {1u, 2u, 4u, 8u}) {
-        const double rate = measure_scaling_macs_per_s(t,
-                                                       reps_per_thread);
-        if (t == 1)
-            rate1 = rate;
-        if (t == 8)
-            rate8 = rate;
-        const double eff =
-            rate1 > 0.0 ? rate / (static_cast<double>(t) * rate1) : 0.0;
-        const std::string key_rate =
-            "rate_t" + std::to_string(t) + "_macs_per_s";
-        const std::string key_eff =
-            "efficiency_t" + std::to_string(t);
-        json.set("scaling", key_rate, rate);
-        json.set("scaling", key_eff, eff);
-        char line[120];
-        std::snprintf(line, sizeof(line),
-                      "threads %u: %10.2f MMAC/s  efficiency %5.2f\n", t,
-                      rate / 1e6, eff);
-        std::cout << line;
+    // On a 1-hardware-thread host every multi-worker point measures
+    // oversubscription, not scaling: record the skip and emit no
+    // efficiency figures at all rather than misleading ones.
+    if (hw <= 1) {
+        json.set("scaling", "skipped", 1.0);
+        json.set("scaling", "hardware_threads", static_cast<double>(hw));
+        std::cout << "scaling: skipped (1 hardware thread)\n";
+    } else {
+        const std::size_t reps_per_thread = 20000;
+        double rate1 = 0.0, rate8 = 0.0;
+        json.set("scaling", "skipped", 0.0);
+        for (const unsigned t : {1u, 2u, 4u, 8u}) {
+            const double rate =
+                measure_scaling_macs_per_s(t, reps_per_thread);
+            if (t == 1)
+                rate1 = rate;
+            if (t == 8)
+                rate8 = rate;
+            const double eff =
+                rate1 > 0.0 ? rate / (static_cast<double>(t) * rate1)
+                            : 0.0;
+            const std::string key_rate =
+                "rate_t" + std::to_string(t) + "_macs_per_s";
+            const std::string key_eff =
+                "efficiency_t" + std::to_string(t);
+            json.set("scaling", key_rate, rate);
+            json.set("scaling", key_eff, eff);
+            char line[120];
+            std::snprintf(line, sizeof(line),
+                          "threads %u: %10.2f MMAC/s  efficiency "
+                          "%5.2f\n",
+                          t, rate / 1e6, eff);
+            std::cout << line;
+        }
+        json.set("scaling", "t8_over_t1",
+                 rate1 > 0.0 ? rate8 / rate1 : 0.0);
+        json.set("scaling", "hardware_threads", static_cast<double>(hw));
     }
-    json.set("scaling", "t8_over_t1",
-             rate1 > 0.0 ? rate8 / rate1 : 0.0);
-    json.set("scaling", "hardware_threads", static_cast<double>(hw));
 
     if (!json.save(out_path)) {
         std::cerr << "cannot write " << out_path << "\n";
@@ -312,9 +451,7 @@ main(int argc, char **argv)
         // for kernel points this host actually measured: the gate
         // catches algorithmic regressions, not runner noise or a
         // narrower-ISA runner.
-        for (const sim::SimdLevel level :
-             {sim::SimdLevel::Scalar, sim::SimdLevel::Sse42,
-              sim::SimdLevel::Neon, sim::SimdLevel::Avx2}) {
+        for (const sim::SimdLevel level : all_levels) {
             const std::string sec = kernel_section(level);
             const double now = json.get(sec, "conv_8bit_macs_per_s",
                                         0.0);
@@ -327,9 +464,9 @@ main(int argc, char **argv)
                 ok = false;
             }
         }
-        if (hw <= 1) {
-            std::cout << "note: 1 hardware thread; scaling points "
-                         "recorded but not gated\n";
+        if (json.get("scaling", "skipped", 1.0) != 0.0) {
+            std::cout << "note: scaling skipped on this host; points "
+                         "not gated\n";
         } else {
             const double now = json.get("scaling", "t8_over_t1", 0.0);
             const double ref = baseline.get("scaling", "t8_over_t1",

@@ -1,6 +1,9 @@
 #include "simd_kernels.hh"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
 
 #include "sim/cpuid.hh"
 
@@ -15,6 +18,23 @@
 namespace bfree::bce::simd {
 
 namespace {
+
+/** The one resolved tally mode; std::nullopt until first use. */
+std::optional<TallyMode> resolvedTally;
+
+TallyMode
+resolve_tally_from_environment()
+{
+    const char *mode = std::getenv("BFREE_TIERED_TALLY");
+    if (mode == nullptr || mode[0] == '\0')
+        return TallyMode::Histogram;
+    if (!std::strcmp(mode, "histogram"))
+        return TallyMode::Histogram;
+    if (!std::strcmp(mode, "gather"))
+        return TallyMode::Gather;
+    bfree_fatal("BFREE_TIERED_TALLY=", mode, " is not a known tally "
+                "mode (expected histogram or gather)");
+}
 
 /**
  * Blocked scalar tally over packed micro-op deltas. Two u64
@@ -103,6 +123,143 @@ span_scalar(const lut::DatapathTable &t, const std::int8_t *a,
 
 #ifdef BFREE_X86_KERNELS
 
+// The pair_type_class compression split into two 16-lane pshufb
+// tables (indices 0..15 and 16..24); derived from the canonical array
+// so the in-register classifier can never drift from the scalar one.
+constexpr std::array<std::uint8_t, 16>
+id25_lo_table()
+{
+    std::array<std::uint8_t, 16> r{};
+    for (unsigned i = 0; i < 16; ++i)
+        r[i] = lut::DatapathTable::pair_type_class[i];
+    return r;
+}
+
+constexpr std::array<std::uint8_t, 16>
+id25_hi_table()
+{
+    std::array<std::uint8_t, 16> r{};
+    for (unsigned i = 16; i < 25; ++i)
+        r[i - 16] = lut::DatapathTable::pair_type_class[i];
+    return r;
+}
+
+constexpr std::array<std::uint8_t, 16> id25_lo = id25_lo_table();
+constexpr std::array<std::uint8_t, 16> id25_hi = id25_hi_table();
+
+/**
+ * In-register operand classifier: one CLASSIFY expands a vector of
+ * int8 operands into their structural classes (0..14) per byte, the
+ * exact vector analogue of DatapathTable::operand_class(|v|).
+ *
+ *   u  = abs(v)                  (abs(-128) wraps to 0x80 = |+128|)
+ *   t  = nibble_type[u.lo4], nibble_type[u.hi4]   (pshufb)
+ *   s  = t_hi * 5 + t_lo         (t_hi + (t_hi << 2) + t_lo; both
+ *                                 types <= 4, so s <= 24 with no
+ *                                 cross-byte carry under the 16-bit
+ *                                 shift)
+ *   cls = pair_type_class[s]     (two pshufbs blended on s > 15;
+ *                                 pshufb zeroes lanes whose index
+ *                                 byte went negative after the -16)
+ *
+ * Implemented as macros, not helpers: lambdas and callees inside a
+ * target("...")-attributed function do not inherit the attribute, and
+ * gcc refuses to inline always_inline intrinsics across that
+ * boundary.
+ */
+#define BFREE_CLASSIFY_CONSTS_256                                        \
+    const __m256i kT4 =                                                  \
+        _mm256_broadcastsi128_si256(_mm_loadu_si128(                     \
+            reinterpret_cast<const __m128i *>(                           \
+                lut::DatapathTable::nibble_type.data())));               \
+    const __m256i kId25Lo = _mm256_broadcastsi128_si256(_mm_loadu_si128( \
+        reinterpret_cast<const __m128i *>(id25_lo.data())));             \
+    const __m256i kId25Hi = _mm256_broadcastsi128_si256(_mm_loadu_si128( \
+        reinterpret_cast<const __m128i *>(id25_hi.data())));             \
+    const __m256i kNib = _mm256_set1_epi8(0x0F);                         \
+    const __m256i k15 = _mm256_set1_epi8(15);                            \
+    const __m256i k16 = _mm256_set1_epi8(16)
+
+#define BFREE_CLASSIFY_256(v, cls)                                       \
+    do {                                                                 \
+        const __m256i u_ = _mm256_abs_epi8(v);                           \
+        const __m256i lo_ = _mm256_and_si256(u_, kNib);                  \
+        const __m256i hi_ =                                              \
+            _mm256_and_si256(_mm256_srli_epi16(u_, 4), kNib);            \
+        const __m256i tl_ = _mm256_shuffle_epi8(kT4, lo_);               \
+        const __m256i th_ = _mm256_shuffle_epi8(kT4, hi_);               \
+        const __m256i s_ = _mm256_add_epi8(                              \
+            _mm256_add_epi8(                                             \
+                th_, _mm256_slli_epi16(_mm256_and_si256(th_, kNib), 2)), \
+            tl_);                                                        \
+        const __m256i rlo_ = _mm256_shuffle_epi8(kId25Lo, s_);           \
+        const __m256i rhi_ =                                             \
+            _mm256_shuffle_epi8(kId25Hi, _mm256_sub_epi8(s_, k16));      \
+        const __m256i m_ = _mm256_cmpgt_epi8(s_, k15);                   \
+        (cls) = _mm256_blendv_epi8(rlo_, rhi_, m_);                      \
+    } while (0)
+
+#define BFREE_CLASSIFY_CONSTS_128                                        \
+    const __m128i kT4 = _mm_loadu_si128(reinterpret_cast<const __m128i   \
+                                            *>(                          \
+        lut::DatapathTable::nibble_type.data()));                        \
+    const __m128i kId25Lo = _mm_loadu_si128(                             \
+        reinterpret_cast<const __m128i *>(id25_lo.data()));              \
+    const __m128i kId25Hi = _mm_loadu_si128(                             \
+        reinterpret_cast<const __m128i *>(id25_hi.data()));              \
+    const __m128i kNib = _mm_set1_epi8(0x0F);                            \
+    const __m128i k15 = _mm_set1_epi8(15);                               \
+    const __m128i k16 = _mm_set1_epi8(16)
+
+#define BFREE_CLASSIFY_128(v, cls)                                       \
+    do {                                                                 \
+        const __m128i u_ = _mm_abs_epi8(v);                              \
+        const __m128i lo_ = _mm_and_si128(u_, kNib);                     \
+        const __m128i hi_ = _mm_and_si128(_mm_srli_epi16(u_, 4), kNib);  \
+        const __m128i tl_ = _mm_shuffle_epi8(kT4, lo_);                  \
+        const __m128i th_ = _mm_shuffle_epi8(kT4, hi_);                  \
+        const __m128i s_ = _mm_add_epi8(                                 \
+            _mm_add_epi8(th_,                                            \
+                         _mm_slli_epi16(_mm_and_si128(th_, kNib), 2)),   \
+            tl_);                                                        \
+        const __m128i rlo_ = _mm_shuffle_epi8(kId25Lo, s_);              \
+        const __m128i rhi_ =                                             \
+            _mm_shuffle_epi8(kId25Hi, _mm_sub_epi8(s_, k16));            \
+        const __m128i m_ = _mm_cmpgt_epi8(s_, k15);                      \
+        (cls) = _mm_blendv_epi8(rlo_, rhi_, m_);                         \
+    } while (0)
+
+#define BFREE_CLASSIFY_CONSTS_512                                        \
+    const __m512i kT4 = _mm512_broadcast_i32x4(_mm_loadu_si128(          \
+        reinterpret_cast<const __m128i *>(                               \
+            lut::DatapathTable::nibble_type.data())));                   \
+    const __m512i kId25Lo = _mm512_broadcast_i32x4(_mm_loadu_si128(      \
+        reinterpret_cast<const __m128i *>(id25_lo.data())));             \
+    const __m512i kId25Hi = _mm512_broadcast_i32x4(_mm_loadu_si128(      \
+        reinterpret_cast<const __m128i *>(id25_hi.data())));             \
+    const __m512i kNib = _mm512_set1_epi8(0x0F);                         \
+    const __m512i k15 = _mm512_set1_epi8(15);                            \
+    const __m512i k16 = _mm512_set1_epi8(16)
+
+#define BFREE_CLASSIFY_512(v, cls)                                       \
+    do {                                                                 \
+        const __m512i u_ = _mm512_abs_epi8(v);                           \
+        const __m512i lo_ = _mm512_and_si512(u_, kNib);                  \
+        const __m512i hi_ =                                              \
+            _mm512_and_si512(_mm512_srli_epi16(u_, 4), kNib);            \
+        const __m512i tl_ = _mm512_shuffle_epi8(kT4, lo_);               \
+        const __m512i th_ = _mm512_shuffle_epi8(kT4, hi_);               \
+        const __m512i s_ = _mm512_add_epi8(                              \
+            _mm512_add_epi8(                                             \
+                th_, _mm512_slli_epi16(_mm512_and_si512(th_, kNib), 2)), \
+            tl_);                                                        \
+        const __m512i rlo_ = _mm512_shuffle_epi8(kId25Lo, s_);           \
+        const __m512i rhi_ =                                             \
+            _mm512_shuffle_epi8(kId25Hi, _mm512_sub_epi8(s_, k16));      \
+        const __mmask64 m_ = _mm512_cmpgt_epi8_mask(s_, k15);            \
+        (cls) = _mm512_mask_blend_epi8(m_, rlo_, rhi_);                  \
+    } while (0)
+
 /** Sum of eight u32 lanes, widened (store-and-add; spill path only). */
 __attribute__((target("avx2"))) std::uint64_t
 hsum_u32x8(__m256i v)
@@ -115,12 +272,389 @@ hsum_u32x8(__m256i v)
     return sum;
 }
 
+/** Sum of four u32 lanes (SSE spill path). */
+__attribute__((target("sse4.2"))) std::uint64_t
+hsum_u32x4(__m128i v)
+{
+    alignas(16) std::uint32_t lane[4];
+    _mm_store_si128(reinterpret_cast<__m128i *>(lane), v);
+    return std::uint64_t{lane[0]} + lane[1] + lane[2] + lane[3];
+}
+
+/** Mod-2^32 sum of eight u32 lanes (the wrapping product reduce). */
+__attribute__((target("avx2"))) std::uint32_t
+wsum_u32x8(__m256i v)
+{
+    __m128i r = _mm_add_epi32(_mm256_castsi256_si128(v),
+                              _mm256_extracti128_si256(v, 1));
+    r = _mm_add_epi32(r, _mm_srli_si128(r, 8));
+    r = _mm_add_epi32(r, _mm_srli_si128(r, 4));
+    return static_cast<std::uint32_t>(_mm_cvtsi128_si32(r));
+}
+
+// GCC 12's -Wmaybe-uninitialized fires through the self-initialized
+// _mm*_undefined_*() the AVX-512 intrinsic headers pass as the (never
+// read, mask = -1) masked-fallback operand; known false positive
+// (GCC PR105593), suppressed for the 512-bit kernels only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
 /**
- * AVX2 variant: 8 operand pairs per step. Widening byte->dword
+ * The feature dot products of one span, the factored histogram fold:
+ * P = sum p(a)p(b), O = sum o(a)o(b), L = sum l(a)l(b),
+ * Z = sum z(a)z(b). The caller turns them into micro-op tallies with
+ * the verified bilinear formulas (see DatapathTable).
+ */
+struct FeatureSums
+{
+    std::uint64_t p = 0, o = 0, l = 0, z = 0;
+};
+
+/** Fold the feature dot products into SpanSums micro-op tallies. */
+void
+fold_features(const FeatureSums &f, std::uint32_t cyclesFactor,
+              SpanSums &s)
+{
+    s.lookups += f.l;
+    s.shifts += f.p - f.o;
+    s.adds += f.p - f.z;
+    s.cycles += cyclesFactor * f.p;
+}
+
+// Per-iteration ceiling on a 16-bit feature accumulator lane: each
+// maddubs adds two products of <=2*2, so <=8 per lane per step; spill
+// every 4000 steps keeps lanes <=32000 < 2^15.
+constexpr std::size_t sep_spill_block = 4000;
+
+/**
+ * Reduce four madd-widened u32x8 feature sums in one hadd tree instead
+ * of four scalarized lane walks: two hadds interleave [P.. O..] and
+ * [L.. Z..], a third yields [P O L Z | P O L Z], and the cross-lane
+ * add leaves one dword per feature. Lane bound: spilled 16-bit lanes
+ * stay under 2^15 and the tree sums at most eight of them, far from
+ * u32 overflow. The serialized vpextrd chain this replaces dominated
+ * short spans — the epilogue runs once per call and production spans
+ * are a few hundred elements.
+ */
+__attribute__((target("avx2"))) void
+reduce_features_u32x8(__m256i p, __m256i o, __m256i l, __m256i z,
+                      FeatureSums &f)
+{
+    const __m256i po = _mm256_hadd_epi32(p, o);
+    const __m256i lz = _mm256_hadd_epi32(l, z);
+    const __m256i polz = _mm256_hadd_epi32(po, lz);
+    const __m128i r = _mm_add_epi32(_mm256_castsi256_si128(polz),
+                                    _mm256_extracti128_si256(polz, 1));
+    f.p += static_cast<std::uint32_t>(_mm_extract_epi32(r, 0));
+    f.o += static_cast<std::uint32_t>(_mm_extract_epi32(r, 1));
+    f.l += static_cast<std::uint32_t>(_mm_extract_epi32(r, 2));
+    f.z += static_cast<std::uint32_t>(_mm_extract_epi32(r, 3));
+}
+
+/** The 128-bit form of the same hadd-tree feature reduce. */
+__attribute__((target("sse4.2"))) void
+reduce_features_u32x4(__m128i p, __m128i o, __m128i l, __m128i z,
+                      FeatureSums &f)
+{
+    const __m128i po = _mm_hadd_epi32(p, o);
+    const __m128i lz = _mm_hadd_epi32(l, z);
+    const __m128i r = _mm_hadd_epi32(po, lz);
+    f.p += static_cast<std::uint32_t>(_mm_extract_epi32(r, 0));
+    f.o += static_cast<std::uint32_t>(_mm_extract_epi32(r, 1));
+    f.l += static_cast<std::uint32_t>(_mm_extract_epi32(r, 2));
+    f.z += static_cast<std::uint32_t>(_mm_extract_epi32(r, 3));
+}
+
+/**
+ * AVX2 histogram-tally kernel: 32 operand pairs per step, no table
+ * access in the loop. Products via widening madd (exact: |a*b| <=
+ * 2^14 fits int16 pairs, and wrapped mod-2^32 sums match the scalar
+ * u32 accumulation); micro-op tallies via the factored class-feature
+ * fold against the build-verified pairDeltas collapse. Only
+ * dispatched for 8-bit productsExact+histogramExact tables, so no
+ * clamp/strict handling exists here by construction.
+ */
+__attribute__((target("avx2"))) SpanSums
+span_avx2_hist(const lut::DatapathTable &t, const std::int8_t *a,
+               const std::int8_t *b, std::size_t len)
+{
+    SpanSums s;
+    BFREE_CLASSIFY_CONSTS_256;
+    const __m256i kFP = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_p.data())));
+    const __m256i kFO = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_o.data())));
+    const __m256i kFL = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_l.data())));
+    const __m256i kFZ = _mm256_broadcastsi128_si256(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_z.data())));
+    const __m256i kOne16 = _mm256_set1_epi16(1);
+
+    __m256i accP = _mm256_setzero_si256();
+    __m256i sP = accP, sO = accP, sL = accP, sZ = accP;
+    FeatureSums f;
+    std::uint32_t acc = 0;
+    std::size_t sinceSpill = 0;
+
+#define BFREE_SEP_SPILL_256()                                            \
+    do {                                                                 \
+        reduce_features_u32x8(_mm256_madd_epi16(sP, kOne16),             \
+                              _mm256_madd_epi16(sO, kOne16),             \
+                              _mm256_madd_epi16(sL, kOne16),             \
+                              _mm256_madd_epi16(sZ, kOne16), f);         \
+        sP = sO = sL = sZ = _mm256_setzero_si256();                      \
+        sinceSpill = 0;                                                  \
+    } while (0)
+
+    std::size_t i = 0;
+    for (; i + 32 <= len; i += 32) {
+        const __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + i));
+        const __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + i));
+
+        const __m256i a0 =
+            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+        const __m256i a1 =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(va, 1));
+        const __m256i b0 =
+            _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+        const __m256i b1 =
+            _mm256_cvtepi8_epi16(_mm256_extracti128_si256(vb, 1));
+        accP = _mm256_add_epi32(accP, _mm256_madd_epi16(a0, b0));
+        accP = _mm256_add_epi32(accP, _mm256_madd_epi16(a1, b1));
+
+        __m256i ca, cb;
+        BFREE_CLASSIFY_256(va, ca);
+        BFREE_CLASSIFY_256(vb, cb);
+        sP = _mm256_add_epi16(
+            sP, _mm256_maddubs_epi16(_mm256_shuffle_epi8(kFP, ca),
+                                     _mm256_shuffle_epi8(kFP, cb)));
+        sO = _mm256_add_epi16(
+            sO, _mm256_maddubs_epi16(_mm256_shuffle_epi8(kFO, ca),
+                                     _mm256_shuffle_epi8(kFO, cb)));
+        sL = _mm256_add_epi16(
+            sL, _mm256_maddubs_epi16(_mm256_shuffle_epi8(kFL, ca),
+                                     _mm256_shuffle_epi8(kFL, cb)));
+        sZ = _mm256_add_epi16(
+            sZ, _mm256_maddubs_epi16(_mm256_shuffle_epi8(kFZ, ca),
+                                     _mm256_shuffle_epi8(kFZ, cb)));
+        if (++sinceSpill == sep_spill_block)
+            BFREE_SEP_SPILL_256();
+    }
+    BFREE_SEP_SPILL_256();
+#undef BFREE_SEP_SPILL_256
+    fold_features(f, t.cyclesFactor(), s);
+    acc += wsum_u32x8(accP);
+
+    // The guard is not cosmetic: the inlined scalar loop's setup costs
+    // hundreds of cycles even over an empty range, which dominated
+    // short spans.
+    if (i < len)
+        scalar_range(t, a, b, i, len, false, false, acc, s);
+    s.acc = static_cast<std::int32_t>(acc);
+    return s;
+}
+
+/**
+ * AVX-512 histogram-tally kernel: 64 pairs per step, same factored
+ * fold as the AVX2 variant in 512-bit lanes (BW byte shuffles,
+ * mask-blended class compression).
+ */
+__attribute__((target("avx512f,avx512bw,avx512vl"))) SpanSums
+span_avx512_hist(const lut::DatapathTable &t, const std::int8_t *a,
+                 const std::int8_t *b, std::size_t len)
+{
+    SpanSums s;
+    BFREE_CLASSIFY_CONSTS_512;
+    const __m512i kFP = _mm512_broadcast_i32x4(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_p.data())));
+    const __m512i kFO = _mm512_broadcast_i32x4(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_o.data())));
+    const __m512i kFL = _mm512_broadcast_i32x4(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_l.data())));
+    const __m512i kFZ = _mm512_broadcast_i32x4(_mm_loadu_si128(
+        reinterpret_cast<const __m128i *>(
+            lut::DatapathTable::class_feature_z.data())));
+    const __m512i kOne16 = _mm512_set1_epi16(1);
+
+    __m512i accP = _mm512_setzero_si512();
+    __m512i sP = accP, sO = accP, sL = accP, sZ = accP;
+    FeatureSums f;
+    std::uint32_t acc = 0;
+    std::size_t sinceSpill = 0;
+
+// Fold one madd-widened 512-bit sum onto its 256-bit halves.
+#define BFREE_FOLD_512(v)                                                \
+    _mm256_add_epi32(                                                    \
+        _mm512_castsi512_si256(_mm512_madd_epi16(v, kOne16)),            \
+        _mm512_extracti64x4_epi64(_mm512_madd_epi16(v, kOne16), 1))
+
+#define BFREE_SEP_SPILL_512()                                            \
+    do {                                                                 \
+        reduce_features_u32x8(BFREE_FOLD_512(sP), BFREE_FOLD_512(sO),    \
+                              BFREE_FOLD_512(sL), BFREE_FOLD_512(sZ),    \
+                              f);                                        \
+        sP = sO = sL = sZ = _mm512_setzero_si512();                      \
+        sinceSpill = 0;                                                  \
+    } while (0)
+
+    std::size_t i = 0;
+    for (; i + 64 <= len; i += 64) {
+        const __m512i va = _mm512_loadu_si512(a + i);
+        const __m512i vb = _mm512_loadu_si512(b + i);
+
+        const __m512i a0 =
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(va));
+        const __m512i a1 =
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(va, 1));
+        const __m512i b0 =
+            _mm512_cvtepi8_epi16(_mm512_castsi512_si256(vb));
+        const __m512i b1 =
+            _mm512_cvtepi8_epi16(_mm512_extracti64x4_epi64(vb, 1));
+        accP = _mm512_add_epi32(accP, _mm512_madd_epi16(a0, b0));
+        accP = _mm512_add_epi32(accP, _mm512_madd_epi16(a1, b1));
+
+        __m512i ca, cb;
+        BFREE_CLASSIFY_512(va, ca);
+        BFREE_CLASSIFY_512(vb, cb);
+        sP = _mm512_add_epi16(
+            sP, _mm512_maddubs_epi16(_mm512_shuffle_epi8(kFP, ca),
+                                     _mm512_shuffle_epi8(kFP, cb)));
+        sO = _mm512_add_epi16(
+            sO, _mm512_maddubs_epi16(_mm512_shuffle_epi8(kFO, ca),
+                                     _mm512_shuffle_epi8(kFO, cb)));
+        sL = _mm512_add_epi16(
+            sL, _mm512_maddubs_epi16(_mm512_shuffle_epi8(kFL, ca),
+                                     _mm512_shuffle_epi8(kFL, cb)));
+        sZ = _mm512_add_epi16(
+            sZ, _mm512_maddubs_epi16(_mm512_shuffle_epi8(kFZ, ca),
+                                     _mm512_shuffle_epi8(kFZ, cb)));
+        if (++sinceSpill == sep_spill_block)
+            BFREE_SEP_SPILL_512();
+    }
+    BFREE_SEP_SPILL_512();
+#undef BFREE_SEP_SPILL_512
+#undef BFREE_FOLD_512
+    fold_features(f, t.cyclesFactor(), s);
+    acc += wsum_u32x8(
+        _mm256_add_epi32(_mm512_castsi512_si256(accP),
+                         _mm512_extracti64x4_epi64(accP, 1)));
+
+    // Up to 63 elements remain; the 256-bit kernel chews them 32 at a
+    // time (plus its own scalar tail), which beats walking them all
+    // through the table-indexed scalar loop.
+    if (i < len) {
+        const SpanSums tail = span_avx2_hist(t, a + i, b + i, len - i);
+        acc += static_cast<std::uint32_t>(tail.acc);
+        s.lookups += tail.lookups;
+        s.shifts += tail.shifts;
+        s.adds += tail.adds;
+        s.cycles += tail.cycles;
+    }
+    s.acc = static_cast<std::int32_t>(acc);
+    return s;
+}
+
+#pragma GCC diagnostic pop
+
+/**
+ * SSE4.2 histogram-tally kernel: 16 pairs per step (pshufb/maddubs
+ * are SSSE3, the widening converts SSE4.1).
+ */
+__attribute__((target("sse4.2"))) SpanSums
+span_sse42_hist(const lut::DatapathTable &t, const std::int8_t *a,
+                const std::int8_t *b, std::size_t len)
+{
+    SpanSums s;
+    BFREE_CLASSIFY_CONSTS_128;
+    const __m128i kFP = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+        lut::DatapathTable::class_feature_p.data()));
+    const __m128i kFO = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+        lut::DatapathTable::class_feature_o.data()));
+    const __m128i kFL = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+        lut::DatapathTable::class_feature_l.data()));
+    const __m128i kFZ = _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+        lut::DatapathTable::class_feature_z.data()));
+    const __m128i kOne16 = _mm_set1_epi16(1);
+
+    __m128i accP = _mm_setzero_si128();
+    __m128i sP = accP, sO = accP, sL = accP, sZ = accP;
+    FeatureSums f;
+    std::uint32_t acc = 0;
+    std::size_t sinceSpill = 0;
+
+#define BFREE_SEP_SPILL_128()                                            \
+    do {                                                                 \
+        reduce_features_u32x4(_mm_madd_epi16(sP, kOne16),                \
+                              _mm_madd_epi16(sO, kOne16),                \
+                              _mm_madd_epi16(sL, kOne16),                \
+                              _mm_madd_epi16(sZ, kOne16), f);            \
+        sP = sO = sL = sZ = _mm_setzero_si128();                         \
+        sinceSpill = 0;                                                  \
+    } while (0)
+
+    std::size_t i = 0;
+    for (; i + 16 <= len; i += 16) {
+        const __m128i va =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(a + i));
+        const __m128i vb =
+            _mm_loadu_si128(reinterpret_cast<const __m128i *>(b + i));
+
+        const __m128i a0 = _mm_cvtepi8_epi16(va);
+        const __m128i a1 = _mm_cvtepi8_epi16(_mm_srli_si128(va, 8));
+        const __m128i b0 = _mm_cvtepi8_epi16(vb);
+        const __m128i b1 = _mm_cvtepi8_epi16(_mm_srli_si128(vb, 8));
+        accP = _mm_add_epi32(accP, _mm_madd_epi16(a0, b0));
+        accP = _mm_add_epi32(accP, _mm_madd_epi16(a1, b1));
+
+        __m128i ca, cb;
+        BFREE_CLASSIFY_128(va, ca);
+        BFREE_CLASSIFY_128(vb, cb);
+        sP = _mm_add_epi16(
+            sP, _mm_maddubs_epi16(_mm_shuffle_epi8(kFP, ca),
+                                  _mm_shuffle_epi8(kFP, cb)));
+        sO = _mm_add_epi16(
+            sO, _mm_maddubs_epi16(_mm_shuffle_epi8(kFO, ca),
+                                  _mm_shuffle_epi8(kFO, cb)));
+        sL = _mm_add_epi16(
+            sL, _mm_maddubs_epi16(_mm_shuffle_epi8(kFL, ca),
+                                  _mm_shuffle_epi8(kFL, cb)));
+        sZ = _mm_add_epi16(
+            sZ, _mm_maddubs_epi16(_mm_shuffle_epi8(kFZ, ca),
+                                  _mm_shuffle_epi8(kFZ, cb)));
+        if (++sinceSpill == sep_spill_block)
+            BFREE_SEP_SPILL_128();
+    }
+    BFREE_SEP_SPILL_128();
+#undef BFREE_SEP_SPILL_128
+    fold_features(f, t.cyclesFactor(), s);
+    acc += static_cast<std::uint32_t>(hsum_u32x4(accP));
+
+    if (i < len)
+        scalar_range(t, a, b, i, len, false, false, acc, s);
+    s.acc = static_cast<std::int32_t>(acc);
+    return s;
+}
+
+/**
+ * AVX2 gather variant: 8 operand pairs per step. Widening byte->dword
  * converts feed a mullo for the products (or a product-plane gather
  * when the table is poisoned), one dword gather fetches the packed
  * deltas, and four masked lane accumulators implement the blocked
- * tally (spilled well before any u32 lane can saturate).
+ * tally (spilled well before any u32 lane can saturate). The operand
+ * streams are software-prefetched a few cache lines ahead; per-lane
+ * prefetch of the gather targets was measured counterproductive (the
+ * delta plane is cache-resident, so the extract/prefetch overhead
+ * outweighs any latency it hides).
  */
 __attribute__((target("avx2"))) SpanSums
 span_avx2(const lut::DatapathTable &t, const std::int8_t *a,
@@ -149,6 +683,10 @@ span_avx2(const lut::DatapathTable &t, const std::int8_t *a,
 
     std::size_t i = 0;
     for (; i + 8 <= len; i += 8) {
+        _mm_prefetch(reinterpret_cast<const char *>(a + i + 256),
+                     _MM_HINT_T0);
+        _mm_prefetch(reinterpret_cast<const char *>(b + i + 256),
+                     _MM_HINT_T0);
         __m256i vw = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
             reinterpret_cast<const __m128i *>(a + i)));
         __m256i vx = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
@@ -197,15 +735,16 @@ span_avx2(const lut::DatapathTable &t, const std::int8_t *a,
     s.cycles += hsum_u32x8(f3);
     acc += static_cast<std::uint32_t>(hsum_u32x8(accP));
 
-    scalar_range(t, a, b, i, len, clamp, strict, acc, s);
+    if (i < len)
+        scalar_range(t, a, b, i, len, clamp, strict, acc, s);
     s.acc = static_cast<std::int32_t>(acc);
     return s;
 }
 
 /**
- * SSE4.2 variant: 4 pairs per step. Widening converts plus pmulld
- * cover the product side; without a hardware gather, the packed
- * deltas are fetched with scalar loads into the blocked tally.
+ * SSE4.2 gather variant: 4 pairs per step. Widening converts plus
+ * pmulld cover the product side; without a hardware gather, the
+ * packed deltas are fetched with scalar loads into the blocked tally.
  */
 __attribute__((target("sse4.2"))) SpanSums
 span_sse42(const lut::DatapathTable &t, const std::int8_t *a,
@@ -270,7 +809,8 @@ span_sse42(const lut::DatapathTable &t, const std::int8_t *a,
     _mm_store_si128(reinterpret_cast<__m128i *>(plane), accP);
     acc += plane[0] + plane[1] + plane[2] + plane[3];
 
-    scalar_range(t, a, b, i, len, clamp, strict, acc, s);
+    if (i < len)
+        scalar_range(t, a, b, i, len, clamp, strict, acc, s);
     s.acc = static_cast<std::int32_t>(acc);
     return s;
 }
@@ -321,7 +861,8 @@ span_neon(const lut::DatapathTable &t, const std::int8_t *a,
            + static_cast<std::uint32_t>(vgetq_lane_s32(accP, 2))
            + static_cast<std::uint32_t>(vgetq_lane_s32(accP, 3));
 
-    scalar_range(t, a, b, i, len, clamp, strict, acc, s);
+    if (i < len)
+        scalar_range(t, a, b, i, len, clamp, strict, acc, s);
     s.acc = static_cast<std::int32_t>(acc);
     return s;
 }
@@ -329,6 +870,38 @@ span_neon(const lut::DatapathTable &t, const std::int8_t *a,
 #endif // __ARM_NEON
 
 } // namespace
+
+const char *
+tally_mode_name(TallyMode mode)
+{
+    switch (mode) {
+      case TallyMode::Histogram:
+        return "histogram";
+      case TallyMode::Gather:
+        return "gather";
+    }
+    return "unknown";
+}
+
+TallyMode
+active_tally_mode()
+{
+    if (!resolvedTally)
+        resolvedTally = resolve_tally_from_environment();
+    return *resolvedTally;
+}
+
+void
+force_tally_mode(TallyMode mode)
+{
+    resolvedTally = mode;
+}
+
+void
+reset_tally_mode()
+{
+    resolvedTally = resolve_tally_from_environment();
+}
 
 SpanSums
 run_span(const lut::DatapathTable &table, const std::int8_t *a,
@@ -342,11 +915,31 @@ run_span(const lut::DatapathTable &table, const std::int8_t *a,
     const bool strict =
         semantics == SpanSemantics::MatmulStrict && table.bits() == 4;
 
+    // The gather-free tally requires the pristine steady state: every
+    // product exact (widening multiply legal) and the whole delta
+    // plane verified against the class collapse. 8-bit operands are
+    // always in-domain, so no clamp/strict handling is needed there
+    // by construction. Everything else gathers.
+    [[maybe_unused]] const bool histogramEligible =
+        active_tally_mode() == TallyMode::Histogram
+        && table.bits() == 8 && table.productsExact()
+        && table.histogramExact();
+
     switch (sim::active_simd_level()) {
 #ifdef BFREE_X86_KERNELS
+      case sim::SimdLevel::Avx512:
+        if (histogramEligible)
+            return span_avx512_hist(table, a, b, len);
+        // Gather fallback reuses the AVX2 kernel: AVX-512 adds
+        // nothing to a latency-bound gather loop.
+        return span_avx2(table, a, b, len, clamp, strict);
       case sim::SimdLevel::Avx2:
+        if (histogramEligible)
+            return span_avx2_hist(table, a, b, len);
         return span_avx2(table, a, b, len, clamp, strict);
       case sim::SimdLevel::Sse42:
+        if (histogramEligible)
+            return span_sse42_hist(table, a, b, len);
         return span_sse42(table, a, b, len, clamp, strict);
 #endif
 #ifdef __ARM_NEON

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "dnn/im2col.hh"
 #include "mem/micro_op_energy.hh"
 #include "sim/logging.hh"
 #include "sim/parallel.hh"
@@ -49,36 +50,18 @@ FunctionalExecutor::runConvInto(const PlannedLayer &pl, unsigned bits,
     const std::size_t outHW = std::size_t(o.h) * o.w;
 
     if (bits <= 8) {
-        // im2col with patch reuse: gather each input window once per
-        // (oh, ow) and run it against every output channel's frozen
-        // filter span. Out-of-bounds taps gather a literal 0, which
-        // the LUT datapath multiplies for free.
+        // im2col with patch reuse: quantize the whole input plane once
+        // (overlapping receptive fields re-quantized every window
+        // before — pure waste, q() is a pure function), then each
+        // (oh, ow) patch is row-run span copies out of the quantized
+        // map. Out-of-bounds taps fill a literal 0, which the LUT
+        // datapath multiplies for free.
+        std::int8_t *qin = arena_.alloc<std::int8_t>(pl.inElems);
+        dnn::quantize_span(qi, in, pl.inElems, qin);
         std::int8_t *patch = arena_.alloc<std::int8_t>(patch_len);
         for (unsigned oh = 0; oh < o.h; ++oh) {
             for (unsigned ow = 0; ow < o.w; ++ow) {
-                std::size_t p = 0;
-                for (unsigned c = 0; c < layer.input.c; ++c) {
-                    for (unsigned r = 0; r < layer.kernelH; ++r) {
-                        for (unsigned s = 0; s < layer.kernelW;
-                             ++s, ++p) {
-                            const int ih = static_cast<int>(
-                                               oh * layer.strideH + r)
-                                           - static_cast<int>(layer.padH);
-                            const int iw = static_cast<int>(
-                                               ow * layer.strideW + s)
-                                           - static_cast<int>(layer.padW);
-                            const bool inside =
-                                ih >= 0 && iw >= 0
-                                && ih < static_cast<int>(layer.input.h)
-                                && iw < static_cast<int>(layer.input.w);
-                            patch[p] =
-                                inside
-                                    ? static_cast<std::int8_t>(qi.q(
-                                          in[c * inHW + ih * inW + iw]))
-                                    : std::int8_t{0};
-                        }
-                    }
-                }
+                dnn::im2col_patch_i8(layer, qin, oh, ow, patch);
                 for (unsigned k = 0; k < o.c; ++k) {
                     const std::int32_t acc = bce.dotProductSpan(
                         fw.q8.data() + std::size_t(k) * patch_len, patch,
@@ -144,8 +127,15 @@ FunctionalExecutor::runFcInto(const PlannedLayer &pl, unsigned bits,
     // FC layers run on the matmul-mode broadcast datapath.
     bce.setMode(bce::BceMode::Matmul);
     std::int8_t *qin = arena_.alloc<std::int8_t>(layer.inFeatures);
-    for (unsigned i = 0; i < layer.inFeatures; ++i)
-        qin[i] = static_cast<std::int8_t>(qi.q(in[i]));
+    if (bits <= 8) {
+        dnn::quantize_span(qi, in, layer.inFeatures, qin);
+    } else {
+        // 16-bit values historically truncate into the int8 scratch
+        // (the broadcast path consumes them lane-wise); keep that
+        // byte-exact rather than routing through the int8 span.
+        for (unsigned i = 0; i < layer.inFeatures; ++i)
+            qin[i] = static_cast<std::int8_t>(qi.q(in[i]));
+    }
 
     if (bits <= 8) {
         // The frozen [outFeatures][inFeatures] matrix already is the
@@ -369,10 +359,7 @@ FunctionalExecutor::qMatmulFrozen(const dnn::FloatTensor &a,
         // Quantize A row-major (per call — it is the activation side);
         // the B^T tile is already frozen. One blocked GEMM tile.
         std::vector<std::int8_t> qrows(m * k);
-        for (std::size_t i = 0; i < m; ++i)
-            for (std::size_t p = 0; p < k; ++p)
-                qrows[i * k + p] =
-                    static_cast<std::int8_t>(qa.q(a.at(i, p)));
+        dnn::quantize_span(qa, a.data(), m * k, qrows.data());
 
         std::vector<std::int32_t> accs(m * n, 0);
         bce.matmulTile(qrows.data(), wt.q8.data(), accs.data(), m, k, n,

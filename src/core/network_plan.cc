@@ -110,9 +110,14 @@ plan_shapes(const dnn::Network &net, unsigned bits,
             const dnn::FeatureShape o = layer.outputShape();
             const std::size_t patch_len = std::size_t(layer.input.c)
                                           * layer.kernelH * layer.kernelW;
+            // The 8-bit path hoists input quantization: one int8 plane
+            // for the whole quantized feature map plus the patch span.
             pl.scratchBytes =
                 bits <= 8
-                    ? TensorArena::paddedBytes<std::int8_t>(patch_len)
+                    ? TensorArena::paddedBytes<std::int8_t>(
+                          layer.input.elements())
+                          + TensorArena::paddedBytes<std::int8_t>(
+                              patch_len)
                     : TensorArena::paddedBytes<std::int32_t>(patch_len);
             shape = {o.c, o.h, o.w};
             elems = o.elements();

@@ -1,8 +1,40 @@
 #include "im2col.hh"
 
+#include <algorithm>
+#include <cstring>
+
 #include "sim/logging.hh"
 
 namespace bfree::dnn {
+
+namespace {
+
+/**
+ * The clipped column window of one kernel row at horizontal output
+ * position @p ow: taps [s0, s1) land inside the source row, the rest
+ * is padding. iw0 is the (possibly negative) source column of tap 0.
+ */
+struct RowRun
+{
+    int iw0;
+    int s0;
+    int s1;
+};
+
+RowRun
+row_run(const Layer &layer, unsigned ow)
+{
+    RowRun rr;
+    rr.iw0 = static_cast<int>(ow * layer.strideW)
+             - static_cast<int>(layer.padW);
+    const int kw = static_cast<int>(layer.kernelW);
+    const int inw = static_cast<int>(layer.input.w);
+    rr.s0 = std::clamp(-rr.iw0, 0, kw);
+    rr.s1 = std::clamp(inw - rr.iw0, rr.s0, kw);
+    return rr;
+}
+
+} // namespace
 
 FloatTensor
 im2col(const Layer &layer, const FloatTensor &input)
@@ -14,34 +46,77 @@ im2col(const Layer &layer, const FloatTensor &input)
     const std::size_t rows = std::size_t(out.h) * out.w;
     const std::size_t cols =
         std::size_t(layer.input.c) * layer.kernelH * layer.kernelW;
+    const std::size_t inW = layer.input.w;
+    const std::size_t inHW = std::size_t(layer.input.h) * inW;
+    const std::size_t kW = layer.kernelW;
 
+    // Each (channel, kernel-row) of a patch is one contiguous span of
+    // the source row (plus zero padding at the clipped edges), so the
+    // unroll is row-run copies, not a per-element index walk. An
+    // all-bits-zero float is 0.0f, so the pad fill can be memset.
     FloatTensor matrix({rows, cols});
+    const float *in = input.data();
+    float *dst = matrix.data();
     for (unsigned oh = 0; oh < out.h; ++oh) {
         for (unsigned ow = 0; ow < out.w; ++ow) {
-            const std::size_t row = std::size_t(oh) * out.w + ow;
-            std::size_t col = 0;
+            const RowRun rr = row_run(layer, ow);
             for (unsigned c = 0; c < layer.input.c; ++c) {
-                for (unsigned r = 0; r < layer.kernelH; ++r) {
-                    for (unsigned s = 0; s < layer.kernelW; ++s, ++col) {
-                        const int ih =
-                            static_cast<int>(oh * layer.strideH + r)
-                            - static_cast<int>(layer.padH);
-                        const int iw =
-                            static_cast<int>(ow * layer.strideW + s)
-                            - static_cast<int>(layer.padW);
-                        if (ih < 0 || iw < 0
-                            || ih >= static_cast<int>(layer.input.h)
-                            || iw >= static_cast<int>(layer.input.w)) {
-                            matrix.at(row, col) = 0.0f;
-                        } else {
-                            matrix.at(row, col) = input.at(c, ih, iw);
-                        }
+                const float *plane = in + c * inHW;
+                for (unsigned r = 0; r < layer.kernelH; ++r, dst += kW) {
+                    const int ih =
+                        static_cast<int>(oh * layer.strideH + r)
+                        - static_cast<int>(layer.padH);
+                    if (ih < 0
+                        || ih >= static_cast<int>(layer.input.h)) {
+                        std::memset(dst, 0, kW * sizeof(float));
+                        continue;
                     }
+                    if (rr.s0 > 0)
+                        std::memset(dst, 0, rr.s0 * sizeof(float));
+                    if (rr.s1 > rr.s0)
+                        std::memcpy(dst + rr.s0,
+                                    plane + std::size_t(ih) * inW
+                                        + rr.iw0 + rr.s0,
+                                    (rr.s1 - rr.s0) * sizeof(float));
+                    if (static_cast<int>(kW) > rr.s1)
+                        std::memset(dst + rr.s1, 0,
+                                    (kW - rr.s1) * sizeof(float));
                 }
             }
         }
     }
     return matrix;
+}
+
+void
+im2col_patch_i8(const Layer &layer, const std::int8_t *qin, unsigned oh,
+                unsigned ow, std::int8_t *patch)
+{
+    const std::size_t inW = layer.input.w;
+    const std::size_t inHW = std::size_t(layer.input.h) * inW;
+    const std::size_t kW = layer.kernelW;
+    const RowRun rr = row_run(layer, ow);
+
+    for (unsigned c = 0; c < layer.input.c; ++c) {
+        const std::int8_t *plane = qin + c * inHW;
+        for (unsigned r = 0; r < layer.kernelH; ++r, patch += kW) {
+            const int ih = static_cast<int>(oh * layer.strideH + r)
+                           - static_cast<int>(layer.padH);
+            if (ih < 0 || ih >= static_cast<int>(layer.input.h)) {
+                std::memset(patch, 0, kW);
+                continue;
+            }
+            if (rr.s0 > 0)
+                std::memset(patch, 0, rr.s0);
+            if (rr.s1 > rr.s0)
+                std::memcpy(patch + rr.s0,
+                            plane + std::size_t(ih) * inW + rr.iw0
+                                + rr.s0,
+                            rr.s1 - rr.s0);
+            if (static_cast<int>(kW) > rr.s1)
+                std::memset(patch + rr.s1, 0, kW - rr.s1);
+        }
+    }
 }
 
 FloatTensor

@@ -13,6 +13,7 @@
 #ifndef BFREE_DNN_IM2COL_HH
 #define BFREE_DNN_IM2COL_HH
 
+#include <cstdint>
 #include <vector>
 
 #include "layer.hh"
@@ -26,6 +27,20 @@ namespace bfree::dnn {
  * one output position).
  */
 FloatTensor im2col(const Layer &layer, const FloatTensor &input);
+
+/**
+ * Fill one im2col patch (length inC*kH*kW) for output position
+ * (@p oh, @p ow) from a pre-quantized [c][h][w] int8 feature map.
+ * Each (channel, kernel-row) contributes one contiguous kernelW-byte
+ * run of the source row — copied as a span, with zero-fill where the
+ * receptive field hangs over the padding — so the extraction is
+ * memory-bandwidth work instead of a per-element index walk. Combined
+ * with quantize_span over the whole input once, this is byte-identical
+ * to the legacy per-element quantize-in-the-loop patch fill (the
+ * quantizer is a pure function, and a padded tap quantizes to 0).
+ */
+void im2col_patch_i8(const Layer &layer, const std::int8_t *qin,
+                     unsigned oh, unsigned ow, std::int8_t *patch);
 
 /**
  * Reshape conv weights [outC][inC][kH][kW] into the [inC*kH*kW][outC]

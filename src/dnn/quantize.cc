@@ -2,8 +2,210 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "sim/cpuid.hh"
+#include "sim/logging.hh"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define BFREE_X86_QUANTIZE 1
+#endif
 
 namespace bfree::dnn {
+
+namespace {
+
+void
+quantize_span_scalar(const SymQuant &sq, const float *src, std::size_t n,
+                     std::int8_t *dst)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        dst[i] = static_cast<std::int8_t>(sq.q(src[i]));
+}
+
+#ifdef BFREE_X86_QUANTIZE
+
+/**
+ * The vector rounding core, shared by the variants via macro (callees
+ * of a target("...") function do not inherit the attribute): given a
+ * double vector x = v / scale, produce lround(x) lane-wise.
+ * Truncate toward zero, take the exact fractional remainder f = x - y
+ * (exact because y matches x's exponent), and add copysign(1, x)
+ * where |f| >= 0.5. This is round-half-away-from-zero with no
+ * double-rounding hazard: the tempting trunc(x + copysign(0.5, x))
+ * misrounds values one ulp below a .5 boundary, because the add
+ * itself rounds.
+ */
+
+__attribute__((target("sse4.2"))) void
+quantize_span_sse42(const SymQuant &sq, const float *src, std::size_t n,
+                    std::int8_t *dst)
+{
+    const __m128d vscale = _mm_set1_pd(sq.scale);
+    const __m128d vhalf = _mm_set1_pd(0.5);
+    const __m128d vone = _mm_set1_pd(1.0);
+    const __m128d vsign = _mm_set1_pd(-0.0);
+    const __m128d vmax = _mm_set1_pd(static_cast<double>(sq.limit));
+    const __m128d vmin = _mm_set1_pd(-static_cast<double>(sq.limit));
+
+#define BFREE_QROUND_PD_128(d, out)                                      \
+    do {                                                                 \
+        const __m128d x_ = _mm_div_pd(d, vscale);                        \
+        const __m128d y_ = _mm_round_pd(                                 \
+            x_, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);                 \
+        const __m128d f_ = _mm_sub_pd(x_, y_);                           \
+        const __m128d af_ = _mm_andnot_pd(vsign, f_);                    \
+        const __m128d m_ = _mm_cmpge_pd(af_, vhalf);                     \
+        const __m128d step_ = _mm_and_pd(                                \
+            m_, _mm_or_pd(_mm_and_pd(x_, vsign), vone));                 \
+        __m128d r_ = _mm_add_pd(y_, step_);                              \
+        r_ = _mm_min_pd(_mm_max_pd(r_, vmin), vmax);                     \
+        (out) = _mm_cvtpd_epi32(r_);                                     \
+    } while (0)
+
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const __m128 v =
+            _mm_loadu_ps(src + i);
+        __m128i r0, r1;
+        BFREE_QROUND_PD_128(_mm_cvtps_pd(v), r0);
+        BFREE_QROUND_PD_128(_mm_cvtps_pd(_mm_movehl_ps(v, v)), r1);
+        const __m128i r32 = _mm_unpacklo_epi64(r0, r1);
+        const __m128i r16 = _mm_packs_epi32(r32, r32);
+        const __m128i r8 = _mm_packs_epi16(r16, r16);
+        const int word = _mm_cvtsi128_si32(r8);
+        std::memcpy(dst + i, &word, 4);
+    }
+#undef BFREE_QROUND_PD_128
+    quantize_span_scalar(sq, src + i, n - i, dst + i);
+}
+
+__attribute__((target("avx2"))) void
+quantize_span_avx2(const SymQuant &sq, const float *src, std::size_t n,
+                   std::int8_t *dst)
+{
+    const __m256d vscale = _mm256_set1_pd(sq.scale);
+    const __m256d vhalf = _mm256_set1_pd(0.5);
+    const __m256d vone = _mm256_set1_pd(1.0);
+    const __m256d vsign = _mm256_set1_pd(-0.0);
+    const __m256d vmax = _mm256_set1_pd(static_cast<double>(sq.limit));
+    const __m256d vmin = _mm256_set1_pd(-static_cast<double>(sq.limit));
+
+#define BFREE_QROUND_PD_256(d, out)                                      \
+    do {                                                                 \
+        const __m256d x_ = _mm256_div_pd(d, vscale);                     \
+        const __m256d y_ = _mm256_round_pd(                              \
+            x_, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);                 \
+        const __m256d f_ = _mm256_sub_pd(x_, y_);                        \
+        const __m256d af_ = _mm256_andnot_pd(vsign, f_);                 \
+        const __m256d m_ = _mm256_cmp_pd(af_, vhalf, _CMP_GE_OQ);        \
+        const __m256d step_ = _mm256_and_pd(                             \
+            m_, _mm256_or_pd(_mm256_and_pd(x_, vsign), vone));           \
+        __m256d r_ = _mm256_add_pd(y_, step_);                           \
+        r_ = _mm256_min_pd(_mm256_max_pd(r_, vmin), vmax);               \
+        (out) = _mm256_cvtpd_epi32(r_);                                  \
+    } while (0)
+
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+        const __m256 v = _mm256_loadu_ps(src + i);
+        __m128i r0, r1;
+        BFREE_QROUND_PD_256(
+            _mm256_cvtps_pd(_mm256_castps256_ps128(v)), r0);
+        BFREE_QROUND_PD_256(
+            _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)), r1);
+        const __m128i r16 = _mm_packs_epi32(r0, r1);
+        const __m128i r8 = _mm_packs_epi16(r16, r16);
+        _mm_storel_epi64(reinterpret_cast<__m128i *>(dst + i), r8);
+    }
+#undef BFREE_QROUND_PD_256
+    quantize_span_scalar(sq, src + i, n - i, dst + i);
+}
+
+// GCC 12 false positive through the _mm*_undefined_*() masked-fallback
+// operands inside the AVX-512 intrinsic headers (GCC PR105593).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+
+__attribute__((target("avx512f,avx512bw,avx512vl"))) void
+quantize_span_avx512(const SymQuant &sq, const float *src, std::size_t n,
+                     std::int8_t *dst)
+{
+    const __m512d vscale = _mm512_set1_pd(sq.scale);
+    const __m512d vhalf = _mm512_set1_pd(0.5);
+    const __m512d vone = _mm512_set1_pd(1.0);
+    const __m512i vsign = _mm512_set1_epi64(
+        static_cast<long long>(0x8000000000000000ull));
+    const __m512d vmax = _mm512_set1_pd(static_cast<double>(sq.limit));
+    const __m512d vmin = _mm512_set1_pd(-static_cast<double>(sq.limit));
+
+    // The pd logical ops are AVX512DQ, which the dispatch trio does
+    // not guarantee; do sign manipulation in the integer domain (F).
+#define BFREE_QROUND_PD_512(d, out)                                      \
+    do {                                                                 \
+        const __m512d x_ = _mm512_div_pd(d, vscale);                     \
+        const __m512d y_ = _mm512_roundscale_pd(                         \
+            x_, _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC);                 \
+        const __m512d f_ = _mm512_sub_pd(x_, y_);                        \
+        const __m512d af_ = _mm512_castsi512_pd(_mm512_andnot_si512(     \
+            vsign, _mm512_castpd_si512(f_)));                            \
+        const __mmask8 m_ =                                              \
+            _mm512_cmp_pd_mask(af_, vhalf, _CMP_GE_OQ);                  \
+        const __m512d one_ = _mm512_castsi512_pd(_mm512_or_si512(        \
+            _mm512_and_si512(_mm512_castpd_si512(x_), vsign),            \
+            _mm512_castpd_si512(vone)));                                 \
+        __m512d r_ = _mm512_mask_add_pd(y_, m_, y_, one_);               \
+        r_ = _mm512_min_pd(_mm512_max_pd(r_, vmin), vmax);               \
+        (out) = _mm512_cvtpd_epi32(r_);                                  \
+    } while (0)
+
+    std::size_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+        const __m512 v = _mm512_loadu_ps(src + i);
+        __m256i r0, r1;
+        BFREE_QROUND_PD_512(
+            _mm512_cvtps_pd(_mm512_castps512_ps256(v)), r0);
+        BFREE_QROUND_PD_512(
+            _mm512_cvtps_pd(_mm256_castsi256_ps(
+                _mm512_extracti64x4_epi64(_mm512_castps_si512(v), 1))),
+            r1);
+        const __m512i r32 = _mm512_inserti64x4(
+            _mm512_zextsi256_si512(r0), r1, 1);
+        _mm_storeu_si128(reinterpret_cast<__m128i *>(dst + i),
+                         _mm512_cvtsepi32_epi8(r32));
+    }
+#undef BFREE_QROUND_PD_512
+    quantize_span_scalar(sq, src + i, n - i, dst + i);
+}
+
+#pragma GCC diagnostic pop
+
+#endif // BFREE_X86_QUANTIZE
+
+} // namespace
+
+void
+quantize_span(const SymQuant &sq, const float *src, std::size_t n,
+              std::int8_t *dst)
+{
+    if (sq.limit > 127)
+        bfree_panic("quantize_span: limit ", sq.limit,
+                    " exceeds the int8 domain");
+    switch (sim::active_simd_level()) {
+#ifdef BFREE_X86_QUANTIZE
+      case sim::SimdLevel::Avx512:
+        return quantize_span_avx512(sq, src, n, dst);
+      case sim::SimdLevel::Avx2:
+        return quantize_span_avx2(sq, src, n, dst);
+      case sim::SimdLevel::Sse42:
+        return quantize_span_sse42(sq, src, n, dst);
+#endif
+      default:
+        return quantize_span_scalar(sq, src, n, dst);
+    }
+}
 
 SymQuant
 choose_sym(const float *data, std::size_t n, unsigned bits)

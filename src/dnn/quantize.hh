@@ -50,6 +50,20 @@ struct SymQuant
 SymQuant choose_sym(const float *data, std::size_t n, unsigned bits);
 
 /**
+ * Quantize @p n floats through @p sq into int8, the vectorized span
+ * form of calling SymQuant::q element by element. Dispatches on the
+ * active SIMD level (sim/cpuid) and is byte-identical to the scalar
+ * loop at every level: the SIMD variants reproduce lround's
+ * round-half-away-from-zero in double precision exactly (truncate,
+ * then step by the sign where |fraction| >= 0.5 — note that adding
+ * 0.5 before truncating would double-round near ties). Source and
+ * destination may be arbitrarily aligned. Requires limit <= 127 (the
+ * int8 freeze domain).
+ */
+void quantize_span(const SymQuant &sq, const float *src, std::size_t n,
+                   std::int8_t *dst);
+
+/**
  * A weight tensor frozen at compile time: the chosen symmetric scale
  * plus every element pushed through SymQuant::q once, up front. q() is
  * a pure function, so consuming the frozen values is bit-identical to

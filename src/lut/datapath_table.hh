@@ -1,6 +1,6 @@
 /**
  * @file
- * Tier-1 memoized datapath tables, structure-of-arrays layout.
+ * Tier-1 memoized datapath tables, split-plane layout.
  *
  * The operand analyzer's decomposition of a multiplication into LUT
  * lookups, shifts and adds is a pure function of (a, b, bits, lookup
@@ -12,8 +12,9 @@
  * a handful of integer additions instead of a full nibble-decomposition
  * walk.
  *
- * The layout is two parallel planes rather than an array of structs,
- * so the SIMD span kernels can consume them directly:
+ * The layout is independently-addressable 64-byte-aligned planes
+ * rather than an array of structs, so the SIMD span kernels can
+ * consume each plane on its own:
  *
  *  - an int32 PRODUCT PLANE (products()): the exact product per
  *    operand pair. When every entry equals a*b — true whenever the
@@ -33,6 +34,22 @@
  *    source, so the "lookups" byte is LUT-row reads for conv tables
  *    and hardwired-ROM reads for matmul tables — never both.
  *
+ *  - a 256-entry PAIR-DELTA TABLE (pairDeltas()): the gather-free
+ *    tally path. The analyzer's micro-op counts depend only on the
+ *    nibble STRUCTURE of |a| and |b| — which nibbles are zero, odd, a
+ *    power of two — never on the product value. Every operand byte
+ *    therefore collapses onto one of at most 15 structural classes
+ *    (operand_class()), and the packed delta of a pair is a function
+ *    of the two classes alone: pairDeltas()[classA*16 + classB]. A
+ *    span kernel can then histogram the 256 possible class keys (all
+ *    in-register byte shuffles) and fold the histogram against this
+ *    tiny table instead of gathering one delta per element from the
+ *    (2^bits+1)^2 plane. The collapse is VERIFIED, not assumed: build
+ *    checks every memoized pair against its class key and reports
+ *    histogramExact() only when the whole plane agrees, so a
+ *    reference with value-dependent counts simply falls back to the
+ *    delta-plane gather.
+ *
  * The planes are SEEDED BY the legacy scalar path (the caller passes a
  * reference functor that runs the real decomposition), so the scalar
  * code remains the single source of truth: the memoized engine can
@@ -45,7 +62,9 @@
 #ifndef BFREE_LUT_DATAPATH_TABLE_HH
 #define BFREE_LUT_DATAPATH_TABLE_HH
 
+#include <array>
 #include <cstdint>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -53,6 +72,44 @@
 #include "sim/logging.hh"
 
 namespace bfree::lut {
+
+/**
+ * Cache-line-aligned allocator for the datapath planes: aligned loads
+ * in the span kernels and no false sharing between co-resident tables.
+ */
+template <typename T>
+struct PlaneAlloc
+{
+    using value_type = T;
+
+    PlaneAlloc() = default;
+    template <typename U>
+    PlaneAlloc(const PlaneAlloc<U> &) {}
+
+    static constexpr std::align_val_t alignment{64};
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            ::operator new(n * sizeof(T), alignment));
+    }
+
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, alignment);
+    }
+
+    template <typename U>
+    bool operator==(const PlaneAlloc<U> &) const { return true; }
+    template <typename U>
+    bool operator!=(const PlaneAlloc<U> &) const { return false; }
+};
+
+/** A 64-byte-aligned plane. */
+template <typename T>
+using PlaneVec = std::vector<T, PlaneAlloc<T>>;
 
 /**
  * One memoized multiplication, materialized from the planes: exact
@@ -81,6 +138,96 @@ class DatapathTable
     static constexpr unsigned delta_shifts_shift = 8;
     static constexpr unsigned delta_adds_shift = 16;
     static constexpr unsigned delta_cycles_shift = 24;
+
+    // ------------------------------------------------------------------
+    // Operand structural classes (the histogram-tally key space)
+    // ------------------------------------------------------------------
+
+    /**
+     * Structural type of one nibble value: 0 zero, 1 one, 2 a larger
+     * power of two ({2,4,8}: odd part 1, shift > 0), 3 odd and >= 3,
+     * 4 even with odd part >= 3 ({6,10,12,14}). Everything the
+     * analyzer counts per nibble pair — LUT lookup or not, shift or
+     * not — is a function of these two types.
+     */
+    static constexpr std::array<std::uint8_t, 16> nibble_type = {
+        0, 1, 2, 3, 2, 3, 4, 3, 2, 3, 4, 3, 4, 3, 4, 3};
+
+    /**
+     * Unordered-pair compression of (hi-type * 5 + lo-type): the
+     * micro-op counts of a multiply are symmetric in the two nibbles
+     * of one operand, so the 25 ordered type pairs collapse onto 15
+     * classes — small enough that a class fits one hex digit and a
+     * PAIR of operand classes fits one byte.
+     */
+    static constexpr std::array<std::uint8_t, 25> pair_type_class = {
+        0, 1, 2,  3,  4,  //
+        1, 5, 6,  7,  8,  //
+        2, 6, 9,  10, 11, //
+        3, 7, 10, 12, 13, //
+        4, 8, 11, 13, 14};
+
+    /** Distinct operand classes (fits 4 bits). */
+    static constexpr unsigned operand_class_count = 15;
+
+    // ------------------------------------------------------------------
+    // Per-class structural features (the factored histogram fold)
+    // ------------------------------------------------------------------
+    //
+    // The analyzer's four micro-op counts are bilinear in four tiny
+    // per-operand features: with p = #nonzero nibbles, o = #odd
+    // nibbles, l = #nibbles whose odd part is >= 3 and z = [p > 0],
+    //
+    //     lookups = lA*lB        shifts = pA*pB - oA*oB
+    //     adds    = pA*pB - zA*zB    cycles = C * pA*pB
+    //
+    // (C is 0 for conv-seeded tables and 1 for ROM tables.) Each
+    // feature is a pure function of the operand class, so a span
+    // kernel never has to materialize the 256-bin class-pair
+    // histogram: summing the four feature dot-products over a span IS
+    // the histogram folded against pairDeltas(), term for term. Build
+    // verifies this factorization against every seen pairDeltas() key
+    // — it is a checked rank decomposition, not an assumption.
+
+    /** Feature p per class: #nonzero nibbles (16th entry padding). */
+    static constexpr std::array<std::uint8_t, 16> class_feature_p = {
+        0, 1, 1, 1, 1, 2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 0};
+
+    /** Feature o per class: #odd-valued nibbles (types 1 and 3). */
+    static constexpr std::array<std::uint8_t, 16> class_feature_o = {
+        0, 1, 0, 1, 0, 2, 1, 2, 1, 0, 1, 0, 2, 1, 0, 0};
+
+    /** Feature l per class: #nibbles with odd part >= 3 (types 3, 4). */
+    static constexpr std::array<std::uint8_t, 16> class_feature_l = {
+        0, 0, 0, 1, 1, 0, 0, 1, 1, 0, 1, 1, 2, 2, 2, 0};
+
+    /** Feature z per class: operand nonzero at all. */
+    static constexpr std::array<std::uint8_t, 16> class_feature_z = {
+        0, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0};
+
+    /**
+     * Structural class of an operand from the byte holding its
+     * magnitude. The kernels feed abs(int8) through the same math
+     * in-register (two nibble shuffles plus the pair compression);
+     * abs(-128) wraps to 0x80 — exactly the byte pattern of |+128| —
+     * so every int8 lane and both analyzer endpoints agree.
+     */
+    static std::uint8_t
+    operand_class(std::uint8_t magnitude)
+    {
+        return pair_type_class[nibble_type[magnitude >> 4] * 5u
+                               + nibble_type[magnitude & 0xF]];
+    }
+
+    /** The histogram key of a signed operand pair: classA*16+classB. */
+    static std::uint8_t
+    class_key(std::int32_t a, std::int32_t b)
+    {
+        const auto ua = static_cast<std::uint8_t>(a < 0 ? -a : a);
+        const auto ub = static_cast<std::uint8_t>(b < 0 ? -b : b);
+        return static_cast<std::uint8_t>(operand_class(ua) << 4
+                                         | operand_class(ub));
+    }
 
     DatapathTable() = default;
 
@@ -131,11 +278,19 @@ class DatapathTable
                + static_cast<std::size_t>(b + _half);
     }
 
-    /** The flat int32 product plane (entryCount() values). */
+    /** The flat int32 product plane (entryCount() values, 64B-aligned). */
     const std::int32_t *products() const { return products_.data(); }
 
-    /** The packed micro-op-delta plane (entryCount() values). */
+    /** The packed micro-op-delta plane (entryCount() values,
+     *  64B-aligned). */
     const std::uint32_t *deltas() const { return deltas_.data(); }
+
+    /**
+     * The 256-entry packed-delta table keyed by class_key(a, b).
+     * Meaningful only when histogramExact(); keys whose class pair
+     * never occurs hold 0.
+     */
+    const std::uint32_t *pairDeltas() const { return pairDeltas_.data(); }
 
     /**
      * True when every product equals a*b (the pristine-LUT steady
@@ -143,6 +298,24 @@ class DatapathTable
      * multiply instead of a gather. Verified exhaustively at build.
      */
     bool productsExact() const { return productsExact_; }
+
+    /**
+     * True when the whole delta plane agrees with the class-keyed
+     * pairDeltas() table — the precondition for the gather-free
+     * histogram tally. Verified exhaustively at build against every
+     * memoized pair; a reference whose counts are not a pure function
+     * of the operand classes (or a doctored test table) simply clears
+     * the flag and the kernels gather from the delta plane instead.
+     */
+    bool histogramExact() const { return histogramExact_; }
+
+    /**
+     * Cycle cost per nibble-pair product, 0 or 1: the one per-source
+     * degree of freedom in the factored fold (conv tables charge
+     * cycles at the span level, ROM tables per nibble pair).
+     * Meaningful only when histogramExact().
+     */
+    std::uint32_t cyclesFactor() const { return cyclesFactor_; }
 
     /** Kind of lookup the delta "lookups" byte counts. */
     bool countsRomLookups() const { return romSource_; }
@@ -186,8 +359,11 @@ class DatapathTable
         const std::size_t n = std::size_t{t._span} * t._span;
         t.products_.resize(n);
         t.deltas_.resize(n);
+        t.pairDeltas_.assign(256, 0);
         t.productsExact_ = true;
+        t.histogramExact_ = true;
 
+        std::array<bool, 256> keySeen{};
         bool sawLut = false, sawRom = false;
         for (std::int32_t a = -t._half; a <= t._half; ++a) {
             for (std::int32_t b = -t._half; b <= t._half; ++b) {
@@ -202,16 +378,85 @@ class DatapathTable
                     r.counts.lutLookups + r.counts.romLookups;
                 t.deltas_[i] = packDelta(lookups, r.counts.shifts,
                                          r.counts.adds, r.counts.cycles);
+
+                // Verify (never assume) the class collapse: the first
+                // pair of a key defines it, every later pair must
+                // reproduce it exactly or the histogram path is off.
+                const std::uint8_t key = class_key(a, b);
+                if (!keySeen[key]) {
+                    keySeen[key] = true;
+                    t.pairDeltas_[key] = t.deltas_[i];
+                } else if (t.pairDeltas_[key] != t.deltas_[i]) {
+                    t.histogramExact_ = false;
+                }
             }
         }
         if (sawLut && sawRom)
             bfree_panic("datapath-table reference mixes LUT-row and "
                         "ROM lookups; one table memoizes one source");
         t.romSource_ = sawRom;
+        if (t.histogramExact_)
+            t.verifySeparableFold(keySeen);
         return t;
     }
 
   private:
+    /**
+     * Check the bilinear feature factorization against every seen
+     * pairDeltas() key and derive cyclesFactor(). A key that defeats
+     * the formula (possible only for a reference with counts that are
+     * class-consistent but not feature-bilinear, e.g. a doctored test
+     * table) clears histogramExact_ so the kernels keep gathering.
+     */
+    void
+    verifySeparableFold(const std::array<bool, 256> &keySeen)
+    {
+        // Derive the cycles factor from the first key with p*p > 0.
+        bool factorKnown = false;
+        cyclesFactor_ = 0;
+        for (unsigned key = 0; key < 256 && !factorKnown; ++key) {
+            if (!keySeen[key])
+                continue;
+            const std::uint32_t pp =
+                class_feature_p[key >> 4] * class_feature_p[key & 0xF];
+            if (pp == 0)
+                continue;
+            const std::uint32_t cycles =
+                pairDeltas_[key] >> delta_cycles_shift & 0xFF;
+            if (cycles == 0) {
+                cyclesFactor_ = 0;
+                factorKnown = true;
+            } else if (cycles == pp) {
+                cyclesFactor_ = 1;
+                factorKnown = true;
+            } else {
+                histogramExact_ = false;
+                return;
+            }
+        }
+        for (unsigned key = 0; key < 256; ++key) {
+            if (!keySeen[key])
+                continue;
+            const unsigned cA = key >> 4, cB = key & 0xF;
+            const std::uint32_t pp =
+                class_feature_p[cA] * class_feature_p[cB];
+            const std::uint32_t oo =
+                class_feature_o[cA] * class_feature_o[cB];
+            const std::uint32_t ll =
+                class_feature_l[cA] * class_feature_l[cB];
+            const std::uint32_t zz =
+                class_feature_z[cA] * class_feature_z[cB];
+            const std::uint32_t expect =
+                ll << delta_lookups_shift | (pp - oo) << delta_shifts_shift
+                | (pp - zz) << delta_adds_shift
+                | (cyclesFactor_ * pp) << delta_cycles_shift;
+            if (pairDeltas_[key] != expect) {
+                histogramExact_ = false;
+                return;
+            }
+        }
+    }
+
     static std::int32_t
     checkedProduct(std::int64_t p)
     {
@@ -238,12 +483,15 @@ class DatapathTable
                      << delta_cycles_shift;
     }
 
-    std::vector<std::int32_t> products_;
-    std::vector<std::uint32_t> deltas_;
+    PlaneVec<std::int32_t> products_;
+    PlaneVec<std::uint32_t> deltas_;
+    PlaneVec<std::uint32_t> pairDeltas_;
     std::int32_t _half = 0;
     unsigned _span = 0;
     unsigned _bits = 0;
+    std::uint32_t cyclesFactor_ = 0;
     bool productsExact_ = false;
+    bool histogramExact_ = false;
     bool romSource_ = false;
 };
 

@@ -17,7 +17,8 @@ SimdLevel
 widest_available()
 {
     for (const SimdLevel level :
-         {SimdLevel::Avx2, SimdLevel::Neon, SimdLevel::Sse42}) {
+         {SimdLevel::Avx512, SimdLevel::Avx2, SimdLevel::Neon,
+          SimdLevel::Sse42}) {
         if (simd_level_compiled(level) && simd_level_supported(level))
             return level;
     }
@@ -30,12 +31,12 @@ parse_level(const char *name)
 {
     for (const SimdLevel level :
          {SimdLevel::Scalar, SimdLevel::Sse42, SimdLevel::Neon,
-          SimdLevel::Avx2}) {
+          SimdLevel::Avx2, SimdLevel::Avx512}) {
         if (!std::strcmp(name, simd_level_name(level)))
             return level;
     }
     bfree_fatal("BFREE_FORCE_ISA=", name, " is not a known ISA "
-                "(expected scalar, sse42, neon or avx2)");
+                "(expected scalar, sse42, neon, avx2 or avx512)");
 }
 
 /** Validate a requested level against the binary and the CPU. */
@@ -82,6 +83,8 @@ simd_level_name(SimdLevel level)
         return "neon";
       case SimdLevel::Avx2:
         return "avx2";
+      case SimdLevel::Avx512:
+        return "avx512";
     }
     return "unknown";
 }
@@ -94,6 +97,7 @@ simd_level_compiled(SimdLevel level)
         return true;
       case SimdLevel::Sse42:
       case SimdLevel::Avx2:
+      case SimdLevel::Avx512:
 #if defined(__x86_64__) || defined(__i386__)
         return true;
 #else
@@ -124,6 +128,18 @@ simd_level_supported(SimdLevel level)
       case SimdLevel::Avx2:
 #if defined(__x86_64__) || defined(__i386__)
         return __builtin_cpu_supports("avx2") != 0;
+#else
+        return false;
+#endif
+      case SimdLevel::Avx512:
+#if defined(__x86_64__) || defined(__i386__)
+        // The kernels use byte shuffles/compares in 512-bit lanes and
+        // narrowing converts on 256-bit lanes, so foundation alone is
+        // not enough: require the F+BW+VL trio every mainstream
+        // AVX-512 server core ships together.
+        return __builtin_cpu_supports("avx512f") != 0
+               && __builtin_cpu_supports("avx512bw") != 0
+               && __builtin_cpu_supports("avx512vl") != 0;
 #else
         return false;
 #endif

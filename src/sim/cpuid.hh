@@ -3,8 +3,8 @@
  * Runtime CPU-feature detection and SIMD dispatch policy.
  *
  * The tiered datapath's span kernels exist in several ISA variants
- * (scalar, SSE4.2, AVX2, NEON), all compiled into one binary via
- * function-level target attributes. This module decides, once per
+ * (scalar, SSE4.2, AVX2, AVX-512, NEON), all compiled into one binary
+ * via function-level target attributes. This module decides, once per
  * process, which variant the dispatchers hand out:
  *
  *  - by default, the widest level both compiled in AND reported by the
@@ -12,7 +12,8 @@
  *  - `BFREE_FORCE_SCALAR=1` in the environment forces the scalar
  *    fallback (CI uses this to differentially verify every SIMD
  *    variant against the scalar tier on one host);
- *  - `BFREE_FORCE_ISA=scalar|sse42|avx2|neon` pins one specific level.
+ *  - `BFREE_FORCE_ISA=scalar|sse42|avx2|avx512|neon` pins one specific
+ *    level.
  *    Requesting a level the binary lacks or the CPU cannot execute is
  *    a fatal configuration error — it fails loudly instead of silently
  *    degrading, so a CI matrix knows it exercised what it asked for.
@@ -34,9 +35,10 @@ enum class SimdLevel
     Sse42 = 1,  ///< 128-bit x86 (SSE4.2: widening converts + pmulld).
     Neon = 2,   ///< 128-bit AArch64 Advanced SIMD.
     Avx2 = 3,   ///< 256-bit x86 with hardware gather.
+    Avx512 = 4, ///< 512-bit x86 (requires the F+BW+VL feature trio).
 };
 
-/** Human-readable name ("scalar", "sse42", "neon", "avx2"). */
+/** Human-readable name ("scalar", "sse42", "neon", "avx2", "avx512"). */
 const char *simd_level_name(SimdLevel level);
 
 /** True when this binary carries kernels for @p level (compile-time). */

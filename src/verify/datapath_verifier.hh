@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Static verification of split-plane datapath tables.
+ *
+ * The tiered execution engine trusts three structural claims a
+ * lut::DatapathTable makes about itself: its plane extents match its
+ * precision, productsExact() really means every product equals a*b,
+ * and histogramExact() really means the delta plane collapses onto the
+ * 256-entry class-keyed pairDeltas() table (and that table onto the
+ * bilinear feature fold). The SIMD span kernels pick their fast paths
+ * off these flags without re-checking, so a table that lies produces
+ * silently wrong statistics — exactly the failure class a static
+ * auditor exists for.
+ *
+ * The checks run over a raw DatapathPlaneView rather than the table
+ * class itself so tests can synthesize broken fixtures (a poisoned
+ * product behind a lying productsExact flag, a truncated plane) that
+ * DatapathTable::build could never emit.
+ */
+
+#ifndef BFREE_VERIFY_DATAPATH_VERIFIER_HH
+#define BFREE_VERIFY_DATAPATH_VERIFIER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "diagnostic.hh"
+
+namespace bfree::lut {
+class DatapathTable;
+}
+
+namespace bfree::verify {
+
+/**
+ * A borrowed, flag-annotated view of one table's planes. Pointers are
+ * not owned; the view must not outlive the table (or fixture buffers)
+ * it was built from.
+ */
+struct DatapathPlaneView
+{
+    unsigned bits = 0; ///< Operand precision the table claims.
+    unsigned span = 0; ///< Claimed extent of one plane axis.
+
+    const std::int32_t *products = nullptr;
+    std::size_t productCount = 0;
+
+    const std::uint32_t *deltas = nullptr;
+    std::size_t deltaCount = 0;
+
+    /** The 256-entry class-keyed delta table (may be null when the
+     *  table does not claim histogramExact). */
+    const std::uint32_t *pairDeltas = nullptr;
+    std::size_t pairDeltaCount = 0;
+
+    bool productsExact = false;
+    bool histogramExact = false;
+    std::uint32_t cyclesFactor = 0; ///< Claimed fold cycles factor.
+};
+
+/** The borrowed view of a built table. */
+DatapathPlaneView view_of(const lut::DatapathTable &table);
+
+/**
+ * Append split-plane findings for @p view into @p report:
+ *
+ *  - lut-plane-shape: span != 2^bits + 1, a precision outside the
+ *    memoized domain, or product/delta/pair-delta plane sizes that
+ *    disagree with the span.
+ *  - lut-plane-exact: productsExact over a plane holding a poisoned
+ *    product, or histogramExact over a delta plane (or pair-delta
+ *    fold) that does not actually collapse onto the class keys.
+ *
+ * Exactness checks need well-formed planes, so they are skipped when
+ * a shape finding was already recorded for the plane they read.
+ */
+void verify_datapath_planes(const DatapathPlaneView &view,
+                            VerifyReport &report,
+                            const std::string &location);
+
+/** Convenience wrapper: verify a built table's own planes. */
+VerifyReport verify_datapath_table(const lut::DatapathTable &table,
+                                   const std::string &location =
+                                       "datapath table");
+
+} // namespace bfree::verify
+
+#endif // BFREE_VERIFY_DATAPATH_VERIFIER_HH

@@ -46,6 +46,10 @@ rule_name(RuleId rule)
         return "lut-partition-conflict";
       case RuleId::WeightLutOverlap:
         return "weight-lut-overlap";
+      case RuleId::LutPlaneShape:
+        return "lut-plane-shape";
+      case RuleId::LutPlaneExact:
+        return "lut-plane-exact";
       case RuleId::MacConservation:
         return "mac-conservation";
       case RuleId::PlacementOccupancy:

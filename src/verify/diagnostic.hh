@@ -58,6 +58,15 @@ enum class RuleId
     WeightLutOverlap,    ///< weight-lut-overlap: weight rows collide with
                          ///< the reserved LUT rows.
 
+    // Datapath-table (split-plane) rules.
+    LutPlaneShape, ///< lut-plane-shape: plane extents inconsistent with
+                   ///< the table's precision (span != 2^bits + 1, or
+                   ///< product/delta/pair-delta plane sizes disagree).
+    LutPlaneExact, ///< lut-plane-exact: an exactness flag lies — a
+                   ///< productsExact table with a poisoned product, or
+                   ///< a histogramExact table whose delta plane or
+                   ///< factored fold disagrees with pairDeltas.
+
     // Kernel-vs-layer rules.
     MacConservation,///< mac-conservation: instruction MACs != layer MACs.
 

@@ -214,6 +214,10 @@ struct PlanVerifierOptions
 
     /** Run the capacity ledger. */
     bool checkCapacity = true;
+
+    /** Re-prove the split-plane datapath-table invariants for every
+     *  memoizable precision the plan uses (rules lut-plane-*). */
+    bool checkDatapath = true;
 };
 
 /**

@@ -86,9 +86,12 @@ pattern(std::size_t n, int seed, int limit = 127)
 }
 
 /**
- * Run @p body once per SIMD level this binary carries and this CPU can
- * execute, with the dispatcher pinned to that level; always restores
- * the environment-resolved level afterwards.
+ * Run @p body once per (SIMD level, tally strategy) pair this binary
+ * carries and this CPU can execute, with both dispatchers pinned;
+ * always restores the environment-resolved choices afterwards. The
+ * tally sweep is what proves the gather-free histogram kernels and
+ * the gather fallback byte-identical on every ISA — eligibility is a
+ * per-table decision, so both strategies must hold on the same data.
  */
 template <typename Body>
 void
@@ -96,13 +99,20 @@ for_each_runnable_level(Body &&body)
 {
     for (const sim::SimdLevel level :
          {sim::SimdLevel::Scalar, sim::SimdLevel::Sse42,
-          sim::SimdLevel::Neon, sim::SimdLevel::Avx2}) {
+          sim::SimdLevel::Neon, sim::SimdLevel::Avx2,
+          sim::SimdLevel::Avx512}) {
         if (!sim::simd_level_compiled(level)
             || !sim::simd_level_supported(level))
             continue;
         sim::force_simd_level(level);
-        body(level);
+        for (const bce::simd::TallyMode tally :
+             {bce::simd::TallyMode::Histogram,
+              bce::simd::TallyMode::Gather}) {
+            bce::simd::force_tally_mode(tally);
+            body(level);
+        }
     }
+    bce::simd::reset_tally_mode();
     sim::reset_simd_level();
 }
 
@@ -272,7 +282,8 @@ TEST(SimdKernelsDeath, Matmul4BitOutOfRangePanicsAtEveryLevel)
 {
     for (const sim::SimdLevel level :
          {sim::SimdLevel::Scalar, sim::SimdLevel::Sse42,
-          sim::SimdLevel::Neon, sim::SimdLevel::Avx2}) {
+          sim::SimdLevel::Neon, sim::SimdLevel::Avx2,
+          sim::SimdLevel::Avx512}) {
         if (!sim::simd_level_compiled(level)
             || !sim::simd_level_supported(level))
             continue;
@@ -419,4 +430,80 @@ TEST(SimdKernels, ZeroLengthSpanIsANoOp)
         expect_engines_identical(legacy, simd,
                                  sim::simd_level_name(level));
     });
+}
+
+// ---------------------------------------------------------------------
+// Tally-strategy knob
+// ---------------------------------------------------------------------
+
+TEST(SimdKernels, HistogramAndGatherEnginesByteIdentical)
+{
+    // Head-to-head rather than each-vs-legacy: two tiered engines, one
+    // pinned to the histogram fold and one to the delta-plane gather,
+    // fed the same spans. Sums, stats and energy must be identical.
+    for (const sim::SimdLevel level :
+         {sim::SimdLevel::Sse42, sim::SimdLevel::Avx2,
+          sim::SimdLevel::Avx512}) {
+        if (!sim::simd_level_compiled(level)
+            || !sim::simd_level_supported(level))
+            continue;
+        sim::force_simd_level(level);
+        const std::string ctx = sim::simd_level_name(level);
+        Engine hist(ExecTier::Tiered);
+        Engine gather(ExecTier::Tiered);
+        for (std::size_t len : {std::size_t{7}, std::size_t{256},
+                                std::size_t{9001}}) {
+            const std::vector<std::int8_t> a =
+                pattern(len, static_cast<int>(len), 127);
+            const std::vector<std::int8_t> b =
+                pattern(len, static_cast<int>(len) + 9, 127);
+            bce::simd::force_tally_mode(bce::simd::TallyMode::Histogram);
+            const std::int32_t rh =
+                hist.bce.dotProductSpan(a.data(), b.data(), len, 8);
+            bce::simd::force_tally_mode(bce::simd::TallyMode::Gather);
+            const std::int32_t rg =
+                gather.bce.dotProductSpan(a.data(), b.data(), len, 8);
+            ASSERT_EQ(rh, rg) << ctx << " len " << len;
+        }
+        expect_engines_identical(hist, gather, ctx);
+    }
+    bce::simd::reset_tally_mode();
+    sim::reset_simd_level();
+}
+
+TEST(SimdKernels, TallyEnvironmentKnobResolves)
+{
+    ASSERT_EQ(0, setenv("BFREE_TIERED_TALLY", "gather", 1));
+    bce::simd::reset_tally_mode();
+    EXPECT_EQ(bce::simd::TallyMode::Gather,
+              bce::simd::active_tally_mode());
+
+    ASSERT_EQ(0, setenv("BFREE_TIERED_TALLY", "histogram", 1));
+    bce::simd::reset_tally_mode();
+    EXPECT_EQ(bce::simd::TallyMode::Histogram,
+              bce::simd::active_tally_mode());
+
+    // Unset means the gather-free default.
+    ASSERT_EQ(0, unsetenv("BFREE_TIERED_TALLY"));
+    bce::simd::reset_tally_mode();
+    EXPECT_EQ(bce::simd::TallyMode::Histogram,
+              bce::simd::active_tally_mode());
+
+    EXPECT_STREQ("histogram", bce::simd::tally_mode_name(
+                                  bce::simd::TallyMode::Histogram));
+    EXPECT_STREQ("gather", bce::simd::tally_mode_name(
+                               bce::simd::TallyMode::Gather));
+}
+
+TEST(SimdKernelsDeath, UnknownTallyKnobIsFatal)
+{
+    ASSERT_EQ(0, setenv("BFREE_TIERED_TALLY", "turbo", 1));
+    EXPECT_DEATH(
+        {
+            bce::simd::reset_tally_mode();
+            (void)bce::simd::active_tally_mode();
+        },
+        "not a known tally");
+    ASSERT_EQ(0, unsetenv("BFREE_TIERED_TALLY"));
+    bce::simd::reset_tally_mode();
 }

@@ -152,6 +152,85 @@ TEST(DatapathSoa, PackedDeltaRoundTripsEveryField)
               (d >> lut::DatapathTable::delta_cycles_shift) & 0xFF);
 }
 
+TEST(DatapathSoa, RomTableIsHistogramExactWithUnitCyclesFactor)
+{
+    // The analyzer's counts are a pure function of the operand nibble
+    // structure, so the 256-entry class collapse and its bilinear
+    // feature fold must verify for both ROM precisions; ROM tables
+    // charge one cycle per nibble-pair product (cyclesFactor 1).
+    const lut::MultLut rom;
+    for (const unsigned bits : {4u, 8u}) {
+        const lut::DatapathTable t =
+            lut::build_rom_datapath_table(bits, rom);
+        EXPECT_TRUE(t.histogramExact());
+        EXPECT_EQ(1u, t.cyclesFactor());
+
+        // Every memoized delta collapses onto its class key.
+        const std::int32_t half = t.half();
+        const std::uint32_t *deltas = t.deltas();
+        const std::uint32_t *pair = t.pairDeltas();
+        for (std::int32_t a = -half; a <= half; ++a)
+            for (std::int32_t b = -half; b <= half; ++b)
+                ASSERT_EQ(pair[lut::DatapathTable::class_key(a, b)],
+                          deltas[t.index(a, b)])
+                    << a << " * " << b << " @ " << bits;
+    }
+}
+
+TEST(DatapathSoa, ZeroCycleReferenceDerivesConvCyclesFactor)
+{
+    // Conv-style references charge cycles at the span level, not per
+    // nibble pair: the factored fold must derive cyclesFactor 0 and
+    // stay exact.
+    const lut::MultLut rom;
+    const lut::DatapathTable t = lut::DatapathTable::build(
+        8, [&rom](std::int32_t a, std::int32_t b) {
+            lut::MultResult r = lut::multiply_signed(
+                a, b, 8, rom, lut::LookupSource::BceRom);
+            r.counts.cycles = 0;
+            return r;
+        });
+    EXPECT_TRUE(t.histogramExact());
+    EXPECT_EQ(0u, t.cyclesFactor());
+}
+
+TEST(DatapathSoa, ValueDependentCountsClearHistogramExact)
+{
+    // adds = |a| differs between magnitudes 2 and 4 — one structural
+    // class — so the class collapse cannot hold. The table must clear
+    // the flag (forcing the kernels onto the delta-plane gather) and
+    // still serve the arbitrary counts faithfully.
+    const lut::DatapathTable t = lut::DatapathTable::build(
+        4, [](std::int32_t a, std::int32_t b) {
+            lut::MultResult r;
+            r.product = a * b;
+            r.counts.romLookups = 1;
+            r.counts.adds = static_cast<std::uint64_t>(a < 0 ? -a : a);
+            return r;
+        });
+    EXPECT_FALSE(t.histogramExact());
+    EXPECT_TRUE(t.productsExact());
+    EXPECT_EQ(2u, t.at(2, 1).adds);
+    EXPECT_EQ(4u, t.at(-4, 1).adds);
+}
+
+TEST(DatapathSoa, ClassConsistentNonBilinearCountsClearHistogramExact)
+{
+    // Constant counts ARE a pure function of the class key, so the
+    // collapse holds — but adds = 1 on zero operands defeats the
+    // bilinear feature fold (p = 0 forces adds = 0). The second
+    // verification stage must catch it.
+    const lut::DatapathTable t = lut::DatapathTable::build(
+        4, [](std::int32_t a, std::int32_t b) {
+            lut::MultResult r;
+            r.product = a * b;
+            r.counts.romLookups = 0;
+            r.counts.adds = 1;
+            return r;
+        });
+    EXPECT_FALSE(t.histogramExact());
+}
+
 TEST(DatapathSoa, MatchesGenerationRequiresValidityAndEquality)
 {
     lut::DatapathTable empty;

@@ -20,6 +20,8 @@ TEST(Cpuid, LevelNamesAreStable)
     EXPECT_STREQ("sse42", sim::simd_level_name(sim::SimdLevel::Sse42));
     EXPECT_STREQ("neon", sim::simd_level_name(sim::SimdLevel::Neon));
     EXPECT_STREQ("avx2", sim::simd_level_name(sim::SimdLevel::Avx2));
+    EXPECT_STREQ("avx512",
+                 sim::simd_level_name(sim::SimdLevel::Avx512));
 }
 
 TEST(Cpuid, ScalarIsAlwaysCompiledAndSupported)
@@ -53,7 +55,8 @@ TEST(Cpuid, EveryCompiledAndSupportedLevelCanBeForced)
 {
     for (const sim::SimdLevel level :
          {sim::SimdLevel::Scalar, sim::SimdLevel::Sse42,
-          sim::SimdLevel::Neon, sim::SimdLevel::Avx2}) {
+          sim::SimdLevel::Neon, sim::SimdLevel::Avx2,
+          sim::SimdLevel::Avx512}) {
         if (!sim::simd_level_compiled(level)
             || !sim::simd_level_supported(level))
             continue;
@@ -93,6 +96,43 @@ TEST(Cpuid, ForceScalarEnvironmentWinsOverIsaRequest)
     const sim::SimdLevel level = sim::active_simd_level();
     EXPECT_TRUE(sim::simd_level_supported(level));
     ASSERT_EQ(0, unsetenv("BFREE_FORCE_SCALAR"));
+    sim::reset_simd_level();
+}
+
+TEST(CpuidDeath, Avx512IsRunnableOrRejected)
+{
+    // This must hold on every host, with or without AVX-512: either
+    // the trio is supported and the level can be forced, or forcing
+    // it dies loudly — never a silent fallback.
+    if (sim::simd_level_compiled(sim::SimdLevel::Avx512)
+        && sim::simd_level_supported(sim::SimdLevel::Avx512)) {
+        sim::force_simd_level(sim::SimdLevel::Avx512);
+        EXPECT_EQ(sim::SimdLevel::Avx512, sim::active_simd_level());
+        sim::reset_simd_level();
+    } else {
+        EXPECT_DEATH(sim::force_simd_level(sim::SimdLevel::Avx512),
+                     "not built with kernels|does not support");
+    }
+}
+
+TEST(CpuidDeath, ForceIsaAvx512ResolvesOrDies)
+{
+    // BFREE_FORCE_ISA=avx512 — the knob the simd-differential CI job
+    // sets — must behave identically to the programmatic force.
+    ASSERT_EQ(0, setenv("BFREE_FORCE_ISA", "avx512", 1));
+    if (sim::simd_level_compiled(sim::SimdLevel::Avx512)
+        && sim::simd_level_supported(sim::SimdLevel::Avx512)) {
+        sim::reset_simd_level();
+        EXPECT_EQ(sim::SimdLevel::Avx512, sim::active_simd_level());
+    } else {
+        EXPECT_DEATH(
+            {
+                sim::reset_simd_level();
+                (void)sim::active_simd_level();
+            },
+            "not built with kernels|does not support");
+    }
+    ASSERT_EQ(0, unsetenv("BFREE_FORCE_ISA"));
     sim::reset_simd_level();
 }
 
