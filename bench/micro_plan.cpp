@@ -64,6 +64,23 @@ ms_between(Clock::time_point a, Clock::time_point b)
     return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
+/**
+ * Small CNN covering both conv front-end shapes: the 3x3 stride-1 and
+ * 1x1 layers resolve to the elided front end, the 2x2 stride-2 layer
+ * (disjoint windows) to the fused one. The --dump-stats block runs it
+ * so the CI BFREE_FORCE_FRONTEND sweep byte-compares conv statistics
+ * across legacy/fused/elided, not just the FC-only MLP.
+ */
+dnn::Network
+make_cnn()
+{
+    dnn::Network net("cnn-frontend", {3, 8, 8});
+    net.add(dnn::make_conv("c3x3", {3, 8, 8}, 8, 3, 1, 1));
+    net.add(dnn::make_conv("c2x2s2", {8, 8, 8}, 8, 2, 2, 0));
+    net.add(dnn::make_conv("c1x1", {8, 4, 4}, 4, 1, 1, 0));
+    return net;
+}
+
 /** Bit-pattern checksum of a float tensor (exact, order-dependent). */
 std::uint64_t
 checksum(const dnn::FloatTensor &t)
@@ -141,6 +158,42 @@ main(int argc, char **argv)
         std::printf("energy_total %.17g\n", r.energy.total());
         std::printf("output_checksum %016llx\n",
                     static_cast<unsigned long long>(osum));
+
+        // Conv block: all three front ends must produce these exact
+        // bytes (the patch fed to the datapath is identical either
+        // way), so this section byte-compares across the CI
+        // BFREE_FORCE_FRONTEND sweep as well as across thread counts.
+        const dnn::Network cnn = make_cnn();
+        sim::Rng crng(10);
+        const core::NetworkWeights cweights =
+            core::random_weights(cnn, crng);
+        std::vector<dnn::FloatTensor> cinputs;
+        for (std::size_t i = 0; i < 8; ++i) {
+            dnn::FloatTensor in({3, 8, 8});
+            in.fillUniform(crng, -1.0, 1.0);
+            cinputs.push_back(std::move(in));
+        }
+        const core::NetworkPlan cplan =
+            core::NetworkPlan::compile(cnn, cweights, 8);
+        const core::BatchResult cr =
+            core::run_functional_batch(cplan, cinputs, opts);
+        std::uint64_t csum = 0;
+        for (const dnn::FloatTensor &t : cr.outputs)
+            csum = csum * 31 + checksum(t);
+        std::printf("micro_plan conv stats: net=%s inputs=%zu bits=8\n",
+                    cnn.name().c_str(), cinputs.size());
+        std::printf("cycles %llu\n",
+                    static_cast<unsigned long long>(cr.stats.cycles));
+        std::printf("macs %llu\n",
+                    static_cast<unsigned long long>(cr.stats.macs));
+        std::printf("lut_lookups %llu\n",
+                    static_cast<unsigned long long>(
+                        cr.stats.counts.lutLookups));
+        std::printf("adds %llu\n",
+                    static_cast<unsigned long long>(cr.stats.counts.adds));
+        std::printf("energy_total %.17g\n", cr.energy.total());
+        std::printf("output_checksum %016llx\n",
+                    static_cast<unsigned long long>(csum));
         return 0;
     }
 

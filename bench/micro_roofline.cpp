@@ -2,7 +2,7 @@
  * @file
  * Roofline and scaling study of the SIMD tiered datapath.
  *
- * Measurements, one JSON document (default BENCH_pr9.json):
+ * Measurements, one JSON document (default BENCH_pr10.json):
  *
  *  - host: hardware threads and the ISA the dispatcher resolved, so
  *    every number downstream can be read in context.
@@ -21,12 +21,18 @@
  *    speedup_vs_scalar compares the headline against the scalar
  *    tiered loop.
  *
- *  - stages: per-stage wall time of one conv layer's full front half
- *    vs its span kernels at the resolved ISA — quantize_span over the
- *    input plane, im2col_patch_i8 over every output position, then
- *    the tiered dot-product spans. front_half_fraction is the
- *    quantize+im2col share of the total; the PR 9 vectorization is
- *    aimed at driving it down.
+ *  - stages / stages_<mode>: whole-image wall time of one conv layer
+ *    split into marshal (everything that produces int8 patches:
+ *    quantize, im2col, staging, span materialization) vs the tiered
+ *    span kernels, measured once per conv front-end mode (legacy,
+ *    fused, elided) at the resolved ISA. Each mode section also
+ *    carries its modeled marshal traffic in bytes and the bandwidth
+ *    that implies, so marshal cost can be cross-checked against the
+ *    triad roof. The "stages" summary keeps the legacy per-stage keys
+ *    for continuity and adds the auto-resolved mode's
+ *    front_half_fraction and the e2e images/s uplift of auto over
+ *    forced-legacy. The three modes must produce identical kernel
+ *    checksums (byte-identical patches) or the run exits 2.
  *
  *  - roofline: the tiered MAC streams two int8 operands per multiply
  *    (the tables and tallies stay cache-resident), so the bandwidth
@@ -159,77 +165,199 @@ measure_kernel_macs_per_s(bce::BceMode mode, unsigned bits,
     return secs > 0.0 ? macs / secs : 0.0;
 }
 
-/** Wall seconds per stage of one conv image at the active ISA. */
-struct StageSeconds
+/** Per-image marshal cost of one conv front-end mode. */
+struct MarshalResult
 {
-    double quantize = 0.0;
-    double im2col = 0.0;
-    double kernel = 0.0;
+    double quantize = 0.0; ///< Plane quantize share (zero for fused).
+    double marshal = 0.0;  ///< Everything producing patches, quantize
+                           ///< included.
+
+    /** Modeled marshal traffic per image in bytes (reads + writes,
+     *  padded taps counted as writes only on the read side — an upper
+     *  bound within a few percent for padded layers). */
+    double marshalBytes = 0.0;
+
+    /** FNV-1a over the marshalled patch bytes: the byte-identity
+     *  witness compared across modes. */
+    std::uint64_t patchFnv = 0;
 };
 
 /**
- * The production conv pipeline of core/functional.cc, staged and timed
- * separately: quantize the whole input plane once, extract every int8
- * patch with the row-run copies, then run the tiered span kernel per
- * (output position, output channel). Patches are staged into one
- * buffer so the kernel timing reads exactly what im2col produced
- * without re-extracting inside the timed kernel loop.
+ * The stage-study rig: one conv layer (3x3 stride-1 pad-1, 32x16x16
+ * -> 32 channels) with the production front half of core/functional.cc
+ * replicated per mode, marshalling every output position's int8 patch
+ * into one buffer — plane quantize + row-run im2col for legacy, the
+ * fused quantize-into-patch kernel for fused, plane quantize + row
+ * staging + slack8 span materialization for elided.
+ *
+ * Marshal and kernel are timed SEPARATELY: the kernel loop reads only
+ * the marshalled patch buffer, and the modes produce byte-identical
+ * patches (witnessed by patchFnv), so one shared kernel measurement
+ * serves every mode and the cross-mode comparison is free of kernel
+ * timing noise.
  */
-StageSeconds
-measure_stage_breakdown(std::size_t reps, std::int64_t &checksum)
+struct StageRig
 {
-    const dnn::Layer l =
-        dnn::make_conv("stage", {32, 16, 16}, 32, 3, 1, 1);
-    const dnn::FeatureShape out = l.outputShape();
-    const std::size_t in_elems = l.input.elements();
-    const std::size_t patch_len =
+    dnn::Layer l = dnn::make_conv("stage", {32, 16, 16}, 32, 3, 1, 1);
+    dnn::FeatureShape out = l.outputShape();
+    std::size_t in_elems = l.input.elements();
+    std::size_t patch_len =
         std::size_t(l.input.c) * l.kernelH * l.kernelW;
-    const std::size_t positions = std::size_t(out.h) * out.w;
+    std::size_t positions = std::size_t(out.h) * out.w;
 
-    std::vector<float> in(in_elems);
-    for (std::size_t i = 0; i < in_elems; ++i)
-        in[i] = static_cast<float>(static_cast<int>(i * 13 % 255) - 127)
-                / 64.0f;
+    std::vector<float> in;
     dnn::SymQuant sq;
-    sq.scale = 1.0 / 64.0;
+    std::vector<std::int8_t> qin, patches, staging, weights;
+    std::vector<std::int32_t> offsets;
+    dnn::ElisionLayout el;
+    bce::simd::SpanView view;
 
-    std::vector<std::int8_t> qin(in_elems);
-    std::vector<std::int8_t> patches(positions * patch_len);
-    const std::vector<std::int8_t> weights =
-        pattern(std::size_t(l.outChannels) * patch_len, 5, 127);
-
-    Engine e(bce::BceMode::Conv);
-    // Warm-up: fault pages and seed the conv table untimed.
-    dnn::quantize_span(sq, in.data(), in_elems, qin.data());
-    checksum += e.bce.dotProductSpan(qin.data(), qin.data(),
-                                     std::min(in_elems, patch_len), 8);
-
-    StageSeconds s;
-    for (std::size_t r = 0; r < reps; ++r) {
-        auto t0 = std::chrono::steady_clock::now();
-        dnn::quantize_span(sq, in.data(), in_elems, qin.data());
-        s.quantize += seconds_since(t0);
-
-        t0 = std::chrono::steady_clock::now();
-        for (unsigned oh = 0; oh < out.h; ++oh)
-            for (unsigned ow = 0; ow < out.w; ++ow)
-                dnn::im2col_patch_i8(
-                    l, qin.data(), oh, ow,
-                    patches.data()
-                        + (std::size_t(oh) * out.w + ow) * patch_len);
-        s.im2col += seconds_since(t0);
-
-        t0 = std::chrono::steady_clock::now();
-        for (std::size_t p = 0; p < positions; ++p)
-            for (unsigned oc = 0; oc < l.outChannels; ++oc)
-                checksum += e.bce.dotProductSpan(
-                    patches.data() + p * patch_len,
-                    weights.data() + std::size_t(oc) * patch_len,
-                    patch_len, 8);
-        s.kernel += seconds_since(t0);
+    StageRig()
+    {
+        static constexpr std::size_t slack =
+            bce::simd::SpanView::slackBytes;
+        in.resize(in_elems);
+        for (std::size_t i = 0; i < in_elems; ++i)
+            in[i] = static_cast<float>(static_cast<int>(i * 13 % 255)
+                                       - 127)
+                    / 64.0f;
+        sq.scale = 1.0 / 64.0;
+        qin.resize(in_elems + slack);
+        patches.resize(positions * patch_len + slack);
+        weights = pattern(std::size_t(l.outChannels) * patch_len, 5,
+                          127);
+        el = dnn::elision_layout(l);
+        staging.resize(el.staged ? el.stagingBytes + slack : 0);
+        offsets.resize(el.nRuns);
+        dnn::elided_offsets(l, offsets.data());
+        view.offsets = offsets.data();
+        view.nRuns = el.nRuns;
+        view.runLen = el.runLen;
+        view.slack8 = true;
     }
-    return s;
-}
+
+    /** One whole-image marshal pass in @p mode; returns the quantize
+     *  share of the pass's wall time. */
+    double
+    marshal_once(dnn::FrontendMode mode)
+    {
+        double quantize = 0.0;
+        const auto t0 = std::chrono::steady_clock::now();
+        switch (mode) {
+          case dnn::FrontendMode::Legacy:
+            dnn::quantize_span(sq, in.data(), in_elems, qin.data());
+            quantize = seconds_since(t0);
+            for (unsigned oh = 0; oh < out.h; ++oh)
+                for (unsigned ow = 0; ow < out.w; ++ow)
+                    dnn::im2col_patch_i8(
+                        l, qin.data(), oh, ow,
+                        patches.data()
+                            + (std::size_t(oh) * out.w + ow)
+                                  * patch_len);
+            break;
+          case dnn::FrontendMode::Fused:
+            for (unsigned oh = 0; oh < out.h; ++oh)
+                for (unsigned ow = 0; ow < out.w; ++ow)
+                    dnn::im2col_quantize_patch(
+                        l, sq, in.data(), oh, ow,
+                        patches.data()
+                            + (std::size_t(oh) * out.w + ow)
+                                  * patch_len);
+            break;
+          case dnn::FrontendMode::Elided: {
+            dnn::quantize_span(sq, in.data(), in_elems, qin.data());
+            quantize = seconds_since(t0);
+            const std::int8_t *plane = qin.data();
+            if (el.staged) {
+                dnn::stage_plane_i8(l, qin.data(), staging.data());
+                plane = staging.data();
+            }
+            for (unsigned oh = 0; oh < out.h; ++oh) {
+                view.base = plane
+                            + std::size_t(oh) * l.strideH * el.rowBytes;
+                bce::simd::materialize_span_block(
+                    view, out.w, l.strideW,
+                    patches.data()
+                        + std::size_t(oh) * out.w * patch_len,
+                    patch_len);
+            }
+            break;
+          }
+        }
+        return quantize;
+    }
+
+    /** Per-mode marshal timing: @p reps whole-image passes. */
+    MarshalResult
+    measure_marshal(dnn::FrontendMode mode, std::size_t reps)
+    {
+        MarshalResult r;
+        marshal_once(mode); // warm-up untimed
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < reps; ++i)
+            r.quantize += marshal_once(mode);
+        r.marshal = seconds_since(t0);
+        const double per = 1.0 / static_cast<double>(reps);
+        r.quantize *= per;
+        r.marshal *= per;
+
+        std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+        for (std::size_t i = 0; i < positions * patch_len; ++i) {
+            h ^= static_cast<std::uint8_t>(patches[i]);
+            h *= 1099511628211ull;
+        }
+        r.patchFnv = h;
+
+        // Modeled marshal traffic per image, all counted as touched
+        // bytes (4 B read + 1 B written per quantized tap; 1 B each
+        // way per copied patch byte; staging writes its zero-padded
+        // strip and reads the in-bounds plane rows).
+        const double patch_bytes = static_cast<double>(positions)
+                                   * static_cast<double>(patch_len);
+        switch (mode) {
+          case dnn::FrontendMode::Legacy:
+            r.marshalBytes = 5.0 * static_cast<double>(in_elems)
+                             + 2.0 * patch_bytes;
+            break;
+          case dnn::FrontendMode::Fused:
+            r.marshalBytes = 5.0 * patch_bytes;
+            break;
+          case dnn::FrontendMode::Elided:
+            // Quantize + one whole-plane staging pass (write the
+            // padded plane, read the quantized one) + the patch copy.
+            r.marshalBytes =
+                5.0 * static_cast<double>(in_elems) + 2.0 * patch_bytes
+                + (el.staged
+                       ? static_cast<double>(el.stagingBytes)
+                             + static_cast<double>(in_elems)
+                       : 0.0);
+            break;
+        }
+        return r;
+    }
+
+    /** Shared kernel timing: per-image seconds of the tiered span
+     *  kernel over whatever patches are currently marshalled. */
+    double
+    measure_kernel(std::size_t reps, std::int64_t &checksum)
+    {
+        Engine e(bce::BceMode::Conv);
+        // Warm-up pass seeds the conv table untimed.
+        for (std::size_t p = 0; p < positions; ++p)
+            checksum += e.bce.dotProductSpan(
+                patches.data() + p * patch_len, weights.data(),
+                patch_len, 8);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t r = 0; r < reps; ++r)
+            for (std::size_t p = 0; p < positions; ++p)
+                for (unsigned oc = 0; oc < l.outChannels; ++oc)
+                    checksum += e.bce.dotProductSpan(
+                        patches.data() + p * patch_len,
+                        weights.data() + std::size_t(oc) * patch_len,
+                        patch_len, 8);
+        return seconds_since(t0) / static_cast<double>(reps);
+    }
+};
 
 /**
  * Aggregate MAC/s with @p threads pool workers, each running the
@@ -279,7 +407,7 @@ constexpr sim::SimdLevel all_levels[] = {
 int
 main(int argc, char **argv)
 {
-    std::string out_path = "BENCH_pr9.json";
+    std::string out_path = "BENCH_pr10.json";
     std::string baseline_path;
     for (int i = 1; i + 1 < argc; ++i) {
         if (!std::strcmp(argv[i], "--out"))
@@ -356,28 +484,109 @@ main(int argc, char **argv)
     }
     sim::reset_simd_level();
 
-    // ---- Per-stage breakdown at the resolved ISA --------------------
+    // ---- Per-mode front-half breakdown at the resolved ISA ----------
     {
+        const std::size_t marshal_reps = 400;
+        const std::size_t kernel_reps = 40;
+        constexpr dnn::FrontendMode modes[] = {
+            dnn::FrontendMode::Legacy, dnn::FrontendMode::Fused,
+            dnn::FrontendMode::Elided};
+
+        StageRig rig;
+        const dnn::FrontendMode auto_mode =
+            dnn::resolve_frontend(rig.l, 8);
+
+        MarshalResult by_mode[3];
+        for (const dnn::FrontendMode mode : modes) {
+            const std::size_t m = static_cast<std::size_t>(mode);
+            by_mode[m] = rig.measure_marshal(mode, marshal_reps);
+            // Byte-identity gate: every mode must marshal the same
+            // patch bytes.
+            if (by_mode[m].patchFnv != by_mode[0].patchFnv) {
+                std::cerr << "stages_"
+                          << dnn::frontend_mode_name(mode)
+                          << ": patch bytes diverged from legacy "
+                             "(front-end modes are not byte-identical)"
+                             "\n";
+                return 2;
+            }
+        }
+        // One shared kernel timing: the kernel reads identical patch
+        // bytes whichever mode marshalled them, so measuring it once
+        // keeps kernel noise out of the cross-mode comparison.
         std::int64_t stage_checksum = 0;
-        const std::size_t stage_reps = 40;
-        const StageSeconds s =
-            measure_stage_breakdown(stage_reps, stage_checksum);
-        const double per = 1.0 / static_cast<double>(stage_reps);
-        const double total = s.quantize + s.im2col + s.kernel;
-        const double front = s.quantize + s.im2col;
-        json.set("stages", "quantize_ms_per_image",
-                 1e3 * s.quantize * per);
-        json.set("stages", "im2col_ms_per_image", 1e3 * s.im2col * per);
-        json.set("stages", "kernel_ms_per_image", 1e3 * s.kernel * per);
+        const double kernel =
+            rig.measure_kernel(kernel_reps, stage_checksum);
+
+        for (const dnn::FrontendMode mode : modes) {
+            const MarshalResult &s =
+                by_mode[static_cast<std::size_t>(mode)];
+            const double total = s.marshal + kernel;
+            const std::string sec =
+                std::string("stages_") + dnn::frontend_mode_name(mode);
+            json.set(sec, "frontend_mode",
+                     static_cast<double>(
+                         static_cast<std::size_t>(mode)));
+            json.set(sec, "quantize_ms_per_image", 1e3 * s.quantize);
+            json.set(sec, "marshal_ms_per_image", 1e3 * s.marshal);
+            json.set(sec, "kernel_ms_per_image", 1e3 * kernel);
+            json.set(sec, "total_ms_per_image", 1e3 * total);
+            json.set(sec, "images_per_s",
+                     total > 0.0 ? 1.0 / total : 0.0);
+            json.set(sec, "front_half_fraction",
+                     total > 0.0 ? s.marshal / total : 0.0);
+            json.set(sec, "marshal_bytes_per_image", s.marshalBytes);
+            const double marshal_bw =
+                s.marshal > 0.0 ? s.marshalBytes / s.marshal : 0.0;
+            json.set(sec, "marshal_bytes_per_s", marshal_bw);
+            json.set(sec, "marshal_bw_fraction_of_triad",
+                     membw > 0.0 ? marshal_bw / membw : 0.0);
+            char line[220];
+            std::snprintf(
+                line, sizeof(line),
+                "stages[%-6s]%s marshal %.4f ms  kernel %.3f ms  "
+                "front-half %4.1f%%  %6.1f im/s  marshal bw %5.2f "
+                "GB/s\n",
+                dnn::frontend_mode_name(mode),
+                mode == auto_mode ? "*" : " ", 1e3 * s.marshal,
+                1e3 * kernel,
+                total > 0.0 ? 100.0 * s.marshal / total : 0.0,
+                total > 0.0 ? 1.0 / total : 0.0, marshal_bw / 1e9);
+            std::cout << line;
+        }
+
+        // Summary: legacy per-stage keys for continuity with PR 9, the
+        // auto-resolved mode's figures (what production runs), and the
+        // e2e uplift of auto over forced-legacy.
+        const MarshalResult &lg = by_mode[0];
+        const MarshalResult &au =
+            by_mode[static_cast<std::size_t>(auto_mode)];
+        const double legacy_total = lg.marshal + kernel;
+        const double auto_total = au.marshal + kernel;
+        json.set("stages", "quantize_ms_per_image", 1e3 * lg.quantize);
+        json.set("stages", "im2col_ms_per_image",
+                 1e3 * (lg.marshal - lg.quantize));
+        json.set("stages", "kernel_ms_per_image", 1e3 * kernel);
+        json.set("stages", "auto_frontend_mode",
+                 static_cast<double>(auto_mode));
         json.set("stages", "front_half_fraction",
-                 total > 0.0 ? front / total : 0.0);
+                 auto_total > 0.0 ? au.marshal / auto_total : 0.0);
+        json.set("stages", "images_per_s_legacy",
+                 legacy_total > 0.0 ? 1.0 / legacy_total : 0.0);
+        json.set("stages", "images_per_s_auto",
+                 auto_total > 0.0 ? 1.0 / auto_total : 0.0);
+        json.set("stages", "auto_over_legacy_images_per_s",
+                 auto_total > 0.0 ? legacy_total / auto_total : 0.0);
         char line[200];
         std::snprintf(line, sizeof(line),
-                      "stages: quantize %.3f ms  im2col %.3f ms  "
-                      "kernel %.3f ms  front-half %4.1f%%\n",
-                      1e3 * s.quantize * per, 1e3 * s.im2col * per,
-                      1e3 * s.kernel * per,
-                      total > 0.0 ? 100.0 * front / total : 0.0);
+                      "stages: auto=%s  front-half %4.2f%%  e2e uplift "
+                      "%.3fx over legacy\n",
+                      dnn::frontend_mode_name(auto_mode),
+                      auto_total > 0.0
+                          ? 100.0 * au.marshal / auto_total
+                          : 0.0,
+                      auto_total > 0.0 ? legacy_total / auto_total
+                                       : 0.0);
         std::cout << line;
     }
 
@@ -461,6 +670,20 @@ main(int argc, char **argv)
                 std::cerr << sec << ": conv " << now
                           << " MAC/s is >5x below baseline " << ref
                           << "\n";
+                ok = false;
+            }
+        }
+        {
+            // The front half must not regress: a >5x collapse of the
+            // production (auto) whole-image rate fails like a kernel
+            // collapse would.
+            const double now =
+                json.get("stages", "images_per_s_auto", 0.0);
+            const double ref =
+                baseline.get("stages", "images_per_s_auto", 0.0);
+            if (now > 0.0 && ref > 0.0 && now < ref / 5.0) {
+                std::cerr << "stages: images_per_s_auto " << now
+                          << " is >5x below baseline " << ref << "\n";
                 ok = false;
             }
         }

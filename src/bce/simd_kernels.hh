@@ -110,6 +110,71 @@ SpanSums run_span(const lut::DatapathTable &table, const std::int8_t *a,
                   const std::int8_t *b, std::size_t len,
                   SpanSemantics semantics);
 
+/**
+ * A strided view of an int8 operand span: the logical span is nRuns
+ * runs of runLen bytes each, run i starting at base + offsets[i] (or
+ * base + i * stride when offsets is null). This is how the elided
+ * conv front end addresses im2col patches in place over the quantized
+ * input plane — base advances by strideW per output position, the
+ * offsets/stride describe the (channel, kernel-row) runs — without
+ * materializing a patch per (position, filter) pair.
+ */
+struct SpanView
+{
+    const std::int8_t *base = nullptr;
+    /** Per-run byte offsets from base; null selects the uniform
+     *  stride addressing below. */
+    const std::int32_t *offsets = nullptr;
+    /** Run-to-run byte stride when offsets is null. */
+    std::size_t stride = 0;
+    std::size_t nRuns = 0;
+    std::size_t runLen = 0;
+
+    /** Slack bytes slack8 callers reserve past source and dest. */
+    static constexpr std::size_t slackBytes = 8;
+
+    /**
+     * The caller guarantees slackBytes readable bytes from every run's
+     * start in the source AND slackBytes writable bytes from every
+     * run's start in the destination (i.e. both buffers carry >= 8
+     * bytes of slack past the last touched byte). Lets short runs copy
+     * a full 8-byte word each — earlier runs' overshoot is overwritten
+     * by later runs, the last run's lands in the slack — roughly
+     * halving the cost of the 3-byte runs a 3x3 conv produces. With
+     * slack8 false every write is exact-width.
+     */
+    bool slack8 = false;
+
+    std::size_t len() const { return nRuns * runLen; }
+};
+
+/**
+ * Compact @p view into the contiguous @p dst span (len() bytes) that
+ * run_span consumes. Exactly the bytes im2col_patch_i8 would have
+ * copied, but with the per-run layer-geometry branching hoisted out:
+ * the inner loop is fixed-width loads/stores specialized per run
+ * length, roughly an order of magnitude cheaper than the per-run
+ * clip-and-memcpy walk for the 3-byte runs a 3x3 conv produces.
+ * Without view.slack8 it writes exactly len() bytes — no padding, no
+ * overshoot; with it, up to 8 - runLen bytes past len() are clobbered
+ * (the slack the caller reserved).
+ */
+void materialize_span_view(const SpanView &view, std::int8_t *dst);
+
+/**
+ * Materialize @p nPatches consecutive patches in one call: patch j
+ * reads its runs at view.base + j * srcStep and writes to
+ * dst + j * dstStep. For the stride-1 conv row this transposes the
+ * loop — each run's sources across the row are consecutive bytes, so
+ * the run offset is loaded once per row instead of once per patch —
+ * which is worth ~2x over nPatches separate materialize_span_view
+ * calls. Slack requirements (view.slack8) are per patch, i.e. 8 bytes
+ * past every run start of every patch on both sides.
+ */
+void materialize_span_block(const SpanView &view, std::size_t nPatches,
+                            std::size_t srcStep, std::int8_t *dst,
+                            std::size_t dstStep);
+
 } // namespace bfree::bce::simd
 
 #endif // BFREE_BCE_SIMD_KERNELS_HH

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "bce/simd_kernels.hh"
 #include "dnn/im2col.hh"
 #include "mem/micro_op_energy.hh"
 #include "sim/logging.hh"
@@ -50,21 +51,93 @@ FunctionalExecutor::runConvInto(const PlannedLayer &pl, unsigned bits,
     const std::size_t outHW = std::size_t(o.h) * o.w;
 
     if (bits <= 8) {
-        // im2col with patch reuse: quantize the whole input plane once
-        // (overlapping receptive fields re-quantized every window
-        // before — pure waste, q() is a pure function), then each
-        // (oh, ow) patch is row-run span copies out of the quantized
-        // map. Out-of-bounds taps fill a literal 0, which the LUT
-        // datapath multiplies for free.
-        std::int8_t *qin = arena_.alloc<std::int8_t>(pl.inElems);
-        dnn::quantize_span(qi, in, pl.inElems, qin);
-        std::int8_t *patch = arena_.alloc<std::int8_t>(patch_len);
+        // All three front ends feed the identical per-(position,
+        // filter) dotProductSpan call sequence with identical patch
+        // bytes, so outputs AND statistics are byte-identical across
+        // modes — only the work done to produce each patch differs.
+        // The mode was chosen at plan compile (pl.frontend) and the
+        // arena was sized for exactly the allocations made here.
+        std::int8_t *patch = nullptr;
+        std::int8_t *qin = nullptr;
+        bce::simd::SpanView view;
+        const std::int8_t *viewPlane = nullptr;
+        std::int8_t *staging = nullptr;
+        std::int32_t *offsets = nullptr;
+        dnn::ElisionLayout el;
+
+        switch (pl.frontend) {
+          case dnn::FrontendMode::Fused:
+            // Quantize straight into the patch: no quantized plane.
+            patch = arena_.alloc<std::int8_t>(patch_len);
+            break;
+          case dnn::FrontendMode::Elided: {
+            // Quantize the plane once; padded layers stage the whole
+            // zero-padded plane once more. After that the front half
+            // is pure addressing: a per-layer run-offset table plus a
+            // uniform base shift per output position, compacted one
+            // output ROW of patches at a time. Every buffer the view
+            // touches carries slackBytes so the compactor can use
+            // whole-word copies (slack8).
+            constexpr std::size_t slack =
+                bce::simd::SpanView::slackBytes;
+            el = dnn::elision_layout(layer);
+            qin = arena_.alloc<std::int8_t>(pl.inElems
+                                            + (el.staged ? 0 : slack));
+            dnn::quantize_span(qi, in, pl.inElems, qin);
+            patch = arena_.alloc<std::int8_t>(
+                std::size_t(o.w) * patch_len + slack);
+            offsets = arena_.alloc<std::int32_t>(el.nRuns);
+            dnn::elided_offsets(layer, offsets);
+            view.offsets = offsets;
+            view.nRuns = el.nRuns;
+            view.runLen = el.runLen;
+            view.slack8 = true;
+            if (el.staged) {
+                staging =
+                    arena_.alloc<std::int8_t>(el.stagingBytes + slack);
+                dnn::stage_plane_i8(layer, qin, staging);
+                viewPlane = staging;
+            } else {
+                viewPlane = qin;
+            }
+            break;
+          }
+          case dnn::FrontendMode::Legacy:
+            // Quantize the whole input plane once, then each (oh, ow)
+            // patch is row-run span copies out of the quantized map.
+            qin = arena_.alloc<std::int8_t>(pl.inElems);
+            dnn::quantize_span(qi, in, pl.inElems, qin);
+            patch = arena_.alloc<std::int8_t>(patch_len);
+            break;
+        }
+
         for (unsigned oh = 0; oh < o.h; ++oh) {
+            if (pl.frontend == dnn::FrontendMode::Elided) {
+                // One call compacts the whole output row of patches.
+                view.base = viewPlane
+                            + std::size_t(oh) * layer.strideH
+                                  * el.rowBytes;
+                bce::simd::materialize_span_block(view, o.w,
+                                                  layer.strideW, patch,
+                                                  patch_len);
+            }
             for (unsigned ow = 0; ow < o.w; ++ow) {
-                dnn::im2col_patch_i8(layer, qin, oh, ow, patch);
+                const std::int8_t *cur = patch;
+                switch (pl.frontend) {
+                  case dnn::FrontendMode::Fused:
+                    dnn::im2col_quantize_patch(layer, qi, in, oh, ow,
+                                               patch);
+                    break;
+                  case dnn::FrontendMode::Elided:
+                    cur = patch + std::size_t(ow) * patch_len;
+                    break;
+                  case dnn::FrontendMode::Legacy:
+                    dnn::im2col_patch_i8(layer, qin, oh, ow, patch);
+                    break;
+                }
                 for (unsigned k = 0; k < o.c; ++k) {
                     const std::int32_t acc = bce.dotProductSpan(
-                        fw.q8.data() + std::size_t(k) * patch_len, patch,
+                        fw.q8.data() + std::size_t(k) * patch_len, cur,
                         patch_len, bits);
                     out[std::size_t(k) * outHW + std::size_t(oh) * o.w
                         + ow] =
@@ -282,6 +355,11 @@ FunctionalExecutor::runInto(const NetworkPlan &plan, const float *input,
     const PlanStats &ps = plan.stats();
     arena_.reserve(ps.arenaBytes);
     arena_.reset();
+    // Restart the high-water mark so highWater() reports the peak of
+    // the plan actually run — a re-plan that sheds scratch (e.g. a
+    // fused front end eliding its quantized plane) must show the
+    // shrink instead of the old plan's ghost.
+    arena_.resetHighWater();
     float *cur = arena_.alloc<float>(ps.maxActivationElems);
     float *next = arena_.alloc<float>(ps.maxActivationElems);
     std::copy(input, input + inElems, cur);

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <string>
 
+#include "bce/simd_kernels.hh"
 #include "sim/logging.hh"
 #include "verify/plan_verifier.hh"
 
@@ -110,15 +111,62 @@ plan_shapes(const dnn::Network &net, unsigned bits,
             const dnn::FeatureShape o = layer.outputShape();
             const std::size_t patch_len = std::size_t(layer.input.c)
                                           * layer.kernelH * layer.kernelW;
-            // The 8-bit path hoists input quantization: one int8 plane
-            // for the whole quantized feature map plus the patch span.
-            pl.scratchBytes =
-                bits <= 8
-                    ? TensorArena::paddedBytes<std::int8_t>(
-                          layer.input.elements())
-                          + TensorArena::paddedBytes<std::int8_t>(
-                              patch_len)
-                    : TensorArena::paddedBytes<std::int32_t>(patch_len);
+            if (bits > 8) {
+                // Wide precision: scalar multiplies over an int32
+                // patch; no int8 front end exists to fuse or elide.
+                pl.scratchBytes =
+                    TensorArena::paddedBytes<std::int32_t>(patch_len);
+                shape = {o.c, o.h, o.w};
+                elems = o.elements();
+                break;
+            }
+            // The 8-bit front end is chosen here, at plan time, and
+            // its exact arena demand recorded through the same
+            // paddedBytes the runtime allocates with.
+            pl.frontend = dnn::resolve_frontend(layer, bits);
+            const std::size_t planeBytes =
+                TensorArena::paddedBytes<std::int8_t>(
+                    layer.input.elements());
+            const std::size_t patchBytes =
+                TensorArena::paddedBytes<std::int8_t>(patch_len);
+            switch (pl.frontend) {
+              case dnn::FrontendMode::Fused:
+                // Quantize straight into the patch: the quantized
+                // plane allocation disappears.
+                pl.scratchBytes = patchBytes;
+                ps.fusedFrontLayers += 1;
+                ps.savedPlaneBytes += planeBytes;
+                break;
+              case dnn::FrontendMode::Elided: {
+                // Plane + a whole output ROW of patches, plus the
+                // addressing state: the per-layer run-offset table and,
+                // for padded layers, the staged zero-padded plane.
+                // Buffers the view compactor touches carry its
+                // whole-word copy slack, through the exact expressions
+                // runConvInto allocates with.
+                constexpr std::size_t slack =
+                    bce::simd::SpanView::slackBytes;
+                const dnn::ElisionLayout el =
+                    dnn::elision_layout(layer);
+                pl.scratchBytes =
+                    TensorArena::paddedBytes<std::int8_t>(
+                        layer.input.elements()
+                        + (el.staged ? 0 : slack))
+                    + TensorArena::paddedBytes<std::int8_t>(
+                          std::size_t(o.w) * patch_len + slack)
+                    + TensorArena::paddedBytes<std::int32_t>(el.nRuns)
+                    + (el.staged
+                           ? TensorArena::paddedBytes<std::int8_t>(
+                                 el.stagingBytes + slack)
+                           : 0);
+                ps.elidedFrontLayers += 1;
+                break;
+              }
+              case dnn::FrontendMode::Legacy:
+                pl.scratchBytes = planeBytes + patchBytes;
+                ps.legacyFrontLayers += 1;
+                break;
+            }
             shape = {o.c, o.h, o.w};
             elems = o.elements();
             break;

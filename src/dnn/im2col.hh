@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "layer.hh"
+#include "quantize.hh"
 #include "tensor.hh"
 
 namespace bfree::dnn {
@@ -41,6 +42,133 @@ FloatTensor im2col(const Layer &layer, const FloatTensor &input);
  */
 void im2col_patch_i8(const Layer &layer, const std::int8_t *qin,
                      unsigned oh, unsigned ow, std::int8_t *patch);
+
+// ---------------------------------------------------------------------
+// Front-end mode: how a conv layer's int8 patches are produced
+// ---------------------------------------------------------------------
+
+/**
+ * The three ways the 8-bit conv front half can feed the span kernels.
+ * All three produce byte-identical patches (and therefore identical
+ * outputs and BCE statistics) for any conv layer at <= 8 bits — only
+ * the work done per image differs — so any mode may be forced anywhere
+ * for differential testing.
+ */
+enum class FrontendMode
+{
+    /** Quantize the whole input plane, then row-run patch copies
+     *  (im2col_patch_i8). The pre-PR-10 pipeline; also the only mode
+     *  for > 8-bit layers and non-conv layers. */
+    Legacy = 0,
+    /** Quantize straight into the patch (im2col_quantize_patch); the
+     *  intermediate quantized plane and its arena allocation
+     *  disappear. Chosen when receptive fields do not overlap (stride
+     *  >= kernel), where every tap is quantized exactly once. */
+    Fused = 1,
+    /** Quantize the plane once, then address patches through a strided
+     *  SpanView (bce::simd::materialize_span_view) instead of per-run
+     *  memcpy calls. Chosen for overlapping windows (stride < kernel,
+     *  including 1x1 at stride 1 on multi-tap channels), where the
+     *  plane quantization is amortized across windows and the copy
+     *  loop is the cost to kill. */
+    Elided = 2,
+};
+
+/** Human-readable name ("legacy", "fused", "elided"). */
+const char *frontend_mode_name(FrontendMode mode);
+
+/**
+ * The geometry policy: which front end fits @p layer at @p bits.
+ * Non-conv layers and > 8-bit precisions are always Legacy; disjoint
+ * receptive fields choose Fused; overlapping ones choose Elided.
+ */
+FrontendMode choose_frontend(const Layer &layer, unsigned bits);
+
+/**
+ * The mode the plan compiler records: choose_frontend unless the
+ * BFREE_FORCE_FRONTEND environment override (legacy|fused|elided) or a
+ * force_frontend() pin says otherwise. Overrides only apply where a
+ * non-legacy mode is valid (conv at <= 8 bits); an unknown value is
+ * fatal at first use, mirroring BFREE_FORCE_ISA.
+ */
+FrontendMode resolve_frontend(const Layer &layer, unsigned bits);
+
+/** Pin the front-end mode programmatically (tests/benchmarks). */
+void force_frontend(FrontendMode mode);
+
+/** Drop a force_frontend pin and re-resolve from the environment. */
+void reset_frontend();
+
+/**
+ * The fused front half: fill one int8 patch for output position
+ * (@p oh, @p ow) directly from the fp32 feature map @p in, quantizing
+ * each contiguous (channel, kernel-row) run through the per-ISA
+ * quantize-span core (quantize_span_fn) on the way — one pass, no
+ * intermediate quantized plane. Byte-identical to quantize_span +
+ * im2col_patch_i8 because SymQuant::q is pure and a padded tap
+ * quantizes to 0. Requires @p sq.limit <= 127 (checked).
+ */
+void im2col_quantize_patch(const Layer &layer, const SymQuant &sq,
+                           const float *in, unsigned oh, unsigned ow,
+                           std::int8_t *patch);
+
+// ---------------------------------------------------------------------
+// Im2col elision: strided patch addressing over the quantized plane
+// ---------------------------------------------------------------------
+
+/**
+ * Shape of the elided front end for one conv layer: every patch is
+ * nRuns runs of runLen bytes, each run a window into an addressed
+ * plane — the quantized input itself for pad-free layers, or a
+ * zero-padded copy staged ONCE per image for padded ones. Run i of
+ * the patch at output position (oh, ow) starts at plane byte
+ *
+ *     offsets[i] + oh * strideH * rowBytes + ow * strideW
+ *
+ * with offsets filled once per layer by elided_offsets: the (oh, ow)
+ * shift is uniform across runs, so per output row only the view base
+ * moves — no per-row staging or offset rebuild. The executor sizes
+ * its arena scratch from these fields; plan_shapes uses the same
+ * struct so the ledger cannot disagree.
+ */
+struct ElisionLayout
+{
+    /** True when padding forces the reads through a staged zero-padded
+     *  plane copy (padded columns and clipped rows become literal zero
+     *  bytes there). Pad-free layers read the plane in place. */
+    bool staged = false;
+    /** Row stride of the addressed plane: inW + 2*padW staged, inW
+     *  in place. */
+    std::size_t rowBytes = 0;
+    /** Rows per channel of the addressed plane: inH + 2*padH staged,
+     *  inH in place. */
+    std::size_t planeRows = 0;
+    std::size_t nRuns = 0;       ///< inC * kernelH runs per patch.
+    std::size_t runLen = 0;      ///< kernelW bytes per run.
+    /** inC * planeRows * rowBytes when staged, else 0. */
+    std::size_t stagingBytes = 0;
+};
+
+/** The elided addressing shape of @p layer (conv only). */
+ElisionLayout elision_layout(const Layer &layer);
+
+/**
+ * Stage the whole zero-padded plane once per image: for each channel,
+ * planeRows rows of rowBytes with the padW columns and padH rows as
+ * literal zero bytes around the quantized input rows. Only meaningful
+ * for staged layouts.
+ */
+void stage_plane_i8(const Layer &layer, const std::int8_t *qin,
+                    std::int8_t *staging);
+
+/**
+ * Fill the per-run byte offsets of the (oh, ow) = (0, 0) patch into
+ * the addressed plane: offsets[i = (c, r)] = (c * planeRows + r) *
+ * rowBytes. Valid for staged and in-place layouts alike (rowBytes and
+ * planeRows differ); output position (oh, ow) adds the uniform
+ * oh * strideH * rowBytes + ow * strideW.
+ */
+void elided_offsets(const Layer &layer, std::int32_t *offsets);
 
 /**
  * Reshape conv weights [outC][inC][kH][kW] into the [inC*kH*kW][outC]

@@ -186,6 +186,23 @@ quantize_span_avx512(const SymQuant &sq, const float *src, std::size_t n,
 
 } // namespace
 
+QuantizeSpanFn
+quantize_span_fn()
+{
+    switch (sim::active_simd_level()) {
+#ifdef BFREE_X86_QUANTIZE
+      case sim::SimdLevel::Avx512:
+        return &quantize_span_avx512;
+      case sim::SimdLevel::Avx2:
+        return &quantize_span_avx2;
+      case sim::SimdLevel::Sse42:
+        return &quantize_span_sse42;
+#endif
+      default:
+        return &quantize_span_scalar;
+    }
+}
+
 void
 quantize_span(const SymQuant &sq, const float *src, std::size_t n,
               std::int8_t *dst)
@@ -193,18 +210,7 @@ quantize_span(const SymQuant &sq, const float *src, std::size_t n,
     if (sq.limit > 127)
         bfree_panic("quantize_span: limit ", sq.limit,
                     " exceeds the int8 domain");
-    switch (sim::active_simd_level()) {
-#ifdef BFREE_X86_QUANTIZE
-      case sim::SimdLevel::Avx512:
-        return quantize_span_avx512(sq, src, n, dst);
-      case sim::SimdLevel::Avx2:
-        return quantize_span_avx2(sq, src, n, dst);
-      case sim::SimdLevel::Sse42:
-        return quantize_span_sse42(sq, src, n, dst);
-#endif
-      default:
-        return quantize_span_scalar(sq, src, n, dst);
-    }
+    quantize_span_fn()(sq, src, n, dst);
 }
 
 SymQuant

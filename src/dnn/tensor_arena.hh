@@ -85,6 +85,15 @@ class TensorArena
     /** Largest offset ever bumped to since construction. */
     std::size_t highWater() const { return high; }
 
+    /**
+     * Restart the high-water mark at the current bump offset, so the
+     * next highWater() reading reflects only allocations made after
+     * this call. Lets a re-planned network (e.g. a front-end mode
+     * change that elides the quantized plane) measure its own peak
+     * instead of inheriting the old plan's.
+     */
+    void resetHighWater() { high = off; }
+
     /** Arena allocations served so far (not heap allocations). */
     std::uint64_t allocCount() const { return count; }
 

@@ -90,6 +90,8 @@ rule_name(RuleId rule)
         return "capacity-fabric";
       case RuleId::CapacityArena:
         return "capacity-arena";
+      case RuleId::PlanFrontend:
+        return "plan-frontend";
       case RuleId::ServeQueue:
         return "serve-queue";
       case RuleId::ServeBatch:

@@ -117,6 +117,10 @@ enum class RuleId
                     ///< the fabric's usable capacity.
     CapacityArena,  ///< capacity-arena: the TensorArena ledger is
                     ///< inconsistent or over budget.
+    PlanFrontend,   ///< plan-frontend: a layer's recorded conv
+                    ///< front-end mode (fused/elided/legacy) is
+                    ///< invalid for its kind or precision, or
+                    ///< disagrees with the geometry policy.
 
     // Serving-config rules.
     ServeQueue,   ///< serve-queue: zero-capacity request queue.

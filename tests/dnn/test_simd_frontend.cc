@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "bce/simd_kernels.hh"
 #include "dnn/im2col.hh"
 #include "dnn/layer.hh"
 #include "dnn/quantize.hh"
@@ -256,8 +257,11 @@ TEST(Im2ColPatchI8, RaggedShapesExactAtEveryLevel)
             make_conv("tiny", {1, 1, 1}, 1, 1, 1, 0),
             make_conv("lanes", {17, 6, 6}, 4, 3, 1, 1),
             make_conv("wide-pad", {3, 4, 4}, 2, 4, 3, 3),
+            make_conv("k-gt-input", {2, 3, 3}, 2, 5, 1, 2),
+            make_conv("stride3", {3, 11, 11}, 2, 2, 3, 0),
             make_conv2("asym", {3, 8, 5}, 2, 1, 7, 1, 0, 3),
             make_conv2("asym2", {2, 9, 9}, 2, 7, 1, 2, 3, 0),
+            make_conv2("asym-pad", {2, 6, 6}, 2, 3, 3, 2, 2, 0),
         };
         for (const Layer &l : cases)
             expect_patches_match(l, ctx + " " + l.name);
@@ -315,5 +319,249 @@ TEST(Im2ColFloat, RowRunMatchesElementwiseReferenceExactly)
                 ASSERT_EQ(patch_len, idx);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fused quantize-into-im2col
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** The conv shapes every front end must agree on: stride > 1, stride >
+ *  kernel (the fused policy shape), asymmetric kernels AND paddings,
+ *  kernels larger than the input, 1x1, and lane-straddling channel
+ *  counts. */
+std::vector<Layer>
+frontend_cases()
+{
+    return {
+        make_conv("odd", {3, 7, 7}, 4, 3, 1, 1),
+        make_conv("stride", {5, 9, 9}, 4, 3, 2, 0),
+        make_conv("stride3", {3, 11, 11}, 2, 2, 3, 0),
+        make_conv("pad2", {2, 5, 5}, 4, 5, 1, 2),
+        make_conv("tiny", {1, 1, 1}, 1, 1, 1, 0),
+        make_conv("one-by-one", {9, 5, 5}, 3, 1, 1, 0),
+        make_conv("lanes", {17, 6, 6}, 4, 3, 1, 1),
+        make_conv("k-gt-input", {2, 3, 3}, 2, 5, 1, 2),
+        make_conv2("asym", {3, 8, 5}, 2, 1, 7, 1, 0, 3),
+        make_conv2("asym-pad", {2, 6, 6}, 2, 3, 3, 2, 2, 0),
+    };
+}
+
+} // namespace
+
+TEST(Im2ColQuantizePatch, FusedMatchesLegacyBytesAtEveryLevel)
+{
+    // The fused front end must produce the exact bytes of the legacy
+    // quantize-plane-then-copy pipeline AND the per-element reference,
+    // at every SIMD level, for every edge shape — this byte identity
+    // is what makes forcing any front-end mode safe anywhere.
+    for_each_runnable_level([](sim::SimdLevel level) {
+        const std::string ctx = sim::simd_level_name(level);
+        for (const Layer &l : frontend_cases()) {
+            sim::Rng rng(96);
+            const std::size_t in_elems = l.input.elements();
+            std::vector<float> in(in_elems);
+            for (float &v : in)
+                v = static_cast<float>(rng.uniformReal(-2.0, 2.0));
+
+            SymQuant sq;
+            sq.scale = 0.02;
+            std::vector<std::int8_t> qin(in_elems);
+            quantize_span(sq, in.data(), in_elems, qin.data());
+
+            const std::size_t patch_len =
+                std::size_t(l.input.c) * l.kernelH * l.kernelW;
+            std::vector<std::int8_t> fused(patch_len + 1, 127);
+            std::vector<std::int8_t> legacy(patch_len);
+            std::vector<std::int8_t> ref(patch_len);
+            const FeatureShape out = l.outputShape();
+            for (unsigned oh = 0; oh < out.h; ++oh) {
+                for (unsigned ow = 0; ow < out.w; ++ow) {
+                    im2col_quantize_patch(l, sq, in.data(), oh, ow,
+                                          fused.data());
+                    im2col_patch_i8(l, qin.data(), oh, ow,
+                                    legacy.data());
+                    reference_patch(l, sq, in.data(), oh, ow,
+                                    ref.data());
+                    ASSERT_EQ(0, std::memcmp(legacy.data(),
+                                             fused.data(), patch_len))
+                        << ctx << " " << l.name << " fused!=legacy ("
+                        << oh << "," << ow << ")";
+                    ASSERT_EQ(0, std::memcmp(ref.data(), fused.data(),
+                                             patch_len))
+                        << ctx << " " << l.name << " fused!=ref ("
+                        << oh << "," << ow << ")";
+                    ASSERT_EQ(127, fused[patch_len])
+                        << ctx << " " << l.name
+                        << " wrote past the patch";
+                }
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Elided addressing: SpanView materialization over the staged plane
+// ---------------------------------------------------------------------
+
+namespace {
+
+using bce::simd::SpanView;
+
+/** Run the whole elided pipeline for @p l and compare every patch,
+ *  both through per-patch materialize_span_view and the row-block
+ *  materialize_span_block, against im2col_patch_i8. */
+void
+expect_elision_matches(const Layer &l, bool slack8,
+                       const std::string &ctx)
+{
+    constexpr std::size_t slack = SpanView::slackBytes;
+    sim::Rng rng(97);
+    const std::size_t in_elems = l.input.elements();
+    std::vector<float> in(in_elems);
+    for (float &v : in)
+        v = static_cast<float>(rng.uniformReal(-2.0, 2.0));
+
+    SymQuant sq;
+    sq.scale = 0.02;
+    std::vector<std::int8_t> qin(in_elems + slack, 0);
+    quantize_span(sq, in.data(), in_elems, qin.data());
+
+    const ElisionLayout el = elision_layout(l);
+    std::vector<std::int8_t> staging;
+    const std::int8_t *plane = qin.data();
+    if (el.staged) {
+        staging.assign(el.stagingBytes + slack, 55);
+        stage_plane_i8(l, qin.data(), staging.data());
+        plane = staging.data();
+    }
+    std::vector<std::int32_t> offsets(el.nRuns);
+    elided_offsets(l, offsets.data());
+
+    SpanView view;
+    view.offsets = offsets.data();
+    view.nRuns = el.nRuns;
+    view.runLen = el.runLen;
+    view.slack8 = slack8;
+
+    const std::size_t patch_len =
+        std::size_t(l.input.c) * l.kernelH * l.kernelW;
+    ASSERT_EQ(patch_len, view.len()) << ctx;
+    const FeatureShape out = l.outputShape();
+    std::vector<std::int8_t> want(patch_len);
+    std::vector<std::int8_t> one(patch_len + slack);
+    std::vector<std::int8_t> row(std::size_t(out.w) * patch_len
+                                 + slack);
+    for (unsigned oh = 0; oh < out.h; ++oh) {
+        view.base = plane
+                    + std::size_t(oh) * l.strideH * el.rowBytes;
+        bce::simd::materialize_span_block(view, out.w, l.strideW,
+                                          row.data(), patch_len);
+        for (unsigned ow = 0; ow < out.w; ++ow) {
+            im2col_patch_i8(l, qin.data(), oh, ow, want.data());
+            SpanView pv = view;
+            pv.base = view.base + std::size_t(ow) * l.strideW;
+            bce::simd::materialize_span_view(pv, one.data());
+            ASSERT_EQ(0, std::memcmp(want.data(), one.data(),
+                                     patch_len))
+                << ctx << " " << l.name << " view (" << oh << ","
+                << ow << ")";
+            ASSERT_EQ(0,
+                      std::memcmp(want.data(),
+                                  row.data()
+                                      + std::size_t(ow) * patch_len,
+                                  patch_len))
+                << ctx << " " << l.name << " block (" << oh << ","
+                << ow << ")";
+        }
+    }
+}
+
+} // namespace
+
+TEST(SpanViewElision, ReproducesPatchBytesAtEveryLevel)
+{
+    // Staged (padded) and in-place layouts, slack8 fast path and
+    // exact-width path, against the row-run patch copies the span
+    // kernels otherwise consume.
+    for_each_runnable_level([](sim::SimdLevel level) {
+        const std::string ctx = sim::simd_level_name(level);
+        for (const Layer &l : frontend_cases())
+            for (const bool slack8 : {false, true})
+                expect_elision_matches(
+                    l, slack8,
+                    ctx + (slack8 ? " slack8" : " exact"));
+    });
+}
+
+TEST(SpanViewBlock, SpillStaysInsidePatchSlots)
+{
+    // The transposed block loop's regression shape: 3-byte runs in a
+    // 9-byte patch slot, where an 8-byte copy from run 1 on would
+    // cross into the NEXT patch's already-written bytes. Every byte of
+    // every slot must match the per-patch exact materialization.
+    constexpr std::size_t slack = SpanView::slackBytes;
+    const std::size_t nRuns = 3, runLen = 3, nPatches = 5;
+    const std::size_t patchLen = nRuns * runLen;
+    std::vector<std::int8_t> plane(64 + slack);
+    for (std::size_t i = 0; i < plane.size(); ++i)
+        plane[i] = static_cast<std::int8_t>(i * 7 + 3);
+    const std::int32_t offsets[3] = {0, 17, 40};
+
+    SpanView view;
+    view.base = plane.data();
+    view.offsets = offsets;
+    view.nRuns = nRuns;
+    view.runLen = runLen;
+
+    std::vector<std::int8_t> want(nPatches * patchLen + slack, 0);
+    std::vector<std::int8_t> got(nPatches * patchLen + slack, 0);
+    view.slack8 = false;
+    bce::simd::materialize_span_block(view, nPatches, 2, want.data(),
+                                      patchLen);
+    view.slack8 = true;
+    bce::simd::materialize_span_block(view, nPatches, 2, got.data(),
+                                      patchLen);
+    ASSERT_EQ(0, std::memcmp(want.data(), got.data(),
+                             nPatches * patchLen));
+}
+
+TEST(SpanViewStride, UniformStrideAddressingMatchesOffsets)
+{
+    // offsets == null selects base + i * stride addressing; both forms
+    // must materialize the same bytes.
+    constexpr std::size_t slack = SpanView::slackBytes;
+    const std::size_t nRuns = 6, runLen = 5, stride = 11;
+    std::vector<std::int8_t> plane(stride * nRuns + slack);
+    for (std::size_t i = 0; i < plane.size(); ++i)
+        plane[i] = static_cast<std::int8_t>(i * 13 + 1);
+    std::vector<std::int32_t> offsets(nRuns);
+    for (std::size_t i = 0; i < nRuns; ++i)
+        offsets[i] = static_cast<std::int32_t>(i * stride);
+
+    SpanView byStride;
+    byStride.base = plane.data();
+    byStride.stride = stride;
+    byStride.nRuns = nRuns;
+    byStride.runLen = runLen;
+
+    SpanView byOffsets = byStride;
+    byOffsets.stride = 0;
+    byOffsets.offsets = offsets.data();
+
+    for (const bool slack8 : {false, true}) {
+        std::vector<std::int8_t> a(nRuns * runLen + slack, 9);
+        std::vector<std::int8_t> b(nRuns * runLen + slack, 9);
+        SpanView va = byStride;
+        SpanView vb = byOffsets;
+        va.slack8 = slack8;
+        vb.slack8 = slack8;
+        bce::simd::materialize_span_view(va, a.data());
+        bce::simd::materialize_span_view(vb, b.data());
+        ASSERT_EQ(0,
+                  std::memcmp(a.data(), b.data(), nRuns * runLen))
+            << (slack8 ? "slack8" : "exact");
     }
 }
